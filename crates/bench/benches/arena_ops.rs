@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the CXL SHM Arena: object creation, lookup by
+//! name through the multi-level hash, and destroy/reuse.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cxl_shm::{ArenaConfig, CxlShmArena, CxlView, DaxDevice, HostCache};
+
+fn bench_arena(c: &mut Criterion) {
+    let dev = DaxDevice::new("bench-arena", 64 * 1024 * 1024).unwrap();
+    let arena = CxlShmArena::init(
+        CxlView::new(dev.clone(), HostCache::new("host0")),
+        ArenaConfig::for_objects(4096),
+    )
+    .unwrap();
+    let peer = CxlShmArena::attach(CxlView::new(dev, HostCache::new("host1"))).unwrap();
+
+    // Pre-populate some objects for the lookup benchmark.
+    for i in 0..256 {
+        arena.create(&format!("warm-{i}"), 256).unwrap();
+    }
+
+    c.bench_function("arena_open_existing", |b| {
+        b.iter(|| peer.open(black_box("warm-128")).unwrap())
+    });
+    c.bench_function("arena_stat_missing", |b| {
+        b.iter(|| peer.stat(black_box("does-not-exist")).unwrap())
+    });
+    c.bench_function("arena_create_destroy", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let name = format!("tmp-{i}");
+            i += 1;
+            let mut obj = arena.create(&name, 1024).unwrap();
+            arena.destroy(&mut obj).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_arena);
+criterion_main!(benches);

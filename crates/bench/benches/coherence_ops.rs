@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks of the functional coherence layer: cached
+//! writes, coherent publishes (write + flush + fence), coherent reads and
+//! non-temporal flag accesses against the simulated dax device.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cxl_shm::{CxlView, DaxDevice, HostCache};
+
+fn bench_coherence(c: &mut Criterion) {
+    let dev = DaxDevice::new("bench-coherence", 8 * 1024 * 1024).unwrap();
+    let writer = CxlView::new(dev.clone(), HostCache::new("writer"));
+    let reader = CxlView::new(dev, HostCache::new("reader"));
+    let payload = vec![0xABu8; 4096];
+    let mut buf = vec![0u8; 4096];
+
+    let mut group = c.benchmark_group("coherence_4k");
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("write_flush", |b| {
+        b.iter(|| writer.write_flush(black_box(0), black_box(&payload)).unwrap())
+    });
+    group.bench_function("read_coherent", |b| {
+        b.iter(|| reader.read_coherent(black_box(0), black_box(&mut buf)).unwrap())
+    });
+    group.bench_function("cached_write", |b| {
+        b.iter(|| writer.write(black_box(4096), black_box(&payload)).unwrap())
+    });
+    group.finish();
+
+    c.bench_function("nt_store_u64", |b| {
+        let view = CxlView::new(
+            DaxDevice::new("bench-nt", 2 * 1024 * 1024).unwrap(),
+            HostCache::new("nt"),
+        );
+        b.iter(|| view.nt_store_u64(black_box(64), black_box(42)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_coherence);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks of the analytical cost models (Table 1 / Figure
+//! 11 building blocks). These are pure functions; the benchmark guards against
+//! the models becoming accidentally expensive, since they sit on every
+//! simulated operation's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cmpi_fabric::cost::{CoherenceMode, CxlCostModel, TcpCostModel, TcpNic};
+use cmpi_fabric::CxlContentionModel;
+
+fn bench_cost_models(c: &mut Criterion) {
+    let cxl = CxlCostModel::default();
+    let tcp = TcpCostModel::of(TcpNic::MellanoxCx6Dx);
+    let contention = CxlContentionModel::default();
+
+    c.bench_function("cxl_memset_latency_64k_clflushopt", |b| {
+        b.iter(|| cxl.memset_latency(black_box(64 * 1024), CoherenceMode::FlushClflushopt))
+    });
+    c.bench_function("cxl_coherent_write_16k", |b| {
+        b.iter(|| cxl.coherent_write(black_box(16 * 1024), CoherenceMode::FlushClflushopt))
+    });
+    c.bench_function("tcp_mpi_message_time_64k", |b| {
+        b.iter(|| tcp.mpi_message_time(black_box(64 * 1024), black_box(0.25)))
+    });
+    c.bench_function("contention_throttle_16_pairs", |b| {
+        b.iter(|| contention.throttle(black_box(16), black_box(64 * 1024), black_box(10_000.0), true))
+    });
+}
+
+criterion_group!(benches, bench_cost_models);
+criterion_main!(benches);

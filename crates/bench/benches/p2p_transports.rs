@@ -1,0 +1,42 @@
+//! Criterion benchmarks of whole ping-pong universes on both transports —
+//! wall-clock cost of the functional simulation itself (not the simulated
+//! virtual time, which the figure binaries report).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cmpi_core::{Comm, Universe, UniverseConfig};
+use cmpi_fabric::cost::TcpNic;
+
+fn ping_pong(config: UniverseConfig, iters: usize, size: usize) {
+    Universe::run(config, move |comm: &mut Comm| {
+        let peer = 1 - comm.rank();
+        let payload = vec![0u8; size];
+        let mut buf = vec![0u8; size];
+        for _ in 0..iters {
+            if comm.rank() == 0 {
+                comm.send(peer, 0, &payload)?;
+                comm.recv(Some(peer), Some(0), &mut buf)?;
+            } else {
+                comm.recv(Some(peer), Some(0), &mut buf)?;
+                comm.send(peer, 0, &payload)?;
+            }
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ping_pong_universe");
+    group.sample_size(10);
+    group.bench_function("cxl_2ranks_4k_x20", |b| {
+        b.iter(|| ping_pong(UniverseConfig::cxl_small(2), 20, 4096))
+    });
+    group.bench_function("tcp_mellanox_2ranks_4k_x20", |b| {
+        b.iter(|| ping_pong(UniverseConfig::tcp(2, TcpNic::MellanoxCx6Dx), 20, 4096))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the SPSC message-cell ring queue with the
+//! cell sizes swept in Figure 9 (16 KB vs 64 KB cells).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cmpi_core::queue::{CellHeader, QueueGeometry, SpscQueue};
+use cxl_shm::{ArenaConfig, CxlShmArena, CxlView, DaxDevice, HostCache};
+
+fn make_queue(cell_payload: usize) -> (SpscQueue, SpscQueue) {
+    let geometry = QueueGeometry {
+        cell_payload,
+        cells: 8,
+    };
+    let dev = DaxDevice::new(format!("bench-queue-{cell_payload}"), 64 * 1024 * 1024).unwrap();
+    let producer_arena = CxlShmArena::init(
+        CxlView::new(dev.clone(), HostCache::new("producer")),
+        ArenaConfig::small(),
+    )
+    .unwrap();
+    let consumer_arena =
+        CxlShmArena::attach(CxlView::new(dev, HostCache::new("consumer"))).unwrap();
+    let obj_p = producer_arena.create("q", geometry.queue_bytes()).unwrap();
+    let obj_c = consumer_arena.open("q").unwrap();
+    let producer = SpscQueue::new(obj_p, 0, geometry);
+    let consumer = SpscQueue::new(obj_c, 0, geometry);
+    producer.format().unwrap();
+    (producer, consumer)
+}
+
+fn bench_queue(c: &mut Criterion) {
+    for cell in [16 * 1024usize, 64 * 1024] {
+        let (producer, consumer) = make_queue(cell);
+        let payload = vec![0x5Au8; cell];
+        let header = CellHeader {
+            src: 0,
+            tag: 1,
+            total_len: cell as u64,
+            chunk_offset: 0,
+            chunk_len: cell as u32,
+            timestamp: 0.0,
+        };
+        let mut group = c.benchmark_group(format!("spsc_cell_{}k", cell / 1024));
+        group.throughput(Throughput::Bytes(cell as u64));
+        group.bench_function("enqueue_dequeue", |b| {
+            b.iter(|| {
+                assert!(producer
+                    .try_enqueue(black_box(&header), black_box(&payload))
+                    .unwrap());
+                consumer.try_dequeue(black_box(1.0)).unwrap().unwrap();
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

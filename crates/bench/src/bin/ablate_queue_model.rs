@@ -1,0 +1,50 @@
+//! Ablation: the SPSC queue-matrix design choice (Section 3.3).
+//!
+//! cMPI replaces the traditional per-receiver MPSC/MPMC queue (which needs
+//! atomic operations that the CXL pooled memory cannot provide across hosts)
+//! with a matrix of per-pair SPSC ring queues. This ablation quantifies the
+//! cost structure of that choice: the per-message synchronization operations a
+//! receiver must perform as the number of senders grows (it polls one queue
+//! per sender instead of one shared queue), against the atomic-free enqueue.
+
+use cmpi_core::{Comm, Universe, UniverseConfig};
+
+fn main() {
+    println!("Ablation: SPSC queue matrix — receiver-side polling cost vs sender count\n");
+    println!(
+        "{:<12} {:>20} {:>24}",
+        "senders", "recv latency (us)", "nt ops per message (est)"
+    );
+    for senders in [1usize, 3, 7, 15] {
+        let ranks = senders + 1;
+        let iters = 20usize;
+        // Every sender sends `iters` messages to rank 0 with distinct tags;
+        // rank 0 receives them with wildcard source, which forces a scan of
+        // the whole queue row.
+        let results = Universe::run(UniverseConfig::cxl_small(ranks), move |comm: &mut Comm| {
+            if comm.rank() == 0 {
+                let start = comm.clock_ns();
+                for _ in 0..(iters * (comm.size() - 1)) {
+                    comm.recv_owned(None, Some(9))?;
+                }
+                Ok((comm.clock_ns() - start) / (iters * (comm.size() - 1)) as f64 / 1000.0)
+            } else {
+                for _ in 0..iters {
+                    comm.send(0, 9, &[1u8; 64])?;
+                }
+                Ok(f64::NAN)
+            }
+        })
+        .expect("run");
+        let latency = results[0].0;
+        // A wildcard receive touches on the order of one head/tail probe per
+        // sender queue before it finds a message.
+        println!("{:<12} {:>20.1} {:>24}", senders, latency, 2 * senders + 2);
+    }
+    println!();
+    println!(
+        "The per-pair SPSC design trades a linear (in senders) polling sweep on the\n\
+         receiver for the elimination of cross-host atomics on the enqueue path — the\n\
+         trade the paper argues is necessary on CXL pooled memory."
+    );
+}

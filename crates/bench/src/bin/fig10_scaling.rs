@@ -1,0 +1,35 @@
+//! Figure 10: strong scaling of CG (NPB class D) and miniAMR on 4–32 nodes
+//! (8 ranks per node) over the three transports, via the scalability
+//! simulator (the paper uses SimGrid for the same reason: the physical CXL
+//! platform only connects four hosts).
+
+use cmpi_scalesim::apps::{CgProxy, MiniAmrProxy};
+use cmpi_scalesim::ScalingStudy;
+
+fn main() {
+    println!("Figure 10: Strong scaling with CG (class D) and miniAMR\n");
+    let mut study = ScalingStudy::default();
+    study.run_app(&CgProxy::class_d());
+    study.run_app(&MiniAmrProxy::paper());
+    print!("{}", study.render());
+
+    // Headline comparisons the paper draws from the figure.
+    use cmpi_scalesim::TransportClass::*;
+    let avg_comm = |app: &str, class| {
+        ScalingStudy::NODE_COUNTS
+            .iter()
+            .map(|&n| study.get(app, class, n).unwrap().outcome.comm_s)
+            .sum::<f64>()
+            / ScalingStudy::NODE_COUNTS.len() as f64
+    };
+    for app in ["CG", "miniAMR"] {
+        let cxl = avg_comm(app, CxlShm);
+        let eth = avg_comm(app, TcpEthernet);
+        let mlx = avg_comm(app, TcpMellanox);
+        println!(
+            "{app}: CXL-SHM communication time is {:.1}% shorter than TCP/Mellanox and {:.1}% shorter than TCP/Ethernet",
+            (1.0 - cxl / mlx) * 100.0,
+            (1.0 - cxl / eth) * 100.0
+        );
+    }
+}

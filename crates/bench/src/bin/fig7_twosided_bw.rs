@@ -1,0 +1,28 @@
+//! Figure 7: bandwidth of two-sided MPI communication (send/recv, 64 KB
+//! message cells), three transports × {2..32} processes × 1 B–4 MB messages.
+
+use cmpi_bench::{print_panel, sweep_processes, sweep_sizes, transports};
+use cmpi_omb::two_sided_bandwidth;
+
+fn main() {
+    let sizes = sweep_sizes();
+    let procs = sweep_processes();
+    println!("Figure 7: Bandwidth of two-sided MPI communication (aggregate MB/s)\n");
+    for (label, _) in transports(2) {
+        let mut rows = Vec::new();
+        for &size in &sizes {
+            let mut values = Vec::new();
+            for &p in &procs {
+                let config = transports(p)
+                    .into_iter()
+                    .find(|(l, _)| *l == label)
+                    .unwrap()
+                    .1;
+                let point = two_sided_bandwidth(config, size).expect("benchmark run");
+                values.push(point.bandwidth_mbps);
+            }
+            rows.push((size, values));
+        }
+        print_panel(label, "Bandwidth (MB/s)", &procs, &rows);
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 9: bandwidth of two-sided communication over CXL SHM with various
+//! message-cell sizes (16/32/64/128 KB) and 16/32 processes (Section 4.3).
+
+use cmpi_bench::{fig9_processes, print_panel, sweep_sizes};
+use cmpi_core::{CxlShmTransportConfig, TransportConfig, UniverseConfig};
+use cmpi_omb::two_sided_bandwidth;
+
+fn main() {
+    let sizes = sweep_sizes();
+    let cell_sizes = [16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024];
+    let procs = fig9_processes();
+    println!("Figure 9: Two-sided CXL-SHM bandwidth vs message-cell size (aggregate MB/s)\n");
+    for cell in cell_sizes {
+        let mut rows = Vec::new();
+        for &size in &sizes {
+            let mut values = Vec::new();
+            for &p in &procs {
+                let config = UniverseConfig {
+                    ranks: p,
+                    hosts: 2,
+                    transport: TransportConfig::CxlShm(CxlShmTransportConfig::with_cell_size(cell)),
+                };
+                let point = two_sided_bandwidth(config, size).expect("benchmark run");
+                values.push(point.bandwidth_mbps);
+            }
+            rows.push((size, values));
+        }
+        print_panel(
+            &format!("cell size: {}KB", cell / 1024),
+            "Bandwidth (MB/s)",
+            &procs,
+            &rows,
+        );
+    }
+}

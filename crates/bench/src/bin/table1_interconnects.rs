@@ -1,0 +1,33 @@
+//! Table 1: memory access latency and bandwidth over various interconnects and
+//! protocols (Section 2.2).
+
+fn main() {
+    println!("Table 1: Memory access latency and bandwidth over various interconnects\n");
+    print!("{}", cmpi_fabric::table1::render_table1());
+    println!();
+
+    // The observations the paper derives from the table.
+    let rows = cmpi_fabric::table1::build_table1();
+    let get = |kind| {
+        rows.iter()
+            .find(|r: &&cmpi_fabric::table1::Table1Row| r.kind == kind)
+            .unwrap()
+            .clone()
+    };
+    use cmpi_fabric::profiles::InterconnectKind::*;
+    let cxl_flushed = get(CxlShmFlushed);
+    let cxl_cached = get(CxlShmCached);
+    let eth = get(TcpEthernet);
+    let mlx = get(TcpMellanoxCx6Dx);
+    println!("Observation 1: CXL SHM (flushed) latency is {:.1}x / {:.1}x lower than TCP over Ethernet / Mellanox",
+        eth.latency_ns / cxl_flushed.latency_ns,
+        mlx.latency_ns / cxl_flushed.latency_ns);
+    println!(
+        "Observation 1: CXL SHM bandwidth is {:.0}x the Ethernet NIC's",
+        cxl_flushed.bandwidth_mbps / eth.bandwidth_mbps
+    );
+    println!(
+        "Observation 3: cache flushing increases CXL latency by {:.1}x",
+        cxl_flushed.latency_ns / cxl_cached.latency_ns
+    );
+}

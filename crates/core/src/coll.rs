@@ -1,0 +1,297 @@
+//! Collective communication built on point-to-point (Section 3.6).
+//!
+//! The paper leaves collectives as future work but notes that, inside an MPI
+//! library, collectives are implemented on top of point-to-point algorithms
+//! (recursive doubling, Bruck, binomial trees) and therefore benefit directly
+//! from the faster cMPI point-to-point path. This module provides that layer:
+//!
+//! * broadcast — binomial tree;
+//! * gather / scatter — linear to/from the root;
+//! * allgather — ring algorithm (`n-1` neighbour exchanges);
+//! * reduce — binomial tree with element-wise folding;
+//! * allreduce — recursive doubling for power-of-two rank counts, otherwise
+//!   reduce + broadcast;
+//! * reduce-scatter — allreduce followed by block selection.
+//!
+//! All collectives run over any [`Transport`] and charge their costs through
+//! the normal point-to-point path, so the CXL and TCP transports are directly
+//! comparable.
+
+use cmpi_fabric::SimClock;
+
+use crate::error::MpiError;
+use crate::pod::{bytes_to_f64, f64_to_bytes};
+use crate::transport::Transport;
+use crate::types::{Rank, ReduceOp, Tag};
+use crate::Result;
+
+/// Base tag reserved for collective traffic (kept far away from typical
+/// application tags).
+const COLL_TAG_BASE: Tag = 0x4000_0000;
+
+fn coll_tag(kind: i32, step: usize) -> Tag {
+    COLL_TAG_BASE + kind * 0x10_000 + step as i32
+}
+
+/// Broadcast `data` from `root` to every rank using a binomial tree.
+/// On non-root ranks the contents of `data` are replaced.
+pub fn bcast(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    root: Rank,
+    data: &mut Vec<u8>,
+) -> Result<()> {
+    let n = t.size();
+    let me = t.rank();
+    if root >= n {
+        return Err(MpiError::InvalidRank { rank: root, size: n });
+    }
+    if n == 1 {
+        return Ok(());
+    }
+    // Work in the rotated space where the root is rank 0.
+    let vrank = (me + n - root) % n;
+    // Receive from the parent, unless we are the root. In a binomial tree the
+    // parent of a virtual rank is that rank with its highest set bit cleared.
+    if vrank != 0 {
+        let highest = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
+        let parent_v = vrank - highest;
+        let parent = (parent_v + root) % n;
+        let (_, payload) = t.recv_owned(clock, Some(parent), Some(coll_tag(1, 0)))?;
+        *data = payload;
+    }
+    // Send to children: vrank + 2^k for every k above our highest set bit.
+    let start_bit = if vrank == 0 {
+        0
+    } else {
+        (usize::BITS - vrank.leading_zeros()) as usize
+    };
+    let mut bit = 1usize << start_bit;
+    while vrank + bit < n {
+        let child = (vrank + bit + root) % n;
+        t.send(clock, child, coll_tag(1, 0), data)?;
+        bit <<= 1;
+    }
+    Ok(())
+}
+
+/// Gather every rank's `send` buffer at `root`. Returns `Some(vec_of_buffers)`
+/// (indexed by rank) on the root and `None` elsewhere.
+pub fn gather(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    root: Rank,
+    send: &[u8],
+) -> Result<Option<Vec<Vec<u8>>>> {
+    let n = t.size();
+    let me = t.rank();
+    if root >= n {
+        return Err(MpiError::InvalidRank { rank: root, size: n });
+    }
+    if me == root {
+        let mut out = vec![Vec::new(); n];
+        out[root] = send.to_vec();
+        for _ in 0..n - 1 {
+            let (status, payload) = t.recv_owned(clock, None, Some(coll_tag(2, 0)))?;
+            out[status.source] = payload;
+        }
+        Ok(Some(out))
+    } else {
+        t.send(clock, root, coll_tag(2, 0), send)?;
+        Ok(None)
+    }
+}
+
+/// Scatter one buffer per rank from `root`. On the root, `chunks` must contain
+/// exactly one buffer per rank; elsewhere it must be `None`. Returns this
+/// rank's buffer.
+pub fn scatter(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    root: Rank,
+    chunks: Option<&[Vec<u8>]>,
+) -> Result<Vec<u8>> {
+    let n = t.size();
+    let me = t.rank();
+    if root >= n {
+        return Err(MpiError::InvalidRank { rank: root, size: n });
+    }
+    if me == root {
+        let chunks = chunks.ok_or_else(|| {
+            MpiError::InvalidCollective("scatter root must provide one chunk per rank".into())
+        })?;
+        if chunks.len() != n {
+            return Err(MpiError::InvalidCollective(format!(
+                "scatter root provided {} chunks for {} ranks",
+                chunks.len(),
+                n
+            )));
+        }
+        for (r, chunk) in chunks.iter().enumerate() {
+            if r != root {
+                t.send(clock, r, coll_tag(3, 0), chunk)?;
+            }
+        }
+        Ok(chunks[root].clone())
+    } else {
+        let (_, payload) = t.recv_owned(clock, Some(root), Some(coll_tag(3, 0)))?;
+        Ok(payload)
+    }
+}
+
+/// Ring allgather: every rank contributes `mine` and receives every rank's
+/// contribution, returned indexed by rank. Contributions may differ in length.
+pub fn allgather(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    mine: &[u8],
+) -> Result<Vec<Vec<u8>>> {
+    let n = t.size();
+    let me = t.rank();
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    out[me] = mine.to_vec();
+    if n == 1 {
+        return Ok(out);
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    // At step s we forward the block that originated at rank (me - s) mod n.
+    // Rank 0 receives before sending so the ring can never deadlock even when
+    // a block is larger than a queue's total capacity.
+    for step in 0..n - 1 {
+        let send_origin = (me + n - step) % n;
+        let recv_origin = (me + n - step - 1) % n;
+        let block = out[send_origin].clone();
+        if me == 0 {
+            let (_, payload) = t.recv_owned(clock, Some(left), Some(coll_tag(4, step)))?;
+            out[recv_origin] = payload;
+            t.send(clock, right, coll_tag(4, step), &block)?;
+        } else {
+            t.send(clock, right, coll_tag(4, step), &block)?;
+            let (_, payload) = t.recv_owned(clock, Some(left), Some(coll_tag(4, step)))?;
+            out[recv_origin] = payload;
+        }
+    }
+    Ok(out)
+}
+
+/// Binomial-tree reduce of `f64` values to `root`. Returns `Some(result)` on
+/// the root, `None` elsewhere. Every rank must pass the same number of values.
+pub fn reduce_f64(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    root: Rank,
+    values: &[f64],
+    op: ReduceOp,
+) -> Result<Option<Vec<f64>>> {
+    let n = t.size();
+    let me = t.rank();
+    if root >= n {
+        return Err(MpiError::InvalidRank { rank: root, size: n });
+    }
+    let vrank = (me + n - root) % n;
+    let mut acc = values.to_vec();
+    let mut bit = 1usize;
+    while bit < n {
+        if vrank & bit != 0 {
+            // Send our partial result to the partner below and exit.
+            let partner = ((vrank - bit) + root) % n;
+            t.send(clock, partner, coll_tag(5, bit), &f64_to_bytes(&acc))?;
+            break;
+        } else if vrank + bit < n {
+            let partner = ((vrank + bit) + root) % n;
+            let (_, payload) = t.recv_owned(clock, Some(partner), Some(coll_tag(5, bit)))?;
+            let other = bytes_to_f64(&payload);
+            if other.len() != acc.len() {
+                return Err(MpiError::InvalidCollective(format!(
+                    "reduce length mismatch: {} vs {}",
+                    other.len(),
+                    acc.len()
+                )));
+            }
+            op.fold_f64(&mut acc, &other);
+        }
+        bit <<= 1;
+    }
+    Ok(if me == root { Some(acc) } else { None })
+}
+
+/// Allreduce of `f64` values: recursive doubling when the rank count is a
+/// power of two, reduce + broadcast otherwise. `values` is updated in place on
+/// every rank.
+pub fn allreduce_f64(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    values: &mut [f64],
+    op: ReduceOp,
+) -> Result<()> {
+    let n = t.size();
+    let me = t.rank();
+    if n == 1 {
+        return Ok(());
+    }
+    if n.is_power_of_two() {
+        let mut bit = 1usize;
+        while bit < n {
+            let partner = me ^ bit;
+            // Exchange partial results with the partner. The lower rank sends
+            // first and the higher rank receives first, so the exchange cannot
+            // deadlock even when the payload exceeds a queue's capacity.
+            let payload = if me < partner {
+                t.send(clock, partner, coll_tag(6, bit), &f64_to_bytes(values))?;
+                let (_, payload) = t.recv_owned(clock, Some(partner), Some(coll_tag(6, bit)))?;
+                payload
+            } else {
+                let (_, payload) = t.recv_owned(clock, Some(partner), Some(coll_tag(6, bit)))?;
+                t.send(clock, partner, coll_tag(6, bit), &f64_to_bytes(values))?;
+                payload
+            };
+            let other = bytes_to_f64(&payload);
+            if other.len() != values.len() {
+                return Err(MpiError::InvalidCollective(format!(
+                    "allreduce length mismatch: {} vs {}",
+                    other.len(),
+                    values.len()
+                )));
+            }
+            op.fold_f64(values, &other);
+            bit <<= 1;
+        }
+        Ok(())
+    } else {
+        let reduced = reduce_f64(t, clock, 0, values, op)?;
+        let mut buf = if let Some(r) = reduced {
+            f64_to_bytes(&r)
+        } else {
+            Vec::new()
+        };
+        bcast(t, clock, 0, &mut buf)?;
+        let result = bytes_to_f64(&buf);
+        values.copy_from_slice(&result);
+        Ok(())
+    }
+}
+
+/// Reduce-scatter of `f64` values: every rank receives the element-wise
+/// reduction of one equal block of the input. `values.len()` must be divisible
+/// by the rank count. Returns this rank's block.
+pub fn reduce_scatter_f64(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    values: &[f64],
+    op: ReduceOp,
+) -> Result<Vec<f64>> {
+    let n = t.size();
+    let me = t.rank();
+    if values.len() % n != 0 {
+        return Err(MpiError::InvalidCollective(format!(
+            "reduce_scatter input of {} elements not divisible by {} ranks",
+            values.len(),
+            n
+        )));
+    }
+    let mut all = values.to_vec();
+    allreduce_f64(t, clock, &mut all, op)?;
+    let block = values.len() / n;
+    Ok(all[me * block..(me + 1) * block].to_vec())
+}

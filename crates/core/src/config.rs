@@ -1,0 +1,227 @@
+//! Configuration of a cMPI universe: rank count, host topology and transport.
+
+use serde::{Deserialize, Serialize};
+
+use cmpi_fabric::cost::{CoherenceMode, TcpNic};
+use cmpi_fabric::params;
+
+use crate::error::MpiError;
+use crate::topology::HostTopology;
+use crate::Result;
+
+/// Configuration of the CXL SHM transport (cMPI proper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CxlShmTransportConfig {
+    /// Capacity of one message cell's payload, bytes (Figure 9 sweeps this;
+    /// MPICH defaults to 16 KB, cMPI settles on 64 KB).
+    pub cell_size: usize,
+    /// Number of cells per SPSC ring queue.
+    pub cells_per_queue: usize,
+    /// Bytes of CXL device memory to provision. `None` sizes the device
+    /// automatically from the queue matrix and expected windows.
+    pub device_size: Option<usize>,
+    /// Coherence mode used on the data path (the paper uses `clflushopt`).
+    pub coherence: CoherenceMode,
+    /// Extra device headroom reserved for RMA windows and user objects, bytes.
+    pub window_headroom: usize,
+}
+
+impl Default for CxlShmTransportConfig {
+    fn default() -> Self {
+        CxlShmTransportConfig {
+            cell_size: params::CMPI_CELL_SIZE,
+            cells_per_queue: params::CELLS_PER_QUEUE,
+            device_size: None,
+            coherence: CoherenceMode::FlushClflushopt,
+            window_headroom: 32 * 1024 * 1024,
+        }
+    }
+}
+
+impl CxlShmTransportConfig {
+    /// Configuration with a specific cell size (used by the Figure 9 sweep).
+    pub fn with_cell_size(cell_size: usize) -> Self {
+        CxlShmTransportConfig {
+            cell_size,
+            ..Default::default()
+        }
+    }
+
+    /// A small configuration for unit tests (small cells, small device).
+    pub fn small() -> Self {
+        CxlShmTransportConfig {
+            cell_size: 1024,
+            cells_per_queue: 4,
+            device_size: None,
+            coherence: CoherenceMode::FlushClflushopt,
+            window_headroom: 1024 * 1024,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.cell_size == 0 || self.cells_per_queue == 0 {
+            return Err(MpiError::InvalidConfig(
+                "cell_size and cells_per_queue must be non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the TCP baseline transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpTransportConfig {
+    /// Which NIC the baseline runs on.
+    pub nic: TcpNic,
+}
+
+impl TcpTransportConfig {
+    /// TCP over the standard Ethernet NIC.
+    pub fn ethernet() -> Self {
+        TcpTransportConfig {
+            nic: TcpNic::StandardEthernet,
+        }
+    }
+
+    /// TCP over the Mellanox ConnectX-6 Dx SmartNIC.
+    pub fn mellanox() -> Self {
+        TcpTransportConfig {
+            nic: TcpNic::MellanoxCx6Dx,
+        }
+    }
+}
+
+/// Which transport a universe uses for inter-node communication.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TransportConfig {
+    /// cMPI: CXL memory sharing.
+    CxlShm(CxlShmTransportConfig),
+    /// Baseline: MPI over simulated TCP.
+    Tcp(TcpTransportConfig),
+}
+
+impl TransportConfig {
+    /// Short name used in benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportConfig::CxlShm(_) => "CXL-SHM",
+            TransportConfig::Tcp(t) => match t.nic {
+                TcpNic::StandardEthernet => "TCP over Ethernet",
+                TcpNic::MellanoxCx6Dx => "TCP over Mellanox (CX-6 Dx)",
+            },
+        }
+    }
+}
+
+/// Full configuration of a universe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniverseConfig {
+    /// Number of MPI ranks.
+    pub ranks: usize,
+    /// Number of simulated hosts the ranks are spread over (block placement).
+    pub hosts: usize,
+    /// Transport selection.
+    pub transport: TransportConfig,
+}
+
+impl UniverseConfig {
+    /// cMPI over CXL SHM with the default (paper) parameters, ranks split over
+    /// two hosts as in the paper's evaluation.
+    pub fn cxl(ranks: usize) -> Self {
+        UniverseConfig {
+            ranks,
+            hosts: 2.min(ranks.max(1)),
+            transport: TransportConfig::CxlShm(CxlShmTransportConfig::default()),
+        }
+    }
+
+    /// Small-footprint cMPI configuration for tests.
+    pub fn cxl_small(ranks: usize) -> Self {
+        UniverseConfig {
+            ranks,
+            hosts: 2.min(ranks.max(1)),
+            transport: TransportConfig::CxlShm(CxlShmTransportConfig::small()),
+        }
+    }
+
+    /// Baseline over TCP with the given NIC.
+    pub fn tcp(ranks: usize, nic: TcpNic) -> Self {
+        UniverseConfig {
+            ranks,
+            hosts: 2.min(ranks.max(1)),
+            transport: TransportConfig::Tcp(TcpTransportConfig { nic }),
+        }
+    }
+
+    /// Override the number of hosts.
+    pub fn with_hosts(mut self, hosts: usize) -> Self {
+        self.hosts = hosts;
+        self
+    }
+
+    /// Validate and produce the host topology.
+    pub fn topology(&self) -> Result<HostTopology> {
+        if self.ranks == 0 {
+            return Err(MpiError::InvalidConfig("ranks must be ≥ 1".into()));
+        }
+        if let TransportConfig::CxlShm(c) = &self.transport {
+            c.validate()?;
+        }
+        HostTopology::blocked(self.ranks, self.hosts.max(1).min(self.ranks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cxl_config_matches_paper() {
+        let c = CxlShmTransportConfig::default();
+        assert_eq!(c.cell_size, 64 * 1024);
+        assert_eq!(c.coherence, CoherenceMode::FlushClflushopt);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(UniverseConfig::cxl(4).transport.label(), "CXL-SHM");
+        assert_eq!(
+            UniverseConfig::tcp(4, TcpNic::StandardEthernet)
+                .transport
+                .label(),
+            "TCP over Ethernet"
+        );
+        assert_eq!(
+            UniverseConfig::tcp(4, TcpNic::MellanoxCx6Dx).transport.label(),
+            "TCP over Mellanox (CX-6 Dx)"
+        );
+    }
+
+    #[test]
+    fn topology_from_config() {
+        let t = UniverseConfig::cxl(8).topology().unwrap();
+        assert_eq!(t.hosts(), 2);
+        assert_eq!(t.ranks(), 8);
+        let t = UniverseConfig::cxl(1).topology().unwrap();
+        assert_eq!(t.hosts(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(UniverseConfig::cxl(0).topology().is_err());
+        let mut cfg = UniverseConfig::cxl_small(4);
+        if let TransportConfig::CxlShm(ref mut c) = cfg.transport {
+            c.cell_size = 0;
+        }
+        assert!(cfg.topology().is_err());
+    }
+
+    #[test]
+    fn with_hosts_override() {
+        let cfg = UniverseConfig::cxl(8).with_hosts(4);
+        assert_eq!(cfg.topology().unwrap().hosts(), 4);
+        // More hosts than ranks clamps.
+        let cfg = UniverseConfig::cxl(2).with_hosts(16);
+        assert_eq!(cfg.topology().unwrap().hosts(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type for the cMPI core library.
+
+use std::fmt;
+
+use cxl_shm::ShmError;
+
+/// Errors surfaced by communicator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// A rank index was outside `0..size`.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// The receive buffer is smaller than the matched message (MPI truncation).
+    Truncation {
+        /// Bytes in the incoming message.
+        message_len: usize,
+        /// Bytes available in the receive buffer.
+        buffer_len: usize,
+    },
+    /// A window id was invalid or already freed.
+    InvalidWindow(usize),
+    /// An RMA access fell outside the target's window.
+    WindowOutOfBounds {
+        /// Byte offset of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Window size per rank.
+        window_len: usize,
+    },
+    /// A synchronization call was made in the wrong epoch state (e.g. `complete`
+    /// without `start`).
+    InvalidSyncState(String),
+    /// The underlying CXL SHM substrate reported an error.
+    Shm(ShmError),
+    /// A transport-level failure (channel disconnected, endpoint missing, ...).
+    Transport(String),
+    /// Collective called with inconsistent arguments across ranks.
+    InvalidCollective(String),
+    /// Configuration error detected while building a universe.
+    InvalidConfig(String),
+    /// A request was waited on twice or used after completion consumed it.
+    StaleRequest,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for communicator of size {size}")
+            }
+            MpiError::Truncation {
+                message_len,
+                buffer_len,
+            } => write!(
+                f,
+                "message of {message_len} bytes truncated by {buffer_len}-byte receive buffer"
+            ),
+            MpiError::InvalidWindow(id) => write!(f, "invalid or freed RMA window id {id}"),
+            MpiError::WindowOutOfBounds {
+                offset,
+                len,
+                window_len,
+            } => write!(
+                f,
+                "RMA access of {len} bytes at offset {offset} exceeds window of {window_len} bytes"
+            ),
+            MpiError::InvalidSyncState(msg) => write!(f, "invalid RMA synchronization: {msg}"),
+            MpiError::Shm(e) => write!(f, "CXL SHM error: {e}"),
+            MpiError::Transport(msg) => write!(f, "transport error: {msg}"),
+            MpiError::InvalidCollective(msg) => write!(f, "invalid collective call: {msg}"),
+            MpiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MpiError::StaleRequest => write!(f, "request already completed or consumed"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpiError::Shm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShmError> for MpiError {
+    fn from(e: ShmError) -> Self {
+        MpiError::Shm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MpiError::InvalidRank { rank: 5, size: 4 };
+        assert!(e.to_string().contains("rank 5"));
+        let e = MpiError::Truncation {
+            message_len: 100,
+            buffer_len: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e: MpiError = ShmError::HashFull.into();
+        assert!(matches!(e, MpiError::Shm(ShmError::HashFull)));
+        assert!(e.to_string().contains("CXL SHM"));
+    }
+
+    #[test]
+    fn source_chains_shm_errors() {
+        use std::error::Error;
+        let e: MpiError = ShmError::HashFull.into();
+        assert!(e.source().is_some());
+        assert!(MpiError::StaleRequest.source().is_none());
+    }
+}

@@ -1,0 +1,63 @@
+//! # cmpi-core — MPI one-sided and two-sided communication over CXL memory sharing
+//!
+//! This crate is the Rust reimplementation of the cMPI system: an MPI-like
+//! library whose inter-node point-to-point communication (both two-sided
+//! send/receive and one-sided RMA) runs over CXL memory sharing instead of a
+//! network stack, plus a simulated-TCP baseline transport so that the paper's
+//! comparisons can be reproduced under one API.
+//!
+//! ## Architecture
+//!
+//! * [`runtime`] — the [`runtime::Universe`] spawns one OS thread per MPI rank,
+//!   assigns ranks to simulated hosts, builds the selected transport and hands
+//!   each rank a [`runtime::Comm`] handle.
+//! * [`transport`] — the [`transport::Transport`] trait and its two
+//!   implementations: [`transport::cxl::CxlTransport`] (message-queue matrix,
+//!   RMA windows and synchronization flags in CXL shared memory, software
+//!   cache coherence) and [`transport::tcp::TcpTransport`] (the MPICH-over-TCP
+//!   baseline on the simulated NIC fabric).
+//! * [`queue`] — the SPSC message-cell ring queues that carry two-sided
+//!   messages through CXL shared memory (Section 3.3).
+//! * [`rma`] — one-sided window layout and the PSCW / lock-unlock / fence
+//!   synchronization built on CXL-resident flags (Sections 3.2 and 3.4).
+//! * [`barrier`] — the sequence-number barrier that avoids cross-host atomic
+//!   operations (Section 3.4).
+//! * [`coll`] — collectives (barrier, broadcast, allgather, allreduce, reduce,
+//!   reduce-scatter, gather, scatter) layered on point-to-point, the paper's
+//!   Section 3.6 extension.
+//! * [`p2p`], [`request`] — message matching, non-blocking requests and status.
+//! * [`datatype`], [`pod`] — minimal datatype support and safe byte conversion
+//!   helpers for numeric slices.
+//!
+//! Virtual time: every rank carries a [`cmpi_fabric::SimClock`]; transports
+//! charge modelled costs to it and stamp messages/flags so receivers observe
+//! causally consistent timestamps. Wall-clock speed is unrelated to the
+//! simulated time — benchmarks report the virtual clocks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod barrier;
+pub mod coll;
+pub mod config;
+pub mod datatype;
+pub mod error;
+pub mod p2p;
+pub mod pod;
+pub mod queue;
+pub mod request;
+pub mod rma;
+pub mod runtime;
+pub mod topology;
+pub mod transport;
+pub mod types;
+
+pub use config::{CxlShmTransportConfig, TcpTransportConfig, TransportConfig, UniverseConfig};
+pub use error::MpiError;
+pub use request::{Request, RequestState};
+pub use runtime::{Comm, RankReport, Universe};
+pub use topology::HostTopology;
+pub use types::{Rank, ReduceOp, Status, Tag, ANY_SOURCE, ANY_TAG};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MpiError>;

@@ -1,0 +1,198 @@
+//! Point-to-point support: the unexpected-message queue and chunk reassembly.
+//!
+//! MPI receive semantics require that a receive posted with selectors
+//! `(src, tag)` matches the *earliest* incoming message with those values, even
+//! if other, non-matching messages arrived before it. Like MPICH, each rank
+//! therefore keeps an **unexpected-message queue** in local memory: messages
+//! pulled off the wire (or out of the CXL ring queues) that no receive has
+//! asked for yet. A receive first searches this queue, then drains the
+//! transport until a matching message appears, stashing everything else.
+
+use crate::types::{source_matches, tag_matches, Rank, Status, Tag};
+
+/// A fully reassembled message waiting to be matched by a receive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingMessage {
+    /// Completion record (source, tag, length).
+    pub status: Status,
+    /// Payload.
+    pub data: Vec<u8>,
+    /// Virtual time at which the message became available at this rank.
+    pub arrival: f64,
+}
+
+/// The unexpected-message queue of one rank.
+#[derive(Debug, Default)]
+pub struct UnexpectedQueue {
+    messages: Vec<PendingMessage>,
+}
+
+impl UnexpectedQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stashed messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Stash a message that no receive has matched yet.
+    pub fn push(&mut self, msg: PendingMessage) {
+        self.messages.push(msg);
+    }
+
+    /// Remove and return the earliest stashed message matching the selectors.
+    pub fn take_match(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Option<PendingMessage> {
+        let pos = self.messages.iter().position(|m| {
+            source_matches(src, m.status.source) && tag_matches(tag, m.status.tag)
+        })?;
+        Some(self.messages.remove(pos))
+    }
+
+    /// Whether a stashed message matches the selectors (non-destructive probe).
+    pub fn probe(&self, src: Option<Rank>, tag: Option<Tag>) -> Option<&PendingMessage> {
+        self.messages
+            .iter()
+            .find(|m| source_matches(src, m.status.source) && tag_matches(tag, m.status.tag))
+    }
+}
+
+/// Incremental reassembly of one chunked message coming out of an SPSC queue.
+///
+/// Chunks of a single message are contiguous in their per-pair queue (the
+/// sender enqueues a whole message before starting the next), so reassembly
+/// only needs the total length from the first chunk's header.
+#[derive(Debug)]
+pub struct ChunkAssembler {
+    src: Rank,
+    tag: Tag,
+    total_len: usize,
+    received: usize,
+    data: Vec<u8>,
+    latest_ts: f64,
+}
+
+impl ChunkAssembler {
+    /// Start assembling from the first chunk of a message.
+    pub fn new(src: Rank, tag: Tag, total_len: usize) -> Self {
+        ChunkAssembler {
+            src,
+            tag,
+            total_len,
+            received: 0,
+            data: vec![0u8; total_len],
+            latest_ts: 0.0,
+        }
+    }
+
+    /// Add one chunk. Panics if the chunk falls outside the message bounds
+    /// (would indicate queue corruption).
+    pub fn add_chunk(&mut self, offset: usize, chunk: &[u8], timestamp: f64) {
+        assert!(
+            offset + chunk.len() <= self.total_len,
+            "chunk [{offset}, {}) exceeds message length {}",
+            offset + chunk.len(),
+            self.total_len
+        );
+        self.data[offset..offset + chunk.len()].copy_from_slice(chunk);
+        self.received += chunk.len();
+        if timestamp > self.latest_ts {
+            self.latest_ts = timestamp;
+        }
+    }
+
+    /// Whether every byte of the message has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.received >= self.total_len
+    }
+
+    /// Consume the assembler, producing the pending message. Panics if called
+    /// before completion.
+    pub fn finish(self) -> PendingMessage {
+        assert!(self.is_complete(), "message not fully assembled");
+        PendingMessage {
+            status: Status::new(self.src, self.tag, self.total_len),
+            data: self.data,
+            arrival: self.latest_ts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: Rank, tag: Tag, len: usize) -> PendingMessage {
+        PendingMessage {
+            status: Status::new(src, tag, len),
+            data: vec![src as u8; len],
+            arrival: 0.0,
+        }
+    }
+
+    #[test]
+    fn take_match_respects_order_and_selectors() {
+        let mut q = UnexpectedQueue::new();
+        q.push(msg(0, 1, 4));
+        q.push(msg(1, 2, 4));
+        q.push(msg(0, 2, 4));
+        // Wildcard source, tag 2 → the message from rank 1 (earliest tag-2).
+        let m = q.take_match(None, Some(2)).unwrap();
+        assert_eq!(m.status.source, 1);
+        // Specific source 0, wildcard tag → the first message from rank 0.
+        let m = q.take_match(Some(0), None).unwrap();
+        assert_eq!(m.status.tag, 1);
+        assert_eq!(q.len(), 1);
+        assert!(q.take_match(Some(5), None).is_none());
+    }
+
+    #[test]
+    fn probe_does_not_remove() {
+        let mut q = UnexpectedQueue::new();
+        q.push(msg(3, 7, 2));
+        assert!(q.probe(Some(3), Some(7)).is_some());
+        assert_eq!(q.len(), 1);
+        assert!(q.probe(Some(3), Some(8)).is_none());
+    }
+
+    #[test]
+    fn assembler_reassembles_out_of_order_chunks() {
+        let mut a = ChunkAssembler::new(2, 9, 10);
+        a.add_chunk(4, &[5, 6, 7, 8, 9, 10], 100.0);
+        assert!(!a.is_complete());
+        a.add_chunk(0, &[1, 2, 3, 4], 50.0);
+        assert!(a.is_complete());
+        let m = a.finish();
+        assert_eq!(m.data, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(m.status, Status::new(2, 9, 10));
+        assert_eq!(m.arrival, 100.0);
+    }
+
+    #[test]
+    fn assembler_zero_length_message() {
+        let a = ChunkAssembler::new(0, 0, 0);
+        assert!(a.is_complete());
+        assert!(a.finish().data.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds message length")]
+    fn assembler_rejects_out_of_bounds_chunk() {
+        let mut a = ChunkAssembler::new(0, 0, 4);
+        a.add_chunk(2, &[0, 0, 0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fully assembled")]
+    fn finish_requires_completion() {
+        let a = ChunkAssembler::new(0, 0, 4);
+        let _ = a.finish();
+    }
+}

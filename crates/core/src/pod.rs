@@ -1,0 +1,111 @@
+//! Safe byte-level conversion helpers for numeric slices.
+//!
+//! MPI moves raw bytes; applications think in typed arrays. These helpers
+//! convert between the two with explicit little-endian encoding and plain
+//! copies (no `unsafe` transmutes), which keeps them portable and obviously
+//! correct at the cost of a copy — acceptable for examples, tests and
+//! collectives on reduction payloads.
+
+/// Encode a slice of `f64` values as little-endian bytes.
+pub fn f64_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into `f64` values. Panics if the length is not a
+/// multiple of 8.
+pub fn bytes_to_f64(bytes: &[u8]) -> Vec<f64> {
+    assert!(
+        bytes.len() % 8 == 0,
+        "byte length {} is not a multiple of 8",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Encode a slice of `u64` values as little-endian bytes.
+pub fn u64_to_bytes(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into `u64` values. Panics if the length is not a
+/// multiple of 8.
+pub fn bytes_to_u64(bytes: &[u8]) -> Vec<u64> {
+    assert!(
+        bytes.len() % 8 == 0,
+        "byte length {} is not a multiple of 8",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Encode a slice of `i32` values as little-endian bytes.
+pub fn i32_to_bytes(values: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into `i32` values. Panics if the length is not a
+/// multiple of 4.
+pub fn bytes_to_i32(bytes: &[u8]) -> Vec<i32> {
+    assert!(
+        bytes.len() % 4 == 0,
+        "byte length {} is not a multiple of 4",
+        bytes.len()
+    );
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = vec![1.5, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(bytes_to_f64(&f64_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let v = vec![0, 1, u64::MAX, 0xDEAD_BEEF];
+        assert_eq!(bytes_to_u64(&u64_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        let v = vec![0, -1, i32::MAX, i32::MIN, 42];
+        assert_eq!(bytes_to_i32(&i32_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert!(f64_to_bytes(&[]).is_empty());
+        assert!(bytes_to_f64(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn misaligned_f64_panics() {
+        bytes_to_f64(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Non-blocking communication requests (`MPI_Isend` / `MPI_Irecv` handles).
+//!
+//! cMPI's two-sided path is eager: a send is complete as soon as the message
+//! has been copied into the CXL message queue (or handed to the TCP stack), so
+//! an `isend` returns an already-complete request. An `irecv` records its
+//! selectors; completion happens when `wait`/`test` finds a matching message.
+//! The payload is delivered through the request itself (Rust-friendly
+//! ownership instead of MPI's caller-provided buffer).
+
+use crate::error::MpiError;
+use crate::types::{Rank, Status, Tag};
+use crate::Result;
+
+/// Completion state of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestState {
+    /// Send already finished (eager protocol).
+    SendComplete,
+    /// Receive posted, not yet matched.
+    RecvPending,
+    /// Receive matched; payload ready to be taken.
+    RecvComplete,
+    /// The payload has been taken; the request is spent.
+    Consumed,
+}
+
+/// A non-blocking operation handle.
+#[derive(Debug)]
+pub struct Request {
+    state: RequestState,
+    /// Selectors of a pending receive.
+    pub(crate) src: Option<Rank>,
+    /// Tag selector of a pending receive.
+    pub(crate) tag: Option<Tag>,
+    status: Option<Status>,
+    data: Option<Vec<u8>>,
+}
+
+impl Request {
+    /// A completed send request.
+    pub fn send_done(status: Status) -> Self {
+        Request {
+            state: RequestState::SendComplete,
+            src: None,
+            tag: None,
+            status: Some(status),
+            data: None,
+        }
+    }
+
+    /// A pending receive request with the given selectors.
+    pub fn recv_pending(src: Option<Rank>, tag: Option<Tag>) -> Self {
+        Request {
+            state: RequestState::RecvPending,
+            src,
+            tag,
+            status: None,
+            data: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RequestState {
+        self.state
+    }
+
+    /// Whether the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        matches!(
+            self.state,
+            RequestState::SendComplete | RequestState::RecvComplete | RequestState::Consumed
+        )
+    }
+
+    /// Completion status, if available.
+    pub fn status(&self) -> Option<Status> {
+        self.status
+    }
+
+    /// Mark a pending receive as complete with the matched message.
+    pub(crate) fn fulfill(&mut self, status: Status, data: Vec<u8>) {
+        debug_assert_eq!(self.state, RequestState::RecvPending);
+        self.state = RequestState::RecvComplete;
+        self.status = Some(status);
+        self.data = Some(data);
+    }
+
+    /// Take the received payload out of a completed receive request.
+    pub fn take_data(&mut self) -> Result<Vec<u8>> {
+        match self.state {
+            RequestState::RecvComplete => {
+                self.state = RequestState::Consumed;
+                self.data.take().ok_or(MpiError::StaleRequest)
+            }
+            _ => Err(MpiError::StaleRequest),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_request_is_complete_immediately() {
+        let r = Request::send_done(Status::new(0, 1, 8));
+        assert!(r.is_complete());
+        assert_eq!(r.state(), RequestState::SendComplete);
+        assert_eq!(r.status().unwrap().len, 8);
+    }
+
+    #[test]
+    fn recv_request_lifecycle() {
+        let mut r = Request::recv_pending(Some(2), Some(7));
+        assert!(!r.is_complete());
+        assert!(r.status().is_none());
+        assert!(r.take_data().is_err());
+        r.fulfill(Status::new(2, 7, 3), vec![1, 2, 3]);
+        assert!(r.is_complete());
+        assert_eq!(r.state(), RequestState::RecvComplete);
+        assert_eq!(r.take_data().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.state(), RequestState::Consumed);
+        assert!(matches!(r.take_data(), Err(MpiError::StaleRequest)));
+    }
+
+    #[test]
+    fn take_data_from_send_request_fails() {
+        let mut r = Request::send_done(Status::new(0, 0, 0));
+        assert!(matches!(r.take_data(), Err(MpiError::StaleRequest)));
+    }
+}

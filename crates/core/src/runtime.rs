@@ -1,0 +1,850 @@
+//! The execution runtime: universes, rank threads and the `Comm` facade.
+//!
+//! A [`Universe`] plays the role of `mpirun` + `MPI_Init`: it builds the
+//! simulated hardware (the dax device and per-host caches for the CXL
+//! transport, or the NIC fabric for the TCP baseline), spawns one OS thread
+//! per rank and hands each thread a [`Comm`] — the equivalent of
+//! `MPI_COMM_WORLD` — wired to the selected transport and carrying the rank's
+//! virtual clock.
+
+use std::sync::Arc;
+
+use cmpi_fabric::SimClock;
+use cxl_shm::{ArenaConfig, ArenaLayout, CxlShmArena, CxlView, DaxDevice, HostCache};
+
+use crate::coll;
+use crate::config::{TransportConfig, UniverseConfig};
+use crate::error::MpiError;
+use crate::request::{Request, RequestState};
+use crate::topology::HostTopology;
+use crate::transport::cxl::CxlTransport;
+use crate::transport::tcp::{TcpSharedState, TcpTransport};
+use crate::transport::{Transport, TransportStats, WinId};
+use crate::types::{Rank, ReduceOp, Status, Tag};
+use crate::Result;
+
+/// Per-rank summary returned by [`Universe::run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankReport {
+    /// Rank index.
+    pub rank: Rank,
+    /// Host the rank ran on.
+    pub host: usize,
+    /// Final virtual time of the rank, nanoseconds.
+    pub clock_ns: f64,
+    /// Transport operation counters.
+    pub stats: TransportStats,
+}
+
+/// The per-rank communicator handle (the `MPI_COMM_WORLD` equivalent).
+pub struct Comm {
+    transport: Box<dyn Transport>,
+    clock: SimClock,
+    topology: HostTopology,
+}
+
+impl Comm {
+    /// This rank's index.
+    pub fn rank(&self) -> Rank {
+        self.transport.rank()
+    }
+
+    /// Number of ranks in the universe.
+    pub fn size(&self) -> usize {
+        self.transport.size()
+    }
+
+    /// The host this rank runs on.
+    pub fn host(&self) -> usize {
+        self.topology.host_of(self.rank())
+    }
+
+    /// The full host topology.
+    pub fn topology(&self) -> &HostTopology {
+        &self.topology
+    }
+
+    /// Whether this rank is rank 0.
+    pub fn is_root(&self) -> bool {
+        self.rank() == 0
+    }
+
+    /// Transport label (for benchmark output).
+    pub fn transport_label(&self) -> &'static str {
+        self.transport.label()
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual time
+    // ------------------------------------------------------------------
+
+    /// Current virtual time of this rank, nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Charge `ns` nanoseconds of local computation to the virtual clock.
+    pub fn advance_clock(&mut self, ns: f64) {
+        self.clock.advance(ns);
+    }
+
+    /// Transport operation counters.
+    pub fn stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Tell the contention / NIC-sharing models how many communication pairs
+    /// are concurrently active (benchmarks set this to their process count).
+    pub fn set_concurrency_hint(&mut self, pairs: usize) {
+        self.transport.set_concurrency_hint(pairs);
+    }
+
+    // ------------------------------------------------------------------
+    // Two-sided
+    // ------------------------------------------------------------------
+
+    /// Blocking send of `data` to `dst` with `tag`.
+    pub fn send(&mut self, dst: Rank, tag: Tag, data: &[u8]) -> Result<()> {
+        self.transport.send(&mut self.clock, dst, tag, data)
+    }
+
+    /// Blocking receive into `buf`; returns the completion status.
+    pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>, buf: &mut [u8]) -> Result<Status> {
+        self.transport.recv_into(&mut self.clock, src, tag, buf)
+    }
+
+    /// Blocking receive returning an owned payload.
+    pub fn recv_owned(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<(Status, Vec<u8>)> {
+        self.transport.recv_owned(&mut self.clock, src, tag)
+    }
+
+    /// Non-blocking receive attempt returning an owned payload.
+    pub fn try_recv(
+        &mut self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Option<(Status, Vec<u8>)>> {
+        self.transport.try_recv_owned(&mut self.clock, src, tag)
+    }
+
+    /// Non-blocking send (eager: completes immediately once enqueued).
+    pub fn isend(&mut self, dst: Rank, tag: Tag, data: &[u8]) -> Result<Request> {
+        self.transport.send(&mut self.clock, dst, tag, data)?;
+        Ok(Request::send_done(Status::new(self.rank(), tag, data.len())))
+    }
+
+    /// Non-blocking receive: returns a pending request to pass to
+    /// [`Comm::wait`] or [`Comm::test`].
+    pub fn irecv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<Request> {
+        Ok(Request::recv_pending(src, tag))
+    }
+
+    /// Block until the request completes; returns its status. For receive
+    /// requests the payload is then available via [`Request::take_data`].
+    pub fn wait(&mut self, request: &mut Request) -> Result<Status> {
+        match request.state() {
+            RequestState::SendComplete | RequestState::RecvComplete => {
+                request.status().ok_or(MpiError::StaleRequest)
+            }
+            RequestState::Consumed => Err(MpiError::StaleRequest),
+            RequestState::RecvPending => {
+                let (status, data) =
+                    self.transport
+                        .recv_owned(&mut self.clock, request.src, request.tag)?;
+                request.fulfill(status, data);
+                Ok(status)
+            }
+        }
+    }
+
+    /// Test a request for completion without blocking.
+    pub fn test(&mut self, request: &mut Request) -> Result<Option<Status>> {
+        match request.state() {
+            RequestState::SendComplete | RequestState::RecvComplete => {
+                Ok(Some(request.status().ok_or(MpiError::StaleRequest)?))
+            }
+            RequestState::Consumed => Err(MpiError::StaleRequest),
+            RequestState::RecvPending => {
+                match self
+                    .transport
+                    .try_recv_owned(&mut self.clock, request.src, request.tag)?
+                {
+                    Some((status, data)) => {
+                        request.fulfill(status, data);
+                        Ok(Some(status))
+                    }
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+
+    /// Wait for every request in the slice.
+    pub fn wait_all(&mut self, requests: &mut [Request]) -> Result<Vec<Status>> {
+        requests.iter_mut().map(|r| self.wait(r)).collect()
+    }
+
+    /// Combined send + receive (deadlock-safe pairwise exchange).
+    pub fn sendrecv(
+        &mut self,
+        dst: Rank,
+        send_tag: Tag,
+        data: &[u8],
+        src: Rank,
+        recv_tag: Tag,
+    ) -> Result<(Status, Vec<u8>)> {
+        if self.rank() <= dst {
+            self.send(dst, send_tag, data)?;
+            self.recv_owned(Some(src), Some(recv_tag))
+        } else {
+            let received = self.recv_owned(Some(src), Some(recv_tag))?;
+            self.send(dst, send_tag, data)?;
+            Ok(received)
+        }
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&mut self) -> Result<()> {
+        self.transport.barrier(&mut self.clock)
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided
+    // ------------------------------------------------------------------
+
+    /// Collectively allocate an RMA window exposing `size_per_rank` bytes per
+    /// rank (the `MPI_Win_allocate_shared` equivalent over CXL SHM).
+    pub fn win_allocate(&mut self, size_per_rank: usize) -> Result<WinId> {
+        self.transport.win_allocate(&mut self.clock, size_per_rank)
+    }
+
+    /// Collectively free a window.
+    pub fn win_free(&mut self, win: WinId) -> Result<()> {
+        self.transport.win_free(&mut self.clock, win)
+    }
+
+    /// One-sided write into `target`'s window region (`MPI_Put`).
+    pub fn put(&mut self, win: WinId, target: Rank, offset: usize, data: &[u8]) -> Result<()> {
+        self.transport.put(&mut self.clock, win, target, offset, data)
+    }
+
+    /// One-sided read from `target`'s window region (`MPI_Get`).
+    pub fn get(&mut self, win: WinId, target: Rank, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.transport.get(&mut self.clock, win, target, offset, buf)
+    }
+
+    /// One-sided accumulate into `target`'s window region (`MPI_Accumulate`).
+    pub fn accumulate(
+        &mut self,
+        win: WinId,
+        target: Rank,
+        offset: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<()> {
+        self.transport
+            .accumulate(&mut self.clock, win, target, offset, data, op)
+    }
+
+    /// Read this rank's own window region.
+    pub fn win_read_local(&mut self, win: WinId, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.transport
+            .win_read_local(&mut self.clock, win, offset, buf)
+    }
+
+    /// Write this rank's own window region.
+    pub fn win_write_local(&mut self, win: WinId, offset: usize, data: &[u8]) -> Result<()> {
+        self.transport
+            .win_write_local(&mut self.clock, win, offset, data)
+    }
+
+    /// PSCW: expose this rank's window to `origins` (`MPI_Win_post`).
+    pub fn win_post(&mut self, win: WinId, origins: &[Rank]) -> Result<()> {
+        self.transport.post(&mut self.clock, win, origins)
+    }
+
+    /// PSCW: start an access epoch to `targets` (`MPI_Win_start`).
+    pub fn win_start(&mut self, win: WinId, targets: &[Rank]) -> Result<()> {
+        self.transport.start(&mut self.clock, win, targets)
+    }
+
+    /// PSCW: complete the access epoch (`MPI_Win_complete`).
+    pub fn win_complete(&mut self, win: WinId) -> Result<()> {
+        self.transport.complete(&mut self.clock, win)
+    }
+
+    /// PSCW: wait for the exposure epoch to finish (`MPI_Win_wait`).
+    pub fn win_wait(&mut self, win: WinId) -> Result<()> {
+        self.transport.wait(&mut self.clock, win)
+    }
+
+    /// Passive-target exclusive lock on `target`'s window (`MPI_Win_lock`).
+    pub fn win_lock(&mut self, win: WinId, target: Rank) -> Result<()> {
+        self.transport.lock(&mut self.clock, win, target)
+    }
+
+    /// Release the passive-target lock (`MPI_Win_unlock`).
+    pub fn win_unlock(&mut self, win: WinId, target: Rank) -> Result<()> {
+        self.transport.unlock(&mut self.clock, win, target)
+    }
+
+    /// Fence synchronization over the window (`MPI_Win_fence`).
+    pub fn win_fence(&mut self, win: WinId) -> Result<()> {
+        self.transport.fence(&mut self.clock, win)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Broadcast `data` from `root` (binomial tree).
+    pub fn bcast(&mut self, root: Rank, data: &mut Vec<u8>) -> Result<()> {
+        coll::bcast(self.transport.as_mut(), &mut self.clock, root, data)
+    }
+
+    /// Gather every rank's buffer at `root`.
+    pub fn gather(&mut self, root: Rank, send: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        coll::gather(self.transport.as_mut(), &mut self.clock, root, send)
+    }
+
+    /// Scatter one buffer per rank from `root`.
+    pub fn scatter(&mut self, root: Rank, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
+        coll::scatter(self.transport.as_mut(), &mut self.clock, root, chunks)
+    }
+
+    /// Allgather every rank's contribution (ring algorithm).
+    pub fn allgather(&mut self, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
+        coll::allgather(self.transport.as_mut(), &mut self.clock, mine)
+    }
+
+    /// Reduce `f64` values to `root` (binomial tree).
+    pub fn reduce_f64(
+        &mut self,
+        root: Rank,
+        values: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>> {
+        coll::reduce_f64(self.transport.as_mut(), &mut self.clock, root, values, op)
+    }
+
+    /// Allreduce `f64` values in place (recursive doubling).
+    pub fn allreduce_f64(&mut self, values: &mut [f64], op: ReduceOp) -> Result<()> {
+        coll::allreduce_f64(self.transport.as_mut(), &mut self.clock, values, op)
+    }
+
+    /// Reduce-scatter `f64` values; returns this rank's block.
+    pub fn reduce_scatter_f64(&mut self, values: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
+        coll::reduce_scatter_f64(self.transport.as_mut(), &mut self.clock, values, op)
+    }
+}
+
+/// The universe: builds the simulated platform and runs one closure per rank.
+pub struct Universe {
+    config: UniverseConfig,
+}
+
+impl Universe {
+    /// Create a universe from a configuration.
+    pub fn new(config: UniverseConfig) -> Self {
+        Universe { config }
+    }
+
+    /// Run `body` on every rank (one OS thread each) and collect each rank's
+    /// return value and report, ordered by rank.
+    ///
+    /// This is the moral equivalent of
+    /// `mpirun -np <ranks> ./app` with the transport selected by the config.
+    pub fn run<T, F>(config: UniverseConfig, body: F) -> Result<Vec<(T, RankReport)>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync + 'static,
+    {
+        Universe::new(config).launch(body)
+    }
+
+    /// Instance form of [`Universe::run`].
+    pub fn launch<T, F>(&self, body: F) -> Result<Vec<(T, RankReport)>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync + 'static,
+    {
+        let topology = self.config.topology()?;
+        let ranks = topology.ranks();
+        let body = Arc::new(body);
+
+        // Build the per-rank transport constructors up front (everything that
+        // must be shared between ranks), then spawn the rank threads.
+        let mut handles = Vec::with_capacity(ranks);
+        match &self.config.transport {
+            TransportConfig::CxlShm(cxl_config) => {
+                let device = Self::build_device(ranks, cxl_config, &topology)?;
+                let arena_config = ArenaConfig::for_objects(64 + ranks * 4);
+                // One cache (and arena handle) per host; rank 0's host
+                // initialises the arena, the others attach.
+                let mut arenas: Vec<CxlShmArena> = Vec::with_capacity(topology.hosts());
+                for host in 0..topology.hosts() {
+                    let cache = HostCache::new(format!("host{host}"));
+                    let view = CxlView::new(device.clone(), cache);
+                    let arena = if host == topology.host_of(0) {
+                        CxlShmArena::init(view, arena_config)?
+                    } else {
+                        CxlShmArena::attach(view)?
+                    };
+                    arenas.push(arena);
+                }
+                for rank in 0..ranks {
+                    let arena = arenas[topology.host_of(rank)].clone();
+                    let cxl_config = cxl_config.clone();
+                    let topology = topology.clone();
+                    let body = Arc::clone(&body);
+                    handles.push(std::thread::spawn(move || -> Result<(T, RankReport)> {
+                        let transport = CxlTransport::new(rank, ranks, arena, &cxl_config)?;
+                        Self::run_rank(Box::new(transport), topology, rank, body)
+                    }));
+                }
+            }
+            TransportConfig::Tcp(tcp_config) => {
+                let fabric = TcpTransport::build_fabric(tcp_config, &topology);
+                let shared = TcpSharedState::new(ranks);
+                for rank in 0..ranks {
+                    let fabric = fabric.clone();
+                    let shared = Arc::clone(&shared);
+                    let tcp_config = *tcp_config;
+                    let topology = topology.clone();
+                    let body = Arc::clone(&body);
+                    handles.push(std::thread::spawn(move || -> Result<(T, RankReport)> {
+                        let transport =
+                            TcpTransport::new(rank, ranks, fabric, shared, &tcp_config)?;
+                        Self::run_rank(Box::new(transport), topology, rank, body)
+                    }));
+                }
+            }
+        }
+
+        let mut results: Vec<Option<(T, RankReport)>> = (0..ranks).map(|_| None).collect();
+        let mut first_error: Option<MpiError> = None;
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok(pair)) => results[rank] = Some(pair),
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_error
+                        .get_or_insert(MpiError::Transport(format!("rank {rank} panicked")));
+                }
+            };
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(results.into_iter().map(|r| r.expect("all ranks reported")).collect())
+    }
+
+    fn build_device(
+        ranks: usize,
+        cxl_config: &crate::config::CxlShmTransportConfig,
+        topology: &HostTopology,
+    ) -> Result<DaxDevice> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static DEVICE_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let shared_bytes = CxlTransport::required_shared_bytes(ranks, cxl_config);
+        let arena_config = ArenaConfig::for_objects(64 + ranks * 4);
+        let min = ArenaLayout::min_device_size(
+            arena_config.hash,
+            arena_config.max_free_extents,
+            shared_bytes,
+        )?;
+        let size = cxl_config.device_size.unwrap_or(min).max(min);
+        // Round up to the devdax 2 MB mapping alignment.
+        let alignment = 2 * 1024 * 1024;
+        let size = size.div_ceil(alignment) * alignment;
+        let id = DEVICE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let name = format!("cmpi-dax{id}.{}", topology.hosts());
+        Ok(DaxDevice::with_alignment(name, size, alignment)?)
+    }
+
+    fn run_rank<T>(
+        transport: Box<dyn Transport>,
+        topology: HostTopology,
+        rank: Rank,
+        body: Arc<dyn Fn(&mut Comm) -> Result<T> + Send + Sync>,
+    ) -> Result<(T, RankReport)> {
+        let mut comm = Comm {
+            transport,
+            clock: SimClock::new(),
+            topology,
+        };
+        // Every rank enters an initialization barrier before user code runs,
+        // mirroring the end of MPI_Init.
+        comm.barrier()?;
+        let value = body(&mut comm)?;
+        let report = RankReport {
+            rank,
+            host: comm.host(),
+            clock_ns: comm.clock_ns(),
+            stats: comm.stats(),
+        };
+        Ok((value, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UniverseConfig;
+    use cmpi_fabric::cost::TcpNic;
+
+    fn configs(ranks: usize) -> Vec<UniverseConfig> {
+        vec![
+            UniverseConfig::cxl_small(ranks),
+            UniverseConfig::tcp(ranks, TcpNic::StandardEthernet),
+            UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx),
+        ]
+    }
+
+    #[test]
+    fn ping_pong_on_every_transport() {
+        for config in configs(2) {
+            let label = config.transport.label();
+            let results = Universe::run(config, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 7, b"ping")?;
+                    let (status, data) = comm.recv_owned(Some(1), Some(8))?;
+                    assert_eq!(&data, b"pong");
+                    assert_eq!(status.source, 1);
+                } else {
+                    let (status, data) = comm.recv_owned(Some(0), Some(7))?;
+                    assert_eq!(&data, b"ping");
+                    assert_eq!(status.len, 4);
+                    comm.send(0, 8, b"pong")?;
+                }
+                Ok(comm.clock_ns())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(results.len(), 2);
+            for (clock, report) in &results {
+                assert!(*clock > 0.0, "{label}: clock did not advance");
+                assert_eq!(report.clock_ns, *clock);
+            }
+        }
+    }
+
+    #[test]
+    fn wildcard_receive_and_unexpected_messages() {
+        for config in configs(3) {
+            let label = config.transport.label();
+            Universe::run(config, |comm| {
+                match comm.rank() {
+                    0 => {
+                        // Both peers send; receive the tag-2 message first even
+                        // though the tag-1 message may have arrived earlier.
+                        let (s2, d2) = comm.recv_owned(None, Some(2))?;
+                        let (s1, d1) = comm.recv_owned(None, Some(1))?;
+                        assert_eq!(s1.source, 1);
+                        assert_eq!(s2.source, 2);
+                        assert_eq!(d1, vec![1u8; 32]);
+                        assert_eq!(d2, vec![2u8; 32]);
+                    }
+                    1 => comm.send(0, 1, &vec![1u8; 32])?,
+                    2 => {
+                        comm.send(0, 2, &vec![2u8; 32])?;
+                    }
+                    _ => unreachable!(),
+                }
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn isend_irecv_wait_test() {
+        for config in configs(2) {
+            let label = config.transport.label();
+            Universe::run(config, |comm| {
+                if comm.rank() == 0 {
+                    let mut req = comm.irecv(Some(1), Some(5))?;
+                    // Test may or may not complete immediately; wait must.
+                    let _ = comm.test(&mut req)?;
+                    let status = comm.wait(&mut req)?;
+                    assert_eq!(status.len, 16);
+                    let data = req.take_data().unwrap();
+                    assert_eq!(data, vec![9u8; 16]);
+                } else {
+                    let mut req = comm.isend(0, 5, &vec![9u8; 16])?;
+                    assert!(req.is_complete());
+                    comm.wait(&mut req)?;
+                }
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn barrier_and_clock_merge() {
+        for config in configs(4) {
+            let label = config.transport.label();
+            let results = Universe::run(config, |comm| {
+                // Rank 2 does a lot of "compute" before the barrier; everyone's
+                // clock must be at least that much afterwards.
+                if comm.rank() == 2 {
+                    comm.advance_clock(1_000_000.0);
+                }
+                comm.barrier()?;
+                Ok(comm.clock_ns())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+            for (clock, _) in &results {
+                assert!(
+                    *clock >= 1_000_000.0,
+                    "{label}: barrier did not merge clocks ({clock})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_chunked_message_roundtrip() {
+        // 1 KB cells force chunking of a 10 KB message on the CXL transport.
+        let config = UniverseConfig::cxl_small(2);
+        Universe::run(config, |comm| {
+            let payload: Vec<u8> = (0..10_240).map(|i| (i % 251) as u8).collect();
+            if comm.rank() == 0 {
+                comm.send(1, 3, &payload)?;
+            } else {
+                let (status, data) = comm.recv_owned(Some(0), Some(3))?;
+                assert_eq!(status.len, 10_240);
+                assert_eq!(data, payload);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collectives_on_both_transports() {
+        for config in [
+            UniverseConfig::cxl_small(4),
+            UniverseConfig::tcp(4, TcpNic::MellanoxCx6Dx),
+        ] {
+            let label = config.transport.label();
+            Universe::run(config, |comm| {
+                let n = comm.size();
+                let me = comm.rank();
+                // Broadcast.
+                let mut data = if me == 1 { vec![42u8; 64] } else { Vec::new() };
+                comm.bcast(1, &mut data)?;
+                assert_eq!(data, vec![42u8; 64]);
+                // Allgather.
+                let gathered = comm.allgather(&[me as u8; 4])?;
+                for r in 0..n {
+                    assert_eq!(gathered[r], vec![r as u8; 4]);
+                }
+                // Allreduce.
+                let mut values = vec![me as f64, 1.0];
+                comm.allreduce_f64(&mut values, ReduceOp::Sum)?;
+                assert_eq!(values[0], (0..n).map(|r| r as f64).sum::<f64>());
+                assert_eq!(values[1], n as f64);
+                // Reduce.
+                let reduced = comm.reduce_f64(0, &[me as f64 + 1.0], ReduceOp::Max)?;
+                if me == 0 {
+                    assert_eq!(reduced.unwrap(), vec![n as f64]);
+                } else {
+                    assert!(reduced.is_none());
+                }
+                // Gather / scatter.
+                let gathered = comm.gather(2, &[me as u8])?;
+                if me == 2 {
+                    let g = gathered.unwrap();
+                    for r in 0..n {
+                        assert_eq!(g[r], vec![r as u8]);
+                    }
+                }
+                let chunks: Option<Vec<Vec<u8>>> = if me == 0 {
+                    Some((0..n).map(|r| vec![r as u8; 2]).collect())
+                } else {
+                    None
+                };
+                let mine = comm.scatter(0, chunks.as_deref())?;
+                assert_eq!(mine, vec![me as u8; 2]);
+                // Reduce-scatter.
+                let input: Vec<f64> = (0..n * 2).map(|i| i as f64).collect();
+                let block = comm.reduce_scatter_f64(&input, ReduceOp::Sum)?;
+                assert_eq!(block.len(), 2);
+                assert_eq!(block[0], (me * 2) as f64 * n as f64);
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn one_sided_pscw_put_get() {
+        for config in configs(2) {
+            let label = config.transport.label();
+            Universe::run(config, |comm| {
+                let win = comm.win_allocate(4096)?;
+                if comm.rank() == 0 {
+                    // Origin: put into rank 1's window, then get it back.
+                    comm.win_start(win, &[1])?;
+                    comm.put(win, 1, 128, b"one-sided payload")?;
+                    comm.win_complete(win)?;
+                    // Second epoch: read back what the target published.
+                    comm.win_start(win, &[1])?;
+                    let mut buf = vec![0u8; 5];
+                    comm.get(win, 1, 0, &mut buf)?;
+                    assert_eq!(&buf, b"reply");
+                    comm.win_complete(win)?;
+                } else {
+                    comm.win_post(win, &[0])?;
+                    comm.win_wait(win)?;
+                    let mut buf = vec![0u8; 17];
+                    comm.win_read_local(win, 128, &mut buf)?;
+                    assert_eq!(&buf, b"one-sided payload");
+                    comm.win_write_local(win, 0, b"reply")?;
+                    comm.win_post(win, &[0])?;
+                    comm.win_wait(win)?;
+                }
+                comm.win_free(win)?;
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn one_sided_fence_and_accumulate() {
+        for config in configs(4) {
+            let label = config.transport.label();
+            Universe::run(config, move |comm| {
+                let n = comm.size();
+                let win = comm.win_allocate(64)?;
+                comm.win_write_local(win, 0, &crate::pod::f64_to_bytes(&[0.0]))?;
+                comm.win_fence(win)?;
+                // Every rank accumulates 1.0 into rank 0's first slot under a lock.
+                comm.win_lock(win, 0)?;
+                comm.accumulate(win, 0, 0, &[1.0], ReduceOp::Sum)?;
+                comm.win_unlock(win, 0)?;
+                comm.win_fence(win)?;
+                if comm.rank() == 0 {
+                    let mut buf = vec![0u8; 8];
+                    comm.win_read_local(win, 0, &mut buf)?;
+                    let v = crate::pod::bytes_to_f64(&buf)[0];
+                    assert_eq!(v, n as f64, "{label}: accumulate lost updates");
+                }
+                comm.win_free(win)?;
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn window_bounds_and_sync_errors() {
+        let config = UniverseConfig::cxl_small(2);
+        Universe::run(config, |comm| {
+            let win = comm.win_allocate(128)?;
+            if comm.rank() == 0 {
+                assert!(matches!(
+                    comm.put(win, 1, 120, &[0u8; 16]),
+                    Err(MpiError::WindowOutOfBounds { .. })
+                ));
+                assert!(matches!(
+                    comm.win_complete(win),
+                    Err(MpiError::InvalidSyncState(_))
+                ));
+                assert!(matches!(
+                    comm.put(99, 1, 0, &[0u8; 1]),
+                    Err(MpiError::InvalidWindow(99))
+                ));
+            }
+            comm.barrier()?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn truncation_error_on_small_buffer() {
+        let config = UniverseConfig::cxl_small(2);
+        Universe::run(config, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[0u8; 64])?;
+            } else {
+                let mut small = [0u8; 16];
+                assert!(matches!(
+                    comm.recv(Some(0), Some(0), &mut small),
+                    Err(MpiError::Truncation { .. })
+                ));
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let config = UniverseConfig::cxl_small(2);
+        let results = Universe::run(config, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, &[1u8; 100])?;
+                comm.send(1, 0, &[2u8; 200])?;
+            } else {
+                comm.recv_owned(Some(0), Some(0))?;
+                comm.recv_owned(Some(0), Some(0))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(results[0].1.stats.msgs_sent, 2);
+        assert_eq!(results[0].1.stats.bytes_sent, 300);
+        assert_eq!(results[1].1.stats.msgs_received, 2);
+        assert_eq!(results[1].1.stats.bytes_received, 300);
+    }
+
+    #[test]
+    fn invalid_rank_errors() {
+        let config = UniverseConfig::cxl_small(2);
+        Universe::run(config, |comm| {
+            assert!(matches!(
+                comm.send(7, 0, &[0u8; 1]),
+                Err(MpiError::InvalidRank { .. })
+            ));
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn cxl_faster_than_ethernet_for_small_messages() {
+        // The headline claim, at miniature scale: a small-message ping-pong
+        // over CXL SHM finishes with a much smaller virtual clock than over
+        // TCP on the standard Ethernet NIC.
+        let run = |config: UniverseConfig| -> f64 {
+            let results = Universe::run(config, |comm| {
+                if comm.rank() == 0 {
+                    for _ in 0..10 {
+                        comm.send(1, 0, &[0u8; 8])?;
+                        comm.recv_owned(Some(1), Some(0))?;
+                    }
+                } else {
+                    for _ in 0..10 {
+                        comm.recv_owned(Some(0), Some(0))?;
+                        comm.send(0, 0, &[0u8; 8])?;
+                    }
+                }
+                Ok(comm.clock_ns())
+            })
+            .unwrap();
+            results[0].0
+        };
+        let cxl = run(UniverseConfig::cxl_small(2));
+        let eth = run(UniverseConfig::tcp(2, TcpNic::StandardEthernet));
+        assert!(
+            eth > cxl * 5.0,
+            "expected TCP-Ethernet ({eth} ns) to be much slower than CXL ({cxl} ns)"
+        );
+    }
+}

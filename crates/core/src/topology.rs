@@ -1,0 +1,145 @@
+//! Host topology: which simulated host each rank runs on.
+//!
+//! The paper's evaluation platform is two (up to four) dual-socket servers
+//! attached to one CXL pooled-memory platform, with up to 16 ranks per node.
+//! In this reproduction every rank is a thread, but the *host* grouping still
+//! matters: ranks on the same host share a hardware-coherent cache (one
+//! [`cxl_shm::HostCache`]), while ranks on different hosts only share the CXL
+//! memory and must use software coherence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MpiError;
+use crate::types::Rank;
+use crate::Result;
+
+/// Mapping from ranks to hosts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostTopology {
+    host_of: Vec<usize>,
+    hosts: usize,
+}
+
+impl HostTopology {
+    /// Build a topology from an explicit rank→host mapping.
+    pub fn from_mapping(host_of: Vec<usize>) -> Result<Self> {
+        if host_of.is_empty() {
+            return Err(MpiError::InvalidConfig("topology has zero ranks".into()));
+        }
+        let hosts = host_of.iter().copied().max().unwrap() + 1;
+        for h in 0..hosts {
+            if !host_of.contains(&h) {
+                return Err(MpiError::InvalidConfig(format!(
+                    "host {h} has no ranks (hosts must be densely numbered)"
+                )));
+            }
+        }
+        Ok(HostTopology { host_of, hosts })
+    }
+
+    /// Ranks distributed in contiguous blocks over `hosts` hosts (the usual
+    /// `mpirun` block placement; host 0 gets the first `ranks/hosts` ranks).
+    pub fn blocked(ranks: usize, hosts: usize) -> Result<Self> {
+        if ranks == 0 || hosts == 0 || hosts > ranks {
+            return Err(MpiError::InvalidConfig(format!(
+                "invalid topology: {ranks} ranks over {hosts} hosts"
+            )));
+        }
+        let per_host = ranks.div_ceil(hosts);
+        let host_of = (0..ranks).map(|r| (r / per_host).min(hosts - 1)).collect();
+        Ok(HostTopology {
+            host_of,
+            hosts,
+        })
+    }
+
+    /// The paper's default evaluation layout: two hosts, half the ranks on
+    /// each (origin ranks on host 0, target ranks on host 1).
+    pub fn two_hosts(ranks: usize) -> Result<Self> {
+        Self::blocked(ranks, 2.min(ranks))
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.host_of.len()
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Host of a given rank.
+    pub fn host_of(&self, rank: Rank) -> usize {
+        self.host_of[rank]
+    }
+
+    /// All ranks located on `host`.
+    pub fn ranks_on(&self, host: usize) -> Vec<Rank> {
+        self.host_of
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &h)| (h == host).then_some(r))
+            .collect()
+    }
+
+    /// Whether two ranks share a host (and therefore a coherent cache).
+    pub fn same_host(&self, a: Rank, b: Rank) -> bool {
+        self.host_of[a] == self.host_of[b]
+    }
+
+    /// The raw rank→host mapping.
+    pub fn mapping(&self) -> &[usize] {
+        &self.host_of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_placement() {
+        let t = HostTopology::blocked(8, 2).unwrap();
+        assert_eq!(t.mapping(), &[0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(t.hosts(), 2);
+        assert_eq!(t.ranks_on(1), vec![4, 5, 6, 7]);
+        assert!(t.same_host(0, 3));
+        assert!(!t.same_host(0, 4));
+    }
+
+    #[test]
+    fn blocked_uneven() {
+        let t = HostTopology::blocked(5, 2).unwrap();
+        assert_eq!(t.mapping(), &[0, 0, 0, 1, 1]);
+        let t = HostTopology::blocked(7, 3).unwrap();
+        assert_eq!(t.hosts(), 3);
+        assert_eq!(t.ranks(), 7);
+        // Every host gets at least one rank.
+        for h in 0..3 {
+            assert!(!t.ranks_on(h).is_empty());
+        }
+    }
+
+    #[test]
+    fn two_hosts_single_rank() {
+        let t = HostTopology::two_hosts(1).unwrap();
+        assert_eq!(t.hosts(), 1);
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        assert!(HostTopology::blocked(0, 1).is_err());
+        assert!(HostTopology::blocked(4, 0).is_err());
+        assert!(HostTopology::blocked(2, 4).is_err());
+        assert!(HostTopology::from_mapping(vec![]).is_err());
+        assert!(HostTopology::from_mapping(vec![0, 2]).is_err()); // host 1 missing
+    }
+
+    #[test]
+    fn explicit_mapping() {
+        let t = HostTopology::from_mapping(vec![0, 1, 0, 1]).unwrap();
+        assert_eq!(t.hosts(), 2);
+        assert_eq!(t.ranks_on(0), vec![0, 2]);
+    }
+}

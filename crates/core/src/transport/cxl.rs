@@ -1,0 +1,688 @@
+//! The cMPI transport: MPI point-to-point and RMA over CXL memory sharing.
+//!
+//! Everything that crosses ranks lives in CXL shared memory:
+//!
+//! * two-sided messages travel through the SPSC message-cell queue matrix
+//!   ([`crate::queue`]), one queue per (receiver, sender) pair;
+//! * RMA windows, their PSCW flags, bakery locks and fence barrier live in a
+//!   per-window SHM object ([`crate::rma`]);
+//! * the global barrier is the sequence-number barrier of [`crate::barrier`].
+//!
+//! Payload data is published with the software-coherence protocol
+//! (write + flush + fence / fence + flush + read); flags and queue indices use
+//! non-temporal accesses. Costs are charged to the per-rank virtual clock from
+//! the [`CxlCostModel`], with the [`CxlContentionModel`] throttling concurrent
+//! large transfers the way the paper's memory-hierarchy contention does.
+
+use cmpi_fabric::cost::CoherenceMode;
+use cmpi_fabric::{CxlContentionModel, CxlCostModel, SimClock};
+use cxl_shm::{CxlShmArena, ShmObject};
+
+use crate::barrier::SeqBarrier;
+use crate::config::CxlShmTransportConfig;
+use crate::error::MpiError;
+use crate::p2p::{ChunkAssembler, PendingMessage, UnexpectedQueue};
+use crate::queue::{CellHeader, QueueGeometry, QueueMatrix};
+use crate::rma::layout::WINDOW_READY_MAGIC;
+use crate::rma::{BakeryLock, WindowLayout};
+use crate::transport::{Transport, TransportStats, WinId};
+use crate::types::{source_matches, tag_matches, Rank, ReduceOp, Status, Tag};
+use crate::Result;
+
+/// Name of the SHM object holding the global barrier array.
+const BARRIER_OBJECT: &str = "cmpi/init_barrier";
+/// Spin budget for `open_wait` during initialization.
+const OPEN_SPINS: u64 = u64::MAX;
+
+struct WindowState {
+    obj: ShmObject,
+    layout: WindowLayout,
+    fence_barrier: SeqBarrier,
+    /// Origins of the current exposure epoch (set by `post`).
+    exposure_group: Vec<Rank>,
+    /// Targets of the current access epoch (set by `start`).
+    access_group: Vec<Rank>,
+    /// Targets this rank currently holds a passive-target lock on.
+    held_locks: Vec<Rank>,
+}
+
+/// The CXL SHM transport (cMPI proper).
+pub struct CxlTransport {
+    rank: Rank,
+    ranks: usize,
+    arena: CxlShmArena,
+    matrix: QueueMatrix,
+    barrier: SeqBarrier,
+    unexpected: UnexpectedQueue,
+    windows: Vec<Option<WindowState>>,
+    cost: CxlCostModel,
+    contention: CxlContentionModel,
+    coherence: CoherenceMode,
+    active_pairs: usize,
+    stats: TransportStats,
+    cell_payload: usize,
+    poll_cursor: usize,
+}
+
+impl std::fmt::Debug for CxlTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CxlTransport")
+            .field("rank", &self.rank)
+            .field("ranks", &self.ranks)
+            .field("cell_payload", &self.cell_payload)
+            .finish()
+    }
+}
+
+impl CxlTransport {
+    /// Bytes of CXL device memory the queue matrix and barrier need for a
+    /// universe of `ranks` ranks with the given configuration.
+    pub fn required_shared_bytes(ranks: usize, config: &CxlShmTransportConfig) -> usize {
+        let geometry = QueueGeometry {
+            cell_payload: config.cell_size,
+            cells: config.cells_per_queue,
+        };
+        QueueMatrix::required_bytes(ranks, geometry)
+            + SeqBarrier::required_bytes(ranks)
+            + 2 * 64
+            + config.window_headroom
+    }
+
+    /// Build the transport for one rank. Rank 0 creates and formats the shared
+    /// structures; every other rank opens them by name and waits for the ready
+    /// flags — mirroring the root-creates-then-broadcasts flow of the paper.
+    pub fn new(
+        rank: Rank,
+        ranks: usize,
+        arena: CxlShmArena,
+        config: &CxlShmTransportConfig,
+    ) -> Result<Self> {
+        let geometry = QueueGeometry {
+            cell_payload: config.cell_size,
+            cells: config.cells_per_queue,
+        };
+        let matrix_bytes = QueueMatrix::required_bytes(ranks, geometry);
+        let barrier_bytes = SeqBarrier::required_bytes(ranks);
+
+        let (matrix_obj, barrier_obj) = if rank == 0 {
+            let matrix_obj = arena.create(QueueMatrix::OBJECT_NAME, matrix_bytes + 64)?;
+            let barrier_obj = arena.create(BARRIER_OBJECT, barrier_bytes + 64)?;
+            let matrix = QueueMatrix::new(matrix_obj.clone(), ranks, geometry)?;
+            matrix.format_all()?;
+            let barrier = SeqBarrier::new(barrier_obj.clone(), 0, 0, ranks);
+            barrier.format()?;
+            // Raise the ready flags only after formatting is complete.
+            matrix_obj.nt_store_u64_at(matrix_bytes as u64, WINDOW_READY_MAGIC)?;
+            barrier_obj.nt_store_u64_at(barrier_bytes as u64, WINDOW_READY_MAGIC)?;
+            (matrix_obj, barrier_obj)
+        } else {
+            let matrix_obj = arena.open_wait(QueueMatrix::OBJECT_NAME, OPEN_SPINS)?;
+            let barrier_obj = arena.open_wait(BARRIER_OBJECT, OPEN_SPINS)?;
+            matrix_obj.nt_spin_until_at(matrix_bytes as u64, |v| v == WINDOW_READY_MAGIC)?;
+            barrier_obj.nt_spin_until_at(barrier_bytes as u64, |v| v == WINDOW_READY_MAGIC)?;
+            (matrix_obj, barrier_obj)
+        };
+
+        let matrix = QueueMatrix::new(matrix_obj, ranks, geometry)?;
+        let barrier = SeqBarrier::new(barrier_obj, 0, rank, ranks);
+
+        Ok(CxlTransport {
+            rank,
+            ranks,
+            arena,
+            matrix,
+            barrier,
+            unexpected: UnexpectedQueue::new(),
+            windows: Vec::new(),
+            cost: CxlCostModel::default(),
+            contention: CxlContentionModel::default(),
+            coherence: config.coherence,
+            active_pairs: (ranks / 2).max(1),
+            stats: TransportStats::default(),
+            cell_payload: config.cell_size,
+            poll_cursor: 0,
+        })
+    }
+
+    /// Change the coherence mode on the data path (used by ablation benches).
+    pub fn set_coherence(&mut self, mode: CoherenceMode) {
+        self.coherence = mode;
+    }
+
+    /// The cost model in use (exposed for benchmarks).
+    pub fn cost_model(&self) -> &CxlCostModel {
+        &self.cost
+    }
+
+    // ------------------------------------------------------------------
+    // Cost accounting helpers
+    // ------------------------------------------------------------------
+
+    /// Charge a chunk publish. `msg_bytes` is the size of the whole message the
+    /// chunk belongs to: memory-hierarchy contention is driven by the size of
+    /// the concurrent transfers (Section 3.6), not by how the MPI library
+    /// slices them into cells, so the cap degradation is keyed on the message
+    /// while the fair-share floor applies to the bytes actually moved here.
+    fn charge_chunk_write(&self, clock: &mut SimClock, bytes: usize, msg_bytes: usize) {
+        let ideal = self.cost.coherent_write(bytes, self.coherence) + 2.0 * self.cost.nt_access();
+        let cap = self
+            .contention
+            .aggregate_cap_gbps(self.active_pairs, msg_bytes.max(bytes), true);
+        let floor = cmpi_fabric::clock::transfer_ns(bytes, cap / self.active_pairs.max(1) as f64);
+        clock.advance(ideal.max(floor));
+    }
+
+    fn charge_chunk_read(&self, clock: &mut SimClock, bytes: usize, msg_bytes: usize) {
+        let ideal = self.cost.coherent_read(bytes, self.coherence) + 2.0 * self.cost.nt_access();
+        let cap = self
+            .contention
+            .aggregate_cap_gbps(self.active_pairs, msg_bytes.max(bytes), true);
+        let floor = cmpi_fabric::clock::transfer_ns(bytes, cap / self.active_pairs.max(1) as f64);
+        clock.advance(ideal.max(floor));
+    }
+
+    fn charge_rma(&self, clock: &mut SimClock, bytes: usize, write: bool) {
+        let ideal = if write {
+            self.cost.coherent_write(bytes, self.coherence)
+        } else {
+            self.cost.coherent_read(bytes, self.coherence)
+        };
+        let t = self
+            .contention
+            .throttle(self.active_pairs, bytes, ideal, false);
+        clock.advance(self.cost.mpi_overhead() + t);
+    }
+
+    fn window(&self, win: WinId) -> Result<&WindowState> {
+        self.windows
+            .get(win)
+            .and_then(|w| w.as_ref())
+            .ok_or(MpiError::InvalidWindow(win))
+    }
+
+    fn window_mut(&mut self, win: WinId) -> Result<&mut WindowState> {
+        self.windows
+            .get_mut(win)
+            .and_then(|w| w.as_mut())
+            .ok_or(MpiError::InvalidWindow(win))
+    }
+
+    fn check_window_access(state: &WindowState, offset: usize, len: usize) -> Result<()> {
+        if offset + len > state.layout.size_per_rank {
+            return Err(MpiError::WindowOutOfBounds {
+                offset,
+                len,
+                window_len: state.layout.size_per_rank,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_rank(&self, rank: Rank) -> Result<()> {
+        if rank >= self.ranks {
+            return Err(MpiError::InvalidRank {
+                rank,
+                size: self.ranks,
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Two-sided internals
+    // ------------------------------------------------------------------
+
+    /// Pull the next complete message out of the queue from `sender`,
+    /// reassembling chunks if necessary. Returns `None` if that queue is empty.
+    fn poll_queue(&mut self, clock: &mut SimClock, sender: Rank) -> Result<Option<PendingMessage>> {
+        let queue = self.matrix.queue(self.rank, sender);
+        let first = match queue.try_dequeue(clock.now())? {
+            None => return Ok(None),
+            Some(x) => x,
+        };
+        let (header, payload) = first;
+        clock.merge(header.timestamp);
+        let total = header.total_len as usize;
+        self.charge_chunk_read(clock, payload.len() + crate::queue::CELL_HEADER_SIZE, total);
+
+        if header.chunk_offset == 0 && payload.len() == total {
+            self.stats.msgs_received += 1;
+            self.stats.bytes_received += total as u64;
+            return Ok(Some(PendingMessage {
+                status: Status::new(header.src, header.tag, total),
+                data: payload,
+                arrival: clock.now(),
+            }));
+        }
+
+        // Multi-chunk message: the remaining chunks are contiguous in this
+        // queue because the sender finishes one message before the next.
+        let mut assembler = ChunkAssembler::new(header.src, header.tag, total);
+        assembler.add_chunk(header.chunk_offset as usize, &payload, header.timestamp);
+        while !assembler.is_complete() {
+            match queue.try_dequeue(clock.now())? {
+                Some((h, p)) => {
+                    clock.merge(h.timestamp);
+                    self.charge_chunk_read(clock, p.len() + crate::queue::CELL_HEADER_SIZE, total);
+                    assembler.add_chunk(h.chunk_offset as usize, &p, h.timestamp);
+                }
+                None => {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let mut msg = assembler.finish();
+        msg.arrival = clock.now();
+        self.stats.msgs_received += 1;
+        self.stats.bytes_received += total as u64;
+        Ok(Some(msg))
+    }
+
+    /// One matching attempt: search the unexpected queue, then poll the
+    /// relevant incoming queues once.
+    fn try_match_once(
+        &mut self,
+        clock: &mut SimClock,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Option<(Status, Vec<u8>)>> {
+        if let Some(m) = self.unexpected.take_match(src, tag) {
+            clock.merge(m.arrival);
+            clock.advance(self.cost.mpi_overhead());
+            return Ok(Some((m.status, m.data)));
+        }
+        let senders: Vec<Rank> = match src {
+            Some(s) => vec![s],
+            None => {
+                // Round-robin over all senders for fairness.
+                let start = self.poll_cursor;
+                self.poll_cursor = (self.poll_cursor + 1) % self.ranks;
+                (0..self.ranks).map(|i| (start + i) % self.ranks).collect()
+            }
+        };
+        for sender in senders {
+            while let Some(msg) = self.poll_queue(clock, sender)? {
+                let matched =
+                    source_matches(src, msg.status.source) && tag_matches(tag, msg.status.tag);
+                if matched {
+                    clock.advance(self.cost.mpi_overhead());
+                    return Ok(Some((msg.status, msg.data)));
+                }
+                self.unexpected.push(msg);
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Transport for CxlTransport {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.ranks
+    }
+
+    fn send(&mut self, clock: &mut SimClock, dst: Rank, tag: Tag, data: &[u8]) -> Result<()> {
+        self.check_rank(dst)?;
+        clock.advance(self.cost.mpi_overhead());
+        let queue = self.matrix.queue(dst, self.rank);
+        let total = data.len();
+        let mut offset = 0usize;
+        loop {
+            let chunk_end = (offset + self.cell_payload).min(total);
+            let chunk = &data[offset..chunk_end];
+            // Charge the publish cost first, then stamp the cell with the time
+            // at which the data is actually visible.
+            self.charge_chunk_write(clock, chunk.len() + crate::queue::CELL_HEADER_SIZE, total);
+            let header = CellHeader {
+                src: self.rank,
+                tag,
+                total_len: total as u64,
+                chunk_offset: offset as u64,
+                chunk_len: chunk.len() as u32,
+                timestamp: clock.now(),
+            };
+            loop {
+                if queue.try_enqueue(&header, chunk)? {
+                    break;
+                }
+                // Ring full: the receiver is behind. Merge its published
+                // timestamp so our clock reflects the wait, then retry.
+                clock.merge(queue.head_timestamp()?);
+                clock.advance(self.cost.nt_access());
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+            offset = chunk_end;
+            if offset >= total {
+                break;
+            }
+        }
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += total as u64;
+        Ok(())
+    }
+
+    fn recv_owned(
+        &mut self,
+        clock: &mut SimClock,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<(Status, Vec<u8>)> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        loop {
+            if let Some(found) = self.try_match_once(clock, src, tag)? {
+                return Ok(found);
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    fn try_recv_owned(
+        &mut self,
+        clock: &mut SimClock,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Option<(Status, Vec<u8>)>> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        self.try_match_once(clock, src, tag)
+    }
+
+    fn barrier(&mut self, clock: &mut SimClock) -> Result<()> {
+        // Publish + one pass over every peer slot, at minimum.
+        clock.advance((2 + self.ranks.saturating_sub(1)) as f64 * self.cost.nt_access());
+        self.barrier.enter(clock)
+    }
+
+    fn win_allocate(&mut self, clock: &mut SimClock, size_per_rank: usize) -> Result<WinId> {
+        let id = self.windows.len();
+        let layout = WindowLayout::new(self.ranks, size_per_rank);
+        let name = format!("cmpi/win_{id}");
+        // The ready value is tied to the window id so that stale bytes left in
+        // reused device memory by a freed window can never look "ready".
+        let ready_value = WINDOW_READY_MAGIC ^ id as u64;
+        let obj = if self.rank == 0 {
+            let obj = self.arena.create(&name, layout.total_bytes())?;
+            // Zero the synchronization region (flags, locks, fence slots).
+            let sync_start = layout.post_flag_offset(0, 0);
+            let zeros = vec![0u8; layout.total_bytes() - sync_start as usize - 64];
+            obj.write_flush_at(sync_start, &zeros)?;
+            obj.nt_store_u64_at(layout.ready_offset(), ready_value)?;
+            obj
+        } else {
+            let obj = self.arena.open_wait(&name, OPEN_SPINS)?;
+            obj.nt_spin_until_at(layout.ready_offset(), |v| v == ready_value)?;
+            obj
+        };
+        let fence_barrier = SeqBarrier::new(obj.clone(), layout.fence_base(), self.rank, self.ranks);
+        self.windows.push(Some(WindowState {
+            obj,
+            layout,
+            fence_barrier,
+            exposure_group: Vec::new(),
+            access_group: Vec::new(),
+            held_locks: Vec::new(),
+        }));
+        // Window allocation is collective: synchronize before anyone uses it.
+        self.barrier(clock)?;
+        Ok(id)
+    }
+
+    fn win_free(&mut self, clock: &mut SimClock, win: WinId) -> Result<()> {
+        self.window(win)?;
+        self.barrier(clock)?;
+        if self.rank == 0 {
+            self.arena.destroy_by_name(&format!("cmpi/win_{win}"))?;
+        }
+        self.windows[win] = None;
+        Ok(())
+    }
+
+    fn put(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        target: Rank,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<()> {
+        self.check_rank(target)?;
+        let state = self.window(win)?;
+        Self::check_window_access(state, offset, data.len())?;
+        let addr = state.layout.data_offset(target) + offset as u64;
+        state.obj.write_flush_at(addr, data)?;
+        self.charge_rma(clock, data.len(), true);
+        self.stats.puts += 1;
+        self.stats.rma_bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn get(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        target: Rank,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        self.check_rank(target)?;
+        let state = self.window(win)?;
+        Self::check_window_access(state, offset, buf.len())?;
+        let addr = state.layout.data_offset(target) + offset as u64;
+        state.obj.read_coherent_at(addr, buf)?;
+        self.charge_rma(clock, buf.len(), false);
+        self.stats.gets += 1;
+        self.stats.rma_bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    fn accumulate(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        target: Rank,
+        offset: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<()> {
+        self.check_rank(target)?;
+        let bytes = data.len() * 8;
+        let state = self.window(win)?;
+        Self::check_window_access(state, offset, bytes)?;
+        let addr = state.layout.data_offset(target) + offset as u64;
+        let mut current = vec![0u8; bytes];
+        state.obj.read_coherent_at(addr, &mut current)?;
+        let mut values = crate::pod::bytes_to_f64(&current);
+        op.fold_f64(&mut values, data);
+        state.obj.write_flush_at(addr, &crate::pod::f64_to_bytes(&values))?;
+        self.charge_rma(clock, bytes, false);
+        self.charge_rma(clock, bytes, true);
+        self.stats.rma_bytes_written += bytes as u64;
+        Ok(())
+    }
+
+    fn win_read_local(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<()> {
+        let rank = self.rank;
+        let state = self.window(win)?;
+        Self::check_window_access(state, offset, buf.len())?;
+        let addr = state.layout.data_offset(rank) + offset as u64;
+        state.obj.read_coherent_at(addr, buf)?;
+        self.charge_rma(clock, buf.len(), false);
+        Ok(())
+    }
+
+    fn win_write_local(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<()> {
+        let rank = self.rank;
+        let state = self.window(win)?;
+        Self::check_window_access(state, offset, data.len())?;
+        let addr = state.layout.data_offset(rank) + offset as u64;
+        state.obj.write_flush_at(addr, data)?;
+        self.charge_rma(clock, data.len(), true);
+        Ok(())
+    }
+
+    fn post(&mut self, clock: &mut SimClock, win: WinId, origins: &[Rank]) -> Result<()> {
+        for &o in origins {
+            self.check_rank(o)?;
+        }
+        let rank = self.rank;
+        let nt = self.cost.nt_access();
+        let state = self.window_mut(win)?;
+        if !state.exposure_group.is_empty() {
+            return Err(MpiError::InvalidSyncState(
+                "post called while an exposure epoch is already open".into(),
+            ));
+        }
+        for &origin in origins {
+            let off = state.layout.post_flag_offset(origin, rank);
+            state.obj.nt_store_u64_at(off + 8, clock.now().to_bits())?;
+            state.obj.nt_store_u64_at(off, 1)?;
+            clock.advance(2.0 * nt);
+        }
+        state.exposure_group = origins.to_vec();
+        Ok(())
+    }
+
+    fn start(&mut self, clock: &mut SimClock, win: WinId, targets: &[Rank]) -> Result<()> {
+        for &t in targets {
+            self.check_rank(t)?;
+        }
+        let rank = self.rank;
+        let nt = self.cost.nt_access();
+        let state = self.window_mut(win)?;
+        if !state.access_group.is_empty() {
+            return Err(MpiError::InvalidSyncState(
+                "start called while an access epoch is already open".into(),
+            ));
+        }
+        for &target in targets {
+            let off = state.layout.post_flag_offset(rank, target);
+            state.obj.nt_spin_until_at(off, |v| v == 1)?;
+            let ts = f64::from_bits(state.obj.nt_load_u64_at(off + 8)?);
+            clock.merge(ts);
+            // Reset the flag (the origin resets its own post flag).
+            state.obj.nt_store_u64_at(off, 0)?;
+            clock.advance(3.0 * nt);
+        }
+        state.access_group = targets.to_vec();
+        Ok(())
+    }
+
+    fn complete(&mut self, clock: &mut SimClock, win: WinId) -> Result<()> {
+        let rank = self.rank;
+        let nt = self.cost.nt_access();
+        let state = self.window_mut(win)?;
+        if state.access_group.is_empty() {
+            return Err(MpiError::InvalidSyncState(
+                "complete called without a matching start".into(),
+            ));
+        }
+        let targets = std::mem::take(&mut state.access_group);
+        for target in targets {
+            let off = state.layout.complete_flag_offset(target, rank);
+            state.obj.nt_store_u64_at(off + 8, clock.now().to_bits())?;
+            state.obj.nt_store_u64_at(off, 1)?;
+            clock.advance(2.0 * nt);
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, clock: &mut SimClock, win: WinId) -> Result<()> {
+        let rank = self.rank;
+        let nt = self.cost.nt_access();
+        let state = self.window_mut(win)?;
+        if state.exposure_group.is_empty() {
+            return Err(MpiError::InvalidSyncState(
+                "wait called without a matching post".into(),
+            ));
+        }
+        let origins = std::mem::take(&mut state.exposure_group);
+        for origin in origins {
+            let off = state.layout.complete_flag_offset(rank, origin);
+            state.obj.nt_spin_until_at(off, |v| v == 1)?;
+            let ts = f64::from_bits(state.obj.nt_load_u64_at(off + 8)?);
+            clock.merge(ts);
+            // Reset the flag (the target resets its own complete flag).
+            state.obj.nt_store_u64_at(off, 0)?;
+            clock.advance(3.0 * nt);
+        }
+        Ok(())
+    }
+
+    fn lock(&mut self, clock: &mut SimClock, win: WinId, target: Rank) -> Result<()> {
+        self.check_rank(target)?;
+        let rank = self.rank;
+        let ranks = self.ranks;
+        let nt = self.cost.nt_access();
+        let state = self.window_mut(win)?;
+        if state.held_locks.contains(&target) {
+            return Err(MpiError::InvalidSyncState(format!(
+                "lock on target {target} already held"
+            )));
+        }
+        let lock = BakeryLock::new(state.obj.clone(), state.layout.lock_base(target), ranks);
+        let reads = lock.lock(rank)?;
+        // Doorway writes (3 stores) plus every remote read performed.
+        clock.advance((reads as f64 + 3.0) * nt);
+        state.held_locks.push(target);
+        Ok(())
+    }
+
+    fn unlock(&mut self, clock: &mut SimClock, win: WinId, target: Rank) -> Result<()> {
+        self.check_rank(target)?;
+        let rank = self.rank;
+        let ranks = self.ranks;
+        let nt = self.cost.nt_access();
+        let state = self.window_mut(win)?;
+        let Some(pos) = state.held_locks.iter().position(|&t| t == target) else {
+            return Err(MpiError::InvalidSyncState(format!(
+                "unlock on target {target} without a matching lock"
+            )));
+        };
+        let lock = BakeryLock::new(state.obj.clone(), state.layout.lock_base(target), ranks);
+        lock.unlock(rank)?;
+        clock.advance(nt);
+        state.held_locks.remove(pos);
+        Ok(())
+    }
+
+    fn fence(&mut self, clock: &mut SimClock, win: WinId) -> Result<()> {
+        let ranks = self.ranks;
+        let nt = self.cost.nt_access();
+        let state = self.window_mut(win)?;
+        clock.advance((2 + ranks.saturating_sub(1)) as f64 * nt);
+        state.fence_barrier.enter(clock)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn set_concurrency_hint(&mut self, pairs: usize) {
+        self.active_pairs = pairs.max(1);
+    }
+
+    fn label(&self) -> &'static str {
+        "CXL-SHM"
+    }
+}

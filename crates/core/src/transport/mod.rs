@@ -1,0 +1,208 @@
+//! The transport abstraction: two-sided and one-sided primitives that the
+//! [`crate::runtime::Comm`] facade and the collectives are built on.
+//!
+//! Two implementations exist, mirroring the paper's comparison:
+//!
+//! * [`cxl::CxlTransport`] — cMPI proper: the SPSC message-queue matrix, RMA
+//!   windows and synchronization flags all live in CXL shared memory and every
+//!   transfer is a CPU copy published with software cache coherence.
+//! * [`tcp::TcpTransport`] — the baseline: MPI over TCP on a simulated NIC
+//!   (standard Ethernet or SmartNIC), with per-message software-stack costs and
+//!   NIC bandwidth sharing.
+
+pub mod cxl;
+pub mod tcp;
+
+use cmpi_fabric::SimClock;
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Rank, ReduceOp, Status, Tag};
+use crate::Result;
+
+/// Identifier of an allocated RMA window.
+pub type WinId = usize;
+
+/// Operation counters maintained by every transport.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Two-sided messages sent.
+    pub msgs_sent: u64,
+    /// Two-sided payload bytes sent.
+    pub bytes_sent: u64,
+    /// Two-sided messages received.
+    pub msgs_received: u64,
+    /// Two-sided payload bytes received.
+    pub bytes_received: u64,
+    /// One-sided put operations issued.
+    pub puts: u64,
+    /// One-sided get operations issued.
+    pub gets: u64,
+    /// Bytes written by put/accumulate.
+    pub rma_bytes_written: u64,
+    /// Bytes read by get.
+    pub rma_bytes_read: u64,
+}
+
+/// A point-to-point + RMA transport bound to one rank.
+///
+/// Every operation takes the rank's virtual clock and advances it by the
+/// modelled cost of the operation; blocking operations merge the peer's
+/// published timestamps so virtual time stays causally consistent.
+pub trait Transport: Send {
+    /// This rank's index.
+    fn rank(&self) -> Rank;
+    /// Number of ranks in the universe.
+    fn size(&self) -> usize;
+
+    /// Blocking standard-mode send (eager: completes locally once the message
+    /// is handed to the queue / NIC).
+    fn send(&mut self, clock: &mut SimClock, dst: Rank, tag: Tag, data: &[u8]) -> Result<()>;
+
+    /// Blocking receive of the next message matching the selectors, returning
+    /// the payload in a freshly allocated buffer.
+    fn recv_owned(
+        &mut self,
+        clock: &mut SimClock,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<(Status, Vec<u8>)>;
+
+    /// Non-blocking variant of [`Transport::recv_owned`].
+    fn try_recv_owned(
+        &mut self,
+        clock: &mut SimClock,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Option<(Status, Vec<u8>)>>;
+
+    /// Barrier across every rank in the universe.
+    fn barrier(&mut self, clock: &mut SimClock) -> Result<()>;
+
+    // ------------------------------------------------------------------
+    // One-sided (RMA)
+    // ------------------------------------------------------------------
+
+    /// Collectively allocate an RMA window with `size_per_rank` bytes exposed
+    /// by every rank. Every rank must call this in the same order.
+    fn win_allocate(&mut self, clock: &mut SimClock, size_per_rank: usize) -> Result<WinId>;
+
+    /// Collectively free a window.
+    fn win_free(&mut self, clock: &mut SimClock, win: WinId) -> Result<()>;
+
+    /// One-sided write into `target`'s window region.
+    fn put(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        target: Rank,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<()>;
+
+    /// One-sided read from `target`'s window region.
+    fn get(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        target: Rank,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<()>;
+
+    /// One-sided element-wise accumulate of `f64` values into `target`'s
+    /// window region.
+    fn accumulate(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        target: Rank,
+        offset: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<()>;
+
+    /// Read this rank's own window region.
+    fn win_read_local(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        offset: usize,
+        buf: &mut [u8],
+    ) -> Result<()>;
+
+    /// Write this rank's own window region.
+    fn win_write_local(
+        &mut self,
+        clock: &mut SimClock,
+        win: WinId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<()>;
+
+    /// PSCW: open an exposure epoch for the given origin ranks (`MPI_Win_post`).
+    fn post(&mut self, clock: &mut SimClock, win: WinId, origins: &[Rank]) -> Result<()>;
+
+    /// PSCW: open an access epoch to the given target ranks (`MPI_Win_start`).
+    fn start(&mut self, clock: &mut SimClock, win: WinId, targets: &[Rank]) -> Result<()>;
+
+    /// PSCW: close the access epoch (`MPI_Win_complete`).
+    fn complete(&mut self, clock: &mut SimClock, win: WinId) -> Result<()>;
+
+    /// PSCW: close the exposure epoch (`MPI_Win_wait`).
+    fn wait(&mut self, clock: &mut SimClock, win: WinId) -> Result<()>;
+
+    /// Passive-target exclusive lock on `target`'s window.
+    fn lock(&mut self, clock: &mut SimClock, win: WinId, target: Rank) -> Result<()>;
+
+    /// Release the passive-target lock on `target`'s window.
+    fn unlock(&mut self, clock: &mut SimClock, win: WinId, target: Rank) -> Result<()>;
+
+    /// Fence synchronization across all ranks of the window (`MPI_Win_fence`).
+    fn fence(&mut self, clock: &mut SimClock, win: WinId) -> Result<()>;
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Operation counters.
+    fn stats(&self) -> TransportStats;
+
+    /// Hint: how many communication pairs are concurrently active (used by the
+    /// CXL contention model; ignored by transports that do not need it).
+    fn set_concurrency_hint(&mut self, _pairs: usize) {}
+
+    /// Human-readable transport label (used in benchmark output).
+    fn label(&self) -> &'static str;
+
+    /// Blocking receive into a caller-provided buffer, with MPI truncation
+    /// semantics (error if the matched message is longer than the buffer).
+    fn recv_into(
+        &mut self,
+        clock: &mut SimClock,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Status> {
+        let (status, data) = self.recv_owned(clock, src, tag)?;
+        if data.len() > buf.len() {
+            return Err(crate::error::MpiError::Truncation {
+                message_len: data.len(),
+                buffer_len: buf.len(),
+            });
+        }
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_default_is_zero() {
+        let s = TransportStats::default();
+        assert_eq!(s.msgs_sent, 0);
+        assert_eq!(s.rma_bytes_read, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Fundamental MPI-like types: ranks, tags, status, reduction operators.
+
+use serde::{Deserialize, Serialize};
+
+/// Rank index within a communicator (the paper uses "MPI process" and "rank"
+/// interchangeably; so do we).
+pub type Rank = usize;
+
+/// Message tag.
+pub type Tag = i32;
+
+/// Wildcard accepted by receive operations: match any source rank.
+pub const ANY_SOURCE: Option<Rank> = None;
+
+/// Wildcard accepted by receive operations: match any tag.
+pub const ANY_TAG: Option<Tag> = None;
+
+/// Completion information returned by receive and wait operations
+/// (the equivalent of `MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Status {
+    /// Rank the message came from.
+    pub source: Rank,
+    /// Tag the message was sent with.
+    pub tag: Tag,
+    /// Number of payload bytes received.
+    pub len: usize,
+}
+
+impl Status {
+    /// Construct a status record.
+    pub fn new(source: Rank, tag: Tag, len: usize) -> Self {
+        Status { source, tag, len }
+    }
+}
+
+/// Reduction operators supported by the collectives and `accumulate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise product.
+    Prod,
+}
+
+impl ReduceOp {
+    /// Apply the operator to two `f64` operands.
+    pub fn apply_f64(&self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+
+    /// Apply the operator element-wise, accumulating `src` into `dst`.
+    pub fn fold_f64(&self, dst: &mut [f64], src: &[f64]) {
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d = self.apply_f64(*d, *s);
+        }
+    }
+
+    /// Identity element of the operator.
+    pub fn identity_f64(&self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Prod => 1.0,
+        }
+    }
+}
+
+/// Selector helpers for receives.
+pub(crate) fn source_matches(selector: Option<Rank>, actual: Rank) -> bool {
+    selector.map_or(true, |s| s == actual)
+}
+
+/// Selector helpers for receives.
+pub(crate) fn tag_matches(selector: Option<Tag>, actual: Tag) -> bool {
+    selector.map_or(true, |t| t == actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_roundtrip() {
+        let s = Status::new(3, 7, 128);
+        assert_eq!(s.source, 3);
+        assert_eq!(s.tag, 7);
+        assert_eq!(s.len, 128);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.apply_f64(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Max.apply_f64(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Min.apply_f64(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Prod.apply_f64(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn fold_accumulates_elementwise() {
+        let mut dst = vec![1.0, 2.0, 3.0];
+        ReduceOp::Sum.fold_f64(&mut dst, &[10.0, 20.0, 30.0]);
+        assert_eq!(dst, vec![11.0, 22.0, 33.0]);
+        let mut dst = vec![1.0, 5.0];
+        ReduceOp::Max.fold_f64(&mut dst, &[3.0, 2.0]);
+        assert_eq!(dst, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn identities_are_identities() {
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+            let x = 42.5;
+            assert_eq!(op.apply_f64(op.identity_f64(), x), x);
+        }
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        assert!(source_matches(None, 5));
+        assert!(source_matches(Some(5), 5));
+        assert!(!source_matches(Some(4), 5));
+        assert!(tag_matches(None, 9));
+        assert!(tag_matches(Some(9), 9));
+        assert!(!tag_matches(Some(8), 9));
+    }
+}

@@ -1,0 +1,490 @@
+//! Per-host write-back cache simulation.
+//!
+//! The CXL pooled-memory platform used by the paper provides no hardware cache
+//! coherence *between hosts*: a store performed by host A stays in A's CPU
+//! caches until it is written back, and host B may keep serving a stale copy of
+//! the line from its own caches. This module reproduces that behaviour in
+//! software so the layers above (the CXL SHM Arena and the MPI library) must
+//! implement the same software coherence protocol the paper describes —
+//! flush-after-write and invalidate-before-read — for the system to be correct.
+//!
+//! Each simulated host owns one [`HostCache`]. Ranks co-located on a host share
+//! the cache (intra-host accesses are hardware-coherent, as on the real
+//! machine). The cache is a set of 64-byte lines with dirty bits and an
+//! approximate-LRU eviction policy; evicting a dirty line writes it back to the
+//! device segment, mirroring a write-back cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::dax::SharedSegment;
+use crate::Result;
+
+/// Cache line size in bytes (x86).
+pub const CACHE_LINE_SIZE: usize = 64;
+
+/// Default cache capacity in lines (2 MiB, on the order of a per-core L2).
+pub const DEFAULT_CACHE_LINES: usize = 32 * 1024;
+
+/// Counters describing cache behaviour; useful for tests, ablations and the
+/// cost models in `cmpi-fabric`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of line reads served from the cache.
+    pub read_hits: u64,
+    /// Number of line reads that had to fill from the device.
+    pub read_misses: u64,
+    /// Number of line writes that hit an already-present line.
+    pub write_hits: u64,
+    /// Number of line writes that allocated a line (write-allocate).
+    pub write_misses: u64,
+    /// Dirty lines written back because of eviction.
+    pub evictions: u64,
+    /// Dirty lines written back because of an explicit flush.
+    pub flush_writebacks: u64,
+    /// Lines invalidated by an explicit flush (dirty or clean).
+    pub flush_invalidations: u64,
+    /// Bytes stored with non-temporal (cache-bypassing) stores.
+    pub nt_store_bytes: u64,
+    /// Bytes loaded with non-temporal (cache-bypassing) loads.
+    pub nt_load_bytes: u64,
+}
+
+#[derive(Clone)]
+struct Line {
+    data: [u8; CACHE_LINE_SIZE],
+    dirty: bool,
+    /// Logical access tick for approximate LRU.
+    tick: u64,
+}
+
+struct CacheInner {
+    lines: HashMap<u64, Line>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// Write-back cache belonging to one simulated host.
+pub struct HostCache {
+    inner: Mutex<CacheInner>,
+    capacity_lines: usize,
+    name: String,
+}
+
+impl std::fmt::Debug for HostCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("HostCache")
+            .field("name", &self.name)
+            .field("capacity_lines", &self.capacity_lines)
+            .field("resident_lines", &inner.lines.len())
+            .finish()
+    }
+}
+
+impl HostCache {
+    /// Create a cache with the default capacity.
+    pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Self::with_capacity(name, DEFAULT_CACHE_LINES)
+    }
+
+    /// Create a cache that can hold at most `capacity_lines` lines.
+    pub fn with_capacity(name: impl Into<String>, capacity_lines: usize) -> Arc<Self> {
+        Arc::new(HostCache {
+            inner: Mutex::new(CacheInner {
+                lines: HashMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+            capacity_lines: capacity_lines.max(1),
+            name: name.into(),
+        })
+    }
+
+    /// Host name this cache belongs to (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Maximum number of resident lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.capacity_lines
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.inner.lock().lines.len()
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Reset the counters (not the contents).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = CacheStats::default();
+    }
+
+    fn line_base(offset: usize) -> u64 {
+        (offset as u64 / CACHE_LINE_SIZE as u64) * CACHE_LINE_SIZE as u64
+    }
+
+    /// Evict one approximately-least-recently-used line, writing it back to the
+    /// segment if dirty. Sampling a handful of entries keeps eviction O(1).
+    fn evict_one(inner: &mut CacheInner, segment: &SharedSegment) -> Result<()> {
+        let victim = {
+            let mut best: Option<(u64, u64)> = None;
+            for (addr, line) in inner.lines.iter().take(16) {
+                match best {
+                    None => best = Some((*addr, line.tick)),
+                    Some((_, t)) if line.tick < t => best = Some((*addr, line.tick)),
+                    _ => {}
+                }
+            }
+            best.map(|(addr, _)| addr)
+        };
+        if let Some(addr) = victim {
+            if let Some(line) = inner.lines.remove(&addr) {
+                if line.dirty {
+                    segment.write(addr as usize, &line.data)?;
+                    inner.stats.evictions += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn fill_line(
+        inner: &mut CacheInner,
+        segment: &SharedSegment,
+        base: u64,
+        capacity: usize,
+    ) -> Result<()> {
+        while inner.lines.len() >= capacity {
+            Self::evict_one(inner, segment)?;
+        }
+        let mut data = [0u8; CACHE_LINE_SIZE];
+        let avail = segment.len().saturating_sub(base as usize);
+        let take = CACHE_LINE_SIZE.min(avail);
+        segment.read(base as usize, &mut data[..take])?;
+        let tick = inner.tick;
+        inner.lines.insert(
+            base,
+            Line {
+                data,
+                dirty: false,
+                tick,
+            },
+        );
+        Ok(())
+    }
+
+    /// Cached read: lines are filled from the segment on a miss and served from
+    /// the cache afterwards — so a peer host's unflushed (or even flushed but
+    /// locally cached) updates are **not** observed. That is the point.
+    pub fn read(&self, segment: &SharedSegment, offset: usize, buf: &mut [u8]) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        // Bounds are enforced by the segment on fill; also check the full range.
+        if offset + buf.len() > segment.len() {
+            return segment.read(offset, buf); // propagate the OutOfBounds error
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = offset + pos;
+            let base = Self::line_base(addr);
+            let in_line = addr - base as usize;
+            let take = (CACHE_LINE_SIZE - in_line).min(buf.len() - pos);
+            if !inner.lines.contains_key(&base) {
+                inner.stats.read_misses += 1;
+                Self::fill_line(&mut inner, segment, base, self.capacity_lines)?;
+            } else {
+                inner.stats.read_hits += 1;
+            }
+            let line = inner.lines.get_mut(&base).expect("line just ensured");
+            line.tick = tick;
+            buf[pos..pos + take].copy_from_slice(&line.data[in_line..in_line + take]);
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Cached write (write-allocate, write-back): data lands in this host's
+    /// cache only and is **not** visible to other hosts until flushed or
+    /// evicted.
+    pub fn write(&self, segment: &SharedSegment, offset: usize, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        if offset + data.len() > segment.len() {
+            return segment.write(offset, data); // propagate the OutOfBounds error
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = offset + pos;
+            let base = Self::line_base(addr);
+            let in_line = addr - base as usize;
+            let take = (CACHE_LINE_SIZE - in_line).min(data.len() - pos);
+            if !inner.lines.contains_key(&base) {
+                inner.stats.write_misses += 1;
+                Self::fill_line(&mut inner, segment, base, self.capacity_lines)?;
+            } else {
+                inner.stats.write_hits += 1;
+            }
+            let line = inner.lines.get_mut(&base).expect("line just ensured");
+            line.data[in_line..in_line + take].copy_from_slice(&data[pos..pos + take]);
+            line.dirty = true;
+            line.tick = tick;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Flush (write back if dirty, then invalidate) every cache line overlapping
+    /// `[offset, offset+len)`. This models `clflush`/`clflushopt`; the
+    /// *performance* difference between the two is handled by the cost model in
+    /// `cmpi-fabric`, the functional effect is identical.
+    ///
+    /// Returns the number of lines that were flushed.
+    pub fn flush_range(&self, segment: &SharedSegment, offset: usize, len: usize) -> Result<u64> {
+        if len == 0 {
+            return Ok(0);
+        }
+        let mut inner = self.inner.lock();
+        let first = Self::line_base(offset);
+        let last = Self::line_base(offset + len - 1);
+        let mut flushed = 0u64;
+        let mut base = first;
+        while base <= last {
+            if let Some(line) = inner.lines.remove(&base) {
+                if line.dirty {
+                    segment.write(base as usize, &line.data)?;
+                    inner.stats.flush_writebacks += 1;
+                }
+                inner.stats.flush_invalidations += 1;
+                flushed += 1;
+            }
+            base += CACHE_LINE_SIZE as u64;
+        }
+        Ok(flushed)
+    }
+
+    /// Write back and invalidate every resident line (a whole-cache flush, used
+    /// by tests and by `finalize`).
+    pub fn flush_all(&self, segment: &SharedSegment) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let addrs: Vec<u64> = inner.lines.keys().copied().collect();
+        let mut flushed = 0u64;
+        for base in addrs {
+            if let Some(line) = inner.lines.remove(&base) {
+                if line.dirty {
+                    segment.write(base as usize, &line.data)?;
+                    inner.stats.flush_writebacks += 1;
+                }
+                inner.stats.flush_invalidations += 1;
+                flushed += 1;
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Non-temporal store: bypass the cache and write directly to the device,
+    /// invalidating any locally cached copies of the touched lines so later
+    /// cached reads do not resurrect stale data.
+    pub fn nt_store(&self, segment: &SharedSegment, offset: usize, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut inner = self.inner.lock();
+            let first = Self::line_base(offset);
+            let last = Self::line_base(offset + data.len() - 1);
+            let mut base = first;
+            while base <= last {
+                inner.lines.remove(&base);
+                base += CACHE_LINE_SIZE as u64;
+            }
+            inner.stats.nt_store_bytes += data.len() as u64;
+        }
+        segment.write(offset, data)
+    }
+
+    /// Non-temporal load: bypass the cache and read directly from the device.
+    pub fn nt_load(&self, segment: &SharedSegment, offset: usize, buf: &mut [u8]) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut inner = self.inner.lock();
+            inner.stats.nt_load_bytes += buf.len() as u64;
+        }
+        segment.read(offset, buf)
+    }
+
+    /// Drop every resident line without writing anything back. Used by tests to
+    /// model power loss / reset of a host.
+    pub fn discard_all(&self) {
+        self.inner.lock().lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dax::SharedSegment;
+
+    fn seg(len: usize) -> SharedSegment {
+        SharedSegment::new(len)
+    }
+
+    #[test]
+    fn cached_write_not_visible_until_flush() {
+        let segment = seg(4096);
+        let host_a = HostCache::with_capacity("hostA", 128);
+        let host_b = HostCache::with_capacity("hostB", 128);
+
+        host_a.write(&segment, 100, b"hello").unwrap();
+
+        // Host B reads through its own cache: the device still holds zeros.
+        let mut buf = [0u8; 5];
+        host_b.read(&segment, 100, &mut buf).unwrap();
+        assert_eq!(&buf, &[0; 5], "unflushed write must not be visible");
+
+        // After host A flushes, host B still sees its stale cached line...
+        host_a.flush_range(&segment, 100, 5).unwrap();
+        host_b.read(&segment, 100, &mut buf).unwrap();
+        assert_eq!(&buf, &[0; 5], "reader cache still holds the stale line");
+
+        // ...until host B invalidates (flushes) its own copy.
+        host_b.flush_range(&segment, 100, 5).unwrap();
+        host_b.read(&segment, 100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn same_host_sees_own_writes() {
+        let segment = seg(4096);
+        let host = HostCache::with_capacity("host", 128);
+        host.write(&segment, 0, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        host.read(&segment, 0, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nt_store_visible_to_nt_load_immediately() {
+        let segment = seg(4096);
+        let host_a = HostCache::with_capacity("hostA", 128);
+        let host_b = HostCache::with_capacity("hostB", 128);
+        host_a.nt_store(&segment, 64, &[7; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        host_b.nt_load(&segment, 64, &mut buf).unwrap();
+        assert_eq!(buf, [7; 8]);
+    }
+
+    #[test]
+    fn nt_store_invalidates_own_cached_line() {
+        let segment = seg(4096);
+        let host = HostCache::with_capacity("host", 128);
+        // Prime the cache with the old value.
+        let mut buf = [0u8; 8];
+        host.read(&segment, 128, &mut buf).unwrap();
+        // NT store a new value; the cached copy must not shadow it.
+        host.nt_store(&segment, 128, &[9; 8]).unwrap();
+        host.read(&segment, 128, &mut buf).unwrap();
+        assert_eq!(buf, [9; 8]);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_lines() {
+        let segment = seg(64 * 64);
+        // Tiny cache: 4 lines.
+        let host = HostCache::with_capacity("host", 4);
+        // Dirty 32 distinct lines; most must be evicted and written back.
+        for i in 0..32usize {
+            host.write(&segment, i * 64, &[i as u8; 64]).unwrap();
+        }
+        host.flush_all(&segment).unwrap();
+        // Every line must now be visible in the raw segment.
+        for i in 0..32usize {
+            let mut buf = [0u8; 64];
+            segment.read(i * 64, &mut buf).unwrap();
+            assert_eq!(buf, [i as u8; 64], "line {i} lost");
+        }
+        let stats = host.stats();
+        assert!(stats.evictions > 0, "expected at least one eviction");
+    }
+
+    #[test]
+    fn flush_range_spanning_lines() {
+        let segment = seg(4096);
+        let host = HostCache::with_capacity("host", 128);
+        // Write 200 bytes starting mid-line: spans 4 lines.
+        host.write(&segment, 40, &[5u8; 200]).unwrap();
+        let flushed = host.flush_range(&segment, 40, 200).unwrap();
+        assert_eq!(flushed, 4);
+        let mut buf = [0u8; 200];
+        segment.read(40, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 200]);
+    }
+
+    #[test]
+    fn stats_counters_move() {
+        let segment = seg(4096);
+        let host = HostCache::with_capacity("host", 128);
+        let mut buf = [0u8; 64];
+        host.read(&segment, 0, &mut buf).unwrap();
+        host.read(&segment, 0, &mut buf).unwrap();
+        host.write(&segment, 0, &[1; 64]).unwrap();
+        host.flush_range(&segment, 0, 64).unwrap();
+        let s = host.stats();
+        assert_eq!(s.read_misses, 1);
+        assert!(s.read_hits >= 1);
+        assert_eq!(s.write_hits, 1);
+        assert_eq!(s.flush_writebacks, 1);
+        assert_eq!(s.flush_invalidations, 1);
+        host.reset_stats();
+        assert_eq!(host.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn discard_loses_unflushed_writes() {
+        let segment = seg(4096);
+        let host = HostCache::with_capacity("host", 128);
+        host.write(&segment, 0, &[0xEE; 64]).unwrap();
+        host.discard_all();
+        let mut buf = [0u8; 64];
+        segment.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64], "discarded dirty data must not reach memory");
+    }
+
+    #[test]
+    fn read_partial_line_at_end_of_device() {
+        // Device smaller than a cache line: fills must clamp.
+        let segment = seg(48);
+        let host = HostCache::with_capacity("host", 8);
+        host.write(&segment, 0, &[3u8; 48]).unwrap();
+        let mut buf = [0u8; 48];
+        host.read(&segment, 0, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 48]);
+    }
+
+    #[test]
+    fn out_of_bounds_propagates() {
+        let segment = seg(64);
+        let host = HostCache::with_capacity("host", 8);
+        let mut buf = [0u8; 16];
+        assert!(host.read(&segment, 60, &mut buf).is_err());
+        assert!(host.write(&segment, 60, &buf).is_err());
+    }
+}

@@ -1,0 +1,472 @@
+//! Software cache-coherence operations and the per-host [`CxlView`].
+//!
+//! Section 3.5 of the paper chooses *software-based cache coherence* for the
+//! CXL shared memory: after every write the writer executes a cache-line flush
+//! (`clflush`/`clflushopt`) followed by a store fence, and before every read the
+//! reader executes a fence followed by a flush so stale or prefetched lines are
+//! invalidated. Synchronization flags and queue head/tail pointers instead use
+//! non-temporal loads/stores that bypass the cache entirely. The alternative —
+//! marking the region uncacheable via MTRRs — is functionally correct but much
+//! slower for anything larger than a couple of cache lines (Figure 11).
+//!
+//! [`CxlView`] is the handle a host (and every rank on it) uses to access a dax
+//! device. It combines the device segment, the host's simulated cache, a cache
+//! policy (write-back vs uncacheable) and traffic counters that the performance
+//! models in `cmpi-fabric` translate into simulated time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::cache::{HostCache, CACHE_LINE_SIZE};
+use crate::dax::{DaxDevice, SharedSegment};
+use crate::Result;
+
+/// Which flush instruction a software-coherence operation models.
+///
+/// Functionally the two are identical (write back + invalidate); the cost model
+/// charges `clflushopt` less because it flushes multiple lines in parallel
+/// (Section 4.5 / Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushKind {
+    /// Serialising `clflush`.
+    Clflush,
+    /// Optimised, parallel `clflushopt`.
+    Clflushopt,
+}
+
+/// Memory fences tracked by the view; they only matter for the cost model and
+/// ordering statistics — the functional simulation is sequentially consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FenceKind {
+    /// Store fence (`sfence`).
+    Sfence,
+    /// Load fence (`lfence`).
+    Lfence,
+    /// Full fence (`mfence`).
+    Mfence,
+}
+
+/// Cacheability policy for a mapping, mirroring the MTRR configuration the
+/// paper experiments with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CachePolicy {
+    /// Write-back cacheable mapping (default); requires software coherence.
+    #[default]
+    WriteBack,
+    /// Uncacheable mapping: every access goes straight to the device.
+    Uncacheable,
+}
+
+/// Counters of coherence-relevant traffic issued through a [`CxlView`].
+///
+/// The counters are cumulative and shared between clones of the view (one view
+/// is typically shared by all ranks of a host).
+#[derive(Debug, Default)]
+pub struct CoherenceCounters {
+    /// Bytes written through the cached path.
+    pub bytes_written: AtomicU64,
+    /// Bytes read through the cached path.
+    pub bytes_read: AtomicU64,
+    /// Bytes written through non-temporal stores.
+    pub nt_bytes_written: AtomicU64,
+    /// Bytes read through non-temporal loads.
+    pub nt_bytes_read: AtomicU64,
+    /// Cache lines flushed with `clflush`.
+    pub clflush_lines: AtomicU64,
+    /// Cache lines flushed with `clflushopt`.
+    pub clflushopt_lines: AtomicU64,
+    /// Fences executed.
+    pub fences: AtomicU64,
+    /// Accesses performed while the mapping was uncacheable.
+    pub uncacheable_accesses: AtomicU64,
+}
+
+/// A point-in-time copy of [`CoherenceCounters`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceSnapshot {
+    /// Bytes written through the cached path.
+    pub bytes_written: u64,
+    /// Bytes read through the cached path.
+    pub bytes_read: u64,
+    /// Bytes written through non-temporal stores.
+    pub nt_bytes_written: u64,
+    /// Bytes read through non-temporal loads.
+    pub nt_bytes_read: u64,
+    /// Cache lines flushed with `clflush`.
+    pub clflush_lines: u64,
+    /// Cache lines flushed with `clflushopt`.
+    pub clflushopt_lines: u64,
+    /// Fences executed.
+    pub fences: u64,
+    /// Accesses performed while the mapping was uncacheable.
+    pub uncacheable_accesses: u64,
+}
+
+impl CoherenceCounters {
+    fn snapshot(&self) -> CoherenceSnapshot {
+        CoherenceSnapshot {
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            nt_bytes_written: self.nt_bytes_written.load(Ordering::Relaxed),
+            nt_bytes_read: self.nt_bytes_read.load(Ordering::Relaxed),
+            clflush_lines: self.clflush_lines.load(Ordering::Relaxed),
+            clflushopt_lines: self.clflushopt_lines.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            uncacheable_accesses: self.uncacheable_accesses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Number of cache lines touched by a byte range.
+pub fn lines_spanned(offset: usize, len: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = offset / CACHE_LINE_SIZE;
+    let last = (offset + len - 1) / CACHE_LINE_SIZE;
+    (last - first + 1) as u64
+}
+
+/// Per-host view of a dax device ("the mmap of `/dev/daxX.Y`").
+///
+/// All ranks running on the same simulated host should share a clone of the
+/// same `CxlView`, so that they also share the host cache — exactly as
+/// co-located processes share the CPU caches of their socket.
+#[derive(Clone)]
+pub struct CxlView {
+    device: DaxDevice,
+    segment: Arc<SharedSegment>,
+    cache: Arc<HostCache>,
+    policy: CachePolicy,
+    counters: Arc<CoherenceCounters>,
+    default_flush: FlushKind,
+}
+
+impl std::fmt::Debug for CxlView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CxlView")
+            .field("device", &self.device.name())
+            .field("host_cache", &self.cache.name())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl CxlView {
+    /// Map a device on a host. The cache should be shared by every view created
+    /// for the same host.
+    pub fn new(device: DaxDevice, cache: Arc<HostCache>) -> Self {
+        let segment = device.segment();
+        CxlView {
+            device,
+            segment,
+            cache,
+            policy: CachePolicy::WriteBack,
+            counters: Arc::new(CoherenceCounters::default()),
+            default_flush: FlushKind::Clflushopt,
+        }
+    }
+
+    /// Change the cacheability policy (MTRR reconfiguration). Returns `self`
+    /// for builder-style use.
+    pub fn with_policy(mut self, policy: CachePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Select which flush instruction `write_flush`/`read_coherent` model.
+    pub fn with_flush_kind(mut self, kind: FlushKind) -> Self {
+        self.default_flush = kind;
+        self
+    }
+
+    /// The device this view maps.
+    pub fn device(&self) -> &DaxDevice {
+        &self.device
+    }
+
+    /// Size of the mapped device in bytes.
+    pub fn len(&self) -> usize {
+        self.segment.len()
+    }
+
+    /// Whether the mapped device has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.segment.len() == 0
+    }
+
+    /// The cacheability policy in force.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// The flush instruction used by the coherent helpers.
+    pub fn default_flush(&self) -> FlushKind {
+        self.default_flush
+    }
+
+    /// The host cache backing this view.
+    pub fn cache(&self) -> &Arc<HostCache> {
+        &self.cache
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn counters(&self) -> CoherenceSnapshot {
+        self.counters.snapshot()
+    }
+
+    // ------------------------------------------------------------------
+    // Raw (cacheability-policy-respecting) accesses
+    // ------------------------------------------------------------------
+
+    /// Plain store. Under `WriteBack` the data lands in the host cache and is
+    /// *not* visible to other hosts until flushed; under `Uncacheable` it goes
+    /// straight to the device.
+    pub fn write(&self, offset: usize, data: &[u8]) -> Result<()> {
+        match self.policy {
+            CachePolicy::WriteBack => {
+                self.counters
+                    .bytes_written
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                self.cache.write(&self.segment, offset, data)
+            }
+            CachePolicy::Uncacheable => {
+                self.counters
+                    .uncacheable_accesses
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_written
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                self.segment.write(offset, data)
+            }
+        }
+    }
+
+    /// Plain load, symmetric to [`CxlView::write`].
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        match self.policy {
+            CachePolicy::WriteBack => {
+                self.counters
+                    .bytes_read
+                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                self.cache.read(&self.segment, offset, buf)
+            }
+            CachePolicy::Uncacheable => {
+                self.counters
+                    .uncacheable_accesses
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_read
+                    .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                self.segment.read(offset, buf)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Software coherence protocol
+    // ------------------------------------------------------------------
+
+    /// Flush (write back + invalidate) the cache lines covering a range, using
+    /// the given instruction. A no-op under the uncacheable policy.
+    pub fn flush(&self, offset: usize, len: usize, kind: FlushKind) -> Result<()> {
+        if self.policy == CachePolicy::Uncacheable {
+            return Ok(());
+        }
+        let lines = lines_spanned(offset, len);
+        match kind {
+            FlushKind::Clflush => self
+                .counters
+                .clflush_lines
+                .fetch_add(lines, Ordering::Relaxed),
+            FlushKind::Clflushopt => self
+                .counters
+                .clflushopt_lines
+                .fetch_add(lines, Ordering::Relaxed),
+        };
+        self.cache.flush_range(&self.segment, offset, len)?;
+        Ok(())
+    }
+
+    /// Execute a fence. Functionally a no-op (the simulation is sequentially
+    /// consistent); recorded for the cost model.
+    pub fn fence(&self, _kind: FenceKind) {
+        self.counters.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Coherent publish: write, flush the written lines, then `sfence` — the
+    /// paper's "after every write" protocol.
+    pub fn write_flush(&self, offset: usize, data: &[u8]) -> Result<()> {
+        self.write(offset, data)?;
+        self.flush(offset, data.len(), self.default_flush)?;
+        self.fence(FenceKind::Sfence);
+        Ok(())
+    }
+
+    /// Coherent read: `lfence`, flush (to drop any stale/prefetched copy), then
+    /// read — the paper's "before every read" protocol.
+    pub fn read_coherent(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.fence(FenceKind::Lfence);
+        self.flush(offset, buf.len(), self.default_flush)?;
+        self.read(offset, buf)
+    }
+
+    // ------------------------------------------------------------------
+    // Non-temporal accesses (synchronization flags, queue pointers)
+    // ------------------------------------------------------------------
+
+    /// Non-temporal store of raw bytes: bypasses the cache and is immediately
+    /// visible to every host.
+    pub fn nt_store(&self, offset: usize, data: &[u8]) -> Result<()> {
+        self.counters
+            .nt_bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.cache.nt_store(&self.segment, offset, data)
+    }
+
+    /// Non-temporal load of raw bytes.
+    pub fn nt_load(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.counters
+            .nt_bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.cache.nt_load(&self.segment, offset, buf)
+    }
+
+    /// Non-temporal store of a little-endian `u64` (flag / queue pointer).
+    pub fn nt_store_u64(&self, offset: usize, value: u64) -> Result<()> {
+        self.nt_store(offset, &value.to_le_bytes())
+    }
+
+    /// Non-temporal load of a little-endian `u64`.
+    pub fn nt_load_u64(&self, offset: usize) -> Result<u64> {
+        let mut buf = [0u8; 8];
+        self.nt_load(offset, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Spin until the `u64` at `offset` satisfies `pred`, using non-temporal
+    /// loads. Yields the observed value. This is the building block for the
+    /// flag-based synchronization in Section 3.4.
+    pub fn nt_spin_until(&self, offset: usize, mut pred: impl FnMut(u64) -> bool) -> Result<u64> {
+        loop {
+            let v = self.nt_load_u64(offset)?;
+            if pred(v) {
+                return Ok(v);
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::HostCache;
+    use crate::dax::DaxDevice;
+
+    fn two_hosts() -> (CxlView, CxlView) {
+        let dev = DaxDevice::with_alignment("dax-test", 1 << 16, 4096).unwrap();
+        let a = CxlView::new(dev.clone(), HostCache::with_capacity("hostA", 256));
+        let b = CxlView::new(dev, HostCache::with_capacity("hostB", 256));
+        (a, b)
+    }
+
+    #[test]
+    fn lines_spanned_counts() {
+        assert_eq!(lines_spanned(0, 0), 0);
+        assert_eq!(lines_spanned(0, 1), 1);
+        assert_eq!(lines_spanned(0, 64), 1);
+        assert_eq!(lines_spanned(0, 65), 2);
+        assert_eq!(lines_spanned(63, 2), 2);
+        assert_eq!(lines_spanned(64, 64), 1);
+        assert_eq!(lines_spanned(10, 128), 3);
+    }
+
+    #[test]
+    fn stale_read_without_protocol() {
+        let (a, b) = two_hosts();
+        a.write(0, b"fresh!").unwrap();
+        // Reader primed its cache earlier.
+        let mut buf = [0u8; 6];
+        b.read(0, &mut buf).unwrap();
+        assert_eq!(&buf, &[0u8; 6]);
+        // Writer never flushed: even a coherent read on B sees zeros.
+        b.read_coherent(0, &mut buf).unwrap();
+        assert_eq!(&buf, &[0u8; 6]);
+    }
+
+    #[test]
+    fn write_flush_read_coherent_roundtrip() {
+        let (a, b) = two_hosts();
+        a.write_flush(128, b"payload").unwrap();
+        let mut buf = [0u8; 7];
+        b.read_coherent(128, &mut buf).unwrap();
+        assert_eq!(&buf, b"payload");
+    }
+
+    #[test]
+    fn uncacheable_policy_skips_cache() {
+        let dev = DaxDevice::with_alignment("dax-uc", 1 << 16, 4096).unwrap();
+        let a = CxlView::new(dev.clone(), HostCache::with_capacity("hostA", 256))
+            .with_policy(CachePolicy::Uncacheable);
+        let b = CxlView::new(dev, HostCache::with_capacity("hostB", 256))
+            .with_policy(CachePolicy::Uncacheable);
+        a.write(0, &[0xAB; 32]).unwrap();
+        let mut buf = [0u8; 32];
+        b.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0xAB; 32]);
+        assert!(a.counters().uncacheable_accesses >= 1);
+    }
+
+    #[test]
+    fn nt_flag_visible_across_hosts() {
+        let (a, b) = two_hosts();
+        a.nt_store_u64(4096, 77).unwrap();
+        assert_eq!(b.nt_load_u64(4096).unwrap(), 77);
+    }
+
+    #[test]
+    fn nt_spin_until_sees_update() {
+        let (a, b) = two_hosts();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            a.nt_store_u64(2048, 5).unwrap();
+        });
+        let v = b.nt_spin_until(2048, |v| v >= 5).unwrap();
+        assert_eq!(v, 5);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (a, _b) = two_hosts();
+        a.write_flush(0, &[1u8; 130]).unwrap();
+        a.fence(FenceKind::Mfence);
+        let snap = a.counters();
+        assert_eq!(snap.bytes_written, 130);
+        assert_eq!(snap.clflushopt_lines, lines_spanned(0, 130));
+        assert_eq!(snap.fences, 2); // sfence from write_flush + explicit mfence
+    }
+
+    #[test]
+    fn clflush_kind_counted_separately() {
+        let (a, _b) = two_hosts();
+        let a = a.with_flush_kind(FlushKind::Clflush);
+        a.write_flush(0, &[1u8; 64]).unwrap();
+        let snap = a.counters();
+        assert_eq!(snap.clflush_lines, 1);
+        assert_eq!(snap.clflushopt_lines, 0);
+    }
+
+    #[test]
+    fn same_view_clones_share_cache_and_counters() {
+        let (a, _b) = two_hosts();
+        let a2 = a.clone();
+        a.write(0, &[9; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        a2.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [9; 8]);
+        assert_eq!(a2.counters().bytes_written, 8);
+    }
+}

@@ -1,0 +1,49 @@
+//! # cxl-shm — simulated CXL pooled-memory substrate and CXL SHM Arena
+//!
+//! This crate provides every piece of the CXL memory-sharing substrate that the
+//! cMPI paper relies on, rebuilt as a software simulation so the rest of the
+//! system can run without a physical CXL pooled-memory platform:
+//!
+//! * [`dax`] — a simulated Direct Access (dax) device: a byte-addressable shared
+//!   segment with a device registry standing in for the CXL driver + `daxctl`.
+//! * [`cache`] — a per-host write-back cache simulator. Hosts do **not** see each
+//!   other's cached writes, which reproduces the paper's central hazard: CXL
+//!   memory sharing without hardware inter-host cache coherence.
+//! * [`coherence`] — software cache-coherence operations (`clflush`,
+//!   `clflushopt`, store/load fences, non-temporal accesses) and MTRR-style
+//!   uncacheable mappings, exposed through a per-host [`coherence::CxlView`].
+//! * [`layout`] — the on-device layout of the CXL SHM Arena (header, metadata
+//!   hash region, object region).
+//! * [`multilevel_hash`] — the fixed-capacity multi-level hash index used to map
+//!   object names to offsets (Section 3.1/3.7 of the paper).
+//! * [`alloc`] — the object-region allocator (first-fit free list with
+//!   coalescing, cacheline-aligned allocations).
+//! * [`arena`] — the CXL SHM Arena itself, exposing the POSIX-SHM-like API of
+//!   Table 2 (`init`, `finalize`, `create`, `open`, `destroy`, `close`).
+//!
+//! The simulation is functional, not just a performance model: if a caller
+//! forgets a flush after a write, or an invalidate before a read, a peer host
+//! really does observe stale data. Tests in this crate and in `cmpi-core`
+//! exercise exactly those failure modes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc;
+pub mod arena;
+pub mod cache;
+pub mod coherence;
+pub mod dax;
+pub mod error;
+pub mod layout;
+pub mod multilevel_hash;
+
+pub use arena::{ArenaConfig, CxlShmArena, ShmObject};
+pub use cache::{CacheStats, HostCache, CACHE_LINE_SIZE};
+pub use coherence::{CachePolicy, CxlView, FenceKind, FlushKind};
+pub use dax::{DaxDevice, DaxRegistry, SharedSegment};
+pub use error::ShmError;
+pub use layout::ArenaLayout;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, ShmError>;

@@ -1,0 +1,38 @@
+//! # cmpi-fabric — interconnect performance models and virtual time
+//!
+//! The cMPI paper measures a real CXL pooled-memory platform against real NICs.
+//! This reproduction has neither, so performance is produced by *models* whose
+//! anchor constants are the paper's own measurements (Table 1 and Sections 2.2,
+//! 4.2–4.5) and whose dynamics (per-message overheads, packetization, cache-line
+//! flush counts, PCIe transaction splitting, memory-hierarchy contention) follow
+//! the mechanisms the paper describes.
+//!
+//! Modules:
+//!
+//! * [`clock`] — per-rank virtual clocks and timestamp helpers. Simulated time
+//!   is decoupled from wall-clock time: the functional system runs at full
+//!   speed while each operation charges its modelled cost to the local clock.
+//! * [`params`] — every calibration constant, in one place, each one citing the
+//!   paper location it comes from.
+//! * [`profiles`] — the eight interconnect cases of Table 1.
+//! * [`cost`] — cost models: CPU copies, software cache-coherence flushes,
+//!   uncacheable (MTRR) access, and TCP/NIC message costs.
+//! * [`contention`] — the memory-hierarchy contention model that makes CXL
+//!   bandwidth sag for large messages under many concurrent processes.
+//! * [`table1`] — assembles the Table 1 rows from the models (used by the
+//!   `table1_interconnects` bench binary).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod contention;
+pub mod cost;
+pub mod params;
+pub mod profiles;
+pub mod table1;
+
+pub use clock::{SimClock, SimNs};
+pub use contention::CxlContentionModel;
+pub use cost::{CoherenceMode, CxlCostModel, TcpCostModel};
+pub use profiles::{InterconnectKind, InterconnectProfile};

@@ -1,0 +1,166 @@
+//! Reconstruction of Table 1: memory-access latency and bandwidth over the
+//! eight interconnect/protocol cases.
+//!
+//! The `table1_interconnects` binary in `cmpi-bench` prints these rows. For the
+//! two CXL rows the latency is produced by the memset cost model (the same
+//! micro-benchmark methodology as the paper, Section 2.2) rather than read back
+//! from the anchor constants, so the test below double-checks that the
+//! mechanistic model actually lands on the anchored values.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{CoherenceMode, CxlCostModel};
+use crate::profiles::{InterconnectKind, InterconnectProfile};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Interconnect case.
+    pub kind: InterconnectKind,
+    /// Row label as printed in the paper.
+    pub name: String,
+    /// 8-byte access latency, nanoseconds.
+    pub latency_ns: f64,
+    /// Peak bandwidth, MB/s.
+    pub bandwidth_mbps: f64,
+}
+
+impl Table1Row {
+    /// Format the latency the way the paper does (ns below 1 µs, µs above).
+    pub fn latency_display(&self) -> String {
+        if self.latency_ns < 1000.0 {
+            format!("{:.0} ns", self.latency_ns)
+        } else {
+            format!("{:.1} us", self.latency_ns / 1000.0)
+        }
+    }
+
+    /// Format the bandwidth the way the paper does (MB/s below 1 GB/s).
+    pub fn bandwidth_display(&self) -> String {
+        if self.bandwidth_mbps < 1000.0 {
+            format!("{:.1} MB/s", self.bandwidth_mbps)
+        } else {
+            format!("{:.1} GB/s", self.bandwidth_mbps / 1000.0)
+        }
+    }
+}
+
+/// Build all eight rows of Table 1.
+pub fn build_table1() -> Vec<Table1Row> {
+    let cxl = CxlCostModel::default();
+    InterconnectKind::all()
+        .into_iter()
+        .map(|kind| {
+            let profile = InterconnectProfile::of(kind);
+            let latency_ns = match kind {
+                // The CXL rows come out of the memset model with an 8-byte
+                // payload, reproducing the micro-benchmark methodology.
+                InterconnectKind::CxlShmCached => cxl.memset_latency(8, CoherenceMode::Cached),
+                InterconnectKind::CxlShmFlushed => {
+                    cxl.memset_latency(8, CoherenceMode::FlushClflushopt)
+                }
+                _ => profile.latency_ns,
+            };
+            Table1Row {
+                kind,
+                name: profile.name.clone(),
+                latency_ns,
+                bandwidth_mbps: profile.bandwidth_mbps(),
+            }
+        })
+        .collect()
+}
+
+/// Render the table as aligned plain text (used by the bench binary).
+pub fn render_table1() -> String {
+    let rows = build_table1();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<55} {:>12} {:>12}\n",
+        "Arch Type", "Latency", "Bandwidth"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<55} {:>12} {:>12}\n",
+            row.name,
+            row.latency_display(),
+            row.bandwidth_display()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_eight_rows_in_order() {
+        let rows = build_table1();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].kind, InterconnectKind::MainMemory);
+        assert_eq!(rows[7].kind, InterconnectKind::CxlShmFlushed);
+    }
+
+    #[test]
+    fn cxl_rows_land_near_paper_anchors() {
+        let rows = build_table1();
+        let cached = rows
+            .iter()
+            .find(|r| r.kind == InterconnectKind::CxlShmCached)
+            .unwrap();
+        let flushed = rows
+            .iter()
+            .find(|r| r.kind == InterconnectKind::CxlShmFlushed)
+            .unwrap();
+        // Paper: 790 ns cached, 2.2 µs flushed.
+        assert!((700.0..900.0).contains(&cached.latency_ns), "{}", cached.latency_ns);
+        assert!(
+            (2000.0..3000.0).contains(&flushed.latency_ns),
+            "{}",
+            flushed.latency_ns
+        );
+        // Observation 3: flushing costs ≈2.8×.
+        let ratio = flushed.latency_ns / cached.latency_ns;
+        assert!((2.4..3.4).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn headline_observation_1_holds() {
+        // CXL flushed latency is 7.2×–8.1× lower than the TCP interconnects.
+        let rows = build_table1();
+        let get = |k| {
+            rows.iter()
+                .find(|r| r.kind == k)
+                .map(|r| r.latency_ns)
+                .unwrap()
+        };
+        let cxl = get(InterconnectKind::CxlShmFlushed);
+        let eth_ratio = get(InterconnectKind::TcpEthernet) / cxl;
+        let mlx_ratio = get(InterconnectKind::TcpMellanoxCx6Dx) / cxl;
+        assert!(eth_ratio > 5.0 && eth_ratio < 10.0, "{eth_ratio}");
+        assert!(mlx_ratio > 6.0 && mlx_ratio < 11.0, "{mlx_ratio}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let rows = build_table1();
+        let mm = &rows[0];
+        assert!(mm.latency_display().contains("ns"));
+        assert!(mm.bandwidth_display().contains("GB/s"));
+        let eth = rows
+            .iter()
+            .find(|r| r.kind == InterconnectKind::TcpEthernet)
+            .unwrap();
+        assert!(eth.latency_display().contains("us"));
+        assert!(eth.bandwidth_display().contains("MB/s"));
+    }
+
+    #[test]
+    fn render_contains_every_row_name() {
+        let s = render_table1();
+        for row in build_table1() {
+            assert!(s.contains(&row.name));
+        }
+    }
+}

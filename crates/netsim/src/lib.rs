@@ -1,0 +1,26 @@
+//! # cmpi-netsim — simulated TCP/NIC network substrate
+//!
+//! The cMPI paper compares its CXL-SHM transport against MPI running over TCP,
+//! once on a standard Ethernet NIC and once on a Mellanox ConnectX-6 Dx
+//! SmartNIC. Neither NIC (nor a second machine) is available here, so this
+//! crate provides the baseline substrate as a simulation with two halves:
+//!
+//! * **Functional**: endpoints exchange real byte payloads over in-process
+//!   channels, so the baseline MPI transport in `cmpi-core` passes the same
+//!   correctness tests as the CXL transport.
+//! * **Temporal**: each send is charged the cost of the kernel TCP stack, the
+//!   per-packet work, intermediate-buffer copies, NIC serialization at the
+//!   flow's share of the link, and the wire latency — using the
+//!   [`cmpi_fabric::cost::TcpCostModel`] anchored to the paper's Table 1 and
+//!   Section 4.2 numbers. The result is a pair of virtual timestamps (sender
+//!   occupancy and receiver arrival) that the MPI layer merges into its
+//!   per-rank clocks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod endpoint;
+pub mod message;
+
+pub use endpoint::{NicStats, TcpEndpoint, TcpFabric, TcpFabricConfig};
+pub use message::{NetMessage, SendTiming};

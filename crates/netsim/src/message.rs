@@ -1,0 +1,63 @@
+//! Message and timing types exchanged over the simulated network.
+
+use bytes::Bytes;
+use cmpi_fabric::SimNs;
+
+/// A message in flight on the simulated TCP network.
+#[derive(Debug, Clone)]
+pub struct NetMessage {
+    /// Global index of the sending endpoint.
+    pub src: usize,
+    /// Global index of the destination endpoint.
+    pub dst: usize,
+    /// Application-level tag (the MPI transport packs matching data here).
+    pub tag: u64,
+    /// Payload bytes.
+    pub payload: Bytes,
+    /// Virtual time at which the sender handed the message to the stack.
+    pub depart: SimNs,
+    /// Virtual time at which the message is fully available at the receiver's
+    /// NIC buffer.
+    pub arrival: SimNs,
+}
+
+impl NetMessage {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+/// Virtual-time outcome of a send operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendTiming {
+    /// Time until which the *sender CPU* is busy with this message (stack
+    /// traversal, copies, packetization, serialization at its link share).
+    pub sender_busy_until: SimNs,
+    /// Time at which the message is fully received on the other side.
+    pub arrival: SimNs,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_len() {
+        let m = NetMessage {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            payload: Bytes::from_static(b"abc"),
+            depart: 0.0,
+            arrival: 1.0,
+        };
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+}

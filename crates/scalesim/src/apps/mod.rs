@@ -1,0 +1,19 @@
+//! Communication-pattern proxies for the two applications of Figure 10.
+
+pub mod cg;
+pub mod miniamr;
+
+pub use cg::CgProxy;
+pub use miniamr::MiniAmrProxy;
+
+use crate::sim::Superstep;
+
+/// A proxy application that can emit its superstep trace for a given cluster
+/// shape.
+pub trait ProxyApp {
+    /// Human-readable name ("CG", "miniAMR").
+    fn name(&self) -> &'static str;
+    /// Build the superstep trace for `nodes × ranks_per_node` ranks, assuming
+    /// `gflops_per_rank` of per-rank compute throughput.
+    fn trace(&self, nodes: usize, ranks_per_node: usize, gflops_per_rank: f64) -> Vec<Superstep>;
+}

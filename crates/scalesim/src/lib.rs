@@ -1,0 +1,27 @@
+//! # cmpi-scalesim — event/fluid strong-scaling simulator (SimGrid substitute)
+//!
+//! The paper's CXL platform connects at most four hosts, so its scalability
+//! study (Figure 10) runs the CG and miniAMR proxy applications in SimGrid
+//! with interconnect latency/bandwidth configured from the measured results of
+//! Section 4.2. This crate plays the same role: a small simulator in the
+//! spirit of SimGrid's fluid network model, plus communication-pattern proxies
+//! for CG (NAS Parallel Benchmarks, class D) and miniAMR.
+//!
+//! The simulation unit is the **superstep**: every rank computes for some time,
+//! then a set of point-to-point messages is exchanged. Messages crossing node
+//! boundaries share their node's NIC bandwidth (fluid sharing); intra-node
+//! messages use the shared-memory path. An application is a sequence of
+//! supersteps (usually one pattern repeated per iteration), and the simulated
+//! makespan is the sum of per-superstep times.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apps;
+pub mod network;
+pub mod scaling;
+pub mod sim;
+
+pub use network::{NetworkParams, TransportClass};
+pub use scaling::{ScalingPoint, ScalingStudy};
+pub use sim::{Message, SimOutcome, Simulator, Superstep};

@@ -1,0 +1,178 @@
+//! Integration tests of the cMPI-specific mechanisms end-to-end through the
+//! public API: chunked messages and cell sizes, PSCW and lock epochs across
+//! hosts, wildcard matching under load, and the no-atomics barrier.
+
+use cmpi::mpi::{Comm, CxlShmTransportConfig, TransportConfig, Universe, UniverseConfig};
+
+fn cxl_config_with_cell(ranks: usize, cell: usize) -> UniverseConfig {
+    UniverseConfig {
+        ranks,
+        hosts: 2,
+        transport: TransportConfig::CxlShm(CxlShmTransportConfig {
+            cell_size: cell,
+            cells_per_queue: 4,
+            ..CxlShmTransportConfig::small()
+        }),
+    }
+}
+
+#[test]
+fn chunked_messages_survive_every_cell_size() {
+    // A 100 KB message crosses cell boundaries for every cell size below.
+    let payload: Vec<u8> = (0..100_000).map(|i| (i * 31 % 251) as u8).collect();
+    for cell in [512usize, 4096, 16 * 1024, 64 * 1024] {
+        let expected = payload.clone();
+        Universe::run(cxl_config_with_cell(2, cell), move |comm: &mut Comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, &expected)?;
+            } else {
+                let (status, data) = comm.recv_owned(Some(0), Some(5))?;
+                assert_eq!(status.len, expected.len());
+                assert_eq!(data, expected);
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("cell size {cell}: {e}"));
+    }
+}
+
+#[test]
+fn smaller_cells_mean_more_simulated_time_for_large_messages() {
+    // The Figure 9 effect at integration level: the same 256 KB transfer costs
+    // more virtual time with 16 KB cells than with 64 KB cells.
+    let elapsed = |cell: usize| {
+        let results = Universe::run(cxl_config_with_cell(2, cell), |comm: &mut Comm| {
+            let payload = vec![7u8; 256 * 1024];
+            if comm.rank() == 0 {
+                comm.send(1, 1, &payload)?;
+            } else {
+                comm.recv_owned(Some(0), Some(1))?;
+            }
+            Ok(comm.clock_ns())
+        })
+        .unwrap();
+        results[1].0
+    };
+    let small_cells = elapsed(16 * 1024);
+    let big_cells = elapsed(64 * 1024);
+    assert!(
+        small_cells > big_cells,
+        "16KB cells ({small_cells} ns) should cost more than 64KB cells ({big_cells} ns)"
+    );
+}
+
+#[test]
+fn pscw_epochs_between_hosts_carry_data_both_ways() {
+    Universe::run(UniverseConfig::cxl_small(4), |comm: &mut Comm| {
+        let me = comm.rank();
+        let n = comm.size();
+        let win = comm.win_allocate(1024)?;
+        // Origins are the first half, targets the second half (cross-host).
+        let half = n / 2;
+        if me < half {
+            let target = me + half;
+            comm.win_start(win, &[target])?;
+            let payload = vec![me as u8 + 1; 512];
+            comm.put(win, target, 0, &payload)?;
+            comm.win_complete(win)?;
+            // Second epoch: read the target's reply.
+            comm.win_start(win, &[target])?;
+            let mut reply = vec![0u8; 4];
+            comm.get(win, target, 512, &mut reply)?;
+            comm.win_complete(win)?;
+            assert_eq!(reply, vec![0xAB; 4]);
+        } else {
+            let origin = me - half;
+            comm.win_post(win, &[origin])?;
+            comm.win_wait(win)?;
+            let mut received = vec![0u8; 512];
+            comm.win_read_local(win, 0, &mut received)?;
+            assert_eq!(received, vec![origin as u8 + 1; 512]);
+            comm.win_write_local(win, 512, &[0xAB; 4])?;
+            comm.win_post(win, &[origin])?;
+            comm.win_wait(win)?;
+        }
+        comm.win_free(win)?;
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn lock_unlock_serialises_read_modify_write_across_ranks() {
+    let ranks = 6;
+    let results = Universe::run(UniverseConfig::cxl_small(ranks), |comm: &mut Comm| {
+        let win = comm.win_allocate(64)?;
+        comm.win_fence(win)?;
+        // Every rank increments a counter in rank 0's window 5 times under the
+        // window lock (a non-atomic read-modify-write otherwise).
+        for _ in 0..5 {
+            comm.win_lock(win, 0)?;
+            let mut buf = [0u8; 8];
+            comm.get(win, 0, 0, &mut buf)?;
+            let value = u64::from_le_bytes(buf) + 1;
+            comm.put(win, 0, 0, &value.to_le_bytes())?;
+            comm.win_unlock(win, 0)?;
+        }
+        comm.win_fence(win)?;
+        let result = if comm.rank() == 0 {
+            let mut buf = [0u8; 8];
+            comm.win_read_local(win, 0, &mut buf)?;
+            u64::from_le_bytes(buf)
+        } else {
+            0
+        };
+        comm.win_free(win)?;
+        Ok(result)
+    })
+    .unwrap();
+    assert_eq!(results[0].0, (ranks * 5) as u64, "lost updates under the window lock");
+}
+
+#[test]
+fn wildcard_matching_under_heavy_cross_traffic() {
+    let ranks = 5;
+    Universe::run(UniverseConfig::cxl_small(ranks), |comm: &mut Comm| {
+        let me = comm.rank();
+        let n = comm.size();
+        if me == 0 {
+            // Receive 3 messages from every peer, in arbitrary source order but
+            // strictly increasing tag order per peer.
+            let mut highest = vec![0i32; n];
+            for _ in 0..3 * (n - 1) {
+                let (status, data) = comm.recv_owned(None, None)?;
+                assert_eq!(data.len(), 64 * status.tag as usize);
+                assert!(status.tag > highest[status.source]);
+                highest[status.source] = status.tag;
+            }
+        } else {
+            for tag in 1..=3 {
+                comm.send(0, tag, &vec![me as u8; 64 * tag as usize])?;
+            }
+        }
+        comm.barrier()?;
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn barrier_sequences_work_repeatedly_across_hosts() {
+    let results = Universe::run(UniverseConfig::cxl_small(6), |comm: &mut Comm| {
+        let mut checksum = 0u64;
+        for round in 0..25u64 {
+            if comm.rank() as u64 == round % comm.size() as u64 {
+                comm.advance_clock(10_000.0);
+            }
+            comm.barrier()?;
+            checksum += round;
+        }
+        Ok((checksum, comm.clock_ns()))
+    })
+    .unwrap();
+    for ((checksum, clock), _) in &results {
+        assert_eq!(*checksum, (0..25).sum::<u64>());
+        // Every rank's clock must reflect all 25 delays merged through barriers.
+        assert!(*clock >= 25.0 * 10_000.0);
+    }
+}

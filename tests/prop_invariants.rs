@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) over the core data structures and
+//! protocols: the CXL SHM Arena, the multi-level hash, the object allocator,
+//! the SPSC queue and the datatype pack/unpack path.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use cmpi::mpi::datatype::{Datatype, ElemKind};
+use cmpi::mpi::queue::{CellHeader, QueueGeometry, SpscQueue};
+use cmpi::shm::{ArenaConfig, CxlShmArena, CxlView, DaxDevice, HostCache};
+
+fn fresh_arena(tag: &str, mb: usize) -> (CxlShmArena, CxlShmArena) {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dev =
+        DaxDevice::with_alignment(format!("prop-{tag}-{id}"), mb * 1024 * 1024, 4096).unwrap();
+    let writer = CxlShmArena::init(
+        CxlView::new(dev.clone(), HostCache::new("hostA")),
+        ArenaConfig::for_objects(256),
+    )
+    .unwrap();
+    let reader = CxlShmArena::attach(CxlView::new(dev, HostCache::new("hostB"))).unwrap();
+    (writer, reader)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever is published through a SHM object with the coherence protocol
+    /// is read back identically by a different host, at arbitrary offsets.
+    #[test]
+    fn arena_object_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        offset in 0usize..1024,
+    ) {
+        let (writer, reader) = fresh_arena("roundtrip", 4);
+        let obj_w = writer.create("obj", 4096).unwrap();
+        let obj_r = reader.open("obj").unwrap();
+        obj_w.write_flush_at(offset as u64, &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        obj_r.read_coherent_at(offset as u64, &mut buf).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    /// The arena behaves like a name→bytes map: a model-based test of
+    /// create / open / destroy against a HashMap.
+    #[test]
+    fn arena_matches_model(
+        ops in proptest::collection::vec((0u8..3, 0usize..12, 1usize..512), 1..40)
+    ) {
+        let (arena, peer) = fresh_arena("model", 8);
+        let mut model: HashMap<String, usize> = HashMap::new();
+        for (op, name_idx, size) in ops {
+            let name = format!("object-{name_idx}");
+            match op {
+                0 => {
+                    // create
+                    let result = arena.create(&name, size);
+                    if model.contains_key(&name) {
+                        prop_assert!(result.is_err());
+                    } else {
+                        prop_assert!(result.is_ok());
+                        model.insert(name, size);
+                    }
+                }
+                1 => {
+                    // open (from the other host)
+                    let result = peer.open(&name);
+                    match model.get(&name) {
+                        Some(&size) => {
+                            let obj = result.unwrap();
+                            prop_assert_eq!(obj.len() as usize, size);
+                        }
+                        None => prop_assert!(result.is_err()),
+                    }
+                }
+                _ => {
+                    // destroy
+                    let result = arena.destroy_by_name(&name);
+                    prop_assert_eq!(result.is_ok(), model.remove(&name).is_some());
+                }
+            }
+        }
+        prop_assert_eq!(arena.object_count().unwrap(), model.len());
+    }
+
+    /// Objects never overlap, regardless of the create/destroy interleaving.
+    #[test]
+    fn allocations_never_overlap(
+        sizes in proptest::collection::vec(1usize..4096, 1..24),
+        destroy_mask in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let (arena, _) = fresh_arena("overlap", 8);
+        let mut live: Vec<(String, u64, u64)> = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let name = format!("buf-{i}");
+            let obj = arena.create(&name, *size).unwrap();
+            live.push((name, obj.offset(), *size as u64));
+            if destroy_mask.get(i).copied().unwrap_or(false) && live.len() > 1 {
+                let (victim, _, _) = live.remove(live.len() / 2);
+                arena.destroy_by_name(&victim).unwrap();
+            }
+            // Pairwise disjointness of live objects.
+            for a in 0..live.len() {
+                for b in a + 1..live.len() {
+                    let (_, off_a, len_a) = &live[a];
+                    let (_, off_b, len_b) = &live[b];
+                    let disjoint = off_a + len_a <= *off_b || off_b + len_b <= *off_a;
+                    prop_assert!(disjoint, "objects overlap: {live:?}");
+                }
+            }
+        }
+    }
+
+    /// The SPSC queue is FIFO and never loses or duplicates payloads.
+    #[test]
+    fn spsc_queue_is_fifo(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..256), 1..50
+        )
+    ) {
+        let geometry = QueueGeometry { cell_payload: 256, cells: 4 };
+        let (writer, reader) = fresh_arena("queue", 4);
+        let obj_w = writer.create("q", geometry.queue_bytes()).unwrap();
+        let obj_r = reader.open("q").unwrap();
+        let producer = SpscQueue::new(obj_w, 0, geometry);
+        let consumer = SpscQueue::new(obj_r, 0, geometry);
+        producer.format().unwrap();
+
+        let mut received = Vec::new();
+        let mut pending = std::collections::VecDeque::new();
+        for (i, payload) in payloads.iter().enumerate() {
+            let header = CellHeader {
+                src: 0,
+                tag: i as i32,
+                total_len: payload.len() as u64,
+                chunk_offset: 0,
+                chunk_len: payload.len() as u32,
+                timestamp: i as f64,
+            };
+            // Drain when full, as the transport does.
+            while !producer.try_enqueue(&header, payload).unwrap() {
+                let (h, p) = consumer.try_dequeue(0.0).unwrap().unwrap();
+                received.push((h.tag, p));
+            }
+            pending.push_back(i);
+        }
+        while let Some((h, p)) = consumer.try_dequeue(0.0).unwrap() {
+            received.push((h.tag, p));
+        }
+        prop_assert_eq!(received.len(), payloads.len());
+        for (i, (tag, payload)) in received.iter().enumerate() {
+            prop_assert_eq!(*tag, i as i32, "FIFO order violated");
+            prop_assert_eq!(payload, &payloads[i]);
+        }
+    }
+
+    /// Datatype pack/unpack is lossless for strided vectors.
+    #[test]
+    fn vector_datatype_roundtrip(
+        count in 1usize..8,
+        block_len in 1usize..6,
+        extra_stride in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let stride = block_len + extra_stride;
+        let dt = Datatype::vector(ElemKind::F64, count, block_len, stride);
+        let extent = dt.extent();
+        let src: Vec<u8> = (0..extent).map(|i| (i as u64 ^ seed) as u8).collect();
+        let packed = dt.pack(&src);
+        prop_assert_eq!(packed.len(), dt.packed_size());
+        let mut dst = vec![0u8; extent];
+        dt.unpack(&packed, &mut dst);
+        // Every position described by the datatype must match the source.
+        for b in 0..count {
+            let start = b * stride * 8;
+            let len = block_len * 8;
+            prop_assert_eq!(&dst[start..start + len], &src[start..start + len]);
+        }
+    }
+}

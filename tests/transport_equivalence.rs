@@ -1,0 +1,89 @@
+//! Cross-crate integration test: the same application produces identical
+//! results on the cMPI CXL-SHM transport and on both TCP baselines, while the
+//! simulated communication time ranks the transports the way the paper does.
+
+use cmpi::fabric::cost::TcpNic;
+use cmpi::mpi::{Comm, ReduceOp, Universe, UniverseConfig};
+
+/// A small "application": pairwise exchanges, a reduction and a one-sided
+/// publication; returns a digest of the data every rank ends up with plus the
+/// rank's simulated time.
+fn application(comm: &mut Comm) -> cmpi::mpi::Result<(Vec<f64>, f64)> {
+    let me = comm.rank();
+    let n = comm.size();
+
+    // Neighbour exchange of a vector of rank-dependent values.
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    let mine: Vec<f64> = (0..32).map(|i| (me * 100 + i) as f64).collect();
+    let bytes = cmpi::mpi::pod::f64_to_bytes(&mine);
+    let (_, from_left) = comm.sendrecv(right, 7, &bytes, left, 7)?;
+    let neighbour = cmpi::mpi::pod::bytes_to_f64(&from_left);
+    assert_eq!(neighbour[0], (left * 100) as f64);
+
+    // Collective: max over a mixed vector.
+    let mut values: Vec<f64> = vec![me as f64, (n - me) as f64, 42.0];
+    comm.allreduce_f64(&mut values, ReduceOp::Max)?;
+
+    // One-sided: everyone publishes to rank 0 and reads back rank 0's slot 0.
+    let win = comm.win_allocate(8 * n)?;
+    comm.win_fence(win)?;
+    comm.put(win, 0, me * 8, &(me as f64 + 0.5).to_le_bytes())?;
+    comm.win_fence(win)?;
+    let mut slot0 = [0u8; 8];
+    comm.get(win, 0, 0, &mut slot0)?;
+    comm.win_fence(win)?;
+    comm.win_free(win)?;
+
+    let mut digest = values;
+    digest.push(neighbour.iter().sum());
+    digest.push(f64::from_le_bytes(slot0));
+    Ok((digest, comm.clock_ns()))
+}
+
+fn run(config: UniverseConfig) -> (Vec<Vec<f64>>, f64) {
+    let results = Universe::run(config, application).expect("universe run");
+    let digests = results.iter().map(|((d, _), _)| d.clone()).collect();
+    let max_clock = results
+        .iter()
+        .map(|((_, c), _)| *c)
+        .fold(0.0f64, f64::max);
+    (digests, max_clock)
+}
+
+#[test]
+fn identical_results_on_all_transports() {
+    let (cxl, t_cxl) = run(UniverseConfig::cxl(6));
+    let (mlx, t_mlx) = run(UniverseConfig::tcp(6, TcpNic::MellanoxCx6Dx));
+    let (eth, t_eth) = run(UniverseConfig::tcp(6, TcpNic::StandardEthernet));
+    assert_eq!(cxl, mlx, "CXL vs Mellanox results differ");
+    assert_eq!(cxl, eth, "CXL vs Ethernet results differ");
+    // And the paper's ordering of simulated time holds for this
+    // small-message-dominated workload.
+    assert!(t_cxl < t_mlx, "CXL {t_cxl} should beat Mellanox {t_mlx}");
+    assert!(t_mlx < t_eth, "Mellanox {t_mlx} should beat Ethernet {t_eth}");
+}
+
+#[test]
+fn many_ranks_collectives_agree() {
+    for config in [
+        UniverseConfig::cxl_small(8),
+        UniverseConfig::tcp(8, TcpNic::MellanoxCx6Dx),
+    ] {
+        let results = Universe::run(config, |comm: &mut Comm| {
+            let n = comm.size();
+            let me = comm.rank();
+            let gathered = comm.allgather(&[me as u8])?;
+            assert_eq!(gathered.len(), n);
+            for (r, g) in gathered.iter().enumerate() {
+                assert_eq!(g, &vec![r as u8]);
+            }
+            let mut sum = vec![1.0f64; 16];
+            comm.allreduce_f64(&mut sum, ReduceOp::Sum)?;
+            assert!(sum.iter().all(|&v| v == n as f64));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(results.len(), 8);
+    }
+}
