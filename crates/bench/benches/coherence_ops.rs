@@ -16,10 +16,18 @@ fn bench_coherence(c: &mut Criterion) {
     let mut group = c.benchmark_group("coherence_4k");
     group.throughput(Throughput::Bytes(4096));
     group.bench_function("write_flush", |b| {
-        b.iter(|| writer.write_flush(black_box(0), black_box(&payload)).unwrap())
+        b.iter(|| {
+            writer
+                .write_flush(black_box(0), black_box(&payload))
+                .unwrap()
+        })
     });
     group.bench_function("read_coherent", |b| {
-        b.iter(|| reader.read_coherent(black_box(0), black_box(&mut buf)).unwrap())
+        b.iter(|| {
+            reader
+                .read_coherent(black_box(0), black_box(&mut buf))
+                .unwrap()
+        })
     });
     group.bench_function("cached_write", |b| {
         b.iter(|| writer.write(black_box(4096), black_box(&payload)).unwrap())

@@ -23,7 +23,14 @@ fn bench_cost_models(c: &mut Criterion) {
         b.iter(|| tcp.mpi_message_time(black_box(64 * 1024), black_box(0.25)))
     });
     c.bench_function("contention_throttle_16_pairs", |b| {
-        b.iter(|| contention.throttle(black_box(16), black_box(64 * 1024), black_box(10_000.0), true))
+        b.iter(|| {
+            contention.throttle(
+                black_box(16),
+                black_box(64 * 1024),
+                black_box(10_000.0),
+                true,
+            )
+        })
     });
 }
 

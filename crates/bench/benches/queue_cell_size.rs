@@ -33,6 +33,7 @@ fn bench_queue(c: &mut Criterion) {
         let payload = vec![0x5Au8; cell];
         let header = CellHeader {
             src: 0,
+            ctx: 0,
             tag: 1,
             total_len: cell as u64,
             chunk_offset: 0,

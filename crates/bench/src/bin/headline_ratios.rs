@@ -41,9 +41,15 @@ fn main() {
     );
 
     // Bandwidth ratios at the small-message sweet spot (16 KB).
-    let cxl_1s_bw = one_sided_put_bandwidth(cxl(procs), bw_size).unwrap().bandwidth_mbps;
-    let eth_1s_bw = one_sided_put_bandwidth(eth(procs), bw_size).unwrap().bandwidth_mbps;
-    let mlx_1s_bw = one_sided_put_bandwidth(mlx(procs), bw_size).unwrap().bandwidth_mbps;
+    let cxl_1s_bw = one_sided_put_bandwidth(cxl(procs), bw_size)
+        .unwrap()
+        .bandwidth_mbps;
+    let eth_1s_bw = one_sided_put_bandwidth(eth(procs), bw_size)
+        .unwrap()
+        .bandwidth_mbps;
+    let mlx_1s_bw = one_sided_put_bandwidth(mlx(procs), bw_size)
+        .unwrap()
+        .bandwidth_mbps;
     println!("one-sided bandwidth at 16 KB, {procs} procs: CXL {cxl_1s_bw:.0} MB/s, Ethernet {eth_1s_bw:.0} MB/s, Mellanox {mlx_1s_bw:.0} MB/s");
     println!(
         "  -> cMPI delivers {:.1}x the Ethernet bandwidth and {:.1}x the SmartNIC bandwidth (paper: up to 71.6x / 3.7x)",
@@ -51,8 +57,12 @@ fn main() {
         cxl_1s_bw / mlx_1s_bw
     );
 
-    let cxl_2s_bw = two_sided_bandwidth(cxl(procs), bw_size).unwrap().bandwidth_mbps;
-    let eth_2s_bw = two_sided_bandwidth(eth(procs), bw_size).unwrap().bandwidth_mbps;
+    let cxl_2s_bw = two_sided_bandwidth(cxl(procs), bw_size)
+        .unwrap()
+        .bandwidth_mbps;
+    let eth_2s_bw = two_sided_bandwidth(eth(procs), bw_size)
+        .unwrap()
+        .bandwidth_mbps;
     println!("two-sided bandwidth at 16 KB, {procs} procs: CXL {cxl_2s_bw:.0} MB/s, Ethernet {eth_2s_bw:.0} MB/s");
     println!(
         "  -> cMPI delivers {:.1}x the Ethernet bandwidth (paper: up to 48.2x)",

@@ -50,7 +50,7 @@ pub fn fig9_processes() -> Vec<usize> {
 
 /// Whether the full paper-scale sweep was requested.
 pub fn full_mode() -> bool {
-    std::env::var("CMPI_FULL").map_or(false, |v| v == "1")
+    std::env::var("CMPI_FULL").is_ok_and(|v| v == "1")
 }
 
 /// The three transports compared in Figures 5–8, in plotting order.
@@ -83,12 +83,7 @@ pub fn size_label(bytes: usize) -> String {
 ///
 /// `rows` maps a message size to the values for each process count, in the
 /// same order as `procs`.
-pub fn print_panel(
-    title: &str,
-    metric: &str,
-    procs: &[usize],
-    rows: &[(usize, Vec<f64>)],
-) {
+pub fn print_panel(title: &str, metric: &str, procs: &[usize], rows: &[(usize, Vec<f64>)]) {
     println!("--- {title} ({metric}) ---");
     print!("{:>10}", "size");
     for p in procs {

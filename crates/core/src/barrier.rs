@@ -1,4 +1,6 @@
-//! Sequence-number barrier without atomic operations (Section 3.4).
+//! Barriers: the CXL sequence-number barrier (Section 3.4) for the full world,
+//! and a point-to-point dissemination barrier for arbitrary communicator
+//! groups.
 //!
 //! The classic sense-reversing barrier increments a shared counter atomically —
 //! unavailable across hosts on the CXL pooled memory. cMPI's replacement gives
@@ -11,12 +13,51 @@
 //! Each slot also carries the publisher's virtual-clock timestamp; a waiting
 //! rank merges the maximum of the timestamps it observed, so the barrier's
 //! exit time is the latest arrival — exactly the semantics of a barrier.
+//!
+//! The [`SeqBarrier`] array is provisioned for the *world* (and per window for
+//! fences). Sub-communicators produced by `comm_split`/`comm_dup` instead use
+//! [`group_barrier`] — a dissemination barrier over the communicator's own
+//! point-to-point path, which needs no pre-provisioned shared state, works for
+//! any rank subset, and inherits the context-id isolation of the
+//! communicator's tag space.
 
 use cmpi_fabric::SimClock;
 use cxl_shm::ShmObject;
 
+use crate::coll::{coll_tag, CommView};
+use crate::transport::Transport;
 use crate::types::Rank;
 use crate::Result;
+
+/// Dissemination barrier across an arbitrary communicator group, built on the
+/// communicator's point-to-point path.
+///
+/// In round `k` (of `⌈log2 n⌉`), local rank `i` sends a zero-byte token to
+/// `(i + 2^k) mod n` and waits for the token from `(i - 2^k) mod n`. After the
+/// last round every rank transitively depends on every other rank's arrival,
+/// and the virtual clocks have merged accordingly through the receives.
+pub fn group_barrier(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+) -> Result<()> {
+    let n = view.size();
+    if n == 1 {
+        return Ok(());
+    }
+    let me = view.rank;
+    let mut distance = 1usize;
+    let mut round = 0usize;
+    while distance < n {
+        let to = view.world((me + distance) % n);
+        let from = view.world((me + n - distance) % n);
+        t.send(clock, to, view.ctx, coll_tag(0, round), &[])?;
+        t.recv_owned(clock, view.ctx, Some(from), Some(coll_tag(0, round)))?;
+        distance <<= 1;
+        round += 1;
+    }
+    Ok(())
+}
 
 /// Stride of one rank's slot (sequence number + timestamp on their own cache
 /// line to avoid false sharing between ranks).
@@ -78,7 +119,8 @@ impl SeqBarrier {
         self.seq += 1;
         let my_slot = self.slot(self.rank);
         // Publish sequence number and timestamp (single writer per slot).
-        self.obj.nt_store_u64_at(my_slot + 8, clock.now().to_bits())?;
+        self.obj
+            .nt_store_u64_at(my_slot + 8, clock.now().to_bits())?;
         self.obj.nt_store_u64_at(my_slot, self.seq)?;
 
         // Wait for everyone else and merge their timestamps.

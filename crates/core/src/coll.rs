@@ -1,4 +1,5 @@
-//! Collective communication built on point-to-point (Section 3.6).
+//! Collective communication built on point-to-point (Section 3.6), over an
+//! arbitrary communicator view.
 //!
 //! The paper leaves collectives as future work but notes that, inside an MPI
 //! library, collectives are implemented on top of point-to-point algorithms
@@ -13,54 +14,125 @@
 //!   reduce + broadcast;
 //! * reduce-scatter — allreduce followed by block selection.
 //!
-//! All collectives run over any [`Transport`] and charge their costs through
-//! the normal point-to-point path, so the CXL and TCP transports are directly
-//! comparable.
+//! Every algorithm runs over a [`CommView`] — the (group, context id, local
+//! rank) triple describing one communicator from one rank's perspective — so
+//! the same code serves the world communicator and any `comm_split`/`comm_dup`
+//! sub-communicator: ranks are translated through the group, and the context
+//! id keeps the collective's internal tags from ever matching traffic on
+//! another communicator.
+//!
+//! The typed entry points (`bcast_into`, `gather_into`, `allgather_into`,
+//! `scatter_from`, `reduce`, `allreduce`, `reduce_scatter`) move [`Pod`]
+//! buffers through the byte transports without per-element encoding; the
+//! `*_bytes` variants carry the legacy byte-vector API (variable-length
+//! contributions) and back the deprecated `Comm` shims.
 
 use cmpi_fabric::SimClock;
 
 use crate::error::MpiError;
-use crate::pod::{bytes_to_f64, f64_to_bytes};
+use crate::group::Group;
+use crate::pod::{bytes_of, bytes_of_mut, vec_from_bytes, Pod};
 use crate::transport::Transport;
-use crate::types::{Rank, ReduceOp, Tag};
+use crate::types::{CtxId, Rank, ReduceOp, Reducible, Tag};
 use crate::Result;
 
 /// Base tag reserved for collective traffic (kept far away from typical
-/// application tags).
+/// application tags). Collectives additionally run under their communicator's
+/// context id, so this offset only separates them from *user* traffic on the
+/// same communicator.
 const COLL_TAG_BASE: Tag = 0x4000_0000;
 
-fn coll_tag(kind: i32, step: usize) -> Tag {
+/// Tag of collective `kind` at algorithm step `step`.
+pub(crate) fn coll_tag(kind: i32, step: usize) -> Tag {
     COLL_TAG_BASE + kind * 0x10_000 + step as i32
 }
 
-/// Broadcast `data` from `root` to every rank using a binomial tree.
-/// On non-root ranks the contents of `data` are replaced.
-pub fn bcast(
+/// One communicator, seen from one rank: the rank group, the context id that
+/// scopes its tag space, and this rank's position within the group.
+#[derive(Debug, Clone, Copy)]
+pub struct CommView<'a> {
+    /// Ordered member group (local rank → world rank).
+    pub group: &'a Group,
+    /// Context id of the communicator.
+    pub ctx: CtxId,
+    /// This rank's local rank within the group.
+    pub rank: Rank,
+}
+
+impl CommView<'_> {
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.size()
+    }
+
+    /// World rank of local rank `local`.
+    pub fn world(&self, local: Rank) -> Rank {
+        self.group.world_rank(local)
+    }
+
+    fn check_root(&self, root: Rank) -> Result<()> {
+        if root >= self.size() {
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Receive exactly `buf.len()` bytes from `src_local` with `tag` into `buf`.
+fn recv_exact(
     t: &mut dyn Transport,
     clock: &mut SimClock,
+    view: &CommView<'_>,
+    src_local: Rank,
+    tag: Tag,
+    buf: &mut [u8],
+) -> Result<()> {
+    let status = t.recv_into(clock, view.ctx, Some(view.world(src_local)), Some(tag), buf)?;
+    if status.len != buf.len() {
+        return Err(MpiError::InvalidCollective(format!(
+            "collective length mismatch: received {} bytes, expected {}",
+            status.len,
+            buf.len()
+        )));
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Broadcast
+// ----------------------------------------------------------------------
+
+/// Broadcast `data` from `root` to every rank using a binomial tree.
+/// On non-root ranks the contents of `data` are replaced (and may change
+/// length — the legacy byte semantics).
+pub fn bcast_bytes(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
     root: Rank,
     data: &mut Vec<u8>,
 ) -> Result<()> {
-    let n = t.size();
-    let me = t.rank();
-    if root >= n {
-        return Err(MpiError::InvalidRank { rank: root, size: n });
-    }
-    if n == 1 {
+    view.check_root(root)?;
+    if view.size() == 1 {
         return Ok(());
     }
-    // Work in the rotated space where the root is rank 0.
+    let n = view.size();
+    let me = view.rank;
     let vrank = (me + n - root) % n;
-    // Receive from the parent, unless we are the root. In a binomial tree the
-    // parent of a virtual rank is that rank with its highest set bit cleared.
     if vrank != 0 {
         let highest = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
-        let parent_v = vrank - highest;
-        let parent = (parent_v + root) % n;
-        let (_, payload) = t.recv_owned(clock, Some(parent), Some(coll_tag(1, 0)))?;
+        let parent = (vrank - highest + root) % n;
+        let (_, payload) = t.recv_owned(
+            clock,
+            view.ctx,
+            Some(view.world(parent)),
+            Some(coll_tag(1, 0)),
+        )?;
         *data = payload;
     }
-    // Send to children: vrank + 2^k for every k above our highest set bit.
     let start_bit = if vrank == 0 {
         0
     } else {
@@ -69,53 +141,163 @@ pub fn bcast(
     let mut bit = 1usize << start_bit;
     while vrank + bit < n {
         let child = (vrank + bit + root) % n;
-        t.send(clock, child, coll_tag(1, 0), data)?;
+        t.send(clock, view.world(child), view.ctx, coll_tag(1, 0), data)?;
         bit <<= 1;
     }
     Ok(())
 }
 
-/// Gather every rank's `send` buffer at `root`. Returns `Some(vec_of_buffers)`
-/// (indexed by rank) on the root and `None` elsewhere.
-pub fn gather(
+/// Broadcast the fixed-size buffer `buf` from `root` into every rank's `buf`
+/// (the typed, zero-copy path: the buffer's bytes travel as-is). All ranks
+/// must pass buffers of identical length.
+pub fn bcast_into<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
+    view: &CommView<'_>,
+    root: Rank,
+    buf: &mut [T],
+) -> Result<()> {
+    view.check_root(root)?;
+    if view.size() == 1 {
+        return Ok(());
+    }
+    let n = view.size();
+    let me = view.rank;
+    let vrank = (me + n - root) % n;
+    if vrank != 0 {
+        let highest = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
+        let parent = (vrank - highest + root) % n;
+        recv_exact(t, clock, view, parent, coll_tag(1, 0), bytes_of_mut(buf))?;
+    }
+    let start_bit = if vrank == 0 {
+        0
+    } else {
+        (usize::BITS - vrank.leading_zeros()) as usize
+    };
+    let mut bit = 1usize << start_bit;
+    while vrank + bit < n {
+        let child = (vrank + bit + root) % n;
+        t.send(
+            clock,
+            view.world(child),
+            view.ctx,
+            coll_tag(1, 0),
+            bytes_of(buf),
+        )?;
+        bit <<= 1;
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Gather / scatter
+// ----------------------------------------------------------------------
+
+/// Gather every rank's `send` buffer at `root`. Returns `Some(vec_of_buffers)`
+/// (indexed by local rank) on the root and `None` elsewhere. Contributions may
+/// differ in length (legacy byte semantics).
+pub fn gather_bytes(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
     root: Rank,
     send: &[u8],
 ) -> Result<Option<Vec<Vec<u8>>>> {
-    let n = t.size();
-    let me = t.rank();
-    if root >= n {
-        return Err(MpiError::InvalidRank { rank: root, size: n });
-    }
+    view.check_root(root)?;
+    let n = view.size();
+    let me = view.rank;
     if me == root {
         let mut out = vec![Vec::new(); n];
         out[root] = send.to_vec();
-        for _ in 0..n - 1 {
-            let (status, payload) = t.recv_owned(clock, None, Some(coll_tag(2, 0)))?;
-            out[status.source] = payload;
+        // Receive from each member specifically (not wildcard): per-sender
+        // FIFO then guarantees that back-to-back gathers on one communicator
+        // cannot interleave (a fast rank's second contribution can never be
+        // consumed by the root's first gather).
+        for (r, slot) in out.iter_mut().enumerate() {
+            if r == root {
+                continue;
+            }
+            let (_, payload) =
+                t.recv_owned(clock, view.ctx, Some(view.world(r)), Some(coll_tag(2, 0)))?;
+            *slot = payload;
         }
         Ok(Some(out))
     } else {
-        t.send(clock, root, coll_tag(2, 0), send)?;
+        t.send(clock, view.world(root), view.ctx, coll_tag(2, 0), send)?;
         Ok(None)
     }
 }
 
-/// Scatter one buffer per rank from `root`. On the root, `chunks` must contain
-/// exactly one buffer per rank; elsewhere it must be `None`. Returns this
-/// rank's buffer.
-pub fn scatter(
+/// Gather equal-sized typed contributions into a flat buffer at `root`:
+/// `recv[r * send.len() .. (r + 1) * send.len()]` receives local rank `r`'s
+/// `send`. On the root `recv` must be `Some` with exactly
+/// `size × send.len()` elements; elsewhere it is ignored.
+pub fn gather_into<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
+    view: &CommView<'_>,
+    root: Rank,
+    send: &[T],
+    recv: Option<&mut [T]>,
+) -> Result<()> {
+    view.check_root(root)?;
+    let n = view.size();
+    let me = view.rank;
+    if me != root {
+        return t.send(
+            clock,
+            view.world(root),
+            view.ctx,
+            coll_tag(2, 0),
+            bytes_of(send),
+        );
+    }
+    let recv = recv.ok_or_else(|| {
+        MpiError::InvalidCollective("gather_into root must provide a receive buffer".into())
+    })?;
+    if recv.len() != n * send.len() {
+        return Err(MpiError::InvalidCollective(format!(
+            "gather_into receive buffer has {} elements, expected {} ({} ranks × {})",
+            recv.len(),
+            n * send.len(),
+            n,
+            send.len()
+        )));
+    }
+    let block = send.len();
+    recv[me * block..(me + 1) * block].copy_from_slice(send);
+    // Source-specific receives straight into each member's block: per-sender
+    // FIFO keeps consecutive gathers on one communicator from interleaving,
+    // and the payload lands in place with no intermediate buffer.
+    for r in 0..n {
+        if r == root {
+            continue;
+        }
+        recv_exact(
+            t,
+            clock,
+            view,
+            r,
+            coll_tag(2, 0),
+            bytes_of_mut(&mut recv[r * block..(r + 1) * block]),
+        )?;
+    }
+    Ok(())
+}
+
+/// Scatter one buffer per rank from `root` (legacy byte semantics: buffers may
+/// differ in length). On the root, `chunks` must contain exactly one buffer
+/// per local rank; elsewhere it must be `None`. Returns this rank's buffer.
+pub fn scatter_bytes(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
     root: Rank,
     chunks: Option<&[Vec<u8>]>,
 ) -> Result<Vec<u8>> {
-    let n = t.size();
-    let me = t.rank();
-    if root >= n {
-        return Err(MpiError::InvalidRank { rank: root, size: n });
-    }
+    view.check_root(root)?;
+    let n = view.size();
+    let me = view.rank;
     if me == root {
         let chunks = chunks.ok_or_else(|| {
             MpiError::InvalidCollective("scatter root must provide one chunk per rank".into())
@@ -129,32 +311,92 @@ pub fn scatter(
         }
         for (r, chunk) in chunks.iter().enumerate() {
             if r != root {
-                t.send(clock, r, coll_tag(3, 0), chunk)?;
+                t.send(clock, view.world(r), view.ctx, coll_tag(3, 0), chunk)?;
             }
         }
         Ok(chunks[root].clone())
     } else {
-        let (_, payload) = t.recv_owned(clock, Some(root), Some(coll_tag(3, 0)))?;
+        let (_, payload) = t.recv_owned(
+            clock,
+            view.ctx,
+            Some(view.world(root)),
+            Some(coll_tag(3, 0)),
+        )?;
         Ok(payload)
     }
 }
 
-/// Ring allgather: every rank contributes `mine` and receives every rank's
-/// contribution, returned indexed by rank. Contributions may differ in length.
-pub fn allgather(
+/// Scatter equal blocks of a flat typed buffer from `root`: local rank `r`
+/// receives `send[r * recv.len() .. (r + 1) * recv.len()]` into `recv`. On the
+/// root `send` must be `Some` with exactly `size × recv.len()` elements;
+/// elsewhere it must be `None`.
+pub fn scatter_from<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
+    view: &CommView<'_>,
+    root: Rank,
+    send: Option<&[T]>,
+    recv: &mut [T],
+) -> Result<()> {
+    view.check_root(root)?;
+    let n = view.size();
+    let me = view.rank;
+    let block = recv.len();
+    if me == root {
+        let send = send.ok_or_else(|| {
+            MpiError::InvalidCollective("scatter_from root must provide a send buffer".into())
+        })?;
+        if send.len() != n * block {
+            return Err(MpiError::InvalidCollective(format!(
+                "scatter_from send buffer has {} elements, expected {} ({} ranks × {})",
+                send.len(),
+                n * block,
+                n,
+                block
+            )));
+        }
+        for r in 0..n {
+            let chunk = &send[r * block..(r + 1) * block];
+            if r == me {
+                recv.copy_from_slice(chunk);
+            } else {
+                t.send(
+                    clock,
+                    view.world(r),
+                    view.ctx,
+                    coll_tag(3, 0),
+                    bytes_of(chunk),
+                )?;
+            }
+        }
+        Ok(())
+    } else {
+        recv_exact(t, clock, view, root, coll_tag(3, 0), bytes_of_mut(recv))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Allgather
+// ----------------------------------------------------------------------
+
+/// Ring allgather with the legacy byte semantics: every rank contributes
+/// `mine` and receives every rank's contribution, returned indexed by local
+/// rank. Contributions may differ in length.
+pub fn allgather_bytes(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
     mine: &[u8],
 ) -> Result<Vec<Vec<u8>>> {
-    let n = t.size();
-    let me = t.rank();
+    let n = view.size();
+    let me = view.rank;
     let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
     out[me] = mine.to_vec();
     if n == 1 {
         return Ok(out);
     }
-    let right = (me + 1) % n;
-    let left = (me + n - 1) % n;
+    let right = view.world((me + 1) % n);
+    let left = view.world((me + n - 1) % n);
     // At step s we forward the block that originated at rank (me - s) mod n.
     // Rank 0 receives before sending so the ring can never deadlock even when
     // a block is larger than a queue's total capacity.
@@ -163,32 +405,111 @@ pub fn allgather(
         let recv_origin = (me + n - step - 1) % n;
         let block = out[send_origin].clone();
         if me == 0 {
-            let (_, payload) = t.recv_owned(clock, Some(left), Some(coll_tag(4, step)))?;
+            let (_, payload) =
+                t.recv_owned(clock, view.ctx, Some(left), Some(coll_tag(4, step)))?;
             out[recv_origin] = payload;
-            t.send(clock, right, coll_tag(4, step), &block)?;
+            t.send(clock, right, view.ctx, coll_tag(4, step), &block)?;
         } else {
-            t.send(clock, right, coll_tag(4, step), &block)?;
-            let (_, payload) = t.recv_owned(clock, Some(left), Some(coll_tag(4, step)))?;
+            t.send(clock, right, view.ctx, coll_tag(4, step), &block)?;
+            let (_, payload) =
+                t.recv_owned(clock, view.ctx, Some(left), Some(coll_tag(4, step)))?;
             out[recv_origin] = payload;
         }
     }
     Ok(out)
 }
 
-/// Binomial-tree reduce of `f64` values to `root`. Returns `Some(result)` on
-/// the root, `None` elsewhere. Every rank must pass the same number of values.
-pub fn reduce_f64(
+/// Ring allgather of equal-sized typed contributions into a flat buffer:
+/// `recv[r * send.len() .. (r + 1) * send.len()]` ends up holding local rank
+/// `r`'s `send` on every rank. Blocks travel directly between the `recv`
+/// buffers with no intermediate copies.
+pub fn allgather_into<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
-    root: Rank,
-    values: &[f64],
-    op: ReduceOp,
-) -> Result<Option<Vec<f64>>> {
-    let n = t.size();
-    let me = t.rank();
-    if root >= n {
-        return Err(MpiError::InvalidRank { rank: root, size: n });
+    view: &CommView<'_>,
+    send: &[T],
+    recv: &mut [T],
+) -> Result<()> {
+    let n = view.size();
+    let me = view.rank;
+    let block = send.len();
+    if recv.len() != n * block {
+        return Err(MpiError::InvalidCollective(format!(
+            "allgather_into receive buffer has {} elements, expected {} ({} ranks × {})",
+            recv.len(),
+            n * block,
+            n,
+            block
+        )));
     }
+    recv[me * block..(me + 1) * block].copy_from_slice(send);
+    if n == 1 {
+        return Ok(());
+    }
+    let right_local = (me + 1) % n;
+    let left_local = (me + n - 1) % n;
+    let right = view.world(right_local);
+    for step in 0..n - 1 {
+        let send_origin = (me + n - step) % n;
+        let recv_origin = (me + n - step - 1) % n;
+        let send_range = send_origin * block..(send_origin + 1) * block;
+        let recv_range = recv_origin * block..(recv_origin + 1) * block;
+        // Rank 0 receives before sending so the ring can never deadlock even
+        // when a block exceeds a queue's total capacity.
+        if me == 0 {
+            recv_exact(
+                t,
+                clock,
+                view,
+                left_local,
+                coll_tag(4, step),
+                bytes_of_mut(&mut recv[recv_range]),
+            )?;
+            t.send(
+                clock,
+                right,
+                view.ctx,
+                coll_tag(4, step),
+                bytes_of(&recv[send_range]),
+            )?;
+        } else {
+            t.send(
+                clock,
+                right,
+                view.ctx,
+                coll_tag(4, step),
+                bytes_of(&recv[send_range]),
+            )?;
+            recv_exact(
+                t,
+                clock,
+                view,
+                left_local,
+                coll_tag(4, step),
+                bytes_of_mut(&mut recv[recv_range]),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Reductions
+// ----------------------------------------------------------------------
+
+/// Binomial-tree reduce of typed values to `root`. Returns `Some(result)` on
+/// the root, `None` elsewhere. Every rank must pass the same number of values.
+pub fn reduce<T: Reducible>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    root: Rank,
+    values: &[T],
+    op: ReduceOp,
+) -> Result<Option<Vec<T>>> {
+    view.check_root(root)?;
+    let n = view.size();
+    let me = view.rank;
     let vrank = (me + n - root) % n;
     let mut acc = values.to_vec();
     let mut bit = 1usize;
@@ -196,12 +517,23 @@ pub fn reduce_f64(
         if vrank & bit != 0 {
             // Send our partial result to the partner below and exit.
             let partner = ((vrank - bit) + root) % n;
-            t.send(clock, partner, coll_tag(5, bit), &f64_to_bytes(&acc))?;
+            t.send(
+                clock,
+                view.world(partner),
+                view.ctx,
+                coll_tag(5, bit),
+                bytes_of(&acc),
+            )?;
             break;
         } else if vrank + bit < n {
             let partner = ((vrank + bit) + root) % n;
-            let (_, payload) = t.recv_owned(clock, Some(partner), Some(coll_tag(5, bit)))?;
-            let other = bytes_to_f64(&payload);
+            let (_, payload) = t.recv_owned(
+                clock,
+                view.ctx,
+                Some(view.world(partner)),
+                Some(coll_tag(5, bit)),
+            )?;
+            let other: Vec<T> = vec_from_bytes(&payload);
             if other.len() != acc.len() {
                 return Err(MpiError::InvalidCollective(format!(
                     "reduce length mismatch: {} vs {}",
@@ -209,24 +541,25 @@ pub fn reduce_f64(
                     acc.len()
                 )));
             }
-            op.fold_f64(&mut acc, &other);
+            op.fold(&mut acc, &other);
         }
         bit <<= 1;
     }
     Ok(if me == root { Some(acc) } else { None })
 }
 
-/// Allreduce of `f64` values: recursive doubling when the rank count is a
+/// Allreduce of typed values: recursive doubling when the rank count is a
 /// power of two, reduce + broadcast otherwise. `values` is updated in place on
 /// every rank.
-pub fn allreduce_f64(
+pub fn allreduce<T: Reducible>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
-    values: &mut [f64],
+    view: &CommView<'_>,
+    values: &mut [T],
     op: ReduceOp,
 ) -> Result<()> {
-    let n = t.size();
-    let me = t.rank();
+    let n = view.size();
+    let me = view.rank;
     if n == 1 {
         return Ok(());
     }
@@ -234,19 +567,34 @@ pub fn allreduce_f64(
         let mut bit = 1usize;
         while bit < n {
             let partner = me ^ bit;
+            let partner_world = view.world(partner);
             // Exchange partial results with the partner. The lower rank sends
             // first and the higher rank receives first, so the exchange cannot
             // deadlock even when the payload exceeds a queue's capacity.
             let payload = if me < partner {
-                t.send(clock, partner, coll_tag(6, bit), &f64_to_bytes(values))?;
-                let (_, payload) = t.recv_owned(clock, Some(partner), Some(coll_tag(6, bit)))?;
+                t.send(
+                    clock,
+                    partner_world,
+                    view.ctx,
+                    coll_tag(6, bit),
+                    bytes_of(values),
+                )?;
+                let (_, payload) =
+                    t.recv_owned(clock, view.ctx, Some(partner_world), Some(coll_tag(6, bit)))?;
                 payload
             } else {
-                let (_, payload) = t.recv_owned(clock, Some(partner), Some(coll_tag(6, bit)))?;
-                t.send(clock, partner, coll_tag(6, bit), &f64_to_bytes(values))?;
+                let (_, payload) =
+                    t.recv_owned(clock, view.ctx, Some(partner_world), Some(coll_tag(6, bit)))?;
+                t.send(
+                    clock,
+                    partner_world,
+                    view.ctx,
+                    coll_tag(6, bit),
+                    bytes_of(values),
+                )?;
                 payload
             };
-            let other = bytes_to_f64(&payload);
+            let other: Vec<T> = vec_from_bytes(&payload);
             if other.len() != values.len() {
                 return Err(MpiError::InvalidCollective(format!(
                     "allreduce length mismatch: {} vs {}",
@@ -254,36 +602,31 @@ pub fn allreduce_f64(
                     values.len()
                 )));
             }
-            op.fold_f64(values, &other);
+            op.fold(values, &other);
             bit <<= 1;
         }
         Ok(())
     } else {
-        let reduced = reduce_f64(t, clock, 0, values, op)?;
-        let mut buf = if let Some(r) = reduced {
-            f64_to_bytes(&r)
-        } else {
-            Vec::new()
-        };
-        bcast(t, clock, 0, &mut buf)?;
-        let result = bytes_to_f64(&buf);
-        values.copy_from_slice(&result);
-        Ok(())
+        if let Some(reduced) = reduce(t, clock, view, 0, values, op)? {
+            values.copy_from_slice(&reduced);
+        }
+        bcast_into(t, clock, view, 0, values)
     }
 }
 
-/// Reduce-scatter of `f64` values: every rank receives the element-wise
+/// Reduce-scatter of typed values: every rank receives the element-wise
 /// reduction of one equal block of the input. `values.len()` must be divisible
 /// by the rank count. Returns this rank's block.
-pub fn reduce_scatter_f64(
+pub fn reduce_scatter<T: Reducible>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
-    values: &[f64],
+    view: &CommView<'_>,
+    values: &[T],
     op: ReduceOp,
-) -> Result<Vec<f64>> {
-    let n = t.size();
-    let me = t.rank();
-    if values.len() % n != 0 {
+) -> Result<Vec<T>> {
+    let n = view.size();
+    let me = view.rank;
+    if !values.len().is_multiple_of(n) {
         return Err(MpiError::InvalidCollective(format!(
             "reduce_scatter input of {} elements not divisible by {} ranks",
             values.len(),
@@ -291,7 +634,7 @@ pub fn reduce_scatter_f64(
         )));
     }
     let mut all = values.to_vec();
-    allreduce_f64(t, clock, &mut all, op)?;
+    allreduce(t, clock, view, &mut all, op)?;
     let block = values.len() / n;
     Ok(all[me * block..(me + 1) * block].to_vec())
 }

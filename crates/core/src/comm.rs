@@ -1,0 +1,1003 @@
+//! Communicators: the per-rank handle for point-to-point, one-sided and
+//! collective communication.
+//!
+//! A [`Comm`] pairs a rank [`Group`] with a **context id**. The group defines
+//! the communicator's rank space (local rank `i` ↔ some world rank); the
+//! context id is woven into the transport tag encoding so that traffic on one
+//! communicator can never match receives posted on another. New communicators
+//! are created collectively:
+//!
+//! * [`Comm::comm_dup`] — same group, fresh context id (the MPI idiom for
+//!   giving a library its own isolated tag space);
+//! * [`Comm::comm_split`] — partition by `color`, order by `key`, producing
+//!   one sub-communicator per color (row/column communicators in stencils,
+//!   per-node communicators, ...).
+//!
+//! Context ids are agreed upon with a max-allreduce of each member's next free
+//! id over the parent communicator (the MPICH algorithm): any two
+//! communicators that share a member therefore get distinct ids, and
+//! disjoint-membership communicators may share an id safely because matching
+//! also keys on the (world) source and destination ranks.
+//!
+//! All communicator handles of one rank share the rank's single transport
+//! endpoint and virtual clock through an `Rc<RefCell<…>>`; a `Comm` is cheap
+//! and stays on its rank thread.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use cmpi_fabric::SimClock;
+
+use crate::barrier;
+use crate::coll::{self, CommView};
+use crate::error::MpiError;
+use crate::group::Group;
+use crate::pod::Pod;
+use crate::request::{Request, RequestState};
+use crate::topology::HostTopology;
+use crate::transport::{Transport, TransportStats, WinId};
+use crate::types::{CtxId, Rank, ReduceOp, Reducible, Status, Tag, WORLD_CTX};
+use crate::Result;
+
+/// Collective-operation counters for one communicator of one rank, surfaced in
+/// [`crate::runtime::RankReport::comm_colls`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CommCollStats {
+    /// Context id of the communicator.
+    pub ctx: CtxId,
+    /// Size of the communicator's group.
+    pub comm_size: usize,
+    /// Barriers entered.
+    pub barriers: u64,
+    /// Broadcasts (byte or typed).
+    pub bcasts: u64,
+    /// Gathers.
+    pub gathers: u64,
+    /// Scatters.
+    pub scatters: u64,
+    /// Allgathers.
+    pub allgathers: u64,
+    /// Rooted reductions.
+    pub reduces: u64,
+    /// Allreduces.
+    pub allreduces: u64,
+    /// Reduce-scatters.
+    pub reduce_scatters: u64,
+    /// Payload bytes this rank contributed across those collectives.
+    pub payload_bytes: u64,
+}
+
+/// Which collective to account in [`CommCollStats`].
+#[derive(Debug, Clone, Copy)]
+enum CollOp {
+    Barrier,
+    Bcast,
+    Gather,
+    Scatter,
+    Allgather,
+    Reduce,
+    Allreduce,
+    ReduceScatter,
+}
+
+/// The state shared by every communicator handle of one rank: the transport
+/// endpoint, the virtual clock, and the context-id allocator.
+pub(crate) struct RankCore {
+    pub(crate) transport: Box<dyn Transport>,
+    pub(crate) clock: SimClock,
+    pub(crate) topology: HostTopology,
+    /// Next context id this rank would propose for a new communicator.
+    next_ctx: CtxId,
+    /// Per-communicator collective counters, keyed by context id.
+    coll_stats: BTreeMap<CtxId, CommCollStats>,
+}
+
+impl RankCore {
+    fn note_coll(&mut self, ctx: CtxId, comm_size: usize, op: CollOp, payload_bytes: u64) {
+        self.transport.record_collective(payload_bytes);
+        let entry = self.coll_stats.entry(ctx).or_insert(CommCollStats {
+            ctx,
+            comm_size,
+            ..CommCollStats::default()
+        });
+        entry.payload_bytes += payload_bytes;
+        match op {
+            CollOp::Barrier => entry.barriers += 1,
+            CollOp::Bcast => entry.bcasts += 1,
+            CollOp::Gather => entry.gathers += 1,
+            CollOp::Scatter => entry.scatters += 1,
+            CollOp::Allgather => entry.allgathers += 1,
+            CollOp::Reduce => entry.reduces += 1,
+            CollOp::Allreduce => entry.allreduces += 1,
+            CollOp::ReduceScatter => entry.reduce_scatters += 1,
+        }
+    }
+
+    pub(crate) fn coll_stats_snapshot(&self) -> Vec<CommCollStats> {
+        self.coll_stats.values().copied().collect()
+    }
+}
+
+/// A communicator handle (the `MPI_Comm` equivalent). The world communicator
+/// is handed to every rank by [`crate::runtime::Universe::run`]; further
+/// communicators come from [`Comm::comm_dup`] and [`Comm::comm_split`].
+///
+/// All rank arguments and [`Status::source`] values are **local ranks** of
+/// this communicator's group.
+pub struct Comm {
+    core: Rc<RefCell<RankCore>>,
+    group: Arc<Group>,
+    ctx: CtxId,
+    /// This rank's local rank within `group`.
+    rank: Rank,
+}
+
+impl Comm {
+    /// Build the world communicator for one rank (runtime-internal).
+    pub(crate) fn world(transport: Box<dyn Transport>, topology: HostTopology) -> Self {
+        let n = transport.size();
+        let rank = transport.rank();
+        let core = RankCore {
+            transport,
+            clock: SimClock::new(),
+            topology,
+            next_ctx: WORLD_CTX + 1,
+            coll_stats: BTreeMap::new(),
+        };
+        Comm {
+            core: Rc::new(RefCell::new(core)),
+            group: Arc::new(Group::world(n)),
+            ctx: WORLD_CTX,
+            rank,
+        }
+    }
+
+    /// Snapshot of the per-communicator collective counters accumulated by
+    /// this rank so far (across *all* communicators sharing the rank core).
+    pub(crate) fn coll_stats_snapshot(&self) -> Vec<CommCollStats> {
+        self.core.borrow().coll_stats_snapshot()
+    }
+
+    fn view(&self) -> CommView<'_> {
+        CommView {
+            group: &self.group,
+            ctx: self.ctx,
+            rank: self.rank,
+        }
+    }
+
+    /// Translate a local rank of this communicator to a world rank.
+    fn world_of(&self, local: Rank) -> Result<Rank> {
+        if local >= self.group.size() {
+            return Err(MpiError::InvalidRank {
+                rank: local,
+                size: self.group.size(),
+            });
+        }
+        Ok(self.group.world_rank(local))
+    }
+
+    /// Rewrite a transport-level status (world source) into this
+    /// communicator's rank space.
+    fn localize(&self, status: Status) -> Result<Status> {
+        let source = self.group.local_rank_of(status.source).ok_or_else(|| {
+            MpiError::InvalidCommunicator(format!(
+                "message from world rank {} matched on context {} but the rank is not a member",
+                status.source, self.ctx
+            ))
+        })?;
+        Ok(Status { source, ..status })
+    }
+
+    fn ensure_world_group(&self, world_size: usize) -> Result<()> {
+        if self.group.is_world(world_size) {
+            Ok(())
+        } else {
+            Err(MpiError::InvalidCommunicator(
+                "RMA windows are only supported on world-spanning communicators".into(),
+            ))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Identity and introspection
+    // ------------------------------------------------------------------
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.size()
+    }
+
+    /// This rank's world (universe-wide) rank.
+    pub fn world_rank(&self) -> Rank {
+        self.group.world_rank(self.rank)
+    }
+
+    /// The communicator's rank group.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// The communicator's context id.
+    pub fn context_id(&self) -> CtxId {
+        self.ctx
+    }
+
+    /// Whether this communicator spans the entire universe.
+    pub fn is_world(&self) -> bool {
+        let world_size = self.core.borrow().transport.size();
+        self.group.is_world(world_size)
+    }
+
+    /// The host this rank runs on.
+    pub fn host(&self) -> usize {
+        let world = self.world_rank();
+        self.core.borrow().topology.host_of(world)
+    }
+
+    /// The full host topology (indexed by world rank).
+    pub fn topology(&self) -> HostTopology {
+        self.core.borrow().topology.clone()
+    }
+
+    /// Whether this rank is rank 0 of the communicator.
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Transport label (for benchmark output).
+    pub fn transport_label(&self) -> &'static str {
+        self.core.borrow().transport.label()
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual time and counters
+    // ------------------------------------------------------------------
+
+    /// Current virtual time of this rank, nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        self.core.borrow().clock.now()
+    }
+
+    /// Charge `ns` nanoseconds of local computation to the virtual clock.
+    pub fn advance_clock(&mut self, ns: f64) {
+        self.core.borrow_mut().clock.advance(ns);
+    }
+
+    /// Transport operation counters (shared by every communicator of the
+    /// rank).
+    pub fn stats(&self) -> TransportStats {
+        self.core.borrow().transport.stats()
+    }
+
+    /// Tell the contention / NIC-sharing models how many communication pairs
+    /// are concurrently active (benchmarks set this to their process count).
+    pub fn set_concurrency_hint(&mut self, pairs: usize) {
+        self.core.borrow_mut().transport.set_concurrency_hint(pairs);
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator construction
+    // ------------------------------------------------------------------
+
+    /// Duplicate the communicator: same group, fresh context id. Collective
+    /// over this communicator. The duplicate's traffic is fully isolated from
+    /// the original's — the MPI idiom for handing a library its own
+    /// communicator.
+    pub fn comm_dup(&mut self) -> Result<Comm> {
+        let new_ctx = {
+            let core = &mut *self.core.borrow_mut();
+            let view = self.view();
+            let mut proposal = [core.next_ctx as u64];
+            coll::allreduce(
+                core.transport.as_mut(),
+                &mut core.clock,
+                &view,
+                &mut proposal,
+                ReduceOp::Max,
+            )?;
+            let agreed = proposal[0] as CtxId;
+            core.next_ctx = agreed + 1;
+            core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, 8);
+            agreed
+        };
+        Ok(Comm {
+            core: Rc::clone(&self.core),
+            group: Arc::clone(&self.group),
+            ctx: new_ctx,
+            rank: self.rank,
+        })
+    }
+
+    /// Split the communicator: ranks passing the same non-negative `color`
+    /// form a new sub-communicator, ordered by (`key`, current rank); a
+    /// negative `color` (the `MPI_UNDEFINED` idiom) yields `None`. Collective
+    /// over this communicator — every member must call it.
+    pub fn comm_split(&mut self, color: i32, key: i32) -> Result<Option<Comm>> {
+        let n = self.group.size();
+        let mut gathered = vec![0i64; 3 * n];
+        let new_ctx = {
+            let core = &mut *self.core.borrow_mut();
+            let view = self.view();
+            let mine = [color as i64, key as i64, core.next_ctx as i64];
+            coll::allgather_into(
+                core.transport.as_mut(),
+                &mut core.clock,
+                &view,
+                &mine,
+                &mut gathered,
+            )?;
+            // Agree on a context id unused by every member (max of proposals);
+            // all colors of this split share it — their groups are disjoint,
+            // so their (source, destination) pairs already are.
+            let agreed = gathered
+                .chunks_exact(3)
+                .map(|c| c[2])
+                .max()
+                .expect("split gathered at least this rank") as CtxId;
+            core.next_ctx = agreed + 1;
+            core.note_coll(self.ctx, n, CollOp::Allgather, 24);
+            agreed
+        };
+        if color < 0 {
+            return Ok(None);
+        }
+        // Members of my color, ordered by (key, parent rank).
+        let mut members: Vec<(i64, Rank)> = gathered
+            .chunks_exact(3)
+            .enumerate()
+            .filter(|(_, c)| c[0] == color as i64)
+            .map(|(local, c)| (c[1], local))
+            .collect();
+        members.sort_unstable();
+        let world_ranks: Vec<Rank> = members
+            .iter()
+            .map(|&(_, local)| self.group.world_rank(local))
+            .collect();
+        let group = Arc::new(Group::from_world_ranks(world_ranks)?);
+        let my_local = group
+            .local_rank_of(self.world_rank())
+            .expect("split member contains itself");
+        Ok(Some(Comm {
+            core: Rc::clone(&self.core),
+            group,
+            ctx: new_ctx,
+            rank: my_local,
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // Two-sided
+    // ------------------------------------------------------------------
+
+    /// Blocking send of `data` to local rank `dst` with `tag`.
+    pub fn send(&mut self, dst: Rank, tag: Tag, data: &[u8]) -> Result<()> {
+        let dst = self.world_of(dst)?;
+        let core = &mut *self.core.borrow_mut();
+        core.transport
+            .send(&mut core.clock, dst, self.ctx, tag, data)
+    }
+
+    /// Blocking receive into `buf`; returns the completion status.
+    pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>, buf: &mut [u8]) -> Result<Status> {
+        let src = src.map(|s| self.world_of(s)).transpose()?;
+        let status = {
+            let core = &mut *self.core.borrow_mut();
+            core.transport
+                .recv_into(&mut core.clock, self.ctx, src, tag, buf)?
+        };
+        self.localize(status)
+    }
+
+    /// Blocking receive returning an owned payload.
+    pub fn recv_owned(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<(Status, Vec<u8>)> {
+        let src = src.map(|s| self.world_of(s)).transpose()?;
+        let (status, data) = {
+            let core = &mut *self.core.borrow_mut();
+            core.transport
+                .recv_owned(&mut core.clock, self.ctx, src, tag)?
+        };
+        Ok((self.localize(status)?, data))
+    }
+
+    /// Non-blocking receive attempt returning an owned payload.
+    pub fn try_recv(
+        &mut self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Option<(Status, Vec<u8>)>> {
+        let src = src.map(|s| self.world_of(s)).transpose()?;
+        let found = {
+            let core = &mut *self.core.borrow_mut();
+            core.transport
+                .try_recv_owned(&mut core.clock, self.ctx, src, tag)?
+        };
+        match found {
+            Some((status, data)) => Ok(Some((self.localize(status)?, data))),
+            None => Ok(None),
+        }
+    }
+
+    /// Non-blocking send (eager: completes immediately once enqueued).
+    pub fn isend(&mut self, dst: Rank, tag: Tag, data: &[u8]) -> Result<Request> {
+        self.send(dst, tag, data)?;
+        Ok(Request::send_done(
+            self.ctx,
+            Status::new(self.rank, tag, data.len()),
+        ))
+    }
+
+    /// Non-blocking receive: returns a pending request to pass to
+    /// [`Comm::wait`], [`Comm::test`] or the `*_any`/`*_all` combinators.
+    pub fn irecv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<Request> {
+        let src = src.map(|s| self.world_of(s)).transpose()?;
+        Ok(Request::recv_pending(self.ctx, src, tag))
+    }
+
+    fn check_request_ctx(&self, request: &Request) -> Result<()> {
+        if request.ctx != self.ctx {
+            return Err(MpiError::InvalidCommunicator(format!(
+                "request created on context {} completed on context {}",
+                request.ctx, self.ctx
+            )));
+        }
+        Ok(())
+    }
+
+    /// One non-blocking completion attempt for a pending receive request.
+    fn try_complete(&mut self, request: &mut Request) -> Result<Option<Status>> {
+        self.check_request_ctx(request)?;
+        let found = {
+            let core = &mut *self.core.borrow_mut();
+            core.transport
+                .try_recv_owned(&mut core.clock, self.ctx, request.src, request.tag)?
+        };
+        match found {
+            Some((status, data)) => {
+                let status = self.localize(status)?;
+                request.fulfill(status, data);
+                Ok(Some(status))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Block until the request completes; returns its status. For receive
+    /// requests the payload is then available via [`Request::take_data`].
+    pub fn wait(&mut self, request: &mut Request) -> Result<Status> {
+        match request.state() {
+            RequestState::SendComplete | RequestState::RecvComplete => {
+                request.status().ok_or(MpiError::StaleRequest)
+            }
+            RequestState::Consumed => Err(MpiError::StaleRequest),
+            RequestState::RecvPending => {
+                self.check_request_ctx(request)?;
+                let (status, data) = {
+                    let core = &mut *self.core.borrow_mut();
+                    core.transport.recv_owned(
+                        &mut core.clock,
+                        self.ctx,
+                        request.src,
+                        request.tag,
+                    )?
+                };
+                let status = self.localize(status)?;
+                request.fulfill(status, data);
+                Ok(status)
+            }
+        }
+    }
+
+    /// Test a request for completion without blocking.
+    pub fn test(&mut self, request: &mut Request) -> Result<Option<Status>> {
+        match request.state() {
+            RequestState::SendComplete | RequestState::RecvComplete => {
+                Ok(Some(request.status().ok_or(MpiError::StaleRequest)?))
+            }
+            RequestState::Consumed => Err(MpiError::StaleRequest),
+            RequestState::RecvPending => self.try_complete(request),
+        }
+    }
+
+    /// Wait for every request in the slice; statuses are returned in request
+    /// order.
+    pub fn wait_all(&mut self, requests: &mut [Request]) -> Result<Vec<Status>> {
+        requests.iter_mut().map(|r| self.wait(r)).collect()
+    }
+
+    /// Block until *some* request completes; returns its index and status.
+    /// Already-complete (but unconsumed) requests are returned immediately.
+    /// Errors with [`MpiError::StaleRequest`] if the slice is empty or every
+    /// request has been consumed.
+    pub fn wait_any(&mut self, requests: &mut [Request]) -> Result<(usize, Status)> {
+        loop {
+            match self.poll_any(requests)? {
+                PollAny::Ready(i, status) => return Ok((i, status)),
+                PollAny::Pending => {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+                PollAny::NoneActive => return Err(MpiError::StaleRequest),
+            }
+        }
+    }
+
+    /// Non-blocking [`Comm::wait_any`]: `Ok(None)` when no request is
+    /// currently completable (but at least one is still pending). Errors with
+    /// [`MpiError::StaleRequest`] if the slice is empty or fully consumed.
+    pub fn test_any(&mut self, requests: &mut [Request]) -> Result<Option<(usize, Status)>> {
+        match self.poll_any(requests)? {
+            PollAny::Ready(i, status) => Ok(Some((i, status))),
+            PollAny::Pending => Ok(None),
+            PollAny::NoneActive => Err(MpiError::StaleRequest),
+        }
+    }
+
+    fn poll_any(&mut self, requests: &mut [Request]) -> Result<PollAny> {
+        let mut any_pending = false;
+        for (i, request) in requests.iter_mut().enumerate() {
+            match request.state() {
+                RequestState::SendComplete | RequestState::RecvComplete => {
+                    let status = request.status().ok_or(MpiError::StaleRequest)?;
+                    return Ok(PollAny::Ready(i, status));
+                }
+                RequestState::Consumed => {}
+                RequestState::RecvPending => {
+                    any_pending = true;
+                    if let Some(status) = self.try_complete(request)? {
+                        return Ok(PollAny::Ready(i, status));
+                    }
+                }
+            }
+        }
+        Ok(if any_pending {
+            PollAny::Pending
+        } else {
+            PollAny::NoneActive
+        })
+    }
+
+    /// Test whether *every* request has completed; if so, returns their
+    /// statuses in request order (without consuming payloads). Returns
+    /// `Ok(None)` if any request is still pending. Errors with
+    /// [`MpiError::StaleRequest`] if any request was already consumed.
+    pub fn test_all(&mut self, requests: &mut [Request]) -> Result<Option<Vec<Status>>> {
+        let mut all_complete = true;
+        for request in requests.iter_mut() {
+            match request.state() {
+                RequestState::SendComplete | RequestState::RecvComplete => {}
+                RequestState::Consumed => return Err(MpiError::StaleRequest),
+                RequestState::RecvPending => {
+                    if self.try_complete(request)?.is_none() {
+                        all_complete = false;
+                    }
+                }
+            }
+        }
+        if !all_complete {
+            return Ok(None);
+        }
+        requests
+            .iter()
+            .map(|r| r.status().ok_or(MpiError::StaleRequest))
+            .collect::<Result<Vec<_>>>()
+            .map(Some)
+    }
+
+    /// Combined send + receive (deadlock-safe pairwise exchange).
+    pub fn sendrecv(
+        &mut self,
+        dst: Rank,
+        send_tag: Tag,
+        data: &[u8],
+        src: Rank,
+        recv_tag: Tag,
+    ) -> Result<(Status, Vec<u8>)> {
+        if self.rank <= dst {
+            self.send(dst, send_tag, data)?;
+            self.recv_owned(Some(src), Some(recv_tag))
+        } else {
+            let received = self.recv_owned(Some(src), Some(recv_tag))?;
+            self.send(dst, send_tag, data)?;
+            Ok(received)
+        }
+    }
+
+    /// Barrier across all ranks of the communicator. The world communicator
+    /// (and any same-group duplicate) uses the transport's sequence-number
+    /// barrier; sub-communicators run a dissemination barrier over their own
+    /// point-to-point path.
+    pub fn barrier(&mut self) -> Result<()> {
+        let core = &mut *self.core.borrow_mut();
+        if self.group.is_world(core.transport.size()) {
+            core.transport.barrier(&mut core.clock)?;
+        } else {
+            barrier::group_barrier(core.transport.as_mut(), &mut core.clock, &self.view())?;
+        }
+        core.note_coll(self.ctx, self.group.size(), CollOp::Barrier, 0);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided
+    // ------------------------------------------------------------------
+    //
+    // RMA windows are provisioned against the full universe (queue matrices,
+    // fence barriers and lock tables are sized for every rank), so the window
+    // API is only available on world-spanning communicators; sub-communicators
+    // return `MpiError::InvalidCommunicator`.
+
+    /// Collectively allocate an RMA window exposing `size_per_rank` bytes per
+    /// rank (the `MPI_Win_allocate_shared` equivalent over CXL SHM).
+    pub fn win_allocate(&mut self, size_per_rank: usize) -> Result<WinId> {
+        let core = &mut *self.core.borrow_mut();
+        self.ensure_world_group(core.transport.size())?;
+        core.transport.win_allocate(&mut core.clock, size_per_rank)
+    }
+
+    /// Collectively free a window.
+    pub fn win_free(&mut self, win: WinId) -> Result<()> {
+        let core = &mut *self.core.borrow_mut();
+        self.ensure_world_group(core.transport.size())?;
+        core.transport.win_free(&mut core.clock, win)
+    }
+
+    /// One-sided write into `target`'s window region (`MPI_Put`).
+    pub fn put(&mut self, win: WinId, target: Rank, offset: usize, data: &[u8]) -> Result<()> {
+        let target = self.world_of(target)?;
+        let core = &mut *self.core.borrow_mut();
+        self.ensure_world_group(core.transport.size())?;
+        core.transport
+            .put(&mut core.clock, win, target, offset, data)
+    }
+
+    /// One-sided read from `target`'s window region (`MPI_Get`).
+    pub fn get(&mut self, win: WinId, target: Rank, offset: usize, buf: &mut [u8]) -> Result<()> {
+        let target = self.world_of(target)?;
+        let core = &mut *self.core.borrow_mut();
+        self.ensure_world_group(core.transport.size())?;
+        core.transport
+            .get(&mut core.clock, win, target, offset, buf)
+    }
+
+    /// One-sided accumulate into `target`'s window region (`MPI_Accumulate`).
+    pub fn accumulate(
+        &mut self,
+        win: WinId,
+        target: Rank,
+        offset: usize,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<()> {
+        let target = self.world_of(target)?;
+        let core = &mut *self.core.borrow_mut();
+        self.ensure_world_group(core.transport.size())?;
+        core.transport
+            .accumulate(&mut core.clock, win, target, offset, data, op)
+    }
+
+    /// Read this rank's own window region.
+    pub fn win_read_local(&mut self, win: WinId, offset: usize, buf: &mut [u8]) -> Result<()> {
+        let core = &mut *self.core.borrow_mut();
+        self.ensure_world_group(core.transport.size())?;
+        core.transport
+            .win_read_local(&mut core.clock, win, offset, buf)
+    }
+
+    /// Write this rank's own window region.
+    pub fn win_write_local(&mut self, win: WinId, offset: usize, data: &[u8]) -> Result<()> {
+        let core = &mut *self.core.borrow_mut();
+        self.ensure_world_group(core.transport.size())?;
+        core.transport
+            .win_write_local(&mut core.clock, win, offset, data)
+    }
+
+    /// PSCW: expose this rank's window to `origins` (`MPI_Win_post`).
+    pub fn win_post(&mut self, win: WinId, origins: &[Rank]) -> Result<()> {
+        let origins = origins
+            .iter()
+            .map(|&o| self.world_of(o))
+            .collect::<Result<Vec<_>>>()?;
+        let core = &mut *self.core.borrow_mut();
+        self.ensure_world_group(core.transport.size())?;
+        core.transport.post(&mut core.clock, win, &origins)
+    }
+
+    /// PSCW: start an access epoch to `targets` (`MPI_Win_start`).
+    pub fn win_start(&mut self, win: WinId, targets: &[Rank]) -> Result<()> {
+        let targets = targets
+            .iter()
+            .map(|&t| self.world_of(t))
+            .collect::<Result<Vec<_>>>()?;
+        let core = &mut *self.core.borrow_mut();
+        self.ensure_world_group(core.transport.size())?;
+        core.transport.start(&mut core.clock, win, &targets)
+    }
+
+    /// PSCW: complete the access epoch (`MPI_Win_complete`).
+    pub fn win_complete(&mut self, win: WinId) -> Result<()> {
+        let core = &mut *self.core.borrow_mut();
+        core.transport.complete(&mut core.clock, win)
+    }
+
+    /// PSCW: wait for the exposure epoch to finish (`MPI_Win_wait`).
+    pub fn win_wait(&mut self, win: WinId) -> Result<()> {
+        let core = &mut *self.core.borrow_mut();
+        core.transport.wait(&mut core.clock, win)
+    }
+
+    /// Passive-target exclusive lock on `target`'s window (`MPI_Win_lock`).
+    pub fn win_lock(&mut self, win: WinId, target: Rank) -> Result<()> {
+        let target = self.world_of(target)?;
+        let core = &mut *self.core.borrow_mut();
+        core.transport.lock(&mut core.clock, win, target)
+    }
+
+    /// Release the passive-target lock (`MPI_Win_unlock`).
+    pub fn win_unlock(&mut self, win: WinId, target: Rank) -> Result<()> {
+        let target = self.world_of(target)?;
+        let core = &mut *self.core.borrow_mut();
+        core.transport.unlock(&mut core.clock, win, target)
+    }
+
+    /// Fence synchronization over the window (`MPI_Win_fence`).
+    pub fn win_fence(&mut self, win: WinId) -> Result<()> {
+        let core = &mut *self.core.borrow_mut();
+        core.transport.fence(&mut core.clock, win)
+    }
+
+    // ------------------------------------------------------------------
+    // Typed collectives
+    // ------------------------------------------------------------------
+
+    /// Broadcast the fixed-size buffer `buf` from `root` (binomial tree).
+    /// Every rank must pass a buffer of identical length.
+    pub fn bcast_into<T: Pod>(&mut self, root: Rank, buf: &mut [T]) -> Result<()> {
+        let bytes = std::mem::size_of_val(buf) as u64;
+        let core = &mut *self.core.borrow_mut();
+        coll::bcast_into(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            root,
+            buf,
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Bcast, bytes);
+        Ok(())
+    }
+
+    /// Gather equal-sized contributions into a flat buffer at `root`:
+    /// `recv[r * send.len() .. (r+1) * send.len()]` receives rank `r`'s
+    /// `send`. Non-root ranks pass `None`.
+    pub fn gather_into<T: Pod>(
+        &mut self,
+        root: Rank,
+        send: &[T],
+        recv: Option<&mut [T]>,
+    ) -> Result<()> {
+        let bytes = std::mem::size_of_val(send) as u64;
+        let core = &mut *self.core.borrow_mut();
+        coll::gather_into(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            root,
+            send,
+            recv,
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Gather, bytes);
+        Ok(())
+    }
+
+    /// Allgather equal-sized contributions into a flat buffer on every rank
+    /// (ring algorithm): `recv.len()` must equal `size × send.len()`.
+    pub fn allgather_into<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<()> {
+        let bytes = std::mem::size_of_val(send) as u64;
+        let core = &mut *self.core.borrow_mut();
+        coll::allgather_into(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            send,
+            recv,
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Allgather, bytes);
+        Ok(())
+    }
+
+    /// Scatter equal blocks of `send` from `root` into every rank's `recv`:
+    /// rank `r` receives `send[r * recv.len() .. (r+1) * recv.len()]`.
+    /// Non-root ranks pass `None`.
+    pub fn scatter_from<T: Pod>(
+        &mut self,
+        root: Rank,
+        send: Option<&[T]>,
+        recv: &mut [T],
+    ) -> Result<()> {
+        let bytes = std::mem::size_of_val(recv) as u64;
+        let core = &mut *self.core.borrow_mut();
+        coll::scatter_from(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            root,
+            send,
+            recv,
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Scatter, bytes);
+        Ok(())
+    }
+
+    /// Reduce typed values to `root` (binomial tree). Returns `Some(result)`
+    /// on the root, `None` elsewhere.
+    pub fn reduce<T: Reducible>(
+        &mut self,
+        root: Rank,
+        values: &[T],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<T>>> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let core = &mut *self.core.borrow_mut();
+        let out = coll::reduce(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            root,
+            values,
+            op,
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Reduce, bytes);
+        Ok(out)
+    }
+
+    /// Allreduce typed values in place (recursive doubling).
+    pub fn allreduce<T: Reducible>(&mut self, values: &mut [T], op: ReduceOp) -> Result<()> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let core = &mut *self.core.borrow_mut();
+        coll::allreduce(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            values,
+            op,
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, bytes);
+        Ok(())
+    }
+
+    /// Reduce-scatter typed values; returns this rank's block.
+    pub fn reduce_scatter<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Vec<T>> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let core = &mut *self.core.borrow_mut();
+        let out = coll::reduce_scatter(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            values,
+            op,
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::ReduceScatter, bytes);
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy byte collectives (deprecated shims)
+    // ------------------------------------------------------------------
+
+    /// Broadcast `data` from `root` (byte semantics: non-root buffers are
+    /// replaced and may change length).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the typed `bcast_into` (fixed-size buffers) instead"
+    )]
+    pub fn bcast(&mut self, root: Rank, data: &mut Vec<u8>) -> Result<()> {
+        let bytes = data.len() as u64;
+        let core = &mut *self.core.borrow_mut();
+        coll::bcast_bytes(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            root,
+            data,
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Bcast, bytes);
+        Ok(())
+    }
+
+    /// Gather every rank's buffer at `root` (byte semantics: contributions may
+    /// differ in length).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the typed, flat-buffer `gather_into` instead"
+    )]
+    pub fn gather(&mut self, root: Rank, send: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        let bytes = send.len() as u64;
+        let core = &mut *self.core.borrow_mut();
+        let out = coll::gather_bytes(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            root,
+            send,
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Gather, bytes);
+        Ok(out)
+    }
+
+    /// Scatter one buffer per rank from `root` (byte semantics).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the typed, flat-buffer `scatter_from` instead"
+    )]
+    pub fn scatter(&mut self, root: Rank, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
+        let core = &mut *self.core.borrow_mut();
+        let out = coll::scatter_bytes(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            root,
+            chunks,
+        )?;
+        core.note_coll(
+            self.ctx,
+            self.group.size(),
+            CollOp::Scatter,
+            out.len() as u64,
+        );
+        Ok(out)
+    }
+
+    /// Allgather every rank's contribution (byte semantics: contributions may
+    /// differ in length).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the typed, flat-buffer `allgather_into` instead"
+    )]
+    pub fn allgather(&mut self, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let bytes = mine.len() as u64;
+        let core = &mut *self.core.borrow_mut();
+        let out =
+            coll::allgather_bytes(core.transport.as_mut(), &mut core.clock, &self.view(), mine)?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Allgather, bytes);
+        Ok(out)
+    }
+
+    /// Reduce `f64` values to `root`.
+    #[deprecated(since = "0.2.0", note = "use the datatype-generic `reduce` instead")]
+    pub fn reduce_f64(
+        &mut self,
+        root: Rank,
+        values: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>> {
+        self.reduce(root, values, op)
+    }
+
+    /// Allreduce `f64` values in place.
+    #[deprecated(since = "0.2.0", note = "use the datatype-generic `allreduce` instead")]
+    pub fn allreduce_f64(&mut self, values: &mut [f64], op: ReduceOp) -> Result<()> {
+        self.allreduce(values, op)
+    }
+
+    /// Reduce-scatter `f64` values; returns this rank's block.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the datatype-generic `reduce_scatter` instead"
+    )]
+    pub fn reduce_scatter_f64(&mut self, values: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
+        self.reduce_scatter(values, op)
+    }
+}
+
+enum PollAny {
+    Ready(usize, Status),
+    Pending,
+    NoneActive,
+}

@@ -192,7 +192,9 @@ mod tests {
             "TCP over Ethernet"
         );
         assert_eq!(
-            UniverseConfig::tcp(4, TcpNic::MellanoxCx6Dx).transport.label(),
+            UniverseConfig::tcp(4, TcpNic::MellanoxCx6Dx)
+                .transport
+                .label(),
             "TCP over Mellanox (CX-6 Dx)"
         );
     }

@@ -45,6 +45,9 @@ pub enum MpiError {
     InvalidConfig(String),
     /// A request was waited on twice or used after completion consumed it.
     StaleRequest,
+    /// An operation was called on a communicator that cannot support it
+    /// (e.g. RMA windows on a sub-communicator) or with an invalid group.
+    InvalidCommunicator(String),
 }
 
 impl fmt::Display for MpiError {
@@ -75,6 +78,7 @@ impl fmt::Display for MpiError {
             MpiError::InvalidCollective(msg) => write!(f, "invalid collective call: {msg}"),
             MpiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MpiError::StaleRequest => write!(f, "request already completed or consumed"),
+            MpiError::InvalidCommunicator(msg) => write!(f, "invalid communicator: {msg}"),
         }
     }
 }

@@ -1,0 +1,123 @@
+//! Rank groups: ordered subsets of the world's ranks.
+//!
+//! A [`Group`] is the membership half of a communicator (the other half being
+//! the context id that isolates its tag space). Local ranks `0..size` index
+//! the group's ordered member list; [`Group::world_rank`] and
+//! [`Group::local_rank_of`] translate between the two spaces, exactly like
+//! `MPI_Group_translate_ranks`.
+
+use crate::error::MpiError;
+use crate::types::Rank;
+use crate::Result;
+
+/// An ordered set of world ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// `world[i]` is the world rank of local rank `i`.
+    world: Vec<Rank>,
+    /// `(world, local)` pairs sorted by world rank — the reverse index used by
+    /// [`Group::local_rank_of`], which sits on the per-message receive path.
+    index: Vec<(Rank, Rank)>,
+}
+
+impl Group {
+    fn with_index(world: Vec<Rank>) -> Self {
+        let mut index: Vec<(Rank, Rank)> = world.iter().copied().zip(0..).collect();
+        index.sort_unstable();
+        Group { world, index }
+    }
+
+    /// The group of every rank in a world of `n` ranks, in world order.
+    pub fn world(n: usize) -> Self {
+        Self::with_index((0..n).collect())
+    }
+
+    /// Build a group from an explicit ordered list of world ranks. The list
+    /// must be non-empty and free of duplicates.
+    pub fn from_world_ranks(world: Vec<Rank>) -> Result<Self> {
+        if world.is_empty() {
+            return Err(MpiError::InvalidCommunicator(
+                "a group must contain at least one rank".into(),
+            ));
+        }
+        let group = Self::with_index(world);
+        if group.index.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(MpiError::InvalidCommunicator(format!(
+                "duplicate world rank in group {:?}",
+                group.world
+            )));
+        }
+        Ok(group)
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.world.len()
+    }
+
+    /// World rank of local rank `local`. Panics if out of range; use
+    /// [`Group::size`] to validate first.
+    pub fn world_rank(&self, local: Rank) -> Rank {
+        self.world[local]
+    }
+
+    /// Local rank of `world` within this group, or `None` if it is not a
+    /// member. O(log size) — this runs on every receive to translate the
+    /// source rank.
+    pub fn local_rank_of(&self, world: Rank) -> Option<Rank> {
+        self.index
+            .binary_search_by_key(&world, |&(w, _)| w)
+            .ok()
+            .map(|i| self.index[i].1)
+    }
+
+    /// Whether `world` is a member.
+    pub fn contains(&self, world: Rank) -> bool {
+        self.local_rank_of(world).is_some()
+    }
+
+    /// The ordered member list (world ranks).
+    pub fn world_ranks(&self) -> &[Rank] {
+        &self.world
+    }
+
+    /// Whether this group is exactly the identity over a world of `n` ranks
+    /// (every rank, in world order).
+    pub fn is_world(&self, n: usize) -> bool {
+        self.world.len() == n && self.world.iter().enumerate().all(|(i, &w)| i == w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_group_is_identity() {
+        let g = Group::world(4);
+        assert_eq!(g.size(), 4);
+        assert!(g.is_world(4));
+        assert!(!g.is_world(5));
+        assert_eq!(g.world_rank(2), 2);
+        assert_eq!(g.local_rank_of(3), Some(3));
+    }
+
+    #[test]
+    fn subset_group_translates_ranks() {
+        let g = Group::from_world_ranks(vec![5, 1, 3]).unwrap();
+        assert_eq!(g.size(), 3);
+        assert!(!g.is_world(3));
+        assert_eq!(g.world_rank(0), 5);
+        assert_eq!(g.world_rank(2), 3);
+        assert_eq!(g.local_rank_of(1), Some(1));
+        assert_eq!(g.local_rank_of(2), None);
+        assert!(g.contains(5));
+        assert!(!g.contains(0));
+    }
+
+    #[test]
+    fn invalid_groups_rejected() {
+        assert!(Group::from_world_ranks(vec![]).is_err());
+        assert!(Group::from_world_ranks(vec![1, 2, 1]).is_err());
+    }
+}

@@ -6,28 +6,63 @@
 //! network stack, plus a simulated-TCP baseline transport so that the paper's
 //! comparisons can be reproduced under one API.
 //!
+//! ## The communicator model
+//!
+//! Communication happens through [`comm::Comm`] handles. A communicator is a
+//! ([`group::Group`], context id) pair:
+//!
+//! * the **group** is an ordered subset of the universe's ranks; all rank
+//!   arguments and [`types::Status::source`] values are local to it;
+//! * the **context id** ([`types::CtxId`]) is woven into the transport-level
+//!   tag encoding of both transports, so traffic on one communicator can never
+//!   match a receive posted on another — even with identical source, tag and
+//!   destination.
+//!
+//! Every rank starts with the world communicator (context [`types::WORLD_CTX`])
+//! and derives further communicators collectively with
+//! [`comm::Comm::comm_dup`] (same group, isolated tag space) and
+//! [`comm::Comm::comm_split`] (partition by color, order by key — row/column
+//! communicators for stencils, per-host communicators, ...). Context ids are
+//! agreed via a max-allreduce over the parent communicator, the MPICH scheme.
+//!
+//! Collectives are **datatype-generic and zero-copy**: `allreduce<T>`,
+//! `bcast_into<T>`, `gather_into<T>`, `allgather_into<T>`, `scatter_from<T>`
+//! move [`pod::Pod`] buffers (`f64`, `i32`, ... slices) through the byte
+//! transports without per-element encoding. The pre-redesign byte-vector
+//! collectives (`bcast(&mut Vec<u8>)`, `reduce_f64`, `gather -> Vec<Vec<u8>>`,
+//! ...) survive as deprecated shims on `Comm`.
+//!
 //! ## Architecture
 //!
 //! * [`runtime`] — the [`runtime::Universe`] spawns one OS thread per MPI rank,
 //!   assigns ranks to simulated hosts, builds the selected transport and hands
-//!   each rank a [`runtime::Comm`] handle.
+//!   each rank its world [`comm::Comm`].
+//! * [`comm`] — the communicator layer: rank translation, context-id
+//!   allocation, request completion, typed collectives, per-communicator
+//!   collective counters (surfaced in [`runtime::RankReport`]).
+//! * [`group`] — ordered rank subsets with world↔local translation.
 //! * [`transport`] — the [`transport::Transport`] trait and its two
 //!   implementations: [`transport::cxl::CxlTransport`] (message-queue matrix,
 //!   RMA windows and synchronization flags in CXL shared memory, software
 //!   cache coherence) and [`transport::tcp::TcpTransport`] (the MPICH-over-TCP
-//!   baseline on the simulated NIC fabric).
+//!   baseline on the simulated NIC fabric). Both encode the context id in
+//!   their wire-level tags.
 //! * [`queue`] — the SPSC message-cell ring queues that carry two-sided
 //!   messages through CXL shared memory (Section 3.3).
 //! * [`rma`] — one-sided window layout and the PSCW / lock-unlock / fence
 //!   synchronization built on CXL-resident flags (Sections 3.2 and 3.4).
 //! * [`barrier`] — the sequence-number barrier that avoids cross-host atomic
-//!   operations (Section 3.4).
+//!   operations (Section 3.4), plus the dissemination barrier that serves
+//!   arbitrary sub-communicator groups.
 //! * [`coll`] — collectives (barrier, broadcast, allgather, allreduce, reduce,
-//!   reduce-scatter, gather, scatter) layered on point-to-point, the paper's
-//!   Section 3.6 extension.
-//! * [`p2p`], [`request`] — message matching, non-blocking requests and status.
-//! * [`datatype`], [`pod`] — minimal datatype support and safe byte conversion
-//!   helpers for numeric slices.
+//!   reduce-scatter, gather, scatter) layered on point-to-point over a
+//!   [`coll::CommView`], the paper's Section 3.6 extension.
+//! * [`p2p`], [`request`] — context-scoped message matching, non-blocking
+//!   requests (`wait`/`test`/`wait_all`/`wait_any`/`test_any`/`test_all`) and
+//!   status.
+//! * [`datatype`], [`pod`] — datatype descriptions (contiguous/vector layouts
+//!   with pack/unpack) and the [`pod::Pod`] zero-copy byte views the typed
+//!   collectives are built on.
 //!
 //! Virtual time: every rank carries a [`cmpi_fabric::SimClock`]; transports
 //! charge modelled costs to it and stamp messages/flags so receivers observe
@@ -39,9 +74,11 @@
 
 pub mod barrier;
 pub mod coll;
+pub mod comm;
 pub mod config;
 pub mod datatype;
 pub mod error;
+pub mod group;
 pub mod p2p;
 pub mod pod;
 pub mod queue;
@@ -52,12 +89,15 @@ pub mod topology;
 pub mod transport;
 pub mod types;
 
+pub use comm::{Comm, CommCollStats};
 pub use config::{CxlShmTransportConfig, TcpTransportConfig, TransportConfig, UniverseConfig};
 pub use error::MpiError;
+pub use group::Group;
+pub use pod::Pod;
 pub use request::{Request, RequestState};
-pub use runtime::{Comm, RankReport, Universe};
+pub use runtime::{RankReport, Universe};
 pub use topology::HostTopology;
-pub use types::{Rank, ReduceOp, Status, Tag, ANY_SOURCE, ANY_TAG};
+pub use types::{CtxId, Rank, ReduceOp, Reducible, Status, Tag, ANY_SOURCE, ANY_TAG, WORLD_CTX};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, MpiError>;

@@ -7,18 +7,36 @@
 //! pulled off the wire (or out of the CXL ring queues) that no receive has
 //! asked for yet. A receive first searches this queue, then drains the
 //! transport until a matching message appears, stashing everything else.
+//!
+//! Matching is scoped by the **context id** of the communicator the receive
+//! was posted on: a message sent on one communicator can never satisfy a
+//! receive posted on another, even with identical source and tag. This is the
+//! property that makes `comm_split`/`comm_dup` sub-communicators safe to use
+//! concurrently (see [`crate::comm`]).
 
-use crate::types::{source_matches, tag_matches, Rank, Status, Tag};
+use crate::types::{source_matches, tag_matches, CtxId, Rank, Status, Tag};
 
 /// A fully reassembled message waiting to be matched by a receive.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PendingMessage {
-    /// Completion record (source, tag, length).
+    /// Completion record (world source rank, tag, length).
     pub status: Status,
+    /// Context id the message was sent under.
+    pub ctx: CtxId,
     /// Payload.
     pub data: Vec<u8>,
     /// Virtual time at which the message became available at this rank.
     pub arrival: f64,
+}
+
+impl PendingMessage {
+    /// Whether the message satisfies a receive posted with the given context
+    /// and selectors.
+    pub fn matches(&self, ctx: CtxId, src: Option<Rank>, tag: Option<Tag>) -> bool {
+        self.ctx == ctx
+            && source_matches(src, self.status.source)
+            && tag_matches(tag, self.status.tag)
+    }
 }
 
 /// The unexpected-message queue of one rank.
@@ -48,19 +66,30 @@ impl UnexpectedQueue {
         self.messages.push(msg);
     }
 
-    /// Remove and return the earliest stashed message matching the selectors.
-    pub fn take_match(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Option<PendingMessage> {
-        let pos = self.messages.iter().position(|m| {
-            source_matches(src, m.status.source) && tag_matches(tag, m.status.tag)
-        })?;
+    /// Remove and return the earliest stashed message matching the context and
+    /// selectors.
+    pub fn take_match(
+        &mut self,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Option<PendingMessage> {
+        let pos = self
+            .messages
+            .iter()
+            .position(|m| m.matches(ctx, src, tag))?;
         Some(self.messages.remove(pos))
     }
 
-    /// Whether a stashed message matches the selectors (non-destructive probe).
-    pub fn probe(&self, src: Option<Rank>, tag: Option<Tag>) -> Option<&PendingMessage> {
-        self.messages
-            .iter()
-            .find(|m| source_matches(src, m.status.source) && tag_matches(tag, m.status.tag))
+    /// Whether a stashed message matches the context and selectors
+    /// (non-destructive probe).
+    pub fn probe(
+        &self,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Option<&PendingMessage> {
+        self.messages.iter().find(|m| m.matches(ctx, src, tag))
     }
 }
 
@@ -72,6 +101,7 @@ impl UnexpectedQueue {
 #[derive(Debug)]
 pub struct ChunkAssembler {
     src: Rank,
+    ctx: CtxId,
     tag: Tag,
     total_len: usize,
     received: usize,
@@ -81,9 +111,10 @@ pub struct ChunkAssembler {
 
 impl ChunkAssembler {
     /// Start assembling from the first chunk of a message.
-    pub fn new(src: Rank, tag: Tag, total_len: usize) -> Self {
+    pub fn new(src: Rank, ctx: CtxId, tag: Tag, total_len: usize) -> Self {
         ChunkAssembler {
             src,
+            ctx,
             tag,
             total_len,
             received: 0,
@@ -119,6 +150,7 @@ impl ChunkAssembler {
         assert!(self.is_complete(), "message not fully assembled");
         PendingMessage {
             status: Status::new(self.src, self.tag, self.total_len),
+            ctx: self.ctx,
             data: self.data,
             arrival: self.latest_ts,
         }
@@ -130,8 +162,13 @@ mod tests {
     use super::*;
 
     fn msg(src: Rank, tag: Tag, len: usize) -> PendingMessage {
+        msg_ctx(0, src, tag, len)
+    }
+
+    fn msg_ctx(ctx: CtxId, src: Rank, tag: Tag, len: usize) -> PendingMessage {
         PendingMessage {
             status: Status::new(src, tag, len),
+            ctx,
             data: vec![src as u8; len],
             arrival: 0.0,
         }
@@ -144,27 +181,43 @@ mod tests {
         q.push(msg(1, 2, 4));
         q.push(msg(0, 2, 4));
         // Wildcard source, tag 2 → the message from rank 1 (earliest tag-2).
-        let m = q.take_match(None, Some(2)).unwrap();
+        let m = q.take_match(0, None, Some(2)).unwrap();
         assert_eq!(m.status.source, 1);
         // Specific source 0, wildcard tag → the first message from rank 0.
-        let m = q.take_match(Some(0), None).unwrap();
+        let m = q.take_match(0, Some(0), None).unwrap();
         assert_eq!(m.status.tag, 1);
         assert_eq!(q.len(), 1);
-        assert!(q.take_match(Some(5), None).is_none());
+        assert!(q.take_match(0, Some(5), None).is_none());
+    }
+
+    #[test]
+    fn context_id_isolates_matching() {
+        let mut q = UnexpectedQueue::new();
+        q.push(msg_ctx(1, 0, 7, 4));
+        q.push(msg_ctx(2, 0, 7, 8));
+        // Identical (src, tag) but different communicators: the receive on
+        // context 2 must skip the context-1 message.
+        let m = q.take_match(2, Some(0), Some(7)).unwrap();
+        assert_eq!(m.status.len, 8);
+        assert!(q.take_match(0, Some(0), Some(7)).is_none());
+        assert!(q.probe(1, Some(0), Some(7)).is_some());
+        let m = q.take_match(1, None, None).unwrap();
+        assert_eq!(m.status.len, 4);
+        assert!(q.is_empty());
     }
 
     #[test]
     fn probe_does_not_remove() {
         let mut q = UnexpectedQueue::new();
         q.push(msg(3, 7, 2));
-        assert!(q.probe(Some(3), Some(7)).is_some());
+        assert!(q.probe(0, Some(3), Some(7)).is_some());
         assert_eq!(q.len(), 1);
-        assert!(q.probe(Some(3), Some(8)).is_none());
+        assert!(q.probe(0, Some(3), Some(8)).is_none());
     }
 
     #[test]
     fn assembler_reassembles_out_of_order_chunks() {
-        let mut a = ChunkAssembler::new(2, 9, 10);
+        let mut a = ChunkAssembler::new(2, 5, 9, 10);
         a.add_chunk(4, &[5, 6, 7, 8, 9, 10], 100.0);
         assert!(!a.is_complete());
         a.add_chunk(0, &[1, 2, 3, 4], 50.0);
@@ -172,12 +225,13 @@ mod tests {
         let m = a.finish();
         assert_eq!(m.data, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
         assert_eq!(m.status, Status::new(2, 9, 10));
+        assert_eq!(m.ctx, 5);
         assert_eq!(m.arrival, 100.0);
     }
 
     #[test]
     fn assembler_zero_length_message() {
-        let a = ChunkAssembler::new(0, 0, 0);
+        let a = ChunkAssembler::new(0, 0, 0, 0);
         assert!(a.is_complete());
         assert!(a.finish().data.is_empty());
     }
@@ -185,14 +239,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds message length")]
     fn assembler_rejects_out_of_bounds_chunk() {
-        let mut a = ChunkAssembler::new(0, 0, 4);
+        let mut a = ChunkAssembler::new(0, 0, 0, 4);
         a.add_chunk(2, &[0, 0, 0], 0.0);
     }
 
     #[test]
     #[should_panic(expected = "not fully assembled")]
     fn finish_requires_completion() {
-        let a = ChunkAssembler::new(0, 0, 4);
+        let a = ChunkAssembler::new(0, 0, 0, 4);
         let _ = a.finish();
     }
 }

@@ -31,7 +31,7 @@
 use cxl_shm::ShmObject;
 
 use crate::error::MpiError;
-use crate::types::{Rank, Tag};
+use crate::types::{CtxId, Rank, Tag};
 use crate::Result;
 
 /// Size of a cell header on the device, bytes (one cache line).
@@ -47,8 +47,12 @@ const OFF_TAIL_TS: u64 = 72;
 /// Header stored at the front of every message cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellHeader {
-    /// Sending rank.
+    /// Sending rank (world rank).
     pub src: Rank,
+    /// Context id of the communicator the message was sent on. Receives match
+    /// on it exactly, which is what keeps the tag spaces of split/duplicated
+    /// communicators disjoint on the CXL transport.
+    pub ctx: CtxId,
     /// Message tag.
     pub tag: Tag,
     /// Total length of the (possibly multi-chunk) message, bytes.
@@ -67,6 +71,7 @@ impl CellHeader {
         let mut buf = [0u8; CELL_HEADER_SIZE];
         buf[0..8].copy_from_slice(&(self.src as u64).to_le_bytes());
         buf[8..12].copy_from_slice(&self.tag.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.ctx.to_le_bytes());
         buf[16..24].copy_from_slice(&self.total_len.to_le_bytes());
         buf[24..32].copy_from_slice(&self.chunk_offset.to_le_bytes());
         buf[32..36].copy_from_slice(&self.chunk_len.to_le_bytes());
@@ -79,6 +84,7 @@ impl CellHeader {
         CellHeader {
             src: u64::from_le_bytes(buf[0..8].try_into().unwrap()) as Rank,
             tag: Tag::from_le_bytes(buf[8..12].try_into().unwrap()),
+            ctx: CtxId::from_le_bytes(buf[12..16].try_into().unwrap()),
             total_len: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
             chunk_offset: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
             chunk_len: u32::from_le_bytes(buf[32..36].try_into().unwrap()),
@@ -320,11 +326,9 @@ mod tests {
             ArenaConfig::small(),
         )
         .unwrap();
-        let arena_b = CxlShmArena::attach(CxlView::new(
-            dev,
-            HostCache::with_capacity("hostB", 8192),
-        ))
-        .unwrap();
+        let arena_b =
+            CxlShmArena::attach(CxlView::new(dev, HostCache::with_capacity("hostB", 8192)))
+                .unwrap();
         let obj_a = arena_a.create("q", bytes).unwrap();
         let obj_b = arena_b.open("q").unwrap();
         (obj_a, obj_b)
@@ -341,6 +345,7 @@ mod tests {
     fn header_encode_decode_roundtrip() {
         let h = CellHeader {
             src: 7,
+            ctx: 0,
             tag: -3,
             total_len: 1 << 40,
             chunk_offset: 4096,
@@ -372,6 +377,7 @@ mod tests {
 
         let header = CellHeader {
             src: 1,
+            ctx: 0,
             tag: 5,
             total_len: 11,
             chunk_offset: 0,
@@ -400,6 +406,7 @@ mod tests {
         producer.format().unwrap();
         let hdr = |i: u64| CellHeader {
             src: 0,
+            ctx: 0,
             tag: 0,
             total_len: 4,
             chunk_offset: 0,
@@ -430,6 +437,7 @@ mod tests {
         producer.format().unwrap();
         let h = CellHeader {
             src: 0,
+            ctx: 0,
             tag: 0,
             total_len: 100,
             chunk_offset: 0,
@@ -451,6 +459,7 @@ mod tests {
         producer.format().unwrap();
         let h = CellHeader {
             src: 3,
+            ctx: 0,
             tag: 9,
             total_len: 0,
             chunk_offset: 0,
@@ -476,20 +485,15 @@ mod tests {
         // Rank 0 sends to rank 2, rank 1 sends to rank 2 — different queues.
         let h = |src: Rank| CellHeader {
             src,
+            ctx: 0,
             tag: 0,
             total_len: 1,
             chunk_offset: 0,
             chunk_len: 1,
             timestamp: 0.0,
         };
-        matrix_a
-            .queue(2, 0)
-            .try_enqueue(&h(0), &[10])
-            .unwrap();
-        matrix_a
-            .queue(2, 1)
-            .try_enqueue(&h(1), &[20])
-            .unwrap();
+        matrix_a.queue(2, 0).try_enqueue(&h(0), &[10]).unwrap();
+        matrix_a.queue(2, 1).try_enqueue(&h(1), &[20]).unwrap();
         // Receiver drains its per-sender queues independently (on host B).
         let (h0, p0) = matrix_b.queue(2, 0).try_dequeue(0.0).unwrap().unwrap();
         let (h1, p1) = matrix_b.queue(2, 1).try_dequeue(0.0).unwrap().unwrap();

@@ -3,12 +3,18 @@
 //! cMPI's two-sided path is eager: a send is complete as soon as the message
 //! has been copied into the CXL message queue (or handed to the TCP stack), so
 //! an `isend` returns an already-complete request. An `irecv` records its
-//! selectors; completion happens when `wait`/`test` finds a matching message.
-//! The payload is delivered through the request itself (Rust-friendly
-//! ownership instead of MPI's caller-provided buffer).
+//! selectors — including the context id of the communicator it was posted on;
+//! completion happens when `wait`/`test` (or the `*_any`/`*_all` combinators)
+//! finds a matching message on that communicator. The payload is delivered
+//! through the request itself (Rust-friendly ownership instead of MPI's
+//! caller-provided buffer).
+//!
+//! A request must be completed on the communicator that created it; completing
+//! it elsewhere fails with [`MpiError::InvalidCommunicator`]
+//! (checked via the stored context id).
 
 use crate::error::MpiError;
-use crate::types::{Rank, Status, Tag};
+use crate::types::{CtxId, Rank, Status, Tag};
 use crate::Result;
 
 /// Completion state of a request.
@@ -28,7 +34,9 @@ pub enum RequestState {
 #[derive(Debug)]
 pub struct Request {
     state: RequestState,
-    /// Selectors of a pending receive.
+    /// Context id of the communicator the request was created on.
+    pub(crate) ctx: CtxId,
+    /// Source selector of a pending receive (world rank).
     pub(crate) src: Option<Rank>,
     /// Tag selector of a pending receive.
     pub(crate) tag: Option<Tag>,
@@ -37,10 +45,11 @@ pub struct Request {
 }
 
 impl Request {
-    /// A completed send request.
-    pub fn send_done(status: Status) -> Self {
+    /// A completed send request on communicator `ctx`.
+    pub fn send_done(ctx: CtxId, status: Status) -> Self {
         Request {
             state: RequestState::SendComplete,
+            ctx,
             src: None,
             tag: None,
             status: Some(status),
@@ -48,10 +57,12 @@ impl Request {
         }
     }
 
-    /// A pending receive request with the given selectors.
-    pub fn recv_pending(src: Option<Rank>, tag: Option<Tag>) -> Self {
+    /// A pending receive request on communicator `ctx` with the given
+    /// selectors (`src` is a world rank).
+    pub fn recv_pending(ctx: CtxId, src: Option<Rank>, tag: Option<Tag>) -> Self {
         Request {
             state: RequestState::RecvPending,
+            ctx,
             src,
             tag,
             status: None,
@@ -62,6 +73,11 @@ impl Request {
     /// Current state.
     pub fn state(&self) -> RequestState {
         self.state
+    }
+
+    /// Context id of the communicator the request belongs to.
+    pub fn context_id(&self) -> CtxId {
+        self.ctx
     }
 
     /// Whether the operation has completed.
@@ -103,15 +119,17 @@ mod tests {
 
     #[test]
     fn send_request_is_complete_immediately() {
-        let r = Request::send_done(Status::new(0, 1, 8));
+        let r = Request::send_done(0, Status::new(0, 1, 8));
         assert!(r.is_complete());
         assert_eq!(r.state(), RequestState::SendComplete);
         assert_eq!(r.status().unwrap().len, 8);
+        assert_eq!(r.context_id(), 0);
     }
 
     #[test]
     fn recv_request_lifecycle() {
-        let mut r = Request::recv_pending(Some(2), Some(7));
+        let mut r = Request::recv_pending(3, Some(2), Some(7));
+        assert_eq!(r.context_id(), 3);
         assert!(!r.is_complete());
         assert!(r.status().is_none());
         assert!(r.take_data().is_err());
@@ -125,7 +143,7 @@ mod tests {
 
     #[test]
     fn take_data_from_send_request_fails() {
-        let mut r = Request::send_done(Status::new(0, 0, 0));
+        let mut r = Request::send_done(0, Status::new(0, 0, 0));
         assert!(matches!(r.take_data(), Err(MpiError::StaleRequest)));
     }
 }

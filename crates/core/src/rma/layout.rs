@@ -140,9 +140,6 @@ mod tests {
     #[test]
     fn sync_bytes_consistent() {
         let l = WindowLayout::new(8, 1024);
-        assert_eq!(
-            l.total_bytes(),
-            8 * 1024 + l.sync_bytes()
-        );
+        assert_eq!(l.total_bytes(), 8 * 1024 + l.sync_bytes());
     }
 }

@@ -1,32 +1,31 @@
-//! The execution runtime: universes, rank threads and the `Comm` facade.
+//! The execution runtime: universes and rank threads.
 //!
 //! A [`Universe`] plays the role of `mpirun` + `MPI_Init`: it builds the
 //! simulated hardware (the dax device and per-host caches for the CXL
 //! transport, or the NIC fabric for the TCP baseline), spawns one OS thread
-//! per rank and hands each thread a [`Comm`] — the equivalent of
-//! `MPI_COMM_WORLD` — wired to the selected transport and carrying the rank's
-//! virtual clock.
+//! per rank and hands each thread a [`Comm`] — the world communicator — wired
+//! to the selected transport and carrying the rank's virtual clock. From the
+//! world communicator, rank code can carve out sub-communicators with
+//! [`Comm::comm_split`] / [`Comm::comm_dup`].
 
 use std::sync::Arc;
 
-use cmpi_fabric::SimClock;
 use cxl_shm::{ArenaConfig, ArenaLayout, CxlShmArena, CxlView, DaxDevice, HostCache};
 
-use crate::coll;
+use crate::comm::{Comm, CommCollStats};
 use crate::config::{TransportConfig, UniverseConfig};
 use crate::error::MpiError;
-use crate::request::{Request, RequestState};
 use crate::topology::HostTopology;
 use crate::transport::cxl::CxlTransport;
 use crate::transport::tcp::{TcpSharedState, TcpTransport};
-use crate::transport::{Transport, TransportStats, WinId};
-use crate::types::{Rank, ReduceOp, Status, Tag};
+use crate::transport::{Transport, TransportStats};
+use crate::types::Rank;
 use crate::Result;
 
 /// Per-rank summary returned by [`Universe::run`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankReport {
-    /// Rank index.
+    /// Rank index (world rank).
     pub rank: Rank,
     /// Host the rank ran on.
     pub host: usize,
@@ -34,314 +33,18 @@ pub struct RankReport {
     pub clock_ns: f64,
     /// Transport operation counters.
     pub stats: TransportStats,
-}
-
-/// The per-rank communicator handle (the `MPI_COMM_WORLD` equivalent).
-pub struct Comm {
-    transport: Box<dyn Transport>,
-    clock: SimClock,
-    topology: HostTopology,
-}
-
-impl Comm {
-    /// This rank's index.
-    pub fn rank(&self) -> Rank {
-        self.transport.rank()
-    }
-
-    /// Number of ranks in the universe.
-    pub fn size(&self) -> usize {
-        self.transport.size()
-    }
-
-    /// The host this rank runs on.
-    pub fn host(&self) -> usize {
-        self.topology.host_of(self.rank())
-    }
-
-    /// The full host topology.
-    pub fn topology(&self) -> &HostTopology {
-        &self.topology
-    }
-
-    /// Whether this rank is rank 0.
-    pub fn is_root(&self) -> bool {
-        self.rank() == 0
-    }
-
-    /// Transport label (for benchmark output).
-    pub fn transport_label(&self) -> &'static str {
-        self.transport.label()
-    }
-
-    // ------------------------------------------------------------------
-    // Virtual time
-    // ------------------------------------------------------------------
-
-    /// Current virtual time of this rank, nanoseconds.
-    pub fn clock_ns(&self) -> f64 {
-        self.clock.now()
-    }
-
-    /// Charge `ns` nanoseconds of local computation to the virtual clock.
-    pub fn advance_clock(&mut self, ns: f64) {
-        self.clock.advance(ns);
-    }
-
-    /// Transport operation counters.
-    pub fn stats(&self) -> TransportStats {
-        self.transport.stats()
-    }
-
-    /// Tell the contention / NIC-sharing models how many communication pairs
-    /// are concurrently active (benchmarks set this to their process count).
-    pub fn set_concurrency_hint(&mut self, pairs: usize) {
-        self.transport.set_concurrency_hint(pairs);
-    }
-
-    // ------------------------------------------------------------------
-    // Two-sided
-    // ------------------------------------------------------------------
-
-    /// Blocking send of `data` to `dst` with `tag`.
-    pub fn send(&mut self, dst: Rank, tag: Tag, data: &[u8]) -> Result<()> {
-        self.transport.send(&mut self.clock, dst, tag, data)
-    }
-
-    /// Blocking receive into `buf`; returns the completion status.
-    pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>, buf: &mut [u8]) -> Result<Status> {
-        self.transport.recv_into(&mut self.clock, src, tag, buf)
-    }
-
-    /// Blocking receive returning an owned payload.
-    pub fn recv_owned(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<(Status, Vec<u8>)> {
-        self.transport.recv_owned(&mut self.clock, src, tag)
-    }
-
-    /// Non-blocking receive attempt returning an owned payload.
-    pub fn try_recv(
-        &mut self,
-        src: Option<Rank>,
-        tag: Option<Tag>,
-    ) -> Result<Option<(Status, Vec<u8>)>> {
-        self.transport.try_recv_owned(&mut self.clock, src, tag)
-    }
-
-    /// Non-blocking send (eager: completes immediately once enqueued).
-    pub fn isend(&mut self, dst: Rank, tag: Tag, data: &[u8]) -> Result<Request> {
-        self.transport.send(&mut self.clock, dst, tag, data)?;
-        Ok(Request::send_done(Status::new(self.rank(), tag, data.len())))
-    }
-
-    /// Non-blocking receive: returns a pending request to pass to
-    /// [`Comm::wait`] or [`Comm::test`].
-    pub fn irecv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<Request> {
-        Ok(Request::recv_pending(src, tag))
-    }
-
-    /// Block until the request completes; returns its status. For receive
-    /// requests the payload is then available via [`Request::take_data`].
-    pub fn wait(&mut self, request: &mut Request) -> Result<Status> {
-        match request.state() {
-            RequestState::SendComplete | RequestState::RecvComplete => {
-                request.status().ok_or(MpiError::StaleRequest)
-            }
-            RequestState::Consumed => Err(MpiError::StaleRequest),
-            RequestState::RecvPending => {
-                let (status, data) =
-                    self.transport
-                        .recv_owned(&mut self.clock, request.src, request.tag)?;
-                request.fulfill(status, data);
-                Ok(status)
-            }
-        }
-    }
-
-    /// Test a request for completion without blocking.
-    pub fn test(&mut self, request: &mut Request) -> Result<Option<Status>> {
-        match request.state() {
-            RequestState::SendComplete | RequestState::RecvComplete => {
-                Ok(Some(request.status().ok_or(MpiError::StaleRequest)?))
-            }
-            RequestState::Consumed => Err(MpiError::StaleRequest),
-            RequestState::RecvPending => {
-                match self
-                    .transport
-                    .try_recv_owned(&mut self.clock, request.src, request.tag)?
-                {
-                    Some((status, data)) => {
-                        request.fulfill(status, data);
-                        Ok(Some(status))
-                    }
-                    None => Ok(None),
-                }
-            }
-        }
-    }
-
-    /// Wait for every request in the slice.
-    pub fn wait_all(&mut self, requests: &mut [Request]) -> Result<Vec<Status>> {
-        requests.iter_mut().map(|r| self.wait(r)).collect()
-    }
-
-    /// Combined send + receive (deadlock-safe pairwise exchange).
-    pub fn sendrecv(
-        &mut self,
-        dst: Rank,
-        send_tag: Tag,
-        data: &[u8],
-        src: Rank,
-        recv_tag: Tag,
-    ) -> Result<(Status, Vec<u8>)> {
-        if self.rank() <= dst {
-            self.send(dst, send_tag, data)?;
-            self.recv_owned(Some(src), Some(recv_tag))
-        } else {
-            let received = self.recv_owned(Some(src), Some(recv_tag))?;
-            self.send(dst, send_tag, data)?;
-            Ok(received)
-        }
-    }
-
-    /// Barrier across all ranks.
-    pub fn barrier(&mut self) -> Result<()> {
-        self.transport.barrier(&mut self.clock)
-    }
-
-    // ------------------------------------------------------------------
-    // One-sided
-    // ------------------------------------------------------------------
-
-    /// Collectively allocate an RMA window exposing `size_per_rank` bytes per
-    /// rank (the `MPI_Win_allocate_shared` equivalent over CXL SHM).
-    pub fn win_allocate(&mut self, size_per_rank: usize) -> Result<WinId> {
-        self.transport.win_allocate(&mut self.clock, size_per_rank)
-    }
-
-    /// Collectively free a window.
-    pub fn win_free(&mut self, win: WinId) -> Result<()> {
-        self.transport.win_free(&mut self.clock, win)
-    }
-
-    /// One-sided write into `target`'s window region (`MPI_Put`).
-    pub fn put(&mut self, win: WinId, target: Rank, offset: usize, data: &[u8]) -> Result<()> {
-        self.transport.put(&mut self.clock, win, target, offset, data)
-    }
-
-    /// One-sided read from `target`'s window region (`MPI_Get`).
-    pub fn get(&mut self, win: WinId, target: Rank, offset: usize, buf: &mut [u8]) -> Result<()> {
-        self.transport.get(&mut self.clock, win, target, offset, buf)
-    }
-
-    /// One-sided accumulate into `target`'s window region (`MPI_Accumulate`).
-    pub fn accumulate(
-        &mut self,
-        win: WinId,
-        target: Rank,
-        offset: usize,
-        data: &[f64],
-        op: ReduceOp,
-    ) -> Result<()> {
-        self.transport
-            .accumulate(&mut self.clock, win, target, offset, data, op)
-    }
-
-    /// Read this rank's own window region.
-    pub fn win_read_local(&mut self, win: WinId, offset: usize, buf: &mut [u8]) -> Result<()> {
-        self.transport
-            .win_read_local(&mut self.clock, win, offset, buf)
-    }
-
-    /// Write this rank's own window region.
-    pub fn win_write_local(&mut self, win: WinId, offset: usize, data: &[u8]) -> Result<()> {
-        self.transport
-            .win_write_local(&mut self.clock, win, offset, data)
-    }
-
-    /// PSCW: expose this rank's window to `origins` (`MPI_Win_post`).
-    pub fn win_post(&mut self, win: WinId, origins: &[Rank]) -> Result<()> {
-        self.transport.post(&mut self.clock, win, origins)
-    }
-
-    /// PSCW: start an access epoch to `targets` (`MPI_Win_start`).
-    pub fn win_start(&mut self, win: WinId, targets: &[Rank]) -> Result<()> {
-        self.transport.start(&mut self.clock, win, targets)
-    }
-
-    /// PSCW: complete the access epoch (`MPI_Win_complete`).
-    pub fn win_complete(&mut self, win: WinId) -> Result<()> {
-        self.transport.complete(&mut self.clock, win)
-    }
-
-    /// PSCW: wait for the exposure epoch to finish (`MPI_Win_wait`).
-    pub fn win_wait(&mut self, win: WinId) -> Result<()> {
-        self.transport.wait(&mut self.clock, win)
-    }
-
-    /// Passive-target exclusive lock on `target`'s window (`MPI_Win_lock`).
-    pub fn win_lock(&mut self, win: WinId, target: Rank) -> Result<()> {
-        self.transport.lock(&mut self.clock, win, target)
-    }
-
-    /// Release the passive-target lock (`MPI_Win_unlock`).
-    pub fn win_unlock(&mut self, win: WinId, target: Rank) -> Result<()> {
-        self.transport.unlock(&mut self.clock, win, target)
-    }
-
-    /// Fence synchronization over the window (`MPI_Win_fence`).
-    pub fn win_fence(&mut self, win: WinId) -> Result<()> {
-        self.transport.fence(&mut self.clock, win)
-    }
-
-    // ------------------------------------------------------------------
-    // Collectives
-    // ------------------------------------------------------------------
-
-    /// Broadcast `data` from `root` (binomial tree).
-    pub fn bcast(&mut self, root: Rank, data: &mut Vec<u8>) -> Result<()> {
-        coll::bcast(self.transport.as_mut(), &mut self.clock, root, data)
-    }
-
-    /// Gather every rank's buffer at `root`.
-    pub fn gather(&mut self, root: Rank, send: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
-        coll::gather(self.transport.as_mut(), &mut self.clock, root, send)
-    }
-
-    /// Scatter one buffer per rank from `root`.
-    pub fn scatter(&mut self, root: Rank, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
-        coll::scatter(self.transport.as_mut(), &mut self.clock, root, chunks)
-    }
-
-    /// Allgather every rank's contribution (ring algorithm).
-    pub fn allgather(&mut self, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
-        coll::allgather(self.transport.as_mut(), &mut self.clock, mine)
-    }
-
-    /// Reduce `f64` values to `root` (binomial tree).
-    pub fn reduce_f64(
-        &mut self,
-        root: Rank,
-        values: &[f64],
-        op: ReduceOp,
-    ) -> Result<Option<Vec<f64>>> {
-        coll::reduce_f64(self.transport.as_mut(), &mut self.clock, root, values, op)
-    }
-
-    /// Allreduce `f64` values in place (recursive doubling).
-    pub fn allreduce_f64(&mut self, values: &mut [f64], op: ReduceOp) -> Result<()> {
-        coll::allreduce_f64(self.transport.as_mut(), &mut self.clock, values, op)
-    }
-
-    /// Reduce-scatter `f64` values; returns this rank's block.
-    pub fn reduce_scatter_f64(&mut self, values: &[f64], op: ReduceOp) -> Result<Vec<f64>> {
-        coll::reduce_scatter_f64(self.transport.as_mut(), &mut self.clock, values, op)
-    }
+    /// Per-communicator collective counters, ordered by context id. The world
+    /// communicator (context 0) includes the `MPI_Init`-style startup barrier.
+    pub comm_colls: Vec<CommCollStats>,
 }
 
 /// The universe: builds the simulated platform and runs one closure per rank.
 pub struct Universe {
     config: UniverseConfig,
 }
+
+/// The shared per-rank body closure as spawned onto rank threads.
+type RankBody<T> = Arc<dyn Fn(&mut Comm) -> Result<T> + Send + Sync>;
 
 impl Universe {
     /// Create a universe from a configuration.
@@ -430,15 +133,17 @@ impl Universe {
                     first_error.get_or_insert(e);
                 }
                 Err(_) => {
-                    first_error
-                        .get_or_insert(MpiError::Transport(format!("rank {rank} panicked")));
+                    first_error.get_or_insert(MpiError::Transport(format!("rank {rank} panicked")));
                 }
             };
         }
         if let Some(e) = first_error {
             return Err(e);
         }
-        Ok(results.into_iter().map(|r| r.expect("all ranks reported")).collect())
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all ranks reported"))
+            .collect())
     }
 
     fn build_device(
@@ -468,13 +173,9 @@ impl Universe {
         transport: Box<dyn Transport>,
         topology: HostTopology,
         rank: Rank,
-        body: Arc<dyn Fn(&mut Comm) -> Result<T> + Send + Sync>,
+        body: RankBody<T>,
     ) -> Result<(T, RankReport)> {
-        let mut comm = Comm {
-            transport,
-            clock: SimClock::new(),
-            topology,
-        };
+        let mut comm = Comm::world(transport, topology);
         // Every rank enters an initialization barrier before user code runs,
         // mirroring the end of MPI_Init.
         comm.barrier()?;
@@ -484,6 +185,7 @@ impl Universe {
             host: comm.host(),
             clock_ns: comm.clock_ns(),
             stats: comm.stats(),
+            comm_colls: comm.coll_stats_snapshot(),
         };
         Ok((value, report))
     }
@@ -493,6 +195,7 @@ impl Universe {
 mod tests {
     use super::*;
     use crate::config::UniverseConfig;
+    use crate::types::ReduceOp;
     use cmpi_fabric::cost::TcpNic;
 
     fn configs(ranks: usize) -> Vec<UniverseConfig> {
@@ -546,9 +249,9 @@ mod tests {
                         assert_eq!(d1, vec![1u8; 32]);
                         assert_eq!(d2, vec![2u8; 32]);
                     }
-                    1 => comm.send(0, 1, &vec![1u8; 32])?,
+                    1 => comm.send(0, 1, &[1u8; 32])?,
                     2 => {
-                        comm.send(0, 2, &vec![2u8; 32])?;
+                        comm.send(0, 2, &[2u8; 32])?;
                     }
                     _ => unreachable!(),
                 }
@@ -572,10 +275,48 @@ mod tests {
                     let data = req.take_data().unwrap();
                     assert_eq!(data, vec![9u8; 16]);
                 } else {
-                    let mut req = comm.isend(0, 5, &vec![9u8; 16])?;
+                    let mut req = comm.isend(0, 5, &[9u8; 16])?;
                     assert!(req.is_complete());
                     comm.wait(&mut req)?;
                 }
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn wait_any_and_test_all_round_out_the_request_api() {
+        for config in configs(3) {
+            let label = config.transport.label();
+            Universe::run(config, |comm| {
+                if comm.rank() == 0 {
+                    // Two outstanding receives, completed in whatever order the
+                    // messages arrive.
+                    let mut reqs = vec![
+                        comm.irecv(Some(1), Some(11))?,
+                        comm.irecv(Some(2), Some(22))?,
+                    ];
+                    assert!(matches!(comm.test_all(&mut reqs), Ok(None) | Ok(Some(_))));
+                    let (first, s1) = comm.wait_any(&mut reqs)?;
+                    assert_eq!(s1.source, first + 1);
+                    let data = reqs[first].take_data().unwrap();
+                    assert_eq!(data, vec![(first + 1) as u8; 8]);
+                    // The consumed request is skipped; the other completes.
+                    let (second, s2) = comm.wait_any(&mut reqs)?;
+                    assert_ne!(first, second);
+                    assert_eq!(s2.source, second + 1);
+                    // Now everything is complete: test_all reports statuses.
+                    let statuses = comm.test_all(&mut reqs[second..=second])?.unwrap();
+                    assert_eq!(statuses[0].source, second + 1);
+                    // test_any on a fully consumed set errors.
+                    reqs[second].take_data().unwrap();
+                    assert!(comm.test_any(&mut reqs).is_err());
+                } else {
+                    let me = comm.rank();
+                    comm.send(0, (me * 11) as i32, &[me as u8; 8])?;
+                }
+                comm.barrier()?;
                 Ok(())
             })
             .unwrap_or_else(|e| panic!("{label}: {e}"));
@@ -624,7 +365,7 @@ mod tests {
     }
 
     #[test]
-    fn collectives_on_both_transports() {
+    fn typed_collectives_on_both_transports() {
         for config in [
             UniverseConfig::cxl_small(4),
             UniverseConfig::tcp(4, TcpNic::MellanoxCx6Dx),
@@ -634,50 +375,98 @@ mod tests {
                 let n = comm.size();
                 let me = comm.rank();
                 // Broadcast.
-                let mut data = if me == 1 { vec![42u8; 64] } else { Vec::new() };
-                comm.bcast(1, &mut data)?;
-                assert_eq!(data, vec![42u8; 64]);
+                let mut data = vec![0u64; 8];
+                if me == 1 {
+                    data = vec![42u64; 8];
+                }
+                comm.bcast_into(1, &mut data)?;
+                assert_eq!(data, vec![42u64; 8]);
                 // Allgather.
-                let gathered = comm.allgather(&[me as u8; 4])?;
+                let mut gathered = vec![0u8; n * 4];
+                comm.allgather_into(&[me as u8; 4], &mut gathered)?;
                 for r in 0..n {
-                    assert_eq!(gathered[r], vec![r as u8; 4]);
+                    assert_eq!(&gathered[r * 4..(r + 1) * 4], &[r as u8; 4]);
                 }
                 // Allreduce.
                 let mut values = vec![me as f64, 1.0];
-                comm.allreduce_f64(&mut values, ReduceOp::Sum)?;
+                comm.allreduce(&mut values, ReduceOp::Sum)?;
                 assert_eq!(values[0], (0..n).map(|r| r as f64).sum::<f64>());
                 assert_eq!(values[1], n as f64);
-                // Reduce.
-                let reduced = comm.reduce_f64(0, &[me as f64 + 1.0], ReduceOp::Max)?;
+                // Reduce (on an integer type, exercising the generic path).
+                let reduced = comm.reduce(0, &[me as i64 + 1], ReduceOp::Max)?;
                 if me == 0 {
-                    assert_eq!(reduced.unwrap(), vec![n as f64]);
+                    assert_eq!(reduced.unwrap(), vec![n as i64]);
                 } else {
                     assert!(reduced.is_none());
                 }
-                // Gather / scatter.
-                let gathered = comm.gather(2, &[me as u8])?;
+                // Gather / scatter through flat typed buffers.
+                let mut all = vec![0.0f64; if me == 2 { n } else { 0 }];
+                comm.gather_into(
+                    2,
+                    &[me as f64],
+                    if me == 2 { Some(&mut all[..]) } else { None },
+                )?;
                 if me == 2 {
-                    let g = gathered.unwrap();
-                    for r in 0..n {
-                        assert_eq!(g[r], vec![r as u8]);
-                    }
+                    assert_eq!(all, (0..n).map(|r| r as f64).collect::<Vec<_>>());
                 }
-                let chunks: Option<Vec<Vec<u8>>> = if me == 0 {
-                    Some((0..n).map(|r| vec![r as u8; 2]).collect())
-                } else {
-                    None
-                };
-                let mine = comm.scatter(0, chunks.as_deref())?;
-                assert_eq!(mine, vec![me as u8; 2]);
+                let chunks: Vec<u32> = (0..2 * n as u32).collect();
+                let mut mine = [0u32; 2];
+                comm.scatter_from(0, if me == 0 { Some(&chunks[..]) } else { None }, &mut mine)?;
+                assert_eq!(mine, [2 * me as u32, 2 * me as u32 + 1]);
                 // Reduce-scatter.
                 let input: Vec<f64> = (0..n * 2).map(|i| i as f64).collect();
-                let block = comm.reduce_scatter_f64(&input, ReduceOp::Sum)?;
+                let block = comm.reduce_scatter(&input, ReduceOp::Sum)?;
                 assert_eq!(block.len(), 2);
                 assert_eq!(block[0], (me * 2) as f64 * n as f64);
                 Ok(())
             })
             .unwrap_or_else(|e| panic!("{label}: {e}"));
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_byte_collective_shims_still_work() {
+        let config = UniverseConfig::cxl_small(4);
+        Universe::run(config, |comm| {
+            let n = comm.size();
+            let me = comm.rank();
+            // Byte bcast grows non-root buffers (the legacy semantics).
+            let mut data = if me == 1 { vec![42u8; 64] } else { Vec::new() };
+            comm.bcast(1, &mut data)?;
+            assert_eq!(data, vec![42u8; 64]);
+            // Variable-length gather / allgather / scatter.
+            let gathered = comm.gather(2, &vec![me as u8; me + 1])?;
+            if me == 2 {
+                let g = gathered.unwrap();
+                for (r, buf) in g.iter().enumerate() {
+                    assert_eq!(*buf, vec![r as u8; r + 1]);
+                }
+            }
+            let all = comm.allgather(&[me as u8])?;
+            for (r, buf) in all.iter().enumerate() {
+                assert_eq!(*buf, vec![r as u8]);
+            }
+            let chunks: Option<Vec<Vec<u8>>> = if me == 0 {
+                Some((0..n).map(|r| vec![r as u8; 2]).collect())
+            } else {
+                None
+            };
+            let mine = comm.scatter(0, chunks.as_deref())?;
+            assert_eq!(mine, vec![me as u8; 2]);
+            // The _f64 reduction shims.
+            let mut values = vec![me as f64];
+            comm.allreduce_f64(&mut values, ReduceOp::Sum)?;
+            assert_eq!(values[0], (0..n).map(|r| r as f64).sum::<f64>());
+            let reduced = comm.reduce_f64(0, &[me as f64 + 1.0], ReduceOp::Max)?;
+            if me == 0 {
+                assert_eq!(reduced.unwrap(), vec![n as f64]);
+            }
+            let rs = comm.reduce_scatter_f64(&vec![1.0; n], ReduceOp::Sum)?;
+            assert_eq!(rs, vec![n as f64]);
+            Ok(())
+        })
+        .unwrap();
     }
 
     #[test]
@@ -785,7 +574,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_count_messages() {
+    fn stats_count_messages_and_collectives() {
         let config = UniverseConfig::cxl_small(2);
         let results = Universe::run(config, |comm| {
             if comm.rank() == 0 {
@@ -795,13 +584,27 @@ mod tests {
                 comm.recv_owned(Some(0), Some(0))?;
                 comm.recv_owned(Some(0), Some(0))?;
             }
+            let mut v = [1.0f64];
+            comm.allreduce(&mut v, ReduceOp::Sum)?;
             Ok(())
         })
         .unwrap();
-        assert_eq!(results[0].1.stats.msgs_sent, 2);
-        assert_eq!(results[0].1.stats.bytes_sent, 300);
-        assert_eq!(results[1].1.stats.msgs_received, 2);
-        assert_eq!(results[1].1.stats.bytes_received, 300);
+        assert_eq!(results[0].1.stats.msgs_sent, 2 + 1); // 2 payloads + allreduce exchange
+        assert_eq!(results[0].1.stats.bytes_sent, 300 + 8);
+        assert_eq!(results[1].1.stats.msgs_received, 2 + 1);
+        assert_eq!(results[1].1.stats.bytes_received, 300 + 8);
+        for (_, report) in &results {
+            // The init barrier + the allreduce, all on the world communicator.
+            assert_eq!(report.stats.collectives, 2);
+            assert_eq!(report.stats.collective_bytes, 8);
+            assert_eq!(report.comm_colls.len(), 1);
+            let world = &report.comm_colls[0];
+            assert_eq!(world.ctx, crate::types::WORLD_CTX);
+            assert_eq!(world.comm_size, 2);
+            assert_eq!(world.barriers, 1);
+            assert_eq!(world.allreduces, 1);
+            assert_eq!(world.payload_bytes, 8);
+        }
     }
 
     #[test]
@@ -846,5 +649,77 @@ mod tests {
             eth > cxl * 5.0,
             "expected TCP-Ethernet ({eth} ns) to be much slower than CXL ({cxl} ns)"
         );
+    }
+
+    #[test]
+    fn comm_split_halves_with_isolated_collectives() {
+        for config in configs(4) {
+            let label = config.transport.label();
+            Universe::run(config, |comm| {
+                let me = comm.rank();
+                let n = comm.size();
+                let half = comm
+                    .comm_split((me % 2) as i32, me as i32)?
+                    .expect("non-negative color");
+                assert_eq!(half.size(), n / 2);
+                assert_eq!(half.rank(), me / 2);
+                assert_eq!(half.world_rank(), me);
+                assert_ne!(half.context_id(), comm.context_id());
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn comm_dup_isolates_identical_selectors() {
+        let config = UniverseConfig::cxl_small(2);
+        Universe::run(config, |comm| {
+            let mut dup = comm.comm_dup()?;
+            assert_eq!(dup.size(), comm.size());
+            assert_eq!(dup.rank(), comm.rank());
+            assert_ne!(dup.context_id(), comm.context_id());
+            if comm.rank() == 0 {
+                // Same (destination, tag) on both communicators.
+                comm.send(1, 5, b"world")?;
+                dup.send(1, 5, b"dup")?;
+            } else {
+                // Receive in the *opposite* order: the context id must route
+                // each message to the right communicator.
+                let (_, d) = dup.recv_owned(Some(0), Some(5))?;
+                assert_eq!(&d, b"dup");
+                let (_, w) = comm.recv_owned(Some(0), Some(5))?;
+                assert_eq!(&w, b"world");
+            }
+            comm.barrier()?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn windows_rejected_on_sub_communicators() {
+        let config = UniverseConfig::cxl_small(2);
+        Universe::run(config, |comm| {
+            let me = comm.rank();
+            let mut sub = comm.comm_split(0, me as i32)?.unwrap();
+            if sub.size() < comm.size() {
+                unreachable!("color 0 keeps everyone");
+            }
+            // A same-group split is still world-spanning → windows allowed.
+            let win = sub.win_allocate(64)?;
+            sub.win_free(win)?;
+            // A true subset communicator is not.
+            let mut solo = comm.comm_split(me as i32, 0)?.unwrap();
+            if solo.size() == 1 && comm.size() > 1 {
+                assert!(matches!(
+                    solo.win_allocate(64),
+                    Err(MpiError::InvalidCommunicator(_))
+                ));
+            }
+            comm.barrier()?;
+            Ok(())
+        })
+        .unwrap();
     }
 }

@@ -47,10 +47,7 @@ impl HostTopology {
         }
         let per_host = ranks.div_ceil(hosts);
         let host_of = (0..ranks).map(|r| (r / per_host).min(hosts - 1)).collect();
-        Ok(HostTopology {
-            host_of,
-            hosts,
-        })
+        Ok(HostTopology { host_of, hosts })
     }
 
     /// The paper's default evaluation layout: two hosts, half the ranks on

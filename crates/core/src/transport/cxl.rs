@@ -26,7 +26,7 @@ use crate::queue::{CellHeader, QueueGeometry, QueueMatrix};
 use crate::rma::layout::WINDOW_READY_MAGIC;
 use crate::rma::{BakeryLock, WindowLayout};
 use crate::transport::{Transport, TransportStats, WinId};
-use crate::types::{source_matches, tag_matches, Rank, ReduceOp, Status, Tag};
+use crate::types::{CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
 
 /// Name of the SHM object holding the global barrier array.
@@ -250,6 +250,7 @@ impl CxlTransport {
             self.stats.bytes_received += total as u64;
             return Ok(Some(PendingMessage {
                 status: Status::new(header.src, header.tag, total),
+                ctx: header.ctx,
                 data: payload,
                 arrival: clock.now(),
             }));
@@ -257,7 +258,7 @@ impl CxlTransport {
 
         // Multi-chunk message: the remaining chunks are contiguous in this
         // queue because the sender finishes one message before the next.
-        let mut assembler = ChunkAssembler::new(header.src, header.tag, total);
+        let mut assembler = ChunkAssembler::new(header.src, header.ctx, header.tag, total);
         assembler.add_chunk(header.chunk_offset as usize, &payload, header.timestamp);
         while !assembler.is_complete() {
             match queue.try_dequeue(clock.now())? {
@@ -280,14 +281,17 @@ impl CxlTransport {
     }
 
     /// One matching attempt: search the unexpected queue, then poll the
-    /// relevant incoming queues once.
+    /// relevant incoming queues once. `ctx` scopes the match to one
+    /// communicator; messages from other communicators found along the way are
+    /// stashed unexpected.
     fn try_match_once(
         &mut self,
         clock: &mut SimClock,
+        ctx: CtxId,
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<Option<(Status, Vec<u8>)>> {
-        if let Some(m) = self.unexpected.take_match(src, tag) {
+        if let Some(m) = self.unexpected.take_match(ctx, src, tag) {
             clock.merge(m.arrival);
             clock.advance(self.cost.mpi_overhead());
             return Ok(Some((m.status, m.data)));
@@ -303,9 +307,7 @@ impl CxlTransport {
         };
         for sender in senders {
             while let Some(msg) = self.poll_queue(clock, sender)? {
-                let matched =
-                    source_matches(src, msg.status.source) && tag_matches(tag, msg.status.tag);
-                if matched {
+                if msg.matches(ctx, src, tag) {
                     clock.advance(self.cost.mpi_overhead());
                     return Ok(Some((msg.status, msg.data)));
                 }
@@ -325,7 +327,14 @@ impl Transport for CxlTransport {
         self.ranks
     }
 
-    fn send(&mut self, clock: &mut SimClock, dst: Rank, tag: Tag, data: &[u8]) -> Result<()> {
+    fn send(
+        &mut self,
+        clock: &mut SimClock,
+        dst: Rank,
+        ctx: CtxId,
+        tag: Tag,
+        data: &[u8],
+    ) -> Result<()> {
         self.check_rank(dst)?;
         clock.advance(self.cost.mpi_overhead());
         let queue = self.matrix.queue(dst, self.rank);
@@ -339,6 +348,7 @@ impl Transport for CxlTransport {
             self.charge_chunk_write(clock, chunk.len() + crate::queue::CELL_HEADER_SIZE, total);
             let header = CellHeader {
                 src: self.rank,
+                ctx,
                 tag,
                 total_len: total as u64,
                 chunk_offset: offset as u64,
@@ -369,6 +379,7 @@ impl Transport for CxlTransport {
     fn recv_owned(
         &mut self,
         clock: &mut SimClock,
+        ctx: CtxId,
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<(Status, Vec<u8>)> {
@@ -376,7 +387,7 @@ impl Transport for CxlTransport {
             self.check_rank(s)?;
         }
         loop {
-            if let Some(found) = self.try_match_once(clock, src, tag)? {
+            if let Some(found) = self.try_match_once(clock, ctx, src, tag)? {
                 return Ok(found);
             }
             std::hint::spin_loop();
@@ -387,13 +398,14 @@ impl Transport for CxlTransport {
     fn try_recv_owned(
         &mut self,
         clock: &mut SimClock,
+        ctx: CtxId,
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<Option<(Status, Vec<u8>)>> {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
-        self.try_match_once(clock, src, tag)
+        self.try_match_once(clock, ctx, src, tag)
     }
 
     fn barrier(&mut self, clock: &mut SimClock) -> Result<()> {
@@ -422,7 +434,8 @@ impl Transport for CxlTransport {
             obj.nt_spin_until_at(layout.ready_offset(), |v| v == ready_value)?;
             obj
         };
-        let fence_barrier = SeqBarrier::new(obj.clone(), layout.fence_base(), self.rank, self.ranks);
+        let fence_barrier =
+            SeqBarrier::new(obj.clone(), layout.fence_base(), self.rank, self.ranks);
         self.windows.push(Some(WindowState {
             obj,
             layout,
@@ -502,7 +515,9 @@ impl Transport for CxlTransport {
         state.obj.read_coherent_at(addr, &mut current)?;
         let mut values = crate::pod::bytes_to_f64(&current);
         op.fold_f64(&mut values, data);
-        state.obj.write_flush_at(addr, &crate::pod::f64_to_bytes(&values))?;
+        state
+            .obj
+            .write_flush_at(addr, &crate::pod::f64_to_bytes(&values))?;
         self.charge_rma(clock, bytes, false);
         self.charge_rma(clock, bytes, true);
         self.stats.rma_bytes_written += bytes as u64;
@@ -676,6 +691,11 @@ impl Transport for CxlTransport {
 
     fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    fn record_collective(&mut self, payload_bytes: u64) {
+        self.stats.collectives += 1;
+        self.stats.collective_bytes += payload_bytes;
     }
 
     fn set_concurrency_hint(&mut self, pairs: usize) {

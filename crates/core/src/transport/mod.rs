@@ -16,7 +16,7 @@ pub mod tcp;
 use cmpi_fabric::SimClock;
 use serde::{Deserialize, Serialize};
 
-use crate::types::{Rank, ReduceOp, Status, Tag};
+use crate::types::{CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
 
 /// Identifier of an allocated RMA window.
@@ -41,6 +41,10 @@ pub struct TransportStats {
     pub rma_bytes_written: u64,
     /// Bytes read by get.
     pub rma_bytes_read: u64,
+    /// Collective operations executed through this rank (all communicators).
+    pub collectives: u64,
+    /// Payload bytes contributed to collectives by this rank.
+    pub collective_bytes: u64,
 }
 
 /// A point-to-point + RMA transport bound to one rank.
@@ -55,14 +59,25 @@ pub trait Transport: Send {
     fn size(&self) -> usize;
 
     /// Blocking standard-mode send (eager: completes locally once the message
-    /// is handed to the queue / NIC).
-    fn send(&mut self, clock: &mut SimClock, dst: Rank, tag: Tag, data: &[u8]) -> Result<()>;
+    /// is handed to the queue / NIC). `dst` is a world rank; `ctx` is the
+    /// communicator context id woven into the wire-level tag so that receives
+    /// posted on other communicators can never match this message.
+    fn send(
+        &mut self,
+        clock: &mut SimClock,
+        dst: Rank,
+        ctx: CtxId,
+        tag: Tag,
+        data: &[u8],
+    ) -> Result<()>;
 
-    /// Blocking receive of the next message matching the selectors, returning
-    /// the payload in a freshly allocated buffer.
+    /// Blocking receive of the next message on communicator `ctx` matching the
+    /// selectors (world source rank, tag), returning the payload in a freshly
+    /// allocated buffer.
     fn recv_owned(
         &mut self,
         clock: &mut SimClock,
+        ctx: CtxId,
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<(Status, Vec<u8>)>;
@@ -71,6 +86,7 @@ pub trait Transport: Send {
     fn try_recv_owned(
         &mut self,
         clock: &mut SimClock,
+        ctx: CtxId,
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<Option<(Status, Vec<u8>)>>;
@@ -167,6 +183,11 @@ pub trait Transport: Send {
     /// Operation counters.
     fn stats(&self) -> TransportStats;
 
+    /// Record one collective operation contributing `payload_bytes` from this
+    /// rank (bumped by the communicator layer, which is where collectives are
+    /// implemented).
+    fn record_collective(&mut self, payload_bytes: u64);
+
     /// Hint: how many communication pairs are concurrently active (used by the
     /// CXL contention model; ignored by transports that do not need it).
     fn set_concurrency_hint(&mut self, _pairs: usize) {}
@@ -179,11 +200,12 @@ pub trait Transport: Send {
     fn recv_into(
         &mut self,
         clock: &mut SimClock,
+        ctx: CtxId,
         src: Option<Rank>,
         tag: Option<Tag>,
         buf: &mut [u8],
     ) -> Result<Status> {
-        let (status, data) = self.recv_owned(clock, src, tag)?;
+        let (status, data) = self.recv_owned(clock, ctx, src, tag)?;
         if data.len() > buf.len() {
             return Err(crate::error::MpiError::Truncation {
                 message_len: data.len(),

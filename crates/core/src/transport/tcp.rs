@@ -30,8 +30,26 @@ use crate::config::TcpTransportConfig;
 use crate::error::MpiError;
 use crate::topology::HostTopology;
 use crate::transport::{Transport, TransportStats, WinId};
-use crate::types::{source_matches, tag_matches, Rank, ReduceOp, Status, Tag};
+use crate::types::{source_matches, tag_matches, CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
+
+/// Pack a communicator context id and a user tag into the fabric's 64-bit
+/// wire tag: context in the high 32 bits, tag (reinterpreted as `u32`) in the
+/// low 32. Matching on the context id is exact, which keeps split/duplicated
+/// communicators' tag spaces disjoint on this transport.
+fn wire_tag(ctx: CtxId, tag: Tag) -> u64 {
+    ((ctx as u64) << 32) | (tag as u32 as u64)
+}
+
+/// The context id half of a wire tag.
+fn wire_ctx(wire: u64) -> CtxId {
+    (wire >> 32) as CtxId
+}
+
+/// The user-tag half of a wire tag.
+fn wire_user_tag(wire: u64) -> Tag {
+    (wire as u32) as Tag
+}
 
 /// One RMA window shared by every rank (the functional backing store).
 struct SharedWindow {
@@ -188,9 +206,13 @@ impl TcpTransport {
     /// Sender-side occupancy and arrival time of a one-sided data transfer of
     /// `bytes` (same cost structure as a two-sided message).
     fn rma_transfer_times(&self, now: f64, bytes: usize) -> (f64, f64) {
-        let occupancy =
-            (self.model.mpi_message_time(bytes, self.share()) - self.model.base_latency_ns).max(0.0);
-        (now + occupancy, now + occupancy + self.model.base_latency_ns)
+        let occupancy = (self.model.mpi_message_time(bytes, self.share())
+            - self.model.base_latency_ns)
+            .max(0.0);
+        (
+            now + occupancy,
+            now + occupancy + self.model.base_latency_ns,
+        )
     }
 
     fn window(&self, win: WinId) -> Result<&TcpWindowState> {
@@ -228,11 +250,18 @@ impl Transport for TcpTransport {
         self.ranks
     }
 
-    fn send(&mut self, clock: &mut SimClock, dst: Rank, tag: Tag, data: &[u8]) -> Result<()> {
+    fn send(
+        &mut self,
+        clock: &mut SimClock,
+        dst: Rank,
+        ctx: CtxId,
+        tag: Tag,
+        data: &[u8],
+    ) -> Result<()> {
         self.check_rank(dst)?;
         let timing = self.endpoint.send(
             dst,
-            tag as u32 as u64,
+            wire_tag(ctx, tag),
             Bytes::copy_from_slice(data),
             clock.now(),
         );
@@ -245,6 +274,7 @@ impl Transport for TcpTransport {
     fn recv_owned(
         &mut self,
         clock: &mut SimClock,
+        ctx: CtxId,
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<(Status, Vec<u8>)> {
@@ -252,7 +282,9 @@ impl Transport for TcpTransport {
             self.check_rank(s)?;
         }
         let msg = self.endpoint.recv_match(|m| {
-            source_matches(src, m.src) && tag_matches(tag, m.tag as u32 as Tag)
+            wire_ctx(m.tag) == ctx
+                && source_matches(src, m.src)
+                && tag_matches(tag, wire_user_tag(m.tag))
         });
         clock.merge(msg.arrival);
         // Receive-side copy out of the NIC/MPI buffers into the user buffer.
@@ -260,7 +292,7 @@ impl Transport for TcpTransport {
         self.stats.msgs_received += 1;
         self.stats.bytes_received += msg.len() as u64;
         Ok((
-            Status::new(msg.src, msg.tag as u32 as Tag, msg.len()),
+            Status::new(msg.src, wire_user_tag(msg.tag), msg.len()),
             msg.payload.to_vec(),
         ))
     }
@@ -268,6 +300,7 @@ impl Transport for TcpTransport {
     fn try_recv_owned(
         &mut self,
         clock: &mut SimClock,
+        ctx: CtxId,
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<Option<(Status, Vec<u8>)>> {
@@ -275,7 +308,9 @@ impl Transport for TcpTransport {
             self.check_rank(s)?;
         }
         let Some(msg) = self.endpoint.try_recv_match(|m| {
-            source_matches(src, m.src) && tag_matches(tag, m.tag as u32 as Tag)
+            wire_ctx(m.tag) == ctx
+                && source_matches(src, m.src)
+                && tag_matches(tag, wire_user_tag(m.tag))
         }) else {
             return Ok(None);
         };
@@ -284,7 +319,7 @@ impl Transport for TcpTransport {
         self.stats.msgs_received += 1;
         self.stats.bytes_received += msg.len() as u64;
         Ok(Some((
-            Status::new(msg.src, msg.tag as u32 as Tag, msg.len()),
+            Status::new(msg.src, wire_user_tag(msg.tag), msg.len()),
             msg.payload.to_vec(),
         )))
     }
@@ -649,6 +684,11 @@ impl Transport for TcpTransport {
 
     fn stats(&self) -> TransportStats {
         self.stats
+    }
+
+    fn record_collective(&mut self, payload_bytes: u64) {
+        self.stats.collectives += 1;
+        self.stats.collective_bytes += payload_bytes;
     }
 
     fn set_concurrency_hint(&mut self, pairs: usize) {

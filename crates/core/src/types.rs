@@ -1,13 +1,27 @@
-//! Fundamental MPI-like types: ranks, tags, status, reduction operators.
+//! Fundamental MPI-like types: ranks, tags, context ids, status, reduction
+//! operators.
 
 use serde::{Deserialize, Serialize};
 
+use crate::pod::Pod;
+
 /// Rank index within a communicator (the paper uses "MPI process" and "rank"
-/// interchangeably; so do we).
+/// interchangeably; so do we). Ranks are always *relative to a communicator*:
+/// rank 3 of a split communicator is generally a different process than rank 3
+/// of the world communicator.
 pub type Rank = usize;
 
 /// Message tag.
 pub type Tag = i32;
+
+/// Communicator context id. Every communicator carries a context id that is
+/// woven into the transport-level tag encoding, so messages sent on one
+/// communicator can never be matched by receives posted on another — the MPI
+/// guarantee that makes libraries built on sub-communicators composable.
+pub type CtxId = u32;
+
+/// Context id of the world communicator.
+pub const WORLD_CTX: CtxId = 0;
 
 /// Wildcard accepted by receive operations: match any source rank.
 pub const ANY_SOURCE: Option<Rank> = None;
@@ -16,7 +30,8 @@ pub const ANY_SOURCE: Option<Rank> = None;
 pub const ANY_TAG: Option<Tag> = None;
 
 /// Completion information returned by receive and wait operations
-/// (the equivalent of `MPI_Status`).
+/// (the equivalent of `MPI_Status`). The `source` is expressed in the ranks of
+/// the communicator the operation ran on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Status {
     /// Rank the message came from.
@@ -47,43 +62,106 @@ pub enum ReduceOp {
     Prod,
 }
 
+/// Element types the reduction collectives operate on: plain-old-data numbers
+/// with a combine rule per [`ReduceOp`].
+pub trait Reducible: Pod + PartialEq + std::fmt::Debug {
+    /// Combine two operands under `op`.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+    /// Identity element of `op`.
+    fn identity(op: ReduceOp) -> Self;
+}
+
+macro_rules! impl_reducible_float {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Prod => a * b,
+                }
+            }
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Sum => 0.0,
+                    ReduceOp::Max => <$t>::NEG_INFINITY,
+                    ReduceOp::Min => <$t>::INFINITY,
+                    ReduceOp::Prod => 1.0,
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                }
+            }
+            fn identity(op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Sum => 0,
+                    ReduceOp::Max => <$t>::MIN,
+                    ReduceOp::Min => <$t>::MAX,
+                    ReduceOp::Prod => 1,
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_float!(f32, f64);
+impl_reducible_int!(u8, i32, u32, i64, u64);
+
 impl ReduceOp {
+    /// Apply the operator to two operands of any reducible element type.
+    pub fn apply<T: Reducible>(&self, a: T, b: T) -> T {
+        T::combine(*self, a, b)
+    }
+
+    /// Apply the operator element-wise, accumulating `src` into `dst`.
+    pub fn fold<T: Reducible>(&self, dst: &mut [T], src: &[T]) {
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d = T::combine(*self, *d, *s);
+        }
+    }
+
+    /// Identity element of the operator for element type `T`.
+    pub fn identity<T: Reducible>(&self) -> T {
+        T::identity(*self)
+    }
+
     /// Apply the operator to two `f64` operands.
     pub fn apply_f64(&self, a: f64, b: f64) -> f64 {
-        match self {
-            ReduceOp::Sum => a + b,
-            ReduceOp::Max => a.max(b),
-            ReduceOp::Min => a.min(b),
-            ReduceOp::Prod => a * b,
-        }
+        self.apply(a, b)
     }
 
     /// Apply the operator element-wise, accumulating `src` into `dst`.
     pub fn fold_f64(&self, dst: &mut [f64], src: &[f64]) {
-        for (d, s) in dst.iter_mut().zip(src.iter()) {
-            *d = self.apply_f64(*d, *s);
-        }
+        self.fold(dst, src);
     }
 
     /// Identity element of the operator.
     pub fn identity_f64(&self) -> f64 {
-        match self {
-            ReduceOp::Sum => 0.0,
-            ReduceOp::Max => f64::NEG_INFINITY,
-            ReduceOp::Min => f64::INFINITY,
-            ReduceOp::Prod => 1.0,
-        }
+        self.identity()
     }
 }
 
 /// Selector helpers for receives.
 pub(crate) fn source_matches(selector: Option<Rank>, actual: Rank) -> bool {
-    selector.map_or(true, |s| s == actual)
+    selector.is_none_or(|s| s == actual)
 }
 
 /// Selector helpers for receives.
 pub(crate) fn tag_matches(selector: Option<Tag>, actual: Tag) -> bool {
-    selector.map_or(true, |t| t == actual)
+    selector.is_none_or(|t| t == actual)
 }
 
 #[cfg(test)]
@@ -107,6 +185,14 @@ mod tests {
     }
 
     #[test]
+    fn reduce_ops_generic_over_ints() {
+        assert_eq!(ReduceOp::Sum.apply(2u64, 3u64), 5);
+        assert_eq!(ReduceOp::Max.apply(-2i32, 3i32), 3);
+        assert_eq!(ReduceOp::Min.apply(-2i64, 3i64), -2);
+        assert_eq!(ReduceOp::Prod.apply(2u32, 3u32), 6);
+    }
+
+    #[test]
     fn fold_accumulates_elementwise() {
         let mut dst = vec![1.0, 2.0, 3.0];
         ReduceOp::Sum.fold_f64(&mut dst, &[10.0, 20.0, 30.0]);
@@ -114,13 +200,18 @@ mod tests {
         let mut dst = vec![1.0, 5.0];
         ReduceOp::Max.fold_f64(&mut dst, &[3.0, 2.0]);
         assert_eq!(dst, vec![3.0, 5.0]);
+        let mut ints = vec![1u32, 5];
+        ReduceOp::Sum.fold(&mut ints, &[9, 5]);
+        assert_eq!(ints, vec![10, 10]);
     }
 
     #[test]
     fn identities_are_identities() {
         for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
-            let x = 42.5;
-            assert_eq!(op.apply_f64(op.identity_f64(), x), x);
+            let x = 42.5f64;
+            assert_eq!(op.apply(op.identity(), x), x);
+            let n = 17i64;
+            assert_eq!(op.apply(op.identity(), n), n);
         }
     }
 

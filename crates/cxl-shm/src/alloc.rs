@@ -239,17 +239,13 @@ impl ShmAllocator {
         if rel + len == state.bump {
             state.bump = rel;
             // The frontier may now touch the highest free extent; keep folding.
-            loop {
-                if let Some(idx) = state
-                    .extents
-                    .iter()
-                    .position(|&(off, l)| off + l == state.bump)
-                {
-                    let (off, _) = state.extents.remove(idx);
-                    state.bump = off;
-                } else {
-                    break;
-                }
+            while let Some(idx) = state
+                .extents
+                .iter()
+                .position(|&(off, l)| off + l == state.bump)
+            {
+                let (off, _) = state.extents.remove(idx);
+                state.bump = off;
             }
             return self.write_state(&state);
         }
@@ -367,7 +363,10 @@ mod tests {
         let stats = a.stats().unwrap();
         assert_eq!(stats.used_bytes, 0);
         assert_eq!(stats.free_bytes, 4096);
-        assert_eq!(stats.free_extents, 0, "frontier rollback should not leave extents");
+        assert_eq!(
+            stats.free_extents, 0,
+            "frontier rollback should not leave extents"
+        );
         // Whole region is available again.
         let z = a.allocate(4096).unwrap();
         assert_eq!(z, x);
@@ -402,11 +401,11 @@ mod tests {
     #[test]
     fn zero_sized_requests_rejected() {
         let a = make_alloc(4096, 16);
+        assert!(matches!(a.allocate(0), Err(ShmError::InvalidObjectSize(0))));
         assert!(matches!(
-            a.allocate(0),
+            a.free(4096, 0),
             Err(ShmError::InvalidObjectSize(0))
         ));
-        assert!(matches!(a.free(4096, 0), Err(ShmError::InvalidObjectSize(0))));
     }
 
     #[test]

@@ -131,7 +131,7 @@ impl ShmObject {
         if !self.open {
             return Err(ShmError::StaleHandle(self.name.clone()));
         }
-        if at.checked_add(len as u64).map_or(true, |end| end > self.size) {
+        if at.checked_add(len as u64).is_none_or(|end| end > self.size) {
             return Err(ShmError::OutOfBounds {
                 offset: at as usize,
                 len,
@@ -180,8 +180,7 @@ impl ShmObject {
     /// Spin with non-temporal loads until the flag at `at` satisfies `pred`.
     pub fn nt_spin_until_at(&self, at: u64, pred: impl FnMut(u64) -> bool) -> Result<u64> {
         self.check(at, 8)?;
-        self.view
-            .nt_spin_until((self.offset + at) as usize, pred)
+        self.view.nt_spin_until((self.offset + at) as usize, pred)
     }
 
     fn invalidate(&mut self) {
@@ -431,9 +430,7 @@ impl CxlShmArena {
     /// Flush this host's entire cache back to the device and drop the arena
     /// handle. Equivalent to `cxl_shm_finalize`.
     pub fn finalize(self) -> Result<()> {
-        self.view
-            .cache()
-            .flush_all(&self.view.device().segment())?;
+        self.view.cache().flush_all(&self.view.device().segment())?;
         Ok(())
     }
 }
@@ -539,7 +536,10 @@ mod tests {
         let mut obj = arena.create("persistent", 256).unwrap();
         obj.write_flush_at(0, &[7; 8]).unwrap();
         arena.close(&mut obj);
-        assert!(matches!(obj.read_at(0, &mut [0; 8]), Err(ShmError::StaleHandle(_))));
+        assert!(matches!(
+            obj.read_at(0, &mut [0; 8]),
+            Err(ShmError::StaleHandle(_))
+        ));
         let again = arena.open("persistent").unwrap();
         let mut buf = [0u8; 8];
         again.read_coherent_at(0, &mut buf).unwrap();

@@ -73,7 +73,7 @@ impl SharedSegment {
     }
 
     fn check_bounds(&self, offset: usize, len: usize) -> Result<()> {
-        if offset.checked_add(len).map_or(true, |end| end > self.len) {
+        if offset.checked_add(len).is_none_or(|end| end > self.len) {
             return Err(ShmError::OutOfBounds {
                 offset,
                 len,
@@ -176,7 +176,7 @@ impl DaxDevice {
     /// Create a device with an explicit mapping alignment. Small alignments are
     /// convenient for unit tests; the real device requires 2 MB.
     pub fn with_alignment(name: impl Into<String>, size: usize, alignment: usize) -> Result<Self> {
-        if size == 0 || alignment == 0 || size % alignment != 0 {
+        if size == 0 || alignment == 0 || !size.is_multiple_of(alignment) {
             return Err(ShmError::InvalidDeviceSize { size, alignment });
         }
         Ok(DaxDevice {
@@ -403,7 +403,10 @@ mod tests {
         opened.segment().read(0, &mut b).unwrap();
         assert_eq!(b[0], 42);
         reg.destroy("dax1.0").unwrap();
-        assert!(matches!(reg.open("dax1.0"), Err(ShmError::DeviceNotFound(_))));
+        assert!(matches!(
+            reg.open("dax1.0"),
+            Err(ShmError::DeviceNotFound(_))
+        ));
     }
 
     #[test]

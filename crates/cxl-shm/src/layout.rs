@@ -134,7 +134,10 @@ impl ArenaLayout {
         let total_slots = hash.total_slots()?;
         let metadata_size = align_up(total_slots * SLOT_SIZE, REGION_ALIGN);
         let alloc_state_size = align_up(16 + max_free_extents * 16, REGION_ALIGN);
-        Ok(HEADER_SIZE + metadata_size + alloc_state_size + align_up(min_object_bytes, REGION_ALIGN))
+        Ok(HEADER_SIZE
+            + metadata_size
+            + alloc_state_size
+            + align_up(min_object_bytes, REGION_ALIGN))
     }
 }
 

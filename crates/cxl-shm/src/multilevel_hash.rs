@@ -150,12 +150,12 @@ pub fn is_prime(n: usize) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3usize;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -165,7 +165,8 @@ pub fn is_prime(n: usize) -> bool {
 
 /// FNV-1a hash with a per-level seed, so each level probes an independent slot.
 fn hash_name(name: &str, level: usize) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ ((level as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut h: u64 =
+        0xcbf2_9ce4_8422_2325 ^ ((level as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     for &b in name.as_bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);

@@ -321,8 +321,14 @@ mod tests {
         let at_128kb_uc = m.memset_latency(128 * 1024, CoherenceMode::Uncacheable);
         let at_128kb_fl = m.memset_latency(128 * 1024, CoherenceMode::FlushClflush);
         let ratio = at_128kb_uc / at_128kb_fl;
-        assert!(ratio > 100.0, "uncacheable/flushed ratio too small: {ratio}");
-        assert!(at_128kb_uc > 4096.0 * 1000.0, "no >4096 µs spike: {at_128kb_uc}");
+        assert!(
+            ratio > 100.0,
+            "uncacheable/flushed ratio too small: {ratio}"
+        );
+        assert!(
+            at_128kb_uc > 4096.0 * 1000.0,
+            "no >4096 µs spike: {at_128kb_uc}"
+        );
         // 8 KB already exceeds 4,096 µs in the paper's figure.
         assert!(m.memset_latency(8 * 1024, CoherenceMode::Uncacheable) >= 4000.0 * 1000.0);
     }

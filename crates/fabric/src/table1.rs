@@ -114,7 +114,11 @@ mod tests {
             .find(|r| r.kind == InterconnectKind::CxlShmFlushed)
             .unwrap();
         // Paper: 790 ns cached, 2.2 µs flushed.
-        assert!((700.0..900.0).contains(&cached.latency_ns), "{}", cached.latency_ns);
+        assert!(
+            (700.0..900.0).contains(&cached.latency_ns),
+            "{}",
+            cached.latency_ns
+        );
         assert!(
             (2000.0..3000.0).contains(&flushed.latency_ns),
             "{}",

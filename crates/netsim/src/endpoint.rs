@@ -180,14 +180,7 @@ impl TcpFabric {
     /// the sender-side occupancy and the arrival time at the destination; the
     /// payload itself is delivered immediately on the functional channel and
     /// carries the arrival timestamp for the receiver's clock merge.
-    pub fn send(
-        &self,
-        src: usize,
-        dst: usize,
-        tag: u64,
-        payload: Bytes,
-        now: SimNs,
-    ) -> SendTiming {
+    pub fn send(&self, src: usize, dst: usize, tag: u64, payload: Bytes, now: SimNs) -> SendTiming {
         let inner = &self.inner;
         let bytes = payload.len();
         let share = 1.0 / inner.flows_per_nic.load(Ordering::Relaxed) as f64;
@@ -269,7 +262,7 @@ impl TcpEndpoint {
     /// Blocking receive of the next message that satisfies `pred`, searching
     /// stashed (earlier unmatched) messages first.
     pub fn recv_match(&mut self, mut pred: impl FnMut(&NetMessage) -> bool) -> NetMessage {
-        if let Some(pos) = self.stash.iter().position(|m| pred(m)) {
+        if let Some(pos) = self.stash.iter().position(&mut pred) {
             return self.stash.remove(pos);
         }
         loop {
@@ -290,8 +283,11 @@ impl TcpEndpoint {
     }
 
     /// Non-blocking receive of a message satisfying `pred`.
-    pub fn try_recv_match(&mut self, mut pred: impl FnMut(&NetMessage) -> bool) -> Option<NetMessage> {
-        if let Some(pos) = self.stash.iter().position(|m| pred(m)) {
+    pub fn try_recv_match(
+        &mut self,
+        mut pred: impl FnMut(&NetMessage) -> bool,
+    ) -> Option<NetMessage> {
+        if let Some(pos) = self.stash.iter().position(&mut pred) {
             return Some(self.stash.remove(pos));
         }
         loop {

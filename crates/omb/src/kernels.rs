@@ -6,7 +6,7 @@
 //! Measurements are taken on the origin side from the per-rank virtual clocks
 //! after a handful of warm-up iterations, and aggregated across pairs.
 
-use cmpi_core::{Comm, Rank, TransportConfig, Universe, UniverseConfig};
+use cmpi_core::{Comm, Rank, ReduceOp, TransportConfig, Universe, UniverseConfig};
 
 use crate::Result;
 
@@ -260,6 +260,52 @@ pub fn one_sided_put_bandwidth(mut config: UniverseConfig, size: usize) -> Resul
     })
 }
 
+/// Sub-communicator allreduce latency (`osu_allreduce` restricted to
+/// communicator groups): the world is split into `groups` equal parts with
+/// `comm_split`, and every part concurrently runs an `allreduce<f64>` of
+/// `elems` elements. Context-id isolation lets the groups' collectives
+/// interleave without cross-matching — the scalesim-app pattern (row/column
+/// reductions) measured at the OMB level.
+///
+/// Returns the average per-iteration allreduce latency across all ranks, µs.
+pub fn subgroup_allreduce_latency(
+    config: UniverseConfig,
+    elems: usize,
+    groups: usize,
+) -> Result<BenchPoint> {
+    let processes = config.ranks;
+    let size = elems * 8;
+    let iters = iterations_for(size);
+    let results = Universe::run(config, move |comm: &mut Comm| {
+        let n = comm.size();
+        let me = comm.rank();
+        let groups = groups.clamp(1, n);
+        comm.set_concurrency_hint((n / 2).max(1));
+        let mut part = comm
+            .comm_split((me % groups) as i32, me as i32)?
+            .expect("every rank joins a group");
+        let mut values = vec![1.0f64; elems];
+        // Warm-up.
+        for _ in 0..WARMUP {
+            part.allreduce(&mut values, ReduceOp::Sum)?;
+        }
+        comm.barrier()?;
+        let start = comm.clock_ns();
+        for _ in 0..iters {
+            part.allreduce(&mut values, ReduceOp::Sum)?;
+        }
+        let elapsed = comm.clock_ns() - start;
+        Ok(elapsed / iters as f64 / 1000.0)
+    })?;
+    let avg = results.iter().map(|(l, _)| *l).sum::<f64>() / results.len().max(1) as f64;
+    Ok(BenchPoint {
+        size,
+        processes,
+        latency_us: avg,
+        bandwidth_mbps: 0.0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,9 +365,8 @@ mod tests {
     #[test]
     fn cxl_bandwidth_beats_ethernet() {
         let cxl = two_sided_bandwidth(UniverseConfig::cxl(4), 16 * 1024).unwrap();
-        let eth =
-            two_sided_bandwidth(UniverseConfig::tcp(4, TcpNic::StandardEthernet), 16 * 1024)
-                .unwrap();
+        let eth = two_sided_bandwidth(UniverseConfig::tcp(4, TcpNic::StandardEthernet), 16 * 1024)
+            .unwrap();
         assert!(
             cxl.bandwidth_mbps > eth.bandwidth_mbps * 5.0,
             "cxl {} vs eth {}",
@@ -335,5 +380,32 @@ mod tests {
         let p = one_sided_put_bandwidth(UniverseConfig::cxl(4), 4096).unwrap();
         assert!(p.bandwidth_mbps > 0.0);
         assert_eq!(p.processes, 4);
+    }
+
+    #[test]
+    fn subgroup_allreduce_runs_on_both_transports() {
+        for config in [
+            UniverseConfig::cxl(8),
+            UniverseConfig::tcp(8, TcpNic::MellanoxCx6Dx),
+        ] {
+            let p = subgroup_allreduce_latency(config, 16, 2).unwrap();
+            assert!(p.latency_us > 0.0);
+            assert_eq!(p.size, 128);
+            assert_eq!(p.processes, 8);
+        }
+    }
+
+    #[test]
+    fn smaller_subgroups_reduce_faster_than_the_world() {
+        // Halving the communicator halves the recursive-doubling depth: the
+        // 4-way split must beat the single world-wide allreduce.
+        let world = subgroup_allreduce_latency(UniverseConfig::cxl(8), 64, 1).unwrap();
+        let split = subgroup_allreduce_latency(UniverseConfig::cxl(8), 64, 4).unwrap();
+        assert!(
+            split.latency_us < world.latency_us,
+            "split {} vs world {}",
+            split.latency_us,
+            world.latency_us
+        );
     }
 }

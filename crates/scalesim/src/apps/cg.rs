@@ -112,7 +112,12 @@ mod tests {
         let params = NetworkParams::for_transport(TransportClass::CxlShm);
         let t4 = Simulator::new(params, 4, 8).run(&cg.trace(4, 8, params.gflops_per_rank));
         let t32 = Simulator::new(params, 32, 8).run(&cg.trace(32, 8, params.gflops_per_rank));
-        assert!(t32.total_s < t4.total_s / 4.0, "{} vs {}", t32.total_s, t4.total_s);
+        assert!(
+            t32.total_s < t4.total_s / 4.0,
+            "{} vs {}",
+            t32.total_s,
+            t4.total_s
+        );
     }
 
     #[test]
@@ -122,8 +127,11 @@ mod tests {
         for class in TransportClass::all() {
             let params = NetworkParams::for_transport(class);
             for nodes in [4, 8, 16, 32] {
-                let out =
-                    Simulator::new(params, nodes, 8).run(&cg.trace(nodes, 8, params.gflops_per_rank));
+                let out = Simulator::new(params, nodes, 8).run(&cg.trace(
+                    nodes,
+                    8,
+                    params.gflops_per_rank,
+                ));
                 assert!(
                     out.comm_fraction() < 0.15,
                     "{}: comm fraction {} at {} nodes",

@@ -65,8 +65,8 @@ impl ProxyApp for MiniAmrProxy {
         // number of extra rounds.
         let remote_fraction = 1.0 - 1.0 / nodes as f64;
         let refine_factor = 1.0 + 0.1 * (nodes as f64).log2();
-        let halo_rounds = (self.blocks_per_rank as f64 * 6.0 * remote_fraction * refine_factor)
-            .round() as usize;
+        let halo_rounds =
+            (self.blocks_per_rank as f64 * 6.0 * remote_fraction * refine_factor).round() as usize;
 
         // Bulk traffic that grows with scale: boundary-consistency and
         // load-balancing exchanges aggregate more data as more nodes
@@ -145,7 +145,10 @@ mod tests {
         // fewer (lower latency) but loses beyond that (lower bandwidth).
         let eth4 = outcome(TransportClass::TcpEthernet, 4).total_s;
         let mlx4 = outcome(TransportClass::TcpMellanox, 4).total_s;
-        assert!(eth4 < mlx4, "at 4 nodes Ethernet should win: {eth4} vs {mlx4}");
+        assert!(
+            eth4 < mlx4,
+            "at 4 nodes Ethernet should win: {eth4} vs {mlx4}"
+        );
         let eth32 = outcome(TransportClass::TcpEthernet, 32).total_s;
         let mlx32 = outcome(TransportClass::TcpMellanox, 32).total_s;
         assert!(

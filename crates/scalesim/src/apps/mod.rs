@@ -2,9 +2,11 @@
 
 pub mod cg;
 pub mod miniamr;
+pub mod stencil2d;
 
 pub use cg::CgProxy;
 pub use miniamr::MiniAmrProxy;
+pub use stencil2d::Stencil2dProxy;
 
 use crate::sim::Superstep;
 

@@ -111,9 +111,7 @@ mod tests {
         study.run_app(&MiniAmrProxy::tiny());
         // 2 apps × 3 transports × 4 node counts.
         assert_eq!(study.points().len(), 24);
-        assert!(study
-            .get("CG", TransportClass::CxlShm, 16)
-            .is_some());
+        assert!(study.get("CG", TransportClass::CxlShm, 16).is_some());
         assert!(study
             .get("miniAMR", TransportClass::TcpEthernet, 32)
             .is_some());

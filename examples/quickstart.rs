@@ -23,10 +23,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             String::from_utf8_lossy(&received)
         );
 
-        // Collective: a global sum over the cMPI point-to-point path.
-        let mut value = vec![(me + 1) as f64];
-        comm.allreduce_f64(&mut value, ReduceOp::Sum)?;
+        // Collective: a global sum over the cMPI point-to-point path
+        // (datatype-generic: any Pod element type works).
+        let mut value = [(me + 1) as f64];
+        comm.allreduce(&mut value, ReduceOp::Sum)?;
         assert_eq!(value[0], (n * (n + 1)) as f64 / 2.0);
+
+        // Sub-communicators: split into host-local groups and reduce within
+        // each — every communicator gets an isolated tag space.
+        if let Some(mut host_comm) = comm.comm_split(comm.host() as i32, me as i32)? {
+            let mut local_ranks = [1u32];
+            host_comm.allreduce(&mut local_ranks, ReduceOp::Sum)?;
+            println!(
+                "rank {me}: my host has {} ranks (host communicator ctx {})",
+                local_ranks[0],
+                host_comm.context_id()
+            );
+        }
 
         // One-sided: every rank publishes its rank id into rank 0's window.
         let win = comm.win_allocate(8 * n)?;

@@ -3,17 +3,20 @@
 //!
 //! Run with: `cargo run --release --example scaling_study`
 
-use cmpi::scalesim::apps::{CgProxy, MiniAmrProxy};
+use cmpi::scalesim::apps::{CgProxy, MiniAmrProxy, Stencil2dProxy};
 use cmpi::scalesim::ScalingStudy;
 
 fn main() {
     let mut study = ScalingStudy::default();
     study.run_app(&CgProxy::class_d());
     study.run_app(&MiniAmrProxy::paper());
+    study.run_app(&Stencil2dProxy::large());
     print!("{}", study.render());
     println!(
         "(CG: communication is a small share of runtime, so all transports finish close\n\
          together; miniAMR is communication-dominated, so the CXL transport's lower\n\
-         latency shows up directly in total execution time.)"
+         latency shows up directly in total execution time; Stencil2D models the\n\
+         row/column-communicator halo exchange of examples/stencil_halo_exchange.rs\n\
+         at cluster scale.)"
     );
 }

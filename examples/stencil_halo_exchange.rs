@@ -1,5 +1,11 @@
-//! 1-D heat-diffusion stencil with halo exchange — the classic two-sided MPI
-//! workload the paper's intro motivates (bulk-synchronous neighbour exchange).
+//! 2-D heat-diffusion stencil with halo exchange over **row and column
+//! communicators** — the classic bulk-synchronous MPI workload, written the
+//! way real stencil codes are: the world communicator is split into one
+//! communicator per grid row and one per grid column (`comm_split`), east/west
+//! halos travel inside the row communicator and north/south halos inside the
+//! column communicator, and the global heat balance is reduced hierarchically
+//! (rows first, then one column) before being checked against a direct world
+//! allreduce.
 //!
 //! The same solver runs over the cMPI CXL-SHM transport and over the two TCP
 //! baselines; the numerical result is identical (the transports are
@@ -9,78 +15,146 @@
 //! Run with: `cargo run --release --example stencil_halo_exchange`
 
 use cmpi::fabric::cost::TcpNic;
-use cmpi::mpi::{Comm, Universe, UniverseConfig};
+use cmpi::mpi::datatype::{Datatype, ElemKind};
+use cmpi::mpi::{pod, Comm, ReduceOp, Universe, UniverseConfig};
 
-const CELLS_PER_RANK: usize = 256;
-const STEPS: usize = 50;
+/// Process grid: PX columns × PY rows = 8 ranks.
+const PX: usize = 4;
+const PY: usize = 2;
+/// Local tile (interior) size per rank.
+const NX: usize = 16;
+const NY: usize = 16;
+const STEPS: usize = 30;
 const ALPHA: f64 = 0.1;
+
+/// Width of a local row including the two ghost cells.
+const ROW: usize = NX + 2;
+
+fn idx(x: usize, y: usize) -> usize {
+    y * ROW + x
+}
 
 fn run(config: UniverseConfig) -> Result<(f64, f64), Box<dyn std::error::Error>> {
     let label = config.transport.label();
-    let results = Universe::run(config, |comm: &mut Comm| {
-        let me = comm.rank();
-        let n = comm.size();
-        // Local domain with two ghost cells; a hot spike starts on rank 0.
-        let mut u = vec![0.0f64; CELLS_PER_RANK + 2];
+    let results = Universe::run(config, |world: &mut Comm| {
+        let me = world.rank();
+        let (px, py) = (me % PX, me / PX);
+
+        // One communicator per grid row (east/west halos) and per grid column
+        // (north/south halos). Ordering by the coordinate makes the local rank
+        // equal to the grid coordinate.
+        let mut row = world
+            .comm_split(py as i32, px as i32)?
+            .expect("every rank belongs to a row");
+        let mut col = world
+            .comm_split((PY + px) as i32, py as i32)?
+            .expect("every rank belongs to a column");
+        assert_eq!((row.size(), row.rank()), (PX, px));
+        assert_eq!((col.size(), col.rank()), (PY, py));
+
+        // Local tile with a one-cell ghost ring; a hot spike starts in the
+        // north-west rank.
+        let mut u = vec![0.0f64; ROW * (NY + 2)];
         if me == 0 {
-            u[1] = 1000.0;
+            u[idx(1, 1)] = 1000.0;
         }
-        let comm_start = comm.clock_ns();
+        // Column boundaries are strided in memory: pack/unpack them with a
+        // vector datatype (count = NY rows, 1 element per row, stride = ROW).
+        let column = Datatype::vector(ElemKind::F64, NY, 1, ROW);
+
         let mut comm_time = 0.0;
         for _ in 0..STEPS {
-            // Halo exchange with the left and right neighbours.
-            let t0 = comm.clock_ns();
-            if me + 1 < n {
-                let (_, right_ghost) = comm.sendrecv(
-                    me + 1,
-                    1,
-                    &u[CELLS_PER_RANK].to_le_bytes(),
-                    me + 1,
-                    2,
-                )?;
-                u[CELLS_PER_RANK + 1] =
-                    f64::from_le_bytes(right_ghost.as_slice().try_into().unwrap());
-            }
-            if me > 0 {
-                let (_, left_ghost) =
-                    comm.sendrecv(me - 1, 2, &u[1].to_le_bytes(), me - 1, 1)?;
-                u[0] = f64::from_le_bytes(left_ghost.as_slice().try_into().unwrap());
-            }
-            comm_time += comm.clock_ns() - t0;
+            let t0 = world.clock_ns();
 
-            // Explicit Euler update (charge the compute to the virtual clock).
+            // East/west halo exchange inside the row communicator.
+            let west = (px > 0).then(|| px - 1);
+            let east = (px + 1 < PX).then(|| px + 1);
+            for (neighbor, send_x, ghost_x, tag) in [
+                (east, NX, NX + 1, 1), // send east boundary, fill east ghost
+                (west, 1, 0, 2),       // send west boundary, fill west ghost
+            ] {
+                if let Some(nb) = neighbor {
+                    let boundary = column.pack(pod::bytes_of(&u[idx(send_x, 1)..]));
+                    let (_, ghost) = row.sendrecv(nb, tag, &boundary, nb, 3 - tag)?;
+                    column.unpack(&ghost, pod::bytes_of_mut(&mut u[idx(ghost_x, 1)..]));
+                }
+            }
+
+            // North/south halo exchange inside the column communicator
+            // (boundary rows are contiguous: zero-copy sends).
+            let north = (py > 0).then(|| py - 1);
+            let south = (py + 1 < PY).then(|| py + 1);
+            for (neighbor, send_y, ghost_y, tag) in [
+                (south, NY, NY + 1, 4), // send south boundary, fill south ghost
+                (north, 1, 0, 5),       // send north boundary, fill north ghost
+            ] {
+                if let Some(nb) = neighbor {
+                    let send = pod::bytes_of(&u[idx(1, send_y)..idx(NX + 1, send_y)]).to_vec();
+                    let (_, ghost) = col.sendrecv(nb, tag, &send, nb, 9 - tag)?;
+                    pod::copy_bytes_into(&ghost, &mut u[idx(1, ghost_y)..idx(NX + 1, ghost_y)]);
+                }
+            }
+            comm_time += world.clock_ns() - t0;
+
+            // 5-point explicit Euler update (charge compute to the clock).
             let mut next = u.clone();
-            for i in 1..=CELLS_PER_RANK {
-                next[i] = u[i] + ALPHA * (u[i - 1] - 2.0 * u[i] + u[i + 1]);
+            for y in 1..=NY {
+                for x in 1..=NX {
+                    next[idx(x, y)] = u[idx(x, y)]
+                        + ALPHA
+                            * (u[idx(x - 1, y)]
+                                + u[idx(x + 1, y)]
+                                + u[idx(x, y - 1)]
+                                + u[idx(x, y + 1)]
+                                - 4.0 * u[idx(x, y)]);
+                }
             }
             u = next;
-            comm.advance_clock(CELLS_PER_RANK as f64 * 4.0);
+            world.advance_clock((NX * NY) as f64 * 6.0);
         }
-        let _total = comm.clock_ns() - comm_start;
-        // Global heat must be conserved (up to boundary losses ≈ none here).
-        let local_sum: f64 = u[1..=CELLS_PER_RANK].iter().sum();
-        let mut total_heat = vec![local_sum];
-        comm.allreduce_f64(&mut total_heat, cmpi::mpi::ReduceOp::Sum)?;
-        Ok((total_heat[0], comm_time))
+
+        // Global heat must be conserved. Reduce hierarchically — sum across
+        // each row communicator, then across one column communicator — and
+        // cross-check against a direct allreduce on the world communicator.
+        let local: f64 = (1..=NY)
+            .flat_map(|y| (1..=NX).map(move |x| (x, y)))
+            .map(|(x, y)| u[idx(x, y)])
+            .sum();
+        let row_sum = row.reduce(0, &[local], ReduceOp::Sum)?;
+        let mut hierarchical = [f64::NAN];
+        if px == 0 {
+            let mut partial = [row_sum.expect("row root")[0]];
+            col.allreduce(&mut partial, ReduceOp::Sum)?;
+            hierarchical[0] = partial[0];
+        }
+        row.bcast_into(0, &mut hierarchical)?;
+
+        let mut direct = [local];
+        world.allreduce(&mut direct, ReduceOp::Sum)?;
+        assert!(
+            (hierarchical[0] - direct[0]).abs() < 1e-9,
+            "hierarchical ({}) vs direct ({}) reduction disagree",
+            hierarchical[0],
+            direct[0]
+        );
+        Ok((direct[0], comm_time))
     })?;
     let (heat, _) = results[0].0;
-    let avg_comm_us = results
-        .iter()
-        .map(|((_, c), _)| *c)
-        .sum::<f64>()
-        / results.len() as f64
-        / 1000.0;
-    println!(
-        "{label:<28} total heat {heat:10.3}   avg simulated comm time {avg_comm_us:10.1} us"
-    );
+    let avg_comm_us =
+        results.iter().map(|((_, c), _)| *c).sum::<f64>() / results.len() as f64 / 1000.0;
+    println!("{label:<28} total heat {heat:10.3}   avg simulated comm time {avg_comm_us:10.1} us");
     Ok((heat, avg_comm_us))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("1-D heat diffusion, {CELLS_PER_RANK} cells/rank, {STEPS} steps, 8 ranks:\n");
-    let (heat_cxl, comm_cxl) = run(UniverseConfig::cxl(8))?;
-    let (heat_mlx, comm_mlx) = run(UniverseConfig::tcp(8, TcpNic::MellanoxCx6Dx))?;
-    let (heat_eth, comm_eth) = run(UniverseConfig::tcp(8, TcpNic::StandardEthernet))?;
+    println!(
+        "2-D heat diffusion on a {PX}x{PY} process grid ({NX}x{NY} cells/rank, {STEPS} steps),\n\
+         halos exchanged over row/column communicators:\n"
+    );
+    let ranks = PX * PY;
+    let (heat_cxl, comm_cxl) = run(UniverseConfig::cxl(ranks))?;
+    let (heat_mlx, comm_mlx) = run(UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx))?;
+    let (heat_eth, comm_eth) = run(UniverseConfig::tcp(ranks, TcpNic::StandardEthernet))?;
 
     assert!((heat_cxl - heat_mlx).abs() < 1e-9);
     assert!((heat_cxl - heat_eth).abs() < 1e-9);

@@ -126,7 +126,11 @@ fn lock_unlock_serialises_read_modify_write_across_ranks() {
         Ok(result)
     })
     .unwrap();
-    assert_eq!(results[0].0, (ranks * 5) as u64, "lost updates under the window lock");
+    assert_eq!(
+        results[0].0,
+        (ranks * 5) as u64,
+        "lost updates under the window lock"
+    );
 }
 
 #[test]

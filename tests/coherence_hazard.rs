@@ -26,7 +26,10 @@ fn unflushed_writes_are_invisible_across_hosts() {
     obj_a.write_at(0, &[0xEE; 512]).unwrap();
     let mut buf = [0u8; 512];
     obj_b.read_coherent_at(0, &mut buf).unwrap();
-    assert!(buf.iter().all(|&b| b == 0), "stale-read hazard not reproduced");
+    assert!(
+        buf.iter().all(|&b| b == 0),
+        "stale-read hazard not reproduced"
+    );
 
     // The cMPI protocol (flush-after-write) makes it visible.
     obj_a.write_flush_at(0, &[0xEE; 512]).unwrap();
@@ -56,10 +59,9 @@ fn reader_must_invalidate_its_own_stale_copy() {
 #[test]
 fn uncacheable_mapping_needs_no_flushing_but_is_the_slow_path() {
     let dev = DaxDevice::with_alignment("hazard-uncacheable", 4 * 1024 * 1024, 4096).unwrap();
-    let writer = CxlView::new(dev.clone(), HostCache::new("hostA"))
-        .with_policy(CachePolicy::Uncacheable);
-    let reader = CxlView::new(dev, HostCache::new("hostB"))
-        .with_policy(CachePolicy::Uncacheable);
+    let writer =
+        CxlView::new(dev.clone(), HostCache::new("hostA")).with_policy(CachePolicy::Uncacheable);
+    let reader = CxlView::new(dev, HostCache::new("hostB")).with_policy(CachePolicy::Uncacheable);
     writer.write(100, &[0x42; 256]).unwrap();
     let mut buf = [0u8; 256];
     reader.read(100, &mut buf).unwrap();

@@ -1,14 +1,47 @@
-//! Property-based tests (proptest) over the core data structures and
-//! protocols: the CXL SHM Arena, the multi-level hash, the object allocator,
-//! the SPSC queue and the datatype pack/unpack path.
+//! Property-style tests over the core data structures and protocols: the CXL
+//! SHM Arena, the object allocator, the SPSC queue and the datatype
+//! pack/unpack path.
+//!
+//! The build environment has no `proptest`, so these use a small deterministic
+//! xorshift generator: each property runs over a few dozen pseudo-random cases
+//! with a fixed seed, which keeps failures reproducible.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use cmpi::mpi::datatype::{Datatype, ElemKind};
 use cmpi::mpi::queue::{CellHeader, QueueGeometry, SpscQueue};
 use cmpi::shm::{ArenaConfig, CxlShmArena, CxlView, DaxDevice, HostCache};
+
+/// Minimal xorshift64* PRNG for reproducible pseudo-random cases.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 fn fresh_arena(tag: &str, mb: usize) -> (CxlShmArena, CxlShmArena) {
     static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -24,80 +57,81 @@ fn fresh_arena(tag: &str, mb: usize) -> (CxlShmArena, CxlShmArena) {
     (writer, reader)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Whatever is published through a SHM object with the coherence protocol
-    /// is read back identically by a different host, at arbitrary offsets.
-    #[test]
-    fn arena_object_roundtrip(
-        data in proptest::collection::vec(any::<u8>(), 1..2048),
-        offset in 0usize..1024,
-    ) {
+/// Whatever is published through a SHM object with the coherence protocol is
+/// read back identically by a different host, at arbitrary offsets.
+#[test]
+fn arena_object_roundtrip() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..32 {
+        let len = rng.range(1, 2048);
+        let data = rng.bytes(len);
+        let offset = rng.range(0, 1024);
         let (writer, reader) = fresh_arena("roundtrip", 4);
         let obj_w = writer.create("obj", 4096).unwrap();
         let obj_r = reader.open("obj").unwrap();
         obj_w.write_flush_at(offset as u64, &data).unwrap();
         let mut buf = vec![0u8; data.len()];
         obj_r.read_coherent_at(offset as u64, &mut buf).unwrap();
-        prop_assert_eq!(buf, data);
+        assert_eq!(buf, data);
     }
+}
 
-    /// The arena behaves like a name→bytes map: a model-based test of
-    /// create / open / destroy against a HashMap.
-    #[test]
-    fn arena_matches_model(
-        ops in proptest::collection::vec((0u8..3, 0usize..12, 1usize..512), 1..40)
-    ) {
+/// The arena behaves like a name→bytes map: a model-based test of
+/// create / open / destroy against a HashMap.
+#[test]
+fn arena_matches_model() {
+    let mut rng = Rng::new(0xB0B);
+    for _case in 0..32 {
         let (arena, peer) = fresh_arena("model", 8);
         let mut model: HashMap<String, usize> = HashMap::new();
-        for (op, name_idx, size) in ops {
-            let name = format!("object-{name_idx}");
+        for _ in 0..rng.range(1, 40) {
+            let op = rng.range(0, 3);
+            let name = format!("object-{}", rng.range(0, 12));
+            let size = rng.range(1, 512);
             match op {
                 0 => {
-                    // create
                     let result = arena.create(&name, size);
-                    if model.contains_key(&name) {
-                        prop_assert!(result.is_err());
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(name) {
+                        assert!(result.is_ok());
+                        e.insert(size);
                     } else {
-                        prop_assert!(result.is_ok());
-                        model.insert(name, size);
+                        assert!(result.is_err());
                     }
                 }
                 1 => {
-                    // open (from the other host)
                     let result = peer.open(&name);
                     match model.get(&name) {
                         Some(&size) => {
                             let obj = result.unwrap();
-                            prop_assert_eq!(obj.len() as usize, size);
+                            assert_eq!(obj.len() as usize, size);
                         }
-                        None => prop_assert!(result.is_err()),
+                        None => assert!(result.is_err()),
                     }
                 }
                 _ => {
-                    // destroy
                     let result = arena.destroy_by_name(&name);
-                    prop_assert_eq!(result.is_ok(), model.remove(&name).is_some());
+                    assert_eq!(result.is_ok(), model.remove(&name).is_some());
                 }
             }
         }
-        prop_assert_eq!(arena.object_count().unwrap(), model.len());
+        assert_eq!(arena.object_count().unwrap(), model.len());
     }
+}
 
-    /// Objects never overlap, regardless of the create/destroy interleaving.
-    #[test]
-    fn allocations_never_overlap(
-        sizes in proptest::collection::vec(1usize..4096, 1..24),
-        destroy_mask in proptest::collection::vec(any::<bool>(), 24),
-    ) {
+/// Objects never overlap, regardless of the create/destroy interleaving.
+#[test]
+fn allocations_never_overlap() {
+    let mut rng = Rng::new(0xCAFE);
+    for _case in 0..16 {
         let (arena, _) = fresh_arena("overlap", 8);
         let mut live: Vec<(String, u64, u64)> = Vec::new();
-        for (i, size) in sizes.iter().enumerate() {
+        let creates = rng.range(1, 24);
+        for i in 0..creates {
+            let size = rng.range(1, 4096);
             let name = format!("buf-{i}");
-            let obj = arena.create(&name, *size).unwrap();
-            live.push((name, obj.offset(), *size as u64));
-            if destroy_mask.get(i).copied().unwrap_or(false) && live.len() > 1 {
+            let obj = arena.create(&name, size).unwrap();
+            live.push((name, obj.offset(), size as u64));
+            if rng.bool() && live.len() > 1 {
                 let (victim, _, _) = live.remove(live.len() / 2);
                 arena.destroy_by_name(&victim).unwrap();
             }
@@ -107,20 +141,28 @@ proptest! {
                     let (_, off_a, len_a) = &live[a];
                     let (_, off_b, len_b) = &live[b];
                     let disjoint = off_a + len_a <= *off_b || off_b + len_b <= *off_a;
-                    prop_assert!(disjoint, "objects overlap: {live:?}");
+                    assert!(disjoint, "objects overlap: {live:?}");
                 }
             }
         }
     }
+}
 
-    /// The SPSC queue is FIFO and never loses or duplicates payloads.
-    #[test]
-    fn spsc_queue_is_fifo(
-        payloads in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..256), 1..50
-        )
-    ) {
-        let geometry = QueueGeometry { cell_payload: 256, cells: 4 };
+/// The SPSC queue is FIFO and never loses or duplicates payloads.
+#[test]
+fn spsc_queue_is_fifo() {
+    let mut rng = Rng::new(0xF1F0);
+    for _case in 0..32 {
+        let payloads: Vec<Vec<u8>> = (0..rng.range(1, 50))
+            .map(|_| {
+                let len = rng.range(0, 256);
+                rng.bytes(len)
+            })
+            .collect();
+        let geometry = QueueGeometry {
+            cell_payload: 256,
+            cells: 4,
+        };
         let (writer, reader) = fresh_arena("queue", 4);
         let obj_w = writer.create("q", geometry.queue_bytes()).unwrap();
         let obj_r = reader.open("q").unwrap();
@@ -129,10 +171,10 @@ proptest! {
         producer.format().unwrap();
 
         let mut received = Vec::new();
-        let mut pending = std::collections::VecDeque::new();
         for (i, payload) in payloads.iter().enumerate() {
             let header = CellHeader {
                 src: 0,
+                ctx: 0,
                 tag: i as i32,
                 total_len: payload.len() as u64,
                 chunk_offset: 0,
@@ -144,39 +186,39 @@ proptest! {
                 let (h, p) = consumer.try_dequeue(0.0).unwrap().unwrap();
                 received.push((h.tag, p));
             }
-            pending.push_back(i);
         }
         while let Some((h, p)) = consumer.try_dequeue(0.0).unwrap() {
             received.push((h.tag, p));
         }
-        prop_assert_eq!(received.len(), payloads.len());
+        assert_eq!(received.len(), payloads.len());
         for (i, (tag, payload)) in received.iter().enumerate() {
-            prop_assert_eq!(*tag, i as i32, "FIFO order violated");
-            prop_assert_eq!(payload, &payloads[i]);
+            assert_eq!(*tag, i as i32, "FIFO order violated");
+            assert_eq!(payload, &payloads[i]);
         }
     }
+}
 
-    /// Datatype pack/unpack is lossless for strided vectors.
-    #[test]
-    fn vector_datatype_roundtrip(
-        count in 1usize..8,
-        block_len in 1usize..6,
-        extra_stride in 0usize..6,
-        seed in any::<u64>(),
-    ) {
-        let stride = block_len + extra_stride;
+/// Datatype pack/unpack is lossless for strided vectors.
+#[test]
+fn vector_datatype_roundtrip() {
+    let mut rng = Rng::new(0xDA7A);
+    for _case in 0..64 {
+        let count = rng.range(1, 8);
+        let block_len = rng.range(1, 6);
+        let stride = block_len + rng.range(0, 6);
         let dt = Datatype::vector(ElemKind::F64, count, block_len, stride);
         let extent = dt.extent();
+        let seed = rng.next_u64();
         let src: Vec<u8> = (0..extent).map(|i| (i as u64 ^ seed) as u8).collect();
         let packed = dt.pack(&src);
-        prop_assert_eq!(packed.len(), dt.packed_size());
+        assert_eq!(packed.len(), dt.packed_size());
         let mut dst = vec![0u8; extent];
         dt.unpack(&packed, &mut dst);
         // Every position described by the datatype must match the source.
         for b in 0..count {
             let start = b * stride * 8;
             let len = block_len * 8;
-            prop_assert_eq!(&dst[start..start + len], &src[start..start + len]);
+            assert_eq!(&dst[start..start + len], &src[start..start + len]);
         }
     }
 }

@@ -1,0 +1,180 @@
+//! Offline stand-in for `crossbeam`: just the `channel` module.
+
+/// Multi-producer multi-consumer FIFO channels (subset of
+/// `crossbeam::channel`).
+pub mod channel {
+    use parking_lot::{Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        cond: Condvar,
+        senders: std::sync::atomic::AtomicUsize,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders have been dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Sender::send`] when the receiver side is gone.
+    /// (This stand-in never reports it: receivers are not tracked.)
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .senders
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self
+                .shared
+                .senders
+                .fetch_sub(1, std::sync::atomic::Ordering::AcqRel)
+                == 1
+            {
+                // Last sender gone: wake blocked receivers so they observe
+                // the disconnect.
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a value (never blocks: the channel is unbounded).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.shared.queue.lock().push_back(value);
+            self.shared.cond.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors when every sender is dropped and the
+        /// queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock();
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self
+                    .shared
+                    .senders
+                    .load(std::sync::atomic::Ordering::Acquire)
+                    == 0
+                {
+                    return Err(RecvError);
+                }
+                self.shared.cond.wait(&mut queue);
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.shared.queue.lock();
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self
+                .shared
+                .senders
+                .load(std::sync::atomic::Ordering::Acquire)
+                == 0
+            {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            senders: std::sync::atomic::AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_len() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_after_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(9).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv().unwrap(), 9);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn blocking_recv_wakes() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            tx.send(42).unwrap();
+            assert_eq!(t.join().unwrap(), 42);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde`: re-exports the no-op derive macros.
+//!
+//! `use serde::{Deserialize, Serialize};` resolves to the derive macros, which
+//! is the only way this workspace uses serde.
+
+pub use serde_derive::{Deserialize, Serialize};

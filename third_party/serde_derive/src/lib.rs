@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! Nothing in this workspace serializes data; the derives exist so the type
+//! definitions read like idiomatic serde users. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
