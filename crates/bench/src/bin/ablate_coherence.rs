@@ -16,6 +16,7 @@ fn config_with(mode: CoherenceMode, ranks: usize) -> UniverseConfig {
             coherence: mode,
             ..Default::default()
         }),
+        coll: Default::default(),
     }
 }
 

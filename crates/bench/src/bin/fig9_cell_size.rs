@@ -19,6 +19,7 @@ fn main() {
                     ranks: p,
                     hosts: 2,
                     transport: TransportConfig::CxlShm(CxlShmTransportConfig::with_cell_size(cell)),
+                    coll: Default::default(),
                 };
                 let point = two_sided_bandwidth(config, size).expect("benchmark run");
                 values.push(point.bandwidth_mbps);

@@ -25,6 +25,7 @@ use cmpi_fabric::SimClock;
 use cxl_shm::ShmObject;
 
 use crate::coll::{coll_tag, CommView};
+use crate::spin::{PoisonFlag, SpinWait};
 use crate::transport::Transport;
 use crate::types::Rank;
 use crate::Result;
@@ -72,6 +73,8 @@ pub struct SeqBarrier {
     ranks: usize,
     /// This rank's private sequence number.
     seq: u64,
+    /// Universe poison flag; a peer death aborts the wait with `PeerDead`.
+    poison: PoisonFlag,
 }
 
 impl SeqBarrier {
@@ -88,7 +91,15 @@ impl SeqBarrier {
             rank,
             ranks,
             seq: 0,
+            poison: PoisonFlag::new(),
         }
+    }
+
+    /// Attach the universe's poison flag so waits inside [`SeqBarrier::enter`]
+    /// abort when a peer dies (a fresh, never-raised flag is used otherwise).
+    pub fn with_poison(mut self, poison: PoisonFlag) -> Self {
+        self.poison = poison;
+        self
     }
 
     /// Zero every slot (called once by the rank that creates the object,
@@ -130,6 +141,7 @@ impl SeqBarrier {
                 continue;
             }
             let slot = self.slot(r);
+            let mut backoff = SpinWait::new();
             loop {
                 let their_seq = self.obj.nt_load_u64_at(slot)?;
                 if their_seq >= self.seq {
@@ -139,8 +151,7 @@ impl SeqBarrier {
                     }
                     break;
                 }
-                std::hint::spin_loop();
-                std::thread::yield_now();
+                backoff.wait(&self.poison)?;
             }
         }
         clock.merge(latest);
@@ -212,6 +223,24 @@ mod tests {
             // Clock must have merged up to at least the slowest starter (300).
             assert!(*now >= 300.0);
         }
+    }
+
+    #[test]
+    fn poisoned_barrier_aborts_instead_of_hanging() {
+        use crate::error::MpiError;
+        let poison = PoisonFlag::new();
+        let mut barriers = make_barriers(2);
+        let mut b0 = barriers.remove(0).with_poison(poison.clone());
+        // Rank 1 never enters; poison the universe from "its" thread shortly
+        // after rank 0 starts waiting.
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            poison.poison("rank 1 panicked");
+        });
+        let mut clock = SimClock::new();
+        let err = b0.enter(&mut clock).unwrap_err();
+        assert!(matches!(err, MpiError::PeerDead(_)), "got {err:?}");
+        t.join().unwrap();
     }
 
     #[test]

@@ -1,18 +1,30 @@
 //! Collective communication built on point-to-point (Section 3.6), over an
-//! arbitrary communicator view.
+//! arbitrary communicator view, with **size- and shape-adaptive algorithm
+//! selection**.
 //!
 //! The paper leaves collectives as future work but notes that, inside an MPI
 //! library, collectives are implemented on top of point-to-point algorithms
 //! (recursive doubling, Bruck, binomial trees) and therefore benefit directly
-//! from the faster cMPI point-to-point path. This module provides that layer:
+//! from the faster cMPI point-to-point path. This module provides that layer.
+//! Like MPICH, each operation picks its algorithm from the message size and
+//! the rank-count shape (thresholds live in [`CollTuning`]); the chosen
+//! algorithm's label is returned to the caller and surfaced in
+//! [`crate::runtime::RankReport::coll_algos`]:
 //!
-//! * broadcast — binomial tree;
-//! * gather / scatter — linear to/from the root;
-//! * allgather — ring algorithm (`n-1` neighbour exchanges);
-//! * reduce — binomial tree with element-wise folding;
-//! * allreduce — recursive doubling for power-of-two rank counts, otherwise
-//!   reduce + broadcast;
-//! * reduce-scatter — allreduce followed by block selection.
+//! | operation | small payloads | large payloads |
+//! |---|---|---|
+//! | broadcast | binomial tree | scatter + ring allgather (van de Geijn) |
+//! | allgather | Bruck (log₂ n steps) | ring (n−1 neighbour exchanges) |
+//! | allreduce | recursive doubling | Rabenseifner (reduce-scatter + allgather) |
+//! | reduce-scatter | allreduce + selection | recursive halving (2ᵏ ranks) / pairwise exchange |
+//! | gather / scatter | linear | linear |
+//! | reduce | binomial tree | binomial tree |
+//!
+//! Non-power-of-two rank counts no longer fall off a cliff: allreduce folds
+//! the excess ranks into the largest power-of-two core (rank `2i` merges into
+//! `2i+1` before the core algorithm and receives the result afterwards — the
+//! MPICH elimination scheme), and the large-payload reduce-scatter switches to
+//! pairwise exchange, which is shape-agnostic.
 //!
 //! Every algorithm runs over a [`CommView`] — the (group, context id, local
 //! rank) triple describing one communicator from one rank's perspective — so
@@ -29,6 +41,7 @@
 
 use cmpi_fabric::SimClock;
 
+use crate::config::CollTuning;
 use crate::error::MpiError;
 use crate::group::Group;
 use crate::pod::{bytes_of, bytes_of_mut, vec_from_bytes, Pod};
@@ -101,6 +114,35 @@ fn recv_exact(
     Ok(())
 }
 
+/// Pairwise exchange of byte buffers with deadlock-safe ordering: the lower
+/// local rank sends first, the higher receives first, so the exchange cannot
+/// wedge even when both payloads exceed a transport queue's total capacity.
+fn exchange(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    partner_local: Rank,
+    tag: Tag,
+    send: &[u8],
+    recv: &mut [u8],
+) -> Result<()> {
+    let partner_world = view.world(partner_local);
+    if view.rank < partner_local {
+        t.send(clock, partner_world, view.ctx, tag, send)?;
+        recv_exact(t, clock, view, partner_local, tag, recv)?;
+    } else {
+        recv_exact(t, clock, view, partner_local, tag, recv)?;
+        t.send(clock, partner_world, view.ctx, tag, send)?;
+    }
+    Ok(())
+}
+
+/// The largest power of two ≤ `n` (requires `n ≥ 1`).
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1usize << (usize::BITS - 1 - n.leading_zeros())
+}
+
 // ----------------------------------------------------------------------
 // Broadcast
 // ----------------------------------------------------------------------
@@ -149,18 +191,40 @@ pub fn bcast_bytes(
 
 /// Broadcast the fixed-size buffer `buf` from `root` into every rank's `buf`
 /// (the typed, zero-copy path: the buffer's bytes travel as-is). All ranks
-/// must pass buffers of identical length.
+/// must pass buffers of identical length. Picks binomial tree below the
+/// scatter-allgather threshold, van de Geijn scatter + ring allgather above.
+/// Returns the label of the algorithm used.
 pub fn bcast_into<T: Pod>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    tuning: &CollTuning,
+    root: Rank,
+    buf: &mut [T],
+) -> Result<&'static str> {
+    view.check_root(root)?;
+    let n = view.size();
+    if n == 1 {
+        return Ok("bcast/local");
+    }
+    let total = std::mem::size_of_val(buf);
+    if n > 2 && total >= tuning.bcast_scatter_allgather_min_bytes {
+        bcast_scatter_allgather(t, clock, view, root, bytes_of_mut(buf))?;
+        return Ok("bcast/scatter-allgather");
+    }
+    bcast_binomial(t, clock, view, root, buf)?;
+    Ok("bcast/binomial")
+}
+
+/// Binomial-tree broadcast (latency-optimal: ⌈log₂ n⌉ rounds, but every hop
+/// forwards the whole payload).
+fn bcast_binomial<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
     root: Rank,
     buf: &mut [T],
 ) -> Result<()> {
-    view.check_root(root)?;
-    if view.size() == 1 {
-        return Ok(());
-    }
     let n = view.size();
     let me = view.rank;
     let vrank = (me + n - root) % n;
@@ -185,6 +249,110 @@ pub fn bcast_into<T: Pod>(
             bytes_of(buf),
         )?;
         bit <<= 1;
+    }
+    Ok(())
+}
+
+/// Van de Geijn large-message broadcast: the payload is split into `n`
+/// near-equal blocks, scattered down a binary range tree from the root, then
+/// reassembled everywhere with a ring allgather. Each rank moves
+/// O(bytes · (n−1)/n) through the scatter plus the same again through the
+/// ring — roughly half the bytes-per-link of the binomial tree at large sizes.
+fn bcast_scatter_allgather(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    root: Rank,
+    bytes: &mut [u8],
+) -> Result<()> {
+    let n = view.size();
+    let me = view.rank;
+    let vrank = (me + n - root) % n;
+    let total = bytes.len();
+    let base = total / n;
+    let rem = total % n;
+    // Block i occupies [off(i), off(i+1)): the first `rem` blocks get one
+    // extra byte. Blocks may be empty when total < n.
+    let off = |i: usize| i * base + i.min(rem);
+    let to_local = |v: usize| (v + root) % n;
+
+    // Scatter phase: recursive range halving over virtual ranks. The leader
+    // of [lo, hi) (vrank == lo) holds that range's blocks and hands the upper
+    // half to its leader.
+    let mut lo = 0usize;
+    let mut hi = n;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if vrank < mid {
+            if vrank == lo {
+                t.send(
+                    clock,
+                    view.world(to_local(mid)),
+                    view.ctx,
+                    coll_tag(1, 1),
+                    &bytes[off(mid)..off(hi)],
+                )?;
+            }
+            hi = mid;
+        } else {
+            if vrank == mid {
+                recv_exact(
+                    t,
+                    clock,
+                    view,
+                    to_local(lo),
+                    coll_tag(1, 1),
+                    &mut bytes[off(mid)..off(hi)],
+                )?;
+            }
+            lo = mid;
+        }
+    }
+
+    // Ring allgather over virtual ranks with the (possibly uneven) block
+    // sizes. Virtual rank 0 receives before sending to break the cycle.
+    // `t.send` takes a *world* rank: translate local → world like every other
+    // collective (recv_exact translates internally).
+    let right = view.world(to_local((vrank + 1) % n));
+    let left_v = (vrank + n - 1) % n;
+    for step in 0..n - 1 {
+        let send_origin = (vrank + n - step) % n;
+        let recv_origin = (vrank + n - step - 1) % n;
+        let send_range = off(send_origin)..off(send_origin + 1);
+        let recv_range = off(recv_origin)..off(recv_origin + 1);
+        if vrank == 0 {
+            recv_exact(
+                t,
+                clock,
+                view,
+                to_local(left_v),
+                coll_tag(1, 2 + step),
+                &mut bytes[recv_range],
+            )?;
+            t.send(
+                clock,
+                right,
+                view.ctx,
+                coll_tag(1, 2 + step),
+                &bytes[send_range],
+            )?;
+        } else {
+            t.send(
+                clock,
+                right,
+                view.ctx,
+                coll_tag(1, 2 + step),
+                &bytes[send_range],
+            )?;
+            recv_exact(
+                t,
+                clock,
+                view,
+                to_local(left_v),
+                coll_tag(1, 2 + step),
+                &mut bytes[recv_range],
+            )?;
+        }
     }
     Ok(())
 }
@@ -419,17 +587,19 @@ pub fn allgather_bytes(
     Ok(out)
 }
 
-/// Ring allgather of equal-sized typed contributions into a flat buffer:
+/// Allgather of equal-sized typed contributions into a flat buffer:
 /// `recv[r * send.len() .. (r + 1) * send.len()]` ends up holding local rank
-/// `r`'s `send` on every rank. Blocks travel directly between the `recv`
-/// buffers with no intermediate copies.
+/// `r`'s `send` on every rank. Size-adaptive: the Bruck algorithm (⌈log₂ n⌉
+/// rounds) for small blocks, the bandwidth-optimal ring for large ones.
+/// Returns the label of the algorithm used.
 pub fn allgather_into<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    tuning: &CollTuning,
     send: &[T],
     recv: &mut [T],
-) -> Result<()> {
+) -> Result<&'static str> {
     let n = view.size();
     let me = view.rank;
     let block = send.len();
@@ -444,8 +614,27 @@ pub fn allgather_into<T: Pod>(
     }
     recv[me * block..(me + 1) * block].copy_from_slice(send);
     if n == 1 {
-        return Ok(());
+        return Ok("allgather/local");
     }
+    if n > 2 && std::mem::size_of_val(send) <= tuning.allgather_bruck_max_bytes {
+        allgather_bruck(t, clock, view, send, recv)?;
+        return Ok("allgather/bruck");
+    }
+    allgather_ring(t, clock, view, recv, block)?;
+    Ok("allgather/ring")
+}
+
+/// Ring allgather: n−1 neighbour exchanges, each of one block. Blocks travel
+/// directly between the `recv` buffers with no intermediate copies.
+fn allgather_ring<T: Pod>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    recv: &mut [T],
+    block: usize,
+) -> Result<()> {
+    let n = view.size();
+    let me = view.rank;
     let right_local = (me + 1) % n;
     let left_local = (me + n - 1) % n;
     let right = view.world(right_local);
@@ -489,6 +678,82 @@ pub fn allgather_into<T: Pod>(
                 bytes_of_mut(&mut recv[recv_range]),
             )?;
         }
+    }
+    Ok(())
+}
+
+/// Bruck allgather: ⌈log₂ n⌉ rounds of doubling block batches, then one local
+/// rotation — latency-optimal for small blocks and shape-agnostic (any n).
+///
+/// Round `k` sends the first `min(2ᵏ, n − 2ᵏ)` accumulated blocks to rank
+/// `me − 2ᵏ` and appends the batch received from `me + 2ᵏ`; after the last
+/// round, temp block `j` holds rank `(me + j) mod n`'s contribution.
+fn allgather_bruck<T: Pod>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    send: &[T],
+    recv: &mut [T],
+) -> Result<()> {
+    let n = view.size();
+    let me = view.rank;
+    let block = send.len();
+    // `recv` already holds n × block initialized elements (the caller placed
+    // `send` at its own slot) — clone it as scratch; every element is
+    // overwritten before the final unrotate reads it.
+    let mut temp: Vec<T> = recv.to_vec();
+    temp[..block].copy_from_slice(send);
+    let mut have = 1usize;
+    let mut step = 0usize;
+    while have < n {
+        let count = have.min(n - have);
+        let dst = (me + n - have) % n;
+        let src = (me + have) % n;
+        let tag = coll_tag(4, 64 + step);
+        // Deadlock-safe ordering: the lower local rank of the (dst, src) pair
+        // this rank participates in sends first.
+        let send_bytes_end = count * block;
+        let recv_range = have * block..(have + count) * block;
+        if me < dst {
+            t.send(
+                clock,
+                view.world(dst),
+                view.ctx,
+                tag,
+                bytes_of(&temp[..send_bytes_end]),
+            )?;
+            recv_exact(
+                t,
+                clock,
+                view,
+                src,
+                tag,
+                bytes_of_mut(&mut temp[recv_range]),
+            )?;
+        } else {
+            recv_exact(
+                t,
+                clock,
+                view,
+                src,
+                tag,
+                bytes_of_mut(&mut temp[recv_range]),
+            )?;
+            t.send(
+                clock,
+                view.world(dst),
+                view.ctx,
+                tag,
+                bytes_of(&temp[..send_bytes_end]),
+            )?;
+        }
+        have += count;
+        step += 1;
+    }
+    // Unrotate: temp block j belongs to rank (me + j) mod n.
+    for j in 0..n {
+        let owner = (me + j) % n;
+        recv[owner * block..(owner + 1) * block].copy_from_slice(&temp[j * block..(j + 1) * block]);
     }
     Ok(())
 }
@@ -548,82 +813,251 @@ pub fn reduce<T: Reducible>(
     Ok(if me == root { Some(acc) } else { None })
 }
 
-/// Allreduce of typed values: recursive doubling when the rank count is a
-/// power of two, reduce + broadcast otherwise. `values` is updated in place on
-/// every rank.
+/// Allreduce of typed values, updated in place on every rank. Size-adaptive:
+/// recursive doubling below the Rabenseifner threshold, Rabenseifner
+/// (recursive-halving reduce-scatter + recursive-doubling allgather) above.
+/// Non-power-of-two rank counts fold the excess ranks into the largest
+/// power-of-two core first (and receive the result afterwards), so they cost
+/// one extra exchange instead of falling back to reduce + broadcast.
+/// Returns the label of the algorithm used.
 pub fn allreduce<T: Reducible>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    tuning: &CollTuning,
     values: &mut [T],
     op: ReduceOp,
-) -> Result<()> {
+) -> Result<&'static str> {
     let n = view.size();
     let me = view.rank;
     if n == 1 {
-        return Ok(());
+        return Ok("allreduce/local");
     }
-    if n.is_power_of_two() {
-        let mut bit = 1usize;
-        while bit < n {
-            let partner = me ^ bit;
-            let partner_world = view.world(partner);
-            // Exchange partial results with the partner. The lower rank sends
-            // first and the higher rank receives first, so the exchange cannot
-            // deadlock even when the payload exceeds a queue's capacity.
-            let payload = if me < partner {
-                t.send(
-                    clock,
-                    partner_world,
-                    view.ctx,
-                    coll_tag(6, bit),
-                    bytes_of(values),
-                )?;
-                let (_, payload) =
-                    t.recv_owned(clock, view.ctx, Some(partner_world), Some(coll_tag(6, bit)))?;
-                payload
-            } else {
-                let (_, payload) =
-                    t.recv_owned(clock, view.ctx, Some(partner_world), Some(coll_tag(6, bit)))?;
-                t.send(
-                    clock,
-                    partner_world,
-                    view.ctx,
-                    coll_tag(6, bit),
-                    bytes_of(values),
-                )?;
-                payload
-            };
-            let other: Vec<T> = vec_from_bytes(&payload);
-            if other.len() != values.len() {
-                return Err(MpiError::InvalidCollective(format!(
-                    "allreduce length mismatch: {} vs {}",
-                    other.len(),
-                    values.len()
-                )));
-            }
+    let pow2 = prev_power_of_two(n);
+    let excess = n - pow2;
+    let bytes = std::mem::size_of_val(values);
+    // Rabenseifner only pays off when every core rank still owns a
+    // non-trivial region after log₂(pow2) halvings.
+    let large = bytes >= tuning.allreduce_rabenseifner_min_bytes && values.len() >= pow2;
+
+    // Fold pre-phase (non-power-of-two): among the first 2·excess ranks, each
+    // even rank sends its vector to the odd rank above it and drops out of
+    // the core; the odd rank folds both contributions.
+    let newrank: Option<usize> = if me < 2 * excess {
+        if me.is_multiple_of(2) {
+            t.send(
+                clock,
+                view.world(me + 1),
+                view.ctx,
+                coll_tag(6, 1),
+                bytes_of(values),
+            )?;
+            None
+        } else {
+            let mut other = values.to_vec();
+            recv_exact(
+                t,
+                clock,
+                view,
+                me - 1,
+                coll_tag(6, 1),
+                bytes_of_mut(&mut other),
+            )?;
             op.fold(values, &other);
-            bit <<= 1;
+            Some(me / 2)
         }
-        Ok(())
     } else {
-        if let Some(reduced) = reduce(t, clock, view, 0, values, op)? {
-            values.copy_from_slice(&reduced);
+        Some(me - excess)
+    };
+    if let Some(nr) = newrank {
+        let core = CoreMap {
+            newrank: nr,
+            pow2,
+            excess,
+        };
+        if large {
+            allreduce_rabenseifner_core(t, clock, view, core, values, op)?;
+        } else {
+            allreduce_doubling_core(t, clock, view, core, values, op)?;
         }
-        bcast_into(t, clock, view, 0, values)
     }
+
+    // Fold post-phase: eliminated ranks receive the finished vector.
+    if me < 2 * excess {
+        if me.is_multiple_of(2) {
+            recv_exact(t, clock, view, me + 1, coll_tag(6, 2), bytes_of_mut(values))?;
+        } else {
+            t.send(
+                clock,
+                view.world(me - 1),
+                view.ctx,
+                coll_tag(6, 2),
+                bytes_of(values),
+            )?;
+        }
+    }
+    Ok(match (large, excess > 0) {
+        (false, false) => "allreduce/recursive-doubling",
+        (false, true) => "allreduce/recursive-doubling+fold",
+        (true, false) => "allreduce/rabenseifner",
+        (true, true) => "allreduce/rabenseifner+fold",
+    })
+}
+
+/// This rank's place in the power-of-two core left by fold elimination, plus
+/// the mapping from core ranks back to parent-communicator local ranks.
+#[derive(Clone, Copy)]
+struct CoreMap {
+    /// This rank's core rank.
+    newrank: usize,
+    /// Size of the core (largest power of two ≤ n).
+    pow2: usize,
+    /// Number of eliminated ranks (n − pow2).
+    excess: usize,
+}
+
+impl CoreMap {
+    /// Core rank → parent-communicator local rank.
+    fn local(&self, core_rank: usize) -> usize {
+        if core_rank < self.excess {
+            2 * core_rank + 1
+        } else {
+            core_rank + self.excess
+        }
+    }
+}
+
+/// Recursive-doubling allreduce over the power-of-two core: log₂(pow2)
+/// full-vector exchanges.
+fn allreduce_doubling_core<T: Reducible>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    core: CoreMap,
+    values: &mut [T],
+    op: ReduceOp,
+) -> Result<()> {
+    let CoreMap { newrank, pow2, .. } = core;
+    let mut other = values.to_vec();
+    let mut bit = 1usize;
+    let mut step = 0usize;
+    while bit < pow2 {
+        let partner_local = core.local(newrank ^ bit);
+        exchange(
+            t,
+            clock,
+            view,
+            partner_local,
+            coll_tag(6, 8 + step),
+            bytes_of(values),
+            bytes_of_mut(&mut other),
+        )?;
+        op.fold(values, &other);
+        bit <<= 1;
+        step += 1;
+    }
+    Ok(())
+}
+
+/// Rabenseifner allreduce over the power-of-two core: recursive-halving
+/// reduce-scatter (each exchange moves half the remaining region) followed by
+/// a recursive-doubling allgather that replays the halvings in reverse. Total
+/// traffic per rank ≈ 2·bytes·(pow2−1)/pow2 — independent of log n, which is
+/// what makes it win for large vectors.
+fn allreduce_rabenseifner_core<T: Reducible>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    core: CoreMap,
+    values: &mut [T],
+    op: ReduceOp,
+) -> Result<()> {
+    let CoreMap { newrank, pow2, .. } = core;
+    let len = values.len();
+    let mut scratch = values.to_vec();
+    let mut lo = 0usize;
+    let mut hi = len;
+    // (region before this level's halving) per level, replayed in reverse by
+    // the allgather phase.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+
+    // Phase 1: reduce-scatter by recursive halving, highest bit first.
+    let mut bit = pow2 >> 1;
+    let mut level = 0usize;
+    while bit >= 1 {
+        let partner_local = core.local(newrank ^ bit);
+        let mid = lo + (hi - lo) / 2;
+        let (my_lo, my_hi, their_lo, their_hi) = if newrank & bit == 0 {
+            (lo, mid, mid, hi)
+        } else {
+            (mid, hi, lo, mid)
+        };
+        let recv_len = my_hi - my_lo;
+        exchange(
+            t,
+            clock,
+            view,
+            partner_local,
+            coll_tag(6, 16 + level),
+            bytes_of(&values[their_lo..their_hi]),
+            bytes_of_mut(&mut scratch[..recv_len]),
+        )?;
+        op.fold(&mut values[my_lo..my_hi], &scratch[..recv_len]);
+        spans.push((lo, hi));
+        lo = my_lo;
+        hi = my_hi;
+        if bit == 1 {
+            break;
+        }
+        bit >>= 1;
+        level += 1;
+    }
+
+    // Phase 2: allgather by recursive doubling, replaying the levels in
+    // reverse: each exchange doubles the owned region back to the full vector.
+    let mut bit = 1usize;
+    for (level_idx, &(span_lo, span_hi)) in spans.iter().enumerate().rev() {
+        let partner_local = core.local(newrank ^ bit);
+        // Send my owned region, receive the partner's — disjoint halves of
+        // the level's span (split at my region's boundary), so both travel
+        // directly through `values` with no staging copy.
+        let boundary = if lo == span_lo { hi } else { lo };
+        let (left, right) = values[span_lo..span_hi].split_at_mut(boundary - span_lo);
+        let (mine, theirs) = if lo == span_lo {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        exchange(
+            t,
+            clock,
+            view,
+            partner_local,
+            coll_tag(6, 32 + level_idx),
+            bytes_of(mine),
+            bytes_of_mut(theirs),
+        )?;
+        lo = span_lo;
+        hi = span_hi;
+        bit <<= 1;
+    }
+    Ok(())
 }
 
 /// Reduce-scatter of typed values: every rank receives the element-wise
 /// reduction of one equal block of the input. `values.len()` must be divisible
-/// by the rank count. Returns this rank's block.
+/// by the rank count. Size-adaptive: the naive allreduce + block selection for
+/// small payloads, recursive halving (power-of-two rank counts) or pairwise
+/// exchange (any rank count) above the threshold. Returns this rank's block
+/// and the label of the algorithm used.
 pub fn reduce_scatter<T: Reducible>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    tuning: &CollTuning,
     values: &[T],
     op: ReduceOp,
-) -> Result<Vec<T>> {
+) -> Result<(Vec<T>, &'static str)> {
     let n = view.size();
     let me = view.rank;
     if !values.len().is_multiple_of(n) {
@@ -633,8 +1067,111 @@ pub fn reduce_scatter<T: Reducible>(
             n
         )));
     }
-    let mut all = values.to_vec();
-    allreduce(t, clock, view, &mut all, op)?;
     let block = values.len() / n;
-    Ok(all[me * block..(me + 1) * block].to_vec())
+    if n == 1 {
+        return Ok((values.to_vec(), "reduce-scatter/local"));
+    }
+    let bytes = std::mem::size_of_val(values);
+    if bytes >= tuning.reduce_scatter_direct_min_bytes && block > 0 {
+        if n.is_power_of_two() {
+            let out = reduce_scatter_halving(t, clock, view, values, op)?;
+            return Ok((out, "reduce-scatter/recursive-halving"));
+        }
+        let out = reduce_scatter_pairwise(t, clock, view, values, op)?;
+        return Ok((out, "reduce-scatter/pairwise"));
+    }
+    let mut all = values.to_vec();
+    allreduce(t, clock, view, tuning, &mut all, op)?;
+    Ok((
+        all[me * block..(me + 1) * block].to_vec(),
+        "reduce-scatter/naive",
+    ))
+}
+
+/// Recursive-halving reduce-scatter (power-of-two rank counts): log₂ n
+/// exchanges, each of half the remaining region; the surviving region after
+/// the last halving is exactly this rank's block.
+fn reduce_scatter_halving<T: Reducible>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    values: &[T],
+    op: ReduceOp,
+) -> Result<Vec<T>> {
+    let n = view.size();
+    let me = view.rank;
+    let mut work = values.to_vec();
+    let mut scratch = vec![values[0]; values.len() / 2];
+    let mut lo = 0usize;
+    let mut hi = values.len();
+    let mut bit = n >> 1;
+    let mut level = 0usize;
+    while bit >= 1 {
+        let partner = me ^ bit;
+        let mid = lo + (hi - lo) / 2;
+        let (my_lo, my_hi, their_lo, their_hi) = if me & bit == 0 {
+            (lo, mid, mid, hi)
+        } else {
+            (mid, hi, lo, mid)
+        };
+        let recv_len = my_hi - my_lo;
+        exchange(
+            t,
+            clock,
+            view,
+            partner,
+            coll_tag(7, 64 + level),
+            bytes_of(&work[their_lo..their_hi]),
+            bytes_of_mut(&mut scratch[..recv_len]),
+        )?;
+        op.fold(&mut work[my_lo..my_hi], &scratch[..recv_len]);
+        lo = my_lo;
+        hi = my_hi;
+        if bit == 1 {
+            break;
+        }
+        bit >>= 1;
+        level += 1;
+    }
+    debug_assert_eq!(
+        (lo, hi),
+        (me * (values.len() / n), (me + 1) * (values.len() / n))
+    );
+    Ok(work[lo..hi].to_vec())
+}
+
+/// Pairwise-exchange reduce-scatter (any rank count): n−1 steps; at step `s`
+/// this rank ships the block belonging to `me + s` and folds the block
+/// arriving from `me − s` into its own. Bandwidth-optimal for large payloads
+/// and immune to the power-of-two cliff.
+fn reduce_scatter_pairwise<T: Reducible>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    values: &[T],
+    op: ReduceOp,
+) -> Result<Vec<T>> {
+    let n = view.size();
+    let me = view.rank;
+    let block = values.len() / n;
+    let mut acc = values[me * block..(me + 1) * block].to_vec();
+    let mut incoming = acc.clone();
+    for s in 1..n {
+        let dst = (me + s) % n;
+        let src = (me + n - s) % n;
+        let tag = coll_tag(7, s);
+        let outgoing = bytes_of(&values[dst * block..(dst + 1) * block]);
+        // Deadlock-safe ordering: the lower rank of each (sender, receiver)
+        // edge sends first; every communication cycle contains a wrap-around
+        // edge whose sender receives first, so no cyclic wait can form.
+        if me < dst {
+            t.send(clock, view.world(dst), view.ctx, tag, outgoing)?;
+            recv_exact(t, clock, view, src, tag, bytes_of_mut(&mut incoming))?;
+        } else {
+            recv_exact(t, clock, view, src, tag, bytes_of_mut(&mut incoming))?;
+            t.send(clock, view.world(dst), view.ctx, tag, outgoing)?;
+        }
+        op.fold(&mut acc, &incoming);
+    }
+    Ok(acc)
 }

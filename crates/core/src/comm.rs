@@ -32,6 +32,7 @@ use cmpi_fabric::SimClock;
 
 use crate::barrier;
 use crate::coll::{self, CommView};
+use crate::config::CollTuning;
 use crate::error::MpiError;
 use crate::group::Group;
 use crate::pod::Pod;
@@ -88,10 +89,16 @@ pub(crate) struct RankCore {
     pub(crate) transport: Box<dyn Transport>,
     pub(crate) clock: SimClock,
     pub(crate) topology: HostTopology,
+    /// Collective algorithm switchover thresholds (from the universe config).
+    pub(crate) tuning: CollTuning,
     /// Next context id this rank would propose for a new communicator.
     next_ctx: CtxId,
     /// Per-communicator collective counters, keyed by context id.
     coll_stats: BTreeMap<CtxId, CommCollStats>,
+    /// Label of the algorithm chosen by the most recent collective.
+    last_algo: &'static str,
+    /// How often each collective algorithm was chosen by this rank.
+    algo_counts: BTreeMap<&'static str, u64>,
 }
 
 impl RankCore {
@@ -118,6 +125,18 @@ impl RankCore {
     pub(crate) fn coll_stats_snapshot(&self) -> Vec<CommCollStats> {
         self.coll_stats.values().copied().collect()
     }
+
+    fn note_algo(&mut self, algo: &'static str) {
+        self.last_algo = algo;
+        *self.algo_counts.entry(algo).or_insert(0) += 1;
+    }
+
+    pub(crate) fn algo_counts_snapshot(&self) -> Vec<(String, u64)> {
+        self.algo_counts
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
 }
 
 /// A communicator handle (the `MPI_Comm` equivalent). The world communicator
@@ -136,15 +155,22 @@ pub struct Comm {
 
 impl Comm {
     /// Build the world communicator for one rank (runtime-internal).
-    pub(crate) fn world(transport: Box<dyn Transport>, topology: HostTopology) -> Self {
+    pub(crate) fn world(
+        transport: Box<dyn Transport>,
+        topology: HostTopology,
+        tuning: CollTuning,
+    ) -> Self {
         let n = transport.size();
         let rank = transport.rank();
         let core = RankCore {
             transport,
             clock: SimClock::new(),
             topology,
+            tuning,
             next_ctx: WORLD_CTX + 1,
             coll_stats: BTreeMap::new(),
+            last_algo: "none",
+            algo_counts: BTreeMap::new(),
         };
         Comm {
             core: Rc::new(RefCell::new(core)),
@@ -158,6 +184,19 @@ impl Comm {
     /// this rank so far (across *all* communicators sharing the rank core).
     pub(crate) fn coll_stats_snapshot(&self) -> Vec<CommCollStats> {
         self.core.borrow().coll_stats_snapshot()
+    }
+
+    /// Label of the algorithm chosen by the most recent collective executed by
+    /// this rank (any communicator), e.g. `"allreduce/rabenseifner"`. Returns
+    /// `"none"` before the first collective.
+    pub fn last_coll_algorithm(&self) -> &'static str {
+        self.core.borrow().last_algo
+    }
+
+    /// Snapshot of how often each collective algorithm was chosen by this rank
+    /// (surfaced in [`crate::runtime::RankReport::coll_algos`]).
+    pub(crate) fn algo_counts_snapshot(&self) -> Vec<(String, u64)> {
+        self.core.borrow().algo_counts_snapshot()
     }
 
     fn view(&self) -> CommView<'_> {
@@ -296,16 +335,19 @@ impl Comm {
             let core = &mut *self.core.borrow_mut();
             let view = self.view();
             let mut proposal = [core.next_ctx as u64];
-            coll::allreduce(
+            let tuning = core.tuning;
+            let algo = coll::allreduce(
                 core.transport.as_mut(),
                 &mut core.clock,
                 &view,
+                &tuning,
                 &mut proposal,
                 ReduceOp::Max,
             )?;
             let agreed = proposal[0] as CtxId;
             core.next_ctx = agreed + 1;
             core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, 8);
+            core.note_algo(algo);
             agreed
         };
         Ok(Comm {
@@ -327,13 +369,16 @@ impl Comm {
             let core = &mut *self.core.borrow_mut();
             let view = self.view();
             let mine = [color as i64, key as i64, core.next_ctx as i64];
-            coll::allgather_into(
+            let tuning = core.tuning;
+            let algo = coll::allgather_into(
                 core.transport.as_mut(),
                 &mut core.clock,
                 &view,
+                &tuning,
                 &mine,
                 &mut gathered,
             )?;
+            core.note_algo(algo);
             // Agree on a context id unused by every member (max of proposals);
             // all colors of this split share it — their groups are disjoint,
             // so their (source, destination) pairs already are.
@@ -441,6 +486,22 @@ impl Comm {
         Ok(Request::recv_pending(self.ctx, src, tag))
     }
 
+    /// Non-blocking receive into a caller-owned buffer: completion writes the
+    /// payload into `buf` through the transports' allocation-free
+    /// `recv_into` path (the buffer also bounds the acceptable message size —
+    /// a longer matched message fails the completion with truncation).
+    /// [`Request::take_data`] returns the same allocation, truncated to the
+    /// received length, so receive loops can recycle one buffer indefinitely.
+    pub fn irecv_into(
+        &mut self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: Vec<u8>,
+    ) -> Result<Request> {
+        let src = src.map(|s| self.world_of(s)).transpose()?;
+        Ok(Request::recv_pending_into(self.ctx, src, tag, buf))
+    }
+
     fn check_request_ctx(&self, request: &Request) -> Result<()> {
         if request.ctx != self.ctx {
             return Err(MpiError::InvalidCommunicator(format!(
@@ -454,6 +515,32 @@ impl Comm {
     /// One non-blocking completion attempt for a pending receive request.
     fn try_complete(&mut self, request: &mut Request) -> Result<Option<Status>> {
         self.check_request_ctx(request)?;
+        if request.is_buffered() {
+            let mut buf = request.take_buffer().expect("buffered request has buffer");
+            let found = {
+                let core = &mut *self.core.borrow_mut();
+                core.transport.try_recv_into(
+                    &mut core.clock,
+                    self.ctx,
+                    request.src,
+                    request.tag,
+                    &mut buf,
+                )
+            };
+            return match found {
+                Ok(Some(status)) => {
+                    let status = self.localize(status)?;
+                    request.fulfill_buffered(status, buf);
+                    Ok(Some(status))
+                }
+                Ok(None) => {
+                    // Not matched yet: re-arm the request with its buffer.
+                    *request = Request::recv_pending_into(self.ctx, request.src, request.tag, buf);
+                    Ok(None)
+                }
+                Err(e) => Err(e),
+            };
+        }
         let found = {
             let core = &mut *self.core.borrow_mut();
             core.transport
@@ -479,6 +566,22 @@ impl Comm {
             RequestState::Consumed => Err(MpiError::StaleRequest),
             RequestState::RecvPending => {
                 self.check_request_ctx(request)?;
+                if request.is_buffered() {
+                    let mut buf = request.take_buffer().expect("buffered request has buffer");
+                    let status = {
+                        let core = &mut *self.core.borrow_mut();
+                        core.transport.recv_into(
+                            &mut core.clock,
+                            self.ctx,
+                            request.src,
+                            request.tag,
+                            &mut buf,
+                        )?
+                    };
+                    let status = self.localize(status)?;
+                    request.fulfill_buffered(status, buf);
+                    return Ok(status);
+                }
                 let (status, data) = {
                     let core = &mut *self.core.borrow_mut();
                     core.transport.recv_owned(
@@ -517,13 +620,12 @@ impl Comm {
     /// Errors with [`MpiError::StaleRequest`] if the slice is empty or every
     /// request has been consumed.
     pub fn wait_any(&mut self, requests: &mut [Request]) -> Result<(usize, Status)> {
+        let poison = self.core.borrow().transport.poison().clone();
+        let mut backoff = crate::spin::SpinWait::new();
         loop {
             match self.poll_any(requests)? {
                 PollAny::Ready(i, status) => return Ok((i, status)),
-                PollAny::Pending => {
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
-                }
+                PollAny::Pending => backoff.wait(&poison)?,
                 PollAny::NoneActive => return Err(MpiError::StaleRequest),
             }
         }
@@ -616,12 +718,15 @@ impl Comm {
     /// point-to-point path.
     pub fn barrier(&mut self) -> Result<()> {
         let core = &mut *self.core.borrow_mut();
-        if self.group.is_world(core.transport.size()) {
+        let algo = if self.group.is_world(core.transport.size()) {
             core.transport.barrier(&mut core.clock)?;
+            "barrier/sequence"
         } else {
             barrier::group_barrier(core.transport.as_mut(), &mut core.clock, &self.view())?;
-        }
+            "barrier/dissemination"
+        };
         core.note_coll(self.ctx, self.group.size(), CollOp::Barrier, 0);
+        core.note_algo(algo);
         Ok(())
     }
 
@@ -757,19 +862,23 @@ impl Comm {
     // Typed collectives
     // ------------------------------------------------------------------
 
-    /// Broadcast the fixed-size buffer `buf` from `root` (binomial tree).
-    /// Every rank must pass a buffer of identical length.
+    /// Broadcast the fixed-size buffer `buf` from `root`. Every rank must pass
+    /// a buffer of identical length. Size-adaptive: binomial tree for small
+    /// payloads, scatter + ring allgather above the configured threshold.
     pub fn bcast_into<T: Pod>(&mut self, root: Rank, buf: &mut [T]) -> Result<()> {
         let bytes = std::mem::size_of_val(buf) as u64;
         let core = &mut *self.core.borrow_mut();
-        coll::bcast_into(
+        let tuning = core.tuning;
+        let algo = coll::bcast_into(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            &tuning,
             root,
             buf,
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Bcast, bytes);
+        core.note_algo(algo);
         Ok(())
     }
 
@@ -793,22 +902,27 @@ impl Comm {
             recv,
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Gather, bytes);
+        core.note_algo("gather/linear");
         Ok(())
     }
 
-    /// Allgather equal-sized contributions into a flat buffer on every rank
-    /// (ring algorithm): `recv.len()` must equal `size × send.len()`.
+    /// Allgather equal-sized contributions into a flat buffer on every rank:
+    /// `recv.len()` must equal `size × send.len()`. Size-adaptive: Bruck for
+    /// small blocks, ring for large ones.
     pub fn allgather_into<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<()> {
         let bytes = std::mem::size_of_val(send) as u64;
         let core = &mut *self.core.borrow_mut();
-        coll::allgather_into(
+        let tuning = core.tuning;
+        let algo = coll::allgather_into(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            &tuning,
             send,
             recv,
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Allgather, bytes);
+        core.note_algo(algo);
         Ok(())
     }
 
@@ -832,6 +946,7 @@ impl Comm {
             recv,
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Scatter, bytes);
+        core.note_algo("scatter/linear");
         Ok(())
     }
 
@@ -854,36 +969,47 @@ impl Comm {
             op,
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Reduce, bytes);
+        core.note_algo("reduce/binomial");
         Ok(out)
     }
 
-    /// Allreduce typed values in place (recursive doubling).
+    /// Allreduce typed values in place. Size-adaptive: recursive doubling for
+    /// small payloads, Rabenseifner above the configured threshold, with
+    /// power-of-two fold elimination for other rank counts.
     pub fn allreduce<T: Reducible>(&mut self, values: &mut [T], op: ReduceOp) -> Result<()> {
         let bytes = std::mem::size_of_val(values) as u64;
         let core = &mut *self.core.borrow_mut();
-        coll::allreduce(
+        let tuning = core.tuning;
+        let algo = coll::allreduce(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            &tuning,
             values,
             op,
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, bytes);
+        core.note_algo(algo);
         Ok(())
     }
 
-    /// Reduce-scatter typed values; returns this rank's block.
+    /// Reduce-scatter typed values; returns this rank's block. Size-adaptive:
+    /// naive allreduce + selection for small payloads, recursive halving /
+    /// pairwise exchange above the configured threshold.
     pub fn reduce_scatter<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Vec<T>> {
         let bytes = std::mem::size_of_val(values) as u64;
         let core = &mut *self.core.borrow_mut();
-        let out = coll::reduce_scatter(
+        let tuning = core.tuning;
+        let (out, algo) = coll::reduce_scatter(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            &tuning,
             values,
             op,
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::ReduceScatter, bytes);
+        core.note_algo(algo);
         Ok(out)
     }
 

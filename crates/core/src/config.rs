@@ -91,6 +91,38 @@ impl TcpTransportConfig {
     }
 }
 
+/// Message-size thresholds steering the size-adaptive collective algorithms
+/// (see `coll`). Defaults follow the MPICH-style switchover points, scaled to
+/// the cell geometry of the CXL transport; the bench harness sweeps across
+/// them so every branch shows up in `BENCH_collectives.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollTuning {
+    /// Broadcast switches from the binomial tree to scatter + ring-allgather
+    /// (van de Geijn) at and above this many payload bytes.
+    pub bcast_scatter_allgather_min_bytes: usize,
+    /// Allreduce switches from recursive doubling to Rabenseifner
+    /// (reduce-scatter + allgather) at and above this many payload bytes.
+    pub allreduce_rabenseifner_min_bytes: usize,
+    /// Allgather uses the Bruck algorithm (log₂ n steps) for per-rank blocks
+    /// up to this many bytes, the bandwidth-optimal ring above.
+    pub allgather_bruck_max_bytes: usize,
+    /// Reduce-scatter switches from the naive allreduce + block selection to
+    /// recursive halving (power-of-two) / pairwise exchange (other counts) at
+    /// and above this many total payload bytes.
+    pub reduce_scatter_direct_min_bytes: usize,
+}
+
+impl Default for CollTuning {
+    fn default() -> Self {
+        CollTuning {
+            bcast_scatter_allgather_min_bytes: 128 * 1024,
+            allreduce_rabenseifner_min_bytes: 16 * 1024,
+            allgather_bruck_max_bytes: 4 * 1024,
+            reduce_scatter_direct_min_bytes: 16 * 1024,
+        }
+    }
+}
+
 /// Which transport a universe uses for inter-node communication.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TransportConfig {
@@ -122,6 +154,8 @@ pub struct UniverseConfig {
     pub hosts: usize,
     /// Transport selection.
     pub transport: TransportConfig,
+    /// Collective algorithm switchover thresholds.
+    pub coll: CollTuning,
 }
 
 impl UniverseConfig {
@@ -132,6 +166,7 @@ impl UniverseConfig {
             ranks,
             hosts: 2.min(ranks.max(1)),
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::default()),
+            coll: CollTuning::default(),
         }
     }
 
@@ -141,6 +176,7 @@ impl UniverseConfig {
             ranks,
             hosts: 2.min(ranks.max(1)),
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::small()),
+            coll: CollTuning::default(),
         }
     }
 
@@ -150,12 +186,19 @@ impl UniverseConfig {
             ranks,
             hosts: 2.min(ranks.max(1)),
             transport: TransportConfig::Tcp(TcpTransportConfig { nic }),
+            coll: CollTuning::default(),
         }
     }
 
     /// Override the number of hosts.
     pub fn with_hosts(mut self, hosts: usize) -> Self {
         self.hosts = hosts;
+        self
+    }
+
+    /// Override the collective algorithm thresholds.
+    pub fn with_coll_tuning(mut self, coll: CollTuning) -> Self {
+        self.coll = coll;
         self
     }
 

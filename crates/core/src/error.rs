@@ -48,6 +48,10 @@ pub enum MpiError {
     /// An operation was called on a communicator that cannot support it
     /// (e.g. RMA windows on a sub-communicator) or with an invalid group.
     InvalidCommunicator(String),
+    /// A peer rank died (panicked or errored out) while this rank was blocked
+    /// waiting on it; the universe's poison flag aborted the wait so the
+    /// survivors fail fast instead of spinning forever.
+    PeerDead(String),
 }
 
 impl fmt::Display for MpiError {
@@ -79,6 +83,7 @@ impl fmt::Display for MpiError {
             MpiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             MpiError::StaleRequest => write!(f, "request already completed or consumed"),
             MpiError::InvalidCommunicator(msg) => write!(f, "invalid communicator: {msg}"),
+            MpiError::PeerDead(msg) => write!(f, "peer rank died: {msg}"),
         }
     }
 }

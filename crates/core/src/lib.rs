@@ -54,9 +54,15 @@
 //! * [`barrier`] — the sequence-number barrier that avoids cross-host atomic
 //!   operations (Section 3.4), plus the dissemination barrier that serves
 //!   arbitrary sub-communicator groups.
-//! * [`coll`] — collectives (barrier, broadcast, allgather, allreduce, reduce,
-//!   reduce-scatter, gather, scatter) layered on point-to-point over a
-//!   [`coll::CommView`], the paper's Section 3.6 extension.
+//! * [`coll`] — size- and shape-adaptive collectives (barrier, broadcast,
+//!   allgather, allreduce, reduce, reduce-scatter, gather, scatter) layered on
+//!   point-to-point over a [`coll::CommView`], the paper's Section 3.6
+//!   extension. Algorithms switch MPICH-style on payload size (thresholds in
+//!   [`config::CollTuning`]) and the chosen algorithm is surfaced in
+//!   [`runtime::RankReport::coll_algos`].
+//! * [`spin`] — the tiered [`spin::SpinWait`] backoff used by every blocking
+//!   wait, carrying the universe's [`spin::PoisonFlag`] so a dead rank aborts
+//!   the survivors with [`error::MpiError::PeerDead`] instead of hanging.
 //! * [`p2p`], [`request`] — context-scoped message matching, non-blocking
 //!   requests (`wait`/`test`/`wait_all`/`wait_any`/`test_any`/`test_all`) and
 //!   status.
@@ -85,17 +91,21 @@ pub mod queue;
 pub mod request;
 pub mod rma;
 pub mod runtime;
+pub mod spin;
 pub mod topology;
 pub mod transport;
 pub mod types;
 
 pub use comm::{Comm, CommCollStats};
-pub use config::{CxlShmTransportConfig, TcpTransportConfig, TransportConfig, UniverseConfig};
+pub use config::{
+    CollTuning, CxlShmTransportConfig, TcpTransportConfig, TransportConfig, UniverseConfig,
+};
 pub use error::MpiError;
 pub use group::Group;
 pub use pod::Pod;
 pub use request::{Request, RequestState};
 pub use runtime::{RankReport, Universe};
+pub use spin::{PoisonFlag, SpinWait};
 pub use topology::HostTopology;
 pub use types::{CtxId, Rank, ReduceOp, Reducible, Status, Tag, ANY_SOURCE, ANY_TAG, WORLD_CTX};
 

@@ -93,11 +93,75 @@ impl UnexpectedQueue {
     }
 }
 
+/// A pool of reusable byte buffers: the per-peer staging arena backing
+/// unexpected-message reassembly on the CXL transport.
+///
+/// Receives that stash a message (no matching receive posted yet) need owned
+/// storage; allocating it fresh per message put a `Vec` allocation plus a
+/// zeroing pass on the hot path. The pool recycles those buffers: when a
+/// stashed message is later consumed by a `recv_into`, its storage comes back
+/// here and the next unexpected message reuses it.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+/// Buffers retained by a [`BufferPool`] (beyond this, returned buffers are
+/// simply dropped).
+const POOL_RETAIN: usize = 8;
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a buffer resized to exactly `len` bytes, reusing pooled capacity
+    /// when available. Contents are unspecified except being `len` long.
+    pub fn take(&mut self, len: usize) -> Vec<u8> {
+        // Prefer the smallest free buffer that already fits, to keep big
+        // buffers available for big messages.
+        let mut best: Option<usize> = None;
+        for (i, b) in self.free.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|j| b.capacity() < self.free[j].capacity()) {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best {
+            Some(i) => self.free.swap_remove(i),
+            None => self.free.pop().unwrap_or_default(),
+        };
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < POOL_RETAIN && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
 /// Incremental reassembly of one chunked message coming out of an SPSC queue.
 ///
 /// Chunks of a single message are contiguous in their per-pair queue (the
 /// sender enqueues a whole message before starting the next), so reassembly
-/// only needs the total length from the first chunk's header.
+/// only needs the total length from the first chunk's header. Chunk payloads
+/// are dequeued **directly into** the assembler's buffer
+/// ([`ChunkAssembler::chunk_target`] / [`ChunkAssembler::commit_chunk`]); the
+/// buffer itself can come from a [`BufferPool`] so steady-state reassembly
+/// performs no allocation at all.
 #[derive(Debug)]
 pub struct ChunkAssembler {
     src: Rank,
@@ -112,31 +176,58 @@ pub struct ChunkAssembler {
 impl ChunkAssembler {
     /// Start assembling from the first chunk of a message.
     pub fn new(src: Rank, ctx: CtxId, tag: Tag, total_len: usize) -> Self {
+        Self::with_buffer(src, ctx, tag, total_len, vec![0u8; total_len])
+    }
+
+    /// Start assembling into a caller-provided buffer (typically from a
+    /// [`BufferPool`]); it is resized to `total_len`.
+    pub fn with_buffer(
+        src: Rank,
+        ctx: CtxId,
+        tag: Tag,
+        total_len: usize,
+        mut buf: Vec<u8>,
+    ) -> Self {
+        buf.resize(total_len, 0);
         ChunkAssembler {
             src,
             ctx,
             tag,
             total_len,
             received: 0,
-            data: vec![0u8; total_len],
+            data: buf,
             latest_ts: 0.0,
         }
     }
 
-    /// Add one chunk. Panics if the chunk falls outside the message bounds
-    /// (would indicate queue corruption).
-    pub fn add_chunk(&mut self, offset: usize, chunk: &[u8], timestamp: f64) {
+    /// The writable region for a chunk of `len` bytes at message offset
+    /// `offset` — dequeue the payload straight into this slice, then call
+    /// [`ChunkAssembler::commit_chunk`]. Panics if the chunk falls outside the
+    /// message bounds (would indicate queue corruption).
+    pub fn chunk_target(&mut self, offset: usize, len: usize) -> &mut [u8] {
         assert!(
-            offset + chunk.len() <= self.total_len,
+            offset + len <= self.total_len,
             "chunk [{offset}, {}) exceeds message length {}",
-            offset + chunk.len(),
+            offset + len,
             self.total_len
         );
-        self.data[offset..offset + chunk.len()].copy_from_slice(chunk);
-        self.received += chunk.len();
+        &mut self.data[offset..offset + len]
+    }
+
+    /// Record that `len` bytes were written via [`ChunkAssembler::chunk_target`].
+    pub fn commit_chunk(&mut self, len: usize, timestamp: f64) {
+        self.received += len;
         if timestamp > self.latest_ts {
             self.latest_ts = timestamp;
         }
+    }
+
+    /// Add one chunk by copy (the non-zero-copy convenience used by tests and
+    /// cold paths). Panics if the chunk falls outside the message bounds.
+    pub fn add_chunk(&mut self, offset: usize, chunk: &[u8], timestamp: f64) {
+        self.chunk_target(offset, chunk.len())
+            .copy_from_slice(chunk);
+        self.commit_chunk(chunk.len(), timestamp);
     }
 
     /// Whether every byte of the message has arrived.
@@ -213,6 +304,43 @@ mod tests {
         assert!(q.probe(0, Some(3), Some(7)).is_some());
         assert_eq!(q.len(), 1);
         assert!(q.probe(0, Some(3), Some(8)).is_none());
+    }
+
+    #[test]
+    fn buffer_pool_recycles_capacity() {
+        let mut pool = BufferPool::new();
+        let buf = pool.take(100);
+        assert_eq!(buf.len(), 100);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        pool.put(buf);
+        assert_eq!(pool.len(), 1);
+        // A smaller request reuses the same allocation.
+        let again = pool.take(50);
+        assert_eq!(again.len(), 50);
+        assert_eq!(again.as_ptr(), ptr);
+        assert_eq!(again.capacity(), cap);
+        pool.put(again);
+        // Prefers the smallest buffer that fits.
+        pool.put(Vec::with_capacity(1000));
+        let small = pool.take(10);
+        assert_eq!(small.capacity(), cap);
+    }
+
+    #[test]
+    fn assembler_direct_fill_via_chunk_target() {
+        let mut pool = BufferPool::new();
+        let mut a = ChunkAssembler::with_buffer(1, 0, 2, 8, pool.take(8));
+        a.chunk_target(4, 4).copy_from_slice(&[5, 6, 7, 8]);
+        a.commit_chunk(4, 2.0);
+        a.chunk_target(0, 4).copy_from_slice(&[1, 2, 3, 4]);
+        a.commit_chunk(4, 1.0);
+        assert!(a.is_complete());
+        let m = a.finish();
+        assert_eq!(m.data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.arrival, 2.0);
+        pool.put(m.data);
+        assert_eq!(pool.len(), 1);
     }
 
     #[test]

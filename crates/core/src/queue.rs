@@ -66,6 +66,11 @@ pub struct CellHeader {
 }
 
 impl CellHeader {
+    /// Bytes `36..40` of the encoding are reserved padding: `chunk_len` is a
+    /// `u32` and `timestamp` is 8-byte aligned at offset 40. Kept explicit so
+    /// nothing ever reads or writes them by accident.
+    const PADDING: std::ops::Range<usize> = 36..40;
+
     /// Encode into the fixed 64-byte on-device representation.
     pub fn encode(&self) -> [u8; CELL_HEADER_SIZE] {
         let mut buf = [0u8; CELL_HEADER_SIZE];
@@ -75,6 +80,7 @@ impl CellHeader {
         buf[16..24].copy_from_slice(&self.total_len.to_le_bytes());
         buf[24..32].copy_from_slice(&self.chunk_offset.to_le_bytes());
         buf[32..36].copy_from_slice(&self.chunk_len.to_le_bytes());
+        buf[Self::PADDING].fill(0);
         buf[40..48].copy_from_slice(&self.timestamp.to_bits().to_le_bytes());
         buf
     }
@@ -192,6 +198,19 @@ impl SpscQueue {
     /// Producer: try to enqueue one chunk. Returns `false` (without writing)
     /// if the ring is full. The payload must fit the cell capacity.
     pub fn try_enqueue(&self, header: &CellHeader, payload: &[u8]) -> Result<bool> {
+        let mut scratch = Vec::new();
+        self.try_enqueue_with_scratch(header, payload, &mut scratch)
+    }
+
+    /// [`SpscQueue::try_enqueue`] with a caller-owned staging buffer, so a
+    /// sender streaming a chunked message performs zero allocations after the
+    /// first chunk (the hot path used by the transports).
+    pub fn try_enqueue_with_scratch(
+        &self,
+        header: &CellHeader,
+        payload: &[u8],
+        scratch: &mut Vec<u8>,
+    ) -> Result<bool> {
         if payload.len() > self.geometry.cell_payload {
             return Err(MpiError::Transport(format!(
                 "chunk of {} bytes exceeds cell payload capacity {}",
@@ -199,6 +218,18 @@ impl SpscQueue {
                 self.geometry.cell_payload
             )));
         }
+        debug_assert!(
+            header.chunk_len as usize == payload.len(),
+            "header chunk_len {} disagrees with payload length {}",
+            header.chunk_len,
+            payload.len()
+        );
+        debug_assert!(
+            header.chunk_len as usize <= self.geometry.cell_payload,
+            "chunk_len {} exceeds cell payload geometry {} — cell size misconfigured",
+            header.chunk_len,
+            self.geometry.cell_payload
+        );
         let head = self.obj.nt_load_u64_at(self.base + OFF_HEAD)?;
         let tail = self.obj.nt_load_u64_at(self.base + OFF_TAIL)?;
         if tail - head >= self.geometry.cells as u64 {
@@ -206,11 +237,13 @@ impl SpscQueue {
         }
         let slot = tail % self.geometry.cells as u64;
         let off = self.cell_offset(slot);
-        // Write header + payload as one contiguous coherent publish.
-        let mut buf = Vec::with_capacity(CELL_HEADER_SIZE + payload.len());
-        buf.extend_from_slice(&header.encode());
-        buf.extend_from_slice(payload);
-        self.obj.write_flush_at(off, &buf)?;
+        // Write header + payload as one contiguous coherent publish. The
+        // scratch buffer is reused across chunks (clear keeps the capacity).
+        scratch.clear();
+        scratch.reserve(CELL_HEADER_SIZE + payload.len());
+        scratch.extend_from_slice(&header.encode());
+        scratch.extend_from_slice(payload);
+        self.obj.write_flush_at(off, scratch)?;
         // Publish: bump the tail and stamp it (non-temporal, immediately
         // visible to the consumer).
         self.obj
@@ -219,35 +252,81 @@ impl SpscQueue {
         Ok(true)
     }
 
-    /// Consumer: try to dequeue one chunk. `now_ts` is the consumer's virtual
-    /// time, published as the head timestamp so a blocked producer can merge it.
-    pub fn try_dequeue(&self, now_ts: f64) -> Result<Option<(CellHeader, Vec<u8>)>> {
+    /// Consumer: read the header of the next waiting cell *without* consuming
+    /// it. Returns `None` when the ring is empty. Used by the receive path to
+    /// decide where the chunk's payload should land (caller buffer vs staging)
+    /// before committing to the dequeue.
+    pub fn peek_header(&self) -> Result<Option<CellHeader>> {
         let head = self.obj.nt_load_u64_at(self.base + OFF_HEAD)?;
         let tail = self.obj.nt_load_u64_at(self.base + OFF_TAIL)?;
         if tail == head {
             return Ok(None);
         }
-        let slot = head % self.geometry.cells as u64;
-        let off = self.cell_offset(slot);
+        let off = self.cell_offset(head % self.geometry.cells as u64);
         let mut hdr_buf = [0u8; CELL_HEADER_SIZE];
         self.obj.read_coherent_at(off, &mut hdr_buf)?;
         let header = CellHeader::decode(&hdr_buf);
+        self.check_geometry(&header)?;
+        Ok(Some(header))
+    }
+
+    fn check_geometry(&self, header: &CellHeader) -> Result<()> {
         if header.chunk_len as usize > self.geometry.cell_payload {
             return Err(MpiError::Transport(format!(
                 "corrupt cell: chunk_len {} exceeds capacity {}",
                 header.chunk_len, self.geometry.cell_payload
             )));
         }
+        Ok(())
+    }
+
+    /// Consumer: try to dequeue one chunk. `now_ts` is the consumer's virtual
+    /// time, published as the head timestamp so a blocked producer can merge it.
+    pub fn try_dequeue(&self, now_ts: f64) -> Result<Option<(CellHeader, Vec<u8>)>> {
+        let Some(header) = self.peek_header()? else {
+            return Ok(None);
+        };
         let mut payload = vec![0u8; header.chunk_len as usize];
-        if !payload.is_empty() {
+        let consumed = self.try_dequeue_into(now_ts, &mut payload)?;
+        debug_assert_eq!(consumed.map(|h| h.chunk_len), Some(header.chunk_len));
+        Ok(Some((header, payload)))
+    }
+
+    /// Consumer: dequeue the next chunk, copying its payload **straight into
+    /// `dst`** (the allocation-free receive path). `dst` must have room for
+    /// the chunk — callers learn the size via [`SpscQueue::peek_header`].
+    /// Exactly `chunk_len` bytes of `dst` are written, starting at 0; the
+    /// caller slices `dst` at the chunk's message offset.
+    ///
+    /// Returns the consumed header, or `None` if the ring is empty.
+    pub fn try_dequeue_into(&self, now_ts: f64, dst: &mut [u8]) -> Result<Option<CellHeader>> {
+        let head = self.obj.nt_load_u64_at(self.base + OFF_HEAD)?;
+        let tail = self.obj.nt_load_u64_at(self.base + OFF_TAIL)?;
+        if tail == head {
+            return Ok(None);
+        }
+        let off = self.cell_offset(head % self.geometry.cells as u64);
+        let mut hdr_buf = [0u8; CELL_HEADER_SIZE];
+        self.obj.read_coherent_at(off, &mut hdr_buf)?;
+        let header = CellHeader::decode(&hdr_buf);
+        self.check_geometry(&header)?;
+        let len = header.chunk_len as usize;
+        if len > dst.len() {
+            return Err(MpiError::Transport(format!(
+                "dequeue destination of {} bytes too small for {}-byte chunk",
+                dst.len(),
+                len
+            )));
+        }
+        if len > 0 {
             self.obj
-                .read_coherent_at(off + CELL_HEADER_SIZE as u64, &mut payload)?;
+                .read_coherent_at(off + CELL_HEADER_SIZE as u64, &mut dst[..len])?;
         }
         // Free the cell: stamp and bump the head.
         self.obj
             .nt_store_u64_at(self.base + OFF_HEAD_TS, now_ts.to_bits())?;
         self.obj.nt_store_u64_at(self.base + OFF_HEAD, head + 1)?;
-        Ok(Some((header, payload)))
+        Ok(Some(header))
     }
 }
 
@@ -427,6 +506,92 @@ mod tests {
         assert_eq!(p1, vec![1; 4]);
         let (h2, _) = consumer.try_dequeue(0.0).unwrap().unwrap();
         assert_eq!(h2.timestamp, 2.0);
+    }
+
+    #[test]
+    fn header_padding_bytes_stay_zero() {
+        let h = CellHeader {
+            src: 1,
+            ctx: 2,
+            tag: 3,
+            total_len: 4,
+            chunk_offset: 0,
+            chunk_len: 4,
+            timestamp: 5.0,
+        };
+        let enc = h.encode();
+        assert_eq!(&enc[36..40], &[0u8; 4], "reserved padding must stay zero");
+    }
+
+    #[test]
+    fn peek_then_dequeue_into_caller_buffer() {
+        let g = geom(256, 4);
+        let (producer_obj, consumer_obj) = make_object(g.queue_bytes());
+        let producer = SpscQueue::new(producer_obj, 0, g);
+        let consumer = SpscQueue::new(consumer_obj, 0, g);
+        producer.format().unwrap();
+        assert!(consumer.peek_header().unwrap().is_none());
+
+        let header = CellHeader {
+            src: 2,
+            ctx: 1,
+            tag: 9,
+            total_len: 16,
+            chunk_offset: 8,
+            chunk_len: 8,
+            timestamp: 7.0,
+        };
+        producer.try_enqueue(&header, b"abcdefgh").unwrap();
+        // Peek does not consume.
+        let peeked = consumer.peek_header().unwrap().unwrap();
+        assert_eq!(peeked, header);
+        assert!(consumer.has_message().unwrap());
+        // Dequeue straight into a caller buffer at the message offset.
+        let mut msg = [0u8; 16];
+        let consumed = consumer
+            .try_dequeue_into(1.0, &mut msg[8..16])
+            .unwrap()
+            .unwrap();
+        assert_eq!(consumed, header);
+        assert_eq!(&msg[8..], b"abcdefgh");
+        assert!(consumer.peek_header().unwrap().is_none());
+        // Too-small destination is an error, not a truncation.
+        producer.try_enqueue(&header, b"abcdefgh").unwrap();
+        assert!(matches!(
+            consumer.try_dequeue_into(1.0, &mut [0u8; 4]),
+            Err(MpiError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn enqueue_scratch_is_reused() {
+        let g = geom(64, 4);
+        let (producer_obj, consumer_obj) = make_object(g.queue_bytes());
+        let producer = SpscQueue::new(producer_obj, 0, g);
+        let consumer = SpscQueue::new(consumer_obj, 0, g);
+        producer.format().unwrap();
+        let mut scratch = Vec::new();
+        for i in 0..3u8 {
+            let h = CellHeader {
+                src: 0,
+                ctx: 0,
+                tag: 0,
+                total_len: 4,
+                chunk_offset: 0,
+                chunk_len: 4,
+                timestamp: i as f64,
+            };
+            assert!(producer
+                .try_enqueue_with_scratch(&h, &[i; 4], &mut scratch)
+                .unwrap());
+        }
+        let cap = scratch.capacity();
+        assert!(cap >= CELL_HEADER_SIZE + 4);
+        for i in 0..3u8 {
+            let (_, p) = consumer.try_dequeue(0.0).unwrap().unwrap();
+            assert_eq!(p, vec![i; 4]);
+        }
+        assert_eq!(scratch.capacity(), cap, "scratch must not reallocate");
     }
 
     #[test]

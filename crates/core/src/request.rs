@@ -40,6 +40,10 @@ pub struct Request {
     pub(crate) src: Option<Rank>,
     /// Tag selector of a pending receive.
     pub(crate) tag: Option<Tag>,
+    /// Caller-owned receive buffer of a buffered receive (`irecv_into`):
+    /// completion writes the payload here through the transports'
+    /// allocation-free `recv_into` path instead of allocating a fresh `Vec`.
+    pub(crate) buffer: Option<Vec<u8>>,
     status: Option<Status>,
     data: Option<Vec<u8>>,
 }
@@ -52,6 +56,7 @@ impl Request {
             ctx,
             src: None,
             tag: None,
+            buffer: None,
             status: Some(status),
             data: None,
         }
@@ -65,9 +70,54 @@ impl Request {
             ctx,
             src,
             tag,
+            buffer: None,
             status: None,
             data: None,
         }
+    }
+
+    /// A pending *buffered* receive: the payload will be written into `buf`
+    /// (which also bounds the acceptable message size — longer messages fail
+    /// with truncation). `buf` typically comes from a previous request via
+    /// [`Request::take_data`], making steady-state receive loops
+    /// allocation-free.
+    pub fn recv_pending_into(
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: Vec<u8>,
+    ) -> Self {
+        Request {
+            state: RequestState::RecvPending,
+            ctx,
+            src,
+            tag,
+            buffer: Some(buf),
+            status: None,
+            data: None,
+        }
+    }
+
+    /// Whether this is a buffered receive (posted with a caller buffer).
+    pub fn is_buffered(&self) -> bool {
+        self.buffer.is_some()
+    }
+
+    /// Take the posted buffer out of a pending buffered receive so it can be
+    /// handed to the transport's `recv_into` (comm-internal).
+    pub(crate) fn take_buffer(&mut self) -> Option<Vec<u8>> {
+        self.buffer.take()
+    }
+
+    /// Complete a buffered receive: `buf` is the posted buffer now holding
+    /// `status.len` payload bytes at the front; it is truncated to that length
+    /// and delivered through [`Request::take_data`] (comm-internal).
+    pub(crate) fn fulfill_buffered(&mut self, status: Status, mut buf: Vec<u8>) {
+        debug_assert_eq!(self.state, RequestState::RecvPending);
+        buf.truncate(status.len);
+        self.state = RequestState::RecvComplete;
+        self.status = Some(status);
+        self.data = Some(buf);
     }
 
     /// Current state.
@@ -145,5 +195,22 @@ mod tests {
     fn take_data_from_send_request_fails() {
         let mut r = Request::send_done(0, Status::new(0, 0, 0));
         assert!(matches!(r.take_data(), Err(MpiError::StaleRequest)));
+    }
+
+    #[test]
+    fn buffered_recv_request_reuses_caller_buffer() {
+        let mut r = Request::recv_pending_into(1, Some(0), Some(4), vec![0u8; 64]);
+        assert!(r.is_buffered());
+        assert!(!r.is_complete());
+        let mut buf = r.take_buffer().unwrap();
+        assert!(!r.is_buffered());
+        let ptr = buf.as_ptr();
+        buf[..3].copy_from_slice(&[7, 8, 9]);
+        r.fulfill_buffered(Status::new(0, 4, 3), buf);
+        assert!(r.is_complete());
+        let data = r.take_data().unwrap();
+        // Same allocation, truncated to the received length.
+        assert_eq!(data.as_ptr(), ptr);
+        assert_eq!(data, vec![7, 8, 9]);
     }
 }

@@ -15,6 +15,7 @@
 
 use cxl_shm::ShmObject;
 
+use crate::spin::{PoisonFlag, SpinWait};
 use crate::types::Rank;
 use crate::Result;
 
@@ -63,8 +64,10 @@ impl BakeryLock {
     }
 
     /// Acquire the lock as rank `me`. Returns the number of remote slot reads
-    /// performed (used by the cost model to charge spin traffic).
-    pub fn lock(&self, me: Rank) -> Result<u64> {
+    /// performed (used by the cost model to charge spin traffic). `poison` is
+    /// the universe's peer-death flag: a rank dying while holding (or queued
+    /// for) the lock aborts the wait with `PeerDead` instead of hanging.
+    pub fn lock(&self, me: Rank, poison: &PoisonFlag) -> Result<u64> {
         let mut reads: u64 = 0;
         // Doorway: pick a ticket one larger than every visible ticket.
         self.obj.nt_store_u64_at(self.choosing_off(me), 1)?;
@@ -86,23 +89,23 @@ impl BakeryLock {
                 continue;
             }
             // Wait until rank r is out of its doorway.
+            let mut backoff = SpinWait::new();
             loop {
                 reads += 1;
                 if self.obj.nt_load_u64_at(self.choosing_off(r))? == 0 {
                     break;
                 }
-                std::hint::spin_loop();
-                std::thread::yield_now();
+                backoff.wait(poison)?;
             }
             // Wait while r holds a ticket that precedes ours.
+            backoff.reset();
             loop {
                 reads += 1;
                 let n = self.obj.nt_load_u64_at(self.number_off(r))?;
                 if n == 0 || (n, r) > (my_number, me) {
                     break;
                 }
-                std::hint::spin_loop();
-                std::thread::yield_now();
+                backoff.wait(poison)?;
             }
         }
         Ok(reads)
@@ -148,9 +151,9 @@ mod tests {
     #[test]
     fn single_rank_lock_unlock() {
         let locks = make_locks(1);
-        locks[0].lock(0).unwrap();
+        locks[0].lock(0, &PoisonFlag::new()).unwrap();
         locks[0].unlock(0).unwrap();
-        locks[0].lock(0).unwrap();
+        locks[0].lock(0, &PoisonFlag::new()).unwrap();
         locks[0].unlock(0).unwrap();
     }
 
@@ -170,7 +173,7 @@ mod tests {
             .map(|(me, lock)| {
                 std::thread::spawn(move || {
                     for _ in 0..iters {
-                        lock.lock(me).unwrap();
+                        lock.lock(me, &PoisonFlag::new()).unwrap();
                         let v = lock.obj.nt_load_u64_at(counter_off).unwrap();
                         lock.obj.nt_store_u64_at(counter_off, v + 1).unwrap();
                         lock.unlock(me).unwrap();
@@ -187,7 +190,7 @@ mod tests {
     #[test]
     fn lock_reports_spin_reads() {
         let locks = make_locks(2);
-        let reads = locks[0].lock(0).unwrap();
+        let reads = locks[0].lock(0, &PoisonFlag::new()).unwrap();
         assert!(reads >= 2, "at least one pass over the other slots");
         locks[0].unlock(0).unwrap();
     }

@@ -15,12 +15,37 @@ use cxl_shm::{ArenaConfig, ArenaLayout, CxlShmArena, CxlView, DaxDevice, HostCac
 use crate::comm::{Comm, CommCollStats};
 use crate::config::{TransportConfig, UniverseConfig};
 use crate::error::MpiError;
+use crate::spin::PoisonFlag;
 use crate::topology::HostTopology;
 use crate::transport::cxl::CxlTransport;
 use crate::transport::tcp::{TcpSharedState, TcpTransport};
 use crate::transport::{Transport, TransportStats};
 use crate::types::Rank;
 use crate::Result;
+
+/// Raises the universe poison flag unless disarmed: armed before a rank body
+/// runs, disarmed only on clean completion, so panics *and* error returns both
+/// poison the universe and wake every spinning peer.
+struct PoisonOnAbnormalExit {
+    poison: PoisonFlag,
+    rank: Rank,
+    armed: bool,
+}
+
+impl PoisonOnAbnormalExit {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PoisonOnAbnormalExit {
+    fn drop(&mut self) {
+        if self.armed {
+            self.poison
+                .poison(format!("rank {} exited abnormally", self.rank));
+        }
+    }
+}
 
 /// Per-rank summary returned by [`Universe::run`].
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +61,11 @@ pub struct RankReport {
     /// Per-communicator collective counters, ordered by context id. The world
     /// communicator (context 0) includes the `MPI_Init`-style startup barrier.
     pub comm_colls: Vec<CommCollStats>,
+    /// How often each collective algorithm was chosen by this rank, as
+    /// `(label, count)` pairs ordered by label (e.g.
+    /// `("allreduce/rabenseifner", 3)`). Size-adaptive selection means the
+    /// same operation can appear under several labels.
+    pub coll_algos: Vec<(String, u64)>,
 }
 
 /// The universe: builds the simulated platform and runs one closure per rank.
@@ -73,7 +103,11 @@ impl Universe {
     {
         let topology = self.config.topology()?;
         let ranks = topology.ranks();
+        let tuning = self.config.coll;
         let body = Arc::new(body);
+        // The universe's peer-death flag: cloned into every transport so every
+        // blocking wait aborts with `PeerDead` once any rank dies.
+        let poison = PoisonFlag::new();
 
         // Build the per-rank transport constructors up front (everything that
         // must be shared between ranks), then spawn the rank threads.
@@ -100,9 +134,18 @@ impl Universe {
                     let cxl_config = cxl_config.clone();
                     let topology = topology.clone();
                     let body = Arc::clone(&body);
+                    let poison = poison.clone();
                     handles.push(std::thread::spawn(move || -> Result<(T, RankReport)> {
-                        let transport = CxlTransport::new(rank, ranks, arena, &cxl_config)?;
-                        Self::run_rank(Box::new(transport), topology, rank, body)
+                        let guard = PoisonOnAbnormalExit {
+                            poison: poison.clone(),
+                            rank,
+                            armed: true,
+                        };
+                        let transport = CxlTransport::new(rank, ranks, arena, &cxl_config, poison)?;
+                        let out =
+                            Self::run_rank(Box::new(transport), topology, tuning, rank, body)?;
+                        guard.disarm();
+                        Ok(out)
                     }));
                 }
             }
@@ -115,10 +158,19 @@ impl Universe {
                     let tcp_config = *tcp_config;
                     let topology = topology.clone();
                     let body = Arc::clone(&body);
+                    let poison = poison.clone();
                     handles.push(std::thread::spawn(move || -> Result<(T, RankReport)> {
+                        let guard = PoisonOnAbnormalExit {
+                            poison: poison.clone(),
+                            rank,
+                            armed: true,
+                        };
                         let transport =
-                            TcpTransport::new(rank, ranks, fabric, shared, &tcp_config)?;
-                        Self::run_rank(Box::new(transport), topology, rank, body)
+                            TcpTransport::new(rank, ranks, fabric, shared, &tcp_config, poison)?;
+                        let out =
+                            Self::run_rank(Box::new(transport), topology, tuning, rank, body)?;
+                        guard.disarm();
+                        Ok(out)
                     }));
                 }
             }
@@ -127,15 +179,24 @@ impl Universe {
         let mut results: Vec<Option<(T, RankReport)>> = (0..ranks).map(|_| None).collect();
         let mut first_error: Option<MpiError> = None;
         for (rank, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(Ok(pair)) => results[rank] = Some(pair),
-                Ok(Err(e)) => {
-                    first_error.get_or_insert(e);
+            let outcome = match handle.join() {
+                Ok(Ok(pair)) => {
+                    results[rank] = Some(pair);
+                    continue;
                 }
-                Err(_) => {
-                    first_error.get_or_insert(MpiError::Transport(format!("rank {rank} panicked")));
-                }
+                Ok(Err(e)) => e,
+                Err(_) => MpiError::Transport(format!("rank {rank} panicked")),
             };
+            // Prefer the root cause over the cascade: ranks that died with
+            // `PeerDead` were killed by the poison raised for the original
+            // failure, so any other error (or panic) wins the report.
+            match (&first_error, &outcome) {
+                (None, _) => first_error = Some(outcome),
+                (Some(MpiError::PeerDead(_)), e) if !matches!(e, MpiError::PeerDead(_)) => {
+                    first_error = Some(outcome)
+                }
+                _ => {}
+            }
         }
         if let Some(e) = first_error {
             return Err(e);
@@ -172,10 +233,11 @@ impl Universe {
     fn run_rank<T>(
         transport: Box<dyn Transport>,
         topology: HostTopology,
+        tuning: crate::config::CollTuning,
         rank: Rank,
         body: RankBody<T>,
     ) -> Result<(T, RankReport)> {
-        let mut comm = Comm::world(transport, topology);
+        let mut comm = Comm::world(transport, topology, tuning);
         // Every rank enters an initialization barrier before user code runs,
         // mirroring the end of MPI_Init.
         comm.barrier()?;
@@ -186,6 +248,7 @@ impl Universe {
             clock_ns: comm.clock_ns(),
             stats: comm.stats(),
             comm_colls: comm.coll_stats_snapshot(),
+            coll_algos: comm.algo_counts_snapshot(),
         };
         Ok((value, report))
     }
@@ -282,6 +345,65 @@ mod tests {
                 Ok(())
             })
             .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn irecv_into_reuses_one_buffer_across_receives() {
+        for config in configs(2) {
+            let label = config.transport.label();
+            Universe::run(config, |comm| {
+                if comm.rank() == 0 {
+                    // One 64-byte buffer serves three receives back to back.
+                    let mut buf = vec![0u8; 64];
+                    for i in 0..3u8 {
+                        let mut req = comm.irecv_into(Some(1), Some(i as i32), buf)?;
+                        let status = comm.wait(&mut req)?;
+                        assert_eq!(status.len, 16 + i as usize);
+                        buf = req.take_data()?;
+                        assert_eq!(buf, vec![i; 16 + i as usize]);
+                        buf.resize(64, 0);
+                    }
+                    // Truncation through the buffered path errors the wait.
+                    let mut req = comm.irecv_into(Some(1), Some(9), vec![0u8; 4])?;
+                    assert!(matches!(
+                        comm.wait(&mut req),
+                        Err(MpiError::Truncation { .. })
+                    ));
+                } else {
+                    for i in 0..3u8 {
+                        comm.send(0, i as i32, &vec![i; 16 + i as usize])?;
+                    }
+                    comm.send(0, 9, &[7u8; 32])?;
+                }
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rank_panic_poisons_universe_instead_of_hanging() {
+        // Rank 1 dies mid-collective; rank 0 is blocked in a receive that
+        // would previously spin forever. The poison flag must abort it.
+        for config in configs(2) {
+            let label = config.transport.label();
+            let err = Universe::run(config, |comm| {
+                if comm.rank() == 0 {
+                    comm.recv_owned(Some(1), Some(42))?; // never sent
+                    Ok(())
+                } else {
+                    panic!("rank 1 dies");
+                }
+            })
+            .unwrap_err();
+            // The panic is the root cause; PeerDead is the survivor's view.
+            // Either way the universe must fail fast (not hang) and report.
+            match err {
+                MpiError::Transport(msg) => assert!(msg.contains("panicked"), "{label}: {msg}"),
+                MpiError::PeerDead(_) => {}
+                other => panic!("{label}: unexpected error {other:?}"),
+            }
         }
     }
 

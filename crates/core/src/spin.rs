@@ -1,0 +1,170 @@
+//! Tiered spin-waiting and the universe poison (peer-death) flag.
+//!
+//! Every blocking wait in the runtime — the sequence-number barrier, the SPSC
+//! ring full/empty waits, receive matching, the bakery lock doorway, request
+//! combinators — used to be an ad-hoc `loop { spin_loop(); yield_now(); }`.
+//! Two problems:
+//!
+//! 1. **Latency**: an unconditional `yield_now` on every iteration costs a
+//!    syscall right when the peer is nanoseconds away from publishing; pure
+//!    spinning, conversely, burns a core when the peer is milliseconds away.
+//!    [`SpinWait`] escalates through the classic tiers instead: a few raw
+//!    probes, then batches of `spin_loop` hints (pause instructions), then
+//!    scheduler yields, then short parked sleeps.
+//! 2. **Hangs**: a rank thread that dies mid-collective (panic, I/O error —
+//!    e.g. `println!` hitting a closed stdout pipe under `| head`) left every
+//!    surviving rank spinning forever. Every wait now threads a [`PoisonFlag`]
+//!    that the runtime raises when any rank exits abnormally; the next backoff
+//!    step observes it and fails the wait with [`MpiError::PeerDead`], so the
+//!    universe aborts fast instead of deadlocking.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::error::MpiError;
+use crate::Result;
+
+/// Shared peer-death flag of one universe. Cloned into every rank's transport;
+/// raised (once) by the first rank that exits abnormally.
+#[derive(Debug, Clone, Default)]
+pub struct PoisonFlag {
+    inner: Arc<PoisonInner>,
+}
+
+#[derive(Debug, Default)]
+struct PoisonInner {
+    dead: AtomicBool,
+    reason: Mutex<Option<String>>,
+}
+
+impl PoisonFlag {
+    /// A fresh, un-poisoned flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the flag. The first caller's `reason` wins; later calls are
+    /// no-ops so the original cause is what every surviving rank reports.
+    pub fn poison(&self, reason: impl Into<String>) {
+        let mut slot = self.inner.reason.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(reason.into());
+        }
+        // Publish after the reason is stored so readers of `dead` always find
+        // a reason.
+        self.inner.dead.store(true, Ordering::Release);
+    }
+
+    /// Whether a peer has died.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.dead.load(Ordering::Acquire)
+    }
+
+    /// Error out if a peer has died (the check every spin loop performs).
+    pub fn check(&self) -> Result<()> {
+        if !self.is_poisoned() {
+            return Ok(());
+        }
+        let reason = self
+            .inner
+            .reason
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .unwrap_or_else(|| "peer rank died".into());
+        Err(MpiError::PeerDead(reason))
+    }
+}
+
+/// Iterations spent issuing `spin_loop` hint batches before yielding
+/// (batch size doubles each iteration: 1, 2, 4, ... 2^SPIN_TIERS).
+const SPIN_TIERS: u32 = 6;
+/// Yield iterations before falling back to parked sleeps. Deliberately long:
+/// ring-full / ring-empty waits inside a chunked message last tens to hundreds
+/// of microseconds, and parking (≥ 50 µs granularity on Linux) right on that
+/// critical path inserts pipeline bubbles. Yields keep the waiter responsive
+/// for ~a millisecond; only genuinely long waits (barrier stragglers, receives
+/// with no sender) reach the parking tier.
+const YIELD_TIERS: u32 = 1024;
+/// Park duration once fully backed off. Short enough that message latency
+/// stays bounded, long enough that a stalled universe stops burning CPU.
+const PARK_MICROS: u64 = 50;
+
+/// Tiered backoff for one wait: spin → `spin_loop`-hint batches → `yield_now`
+/// → park-with-timeout. Create one per logical wait (or [`SpinWait::reset`]
+/// after progress) so the escalation restarts whenever the peer is making
+/// progress.
+#[derive(Debug, Default)]
+pub struct SpinWait {
+    step: u32,
+}
+
+impl SpinWait {
+    /// A wait at the start of its escalation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restart the escalation (call after observing progress).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// One backoff step. Checks `poison` first so a wait on a dead universe
+    /// errors with [`MpiError::PeerDead`] instead of blocking forever.
+    pub fn wait(&mut self, poison: &PoisonFlag) -> Result<()> {
+        poison.check()?;
+        if self.step < SPIN_TIERS {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < SPIN_TIERS + YIELD_TIERS {
+            std::thread::yield_now();
+        } else {
+            // Nobody unparks us by token; the timeout bounds the sleep and the
+            // next poison check keeps peer-death detection prompt.
+            std::thread::park_timeout(Duration::from_micros(PARK_MICROS));
+        }
+        self.step = self.step.saturating_add(1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpoisoned_wait_progresses_through_tiers() {
+        let poison = PoisonFlag::new();
+        let mut w = SpinWait::new();
+        for _ in 0..(SPIN_TIERS + YIELD_TIERS + 3) {
+            w.wait(&poison).unwrap();
+        }
+        w.reset();
+        assert_eq!(w.step, 0);
+    }
+
+    #[test]
+    fn poisoned_wait_errors_with_first_reason() {
+        let poison = PoisonFlag::new();
+        assert!(poison.check().is_ok());
+        poison.poison("rank 3 panicked");
+        poison.poison("rank 1 panicked later");
+        assert!(poison.is_poisoned());
+        let mut w = SpinWait::new();
+        match w.wait(&poison) {
+            Err(MpiError::PeerDead(reason)) => assert!(reason.contains("rank 3")),
+            other => panic!("expected PeerDead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = PoisonFlag::new();
+        let b = a.clone();
+        b.poison("x");
+        assert!(a.is_poisoned());
+    }
+}

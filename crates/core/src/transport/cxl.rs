@@ -21,18 +21,51 @@ use cxl_shm::{CxlShmArena, ShmObject};
 use crate::barrier::SeqBarrier;
 use crate::config::CxlShmTransportConfig;
 use crate::error::MpiError;
-use crate::p2p::{ChunkAssembler, PendingMessage, UnexpectedQueue};
-use crate::queue::{CellHeader, QueueGeometry, QueueMatrix};
+use crate::p2p::{BufferPool, ChunkAssembler, PendingMessage, UnexpectedQueue};
+use crate::queue::{CellHeader, QueueGeometry, QueueMatrix, SpscQueue, CELL_HEADER_SIZE};
 use crate::rma::layout::WINDOW_READY_MAGIC;
 use crate::rma::{BakeryLock, WindowLayout};
+use crate::spin::{PoisonFlag, SpinWait};
 use crate::transport::{Transport, TransportStats, WinId};
-use crate::types::{CtxId, Rank, ReduceOp, Status, Tag};
+use crate::types::{source_matches, tag_matches, CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
 
 /// Name of the SHM object holding the global barrier array.
 const BARRIER_OBJECT: &str = "cmpi/init_barrier";
-/// Spin budget for `open_wait` during initialization.
-const OPEN_SPINS: u64 = u64::MAX;
+
+/// Open a shared object that another rank is about to create, with tiered
+/// backoff and the poison check — so a creator that dies before (or while)
+/// creating the object aborts the waiters with `PeerDead` instead of leaving
+/// them in an unbounded `open_wait` spin.
+fn open_poisoned(arena: &CxlShmArena, name: &str, poison: &PoisonFlag) -> Result<ShmObject> {
+    let mut backoff = SpinWait::new();
+    loop {
+        match arena.open(name) {
+            Ok(obj) => return Ok(obj),
+            Err(cxl_shm::ShmError::ObjectNotFound(_)) => backoff.wait(poison)?,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Poll a non-temporal `u64` flag with tiered backoff until `pred` holds,
+/// aborting with `PeerDead` if the universe is poisoned. Replaces the
+/// unbounded `nt_spin_until_at` on every flag the transport waits on.
+fn spin_flag(
+    obj: &ShmObject,
+    off: u64,
+    poison: &PoisonFlag,
+    pred: impl Fn(u64) -> bool,
+) -> Result<u64> {
+    let mut backoff = SpinWait::new();
+    loop {
+        let v = obj.nt_load_u64_at(off)?;
+        if pred(v) {
+            return Ok(v);
+        }
+        backoff.wait(poison)?;
+    }
+}
 
 struct WindowState {
     obj: ShmObject,
@@ -62,6 +95,12 @@ pub struct CxlTransport {
     stats: TransportStats,
     cell_payload: usize,
     poll_cursor: usize,
+    /// Universe peer-death flag: every blocking wait checks it.
+    poison: PoisonFlag,
+    /// Reusable header+payload staging for `try_enqueue_with_scratch`.
+    tx_scratch: Vec<u8>,
+    /// Staging arena recycling the buffers of unexpected messages.
+    pool: BufferPool,
 }
 
 impl std::fmt::Debug for CxlTransport {
@@ -91,11 +130,15 @@ impl CxlTransport {
     /// Build the transport for one rank. Rank 0 creates and formats the shared
     /// structures; every other rank opens them by name and waits for the ready
     /// flags — mirroring the root-creates-then-broadcasts flow of the paper.
+    /// `poison` is the universe's peer-death flag, raised by the runtime when
+    /// any rank exits abnormally; every blocking wait in this transport checks
+    /// it and fails with [`MpiError::PeerDead`].
     pub fn new(
         rank: Rank,
         ranks: usize,
         arena: CxlShmArena,
         config: &CxlShmTransportConfig,
+        poison: PoisonFlag,
     ) -> Result<Self> {
         let geometry = QueueGeometry {
             cell_payload: config.cell_size,
@@ -116,15 +159,19 @@ impl CxlTransport {
             barrier_obj.nt_store_u64_at(barrier_bytes as u64, WINDOW_READY_MAGIC)?;
             (matrix_obj, barrier_obj)
         } else {
-            let matrix_obj = arena.open_wait(QueueMatrix::OBJECT_NAME, OPEN_SPINS)?;
-            let barrier_obj = arena.open_wait(BARRIER_OBJECT, OPEN_SPINS)?;
-            matrix_obj.nt_spin_until_at(matrix_bytes as u64, |v| v == WINDOW_READY_MAGIC)?;
-            barrier_obj.nt_spin_until_at(barrier_bytes as u64, |v| v == WINDOW_READY_MAGIC)?;
+            let matrix_obj = open_poisoned(&arena, QueueMatrix::OBJECT_NAME, &poison)?;
+            let barrier_obj = open_poisoned(&arena, BARRIER_OBJECT, &poison)?;
+            spin_flag(&matrix_obj, matrix_bytes as u64, &poison, |v| {
+                v == WINDOW_READY_MAGIC
+            })?;
+            spin_flag(&barrier_obj, barrier_bytes as u64, &poison, |v| {
+                v == WINDOW_READY_MAGIC
+            })?;
             (matrix_obj, barrier_obj)
         };
 
         let matrix = QueueMatrix::new(matrix_obj, ranks, geometry)?;
-        let barrier = SeqBarrier::new(barrier_obj, 0, rank, ranks);
+        let barrier = SeqBarrier::new(barrier_obj, 0, rank, ranks).with_poison(poison.clone());
 
         Ok(CxlTransport {
             rank,
@@ -141,6 +188,9 @@ impl CxlTransport {
             stats: TransportStats::default(),
             cell_payload: config.cell_size,
             poll_cursor: 0,
+            poison,
+            tx_scratch: Vec::new(),
+            pool: BufferPool::new(),
         })
     }
 
@@ -231,48 +281,91 @@ impl CxlTransport {
     // ------------------------------------------------------------------
     // Two-sided internals
     // ------------------------------------------------------------------
+    //
+    // The receive path is allocation-free in steady state:
+    //
+    // * a receive posted into a caller buffer (`recv_into`, used by all typed
+    //   collectives) peeks the next cell header and, when it matches, dequeues
+    //   every chunk payload **directly into the caller's buffer** — no `Vec`
+    //   per chunk, no reassembly copy;
+    // * messages that no receive asked for yet are reassembled into buffers
+    //   recycled through the per-rank [`BufferPool`] staging arena and stashed
+    //   on the unexpected queue; consuming them via `recv_into` returns the
+    //   buffer to the pool.
 
-    /// Pull the next complete message out of the queue from `sender`,
-    /// reassembling chunks if necessary. Returns `None` if that queue is empty.
-    fn poll_queue(&mut self, clock: &mut SimClock, sender: Rank) -> Result<Option<PendingMessage>> {
-        let queue = self.matrix.queue(self.rank, sender);
-        let first = match queue.try_dequeue(clock.now())? {
-            None => return Ok(None),
-            Some(x) => x,
-        };
-        let (header, payload) = first;
-        clock.merge(header.timestamp);
-        let total = header.total_len as usize;
-        self.charge_chunk_read(clock, payload.len() + crate::queue::CELL_HEADER_SIZE, total);
+    /// Whether a cell header satisfies a receive's `(ctx, src, tag)` selectors.
+    fn header_matches(h: &CellHeader, ctx: CtxId, src: Option<Rank>, tag: Option<Tag>) -> bool {
+        h.ctx == ctx && source_matches(src, h.src) && tag_matches(tag, h.tag)
+    }
 
-        if header.chunk_offset == 0 && payload.len() == total {
-            self.stats.msgs_received += 1;
-            self.stats.bytes_received += total as u64;
-            return Ok(Some(PendingMessage {
-                status: Status::new(header.src, header.tag, total),
-                ctx: header.ctx,
-                data: payload,
-                arrival: clock.now(),
-            }));
-        }
-
-        // Multi-chunk message: the remaining chunks are contiguous in this
-        // queue because the sender finishes one message before the next.
-        let mut assembler = ChunkAssembler::new(header.src, header.ctx, header.tag, total);
-        assembler.add_chunk(header.chunk_offset as usize, &payload, header.timestamp);
-        while !assembler.is_complete() {
-            match queue.try_dequeue(clock.now())? {
-                Some((h, p)) => {
-                    clock.merge(h.timestamp);
-                    self.charge_chunk_read(clock, p.len() + crate::queue::CELL_HEADER_SIZE, total);
-                    assembler.add_chunk(h.chunk_offset as usize, &p, h.timestamp);
+    /// Dequeue all remaining chunks of the message whose first header was
+    /// `first`, writing payloads at their chunk offsets within `dst` (which
+    /// must hold the whole message). Merges timestamps and charges per-chunk
+    /// read costs. Returns the arrival time (the consumer clock after the last
+    /// chunk).
+    fn drain_chunks_into(
+        &mut self,
+        clock: &mut SimClock,
+        queue: &SpscQueue,
+        first: &CellHeader,
+        dst: &mut [u8],
+    ) -> Result<f64> {
+        let total = first.total_len as usize;
+        debug_assert!(dst.len() >= total);
+        let mut received = 0usize;
+        let mut backoff = SpinWait::new();
+        loop {
+            // The next cell is guaranteed to belong to this message (the
+            // sender publishes a whole message before starting the next), but
+            // the ring may momentarily be empty when the producer is behind.
+            let off = if received == 0 {
+                first.chunk_offset as usize
+            } else {
+                match queue.peek_header()? {
+                    Some(h) => {
+                        debug_assert_eq!(h.src, first.src);
+                        debug_assert_eq!(h.ctx, first.ctx);
+                        h.chunk_offset as usize
+                    }
+                    None => {
+                        backoff.wait(&self.poison)?;
+                        continue;
+                    }
                 }
-                None => {
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
-                }
+            };
+            let Some(h) = queue.try_dequeue_into(clock.now(), &mut dst[off..])? else {
+                backoff.wait(&self.poison)?;
+                continue;
+            };
+            backoff.reset();
+            clock.merge(h.timestamp);
+            self.charge_chunk_read(clock, h.chunk_len as usize + CELL_HEADER_SIZE, total);
+            received += h.chunk_len as usize;
+            if received >= total {
+                return Ok(clock.now());
             }
         }
+    }
+
+    /// Pull the next complete message out of the queue from `sender` into
+    /// owned (pool-recycled) storage, reassembling chunks if necessary.
+    /// Returns `None` if that queue is empty.
+    fn poll_queue(&mut self, clock: &mut SimClock, sender: Rank) -> Result<Option<PendingMessage>> {
+        let queue = self.matrix.queue(self.rank, sender);
+        let Some(first) = queue.peek_header()? else {
+            return Ok(None);
+        };
+        let total = first.total_len as usize;
+        let buf = self.pool.take(total);
+        let mut assembler =
+            ChunkAssembler::with_buffer(first.src, first.ctx, first.tag, total, buf);
+        let arrival = {
+            // Safety of the direct fill: `chunk_target` bounds-checks against
+            // the message length; timestamps are merged per chunk.
+            let dst = assembler.chunk_target(0, total);
+            self.drain_chunks_into(clock, &queue, &first, dst)?
+        };
+        assembler.commit_chunk(total, arrival);
         let mut msg = assembler.finish();
         msg.arrival = clock.now();
         self.stats.msgs_received += 1;
@@ -296,22 +389,91 @@ impl CxlTransport {
             clock.advance(self.cost.mpi_overhead());
             return Ok(Some((m.status, m.data)));
         }
-        let senders: Vec<Rank> = match src {
-            Some(s) => vec![s],
-            None => {
-                // Round-robin over all senders for fairness.
-                let start = self.poll_cursor;
-                self.poll_cursor = (self.poll_cursor + 1) % self.ranks;
-                (0..self.ranks).map(|i| (start + i) % self.ranks).collect()
-            }
-        };
-        for sender in senders {
+        for sender in self.candidate_senders(src) {
             while let Some(msg) = self.poll_queue(clock, sender)? {
                 if msg.matches(ctx, src, tag) {
                     clock.advance(self.cost.mpi_overhead());
                     return Ok(Some((msg.status, msg.data)));
                 }
                 self.unexpected.push(msg);
+            }
+        }
+        Ok(None)
+    }
+
+    /// The queues a receive with source selector `src` must poll, round-robin
+    /// rotated for fairness under wildcard receives.
+    fn candidate_senders(&mut self, src: Option<Rank>) -> Vec<Rank> {
+        match src {
+            Some(s) => vec![s],
+            None => {
+                let start = self.poll_cursor;
+                self.poll_cursor = (self.poll_cursor + 1) % self.ranks;
+                (0..self.ranks).map(|i| (start + i) % self.ranks).collect()
+            }
+        }
+    }
+
+    /// One matching attempt for a receive **into a caller buffer**: searches
+    /// the unexpected queue (returning its staging buffer to the pool), then
+    /// peeks the candidate rings — a matching message at a ring head streams
+    /// straight into `buf` without touching the heap.
+    fn try_match_once_into(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Option<Status>> {
+        if let Some(m) = self.unexpected.take_match(ctx, src, tag) {
+            clock.merge(m.arrival);
+            clock.advance(self.cost.mpi_overhead());
+            if m.data.len() > buf.len() {
+                return Err(MpiError::Truncation {
+                    message_len: m.data.len(),
+                    buffer_len: buf.len(),
+                });
+            }
+            buf[..m.data.len()].copy_from_slice(&m.data);
+            self.pool.put(m.data);
+            return Ok(Some(m.status));
+        }
+        for sender in self.candidate_senders(src) {
+            loop {
+                let queue = self.matrix.queue(self.rank, sender);
+                let Some(first) = queue.peek_header()? else {
+                    break;
+                };
+                if !Self::header_matches(&first, ctx, src, tag) {
+                    // Not ours: reassemble into staging and stash unexpected,
+                    // then look at the next message in this ring.
+                    let msg = self
+                        .poll_queue(clock, sender)?
+                        .expect("peeked message vanished");
+                    self.unexpected.push(msg);
+                    continue;
+                }
+                let total = first.total_len as usize;
+                if total > buf.len() {
+                    // MPI truncation: the message is consumed (into staging,
+                    // recycled immediately) and the receive errors.
+                    let msg = self
+                        .poll_queue(clock, sender)?
+                        .expect("peeked message vanished");
+                    self.pool.put(msg.data);
+                    clock.advance(self.cost.mpi_overhead());
+                    return Err(MpiError::Truncation {
+                        message_len: total,
+                        buffer_len: buf.len(),
+                    });
+                }
+                // Direct path: chunks land in the caller's buffer.
+                self.drain_chunks_into(clock, &queue, &first, buf)?;
+                self.stats.msgs_received += 1;
+                self.stats.bytes_received += total as u64;
+                clock.advance(self.cost.mpi_overhead());
+                return Ok(Some(Status::new(first.src, first.tag, total)));
             }
         }
         Ok(None)
@@ -340,12 +502,13 @@ impl Transport for CxlTransport {
         let queue = self.matrix.queue(dst, self.rank);
         let total = data.len();
         let mut offset = 0usize;
+        let mut scratch = std::mem::take(&mut self.tx_scratch);
         loop {
             let chunk_end = (offset + self.cell_payload).min(total);
             let chunk = &data[offset..chunk_end];
             // Charge the publish cost first, then stamp the cell with the time
             // at which the data is actually visible.
-            self.charge_chunk_write(clock, chunk.len() + crate::queue::CELL_HEADER_SIZE, total);
+            self.charge_chunk_write(clock, chunk.len() + CELL_HEADER_SIZE, total);
             let header = CellHeader {
                 src: self.rank,
                 ctx,
@@ -355,22 +518,26 @@ impl Transport for CxlTransport {
                 chunk_len: chunk.len() as u32,
                 timestamp: clock.now(),
             };
+            let mut backoff = SpinWait::new();
             loop {
-                if queue.try_enqueue(&header, chunk)? {
+                if queue.try_enqueue_with_scratch(&header, chunk, &mut scratch)? {
                     break;
                 }
                 // Ring full: the receiver is behind. Merge its published
                 // timestamp so our clock reflects the wait, then retry.
                 clock.merge(queue.head_timestamp()?);
                 clock.advance(self.cost.nt_access());
-                std::hint::spin_loop();
-                std::thread::yield_now();
+                if let Err(e) = backoff.wait(&self.poison) {
+                    self.tx_scratch = scratch;
+                    return Err(e);
+                }
             }
             offset = chunk_end;
             if offset >= total {
                 break;
             }
         }
+        self.tx_scratch = scratch;
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += total as u64;
         Ok(())
@@ -386,12 +553,32 @@ impl Transport for CxlTransport {
         if let Some(s) = src {
             self.check_rank(s)?;
         }
+        let mut backoff = SpinWait::new();
         loop {
             if let Some(found) = self.try_match_once(clock, ctx, src, tag)? {
                 return Ok(found);
             }
-            std::hint::spin_loop();
-            std::thread::yield_now();
+            backoff.wait(&self.poison)?;
+        }
+    }
+
+    fn recv_into(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Status> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let mut backoff = SpinWait::new();
+        loop {
+            if let Some(status) = self.try_match_once_into(clock, ctx, src, tag, buf)? {
+                return Ok(status);
+            }
+            backoff.wait(&self.poison)?;
         }
     }
 
@@ -406,6 +593,20 @@ impl Transport for CxlTransport {
             self.check_rank(s)?;
         }
         self.try_match_once(clock, ctx, src, tag)
+    }
+
+    fn try_recv_into(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Option<Status>> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        self.try_match_once_into(clock, ctx, src, tag, buf)
     }
 
     fn barrier(&mut self, clock: &mut SimClock) -> Result<()> {
@@ -430,12 +631,15 @@ impl Transport for CxlTransport {
             obj.nt_store_u64_at(layout.ready_offset(), ready_value)?;
             obj
         } else {
-            let obj = self.arena.open_wait(&name, OPEN_SPINS)?;
-            obj.nt_spin_until_at(layout.ready_offset(), |v| v == ready_value)?;
+            let obj = open_poisoned(&self.arena, &name, &self.poison)?;
+            spin_flag(&obj, layout.ready_offset(), &self.poison, |v| {
+                v == ready_value
+            })?;
             obj
         };
         let fence_barrier =
-            SeqBarrier::new(obj.clone(), layout.fence_base(), self.rank, self.ranks);
+            SeqBarrier::new(obj.clone(), layout.fence_base(), self.rank, self.ranks)
+                .with_poison(self.poison.clone());
         self.windows.push(Some(WindowState {
             obj,
             layout,
@@ -584,6 +788,7 @@ impl Transport for CxlTransport {
         }
         let rank = self.rank;
         let nt = self.cost.nt_access();
+        let poison = self.poison.clone();
         let state = self.window_mut(win)?;
         if !state.access_group.is_empty() {
             return Err(MpiError::InvalidSyncState(
@@ -592,7 +797,7 @@ impl Transport for CxlTransport {
         }
         for &target in targets {
             let off = state.layout.post_flag_offset(rank, target);
-            state.obj.nt_spin_until_at(off, |v| v == 1)?;
+            spin_flag(&state.obj, off, &poison, |v| v == 1)?;
             let ts = f64::from_bits(state.obj.nt_load_u64_at(off + 8)?);
             clock.merge(ts);
             // Reset the flag (the origin resets its own post flag).
@@ -625,6 +830,7 @@ impl Transport for CxlTransport {
     fn wait(&mut self, clock: &mut SimClock, win: WinId) -> Result<()> {
         let rank = self.rank;
         let nt = self.cost.nt_access();
+        let poison = self.poison.clone();
         let state = self.window_mut(win)?;
         if state.exposure_group.is_empty() {
             return Err(MpiError::InvalidSyncState(
@@ -634,7 +840,7 @@ impl Transport for CxlTransport {
         let origins = std::mem::take(&mut state.exposure_group);
         for origin in origins {
             let off = state.layout.complete_flag_offset(rank, origin);
-            state.obj.nt_spin_until_at(off, |v| v == 1)?;
+            spin_flag(&state.obj, off, &poison, |v| v == 1)?;
             let ts = f64::from_bits(state.obj.nt_load_u64_at(off + 8)?);
             clock.merge(ts);
             // Reset the flag (the target resets its own complete flag).
@@ -649,6 +855,7 @@ impl Transport for CxlTransport {
         let rank = self.rank;
         let ranks = self.ranks;
         let nt = self.cost.nt_access();
+        let poison = self.poison.clone();
         let state = self.window_mut(win)?;
         if state.held_locks.contains(&target) {
             return Err(MpiError::InvalidSyncState(format!(
@@ -656,7 +863,7 @@ impl Transport for CxlTransport {
             )));
         }
         let lock = BakeryLock::new(state.obj.clone(), state.layout.lock_base(target), ranks);
-        let reads = lock.lock(rank)?;
+        let reads = lock.lock(rank, &poison)?;
         // Doorway writes (3 stores) plus every remote read performed.
         clock.advance((reads as f64 + 3.0) * nt);
         state.held_locks.push(target);
@@ -704,5 +911,9 @@ impl Transport for CxlTransport {
 
     fn label(&self) -> &'static str {
         "CXL-SHM"
+    }
+
+    fn poison(&self) -> &PoisonFlag {
+        &self.poison
     }
 }

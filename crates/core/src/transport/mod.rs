@@ -16,6 +16,7 @@ pub mod tcp;
 use cmpi_fabric::SimClock;
 use serde::{Deserialize, Serialize};
 
+use crate::spin::PoisonFlag;
 use crate::types::{CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
 
@@ -195,8 +196,17 @@ pub trait Transport: Send {
     /// Human-readable transport label (used in benchmark output).
     fn label(&self) -> &'static str;
 
+    /// The universe's peer-death flag; spin loops above the transport (e.g.
+    /// request combinators) thread it through their waits so they abort when
+    /// a rank dies.
+    fn poison(&self) -> &PoisonFlag;
+
     /// Blocking receive into a caller-provided buffer, with MPI truncation
     /// semantics (error if the matched message is longer than the buffer).
+    ///
+    /// Transports override this with an allocation-free implementation (the
+    /// CXL transport streams chunk payloads straight from the ring cells into
+    /// `buf`); the default is a correct but copying fallback.
     fn recv_into(
         &mut self,
         clock: &mut SimClock,
@@ -214,6 +224,29 @@ pub trait Transport: Send {
         }
         buf[..data.len()].copy_from_slice(&data);
         Ok(status)
+    }
+
+    /// Non-blocking variant of [`Transport::recv_into`]: `Ok(None)` when no
+    /// matching message is currently available.
+    fn try_recv_into(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Option<Status>> {
+        let Some((status, data)) = self.try_recv_owned(clock, ctx, src, tag)? else {
+            return Ok(None);
+        };
+        if data.len() > buf.len() {
+            return Err(crate::error::MpiError::Truncation {
+                message_len: data.len(),
+                buffer_len: buf.len(),
+            });
+        }
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(Some(status))
     }
 }
 

@@ -28,10 +28,15 @@ use cmpi_netsim::{TcpEndpoint, TcpFabric, TcpFabricConfig};
 
 use crate::config::TcpTransportConfig;
 use crate::error::MpiError;
+use crate::spin::{PoisonFlag, SpinWait};
 use crate::topology::HostTopology;
 use crate::transport::{Transport, TransportStats, WinId};
 use crate::types::{source_matches, tag_matches, CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
+
+/// How long a condvar wait sleeps between poison checks. Notifications wake
+/// the waiter immediately; the timeout only bounds peer-death detection.
+const COND_WAIT: std::time::Duration = std::time::Duration::from_millis(2);
 
 /// Pack a communicator context id and a user tag into the fabric's 64-bit
 /// wire tag: context in the high 32 bits, tag (reinterpreted as `u32`) in the
@@ -131,6 +136,8 @@ pub struct TcpTransport {
     stats: TransportStats,
     barrier_seq: u64,
     label: &'static str,
+    /// Universe peer-death flag: every blocking wait checks it.
+    poison: PoisonFlag,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -155,13 +162,15 @@ impl TcpTransport {
         TcpFabric::new(fabric_config)
     }
 
-    /// Build the transport for one rank.
+    /// Build the transport for one rank. `poison` is the universe's peer-death
+    /// flag; every blocking wait checks it and fails with `PeerDead`.
     pub fn new(
         rank: Rank,
         ranks: usize,
         fabric: TcpFabric,
         shared: Arc<TcpSharedState>,
         config: &TcpTransportConfig,
+        poison: PoisonFlag,
     ) -> Result<Self> {
         if rank >= fabric.endpoints() {
             return Err(MpiError::Transport(format!(
@@ -186,6 +195,7 @@ impl TcpTransport {
             stats: TransportStats::default(),
             barrier_seq: 0,
             label,
+            poison,
         })
     }
 
@@ -239,6 +249,32 @@ impl TcpTransport {
         }
         Ok(())
     }
+
+    /// Blocking matched receive as a poison-aware poll: `try_recv_match` plus
+    /// tiered backoff, so a dead peer aborts the wait with `PeerDead` instead
+    /// of blocking on the fabric channel forever.
+    fn recv_match_blocking(
+        &mut self,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<cmpi_netsim::NetMessage> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let mut backoff = SpinWait::new();
+        loop {
+            let found = self.endpoint.try_recv_match(|m| {
+                wire_ctx(m.tag) == ctx
+                    && source_matches(src, m.src)
+                    && tag_matches(tag, wire_user_tag(m.tag))
+            });
+            match found {
+                Some(msg) => return Ok(msg),
+                None => backoff.wait(&self.poison)?,
+            }
+        }
+    }
 }
 
 impl Transport for TcpTransport {
@@ -278,14 +314,7 @@ impl Transport for TcpTransport {
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<(Status, Vec<u8>)> {
-        if let Some(s) = src {
-            self.check_rank(s)?;
-        }
-        let msg = self.endpoint.recv_match(|m| {
-            wire_ctx(m.tag) == ctx
-                && source_matches(src, m.src)
-                && tag_matches(tag, wire_user_tag(m.tag))
-        });
+        let msg = self.recv_match_blocking(ctx, src, tag)?;
         clock.merge(msg.arrival);
         // Receive-side copy out of the NIC/MPI buffers into the user buffer.
         clock.advance(self.local.local_copy(msg.len()));
@@ -295,6 +324,31 @@ impl Transport for TcpTransport {
             Status::new(msg.src, wire_user_tag(msg.tag), msg.len()),
             msg.payload.to_vec(),
         ))
+    }
+
+    fn recv_into(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Status> {
+        let msg = self.recv_match_blocking(ctx, src, tag)?;
+        clock.merge(msg.arrival);
+        clock.advance(self.local.local_copy(msg.len()));
+        self.stats.msgs_received += 1;
+        self.stats.bytes_received += msg.len() as u64;
+        if msg.len() > buf.len() {
+            return Err(MpiError::Truncation {
+                message_len: msg.len(),
+                buffer_len: buf.len(),
+            });
+        }
+        // Single copy: NIC payload (shared `Bytes`) straight into the caller's
+        // buffer, skipping the owned-`Vec` detour of `recv_owned`.
+        buf[..msg.len()].copy_from_slice(&msg.payload);
+        Ok(Status::new(msg.src, wire_user_tag(msg.tag), msg.len()))
     }
 
     fn try_recv_owned(
@@ -324,6 +378,42 @@ impl Transport for TcpTransport {
         )))
     }
 
+    fn try_recv_into(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Option<Status>> {
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let Some(msg) = self.endpoint.try_recv_match(|m| {
+            wire_ctx(m.tag) == ctx
+                && source_matches(src, m.src)
+                && tag_matches(tag, wire_user_tag(m.tag))
+        }) else {
+            return Ok(None);
+        };
+        clock.merge(msg.arrival);
+        clock.advance(self.local.local_copy(msg.len()));
+        self.stats.msgs_received += 1;
+        self.stats.bytes_received += msg.len() as u64;
+        if msg.len() > buf.len() {
+            return Err(MpiError::Truncation {
+                message_len: msg.len(),
+                buffer_len: buf.len(),
+            });
+        }
+        buf[..msg.len()].copy_from_slice(&msg.payload);
+        Ok(Some(Status::new(
+            msg.src,
+            wire_user_tag(msg.tag),
+            msg.len(),
+        )))
+    }
+
     fn barrier(&mut self, clock: &mut SimClock) -> Result<()> {
         // A dissemination barrier costs ⌈log2(n)⌉ message exchanges; charge
         // that, then synchronize functionally through the shared array.
@@ -341,7 +431,8 @@ impl Transport for TcpTransport {
                     clock.merge(latest);
                     break;
                 }
-                self.shared.barrier_cond.wait(&mut seqs);
+                self.shared.barrier_cond.wait_for(&mut seqs, COND_WAIT);
+                self.poison.check()?;
             }
         }
         Ok(())
@@ -356,7 +447,8 @@ impl Transport for TcpTransport {
                 self.shared.window_cond.notify_all();
             }
             while windows.len() <= id {
-                self.shared.window_cond.wait(&mut windows);
+                self.shared.window_cond.wait_for(&mut windows, COND_WAIT);
+                self.poison.check()?;
             }
             Arc::clone(&windows[id])
         };
@@ -529,6 +621,7 @@ impl Transport for TcpTransport {
         }
         let rank = self.rank;
         let ranks = self.ranks;
+        let poison = self.poison.clone();
         let state = self.window_mut(win)?;
         if !state.access_group.is_empty() {
             return Err(MpiError::InvalidSyncState(
@@ -545,7 +638,8 @@ impl Transport for TcpTransport {
                         flags[rank * ranks + target] = (0, 0.0);
                         break;
                     }
-                    state.shared.post_cond.wait(&mut flags);
+                    state.shared.post_cond.wait_for(&mut flags, COND_WAIT);
+                    poison.check()?;
                 }
             }
         }
@@ -582,6 +676,7 @@ impl Transport for TcpTransport {
         let rank = self.rank;
         let ranks = self.ranks;
         let sync_extra = self.model.onesided_sync_extra();
+        let poison = self.poison.clone();
         let state = self.window_mut(win)?;
         if state.exposure_group.is_empty() {
             return Err(MpiError::InvalidSyncState(
@@ -599,7 +694,8 @@ impl Transport for TcpTransport {
                         flags[rank * ranks + origin] = (0, 0.0);
                         break;
                     }
-                    state.shared.complete_cond.wait(&mut flags);
+                    state.shared.complete_cond.wait_for(&mut flags, COND_WAIT);
+                    poison.check()?;
                 }
             }
         }
@@ -612,6 +708,7 @@ impl Transport for TcpTransport {
         let rank = self.rank;
         // Lock acquisition is a request/grant round trip over the network.
         let round_trip = 2.0 * self.model.base_latency_ns + self.model.mpi_per_msg_overhead_ns;
+        let poison = self.poison.clone();
         let state = self.window_mut(win)?;
         if state.held_locks.contains(&target) {
             return Err(MpiError::InvalidSyncState(format!(
@@ -625,7 +722,8 @@ impl Transport for TcpTransport {
                     owners[target] = Some(rank);
                     break;
                 }
-                state.shared.lock_cond.wait(&mut owners);
+                state.shared.lock_cond.wait_for(&mut owners, COND_WAIT);
+                poison.check()?;
             }
         }
         clock.advance(round_trip);
@@ -663,6 +761,7 @@ impl Transport for TcpTransport {
         let rank = self.rank;
         let rounds = (self.ranks.max(2) as f64).log2().ceil();
         clock.advance(rounds * self.model.mpi_message_time(8, self.share()));
+        let poison = self.poison.clone();
         let state = self.window_mut(win)?;
         state.fence_seq += 1;
         let my_seq = state.fence_seq;
@@ -676,7 +775,8 @@ impl Transport for TcpTransport {
                     clock.merge(latest);
                     break;
                 }
-                state.shared.fence_cond.wait(&mut seqs);
+                state.shared.fence_cond.wait_for(&mut seqs, COND_WAIT);
+                poison.check()?;
             }
         }
         Ok(())
@@ -699,5 +799,9 @@ impl Transport for TcpTransport {
 
     fn label(&self) -> &'static str {
         self.label
+    }
+
+    fn poison(&self) -> &PoisonFlag {
+        &self.poison
     }
 }

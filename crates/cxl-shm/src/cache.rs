@@ -15,6 +15,7 @@
 //! device segment, mirroring a write-back cache.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -24,6 +25,39 @@ use crate::Result;
 
 /// Cache line size in bytes (x86).
 pub const CACHE_LINE_SIZE: usize = 64;
+
+/// Hasher for line base addresses. Line bases are 64-aligned `u64`s on the
+/// hottest path of the whole simulation (every cached byte moves through the
+/// line map), and SipHash is needlessly expensive for them; a splitmix64-style
+/// finalizer gives full avalanche (the low bits a hash table indexes by are
+/// mixed from every input bit — a plain multiply would leave the 6 zero
+/// alignment bits dead) at a few arithmetic ops.
+#[derive(Default)]
+pub struct LineAddrHasher(u64);
+
+impl Hasher for LineAddrHasher {
+    fn write_u64(&mut self, value: u64) {
+        let mut z = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u64 key map, kept correct anyway).
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word) ^ self.0);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LineMap = HashMap<u64, Line, BuildHasherDefault<LineAddrHasher>>;
 
 /// Default cache capacity in lines (2 MiB, on the order of a per-core L2).
 pub const DEFAULT_CACHE_LINES: usize = 32 * 1024;
@@ -61,7 +95,7 @@ struct Line {
 }
 
 struct CacheInner {
-    lines: HashMap<u64, Line>,
+    lines: LineMap,
     tick: u64,
     stats: CacheStats,
 }
@@ -94,7 +128,7 @@ impl HostCache {
     pub fn with_capacity(name: impl Into<String>, capacity_lines: usize) -> Arc<Self> {
         Arc::new(HostCache {
             inner: Mutex::new(CacheInner {
-                lines: HashMap::new(),
+                lines: LineMap::default(),
                 tick: 0,
                 stats: CacheStats::default(),
             }),
@@ -149,7 +183,7 @@ impl HostCache {
         if let Some(addr) = victim {
             if let Some(line) = inner.lines.remove(&addr) {
                 if line.dirty {
-                    segment.write(addr as usize, &line.data)?;
+                    segment.write_relaxed(addr as usize, &line.data)?;
                     inner.stats.evictions += 1;
                 }
             }
@@ -169,12 +203,35 @@ impl HostCache {
         let mut data = [0u8; CACHE_LINE_SIZE];
         let avail = segment.len().saturating_sub(base as usize);
         let take = CACHE_LINE_SIZE.min(avail);
-        segment.read(base as usize, &mut data[..take])?;
+        segment.read_relaxed(base as usize, &mut data[..take])?;
         let tick = inner.tick;
         inner.lines.insert(
             base,
             Line {
                 data,
+                dirty: false,
+                tick,
+            },
+        );
+        Ok(())
+    }
+
+    /// Allocate a line that is about to be fully overwritten: no device fill
+    /// (every byte is replaced by the caller), just capacity maintenance.
+    fn alloc_full_line(
+        inner: &mut CacheInner,
+        segment: &SharedSegment,
+        base: u64,
+        capacity: usize,
+    ) -> Result<()> {
+        while inner.lines.len() >= capacity {
+            Self::evict_one(inner, segment)?;
+        }
+        let tick = inner.tick;
+        inner.lines.insert(
+            base,
+            Line {
+                data: [0u8; CACHE_LINE_SIZE],
                 dirty: false,
                 tick,
             },
@@ -237,7 +294,13 @@ impl HostCache {
             let take = (CACHE_LINE_SIZE - in_line).min(data.len() - pos);
             if !inner.lines.contains_key(&base) {
                 inner.stats.write_misses += 1;
-                Self::fill_line(&mut inner, segment, base, self.capacity_lines)?;
+                if take == CACHE_LINE_SIZE {
+                    // Full-line overwrite: write-allocate without the device
+                    // fill — every byte of the line is replaced below.
+                    Self::alloc_full_line(&mut inner, segment, base, self.capacity_lines)?;
+                } else {
+                    Self::fill_line(&mut inner, segment, base, self.capacity_lines)?;
+                }
             } else {
                 inner.stats.write_hits += 1;
             }
@@ -268,7 +331,7 @@ impl HostCache {
         while base <= last {
             if let Some(line) = inner.lines.remove(&base) {
                 if line.dirty {
-                    segment.write(base as usize, &line.data)?;
+                    segment.write_relaxed(base as usize, &line.data)?;
                     inner.stats.flush_writebacks += 1;
                 }
                 inner.stats.flush_invalidations += 1;
@@ -288,7 +351,7 @@ impl HostCache {
         for base in addrs {
             if let Some(line) = inner.lines.remove(&base) {
                 if line.dirty {
-                    segment.write(base as usize, &line.data)?;
+                    segment.write_relaxed(base as usize, &line.data)?;
                     inner.stats.flush_writebacks += 1;
                 }
                 inner.stats.flush_invalidations += 1;

@@ -2,6 +2,7 @@
 //! public API: chunked messages and cell sizes, PSCW and lock epochs across
 //! hosts, wildcard matching under load, and the no-atomics barrier.
 
+use cmpi::mpi::config::CollTuning;
 use cmpi::mpi::{Comm, CxlShmTransportConfig, TransportConfig, Universe, UniverseConfig};
 
 fn cxl_config_with_cell(ranks: usize, cell: usize) -> UniverseConfig {
@@ -13,6 +14,7 @@ fn cxl_config_with_cell(ranks: usize, cell: usize) -> UniverseConfig {
             cells_per_queue: 4,
             ..CxlShmTransportConfig::small()
         }),
+        coll: CollTuning::default(),
     }
 }
 

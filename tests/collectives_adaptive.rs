@@ -1,0 +1,310 @@
+//! Size- and shape-adaptive collective algorithms, end-to-end.
+//!
+//! Non-power-of-two rank counts (3, 5, 6, 7) are cross-checked against naive
+//! references on both transports, and threshold overrides force every
+//! algorithm branch (binomial vs scatter-allgather bcast, Bruck vs ring
+//! allgather, recursive-doubling vs Rabenseifner allreduce, naive vs
+//! halving/pairwise reduce-scatter), asserting both the numeric results and
+//! the algorithm labels surfaced in `RankReport::coll_algos`.
+
+use cmpi::fabric::cost::TcpNic;
+use cmpi::mpi::{CollTuning, Comm, ReduceOp, Universe, UniverseConfig};
+
+fn configs(ranks: usize) -> Vec<(&'static str, UniverseConfig)> {
+    vec![
+        ("CXL-SHM", UniverseConfig::cxl_small(ranks)),
+        ("TCP", UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx)),
+    ]
+}
+
+/// Thresholds that force the large-message algorithms at tiny sizes.
+fn force_large() -> CollTuning {
+    CollTuning {
+        bcast_scatter_allgather_min_bytes: 1,
+        allreduce_rabenseifner_min_bytes: 1,
+        allgather_bruck_max_bytes: 0,
+        reduce_scatter_direct_min_bytes: 1,
+    }
+}
+
+/// Thresholds that force the small-message algorithms at any size.
+fn force_small() -> CollTuning {
+    CollTuning {
+        bcast_scatter_allgather_min_bytes: usize::MAX,
+        allreduce_rabenseifner_min_bytes: usize::MAX,
+        allgather_bruck_max_bytes: usize::MAX,
+        reduce_scatter_direct_min_bytes: usize::MAX,
+    }
+}
+
+#[test]
+fn non_power_of_two_allreduce_matches_naive_reference() {
+    for n in [3usize, 5, 6, 7] {
+        for (label, config) in configs(n) {
+            // Small (recursive doubling + fold) and large (Rabenseifner +
+            // fold) paths, both with enough elements to split.
+            for tuning in [force_small(), force_large()] {
+                let config = config.clone().with_coll_tuning(tuning);
+                let results = Universe::run(config, move |comm: &mut Comm| {
+                    let me = comm.rank() as i64;
+                    let n = comm.size() as i64;
+                    // Sum: reference is n*(n-1)/2 + i for element i offsets.
+                    let mut values: Vec<i64> = (0..33).map(|i| me * 1000 + i).collect();
+                    comm.allreduce(&mut values, ReduceOp::Sum)?;
+                    let rank_sum: i64 = (0..n).sum::<i64>() * 1000;
+                    for (i, v) in values.iter().enumerate() {
+                        assert_eq!(*v, rank_sum + n * i as i64, "sum mismatch at {i}");
+                    }
+                    // Max cross-check.
+                    let mut m = vec![me; 17];
+                    comm.allreduce(&mut m, ReduceOp::Max)?;
+                    assert!(m.iter().all(|&v| v == n - 1));
+                    Ok(comm.last_coll_algorithm().to_string())
+                })
+                .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+                for (algo, _) in &results {
+                    assert!(
+                        algo.starts_with("allreduce/"),
+                        "{label} n={n}: unexpected algo {algo}"
+                    );
+                    // Non-power-of-two counts must use fold elimination, never
+                    // the old reduce+bcast cliff.
+                    if !n.is_power_of_two() {
+                        assert!(algo.ends_with("+fold"), "{label} n={n}: {algo}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn non_power_of_two_reduce_scatter_matches_naive_reference() {
+    for n in [3usize, 5, 6, 7] {
+        for (label, config) in configs(n) {
+            for (tuning, expect) in [
+                (force_small(), "reduce-scatter/naive"),
+                (force_large(), "reduce-scatter/pairwise"),
+            ] {
+                let config = config.clone().with_coll_tuning(tuning);
+                Universe::run(config, move |comm: &mut Comm| {
+                    let me = comm.rank() as i64;
+                    let n = comm.size() as i64;
+                    let block = 5usize;
+                    let values: Vec<i64> = (0..block * n as usize)
+                        .map(|i| me * 100 + i as i64)
+                        .collect();
+                    let mine = comm.reduce_scatter(&values, ReduceOp::Sum)?;
+                    assert_eq!(mine.len(), block);
+                    let rank_sum: i64 = (0..n).sum::<i64>() * 100;
+                    for (j, v) in mine.iter().enumerate() {
+                        let idx = comm.rank() * block + j;
+                        assert_eq!(*v, rank_sum + n * idx as i64, "block elem {j}");
+                    }
+                    assert_eq!(comm.last_coll_algorithm(), expect);
+                    Ok(())
+                })
+                .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn power_of_two_reduce_scatter_uses_recursive_halving() {
+    for (label, config) in configs(4) {
+        let config = config.with_coll_tuning(force_large());
+        Universe::run(config, |comm: &mut Comm| {
+            let me = comm.rank() as u64;
+            let n = comm.size() as u64;
+            let values: Vec<u64> = (0..4 * n).map(|i| me + i).collect();
+            let mine = comm.reduce_scatter(&values, ReduceOp::Sum)?;
+            let rank_sum: u64 = (0..n).sum();
+            for (j, v) in mine.iter().enumerate() {
+                let idx = comm.rank() * 4 + j;
+                assert_eq!(*v, rank_sum + n * idx as u64);
+            }
+            assert_eq!(
+                comm.last_coll_algorithm(),
+                "reduce-scatter/recursive-halving"
+            );
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn bcast_scatter_allgather_matches_binomial() {
+    // Uneven payloads (not divisible by n) and every root, on 5 ranks.
+    for (label, config) in configs(5) {
+        let config = config.with_coll_tuning(force_large());
+        Universe::run(config, |comm: &mut Comm| {
+            let n = comm.size();
+            for root in 0..n {
+                let mut data = vec![0u8; 1003]; // 1003 = 5 * 200 + 3
+                if comm.rank() == root {
+                    for (i, b) in data.iter_mut().enumerate() {
+                        *b = ((i * 37 + root) % 251) as u8;
+                    }
+                }
+                comm.bcast_into(root, &mut data)?;
+                assert_eq!(comm.last_coll_algorithm(), "bcast/scatter-allgather");
+                for (i, b) in data.iter().enumerate() {
+                    assert_eq!(*b, ((i * 37 + root) % 251) as u8, "root {root} byte {i}");
+                }
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn bruck_and_ring_allgather_agree() {
+    for n in [3usize, 4, 6, 7] {
+        for (label, config) in configs(n) {
+            for (tuning, expect) in [
+                (force_small(), "allgather/bruck"),
+                (force_large(), "allgather/ring"),
+            ] {
+                let config = config.clone().with_coll_tuning(tuning);
+                Universe::run(config, move |comm: &mut Comm| {
+                    let me = comm.rank();
+                    let n = comm.size();
+                    let send: Vec<u32> = (0..3).map(|i| (me * 10 + i) as u32).collect();
+                    let mut recv = vec![0u32; 3 * n];
+                    comm.allgather_into(&send, &mut recv)?;
+                    assert_eq!(comm.last_coll_algorithm(), expect);
+                    for r in 0..n {
+                        for i in 0..3 {
+                            assert_eq!(recv[r * 3 + i], (r * 10 + i) as u32);
+                        }
+                    }
+                    Ok(())
+                })
+                .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_collectives_work_on_sub_communicators() {
+    // Sub-communicators have non-identity local→world rank maps (the odd half
+    // of a parity split maps local 0,1,2 → world 1,3,5): every algorithm must
+    // translate ranks through the group. Exercises the large branches with
+    // forced thresholds on 6 world ranks → two 3-rank halves.
+    for (label, config) in configs(6) {
+        let config = config.with_coll_tuning(force_large());
+        Universe::run(config, |comm: &mut Comm| {
+            let me = comm.rank();
+            let mut half = comm.comm_split((me % 2) as i32, me as i32)?.unwrap();
+            let hn = half.size();
+            let hme = half.rank();
+            assert_eq!(hn, 3);
+            // bcast (scatter-allgather) from each root of the half.
+            for root in 0..hn {
+                let mut data = vec![0u8; 301];
+                if hme == root {
+                    for (i, b) in data.iter_mut().enumerate() {
+                        *b = ((i + root * 7) % 251) as u8;
+                    }
+                }
+                half.bcast_into(root, &mut data)?;
+                assert_eq!(half.last_coll_algorithm(), "bcast/scatter-allgather");
+                for (i, b) in data.iter().enumerate() {
+                    assert_eq!(*b, ((i + root * 7) % 251) as u8);
+                }
+            }
+            // allreduce (rabenseifner+fold on n=3) and reduce-scatter
+            // (pairwise) inside the half.
+            let mut v: Vec<i64> = (0..9).map(|i| (hme as i64 + 1) * 10 + i).collect();
+            half.allreduce(&mut v, ReduceOp::Sum)?;
+            assert_eq!(half.last_coll_algorithm(), "allreduce/rabenseifner+fold");
+            for (i, x) in v.iter().enumerate() {
+                assert_eq!(*x, 60 + 3 * i as i64);
+            }
+            let rs: Vec<i64> = vec![hme as i64; 3 * hn];
+            let mine = half.reduce_scatter(&rs, ReduceOp::Sum)?;
+            assert_eq!(half.last_coll_algorithm(), "reduce-scatter/pairwise");
+            // Each element is 0 + 1 + 2 summed across the half.
+            assert_eq!(mine, vec![3; 3]);
+            // ring allgather inside the half.
+            let mut all = vec![0u16; hn];
+            half.allgather_into(&[hme as u16], &mut all)?;
+            assert_eq!(half.last_coll_algorithm(), "allgather/ring");
+            assert_eq!(all, vec![0, 1, 2]);
+            comm.barrier()?;
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn large_message_sweep_forces_every_branch_with_default_thresholds() {
+    // Default thresholds + genuinely large payloads on the CXL transport:
+    // every "large" algorithm label must show up in the rank reports, and a
+    // small collective beforehand must pick the small-message algorithms.
+    let config = UniverseConfig::cxl_small(4);
+    let results = Universe::run(config, |comm: &mut Comm| {
+        let me = comm.rank();
+        let n = comm.size();
+        // Small first (defaults: everything below the thresholds).
+        let mut tiny = [me as u64; 4];
+        comm.allreduce(&mut tiny, ReduceOp::Sum)?;
+        assert_eq!(comm.last_coll_algorithm(), "allreduce/recursive-doubling");
+        let mut gathered = vec![0u8; n * 16];
+        comm.allgather_into(&[me as u8; 16], &mut gathered)?;
+        assert_eq!(comm.last_coll_algorithm(), "allgather/bruck");
+
+        // Large: 256 KiB-ish payloads cross every default threshold.
+        let elems = 48 * 1024; // 384 KiB of f64
+        let mut big: Vec<f64> = vec![1.0; elems];
+        comm.allreduce(&mut big, ReduceOp::Sum)?;
+        assert_eq!(comm.last_coll_algorithm(), "allreduce/rabenseifner");
+        assert!(big.iter().all(|&v| v == n as f64));
+
+        let rs_in: Vec<f64> = vec![2.0; elems];
+        let mine = comm.reduce_scatter(&rs_in, ReduceOp::Sum)?;
+        assert_eq!(
+            comm.last_coll_algorithm(),
+            "reduce-scatter/recursive-halving"
+        );
+        assert!(mine.iter().all(|&v| v == 2.0 * n as f64));
+
+        let mut bc = vec![me as u8; 256 * 1024];
+        if me == 0 {
+            bc.fill(7);
+        }
+        comm.bcast_into(0, &mut bc)?;
+        assert_eq!(comm.last_coll_algorithm(), "bcast/scatter-allgather");
+        assert!(bc.iter().all(|&b| b == 7));
+
+        let send = vec![me as u8; 64 * 1024];
+        let mut all = vec![0u8; n * 64 * 1024];
+        comm.allgather_into(&send, &mut all)?;
+        assert_eq!(comm.last_coll_algorithm(), "allgather/ring");
+        Ok(())
+    })
+    .unwrap();
+    // The report aggregates every label this rank used.
+    for (_, report) in &results {
+        let labels: Vec<&str> = report.coll_algos.iter().map(|(l, _)| l.as_str()).collect();
+        for expected in [
+            "allreduce/recursive-doubling",
+            "allreduce/rabenseifner",
+            "allgather/bruck",
+            "allgather/ring",
+            "bcast/scatter-allgather",
+            "reduce-scatter/recursive-halving",
+            "barrier/sequence",
+        ] {
+            assert!(
+                labels.contains(&expected),
+                "missing {expected} in {labels:?}"
+            );
+        }
+    }
+}

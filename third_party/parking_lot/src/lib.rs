@@ -124,6 +124,32 @@ impl Condvar {
         }
     }
 
+    /// Like [`Condvar::wait`] but with a timeout; returns `true` if the wait
+    /// timed out (parking_lot returns a `WaitTimeoutResult`; a plain bool
+    /// keeps the stub dependency-free).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        struct AbortOnUnwind;
+        impl Drop for AbortOnUnwind {
+            fn drop(&mut self) {
+                std::process::abort();
+            }
+        }
+        unsafe {
+            let std_guard = std::ptr::read(&guard.inner);
+            let bomb = AbortOnUnwind;
+            let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(poisoned) => {
+                    let (g, r) = poisoned.into_inner();
+                    (g, r)
+                }
+            };
+            std::mem::forget(bomb);
+            std::ptr::write(&mut guard.inner, std_guard);
+            result.timed_out()
+        }
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
