@@ -17,6 +17,7 @@ fn config_with(mode: CoherenceMode, ranks: usize) -> UniverseConfig {
             ..Default::default()
         }),
         coll: Default::default(),
+        progress: Default::default(),
     }
 }
 

@@ -1,6 +1,7 @@
-//! The JSON perf harness: p2p latency/bandwidth plus collective sweeps across
-//! both transports, written as `BENCH_collectives.json` for the perf
-//! trajectory (`BENCH_*.json` files are diffed PR-over-PR).
+//! The JSON perf harness: p2p latency/bandwidth, collective sweeps and the
+//! nonblocking-collective overlap kernel across both transports, written as
+//! `BENCH_collectives.json` for the perf trajectory (`BENCH_*.json` files are
+//! diffed PR-over-PR).
 //!
 //! Two kinds of numbers are recorded:
 //!
@@ -23,6 +24,7 @@ use std::time::Instant;
 
 use cmpi_core::{Comm, ReduceOp, UniverseConfig};
 use cmpi_fabric::cost::TcpNic;
+use cmpi_omb::nonblocking_allreduce_overlap;
 
 /// One p2p measurement row.
 struct P2pRow {
@@ -31,6 +33,17 @@ struct P2pRow {
     latency_ns: f64,
     bandwidth_gbps: f64,
     wall_bandwidth_mib_s: f64,
+}
+
+/// One overlap measurement row (the `osu_iallreduce`-style kernel).
+struct OverlapRow {
+    transport: &'static str,
+    ranks: usize,
+    size: usize,
+    compute_ns: f64,
+    total_ns: f64,
+    ops_during_compute: u64,
+    overlap_fraction: f64,
 }
 
 /// One collective measurement row.
@@ -171,11 +184,10 @@ fn main() {
     };
 
     let mut p2p_rows: Vec<P2pRow> = Vec::new();
-    for (label, _) in transports(2) {
+    for (label, config) in transports(2) {
         for &size in &lat_sizes {
             eprintln!("p2p latency {label} {size} B ...");
-            let config = config_for(label, 2);
-            let latency = p2p_latency(config, size, iters.max(4) * 8);
+            let latency = p2p_latency(config.clone(), size, iters.max(4) * 8);
             p2p_rows.push(P2pRow {
                 transport: label,
                 size,
@@ -185,7 +197,7 @@ fn main() {
             });
         }
         eprintln!("p2p bandwidth {label} {bw_size} B ...");
-        let (gbps, wall) = p2p_bandwidth(config_for(label, 2), bw_size, bw_iters);
+        let (gbps, wall) = p2p_bandwidth(config, bw_size, bw_iters);
         p2p_rows.push(P2pRow {
             transport: label,
             size: bw_size,
@@ -197,12 +209,11 @@ fn main() {
 
     let mut coll_rows: Vec<CollRow> = Vec::new();
     for &ranks in &rank_counts {
-        for (label, _) in transports(ranks) {
+        for (label, config) in transports(ranks) {
             for op in ["bcast", "allgather", "allreduce", "reduce_scatter"] {
                 for &size in &coll_sizes {
                     eprintln!("collective {op} {label} n={ranks} {size} B ...");
-                    let (time_ns, algorithm) =
-                        collective_time(config_for(label, ranks), op, size, iters);
+                    let (time_ns, algorithm) = collective_time(config.clone(), op, size, iters);
                     coll_rows.push(CollRow {
                         op,
                         transport: label,
@@ -216,24 +227,43 @@ fn main() {
         }
     }
 
-    let json = render_json(&p2p_rows, &coll_rows);
+    // Nonblocking-collective overlap: progress serviced during user compute.
+    let overlap_ranks: Vec<usize> = if smoke() { vec![2] } else { vec![4, 6] };
+    let overlap_sizes: Vec<usize> = if smoke() {
+        vec![1024]
+    } else {
+        vec![8 * 1024, 256 * 1024]
+    };
+    let mut overlap_rows: Vec<OverlapRow> = Vec::new();
+    for &ranks in &overlap_ranks {
+        for (label, config) in transports(ranks) {
+            for &size in &overlap_sizes {
+                eprintln!("overlap iallreduce {label} n={ranks} {size} B ...");
+                let point = nonblocking_allreduce_overlap(config.clone(), size / 8, 100_000.0)
+                    .expect("overlap universe");
+                overlap_rows.push(OverlapRow {
+                    transport: label,
+                    ranks,
+                    size: point.size,
+                    compute_ns: point.compute_ns,
+                    total_ns: point.total_ns,
+                    ops_during_compute: point.ops_during_compute,
+                    overlap_fraction: point.overlap_fraction,
+                });
+            }
+        }
+    }
+
+    let json = render_json(&p2p_rows, &coll_rows, &overlap_rows);
     let out = std::env::var("CMPI_BENCH_OUT").unwrap_or_else(|_| "BENCH_collectives.json".into());
     std::fs::write(&out, &json).expect("write BENCH json");
     eprintln!("wrote {out}");
     println!("{json}");
 }
 
-fn config_for(label: &str, ranks: usize) -> UniverseConfig {
-    match label {
-        "CXL-SHM" => UniverseConfig::cxl(ranks),
-        "TCP-Mellanox" => UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx),
-        _ => unreachable!(),
-    }
-}
-
-fn render_json(p2p: &[P2pRow], colls: &[CollRow]) -> String {
+fn render_json(p2p: &[P2pRow], colls: &[CollRow], overlaps: &[OverlapRow]) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v1\",\n");
+    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v2\",\n");
     s.push_str("  \"smoke\": ");
     s.push_str(if smoke() { "true" } else { "false" });
     s.push_str(",\n  \"baseline_pre_pr\": ");
@@ -249,6 +279,21 @@ fn render_json(p2p: &[P2pRow], colls: &[CollRow]) -> String {
             r.bandwidth_gbps,
             r.wall_bandwidth_mib_s,
             if i + 1 < p2p.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"overlap\": [\n");
+    for (i, r) in overlaps.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"op\": \"iallreduce_overlap\", \"transport\": \"{}\", \"ranks\": {}, \"size_bytes\": {}, \"compute_ns\": {:.1}, \"total_ns\": {:.1}, \"ops_during_compute\": {}, \"overlap_fraction\": {:.3}}}{}",
+            r.transport,
+            r.ranks,
+            r.size,
+            r.compute_ns,
+            r.total_ns,
+            r.ops_during_compute,
+            r.overlap_fraction,
+            if i + 1 < overlaps.len() { "," } else { "" }
         );
     }
     s.push_str("  ],\n  \"collectives\": [\n");

@@ -20,6 +20,7 @@ fn main() {
                     hosts: 2,
                     transport: TransportConfig::CxlShm(CxlShmTransportConfig::with_cell_size(cell)),
                     coll: Default::default(),
+                    progress: Default::default(),
                 };
                 let point = two_sided_bandwidth(config, size).expect("benchmark run");
                 values.push(point.bandwidth_mbps);

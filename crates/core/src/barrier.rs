@@ -24,7 +24,7 @@
 use cmpi_fabric::SimClock;
 use cxl_shm::ShmObject;
 
-use crate::coll::{coll_tag, CommView};
+use crate::coll::{build_barrier, CommView};
 use crate::spin::{PoisonFlag, SpinWait};
 use crate::transport::Transport;
 use crate::types::Rank;
@@ -37,27 +37,19 @@ use crate::Result;
 /// `(i + 2^k) mod n` and waits for the token from `(i - 2^k) mod n`. After the
 /// last round every rank transitively depends on every other rank's arrival,
 /// and the virtual clocks have merged accordingly through the receives.
+///
+/// The barrier is compiled to the same resumable schedule that backs
+/// [`crate::comm::Comm::ibarrier`] and run to completion, so the blocking and
+/// nonblocking barriers execute identical token exchanges. `seq` is the
+/// communicator's collective sequence number, salted into the token tags.
 pub fn group_barrier(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    seq: u32,
 ) -> Result<()> {
-    let n = view.size();
-    if n == 1 {
-        return Ok(());
-    }
-    let me = view.rank;
-    let mut distance = 1usize;
-    let mut round = 0usize;
-    while distance < n {
-        let to = view.world((me + distance) % n);
-        let from = view.world((me + n - distance) % n);
-        t.send(clock, to, view.ctx, coll_tag(0, round), &[])?;
-        t.recv_owned(clock, view.ctx, Some(from), Some(coll_tag(0, round)))?;
-        distance <<= 1;
-        round += 1;
-    }
-    Ok(())
+    let mut sched = build_barrier(view, seq);
+    sched.run(t, clock, &mut [], &mut [])
 }
 
 /// Stride of one rank's slot (sequence number + timestamp on their own cache

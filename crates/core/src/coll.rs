@@ -1,6 +1,6 @@
 //! Collective communication built on point-to-point (Section 3.6), over an
 //! arbitrary communicator view, with **size- and shape-adaptive algorithm
-//! selection**.
+//! selection** compiled into **resumable schedules**.
 //!
 //! The paper leaves collectives as future work but notes that, inside an MPI
 //! library, collectives are implemented on top of point-to-point algorithms
@@ -19,6 +19,24 @@
 //! | reduce-scatter | allreduce + selection | recursive halving (2ᵏ ranks) / pairwise exchange |
 //! | gather / scatter | linear | linear |
 //! | reduce | binomial tree | binomial tree |
+//!
+//! Every algorithm is expressed as a *builder* that compiles the rounds of
+//! sends, receives, folds and copies this rank must execute into a
+//! [`Schedule`] (see [`crate::progress`]). The blocking entry points build the
+//! schedule and [`Schedule::run`] it to completion; the nonblocking `i*`
+//! entry points on [`crate::comm::Comm`] hand the *same* schedule to a
+//! request that advances it incrementally through `test`/`wait` — blocking
+//! and nonblocking collectives therefore execute identical plans and cannot
+//! diverge. Schedules preserve the deadlock-safe op orderings of the original
+//! straight-line loops (lower rank sends first; rank 0 of a ring receives
+//! first).
+//!
+//! Concurrent collectives on one communicator are kept apart by a
+//! **collective sequence number** salted into every internal tag: ranks start
+//! collectives on a communicator in the same order (the MPI requirement), so
+//! the per-communicator counters agree and traffic of one outstanding
+//! collective can never match another's receives. Internal tags live at and
+//! above [`COLL_TAG_BASE`], a range wildcard receives never match.
 //!
 //! Non-power-of-two rank counts no longer fall off a cliff: allreduce folds
 //! the excess ranks into the largest power-of-two core (rank `2i` merges into
@@ -45,19 +63,28 @@ use crate::config::CollTuning;
 use crate::error::MpiError;
 use crate::group::Group;
 use crate::pod::{bytes_of, bytes_of_mut, vec_from_bytes, Pod};
+use crate::progress::{fold_bytes, FoldFn, Loc, SchedOp, Schedule};
 use crate::transport::Transport;
-use crate::types::{CtxId, Rank, ReduceOp, Reducible, Tag};
+use crate::types::{CtxId, Rank, ReduceOp, Reducible, Tag, COLL_TAG_BASE};
 use crate::Result;
 
-/// Base tag reserved for collective traffic (kept far away from typical
-/// application tags). Collectives additionally run under their communicator's
-/// context id, so this offset only separates them from *user* traffic on the
-/// same communicator.
-const COLL_TAG_BASE: Tag = 0x4000_0000;
+/// How many in-flight collective sequence numbers the tag encoding keeps
+/// distinct before wrapping (per communicator; per-sender FIFO ordering makes
+/// wrap-around safe for any realistic depth).
+pub(crate) const COLL_SEQ_WINDOW: u32 = 2048;
 
-/// Tag of collective `kind` at algorithm step `step`.
-pub(crate) fn coll_tag(kind: i32, step: usize) -> Tag {
-    COLL_TAG_BASE + kind * 0x10_000 + step as i32
+/// Tag of collective `kind` at algorithm step `step`, salted with the
+/// communicator's collective sequence number `seq` so that outstanding
+/// collectives on one communicator can never cross-match. Layout (within the
+/// reserved range starting at [`COLL_TAG_BASE`]): bits 19..30 carry
+/// `seq % 2048`, bits 16..18 the kind, bits 0..15 the step.
+pub(crate) fn coll_tag(kind: i32, step: usize, seq: u32) -> Tag {
+    debug_assert!(
+        (0..8).contains(&kind),
+        "collective kind {kind} out of range"
+    );
+    debug_assert!(step < 0x1_0000, "collective step {step} out of range");
+    COLL_TAG_BASE + ((seq % COLL_SEQ_WINDOW) as i32) * 0x8_0000 + kind * 0x1_0000 + step as i32
 }
 
 /// One communicator, seen from one rank: the rank group, the context id that
@@ -94,53 +121,148 @@ impl CommView<'_> {
     }
 }
 
-/// Receive exactly `buf.len()` bytes from `src_local` with `tag` into `buf`.
-fn recv_exact(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    src_local: Rank,
-    tag: Tag,
-    buf: &mut [u8],
-) -> Result<()> {
-    let status = t.recv_into(clock, view.ctx, Some(view.world(src_local)), Some(tag), buf)?;
-    if status.len != buf.len() {
-        return Err(MpiError::InvalidCollective(format!(
-            "collective length mismatch: received {} bytes, expected {}",
-            status.len,
-            buf.len()
-        )));
-    }
-    Ok(())
-}
-
-/// Pairwise exchange of byte buffers with deadlock-safe ordering: the lower
-/// local rank sends first, the higher receives first, so the exchange cannot
-/// wedge even when both payloads exceed a transport queue's total capacity.
-fn exchange(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    partner_local: Rank,
-    tag: Tag,
-    send: &[u8],
-    recv: &mut [u8],
-) -> Result<()> {
-    let partner_world = view.world(partner_local);
-    if view.rank < partner_local {
-        t.send(clock, partner_world, view.ctx, tag, send)?;
-        recv_exact(t, clock, view, partner_local, tag, recv)?;
-    } else {
-        recv_exact(t, clock, view, partner_local, tag, recv)?;
-        t.send(clock, partner_world, view.ctx, tag, send)?;
-    }
-    Ok(())
-}
-
 /// The largest power of two ≤ `n` (requires `n ≥ 1`).
 fn prev_power_of_two(n: usize) -> usize {
     debug_assert!(n >= 1);
     1usize << (usize::BITS - 1 - n.leading_zeros())
+}
+
+// ----------------------------------------------------------------------
+// Schedule plan builder
+// ----------------------------------------------------------------------
+
+/// Accumulates the op list of one collective schedule for one rank,
+/// translating local ranks to world ranks and salting tags with the
+/// collective's kind and sequence number.
+struct Plan<'v, 'g> {
+    view: &'v CommView<'g>,
+    seq: u32,
+    kind: i32,
+    ops: Vec<SchedOp>,
+}
+
+impl<'v, 'g> Plan<'v, 'g> {
+    fn new(view: &'v CommView<'g>, seq: u32, kind: i32) -> Self {
+        Plan {
+            view,
+            seq,
+            kind,
+            ops: Vec::new(),
+        }
+    }
+
+    fn tag(&self, step: usize) -> Tag {
+        coll_tag(self.kind, step, self.seq)
+    }
+
+    fn send(&mut self, peer_local: Rank, step: usize, loc: Loc, start: usize, end: usize) {
+        self.ops.push(SchedOp::Send {
+            peer: self.view.world(peer_local),
+            tag: self.tag(step),
+            loc,
+            start,
+            end,
+        });
+    }
+
+    fn recv(&mut self, peer_local: Rank, step: usize, loc: Loc, start: usize, end: usize) {
+        self.ops.push(SchedOp::Recv {
+            peer: self.view.world(peer_local),
+            tag: self.tag(step),
+            loc,
+            start,
+            end,
+        });
+    }
+
+    fn fold(&mut self, dst_loc: Loc, dst_start: usize, src_loc: Loc, src_start: usize, len: usize) {
+        self.ops.push(SchedOp::Fold {
+            dst_loc,
+            dst_start,
+            src_loc,
+            src_start,
+            len,
+        });
+    }
+
+    fn copy(&mut self, dst_loc: Loc, dst_start: usize, src_loc: Loc, src_start: usize, len: usize) {
+        self.ops.push(SchedOp::Copy {
+            dst_loc,
+            dst_start,
+            src_loc,
+            src_start,
+            len,
+        });
+    }
+
+    /// Pairwise exchange with the deadlock-safe ordering of the straight-line
+    /// algorithms: the lower local rank sends first, the higher receives
+    /// first, so the exchange cannot wedge even when both payloads exceed a
+    /// transport queue's total capacity.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange(
+        &mut self,
+        partner_local: Rank,
+        step: usize,
+        send_loc: Loc,
+        send_start: usize,
+        send_end: usize,
+        recv_loc: Loc,
+        recv_start: usize,
+        recv_end: usize,
+    ) {
+        if self.view.rank < partner_local {
+            self.send(partner_local, step, send_loc, send_start, send_end);
+            self.recv(partner_local, step, recv_loc, recv_start, recv_end);
+        } else {
+            self.recv(partner_local, step, recv_loc, recv_start, recv_end);
+            self.send(partner_local, step, send_loc, send_start, send_end);
+        }
+    }
+
+    fn finish(
+        self,
+        fold: Option<(ReduceOp, FoldFn)>,
+        result_loc: Loc,
+        result_range: (usize, usize),
+        scratch_len: usize,
+        label: &'static str,
+    ) -> Schedule {
+        Schedule::new(
+            self.ops,
+            self.view.ctx,
+            fold,
+            result_loc,
+            result_range,
+            scratch_len,
+            label,
+        )
+    }
+}
+
+// ----------------------------------------------------------------------
+// Barrier
+// ----------------------------------------------------------------------
+
+/// Dissemination barrier schedule: in round `k` (of ⌈log₂ n⌉), local rank `i`
+/// sends a zero-byte token to `(i + 2ᵏ) mod n` and receives the token from
+/// `(i − 2ᵏ) mod n`. Backs [`crate::comm::Comm::ibarrier`] and the blocking
+/// sub-communicator barrier.
+pub(crate) fn build_barrier(view: &CommView<'_>, seq: u32) -> Schedule {
+    let n = view.size();
+    let me = view.rank;
+    let mut plan = Plan::new(view, seq, 0);
+    let mut distance = 1usize;
+    let mut round = 0usize;
+    while distance < n {
+        let to = (me + distance) % n;
+        let from = (me + n - distance) % n;
+        plan.send(to, round, Loc::Buf, 0, 0);
+        plan.recv(from, round, Loc::Buf, 0, 0);
+        distance <<= 1;
+        round += 1;
+    }
+    plan.finish(None, Loc::Buf, (0, 0), 0, "barrier/dissemination")
 }
 
 // ----------------------------------------------------------------------
@@ -154,6 +276,7 @@ pub fn bcast_bytes(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    seq: u32,
     root: Rank,
     data: &mut Vec<u8>,
 ) -> Result<()> {
@@ -171,67 +294,9 @@ pub fn bcast_bytes(
             clock,
             view.ctx,
             Some(view.world(parent)),
-            Some(coll_tag(1, 0)),
+            Some(coll_tag(1, 0, seq)),
         )?;
         *data = payload;
-    }
-    let start_bit = if vrank == 0 {
-        0
-    } else {
-        (usize::BITS - vrank.leading_zeros()) as usize
-    };
-    let mut bit = 1usize << start_bit;
-    while vrank + bit < n {
-        let child = (vrank + bit + root) % n;
-        t.send(clock, view.world(child), view.ctx, coll_tag(1, 0), data)?;
-        bit <<= 1;
-    }
-    Ok(())
-}
-
-/// Broadcast the fixed-size buffer `buf` from `root` into every rank's `buf`
-/// (the typed, zero-copy path: the buffer's bytes travel as-is). All ranks
-/// must pass buffers of identical length. Picks binomial tree below the
-/// scatter-allgather threshold, van de Geijn scatter + ring allgather above.
-/// Returns the label of the algorithm used.
-pub fn bcast_into<T: Pod>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    tuning: &CollTuning,
-    root: Rank,
-    buf: &mut [T],
-) -> Result<&'static str> {
-    view.check_root(root)?;
-    let n = view.size();
-    if n == 1 {
-        return Ok("bcast/local");
-    }
-    let total = std::mem::size_of_val(buf);
-    if n > 2 && total >= tuning.bcast_scatter_allgather_min_bytes {
-        bcast_scatter_allgather(t, clock, view, root, bytes_of_mut(buf))?;
-        return Ok("bcast/scatter-allgather");
-    }
-    bcast_binomial(t, clock, view, root, buf)?;
-    Ok("bcast/binomial")
-}
-
-/// Binomial-tree broadcast (latency-optimal: ⌈log₂ n⌉ rounds, but every hop
-/// forwards the whole payload).
-fn bcast_binomial<T: Pod>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    root: Rank,
-    buf: &mut [T],
-) -> Result<()> {
-    let n = view.size();
-    let me = view.rank;
-    let vrank = (me + n - root) % n;
-    if vrank != 0 {
-        let highest = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
-        let parent = (vrank - highest + root) % n;
-        recv_exact(t, clock, view, parent, coll_tag(1, 0), bytes_of_mut(buf))?;
     }
     let start_bit = if vrank == 0 {
         0
@@ -245,12 +310,60 @@ fn bcast_binomial<T: Pod>(
             clock,
             view.world(child),
             view.ctx,
-            coll_tag(1, 0),
-            bytes_of(buf),
+            coll_tag(1, 0, seq),
+            data,
         )?;
         bit <<= 1;
     }
     Ok(())
+}
+
+/// Compile the size-adaptive broadcast of `total` bytes from `root` into a
+/// schedule over the primary buffer: binomial tree below the
+/// scatter-allgather threshold, van de Geijn scatter + ring allgather above.
+pub(crate) fn build_bcast(
+    view: &CommView<'_>,
+    tuning: &CollTuning,
+    seq: u32,
+    root: Rank,
+    total: usize,
+) -> Schedule {
+    let n = view.size();
+    if n == 1 {
+        let plan = Plan::new(view, seq, 1);
+        return plan.finish(None, Loc::Buf, (0, total), 0, "bcast/local");
+    }
+    if n > 2 && total >= tuning.bcast_scatter_allgather_min_bytes {
+        build_bcast_scatter_allgather(view, seq, root, total)
+    } else {
+        build_bcast_binomial(view, seq, root, total)
+    }
+}
+
+/// Binomial-tree broadcast (latency-optimal: ⌈log₂ n⌉ rounds, but every hop
+/// forwards the whole payload).
+fn build_bcast_binomial(view: &CommView<'_>, seq: u32, root: Rank, total: usize) -> Schedule {
+    let n = view.size();
+    let me = view.rank;
+    let vrank = (me + n - root) % n;
+    let mut plan = Plan::new(view, seq, 1);
+    if vrank != 0 {
+        let highest = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
+        let parent = (vrank - highest + root) % n;
+        plan.recv(parent, 0, Loc::Buf, 0, total);
+    }
+    let start_bit = if vrank == 0 {
+        0
+    } else {
+        (usize::BITS - vrank.leading_zeros()) as usize
+    };
+    let mut bit = 1usize << start_bit;
+    while vrank + bit < n {
+        let child = (vrank + bit + root) % n;
+        plan.send(child, 0, Loc::Buf, 0, total);
+        bit <<= 1;
+    }
+    plan.finish(None, Loc::Buf, (0, total), 0, "bcast/binomial")
 }
 
 /// Van de Geijn large-message broadcast: the payload is split into `n`
@@ -258,23 +371,22 @@ fn bcast_binomial<T: Pod>(
 /// reassembled everywhere with a ring allgather. Each rank moves
 /// O(bytes · (n−1)/n) through the scatter plus the same again through the
 /// ring — roughly half the bytes-per-link of the binomial tree at large sizes.
-fn bcast_scatter_allgather(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
+fn build_bcast_scatter_allgather(
     view: &CommView<'_>,
+    seq: u32,
     root: Rank,
-    bytes: &mut [u8],
-) -> Result<()> {
+    total: usize,
+) -> Schedule {
     let n = view.size();
     let me = view.rank;
     let vrank = (me + n - root) % n;
-    let total = bytes.len();
     let base = total / n;
     let rem = total % n;
     // Block i occupies [off(i), off(i+1)): the first `rem` blocks get one
     // extra byte. Blocks may be empty when total < n.
     let off = |i: usize| i * base + i.min(rem);
     let to_local = |v: usize| (v + root) % n;
+    let mut plan = Plan::new(view, seq, 1);
 
     // Scatter phase: recursive range halving over virtual ranks. The leader
     // of [lo, hi) (vrank == lo) holds that range's blocks and hands the upper
@@ -285,25 +397,12 @@ fn bcast_scatter_allgather(
         let mid = lo + (hi - lo) / 2;
         if vrank < mid {
             if vrank == lo {
-                t.send(
-                    clock,
-                    view.world(to_local(mid)),
-                    view.ctx,
-                    coll_tag(1, 1),
-                    &bytes[off(mid)..off(hi)],
-                )?;
+                plan.send(to_local(mid), 1, Loc::Buf, off(mid), off(hi));
             }
             hi = mid;
         } else {
             if vrank == mid {
-                recv_exact(
-                    t,
-                    clock,
-                    view,
-                    to_local(lo),
-                    coll_tag(1, 1),
-                    &mut bytes[off(mid)..off(hi)],
-                )?;
+                plan.recv(to_local(lo), 1, Loc::Buf, off(mid), off(hi));
             }
             lo = mid;
         }
@@ -311,50 +410,64 @@ fn bcast_scatter_allgather(
 
     // Ring allgather over virtual ranks with the (possibly uneven) block
     // sizes. Virtual rank 0 receives before sending to break the cycle.
-    // `t.send` takes a *world* rank: translate local → world like every other
-    // collective (recv_exact translates internally).
-    let right = view.world(to_local((vrank + 1) % n));
-    let left_v = (vrank + n - 1) % n;
+    let right = to_local((vrank + 1) % n);
+    let left = to_local((vrank + n - 1) % n);
     for step in 0..n - 1 {
         let send_origin = (vrank + n - step) % n;
         let recv_origin = (vrank + n - step - 1) % n;
-        let send_range = off(send_origin)..off(send_origin + 1);
-        let recv_range = off(recv_origin)..off(recv_origin + 1);
         if vrank == 0 {
-            recv_exact(
-                t,
-                clock,
-                view,
-                to_local(left_v),
-                coll_tag(1, 2 + step),
-                &mut bytes[recv_range],
-            )?;
-            t.send(
-                clock,
+            plan.recv(
+                left,
+                2 + step,
+                Loc::Buf,
+                off(recv_origin),
+                off(recv_origin + 1),
+            );
+            plan.send(
                 right,
-                view.ctx,
-                coll_tag(1, 2 + step),
-                &bytes[send_range],
-            )?;
+                2 + step,
+                Loc::Buf,
+                off(send_origin),
+                off(send_origin + 1),
+            );
         } else {
-            t.send(
-                clock,
+            plan.send(
                 right,
-                view.ctx,
-                coll_tag(1, 2 + step),
-                &bytes[send_range],
-            )?;
-            recv_exact(
-                t,
-                clock,
-                view,
-                to_local(left_v),
-                coll_tag(1, 2 + step),
-                &mut bytes[recv_range],
-            )?;
+                2 + step,
+                Loc::Buf,
+                off(send_origin),
+                off(send_origin + 1),
+            );
+            plan.recv(
+                left,
+                2 + step,
+                Loc::Buf,
+                off(recv_origin),
+                off(recv_origin + 1),
+            );
         }
     }
-    Ok(())
+    plan.finish(None, Loc::Buf, (0, total), 0, "bcast/scatter-allgather")
+}
+
+/// Broadcast the fixed-size buffer `buf` from `root` into every rank's `buf`
+/// (the typed, zero-copy path: the buffer's bytes travel as-is). All ranks
+/// must pass buffers of identical length. Builds the size-adaptive schedule
+/// and runs it to completion. Returns the label of the algorithm used.
+pub fn bcast_into<T: Pod>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    tuning: &CollTuning,
+    seq: u32,
+    root: Rank,
+    buf: &mut [T],
+) -> Result<&'static str> {
+    view.check_root(root)?;
+    let mut sched = build_bcast(view, tuning, seq, root, std::mem::size_of_val(buf));
+    let mut scratch = vec![0u8; sched.scratch_len];
+    sched.run(t, clock, bytes_of_mut(buf), &mut scratch)?;
+    Ok(sched.label)
 }
 
 // ----------------------------------------------------------------------
@@ -368,6 +481,7 @@ pub fn gather_bytes(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    seq: u32,
     root: Rank,
     send: &[u8],
 ) -> Result<Option<Vec<Vec<u8>>>> {
@@ -385,14 +499,43 @@ pub fn gather_bytes(
             if r == root {
                 continue;
             }
-            let (_, payload) =
-                t.recv_owned(clock, view.ctx, Some(view.world(r)), Some(coll_tag(2, 0)))?;
+            let (_, payload) = t.recv_owned(
+                clock,
+                view.ctx,
+                Some(view.world(r)),
+                Some(coll_tag(2, 0, seq)),
+            )?;
             *slot = payload;
         }
         Ok(Some(out))
     } else {
-        t.send(clock, view.world(root), view.ctx, coll_tag(2, 0), send)?;
+        t.send(clock, view.world(root), view.ctx, coll_tag(2, 0, seq), send)?;
         Ok(None)
+    }
+}
+
+/// Compile the linear gather of equal `block`-byte contributions at `root`.
+/// On the root the primary buffer is the `n × block` receive buffer (own
+/// block pre-placed by the caller); elsewhere it is the `block`-byte send
+/// buffer and the schedule is send-only.
+pub(crate) fn build_gather(view: &CommView<'_>, seq: u32, root: Rank, block: usize) -> Schedule {
+    let n = view.size();
+    let me = view.rank;
+    let mut plan = Plan::new(view, seq, 2);
+    if me == root {
+        // Source-specific receives straight into each member's slot:
+        // per-sender FIFO keeps consecutive gathers on one communicator from
+        // interleaving, and the payload lands in place with no staging.
+        for r in 0..n {
+            if r == root {
+                continue;
+            }
+            plan.recv(r, 0, Loc::Buf, r * block, (r + 1) * block);
+        }
+        plan.finish(None, Loc::Buf, (0, n * block), 0, "gather/linear")
+    } else {
+        plan.send(root, 0, Loc::Buf, 0, block);
+        plan.finish(None, Loc::Buf, (0, 0), 0, "gather/linear")
     }
 }
 
@@ -404,6 +547,7 @@ pub fn gather_into<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    seq: u32,
     root: Rank,
     send: &[T],
     recv: Option<&mut [T]>,
@@ -411,14 +555,10 @@ pub fn gather_into<T: Pod>(
     view.check_root(root)?;
     let n = view.size();
     let me = view.rank;
+    let block = std::mem::size_of_val(send);
+    let mut sched = build_gather(view, seq, root, block);
     if me != root {
-        return t.send(
-            clock,
-            view.world(root),
-            view.ctx,
-            coll_tag(2, 0),
-            bytes_of(send),
-        );
+        return sched.run_send_only(t, clock, bytes_of(send));
     }
     let recv = recv.ok_or_else(|| {
         MpiError::InvalidCollective("gather_into root must provide a receive buffer".into())
@@ -432,25 +572,8 @@ pub fn gather_into<T: Pod>(
             send.len()
         )));
     }
-    let block = send.len();
-    recv[me * block..(me + 1) * block].copy_from_slice(send);
-    // Source-specific receives straight into each member's block: per-sender
-    // FIFO keeps consecutive gathers on one communicator from interleaving,
-    // and the payload lands in place with no intermediate buffer.
-    for r in 0..n {
-        if r == root {
-            continue;
-        }
-        recv_exact(
-            t,
-            clock,
-            view,
-            r,
-            coll_tag(2, 0),
-            bytes_of_mut(&mut recv[r * block..(r + 1) * block]),
-        )?;
-    }
-    Ok(())
+    recv[me * send.len()..(me + 1) * send.len()].copy_from_slice(send);
+    sched.run(t, clock, bytes_of_mut(recv), &mut [])
 }
 
 /// Scatter one buffer per rank from `root` (legacy byte semantics: buffers may
@@ -460,6 +583,7 @@ pub fn scatter_bytes(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    seq: u32,
     root: Rank,
     chunks: Option<&[Vec<u8>]>,
 ) -> Result<Vec<u8>> {
@@ -479,7 +603,7 @@ pub fn scatter_bytes(
         }
         for (r, chunk) in chunks.iter().enumerate() {
             if r != root {
-                t.send(clock, view.world(r), view.ctx, coll_tag(3, 0), chunk)?;
+                t.send(clock, view.world(r), view.ctx, coll_tag(3, 0, seq), chunk)?;
             }
         }
         Ok(chunks[root].clone())
@@ -488,9 +612,36 @@ pub fn scatter_bytes(
             clock,
             view.ctx,
             Some(view.world(root)),
-            Some(coll_tag(3, 0)),
+            Some(coll_tag(3, 0, seq)),
         )?;
         Ok(payload)
+    }
+}
+
+/// Compile the linear scatter of `block`-byte chunks from `root`. On the root
+/// the primary buffer is the `n × block` send buffer (send-only schedule, its
+/// own chunk is the result range); elsewhere it is the `block`-byte receive
+/// buffer.
+pub(crate) fn build_scatter(view: &CommView<'_>, seq: u32, root: Rank, block: usize) -> Schedule {
+    let n = view.size();
+    let me = view.rank;
+    let mut plan = Plan::new(view, seq, 3);
+    if me == root {
+        for r in 0..n {
+            if r != me {
+                plan.send(r, 0, Loc::Buf, r * block, (r + 1) * block);
+            }
+        }
+        plan.finish(
+            None,
+            Loc::Buf,
+            (me * block, (me + 1) * block),
+            0,
+            "scatter/linear",
+        )
+    } else {
+        plan.recv(root, 0, Loc::Buf, 0, block);
+        plan.finish(None, Loc::Buf, (0, block), 0, "scatter/linear")
     }
 }
 
@@ -502,6 +653,7 @@ pub fn scatter_from<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    seq: u32,
     root: Rank,
     send: Option<&[T]>,
     recv: &mut [T],
@@ -509,37 +661,26 @@ pub fn scatter_from<T: Pod>(
     view.check_root(root)?;
     let n = view.size();
     let me = view.rank;
-    let block = recv.len();
+    let block = std::mem::size_of_val(recv);
+    let mut sched = build_scatter(view, seq, root, block);
     if me == root {
         let send = send.ok_or_else(|| {
             MpiError::InvalidCollective("scatter_from root must provide a send buffer".into())
         })?;
-        if send.len() != n * block {
+        if send.len() != n * recv.len() {
             return Err(MpiError::InvalidCollective(format!(
                 "scatter_from send buffer has {} elements, expected {} ({} ranks × {})",
                 send.len(),
-                n * block,
+                n * recv.len(),
                 n,
-                block
+                recv.len()
             )));
         }
-        for r in 0..n {
-            let chunk = &send[r * block..(r + 1) * block];
-            if r == me {
-                recv.copy_from_slice(chunk);
-            } else {
-                t.send(
-                    clock,
-                    view.world(r),
-                    view.ctx,
-                    coll_tag(3, 0),
-                    bytes_of(chunk),
-                )?;
-            }
-        }
+        sched.run_send_only(t, clock, bytes_of(send))?;
+        recv.copy_from_slice(&send[me * recv.len()..(me + 1) * recv.len()]);
         Ok(())
     } else {
-        recv_exact(t, clock, view, root, coll_tag(3, 0), bytes_of_mut(recv))
+        sched.run(t, clock, bytes_of_mut(recv), &mut [])
     }
 }
 
@@ -554,6 +695,7 @@ pub fn allgather_bytes(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    seq: u32,
     mine: &[u8],
 ) -> Result<Vec<Vec<u8>>> {
     let n = view.size();
@@ -572,31 +714,130 @@ pub fn allgather_bytes(
         let send_origin = (me + n - step) % n;
         let recv_origin = (me + n - step - 1) % n;
         let block = out[send_origin].clone();
+        let tag = coll_tag(4, step, seq);
         if me == 0 {
-            let (_, payload) =
-                t.recv_owned(clock, view.ctx, Some(left), Some(coll_tag(4, step)))?;
+            let (_, payload) = t.recv_owned(clock, view.ctx, Some(left), Some(tag))?;
             out[recv_origin] = payload;
-            t.send(clock, right, view.ctx, coll_tag(4, step), &block)?;
+            t.send(clock, right, view.ctx, tag, &block)?;
         } else {
-            t.send(clock, right, view.ctx, coll_tag(4, step), &block)?;
-            let (_, payload) =
-                t.recv_owned(clock, view.ctx, Some(left), Some(coll_tag(4, step)))?;
+            t.send(clock, right, view.ctx, tag, &block)?;
+            let (_, payload) = t.recv_owned(clock, view.ctx, Some(left), Some(tag))?;
             out[recv_origin] = payload;
         }
     }
     Ok(out)
 }
 
+/// Compile the size-adaptive allgather of `block`-byte contributions into a
+/// schedule over the `n × block` primary buffer (own block pre-placed at this
+/// rank's slot by the caller): Bruck below the threshold, ring above.
+pub(crate) fn build_allgather(
+    view: &CommView<'_>,
+    tuning: &CollTuning,
+    seq: u32,
+    block: usize,
+) -> Schedule {
+    let n = view.size();
+    if n == 1 {
+        let plan = Plan::new(view, seq, 4);
+        return plan.finish(None, Loc::Buf, (0, block), 0, "allgather/local");
+    }
+    if n > 2 && block <= tuning.allgather_bruck_max_bytes {
+        build_allgather_bruck(view, seq, block)
+    } else {
+        build_allgather_ring(view, seq, block)
+    }
+}
+
+/// Ring allgather: n−1 neighbour exchanges, each of one block. Blocks travel
+/// directly between the primary-buffer slots with no intermediate copies.
+fn build_allgather_ring(view: &CommView<'_>, seq: u32, block: usize) -> Schedule {
+    let n = view.size();
+    let me = view.rank;
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    let mut plan = Plan::new(view, seq, 4);
+    for step in 0..n - 1 {
+        let send_origin = (me + n - step) % n;
+        let recv_origin = (me + n - step - 1) % n;
+        let send = (send_origin * block, (send_origin + 1) * block);
+        let recv = (recv_origin * block, (recv_origin + 1) * block);
+        // Rank 0 receives before sending so the ring can never deadlock even
+        // when a block exceeds a queue's total capacity.
+        if me == 0 {
+            plan.recv(left, step, Loc::Buf, recv.0, recv.1);
+            plan.send(right, step, Loc::Buf, send.0, send.1);
+        } else {
+            plan.send(right, step, Loc::Buf, send.0, send.1);
+            plan.recv(left, step, Loc::Buf, recv.0, recv.1);
+        }
+    }
+    plan.finish(None, Loc::Buf, (0, n * block), 0, "allgather/ring")
+}
+
+/// Bruck allgather: ⌈log₂ n⌉ rounds of doubling block batches, then one local
+/// rotation — latency-optimal for small blocks and shape-agnostic (any n).
+///
+/// Round `k` sends the first `min(2ᵏ, n − 2ᵏ)` accumulated blocks to rank
+/// `me − 2ᵏ` and appends the batch received from `me + 2ᵏ`; after the last
+/// round, scratch block `j` holds rank `(me + j) mod n`'s contribution and
+/// the final copies unrotate it into the primary buffer.
+fn build_allgather_bruck(view: &CommView<'_>, seq: u32, block: usize) -> Schedule {
+    let n = view.size();
+    let me = view.rank;
+    let mut plan = Plan::new(view, seq, 4);
+    // Scratch holds the rotated accumulation; seed it with this rank's block.
+    plan.copy(Loc::Scratch, 0, Loc::Buf, me * block, block);
+    let mut have = 1usize;
+    let mut step = 0usize;
+    while have < n {
+        let count = have.min(n - have);
+        let dst = (me + n - have) % n;
+        let src = (me + have) % n;
+        let tag_step = 64 + step;
+        // Deadlock-safe ordering: the lower local rank of the (dst, src) pair
+        // this rank participates in sends first.
+        if me < dst {
+            plan.send(dst, tag_step, Loc::Scratch, 0, count * block);
+            plan.recv(
+                src,
+                tag_step,
+                Loc::Scratch,
+                have * block,
+                (have + count) * block,
+            );
+        } else {
+            plan.recv(
+                src,
+                tag_step,
+                Loc::Scratch,
+                have * block,
+                (have + count) * block,
+            );
+            plan.send(dst, tag_step, Loc::Scratch, 0, count * block);
+        }
+        have += count;
+        step += 1;
+    }
+    // Unrotate: scratch block j belongs to rank (me + j) mod n.
+    for j in 0..n {
+        let owner = (me + j) % n;
+        plan.copy(Loc::Buf, owner * block, Loc::Scratch, j * block, block);
+    }
+    plan.finish(None, Loc::Buf, (0, n * block), n * block, "allgather/bruck")
+}
+
 /// Allgather of equal-sized typed contributions into a flat buffer:
 /// `recv[r * send.len() .. (r + 1) * send.len()]` ends up holding local rank
-/// `r`'s `send` on every rank. Size-adaptive: the Bruck algorithm (⌈log₂ n⌉
-/// rounds) for small blocks, the bandwidth-optimal ring for large ones.
-/// Returns the label of the algorithm used.
+/// `r`'s `send` on every rank. Builds the size-adaptive schedule (Bruck for
+/// small blocks, ring for large) and runs it to completion. Returns the label
+/// of the algorithm used.
 pub fn allgather_into<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
     tuning: &CollTuning,
+    seq: u32,
     send: &[T],
     recv: &mut [T],
 ) -> Result<&'static str> {
@@ -613,149 +854,10 @@ pub fn allgather_into<T: Pod>(
         )));
     }
     recv[me * block..(me + 1) * block].copy_from_slice(send);
-    if n == 1 {
-        return Ok("allgather/local");
-    }
-    if n > 2 && std::mem::size_of_val(send) <= tuning.allgather_bruck_max_bytes {
-        allgather_bruck(t, clock, view, send, recv)?;
-        return Ok("allgather/bruck");
-    }
-    allgather_ring(t, clock, view, recv, block)?;
-    Ok("allgather/ring")
-}
-
-/// Ring allgather: n−1 neighbour exchanges, each of one block. Blocks travel
-/// directly between the `recv` buffers with no intermediate copies.
-fn allgather_ring<T: Pod>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    recv: &mut [T],
-    block: usize,
-) -> Result<()> {
-    let n = view.size();
-    let me = view.rank;
-    let right_local = (me + 1) % n;
-    let left_local = (me + n - 1) % n;
-    let right = view.world(right_local);
-    for step in 0..n - 1 {
-        let send_origin = (me + n - step) % n;
-        let recv_origin = (me + n - step - 1) % n;
-        let send_range = send_origin * block..(send_origin + 1) * block;
-        let recv_range = recv_origin * block..(recv_origin + 1) * block;
-        // Rank 0 receives before sending so the ring can never deadlock even
-        // when a block exceeds a queue's total capacity.
-        if me == 0 {
-            recv_exact(
-                t,
-                clock,
-                view,
-                left_local,
-                coll_tag(4, step),
-                bytes_of_mut(&mut recv[recv_range]),
-            )?;
-            t.send(
-                clock,
-                right,
-                view.ctx,
-                coll_tag(4, step),
-                bytes_of(&recv[send_range]),
-            )?;
-        } else {
-            t.send(
-                clock,
-                right,
-                view.ctx,
-                coll_tag(4, step),
-                bytes_of(&recv[send_range]),
-            )?;
-            recv_exact(
-                t,
-                clock,
-                view,
-                left_local,
-                coll_tag(4, step),
-                bytes_of_mut(&mut recv[recv_range]),
-            )?;
-        }
-    }
-    Ok(())
-}
-
-/// Bruck allgather: ⌈log₂ n⌉ rounds of doubling block batches, then one local
-/// rotation — latency-optimal for small blocks and shape-agnostic (any n).
-///
-/// Round `k` sends the first `min(2ᵏ, n − 2ᵏ)` accumulated blocks to rank
-/// `me − 2ᵏ` and appends the batch received from `me + 2ᵏ`; after the last
-/// round, temp block `j` holds rank `(me + j) mod n`'s contribution.
-fn allgather_bruck<T: Pod>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    send: &[T],
-    recv: &mut [T],
-) -> Result<()> {
-    let n = view.size();
-    let me = view.rank;
-    let block = send.len();
-    // `recv` already holds n × block initialized elements (the caller placed
-    // `send` at its own slot) — clone it as scratch; every element is
-    // overwritten before the final unrotate reads it.
-    let mut temp: Vec<T> = recv.to_vec();
-    temp[..block].copy_from_slice(send);
-    let mut have = 1usize;
-    let mut step = 0usize;
-    while have < n {
-        let count = have.min(n - have);
-        let dst = (me + n - have) % n;
-        let src = (me + have) % n;
-        let tag = coll_tag(4, 64 + step);
-        // Deadlock-safe ordering: the lower local rank of the (dst, src) pair
-        // this rank participates in sends first.
-        let send_bytes_end = count * block;
-        let recv_range = have * block..(have + count) * block;
-        if me < dst {
-            t.send(
-                clock,
-                view.world(dst),
-                view.ctx,
-                tag,
-                bytes_of(&temp[..send_bytes_end]),
-            )?;
-            recv_exact(
-                t,
-                clock,
-                view,
-                src,
-                tag,
-                bytes_of_mut(&mut temp[recv_range]),
-            )?;
-        } else {
-            recv_exact(
-                t,
-                clock,
-                view,
-                src,
-                tag,
-                bytes_of_mut(&mut temp[recv_range]),
-            )?;
-            t.send(
-                clock,
-                view.world(dst),
-                view.ctx,
-                tag,
-                bytes_of(&temp[..send_bytes_end]),
-            )?;
-        }
-        have += count;
-        step += 1;
-    }
-    // Unrotate: temp block j belongs to rank (me + j) mod n.
-    for j in 0..n {
-        let owner = (me + j) % n;
-        recv[owner * block..(owner + 1) * block].copy_from_slice(&temp[j * block..(j + 1) * block]);
-    }
-    Ok(())
+    let mut sched = build_allgather(view, tuning, seq, std::mem::size_of_val(send));
+    let mut scratch = vec![0u8; sched.scratch_len];
+    sched.run(t, clock, bytes_of_mut(recv), &mut scratch)?;
+    Ok(sched.label)
 }
 
 // ----------------------------------------------------------------------
@@ -768,6 +870,7 @@ pub fn reduce<T: Reducible>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    seq: u32,
     root: Rank,
     values: &[T],
     op: ReduceOp,
@@ -786,7 +889,7 @@ pub fn reduce<T: Reducible>(
                 clock,
                 view.world(partner),
                 view.ctx,
-                coll_tag(5, bit),
+                coll_tag(5, bit, seq),
                 bytes_of(&acc),
             )?;
             break;
@@ -796,7 +899,7 @@ pub fn reduce<T: Reducible>(
                 clock,
                 view.ctx,
                 Some(view.world(partner)),
-                Some(coll_tag(5, bit)),
+                Some(coll_tag(5, bit, seq)),
             )?;
             let other: Vec<T> = vec_from_bytes(&payload);
             if other.len() != acc.len() {
@@ -811,97 +914,6 @@ pub fn reduce<T: Reducible>(
         bit <<= 1;
     }
     Ok(if me == root { Some(acc) } else { None })
-}
-
-/// Allreduce of typed values, updated in place on every rank. Size-adaptive:
-/// recursive doubling below the Rabenseifner threshold, Rabenseifner
-/// (recursive-halving reduce-scatter + recursive-doubling allgather) above.
-/// Non-power-of-two rank counts fold the excess ranks into the largest
-/// power-of-two core first (and receive the result afterwards), so they cost
-/// one extra exchange instead of falling back to reduce + broadcast.
-/// Returns the label of the algorithm used.
-pub fn allreduce<T: Reducible>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    tuning: &CollTuning,
-    values: &mut [T],
-    op: ReduceOp,
-) -> Result<&'static str> {
-    let n = view.size();
-    let me = view.rank;
-    if n == 1 {
-        return Ok("allreduce/local");
-    }
-    let pow2 = prev_power_of_two(n);
-    let excess = n - pow2;
-    let bytes = std::mem::size_of_val(values);
-    // Rabenseifner only pays off when every core rank still owns a
-    // non-trivial region after log₂(pow2) halvings.
-    let large = bytes >= tuning.allreduce_rabenseifner_min_bytes && values.len() >= pow2;
-
-    // Fold pre-phase (non-power-of-two): among the first 2·excess ranks, each
-    // even rank sends its vector to the odd rank above it and drops out of
-    // the core; the odd rank folds both contributions.
-    let newrank: Option<usize> = if me < 2 * excess {
-        if me.is_multiple_of(2) {
-            t.send(
-                clock,
-                view.world(me + 1),
-                view.ctx,
-                coll_tag(6, 1),
-                bytes_of(values),
-            )?;
-            None
-        } else {
-            let mut other = values.to_vec();
-            recv_exact(
-                t,
-                clock,
-                view,
-                me - 1,
-                coll_tag(6, 1),
-                bytes_of_mut(&mut other),
-            )?;
-            op.fold(values, &other);
-            Some(me / 2)
-        }
-    } else {
-        Some(me - excess)
-    };
-    if let Some(nr) = newrank {
-        let core = CoreMap {
-            newrank: nr,
-            pow2,
-            excess,
-        };
-        if large {
-            allreduce_rabenseifner_core(t, clock, view, core, values, op)?;
-        } else {
-            allreduce_doubling_core(t, clock, view, core, values, op)?;
-        }
-    }
-
-    // Fold post-phase: eliminated ranks receive the finished vector.
-    if me < 2 * excess {
-        if me.is_multiple_of(2) {
-            recv_exact(t, clock, view, me + 1, coll_tag(6, 2), bytes_of_mut(values))?;
-        } else {
-            t.send(
-                clock,
-                view.world(me - 1),
-                view.ctx,
-                coll_tag(6, 2),
-                bytes_of(values),
-            )?;
-        }
-    }
-    Ok(match (large, excess > 0) {
-        (false, false) => "allreduce/recursive-doubling",
-        (false, true) => "allreduce/recursive-doubling+fold",
-        (true, false) => "allreduce/rabenseifner",
-        (true, true) => "allreduce/rabenseifner+fold",
-    })
 }
 
 /// This rank's place in the power-of-two core left by fold elimination, plus
@@ -927,36 +939,123 @@ impl CoreMap {
     }
 }
 
-/// Recursive-doubling allreduce over the power-of-two core: log₂(pow2)
-/// full-vector exchanges.
-fn allreduce_doubling_core<T: Reducible>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
+/// Compile the size-adaptive allreduce of `count` elements of `T` into a
+/// schedule: recursive doubling below the Rabenseifner threshold,
+/// Rabenseifner (recursive-halving reduce-scatter + recursive-doubling
+/// allgather) above, with power-of-two fold elimination for non-power-of-two
+/// rank counts. The primary buffer is the in-place value vector.
+pub(crate) fn build_allreduce<T: Reducible>(
     view: &CommView<'_>,
-    core: CoreMap,
-    values: &mut [T],
+    tuning: &CollTuning,
+    seq: u32,
+    count: usize,
     op: ReduceOp,
-) -> Result<()> {
+) -> Schedule {
+    let n = view.size();
+    let elem = std::mem::size_of::<T>();
+    let total = count * elem;
+    let fold = Some((op, fold_bytes::<T> as FoldFn));
+    if n == 1 {
+        let plan = Plan::new(view, seq, 6);
+        return plan.finish(fold, Loc::Buf, (0, total), 0, "allreduce/local");
+    }
+    let mut plan = Plan::new(view, seq, 6);
+    let label = push_allreduce_ops::<T>(&mut plan, tuning, count);
+    plan.finish(fold, Loc::Buf, (0, total), total, label)
+}
+
+/// Emit the allreduce op sequence into `plan` (shared by [`build_allreduce`]
+/// and the naive reduce-scatter, which is allreduce + block selection and
+/// therefore reuses the same wire traffic). Returns the algorithm label.
+///
+/// Tags use kind 6 regardless of the caller's plan kind, mirroring the
+/// straight-line implementation where naive reduce-scatter delegated to
+/// `allreduce` and inherited its tags.
+fn push_allreduce_ops<T: Reducible>(
+    plan: &mut Plan<'_, '_>,
+    tuning: &CollTuning,
+    count: usize,
+) -> &'static str {
+    let view = plan.view;
+    let n = view.size();
+    let me = view.rank;
+    let elem = std::mem::size_of::<T>();
+    let total = count * elem;
+    let kind_before = plan.kind;
+    plan.kind = 6;
+    let pow2 = prev_power_of_two(n);
+    let excess = n - pow2;
+    // Rabenseifner only pays off when every core rank still owns a
+    // non-trivial region after log₂(pow2) halvings.
+    let large = total >= tuning.allreduce_rabenseifner_min_bytes && count >= pow2;
+
+    // Fold pre-phase (non-power-of-two): among the first 2·excess ranks, each
+    // even rank sends its vector to the odd rank above it and drops out of
+    // the core; the odd rank folds both contributions.
+    let newrank: Option<usize> = if me < 2 * excess {
+        if me.is_multiple_of(2) {
+            plan.send(me + 1, 1, Loc::Buf, 0, total);
+            None
+        } else {
+            plan.recv(me - 1, 1, Loc::Scratch, 0, total);
+            plan.fold(Loc::Buf, 0, Loc::Scratch, 0, total);
+            Some(me / 2)
+        }
+    } else {
+        Some(me - excess)
+    };
+    if let Some(newrank) = newrank {
+        let core = CoreMap {
+            newrank,
+            pow2,
+            excess,
+        };
+        if large {
+            push_rabenseifner_core(plan, core, count, elem);
+        } else {
+            push_doubling_core(plan, core, total);
+        }
+    }
+
+    // Fold post-phase: eliminated ranks receive the finished vector.
+    if me < 2 * excess {
+        if me.is_multiple_of(2) {
+            plan.recv(me + 1, 2, Loc::Buf, 0, total);
+        } else {
+            plan.send(me - 1, 2, Loc::Buf, 0, total);
+        }
+    }
+    plan.kind = kind_before;
+    match (large, excess > 0) {
+        (false, false) => "allreduce/recursive-doubling",
+        (false, true) => "allreduce/recursive-doubling+fold",
+        (true, false) => "allreduce/rabenseifner",
+        (true, true) => "allreduce/rabenseifner+fold",
+    }
+}
+
+/// Recursive-doubling allreduce over the power-of-two core: log₂(pow2)
+/// full-vector exchanges, each folded into the primary buffer.
+fn push_doubling_core(plan: &mut Plan<'_, '_>, core: CoreMap, total: usize) {
     let CoreMap { newrank, pow2, .. } = core;
-    let mut other = values.to_vec();
     let mut bit = 1usize;
     let mut step = 0usize;
     while bit < pow2 {
-        let partner_local = core.local(newrank ^ bit);
-        exchange(
-            t,
-            clock,
-            view,
-            partner_local,
-            coll_tag(6, 8 + step),
-            bytes_of(values),
-            bytes_of_mut(&mut other),
-        )?;
-        op.fold(values, &other);
+        let partner = core.local(newrank ^ bit);
+        plan.exchange(
+            partner,
+            8 + step,
+            Loc::Buf,
+            0,
+            total,
+            Loc::Scratch,
+            0,
+            total,
+        );
+        plan.fold(Loc::Buf, 0, Loc::Scratch, 0, total);
         bit <<= 1;
         step += 1;
     }
-    Ok(())
 }
 
 /// Rabenseifner allreduce over the power-of-two core: recursive-halving
@@ -964,19 +1063,10 @@ fn allreduce_doubling_core<T: Reducible>(
 /// a recursive-doubling allgather that replays the halvings in reverse. Total
 /// traffic per rank ≈ 2·bytes·(pow2−1)/pow2 — independent of log n, which is
 /// what makes it win for large vectors.
-fn allreduce_rabenseifner_core<T: Reducible>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    core: CoreMap,
-    values: &mut [T],
-    op: ReduceOp,
-) -> Result<()> {
+fn push_rabenseifner_core(plan: &mut Plan<'_, '_>, core: CoreMap, count: usize, elem: usize) {
     let CoreMap { newrank, pow2, .. } = core;
-    let len = values.len();
-    let mut scratch = values.to_vec();
     let mut lo = 0usize;
-    let mut hi = len;
+    let mut hi = count;
     // (region before this level's halving) per level, replayed in reverse by
     // the allgather phase.
     let mut spans: Vec<(usize, usize)> = Vec::new();
@@ -985,7 +1075,7 @@ fn allreduce_rabenseifner_core<T: Reducible>(
     let mut bit = pow2 >> 1;
     let mut level = 0usize;
     while bit >= 1 {
-        let partner_local = core.local(newrank ^ bit);
+        let partner = core.local(newrank ^ bit);
         let mid = lo + (hi - lo) / 2;
         let (my_lo, my_hi, their_lo, their_hi) = if newrank & bit == 0 {
             (lo, mid, mid, hi)
@@ -993,16 +1083,17 @@ fn allreduce_rabenseifner_core<T: Reducible>(
             (mid, hi, lo, mid)
         };
         let recv_len = my_hi - my_lo;
-        exchange(
-            t,
-            clock,
-            view,
-            partner_local,
-            coll_tag(6, 16 + level),
-            bytes_of(&values[their_lo..their_hi]),
-            bytes_of_mut(&mut scratch[..recv_len]),
-        )?;
-        op.fold(&mut values[my_lo..my_hi], &scratch[..recv_len]);
+        plan.exchange(
+            partner,
+            16 + level,
+            Loc::Buf,
+            their_lo * elem,
+            their_hi * elem,
+            Loc::Scratch,
+            0,
+            recv_len * elem,
+        );
+        plan.fold(Loc::Buf, my_lo * elem, Loc::Scratch, 0, recv_len * elem);
         spans.push((lo, hi));
         lo = my_lo;
         hi = my_hi;
@@ -1014,96 +1105,109 @@ fn allreduce_rabenseifner_core<T: Reducible>(
     }
 
     // Phase 2: allgather by recursive doubling, replaying the levels in
-    // reverse: each exchange doubles the owned region back to the full vector.
+    // reverse: each exchange doubles the owned region back to the full
+    // vector. My region and the partner's are disjoint halves of the level's
+    // span, so both travel directly through the primary buffer.
     let mut bit = 1usize;
     for (level_idx, &(span_lo, span_hi)) in spans.iter().enumerate().rev() {
-        let partner_local = core.local(newrank ^ bit);
-        // Send my owned region, receive the partner's — disjoint halves of
-        // the level's span (split at my region's boundary), so both travel
-        // directly through `values` with no staging copy.
-        let boundary = if lo == span_lo { hi } else { lo };
-        let (left, right) = values[span_lo..span_hi].split_at_mut(boundary - span_lo);
+        let partner = core.local(newrank ^ bit);
         let (mine, theirs) = if lo == span_lo {
-            (left, right)
+            ((lo, hi), (hi, span_hi))
         } else {
-            (right, left)
+            ((lo, hi), (span_lo, lo))
         };
-        exchange(
-            t,
-            clock,
-            view,
-            partner_local,
-            coll_tag(6, 32 + level_idx),
-            bytes_of(mine),
-            bytes_of_mut(theirs),
-        )?;
+        plan.exchange(
+            partner,
+            32 + level_idx,
+            Loc::Buf,
+            mine.0 * elem,
+            mine.1 * elem,
+            Loc::Buf,
+            theirs.0 * elem,
+            theirs.1 * elem,
+        );
         lo = span_lo;
         hi = span_hi;
         bit <<= 1;
     }
-    Ok(())
 }
 
-/// Reduce-scatter of typed values: every rank receives the element-wise
-/// reduction of one equal block of the input. `values.len()` must be divisible
-/// by the rank count. Size-adaptive: the naive allreduce + block selection for
-/// small payloads, recursive halving (power-of-two rank counts) or pairwise
-/// exchange (any rank count) above the threshold. Returns this rank's block
-/// and the label of the algorithm used.
-pub fn reduce_scatter<T: Reducible>(
+/// Allreduce of typed values, updated in place on every rank. Builds the
+/// size-adaptive schedule (recursive doubling / Rabenseifner, with
+/// power-of-two fold elimination for other rank counts) and runs it to
+/// completion. Returns the label of the algorithm used.
+pub fn allreduce<T: Reducible>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
     tuning: &CollTuning,
-    values: &[T],
+    seq: u32,
+    values: &mut [T],
     op: ReduceOp,
-) -> Result<(Vec<T>, &'static str)> {
+) -> Result<&'static str> {
+    let mut sched = build_allreduce::<T>(view, tuning, seq, values.len(), op);
+    let mut scratch = vec![0u8; sched.scratch_len];
+    sched.run(t, clock, bytes_of_mut(values), &mut scratch)?;
+    Ok(sched.label)
+}
+
+/// Compile the size-adaptive reduce-scatter of `count` elements of `T`: the
+/// naive allreduce + block selection for small payloads, recursive halving
+/// (power-of-two rank counts) or pairwise exchange (any rank count) above the
+/// threshold. The primary buffer is this rank's full input vector; the result
+/// range selects this rank's reduced block.
+pub(crate) fn build_reduce_scatter<T: Reducible>(
+    view: &CommView<'_>,
+    tuning: &CollTuning,
+    seq: u32,
+    count: usize,
+    op: ReduceOp,
+) -> Schedule {
     let n = view.size();
     let me = view.rank;
-    if !values.len().is_multiple_of(n) {
-        return Err(MpiError::InvalidCollective(format!(
-            "reduce_scatter input of {} elements not divisible by {} ranks",
-            values.len(),
-            n
-        )));
-    }
-    let block = values.len() / n;
+    let elem = std::mem::size_of::<T>();
+    let total = count * elem;
+    let block = count / n;
+    let block_b = block * elem;
+    let fold = Some((op, fold_bytes::<T> as FoldFn));
     if n == 1 {
-        return Ok((values.to_vec(), "reduce-scatter/local"));
+        let plan = Plan::new(view, seq, 7);
+        return plan.finish(fold, Loc::Buf, (0, total), 0, "reduce-scatter/local");
     }
-    let bytes = std::mem::size_of_val(values);
-    if bytes >= tuning.reduce_scatter_direct_min_bytes && block > 0 {
+    if total >= tuning.reduce_scatter_direct_min_bytes && block > 0 {
         if n.is_power_of_two() {
-            let out = reduce_scatter_halving(t, clock, view, values, op)?;
-            return Ok((out, "reduce-scatter/recursive-halving"));
+            return build_reduce_scatter_halving::<T>(view, seq, count, op);
         }
-        let out = reduce_scatter_pairwise(t, clock, view, values, op)?;
-        return Ok((out, "reduce-scatter/pairwise"));
+        return build_reduce_scatter_pairwise::<T>(view, seq, count, op);
     }
-    let mut all = values.to_vec();
-    allreduce(t, clock, view, tuning, &mut all, op)?;
-    Ok((
-        all[me * block..(me + 1) * block].to_vec(),
+    // Naive: the allreduce wire traffic, then select this rank's block.
+    let mut plan = Plan::new(view, seq, 7);
+    push_allreduce_ops::<T>(&mut plan, tuning, count);
+    plan.finish(
+        fold,
+        Loc::Buf,
+        (me * block_b, (me + 1) * block_b),
+        total,
         "reduce-scatter/naive",
-    ))
+    )
 }
 
 /// Recursive-halving reduce-scatter (power-of-two rank counts): log₂ n
 /// exchanges, each of half the remaining region; the surviving region after
-/// the last halving is exactly this rank's block.
-fn reduce_scatter_halving<T: Reducible>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
+/// the last halving is exactly this rank's block (the schedule's result
+/// range).
+fn build_reduce_scatter_halving<T: Reducible>(
     view: &CommView<'_>,
-    values: &[T],
+    seq: u32,
+    count: usize,
     op: ReduceOp,
-) -> Result<Vec<T>> {
+) -> Schedule {
     let n = view.size();
     let me = view.rank;
-    let mut work = values.to_vec();
-    let mut scratch = vec![values[0]; values.len() / 2];
+    let elem = std::mem::size_of::<T>();
+    let mut plan = Plan::new(view, seq, 7);
     let mut lo = 0usize;
-    let mut hi = values.len();
+    let mut hi = count;
     let mut bit = n >> 1;
     let mut level = 0usize;
     while bit >= 1 {
@@ -1115,16 +1219,17 @@ fn reduce_scatter_halving<T: Reducible>(
             (mid, hi, lo, mid)
         };
         let recv_len = my_hi - my_lo;
-        exchange(
-            t,
-            clock,
-            view,
+        plan.exchange(
             partner,
-            coll_tag(7, 64 + level),
-            bytes_of(&work[their_lo..their_hi]),
-            bytes_of_mut(&mut scratch[..recv_len]),
-        )?;
-        op.fold(&mut work[my_lo..my_hi], &scratch[..recv_len]);
+            64 + level,
+            Loc::Buf,
+            their_lo * elem,
+            their_hi * elem,
+            Loc::Scratch,
+            0,
+            recv_len * elem,
+        );
+        plan.fold(Loc::Buf, my_lo * elem, Loc::Scratch, 0, recv_len * elem);
         lo = my_lo;
         hi = my_hi;
         if bit == 1 {
@@ -1133,45 +1238,82 @@ fn reduce_scatter_halving<T: Reducible>(
         bit >>= 1;
         level += 1;
     }
-    debug_assert_eq!(
-        (lo, hi),
-        (me * (values.len() / n), (me + 1) * (values.len() / n))
-    );
-    Ok(work[lo..hi].to_vec())
+    debug_assert_eq!((lo, hi), (me * (count / n), (me + 1) * (count / n)));
+    plan.finish(
+        Some((op, fold_bytes::<T> as FoldFn)),
+        Loc::Buf,
+        (lo * elem, hi * elem),
+        (count / 2) * elem,
+        "reduce-scatter/recursive-halving",
+    )
 }
 
 /// Pairwise-exchange reduce-scatter (any rank count): n−1 steps; at step `s`
 /// this rank ships the block belonging to `me + s` and folds the block
-/// arriving from `me − s` into its own. Bandwidth-optimal for large payloads
-/// and immune to the power-of-two cliff.
-fn reduce_scatter_pairwise<T: Reducible>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
+/// arriving from `me − s` into its accumulator. Bandwidth-optimal for large
+/// payloads and immune to the power-of-two cliff. Scratch layout: incoming
+/// block at `[0, block)`, accumulator at `[block, 2·block)`.
+fn build_reduce_scatter_pairwise<T: Reducible>(
     view: &CommView<'_>,
-    values: &[T],
+    seq: u32,
+    count: usize,
     op: ReduceOp,
-) -> Result<Vec<T>> {
+) -> Schedule {
     let n = view.size();
     let me = view.rank;
-    let block = values.len() / n;
-    let mut acc = values[me * block..(me + 1) * block].to_vec();
-    let mut incoming = acc.clone();
+    let elem = std::mem::size_of::<T>();
+    let block_b = (count / n) * elem;
+    let mut plan = Plan::new(view, seq, 7);
+    plan.copy(Loc::Scratch, block_b, Loc::Buf, me * block_b, block_b);
     for s in 1..n {
         let dst = (me + s) % n;
         let src = (me + n - s) % n;
-        let tag = coll_tag(7, s);
-        let outgoing = bytes_of(&values[dst * block..(dst + 1) * block]);
         // Deadlock-safe ordering: the lower rank of each (sender, receiver)
         // edge sends first; every communication cycle contains a wrap-around
         // edge whose sender receives first, so no cyclic wait can form.
         if me < dst {
-            t.send(clock, view.world(dst), view.ctx, tag, outgoing)?;
-            recv_exact(t, clock, view, src, tag, bytes_of_mut(&mut incoming))?;
+            plan.send(dst, s, Loc::Buf, dst * block_b, (dst + 1) * block_b);
+            plan.recv(src, s, Loc::Scratch, 0, block_b);
         } else {
-            recv_exact(t, clock, view, src, tag, bytes_of_mut(&mut incoming))?;
-            t.send(clock, view.world(dst), view.ctx, tag, outgoing)?;
+            plan.recv(src, s, Loc::Scratch, 0, block_b);
+            plan.send(dst, s, Loc::Buf, dst * block_b, (dst + 1) * block_b);
         }
-        op.fold(&mut acc, &incoming);
+        plan.fold(Loc::Scratch, block_b, Loc::Scratch, 0, block_b);
     }
-    Ok(acc)
+    plan.finish(
+        Some((op, fold_bytes::<T> as FoldFn)),
+        Loc::Scratch,
+        (block_b, 2 * block_b),
+        2 * block_b,
+        "reduce-scatter/pairwise",
+    )
+}
+
+/// Reduce-scatter of typed values: every rank receives the element-wise
+/// reduction of one equal block of the input. `values.len()` must be divisible
+/// by the rank count. Builds the size-adaptive schedule and runs it to
+/// completion. Returns this rank's block and the label of the algorithm used.
+pub fn reduce_scatter<T: Reducible>(
+    t: &mut dyn Transport,
+    clock: &mut SimClock,
+    view: &CommView<'_>,
+    tuning: &CollTuning,
+    seq: u32,
+    values: &[T],
+    op: ReduceOp,
+) -> Result<(Vec<T>, &'static str)> {
+    let n = view.size();
+    if !values.len().is_multiple_of(n) {
+        return Err(MpiError::InvalidCollective(format!(
+            "reduce_scatter input of {} elements not divisible by {} ranks",
+            values.len(),
+            n
+        )));
+    }
+    let mut sched = build_reduce_scatter::<T>(view, tuning, seq, values.len(), op);
+    let mut buf = bytes_of(values).to_vec();
+    let mut scratch = vec![0u8; sched.scratch_len];
+    sched.run(t, clock, &mut buf, &mut scratch)?;
+    let out = vec_from_bytes(sched.result_slice(&buf, &scratch));
+    Ok((out, sched.label))
 }

@@ -32,10 +32,11 @@ use cmpi_fabric::SimClock;
 
 use crate::barrier;
 use crate::coll::{self, CommView};
-use crate::config::CollTuning;
+use crate::config::{CollTuning, ProgressTuning};
 use crate::error::MpiError;
 use crate::group::Group;
-use crate::pod::Pod;
+use crate::pod::{bytes_of, Pod};
+use crate::progress::{CollState, ProgressStats};
 use crate::request::{Request, RequestState};
 use crate::topology::HostTopology;
 use crate::transport::{Transport, TransportStats, WinId};
@@ -91,10 +92,21 @@ pub(crate) struct RankCore {
     pub(crate) topology: HostTopology,
     /// Collective algorithm switchover thresholds (from the universe config).
     pub(crate) tuning: CollTuning,
+    /// Progress-engine tuning (from the universe config).
+    pub(crate) progress_cfg: ProgressTuning,
     /// Next context id this rank would propose for a new communicator.
     next_ctx: CtxId,
     /// Per-communicator collective counters, keyed by context id.
     coll_stats: BTreeMap<CtxId, CommCollStats>,
+    /// Per-communicator collective sequence numbers: every collective started
+    /// on a context (blocking or nonblocking) draws the next number, which is
+    /// salted into the collective's internal tags. Ranks start collectives on
+    /// a communicator in the same order (the MPI requirement), so the
+    /// counters agree across the group and concurrent collectives can never
+    /// cross-match.
+    coll_seq: BTreeMap<CtxId, u32>,
+    /// Progress-engine counters (polls, ops serviced, overlap split).
+    progress: ProgressStats,
     /// Label of the algorithm chosen by the most recent collective.
     last_algo: &'static str,
     /// How often each collective algorithm was chosen by this rank.
@@ -102,6 +114,14 @@ pub(crate) struct RankCore {
 }
 
 impl RankCore {
+    /// Draw the next collective sequence number for context `ctx`.
+    fn next_coll_seq(&mut self, ctx: CtxId) -> u32 {
+        let slot = self.coll_seq.entry(ctx).or_insert(0);
+        let seq = *slot;
+        *slot = slot.wrapping_add(1);
+        seq
+    }
+
     fn note_coll(&mut self, ctx: CtxId, comm_size: usize, op: CollOp, payload_bytes: u64) {
         self.transport.record_collective(payload_bytes);
         let entry = self.coll_stats.entry(ctx).or_insert(CommCollStats {
@@ -159,6 +179,7 @@ impl Comm {
         transport: Box<dyn Transport>,
         topology: HostTopology,
         tuning: CollTuning,
+        progress_cfg: ProgressTuning,
     ) -> Self {
         let n = transport.size();
         let rank = transport.rank();
@@ -167,8 +188,11 @@ impl Comm {
             clock: SimClock::new(),
             topology,
             tuning,
+            progress_cfg,
             next_ctx: WORLD_CTX + 1,
             coll_stats: BTreeMap::new(),
+            coll_seq: BTreeMap::new(),
+            progress: ProgressStats::default(),
             last_algo: "none",
             algo_counts: BTreeMap::new(),
         };
@@ -207,6 +231,21 @@ impl Comm {
         }
     }
 
+    /// Reject user tags inside the collective-reserved range: they are
+    /// invisible to wildcard receives and could collide with an outstanding
+    /// collective's salted internal tags.
+    fn check_user_tag(tag: Tag) -> Result<()> {
+        if tag >= crate::types::COLL_TAG_BASE {
+            return Err(MpiError::ReservedTag(tag));
+        }
+        Ok(())
+    }
+
+    /// As [`Comm::check_user_tag`], for receive selectors (wildcards pass).
+    fn check_user_tag_sel(tag: Option<Tag>) -> Result<()> {
+        tag.map_or(Ok(()), Self::check_user_tag)
+    }
+
     /// Translate a local rank of this communicator to a world rank.
     fn world_of(&self, local: Rank) -> Result<Rank> {
         if local >= self.group.size() {
@@ -231,7 +270,10 @@ impl Comm {
     }
 
     fn ensure_world_group(&self, world_size: usize) -> Result<()> {
-        if self.group.is_world(world_size) {
+        // Any world-spanning group works (window resources exist per world
+        // rank and accesses translate local → world), including permuted
+        // orders from comm_split with reordering keys; true subsets do not.
+        if self.group.spans_world(world_size) {
             Ok(())
         } else {
             Err(MpiError::InvalidCommunicator(
@@ -336,11 +378,13 @@ impl Comm {
             let view = self.view();
             let mut proposal = [core.next_ctx as u64];
             let tuning = core.tuning;
+            let seq = core.next_coll_seq(self.ctx);
             let algo = coll::allreduce(
                 core.transport.as_mut(),
                 &mut core.clock,
                 &view,
                 &tuning,
+                seq,
                 &mut proposal,
                 ReduceOp::Max,
             )?;
@@ -370,11 +414,13 @@ impl Comm {
             let view = self.view();
             let mine = [color as i64, key as i64, core.next_ctx as i64];
             let tuning = core.tuning;
+            let seq = core.next_coll_seq(self.ctx);
             let algo = coll::allgather_into(
                 core.transport.as_mut(),
                 &mut core.clock,
                 &view,
                 &tuning,
+                seq,
                 &mine,
                 &mut gathered,
             )?;
@@ -422,8 +468,10 @@ impl Comm {
     // Two-sided
     // ------------------------------------------------------------------
 
-    /// Blocking send of `data` to local rank `dst` with `tag`.
+    /// Blocking send of `data` to local rank `dst` with `tag` (user tags must
+    /// stay below [`crate::types::COLL_TAG_BASE`]).
     pub fn send(&mut self, dst: Rank, tag: Tag, data: &[u8]) -> Result<()> {
+        Self::check_user_tag(tag)?;
         let dst = self.world_of(dst)?;
         let core = &mut *self.core.borrow_mut();
         core.transport
@@ -432,6 +480,7 @@ impl Comm {
 
     /// Blocking receive into `buf`; returns the completion status.
     pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>, buf: &mut [u8]) -> Result<Status> {
+        Self::check_user_tag_sel(tag)?;
         let src = src.map(|s| self.world_of(s)).transpose()?;
         let status = {
             let core = &mut *self.core.borrow_mut();
@@ -443,6 +492,7 @@ impl Comm {
 
     /// Blocking receive returning an owned payload.
     pub fn recv_owned(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<(Status, Vec<u8>)> {
+        Self::check_user_tag_sel(tag)?;
         let src = src.map(|s| self.world_of(s)).transpose()?;
         let (status, data) = {
             let core = &mut *self.core.borrow_mut();
@@ -458,6 +508,7 @@ impl Comm {
         src: Option<Rank>,
         tag: Option<Tag>,
     ) -> Result<Option<(Status, Vec<u8>)>> {
+        Self::check_user_tag_sel(tag)?;
         let src = src.map(|s| self.world_of(s)).transpose()?;
         let found = {
             let core = &mut *self.core.borrow_mut();
@@ -482,6 +533,7 @@ impl Comm {
     /// Non-blocking receive: returns a pending request to pass to
     /// [`Comm::wait`], [`Comm::test`] or the `*_any`/`*_all` combinators.
     pub fn irecv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<Request> {
+        Self::check_user_tag_sel(tag)?;
         let src = src.map(|s| self.world_of(s)).transpose()?;
         Ok(Request::recv_pending(self.ctx, src, tag))
     }
@@ -498,6 +550,7 @@ impl Comm {
         tag: Option<Tag>,
         buf: Vec<u8>,
     ) -> Result<Request> {
+        Self::check_user_tag_sel(tag)?;
         let src = src.map(|s| self.world_of(s)).transpose()?;
         Ok(Request::recv_pending_into(self.ctx, src, tag, buf))
     }
@@ -512,8 +565,57 @@ impl Comm {
         Ok(())
     }
 
-    /// One non-blocking completion attempt for a pending receive request.
-    fn try_complete(&mut self, request: &mut Request) -> Result<Option<Status>> {
+    /// One incremental progress attempt on a pending nonblocking-collective
+    /// request: advances its schedule through the progress engine and, on
+    /// completion, fulfills the request with the collective's result bytes.
+    /// Returns the completion status (if reached) plus the schedule ops this
+    /// attempt serviced, so blocking loops can reset their backoff on partial
+    /// progress. `during_wait` routes the poll/op counters into the wait
+    /// columns of [`ProgressStats`] (nonblocking `test`-family polls are the
+    /// overlap metric — progress made during user compute).
+    fn progress_coll(
+        &mut self,
+        request: &mut Request,
+        during_wait: bool,
+    ) -> Result<(Option<Status>, usize)> {
+        self.check_request_ctx(request)?;
+        let (done, ops) = {
+            let core = &mut *self.core.borrow_mut();
+            let budget = if during_wait {
+                0
+            } else {
+                core.progress_cfg.max_ops_per_poll
+            };
+            let state = request.coll.as_mut().expect("collective request has state");
+            let step = state.progress(core.transport.as_mut(), &mut core.clock, budget)?;
+            if during_wait {
+                core.progress.wait_polls += 1;
+                core.progress.ops_in_wait += step.ops as u64;
+            } else {
+                core.progress.test_polls += 1;
+                core.progress.ops_in_test += step.ops as u64;
+            }
+            if step.done {
+                core.progress.colls_completed += 1;
+            }
+            (step.done, step.ops)
+        };
+        if !done {
+            return Ok((None, ops));
+        }
+        let state = request.coll.take().expect("collective request has state");
+        let (status, data) = state.finish();
+        request.fulfill(status, data);
+        Ok((Some(status), ops))
+    }
+
+    /// One non-blocking completion attempt for a pending request (receive or
+    /// collective). `during_wait` only affects how collective progress is
+    /// accounted.
+    fn try_complete(&mut self, request: &mut Request, during_wait: bool) -> Result<Option<Status>> {
+        if request.is_coll() {
+            return self.progress_coll(request, during_wait).map(|(s, _)| s);
+        }
         self.check_request_ctx(request)?;
         if request.is_buffered() {
             let mut buf = request.take_buffer().expect("buffered request has buffer");
@@ -538,7 +640,14 @@ impl Comm {
                     *request = Request::recv_pending_into(self.ctx, request.src, request.tag, buf);
                     Ok(None)
                 }
-                Err(e) => Err(e),
+                Err(e) => {
+                    // The matched message was consumed and the posted buffer
+                    // dropped (e.g. truncation): the request is spent, and
+                    // retrying must report StaleRequest rather than silently
+                    // taking the unbuffered path.
+                    request.mark_failed();
+                    Err(e)
+                }
             };
         }
         let found = {
@@ -566,6 +675,25 @@ impl Comm {
             RequestState::Consumed => Err(MpiError::StaleRequest),
             RequestState::RecvPending => {
                 self.check_request_ctx(request)?;
+                if request.is_coll() {
+                    // Drive the collective's schedule to completion with
+                    // tiered backoff; a poisoned universe aborts the wait
+                    // with `PeerDead` instead of parking forever. Partial
+                    // progress restarts the backoff escalation so a steadily
+                    // advancing schedule never degrades to parked sleeps.
+                    let poison = self.core.borrow().transport.poison().clone();
+                    let mut backoff = crate::spin::SpinWait::new();
+                    loop {
+                        let (status, ops) = self.progress_coll(request, true)?;
+                        if let Some(status) = status {
+                            return Ok(status);
+                        }
+                        if ops > 0 {
+                            backoff.reset();
+                        }
+                        backoff.wait(&poison)?;
+                    }
+                }
                 if request.is_buffered() {
                     let mut buf = request.take_buffer().expect("buffered request has buffer");
                     let status = {
@@ -576,9 +704,18 @@ impl Comm {
                             request.src,
                             request.tag,
                             &mut buf,
-                        )?
+                        )
                     };
-                    let status = self.localize(status)?;
+                    // An error here consumed the message and dropped the
+                    // posted buffer: spend the request so a retry reports
+                    // StaleRequest instead of blocking in the wrong path.
+                    let status = match status.and_then(|s| self.localize(s)) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            request.mark_failed();
+                            return Err(e);
+                        }
+                    };
                     request.fulfill_buffered(status, buf);
                     return Ok(status);
                 }
@@ -605,14 +742,44 @@ impl Comm {
                 Ok(Some(request.status().ok_or(MpiError::StaleRequest)?))
             }
             RequestState::Consumed => Err(MpiError::StaleRequest),
-            RequestState::RecvPending => self.try_complete(request),
+            RequestState::RecvPending => self.try_complete(request, false),
         }
     }
 
     /// Wait for every request in the slice; statuses are returned in request
-    /// order.
+    /// order. Pending requests are driven *together* (`MPI_Waitall`
+    /// semantics): completion cannot depend on the slice order, so ranks may
+    /// pass the same outstanding collectives in different orders without
+    /// deadlocking. Errors with [`MpiError::StaleRequest`] if any request was
+    /// already consumed.
     pub fn wait_all(&mut self, requests: &mut [Request]) -> Result<Vec<Status>> {
-        requests.iter_mut().map(|r| self.wait(r)).collect()
+        let poison = self.core.borrow().transport.poison().clone();
+        let mut backoff = crate::spin::SpinWait::new();
+        loop {
+            let mut all_done = true;
+            let mut progressed = false;
+            for request in requests.iter_mut() {
+                match request.state() {
+                    RequestState::SendComplete | RequestState::RecvComplete => {}
+                    RequestState::Consumed => return Err(MpiError::StaleRequest),
+                    RequestState::RecvPending => match self.try_complete(request, true)? {
+                        Some(_) => progressed = true,
+                        None => all_done = false,
+                    },
+                }
+            }
+            if all_done {
+                break;
+            }
+            if progressed {
+                backoff.reset();
+            }
+            backoff.wait(&poison)?;
+        }
+        requests
+            .iter()
+            .map(|r| r.status().ok_or(MpiError::StaleRequest))
+            .collect()
     }
 
     /// Block until *some* request completes; returns its index and status.
@@ -623,7 +790,7 @@ impl Comm {
         let poison = self.core.borrow().transport.poison().clone();
         let mut backoff = crate::spin::SpinWait::new();
         loop {
-            match self.poll_any(requests)? {
+            match self.poll_any(requests, true)? {
                 PollAny::Ready(i, status) => return Ok((i, status)),
                 PollAny::Pending => backoff.wait(&poison)?,
                 PollAny::NoneActive => return Err(MpiError::StaleRequest),
@@ -635,14 +802,14 @@ impl Comm {
     /// currently completable (but at least one is still pending). Errors with
     /// [`MpiError::StaleRequest`] if the slice is empty or fully consumed.
     pub fn test_any(&mut self, requests: &mut [Request]) -> Result<Option<(usize, Status)>> {
-        match self.poll_any(requests)? {
+        match self.poll_any(requests, false)? {
             PollAny::Ready(i, status) => Ok(Some((i, status))),
             PollAny::Pending => Ok(None),
             PollAny::NoneActive => Err(MpiError::StaleRequest),
         }
     }
 
-    fn poll_any(&mut self, requests: &mut [Request]) -> Result<PollAny> {
+    fn poll_any(&mut self, requests: &mut [Request], during_wait: bool) -> Result<PollAny> {
         let mut any_pending = false;
         for (i, request) in requests.iter_mut().enumerate() {
             match request.state() {
@@ -653,7 +820,7 @@ impl Comm {
                 RequestState::Consumed => {}
                 RequestState::RecvPending => {
                     any_pending = true;
-                    if let Some(status) = self.try_complete(request)? {
+                    if let Some(status) = self.try_complete(request, during_wait)? {
                         return Ok(PollAny::Ready(i, status));
                     }
                 }
@@ -677,7 +844,7 @@ impl Comm {
                 RequestState::SendComplete | RequestState::RecvComplete => {}
                 RequestState::Consumed => return Err(MpiError::StaleRequest),
                 RequestState::RecvPending => {
-                    if self.try_complete(request)?.is_none() {
+                    if self.try_complete(request, false)?.is_none() {
                         all_complete = false;
                     }
                 }
@@ -718,16 +885,209 @@ impl Comm {
     /// point-to-point path.
     pub fn barrier(&mut self) -> Result<()> {
         let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
         let algo = if self.group.is_world(core.transport.size()) {
             core.transport.barrier(&mut core.clock)?;
             "barrier/sequence"
         } else {
-            barrier::group_barrier(core.transport.as_mut(), &mut core.clock, &self.view())?;
+            barrier::group_barrier(core.transport.as_mut(), &mut core.clock, &self.view(), seq)?;
             "barrier/dissemination"
         };
         core.note_coll(self.ctx, self.group.size(), CollOp::Barrier, 0);
         core.note_algo(algo);
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Nonblocking collectives (MPI-3 `i*` operations)
+    // ------------------------------------------------------------------
+    //
+    // Each starter compiles the *same* size-adaptive schedule the blocking
+    // collective would run (identical algorithms, tags and op orderings) and
+    // returns a [`Request`] owning the schedule plus copies of the payload.
+    // The request completes through the progress engine from
+    // `wait`/`test`/`wait_any`/`test_all`, mixing freely with p2p requests;
+    // results come back through [`Request::take_values`].
+    //
+    // Ordering rules: all ranks must start collectives on one communicator
+    // in the same order (as in MPI), and every started collective must
+    // eventually be completed on every rank. Progress only happens inside
+    // `wait`/`test`-family calls of the rank holding the request, and a bare
+    // `wait(&mut one_request)` advances only that request — so to complete
+    // several outstanding collectives, either wait for them in start order
+    // or drive them together (`wait_all`, a `wait_any` loop, `test_all`, or
+    // `test` polling), which progresses every request passed. Waiting single
+    // requests in an order that differs across ranks can deadlock (the
+    // weak-progress caveat of an engine without a progress thread; see the
+    // README's request-mixing rules).
+
+    /// Account and package a compiled collective schedule as a pending
+    /// request.
+    fn start_coll(
+        &mut self,
+        sched: crate::progress::Schedule,
+        buf: Vec<u8>,
+        op: CollOp,
+        payload_bytes: u64,
+    ) -> Request {
+        let core = &mut *self.core.borrow_mut();
+        core.note_coll(self.ctx, self.group.size(), op, payload_bytes);
+        core.note_algo(sched.label);
+        core.progress.colls_started += 1;
+        Request::coll_pending(self.ctx, CollState::new(sched, buf, self.rank))
+    }
+
+    /// Tuning snapshot plus the next collective sequence number for this
+    /// communicator (every collective start draws one, blocking or not).
+    fn coll_ticket(&mut self) -> (CollTuning, u32) {
+        let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
+        (core.tuning, seq)
+    }
+
+    /// Nonblocking barrier (`MPI_Ibarrier`): completes once every rank of the
+    /// communicator has entered it. Runs the dissemination-token schedule on
+    /// every communicator (world included), so it can overlap with compute.
+    pub fn ibarrier(&mut self) -> Result<Request> {
+        let (_, seq) = self.coll_ticket();
+        let sched = coll::build_barrier(&self.view(), seq);
+        Ok(self.start_coll(sched, Vec::new(), CollOp::Barrier, 0))
+    }
+
+    /// Nonblocking broadcast (`MPI_Ibcast`): the root contributes `buf`;
+    /// on completion every rank's request yields the broadcast values via
+    /// [`Request::take_values`]. All ranks must pass equal-length buffers
+    /// (non-root contents are ignored).
+    pub fn ibcast_into<T: Pod>(&mut self, root: Rank, buf: &[T]) -> Result<Request> {
+        self.world_of(root)?;
+        let bytes = std::mem::size_of_val(buf);
+        let (tuning, seq) = self.coll_ticket();
+        let sched = coll::build_bcast(&self.view(), &tuning, seq, root, bytes);
+        Ok(self.start_coll(sched, bytes_of(buf).to_vec(), CollOp::Bcast, bytes as u64))
+    }
+
+    /// Nonblocking allreduce (`MPI_Iallreduce`): on completion every rank's
+    /// request yields the element-wise reduction of all contributions.
+    pub fn iallreduce<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Request> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let (tuning, seq) = self.coll_ticket();
+        let sched = coll::build_allreduce::<T>(&self.view(), &tuning, seq, values.len(), op);
+        Ok(self.start_coll(sched, bytes_of(values).to_vec(), CollOp::Allreduce, bytes))
+    }
+
+    /// Nonblocking allgather (`MPI_Iallgather`): on completion every rank's
+    /// request yields the flat `size × send.len()` buffer with local rank
+    /// `r`'s contribution at block `r`.
+    pub fn iallgather_into<T: Pod>(&mut self, send: &[T]) -> Result<Request> {
+        let n = self.group.size();
+        let block = std::mem::size_of_val(send);
+        let mut buf = vec![0u8; n * block];
+        buf[self.rank * block..(self.rank + 1) * block].copy_from_slice(bytes_of(send));
+        let (tuning, seq) = self.coll_ticket();
+        let sched = coll::build_allgather(&self.view(), &tuning, seq, block);
+        Ok(self.start_coll(sched, buf, CollOp::Allgather, block as u64))
+    }
+
+    /// Nonblocking reduce-scatter (`MPI_Ireduce_scatter_block`): on completion
+    /// this rank's request yields its reduced block (`values.len() / size`
+    /// elements). `values.len()` must be divisible by the rank count.
+    pub fn ireduce_scatter<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Request> {
+        let n = self.group.size();
+        if !values.len().is_multiple_of(n) {
+            return Err(MpiError::InvalidCollective(format!(
+                "ireduce_scatter input of {} elements not divisible by {} ranks",
+                values.len(),
+                n
+            )));
+        }
+        let bytes = std::mem::size_of_val(values) as u64;
+        let (tuning, seq) = self.coll_ticket();
+        let sched = coll::build_reduce_scatter::<T>(&self.view(), &tuning, seq, values.len(), op);
+        Ok(self.start_coll(
+            sched,
+            bytes_of(values).to_vec(),
+            CollOp::ReduceScatter,
+            bytes,
+        ))
+    }
+
+    /// Nonblocking gather (`MPI_Igather`): on completion the root's request
+    /// yields the flat `size × send.len()` buffer (rank `r`'s contribution at
+    /// block `r`); non-root requests yield an empty result.
+    pub fn igather_into<T: Pod>(&mut self, root: Rank, send: &[T]) -> Result<Request> {
+        self.world_of(root)?;
+        let n = self.group.size();
+        let block = std::mem::size_of_val(send);
+        let buf = if self.rank == root {
+            let mut b = vec![0u8; n * block];
+            b[root * block..(root + 1) * block].copy_from_slice(bytes_of(send));
+            b
+        } else {
+            bytes_of(send).to_vec()
+        };
+        let (_, seq) = self.coll_ticket();
+        let sched = coll::build_gather(&self.view(), seq, root, block);
+        Ok(self.start_coll(sched, buf, CollOp::Gather, block as u64))
+    }
+
+    /// Nonblocking scatter (`MPI_Iscatter`): the root passes
+    /// `Some(send)` with `size × block_elems` elements, everyone else `None`;
+    /// on completion each rank's request yields its `block_elems`-element
+    /// chunk.
+    pub fn iscatter_from<T: Pod>(
+        &mut self,
+        root: Rank,
+        send: Option<&[T]>,
+        block_elems: usize,
+    ) -> Result<Request> {
+        self.world_of(root)?;
+        let n = self.group.size();
+        let block = block_elems * std::mem::size_of::<T>();
+        let buf = if self.rank == root {
+            let send = send.ok_or_else(|| {
+                MpiError::InvalidCollective("iscatter_from root must provide a send buffer".into())
+            })?;
+            if send.len() != n * block_elems {
+                return Err(MpiError::InvalidCollective(format!(
+                    "iscatter_from send buffer has {} elements, expected {} ({} ranks × {})",
+                    send.len(),
+                    n * block_elems,
+                    n,
+                    block_elems
+                )));
+            }
+            bytes_of(send).to_vec()
+        } else {
+            vec![0u8; block]
+        };
+        let (_, seq) = self.coll_ticket();
+        let sched = coll::build_scatter(&self.view(), seq, root, block);
+        Ok(self.start_coll(sched, buf, CollOp::Scatter, block as u64))
+    }
+
+    /// Drive transport-level progress without completing any request: moves
+    /// fully-arrived messages off the wire into local staging so peers
+    /// blocked on transport flow control (full CXL rings) can proceed while
+    /// this rank computes. Returns how many messages were moved. Call it
+    /// periodically from long compute phases with outstanding nonblocking
+    /// operations; `test`-family calls on the requests themselves remain the
+    /// way to *complete* them.
+    pub fn progress(&mut self) -> Result<usize> {
+        let core = &mut *self.core.borrow_mut();
+        core.progress.transport_drains += 1;
+        if !core.progress_cfg.drain_on_progress {
+            return Ok(0);
+        }
+        let moved = core.transport.poll_incoming(&mut core.clock)?;
+        core.progress.drained_messages += moved as u64;
+        Ok(moved)
+    }
+
+    /// Snapshot of the progress-engine counters accumulated by this rank
+    /// (shared across all communicators of the rank; also surfaced in
+    /// [`crate::runtime::RankReport::progress`]).
+    pub fn progress_stats(&self) -> ProgressStats {
+        self.core.borrow().progress
     }
 
     // ------------------------------------------------------------------
@@ -869,11 +1229,13 @@ impl Comm {
         let bytes = std::mem::size_of_val(buf) as u64;
         let core = &mut *self.core.borrow_mut();
         let tuning = core.tuning;
+        let seq = core.next_coll_seq(self.ctx);
         let algo = coll::bcast_into(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
             &tuning,
+            seq,
             root,
             buf,
         )?;
@@ -893,10 +1255,12 @@ impl Comm {
     ) -> Result<()> {
         let bytes = std::mem::size_of_val(send) as u64;
         let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
         coll::gather_into(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            seq,
             root,
             send,
             recv,
@@ -913,11 +1277,13 @@ impl Comm {
         let bytes = std::mem::size_of_val(send) as u64;
         let core = &mut *self.core.borrow_mut();
         let tuning = core.tuning;
+        let seq = core.next_coll_seq(self.ctx);
         let algo = coll::allgather_into(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
             &tuning,
+            seq,
             send,
             recv,
         )?;
@@ -937,10 +1303,12 @@ impl Comm {
     ) -> Result<()> {
         let bytes = std::mem::size_of_val(recv) as u64;
         let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
         coll::scatter_from(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            seq,
             root,
             send,
             recv,
@@ -960,10 +1328,12 @@ impl Comm {
     ) -> Result<Option<Vec<T>>> {
         let bytes = std::mem::size_of_val(values) as u64;
         let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
         let out = coll::reduce(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            seq,
             root,
             values,
             op,
@@ -980,11 +1350,13 @@ impl Comm {
         let bytes = std::mem::size_of_val(values) as u64;
         let core = &mut *self.core.borrow_mut();
         let tuning = core.tuning;
+        let seq = core.next_coll_seq(self.ctx);
         let algo = coll::allreduce(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
             &tuning,
+            seq,
             values,
             op,
         )?;
@@ -1000,11 +1372,13 @@ impl Comm {
         let bytes = std::mem::size_of_val(values) as u64;
         let core = &mut *self.core.borrow_mut();
         let tuning = core.tuning;
+        let seq = core.next_coll_seq(self.ctx);
         let (out, algo) = coll::reduce_scatter(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
             &tuning,
+            seq,
             values,
             op,
         )?;
@@ -1026,10 +1400,12 @@ impl Comm {
     pub fn bcast(&mut self, root: Rank, data: &mut Vec<u8>) -> Result<()> {
         let bytes = data.len() as u64;
         let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
         coll::bcast_bytes(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            seq,
             root,
             data,
         )?;
@@ -1046,10 +1422,12 @@ impl Comm {
     pub fn gather(&mut self, root: Rank, send: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
         let bytes = send.len() as u64;
         let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
         let out = coll::gather_bytes(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            seq,
             root,
             send,
         )?;
@@ -1064,10 +1442,12 @@ impl Comm {
     )]
     pub fn scatter(&mut self, root: Rank, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
         let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
         let out = coll::scatter_bytes(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            seq,
             root,
             chunks,
         )?;
@@ -1089,8 +1469,14 @@ impl Comm {
     pub fn allgather(&mut self, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
         let bytes = mine.len() as u64;
         let core = &mut *self.core.borrow_mut();
-        let out =
-            coll::allgather_bytes(core.transport.as_mut(), &mut core.clock, &self.view(), mine)?;
+        let seq = core.next_coll_seq(self.ctx);
+        let out = coll::allgather_bytes(
+            core.transport.as_mut(),
+            &mut core.clock,
+            &self.view(),
+            seq,
+            mine,
+        )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Allgather, bytes);
         Ok(out)
     }

@@ -123,6 +123,30 @@ impl Default for CollTuning {
     }
 }
 
+/// Tuning of the progress engine driving nonblocking collectives (see
+/// `progress`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressTuning {
+    /// Maximum schedule ops a single nonblocking `test`-family poll may
+    /// execute before returning control to the caller (`0` = unlimited).
+    /// Bounds the latency one poll can inject into user compute when a burst
+    /// of messages arrives at once; blocking waits ignore it.
+    pub max_ops_per_poll: usize,
+    /// Whether [`crate::comm::Comm::progress`] drains arrived messages off
+    /// the transport into local staging (keeps senders from stalling on ring
+    /// flow control while this rank computes).
+    pub drain_on_progress: bool,
+}
+
+impl Default for ProgressTuning {
+    fn default() -> Self {
+        ProgressTuning {
+            max_ops_per_poll: 0,
+            drain_on_progress: true,
+        }
+    }
+}
+
 /// Which transport a universe uses for inter-node communication.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TransportConfig {
@@ -156,6 +180,8 @@ pub struct UniverseConfig {
     pub transport: TransportConfig,
     /// Collective algorithm switchover thresholds.
     pub coll: CollTuning,
+    /// Progress-engine tuning for nonblocking collectives.
+    pub progress: ProgressTuning,
 }
 
 impl UniverseConfig {
@@ -167,6 +193,7 @@ impl UniverseConfig {
             hosts: 2.min(ranks.max(1)),
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::default()),
             coll: CollTuning::default(),
+            progress: ProgressTuning::default(),
         }
     }
 
@@ -177,6 +204,7 @@ impl UniverseConfig {
             hosts: 2.min(ranks.max(1)),
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::small()),
             coll: CollTuning::default(),
+            progress: ProgressTuning::default(),
         }
     }
 
@@ -187,6 +215,7 @@ impl UniverseConfig {
             hosts: 2.min(ranks.max(1)),
             transport: TransportConfig::Tcp(TcpTransportConfig { nic }),
             coll: CollTuning::default(),
+            progress: ProgressTuning::default(),
         }
     }
 
@@ -199,6 +228,12 @@ impl UniverseConfig {
     /// Override the collective algorithm thresholds.
     pub fn with_coll_tuning(mut self, coll: CollTuning) -> Self {
         self.coll = coll;
+        self
+    }
+
+    /// Override the progress-engine tuning.
+    pub fn with_progress_tuning(mut self, progress: ProgressTuning) -> Self {
+        self.progress = progress;
         self
     }
 

@@ -52,6 +52,12 @@ pub enum MpiError {
     /// waiting on it; the universe's poison flag aborted the wait so the
     /// survivors fail fast instead of spinning forever.
     PeerDead(String),
+    /// A user point-to-point operation used a tag in the range reserved for
+    /// collective-internal traffic (at and above
+    /// [`crate::types::COLL_TAG_BASE`]). Reserved tags are excluded from
+    /// wildcard matching and could collide with an outstanding collective's
+    /// schedule, so they are rejected at the API boundary.
+    ReservedTag(crate::types::Tag),
 }
 
 impl fmt::Display for MpiError {
@@ -84,6 +90,10 @@ impl fmt::Display for MpiError {
             MpiError::StaleRequest => write!(f, "request already completed or consumed"),
             MpiError::InvalidCommunicator(msg) => write!(f, "invalid communicator: {msg}"),
             MpiError::PeerDead(msg) => write!(f, "peer rank died: {msg}"),
+            MpiError::ReservedTag(tag) => write!(
+                f,
+                "tag {tag:#x} is in the range reserved for collective-internal traffic"
+            ),
         }
     }
 }

@@ -86,6 +86,16 @@ impl Group {
     pub fn is_world(&self, n: usize) -> bool {
         self.world.len() == n && self.world.iter().enumerate().all(|(i, &w)| i == w)
     }
+
+    /// Whether this group contains *every* rank of a world of `n` ranks, in
+    /// any order (members are unique by construction, so a full-size group
+    /// necessarily covers the world). Permuted world-spanning groups support
+    /// the RMA window API — window resources are provisioned per world rank
+    /// and every access translates local → world — they merely lose the
+    /// identity-order fast paths.
+    pub fn spans_world(&self, n: usize) -> bool {
+        self.world.len() == n
+    }
 }
 
 #[cfg(test)]

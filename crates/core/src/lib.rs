@@ -63,9 +63,14 @@
 //! * [`spin`] — the tiered [`spin::SpinWait`] backoff used by every blocking
 //!   wait, carrying the universe's [`spin::PoisonFlag`] so a dead rank aborts
 //!   the survivors with [`error::MpiError::PeerDead`] instead of hanging.
+//! * [`progress`] — the progress engine: every collective algorithm compiles
+//!   to a resumable [`progress::Schedule`] of sends/receives/folds; blocking
+//!   collectives run it to completion, the MPI-3-style nonblocking `i*`
+//!   collectives (`ibarrier`, `ibcast_into`, `iallreduce`, ...) advance it
+//!   incrementally from `test`/`wait` for compute/communication overlap.
 //! * [`p2p`], [`request`] — context-scoped message matching, non-blocking
-//!   requests (`wait`/`test`/`wait_all`/`wait_any`/`test_any`/`test_all`) and
-//!   status.
+//!   requests (`wait`/`test`/`wait_all`/`wait_any`/`test_any`/`test_all`,
+//!   unifying p2p receives and nonblocking collectives) and status.
 //! * [`datatype`], [`pod`] — datatype descriptions (contiguous/vector layouts
 //!   with pack/unpack) and the [`pod::Pod`] zero-copy byte views the typed
 //!   collectives are built on.
@@ -87,6 +92,7 @@ pub mod error;
 pub mod group;
 pub mod p2p;
 pub mod pod;
+pub mod progress;
 pub mod queue;
 pub mod request;
 pub mod rma;
@@ -98,16 +104,20 @@ pub mod types;
 
 pub use comm::{Comm, CommCollStats};
 pub use config::{
-    CollTuning, CxlShmTransportConfig, TcpTransportConfig, TransportConfig, UniverseConfig,
+    CollTuning, CxlShmTransportConfig, ProgressTuning, TcpTransportConfig, TransportConfig,
+    UniverseConfig,
 };
 pub use error::MpiError;
 pub use group::Group;
 pub use pod::Pod;
+pub use progress::ProgressStats;
 pub use request::{Request, RequestState};
 pub use runtime::{RankReport, Universe};
 pub use spin::{PoisonFlag, SpinWait};
 pub use topology::HostTopology;
-pub use types::{CtxId, Rank, ReduceOp, Reducible, Status, Tag, ANY_SOURCE, ANY_TAG, WORLD_CTX};
+pub use types::{
+    CtxId, Rank, ReduceOp, Reducible, Status, Tag, ANY_SOURCE, ANY_TAG, COLL_TAG_BASE, WORLD_CTX,
+};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, MpiError>;

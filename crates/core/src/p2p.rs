@@ -13,6 +13,16 @@
 //! receive posted on another, even with identical source and tag. This is the
 //! property that makes `comm_split`/`comm_dup` sub-communicators safe to use
 //! concurrently (see [`crate::comm`]).
+//!
+//! The queue is also the landing zone of the progress engine's **drain
+//! path** (`Transport::poll_incoming`, called whenever a collective schedule
+//! op cannot complete and from [`crate::comm::Comm::progress`]): messages are
+//! pulled off the wire *before* any receive asks for them, freeing ring cells
+//! so senders blocked on flow control keep moving, and stashed here — in
+//! [`BufferPool`]-recycled storage — until a schedule `Recv` or a posted
+//! receive matches them. Wildcard receives skip the collective-reserved tag
+//! range (see [`crate::types::COLL_TAG_BASE`]), so stashed collective traffic
+//! is invisible to application `ANY_TAG` probes.
 
 use crate::types::{source_matches, tag_matches, CtxId, Rank, Status, Tag};
 

@@ -1,0 +1,630 @@
+//! The progress engine: resumable collective schedules.
+//!
+//! Every collective algorithm in [`crate::coll`] is expressed as a
+//! **schedule** — an ordered list of point-to-point operations
+//! ([`SchedOp::Send`] / [`SchedOp::Recv`]) and local data movements
+//! ([`SchedOp::Fold`] / [`SchedOp::Copy`]) over two byte arenas: the
+//! *primary* buffer (the user's payload) and a *scratch* buffer (algorithm
+//! temporaries). Ops execute strictly in order, which preserves exactly the
+//! deadlock-safe orderings (lower rank sends first, rank 0 of a ring receives
+//! first) the straight-line algorithms used; op `i + 1` never starts before
+//! op `i` has completed.
+//!
+//! A schedule can be driven two ways:
+//!
+//! * **to completion** ([`Schedule::run`]) — the blocking collective API is
+//!   build-schedule-then-run, so blocking and nonblocking collectives execute
+//!   byte-identical plans and cannot diverge;
+//! * **incrementally** ([`Schedule::progress`]) — each call executes ops until
+//!   one cannot complete (a [`SchedOp::Recv`] whose message has not arrived,
+//!   probed through the transports' non-blocking `try_recv_into` path) and
+//!   then returns. This is what `Comm::test`/`Comm::wait` (and the
+//!   `*_any`/`*_all` combinators) call on a collective request, giving
+//!   MPI-3-style compute/communication overlap.
+//!
+//! Who makes progress: the rank that holds the request, whenever it calls
+//! `test`/`wait`-family functions. There is no background progress thread —
+//! like MPICH's default configuration, communication advances only inside MPI
+//! calls. A `Send` op advances through the transports' nonblocking
+//! [`Transport::try_send_progress`] path; while it waits (for ring space or
+//! a missing message) the engine drains fully-arrived traffic off the wire
+//! ([`Transport::poll_incoming`]), so peers blocked on flow control keep
+//! moving and concurrent independent schedules stay deadlock-free. One
+//! commitment rule: once the first chunk of a multi-chunk message is in a
+//! destination ring, the op finishes the message before control returns
+//! (the SPSC rings require one whole message per sender at a time) — the
+//! same liveness class as the blocking sends the schedules replaced.
+
+use cmpi_fabric::SimClock;
+
+use crate::error::MpiError;
+use crate::transport::Transport;
+use crate::types::{CtxId, Rank, ReduceOp, Status, Tag, COLL_TAG_BASE};
+use crate::Result;
+
+/// Which arena a schedule op's byte range refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// The primary buffer (the user payload).
+    Buf,
+    /// The scratch buffer (algorithm temporaries).
+    Scratch,
+}
+
+/// One step of a collective schedule. Byte ranges are `[start, end)` within
+/// the arena selected by the op's [`Loc`].
+#[derive(Debug, Clone)]
+pub(crate) enum SchedOp {
+    /// Send `loc[start..end]` to `peer` (a world rank) with `tag`.
+    Send {
+        /// Destination world rank.
+        peer: Rank,
+        /// Wire tag (already sequence-salted by the builder).
+        tag: Tag,
+        /// Source arena.
+        loc: Loc,
+        /// Byte range start.
+        start: usize,
+        /// Byte range end.
+        end: usize,
+    },
+    /// Receive exactly `end - start` bytes from `peer` (world rank) with
+    /// `tag` into `loc[start..end]`.
+    Recv {
+        /// Source world rank.
+        peer: Rank,
+        /// Wire tag.
+        tag: Tag,
+        /// Destination arena.
+        loc: Loc,
+        /// Byte range start.
+        start: usize,
+        /// Byte range end.
+        end: usize,
+    },
+    /// Element-wise reduce `src` into `dst` using the schedule's fold
+    /// function. The two ranges must have equal length and, within one arena,
+    /// must be disjoint.
+    Fold {
+        /// Destination arena.
+        dst_loc: Loc,
+        /// Destination range start.
+        dst_start: usize,
+        /// Source arena.
+        src_loc: Loc,
+        /// Source range start.
+        src_start: usize,
+        /// Byte length of both ranges.
+        len: usize,
+    },
+    /// Copy `src` to `dst` (ranges within one arena may overlap).
+    Copy {
+        /// Destination arena.
+        dst_loc: Loc,
+        /// Destination range start.
+        dst_start: usize,
+        /// Source arena.
+        src_loc: Loc,
+        /// Source range start.
+        src_start: usize,
+        /// Byte length of both ranges.
+        len: usize,
+    },
+}
+
+/// Type-erased element-wise reduction over raw bytes (a monomorphized
+/// `fold_bytes::<T>` stored as a function pointer, so schedules stay
+/// non-generic and a collective request can live inside a plain [`crate::request::Request`]).
+pub type FoldFn = fn(ReduceOp, &mut [u8], &[u8]);
+
+/// Element-wise fold of `src` into `dst` interpreted as `T` values. Handles
+/// unaligned buffers (nonblocking requests own plain `Vec<u8>` storage).
+pub fn fold_bytes<T: crate::types::Reducible>(op: ReduceOp, dst: &mut [u8], src: &[u8]) {
+    let esz = std::mem::size_of::<T>();
+    debug_assert_eq!(dst.len(), src.len());
+    debug_assert!(dst.len().is_multiple_of(esz));
+    let n = dst.len() / esz;
+    // Safety: T is Pod (any bit pattern valid, no padding); reads/writes are
+    // unaligned-tolerant and in bounds by the length checks above.
+    unsafe {
+        let d = dst.as_mut_ptr().cast::<T>();
+        let s = src.as_ptr().cast::<T>();
+        for i in 0..n {
+            let a = d.add(i).read_unaligned();
+            let b = s.add(i).read_unaligned();
+            d.add(i).write_unaligned(T::combine(op, a, b));
+        }
+    }
+}
+
+/// Outcome of one [`Schedule::progress`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Whether the schedule has run to completion.
+    pub done: bool,
+    /// Ops completed by this call.
+    pub ops: usize,
+}
+
+/// A resumable collective schedule: the compiled form of one collective
+/// operation from one rank's perspective.
+#[derive(Debug)]
+pub struct Schedule {
+    pub(crate) ops: Vec<SchedOp>,
+    /// Next op to execute.
+    pos: usize,
+    /// Transport resume cursor of the in-flight `Send` op at `pos` (always 0
+    /// between `progress` calls: a send that has committed its first chunk is
+    /// finished within the same call to preserve ring contiguity).
+    send_cursor: usize,
+    /// Context id the collective runs under.
+    ctx: CtxId,
+    /// Reduction applied by `Fold` ops, if any.
+    fold: Option<(ReduceOp, FoldFn)>,
+    /// Arena holding the collective's result for this rank.
+    pub(crate) result_loc: Loc,
+    /// Byte range of the result within `result_loc`.
+    pub(crate) result_range: (usize, usize),
+    /// Scratch bytes the schedule needs to execute.
+    pub(crate) scratch_len: usize,
+    /// Label of the algorithm this schedule implements (surfaced in
+    /// `RankReport::coll_algos`).
+    pub label: &'static str,
+}
+
+impl Schedule {
+    /// Build a schedule from its parts (used by the builders in
+    /// [`crate::coll`]).
+    pub(crate) fn new(
+        ops: Vec<SchedOp>,
+        ctx: CtxId,
+        fold: Option<(ReduceOp, FoldFn)>,
+        result_loc: Loc,
+        result_range: (usize, usize),
+        scratch_len: usize,
+        label: &'static str,
+    ) -> Self {
+        Schedule {
+            ops,
+            pos: 0,
+            send_cursor: 0,
+            ctx,
+            fold,
+            result_loc,
+            result_range,
+            scratch_len,
+            label,
+        }
+    }
+
+    /// Context id the schedule's traffic runs under.
+    pub fn context_id(&self) -> CtxId {
+        self.ctx
+    }
+
+    /// Whether every op has executed.
+    pub fn is_complete(&self) -> bool {
+        self.pos >= self.ops.len()
+    }
+
+    /// Total ops in the schedule.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule has no ops (single-rank collectives).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Execute ops in order until one cannot complete, the schedule finishes,
+    /// or `budget` ops have run (`budget == 0` means unlimited). Returns
+    /// whether the schedule completed and how many ops this call executed.
+    ///
+    /// Nothing in here blocks on a peer: `Recv` ops probe via the
+    /// transports' non-blocking `try_recv_into`, and `Send` ops advance via
+    /// [`Transport::try_send_progress`] (resuming a partially-sent chunked
+    /// message across calls). Whenever the current op cannot complete, the
+    /// engine drains fully-arrived messages off the wire
+    /// ([`Transport::poll_incoming`]) and retries — freeing ring cells keeps
+    /// peers' sends moving, which makes concurrent independent schedules
+    /// deadlock-free without any global op ordering across them.
+    pub fn progress(
+        &mut self,
+        t: &mut dyn Transport,
+        clock: &mut SimClock,
+        buf: &mut [u8],
+        scratch: &mut [u8],
+        budget: usize,
+    ) -> Result<StepOutcome> {
+        let budget = if budget == 0 { usize::MAX } else { budget };
+        let mut completed = 0usize;
+        while completed < budget {
+            let Some(op) = self.ops.get(self.pos) else {
+                break;
+            };
+            match *op {
+                SchedOp::Send {
+                    peer,
+                    tag,
+                    loc,
+                    start,
+                    end,
+                } => {
+                    let data: &[u8] = &arena(loc, buf, scratch)[start..end];
+                    let mut backoff = crate::spin::SpinWait::new();
+                    let poison = t.poison().clone();
+                    loop {
+                        if t.try_send_progress(
+                            clock,
+                            peer,
+                            self.ctx,
+                            tag,
+                            data,
+                            &mut self.send_cursor,
+                        )? {
+                            break;
+                        }
+                        // Destination ring full. Drain our own inbound rings
+                        // (unblocking the peers that must drain ours) before
+                        // deciding how to wait.
+                        let drained = t.poll_incoming(clock)?;
+                        if self.send_cursor == 0 {
+                            // Nothing committed yet: the op can be deferred
+                            // freely. Retry only if the drain made progress.
+                            if drained == 0 {
+                                return Ok(StepOutcome {
+                                    done: false,
+                                    ops: completed,
+                                });
+                            }
+                            continue;
+                        }
+                        // Mid-message: chunks already sit in the destination
+                        // ring, and the ring's contiguity invariant (a whole
+                        // message per sender before the next begins) forbids
+                        // handing control back — another send to the same
+                        // peer would interleave chunks and corrupt
+                        // reassembly. Spin (poison-aware, still draining)
+                        // until the receiver frees cells; same liveness class
+                        // as the blocking sends these schedules replaced.
+                        if drained == 0 {
+                            backoff.wait(&poison)?;
+                        } else {
+                            backoff.reset();
+                        }
+                    }
+                    self.send_cursor = 0;
+                }
+                SchedOp::Recv {
+                    peer,
+                    tag,
+                    loc,
+                    start,
+                    end,
+                } => {
+                    let dst = &mut arena(loc, buf, scratch)[start..end];
+                    match t.try_recv_into(clock, self.ctx, Some(peer), Some(tag), dst)? {
+                        Some(status) => {
+                            if status.len != end - start {
+                                return Err(MpiError::InvalidCollective(format!(
+                                    "collective length mismatch: received {} bytes, expected {}",
+                                    status.len,
+                                    end - start
+                                )));
+                            }
+                        }
+                        None => {
+                            // Keep inbound rings drained while we wait so no
+                            // peer wedges on flow control; a drained message
+                            // may be the one we need, so retry on progress.
+                            if t.poll_incoming(clock)? == 0 {
+                                return Ok(StepOutcome {
+                                    done: false,
+                                    ops: completed,
+                                });
+                            }
+                            continue;
+                        }
+                    }
+                }
+                SchedOp::Fold {
+                    dst_loc,
+                    dst_start,
+                    src_loc,
+                    src_start,
+                    len,
+                } => {
+                    let (op_kind, f) = self.fold.ok_or_else(|| {
+                        MpiError::InvalidCollective(
+                            "schedule contains Fold ops but no reduction".into(),
+                        )
+                    })?;
+                    if dst_loc == src_loc {
+                        let a = arena(dst_loc, buf, scratch);
+                        let (d, s) = disjoint_mut(a, dst_start, src_start, len)?;
+                        f(op_kind, d, s);
+                    } else {
+                        let (d, s) = cross_arena(dst_loc, buf, scratch, dst_start, src_start, len);
+                        f(op_kind, d, s);
+                    }
+                }
+                SchedOp::Copy {
+                    dst_loc,
+                    dst_start,
+                    src_loc,
+                    src_start,
+                    len,
+                } => {
+                    if dst_loc == src_loc {
+                        arena(dst_loc, buf, scratch)
+                            .copy_within(src_start..src_start + len, dst_start);
+                    } else {
+                        let (d, s) = cross_arena(dst_loc, buf, scratch, dst_start, src_start, len);
+                        d.copy_from_slice(s);
+                    }
+                }
+            }
+            self.pos += 1;
+            completed += 1;
+        }
+        Ok(StepOutcome {
+            done: self.is_complete(),
+            ops: completed,
+        })
+    }
+
+    /// Drive the schedule to completion with tiered backoff between pending
+    /// probes — the blocking execution mode backing the blocking collective
+    /// API. Aborts with [`MpiError::PeerDead`] if the universe is poisoned.
+    pub fn run(
+        &mut self,
+        t: &mut dyn Transport,
+        clock: &mut SimClock,
+        buf: &mut [u8],
+        scratch: &mut [u8],
+    ) -> Result<()> {
+        let poison = t.poison().clone();
+        let mut backoff = crate::spin::SpinWait::new();
+        loop {
+            let step = self.progress(t, clock, buf, scratch, 0)?;
+            if step.done {
+                return Ok(());
+            }
+            if step.ops > 0 {
+                backoff.reset();
+            }
+            backoff.wait(&poison)?;
+        }
+    }
+
+    /// Execute a schedule that consists solely of `Send` ops reading from the
+    /// primary arena, against an *immutable* buffer. Used by blocking
+    /// collectives on their pure-sender roles (gather non-root, scatter root),
+    /// whose user buffers are `&[T]`: the op list is identical to what the
+    /// nonblocking path executes, just driven without a mutable view.
+    pub(crate) fn run_send_only(
+        &mut self,
+        t: &mut dyn Transport,
+        clock: &mut SimClock,
+        buf: &[u8],
+    ) -> Result<()> {
+        while let Some(op) = self.ops.get(self.pos) {
+            match *op {
+                SchedOp::Send {
+                    peer,
+                    tag,
+                    loc: Loc::Buf,
+                    start,
+                    end,
+                } => t.send(clock, peer, self.ctx, tag, &buf[start..end])?,
+                ref other => {
+                    return Err(MpiError::InvalidCollective(format!(
+                        "send-only schedule contains a non-send op: {other:?}"
+                    )))
+                }
+            }
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    /// The result bytes of a completed schedule.
+    pub(crate) fn result_slice<'a>(&self, buf: &'a [u8], scratch: &'a [u8]) -> &'a [u8] {
+        let (lo, hi) = self.result_range;
+        match self.result_loc {
+            Loc::Buf => &buf[lo..hi],
+            Loc::Scratch => &scratch[lo..hi],
+        }
+    }
+}
+
+/// Select an arena mutably.
+fn arena<'a>(loc: Loc, buf: &'a mut [u8], scratch: &'a mut [u8]) -> &'a mut [u8] {
+    match loc {
+        Loc::Buf => buf,
+        Loc::Scratch => scratch,
+    }
+}
+
+/// Destination range in `dst_loc`'s arena plus source range in the *other*
+/// arena (the cross-arena case of `Fold`/`Copy`, where the borrows are
+/// naturally disjoint).
+fn cross_arena<'a>(
+    dst_loc: Loc,
+    buf: &'a mut [u8],
+    scratch: &'a mut [u8],
+    dst_start: usize,
+    src_start: usize,
+    len: usize,
+) -> (&'a mut [u8], &'a [u8]) {
+    match dst_loc {
+        Loc::Buf => (
+            &mut buf[dst_start..dst_start + len],
+            &scratch[src_start..src_start + len],
+        ),
+        Loc::Scratch => (
+            &mut scratch[dst_start..dst_start + len],
+            &buf[src_start..src_start + len],
+        ),
+    }
+}
+
+/// Two non-overlapping mutable ranges of one slice, via `split_at_mut`.
+fn disjoint_mut(
+    a: &mut [u8],
+    dst_start: usize,
+    src_start: usize,
+    len: usize,
+) -> Result<(&mut [u8], &[u8])> {
+    if dst_start + len <= src_start {
+        let (lo, hi) = a.split_at_mut(src_start);
+        Ok((&mut lo[dst_start..dst_start + len], &hi[..len]))
+    } else if src_start + len <= dst_start {
+        let (lo, hi) = a.split_at_mut(dst_start);
+        Ok((&mut hi[..len], &lo[src_start..src_start + len]))
+    } else {
+        Err(MpiError::InvalidCollective(format!(
+            "fold ranges overlap: dst {dst_start}+{len} vs src {src_start}+{len}"
+        )))
+    }
+}
+
+/// The owned execution state of one nonblocking collective: the schedule plus
+/// the buffers it runs over. Lives inside a [`crate::request::Request`] until
+/// completion delivers the result bytes.
+#[derive(Debug)]
+pub struct CollState {
+    /// The compiled schedule.
+    pub sched: Schedule,
+    /// Primary arena (owned copy of the user payload).
+    pub buf: Vec<u8>,
+    /// Scratch arena.
+    pub scratch: Vec<u8>,
+    /// This rank's local rank (stamped into the completion status).
+    pub rank: Rank,
+}
+
+impl CollState {
+    /// Package a schedule with an owned payload; scratch is allocated from
+    /// the schedule's declared requirement.
+    pub fn new(sched: Schedule, buf: Vec<u8>, rank: Rank) -> Self {
+        let scratch = vec![0u8; sched.scratch_len];
+        CollState {
+            sched,
+            buf,
+            scratch,
+            rank,
+        }
+    }
+
+    /// One incremental progress attempt (see [`Schedule::progress`]).
+    pub fn progress(
+        &mut self,
+        t: &mut dyn Transport,
+        clock: &mut SimClock,
+        budget: usize,
+    ) -> Result<StepOutcome> {
+        self.sched
+            .progress(t, clock, &mut self.buf, &mut self.scratch, budget)
+    }
+
+    /// Extract the completion status and result bytes of a finished schedule.
+    pub fn finish(mut self) -> (Status, Vec<u8>) {
+        debug_assert!(self.sched.is_complete());
+        let (lo, hi) = self.sched.result_range;
+        let data = match self.sched.result_loc {
+            // Full-buffer results hand the allocation over without a copy.
+            Loc::Buf if lo == 0 && hi == self.buf.len() => std::mem::take(&mut self.buf),
+            Loc::Buf => self.buf[lo..hi].to_vec(),
+            Loc::Scratch => self.scratch[lo..hi].to_vec(),
+        };
+        (Status::new(self.rank, COLL_TAG_BASE, data.len()), data)
+    }
+}
+
+/// Per-rank progress-engine counters, surfaced in
+/// [`crate::runtime::RankReport::progress`]. The split between `*_in_test`
+/// and `*_in_wait` is the overlap metric: ops serviced by `test`-family calls
+/// ran during user compute, ops serviced inside a terminal `wait` did not.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressStats {
+    /// Nonblocking collectives started (`i*` calls).
+    pub colls_started: u64,
+    /// Nonblocking collectives completed.
+    pub colls_completed: u64,
+    /// Progress polls from `test`/`test_any`/`test_all` (user-compute
+    /// context).
+    pub test_polls: u64,
+    /// Progress polls from inside blocking `wait`/`wait_any`.
+    pub wait_polls: u64,
+    /// Schedule ops serviced during `test`-family polls — progress made
+    /// *during user compute*, the overlap figure of merit.
+    pub ops_in_test: u64,
+    /// Schedule ops serviced inside blocking waits.
+    pub ops_in_wait: u64,
+    /// Explicit [`crate::comm::Comm::progress`] calls.
+    pub transport_drains: u64,
+    /// Messages moved off the wire into local staging by those calls.
+    pub drained_messages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_bytes_is_elementwise_and_unaligned_safe() {
+        let a: Vec<u64> = vec![1, 2, 3];
+        let b: Vec<u64> = vec![10, 20, 30];
+        // Deliberately misalign by prefixing one byte.
+        let mut dst = [0u8; 25];
+        dst[1..].copy_from_slice(crate::pod::bytes_of(&a));
+        let mut src = [0u8; 25];
+        src[1..].copy_from_slice(crate::pod::bytes_of(&b));
+        fold_bytes::<u64>(ReduceOp::Sum, &mut dst[1..], &src[1..]);
+        let out: Vec<u64> = crate::pod::vec_from_bytes(&dst[1..]);
+        assert_eq!(out, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn disjoint_mut_rejects_overlap() {
+        let mut a = vec![0u8; 16];
+        assert!(disjoint_mut(&mut a, 0, 8, 8).is_ok());
+        assert!(disjoint_mut(&mut a, 8, 0, 8).is_ok());
+        assert!(disjoint_mut(&mut a, 0, 4, 8).is_err());
+    }
+
+    #[test]
+    fn schedule_bookkeeping() {
+        let sched = Schedule::new(
+            Vec::new(),
+            3,
+            Some((ReduceOp::Sum, fold_bytes::<u64> as FoldFn)),
+            Loc::Scratch,
+            (8, 16),
+            16,
+            "test/local",
+        );
+        assert!(sched.is_complete());
+        assert!(sched.is_empty());
+        assert_eq!(sched.len(), 0);
+        assert_eq!(sched.context_id(), 3);
+        let buf = vec![0u8; 4];
+        let scratch: Vec<u8> = (0..16).collect();
+        assert_eq!(sched.result_slice(&buf, &scratch), &scratch[8..16]);
+    }
+
+    #[test]
+    fn coll_state_full_buffer_result_moves_allocation() {
+        let sched = Schedule::new(Vec::new(), 0, None, Loc::Buf, (0, 8), 0, "test/local");
+        let buf: Vec<u8> = (0..8).collect();
+        let ptr = buf.as_ptr();
+        let state = CollState::new(sched, buf, 2);
+        let (status, data) = state.finish();
+        assert_eq!(status.source, 2);
+        assert_eq!(status.len, 8);
+        assert_eq!(data.as_ptr(), ptr);
+        assert_eq!(data, (0..8).collect::<Vec<u8>>());
+    }
+}

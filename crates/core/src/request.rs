@@ -1,4 +1,5 @@
-//! Non-blocking communication requests (`MPI_Isend` / `MPI_Irecv` handles).
+//! Non-blocking communication requests (`MPI_Isend` / `MPI_Irecv` /
+//! `MPI_Ibcast`-family handles).
 //!
 //! cMPI's two-sided path is eager: a send is complete as soon as the message
 //! has been copied into the CXL message queue (or handed to the TCP stack), so
@@ -9,11 +10,20 @@
 //! through the request itself (Rust-friendly ownership instead of MPI's
 //! caller-provided buffer).
 //!
+//! **Nonblocking collectives** produce the same `Request` type: the request
+//! carries a resumable [`CollState`] (the collective's compiled schedule plus
+//! its owned buffers) that every `wait`/`test`-family call advances through
+//! the progress engine. P2p and collective requests therefore mix freely in
+//! `wait_any`/`test_all` slices; a completed collective delivers its result
+//! bytes through [`Request::take_data`] / [`Request::take_values`].
+//!
 //! A request must be completed on the communicator that created it; completing
 //! it elsewhere fails with [`MpiError::InvalidCommunicator`]
 //! (checked via the stored context id).
 
 use crate::error::MpiError;
+use crate::pod::{vec_from_bytes, Pod};
+use crate::progress::CollState;
 use crate::types::{CtxId, Rank, Status, Tag};
 use crate::Result;
 
@@ -44,6 +54,10 @@ pub struct Request {
     /// completion writes the payload here through the transports'
     /// allocation-free `recv_into` path instead of allocating a fresh `Vec`.
     pub(crate) buffer: Option<Vec<u8>>,
+    /// Execution state of a nonblocking collective (`i*` operations): the
+    /// resumable schedule plus its owned buffers, advanced by the progress
+    /// engine from `wait`/`test`.
+    pub(crate) coll: Option<Box<CollState>>,
     status: Option<Status>,
     data: Option<Vec<u8>>,
 }
@@ -57,6 +71,7 @@ impl Request {
             src: None,
             tag: None,
             buffer: None,
+            coll: None,
             status: Some(status),
             data: None,
         }
@@ -71,6 +86,7 @@ impl Request {
             src,
             tag,
             buffer: None,
+            coll: None,
             status: None,
             data: None,
         }
@@ -93,9 +109,37 @@ impl Request {
             src,
             tag,
             buffer: Some(buf),
+            coll: None,
             status: None,
             data: None,
         }
+    }
+
+    /// A pending nonblocking collective on communicator `ctx`: `state` holds
+    /// the compiled schedule and its owned buffers; `wait`/`test`-family
+    /// calls on the owning communicator advance it via the progress engine.
+    pub fn coll_pending(ctx: CtxId, state: CollState) -> Self {
+        Request {
+            state: RequestState::RecvPending,
+            ctx,
+            src: None,
+            tag: None,
+            buffer: None,
+            coll: Some(Box::new(state)),
+            status: None,
+            data: None,
+        }
+    }
+
+    /// Whether this is a nonblocking-collective request.
+    pub fn is_coll(&self) -> bool {
+        self.coll.is_some()
+    }
+
+    /// Label of the collective algorithm this request executes (`None` for
+    /// p2p requests or after completion).
+    pub fn coll_algorithm(&self) -> Option<&'static str> {
+        self.coll.as_ref().map(|c| c.sched.label)
     }
 
     /// Whether this is a buffered receive (posted with a caller buffer).
@@ -143,6 +187,18 @@ impl Request {
         self.status
     }
 
+    /// Mark a pending request as failed (comm-internal): its operation
+    /// errored mid-completion (e.g. truncation consumed the message and
+    /// dropped the posted buffer), so the request must not be retried — a
+    /// later `wait`/`test` reports [`MpiError::StaleRequest`] instead of
+    /// silently falling into a different completion path.
+    pub(crate) fn mark_failed(&mut self) {
+        self.state = RequestState::Consumed;
+        self.buffer = None;
+        self.coll = None;
+        self.data = None;
+    }
+
     /// Mark a pending receive as complete with the matched message.
     pub(crate) fn fulfill(&mut self, status: Status, data: Vec<u8>) {
         debug_assert_eq!(self.state, RequestState::RecvPending);
@@ -160,6 +216,34 @@ impl Request {
             }
             _ => Err(MpiError::StaleRequest),
         }
+    }
+
+    /// Mark a completed request as consumed without taking its payload — the
+    /// `MPI_Request_free` analogue for completed requests. Necessary for
+    /// completed *send* requests in a `wait_any` loop (they carry no payload
+    /// for `take_data` to consume, and `wait_any` keeps returning a completed
+    /// request until it is consumed); harmless on an already-consumed
+    /// request. Errors with [`MpiError::StaleRequest`] if the request is
+    /// still pending.
+    pub fn release(&mut self) -> Result<()> {
+        match self.state {
+            RequestState::SendComplete | RequestState::RecvComplete => {
+                self.state = RequestState::Consumed;
+                self.data = None;
+                Ok(())
+            }
+            RequestState::Consumed => Ok(()),
+            RequestState::RecvPending => Err(MpiError::StaleRequest),
+        }
+    }
+
+    /// Take the result of a completed request decoded as `T` values — the
+    /// typed companion of [`Request::take_data`] for nonblocking collectives
+    /// (e.g. the reduced vector of an `iallreduce`, this rank's block of an
+    /// `ireduce_scatter`, the gathered buffer of an `igather_into` root).
+    /// Panics if the byte length is not a multiple of the element size.
+    pub fn take_values<T: Pod>(&mut self) -> Result<Vec<T>> {
+        Ok(vec_from_bytes(&self.take_data()?))
     }
 }
 

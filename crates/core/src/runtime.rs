@@ -13,8 +13,9 @@ use std::sync::Arc;
 use cxl_shm::{ArenaConfig, ArenaLayout, CxlShmArena, CxlView, DaxDevice, HostCache};
 
 use crate::comm::{Comm, CommCollStats};
-use crate::config::{TransportConfig, UniverseConfig};
+use crate::config::{ProgressTuning, TransportConfig, UniverseConfig};
 use crate::error::MpiError;
+use crate::progress::ProgressStats;
 use crate::spin::PoisonFlag;
 use crate::topology::HostTopology;
 use crate::transport::cxl::CxlTransport;
@@ -66,6 +67,10 @@ pub struct RankReport {
     /// `("allreduce/rabenseifner", 3)`). Size-adaptive selection means the
     /// same operation can appear under several labels.
     pub coll_algos: Vec<(String, u64)>,
+    /// Progress-engine counters: nonblocking collectives started/completed
+    /// and the poll/op split between `test`-family calls (progress serviced
+    /// during user compute — the overlap metric) and blocking waits.
+    pub progress: ProgressStats,
 }
 
 /// The universe: builds the simulated platform and runs one closure per rank.
@@ -104,6 +109,7 @@ impl Universe {
         let topology = self.config.topology()?;
         let ranks = topology.ranks();
         let tuning = self.config.coll;
+        let progress_cfg = self.config.progress;
         let body = Arc::new(body);
         // The universe's peer-death flag: cloned into every transport so every
         // blocking wait aborts with `PeerDead` once any rank dies.
@@ -142,8 +148,14 @@ impl Universe {
                             armed: true,
                         };
                         let transport = CxlTransport::new(rank, ranks, arena, &cxl_config, poison)?;
-                        let out =
-                            Self::run_rank(Box::new(transport), topology, tuning, rank, body)?;
+                        let out = Self::run_rank(
+                            Box::new(transport),
+                            topology,
+                            tuning,
+                            progress_cfg,
+                            rank,
+                            body,
+                        )?;
                         guard.disarm();
                         Ok(out)
                     }));
@@ -167,8 +179,14 @@ impl Universe {
                         };
                         let transport =
                             TcpTransport::new(rank, ranks, fabric, shared, &tcp_config, poison)?;
-                        let out =
-                            Self::run_rank(Box::new(transport), topology, tuning, rank, body)?;
+                        let out = Self::run_rank(
+                            Box::new(transport),
+                            topology,
+                            tuning,
+                            progress_cfg,
+                            rank,
+                            body,
+                        )?;
                         guard.disarm();
                         Ok(out)
                     }));
@@ -234,10 +252,11 @@ impl Universe {
         transport: Box<dyn Transport>,
         topology: HostTopology,
         tuning: crate::config::CollTuning,
+        progress_cfg: ProgressTuning,
         rank: Rank,
         body: RankBody<T>,
     ) -> Result<(T, RankReport)> {
-        let mut comm = Comm::world(transport, topology, tuning);
+        let mut comm = Comm::world(transport, topology, tuning, progress_cfg);
         // Every rank enters an initialization barrier before user code runs,
         // mirroring the end of MPI_Init.
         comm.barrier()?;
@@ -249,6 +268,7 @@ impl Universe {
             stats: comm.stats(),
             comm_colls: comm.coll_stats_snapshot(),
             coll_algos: comm.algo_counts_snapshot(),
+            progress: comm.progress_stats(),
         };
         Ok((value, report))
     }

@@ -87,6 +87,11 @@ pub struct CxlTransport {
     matrix: QueueMatrix,
     barrier: SeqBarrier,
     unexpected: UnexpectedQueue,
+    /// One in-flight reassembly per sender ring: the progress engine's drain
+    /// path pulls whatever chunks have arrived into these without ever
+    /// blocking for the rest of a message, so two ranks mid-send to each
+    /// other can both keep pumping (a blocking drain here deadlocked them).
+    partial_rx: Vec<Option<ChunkAssembler>>,
     windows: Vec<Option<WindowState>>,
     cost: CxlCostModel,
     contention: CxlContentionModel,
@@ -180,6 +185,7 @@ impl CxlTransport {
             matrix,
             barrier,
             unexpected: UnexpectedQueue::new(),
+            partial_rx: (0..ranks).map(|_| None).collect(),
             windows: Vec::new(),
             cost: CxlCostModel::default(),
             contention: CxlContentionModel::default(),
@@ -347,30 +353,51 @@ impl CxlTransport {
         }
     }
 
-    /// Pull the next complete message out of the queue from `sender` into
-    /// owned (pool-recycled) storage, reassembling chunks if necessary.
-    /// Returns `None` if that queue is empty.
-    fn poll_queue(&mut self, clock: &mut SimClock, sender: Rank) -> Result<Option<PendingMessage>> {
+    /// Pull every chunk currently available in the ring from `sender` into
+    /// that ring's persistent assembler **without blocking**: chunks of a
+    /// message mid-publication are accepted incrementally (freeing ring
+    /// cells, which is what keeps a sender blocked on flow control moving),
+    /// and the assembly resumes on the next call. Returns the reassembled
+    /// message once its last chunk arrives, `None` when the ring holds
+    /// nothing further (empty, or a partial message whose sender has not
+    /// published more yet).
+    fn pump_ring(&mut self, clock: &mut SimClock, sender: Rank) -> Result<Option<PendingMessage>> {
         let queue = self.matrix.queue(self.rank, sender);
-        let Some(first) = queue.peek_header()? else {
-            return Ok(None);
-        };
-        let total = first.total_len as usize;
-        let buf = self.pool.take(total);
-        let mut assembler =
-            ChunkAssembler::with_buffer(first.src, first.ctx, first.tag, total, buf);
-        let arrival = {
-            // Safety of the direct fill: `chunk_target` bounds-checks against
-            // the message length; timestamps are merged per chunk.
-            let dst = assembler.chunk_target(0, total);
-            self.drain_chunks_into(clock, &queue, &first, dst)?
-        };
-        assembler.commit_chunk(total, arrival);
-        let mut msg = assembler.finish();
-        msg.arrival = clock.now();
-        self.stats.msgs_received += 1;
-        self.stats.bytes_received += total as u64;
-        Ok(Some(msg))
+        let mut asm = self.partial_rx[sender].take();
+        loop {
+            let Some(h) = queue.peek_header()? else {
+                self.partial_rx[sender] = asm;
+                return Ok(None);
+            };
+            if asm.is_none() {
+                // Chunks of one message are contiguous per ring, so a fresh
+                // assembler always starts at a first-of-message header.
+                let total = h.total_len as usize;
+                let buf = self.pool.take(total);
+                asm = Some(ChunkAssembler::with_buffer(h.src, h.ctx, h.tag, total, buf));
+            }
+            let a = asm.as_mut().expect("assembler just ensured");
+            let dst = a.chunk_target(h.chunk_offset as usize, h.chunk_len as usize);
+            let h = queue
+                .try_dequeue_into(clock.now(), dst)?
+                .expect("peeked cell vanished");
+            clock.merge(h.timestamp);
+            self.charge_chunk_read(
+                clock,
+                h.chunk_len as usize + CELL_HEADER_SIZE,
+                h.total_len as usize,
+            );
+            let a = asm.as_mut().expect("assembler present");
+            a.commit_chunk(h.chunk_len as usize, clock.now());
+            if a.is_complete() {
+                let mut msg = asm.take().expect("assembler present").finish();
+                msg.arrival = clock.now();
+                self.partial_rx[sender] = None;
+                self.stats.msgs_received += 1;
+                self.stats.bytes_received += msg.data.len() as u64;
+                return Ok(Some(msg));
+            }
+        }
     }
 
     /// One matching attempt: search the unexpected queue, then poll the
@@ -389,8 +416,10 @@ impl CxlTransport {
             clock.advance(self.cost.mpi_overhead());
             return Ok(Some((m.status, m.data)));
         }
-        for sender in self.candidate_senders(src) {
-            while let Some(msg) = self.poll_queue(clock, sender)? {
+        let (start, count) = self.poll_plan(src);
+        for i in 0..count {
+            let sender = (start + i) % self.ranks;
+            while let Some(msg) = self.pump_ring(clock, sender)? {
                 if msg.matches(ctx, src, tag) {
                     clock.advance(self.cost.mpi_overhead());
                     return Ok(Some((msg.status, msg.data)));
@@ -401,15 +430,19 @@ impl CxlTransport {
         Ok(None)
     }
 
-    /// The queues a receive with source selector `src` must poll, round-robin
-    /// rotated for fairness under wildcard receives.
-    fn candidate_senders(&mut self, src: Option<Rank>) -> Vec<Rank> {
+    /// The ring-poll plan of a receive with source selector `src`:
+    /// `(start, count)` such that the candidate senders are
+    /// `(start + i) % ranks` for `i in 0..count` — a single ring for a
+    /// directed receive, all rings round-robin rotated for fairness under
+    /// wildcards. A plan instead of a `Vec` keeps the steady-state receive
+    /// path allocation-free.
+    fn poll_plan(&mut self, src: Option<Rank>) -> (Rank, usize) {
         match src {
-            Some(s) => vec![s],
+            Some(s) => (s, 1),
             None => {
                 let start = self.poll_cursor;
                 self.poll_cursor = (self.poll_cursor + 1) % self.ranks;
-                (0..self.ranks).map(|i| (start + i) % self.ranks).collect()
+                (start, self.ranks)
             }
         }
     }
@@ -427,40 +460,57 @@ impl CxlTransport {
         buf: &mut [u8],
     ) -> Result<Option<Status>> {
         if let Some(m) = self.unexpected.take_match(ctx, src, tag) {
-            clock.merge(m.arrival);
-            clock.advance(self.cost.mpi_overhead());
-            if m.data.len() > buf.len() {
-                return Err(MpiError::Truncation {
-                    message_len: m.data.len(),
-                    buffer_len: buf.len(),
-                });
-            }
-            buf[..m.data.len()].copy_from_slice(&m.data);
-            self.pool.put(m.data);
-            return Ok(Some(m.status));
+            return self.deliver_staged(clock, m, buf).map(Some);
         }
-        for sender in self.candidate_senders(src) {
+        let (start, count) = self.poll_plan(src);
+        for i in 0..count {
+            let sender = (start + i) % self.ranks;
             loop {
+                // Finish any in-flight partial reassembly first: its chunks
+                // own the ring head, so nothing newer from this sender can
+                // be examined until it completes.
+                if self.partial_rx[sender].is_some() {
+                    match self.pump_ring(clock, sender)? {
+                        Some(msg) => {
+                            if msg.matches(ctx, src, tag) {
+                                return self.deliver_staged(clock, msg, buf).map(Some);
+                            }
+                            self.unexpected.push(msg);
+                            continue;
+                        }
+                        // Still partial: nothing deliverable from this ring.
+                        None => break,
+                    }
+                }
                 let queue = self.matrix.queue(self.rank, sender);
                 let Some(first) = queue.peek_header()? else {
                     break;
                 };
                 if !Self::header_matches(&first, ctx, src, tag) {
-                    // Not ours: reassemble into staging and stash unexpected,
-                    // then look at the next message in this ring.
-                    let msg = self
-                        .poll_queue(clock, sender)?
-                        .expect("peeked message vanished");
-                    self.unexpected.push(msg);
-                    continue;
+                    // Not ours: pump it toward the unexpected queue without
+                    // blocking if it is still being published.
+                    match self.pump_ring(clock, sender)? {
+                        Some(msg) => {
+                            self.unexpected.push(msg);
+                            continue;
+                        }
+                        None => break,
+                    }
                 }
                 let total = first.total_len as usize;
                 if total > buf.len() {
                     // MPI truncation: the message is consumed (into staging,
-                    // recycled immediately) and the receive errors.
-                    let msg = self
-                        .poll_queue(clock, sender)?
-                        .expect("peeked message vanished");
+                    // recycled immediately) and the receive errors. Blocking
+                    // for the remainder is fine — the sender of a matching
+                    // partial message is committed and actively publishing.
+                    let poison = self.poison.clone();
+                    let mut backoff = SpinWait::new();
+                    let msg = loop {
+                        match self.pump_ring(clock, sender)? {
+                            Some(msg) => break msg,
+                            None => backoff.wait(&poison)?,
+                        }
+                    };
                     self.pool.put(msg.data);
                     clock.advance(self.cost.mpi_overhead());
                     return Err(MpiError::Truncation {
@@ -468,7 +518,9 @@ impl CxlTransport {
                         buffer_len: buf.len(),
                     });
                 }
-                // Direct path: chunks land in the caller's buffer.
+                // Direct path: chunks land in the caller's buffer, with no
+                // staging copy. Waits for the remainder of a matching
+                // message mid-publication — safe for the same reason.
                 self.drain_chunks_into(clock, &queue, &first, buf)?;
                 self.stats.msgs_received += 1;
                 self.stats.bytes_received += total as u64;
@@ -477,6 +529,27 @@ impl CxlTransport {
             }
         }
         Ok(None)
+    }
+
+    /// Deliver a staged (unexpected or freshly pumped) message into the
+    /// caller's buffer, recycling its staging storage through the pool.
+    fn deliver_staged(
+        &mut self,
+        clock: &mut SimClock,
+        m: PendingMessage,
+        buf: &mut [u8],
+    ) -> Result<Status> {
+        clock.merge(m.arrival);
+        clock.advance(self.cost.mpi_overhead());
+        if m.data.len() > buf.len() {
+            return Err(MpiError::Truncation {
+                message_len: m.data.len(),
+                buffer_len: buf.len(),
+            });
+        }
+        buf[..m.data.len()].copy_from_slice(&m.data);
+        self.pool.put(m.data);
+        Ok(m.status)
     }
 }
 
@@ -607,6 +680,84 @@ impl Transport for CxlTransport {
             self.check_rank(s)?;
         }
         self.try_match_once_into(clock, ctx, src, tag, buf)
+    }
+
+    fn try_send_progress(
+        &mut self,
+        clock: &mut SimClock,
+        dst: Rank,
+        ctx: CtxId,
+        tag: Tag,
+        data: &[u8],
+        cursor: &mut usize,
+    ) -> Result<bool> {
+        self.check_rank(dst)?;
+        let total = data.len();
+        // The cursor counts chunks already enqueued (a zero-length message is
+        // one header-only chunk).
+        let total_chunks = total.div_ceil(self.cell_payload).max(1);
+        let queue = self.matrix.queue(dst, self.rank);
+        let mut scratch = std::mem::take(&mut self.tx_scratch);
+        while *cursor < total_chunks {
+            let offset = *cursor * self.cell_payload;
+            let chunk_end = (offset + self.cell_payload).min(total);
+            let chunk = &data[offset..chunk_end];
+            if !queue.has_space()? {
+                // Ring full: the receiver is behind. Merge its published
+                // timestamp so our clock reflects the stall, then hand
+                // control back instead of spinning — the caller drains its
+                // own inbound rings and retries.
+                clock.merge(queue.head_timestamp()?);
+                clock.advance(self.cost.nt_access());
+                self.tx_scratch = scratch;
+                return Ok(false);
+            }
+            if *cursor == 0 {
+                clock.advance(self.cost.mpi_overhead());
+            }
+            // Charge the publish cost first, then stamp the cell with the
+            // time at which the data is actually visible.
+            self.charge_chunk_write(clock, chunk.len() + CELL_HEADER_SIZE, total);
+            let header = CellHeader {
+                src: self.rank,
+                ctx,
+                tag,
+                total_len: total as u64,
+                chunk_offset: offset as u64,
+                chunk_len: chunk.len() as u32,
+                timestamp: clock.now(),
+            };
+            // Single producer per (dst, src) ring: `has_space` cannot be
+            // invalidated between the check and this enqueue.
+            let enqueued = queue.try_enqueue_with_scratch(&header, chunk, &mut scratch)?;
+            debug_assert!(enqueued, "ring filled despite has_space");
+            *cursor += 1;
+        }
+        self.tx_scratch = scratch;
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += total as u64;
+        Ok(true)
+    }
+
+    fn poll_incoming(&mut self, clock: &mut SimClock) -> Result<usize> {
+        // Drain every incoming ring into the pool-backed unexpected queue:
+        // each cell freed returns ring space to the sender, so a peer
+        // blocked on ring-full flow control can finish its send while this
+        // rank is otherwise busy. `pump_ring` accepts partial messages
+        // incrementally and never blocks — essential, because the sender of
+        // a half-published message may itself be spinning in its own
+        // send-commit loop waiting for the cells this drain frees.
+        let mut moved = 0usize;
+        for sender in 0..self.ranks {
+            if sender == self.rank {
+                continue;
+            }
+            while let Some(msg) = self.pump_ring(clock, sender)? {
+                self.unexpected.push(msg);
+                moved += 1;
+            }
+        }
+        Ok(moved)
     }
 
     fn barrier(&mut self, clock: &mut SimClock) -> Result<()> {

@@ -226,6 +226,45 @@ pub trait Transport: Send {
         Ok(status)
     }
 
+    /// Make nonblocking progress on sending `data` to `dst`: `cursor` is the
+    /// transport-opaque resume state (start at 0 for a fresh message, pass
+    /// the same variable back on re-entry). Returns `true` once the whole
+    /// message has been handed off, `false` — without blocking — when
+    /// transport flow control (a full ring whose receiver has not drained)
+    /// stops the send partway. The progress engine uses this for schedule
+    /// `Send` ops so that two ranks driving independent outstanding
+    /// schedules can never wedge inside each other's blocking sends.
+    ///
+    /// The default forwards to the blocking [`Transport::send`], which is
+    /// correct for transports whose sends never block on a peer (the TCP
+    /// fabric channel is unbounded).
+    fn try_send_progress(
+        &mut self,
+        clock: &mut SimClock,
+        dst: Rank,
+        ctx: CtxId,
+        tag: Tag,
+        data: &[u8],
+        cursor: &mut usize,
+    ) -> Result<bool> {
+        debug_assert_eq!(*cursor, 0, "default try_send_progress cannot resume");
+        self.send(clock, dst, ctx, tag, data)?;
+        *cursor = data.len();
+        Ok(true)
+    }
+
+    /// Opportunistically move fully-arrived messages off the wire into local
+    /// staging (the unexpected-message queue / endpoint stash) without
+    /// matching them against any receive. Returns how many messages were
+    /// moved. Called by the progress engine (`Comm::progress`) so that a rank
+    /// deep in user compute still frees transport flow-control resources —
+    /// ring cells on the CXL transport — letting its peers' sends complete.
+    /// The default is a no-op for transports without sender-visible flow
+    /// control.
+    fn poll_incoming(&mut self, _clock: &mut SimClock) -> Result<usize> {
+        Ok(0)
+    }
+
     /// Non-blocking variant of [`Transport::recv_into`]: `Ok(None)` when no
     /// matching message is currently available.
     fn try_recv_into(

@@ -414,6 +414,14 @@ impl Transport for TcpTransport {
         )))
     }
 
+    fn poll_incoming(&mut self, _clock: &mut SimClock) -> Result<usize> {
+        // The fabric channel is unbounded, so senders never stall on this
+        // transport; draining into the endpoint stash still takes delivery of
+        // arrived traffic early, which keeps the progress engine's view of
+        // "messages moved during compute" comparable across transports.
+        Ok(self.endpoint.drain())
+    }
+
     fn barrier(&mut self, clock: &mut SimClock) -> Result<()> {
         // A dissemination barrier costs ⌈log2(n)⌉ message exchanges; charge
         // that, then synchronize functionally through the shared array.

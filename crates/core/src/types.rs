@@ -26,8 +26,17 @@ pub const WORLD_CTX: CtxId = 0;
 /// Wildcard accepted by receive operations: match any source rank.
 pub const ANY_SOURCE: Option<Rank> = None;
 
-/// Wildcard accepted by receive operations: match any tag.
+/// Wildcard accepted by receive operations: match any *user* tag. Tags at and
+/// above [`COLL_TAG_BASE`] are reserved for the collective layer's internal
+/// traffic and are never matched by a wildcard, so wildcard receives can run
+/// concurrently with (blocking or nonblocking) collectives on the same
+/// communicator without stealing their messages.
 pub const ANY_TAG: Option<Tag> = None;
+
+/// First tag of the range reserved for collective-internal traffic. User
+/// point-to-point tags should stay below this value; a receive posted with a
+/// wildcard tag will only match tags below it.
+pub const COLL_TAG_BASE: Tag = 0x4000_0000;
 
 /// Completion information returned by receive and wait operations
 /// (the equivalent of `MPI_Status`). The `source` is expressed in the ranks of
@@ -159,9 +168,15 @@ pub(crate) fn source_matches(selector: Option<Rank>, actual: Rank) -> bool {
     selector.is_none_or(|s| s == actual)
 }
 
-/// Selector helpers for receives.
+/// Selector helpers for receives. A wildcard (`None`) matches user tags only:
+/// the collective-reserved range at and above [`COLL_TAG_BASE`] requires an
+/// exact selector, which keeps outstanding collectives' internal traffic
+/// invisible to application wildcard receives.
 pub(crate) fn tag_matches(selector: Option<Tag>, actual: Tag) -> bool {
-    selector.is_none_or(|t| t == actual)
+    match selector {
+        Some(t) => t == actual,
+        None => actual < COLL_TAG_BASE,
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +238,15 @@ mod tests {
         assert!(tag_matches(None, 9));
         assert!(tag_matches(Some(9), 9));
         assert!(!tag_matches(Some(8), 9));
+    }
+
+    #[test]
+    fn wildcard_skips_reserved_collective_tags() {
+        assert!(tag_matches(None, COLL_TAG_BASE - 1));
+        assert!(!tag_matches(None, COLL_TAG_BASE));
+        assert!(!tag_matches(None, COLL_TAG_BASE + 17));
+        // Exact selectors still reach the reserved range (the collective layer
+        // itself posts them).
+        assert!(tag_matches(Some(COLL_TAG_BASE + 17), COLL_TAG_BASE + 17));
     }
 }

@@ -307,6 +307,20 @@ impl TcpEndpoint {
     pub fn pending(&self) -> usize {
         self.stash.len() + self.rx.len()
     }
+
+    /// Move every message queued in the fabric channel into the endpoint's
+    /// local stash without matching, returning how many were moved. Lets an
+    /// MPI progress engine take delivery of arrived traffic while the rank is
+    /// computing; later receives match against the stash first, preserving
+    /// arrival order.
+    pub fn drain(&mut self) -> usize {
+        let mut moved = 0usize;
+        while let Ok(msg) = self.rx.try_recv() {
+            self.stash.push(msg);
+            moved += 1;
+        }
+        moved
+    }
 }
 
 #[cfg(test)]

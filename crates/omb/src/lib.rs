@@ -20,8 +20,8 @@ pub mod sweep;
 
 pub use coherencebench::{memset_latency_us, MemsetPoint};
 pub use kernels::{
-    one_sided_put_bandwidth, one_sided_put_latency, subgroup_allreduce_latency,
-    two_sided_bandwidth, two_sided_latency, BenchPoint,
+    nonblocking_allreduce_overlap, one_sided_put_bandwidth, one_sided_put_latency,
+    subgroup_allreduce_latency, two_sided_bandwidth, two_sided_latency, BenchPoint, OverlapPoint,
 };
 pub use sweep::{osu_message_sizes, process_counts, small_message_sizes};
 

@@ -87,6 +87,7 @@ impl ProxyApp for CgProxy {
             compute_ns,
             messages,
             serial_latency_rounds: allreduce_rounds,
+            overlap: 0.0,
             repeat: iterations,
         }]
     }

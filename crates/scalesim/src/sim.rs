@@ -28,6 +28,12 @@ pub struct Superstep {
     /// per-block halo messages issued back-to-back): each round costs one
     /// inter-node latency on the critical path.
     pub serial_latency_rounds: usize,
+    /// Fraction of the communication phase hidden behind the compute phase
+    /// (`0.0` = fully serialized blocking communication, `1.0` = ideal
+    /// nonblocking overlap). Models apps that post `i*` collectives /
+    /// `isend`s before computing and complete them afterwards: the hidden
+    /// portion is bounded by the compute time actually available.
+    pub overlap: f64,
     /// How many times this superstep repeats back-to-back.
     pub repeat: usize,
 }
@@ -39,6 +45,7 @@ impl Superstep {
             compute_ns,
             messages: Vec::new(),
             serial_latency_rounds: 0,
+            overlap: 0.0,
             repeat,
         }
     }
@@ -133,7 +140,13 @@ impl Simulator {
             comm_ns = comm_ns.max(t);
         }
         let comm_ns = comm_ns + serial_ns;
-        (step.compute_ns + comm_ns, comm_ns)
+        // Overlap model: a fraction of the communication is posted
+        // nonblocking before the compute phase and progressed during it, so
+        // up to `overlap · comm` hides behind compute (never more than the
+        // compute that exists to hide it in).
+        let hidden = (comm_ns * step.overlap.clamp(0.0, 1.0)).min(step.compute_ns);
+        let exposed = comm_ns - hidden;
+        (step.compute_ns + exposed, exposed)
     }
 
     /// Simulate a whole application (a list of supersteps with repeat counts).
@@ -184,6 +197,7 @@ mod tests {
             compute_ns: 1e6,
             messages: vec![],
             serial_latency_rounds: 0,
+            overlap: 0.0,
             repeat: 10,
         };
         let out = s.run(&[step]);
@@ -203,6 +217,7 @@ mod tests {
                 bytes: 1 << 20,
             }],
             serial_latency_rounds: 0,
+            overlap: 0.0,
             repeat: 1,
         };
         let inter = Superstep {
@@ -213,6 +228,7 @@ mod tests {
                 bytes: 1 << 20,
             }],
             serial_latency_rounds: 0,
+            overlap: 0.0,
             repeat: 1,
         };
         let (t_intra, _) = s.step_time(&intra);
@@ -231,6 +247,7 @@ mod tests {
                 bytes: 10 << 20,
             }],
             serial_latency_rounds: 0,
+            overlap: 0.0,
             repeat: 1,
         };
         let many: Vec<Message> = (0..8)
@@ -244,6 +261,7 @@ mod tests {
             compute_ns: 0.0,
             messages: many,
             serial_latency_rounds: 0,
+            overlap: 0.0,
             repeat: 1,
         };
         let (t_one, _) = s.step_time(&one);
@@ -261,6 +279,7 @@ mod tests {
                 bytes: 64 * 1024,
             }],
             serial_latency_rounds: 0,
+            overlap: 0.0,
             repeat: 100,
         };
         let cxl = Simulator::new(NetworkParams::for_transport(TransportClass::CxlShm), 2, 8)

@@ -15,6 +15,7 @@ fn cxl_config_with_cell(ranks: usize, cell: usize) -> UniverseConfig {
             ..CxlShmTransportConfig::small()
         }),
         coll: CollTuning::default(),
+        progress: Default::default(),
     }
 }
 

@@ -7,35 +7,10 @@
 //! halving/pairwise reduce-scatter), asserting both the numeric results and
 //! the algorithm labels surfaced in `RankReport::coll_algos`.
 
-use cmpi::fabric::cost::TcpNic;
-use cmpi::mpi::{CollTuning, Comm, ReduceOp, Universe, UniverseConfig};
+use cmpi::mpi::{Comm, ReduceOp, Universe, UniverseConfig};
 
-fn configs(ranks: usize) -> Vec<(&'static str, UniverseConfig)> {
-    vec![
-        ("CXL-SHM", UniverseConfig::cxl_small(ranks)),
-        ("TCP", UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx)),
-    ]
-}
-
-/// Thresholds that force the large-message algorithms at tiny sizes.
-fn force_large() -> CollTuning {
-    CollTuning {
-        bcast_scatter_allgather_min_bytes: 1,
-        allreduce_rabenseifner_min_bytes: 1,
-        allgather_bruck_max_bytes: 0,
-        reduce_scatter_direct_min_bytes: 1,
-    }
-}
-
-/// Thresholds that force the small-message algorithms at any size.
-fn force_small() -> CollTuning {
-    CollTuning {
-        bcast_scatter_allgather_min_bytes: usize::MAX,
-        allreduce_rabenseifner_min_bytes: usize::MAX,
-        allgather_bruck_max_bytes: usize::MAX,
-        reduce_scatter_direct_min_bytes: usize::MAX,
-    }
-}
+mod common;
+use common::{configs, force_large, force_small};
 
 #[test]
 fn non_power_of_two_allreduce_matches_naive_reference() {

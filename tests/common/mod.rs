@@ -1,0 +1,37 @@
+//! Shared scaffolding for the integration-test suites: the two-transport
+//! configuration matrix and the tuning overrides that force every collective
+//! algorithm branch.
+
+#![allow(dead_code)] // not every suite uses every helper
+
+use cmpi::fabric::cost::TcpNic;
+use cmpi::mpi::{CollTuning, UniverseConfig};
+
+/// Both transports at `ranks` ranks (small CXL cells so chunking is
+/// exercised, Mellanox for the faster TCP baseline).
+pub fn configs(ranks: usize) -> Vec<(&'static str, UniverseConfig)> {
+    vec![
+        ("CXL-SHM", UniverseConfig::cxl_small(ranks)),
+        ("TCP", UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx)),
+    ]
+}
+
+/// Thresholds that force the large-message algorithms at tiny sizes.
+pub fn force_large() -> CollTuning {
+    CollTuning {
+        bcast_scatter_allgather_min_bytes: 1,
+        allreduce_rabenseifner_min_bytes: 1,
+        allgather_bruck_max_bytes: 0,
+        reduce_scatter_direct_min_bytes: 1,
+    }
+}
+
+/// Thresholds that force the small-message algorithms at any size.
+pub fn force_small() -> CollTuning {
+    CollTuning {
+        bcast_scatter_allgather_min_bytes: usize::MAX,
+        allreduce_rabenseifner_min_bytes: usize::MAX,
+        allgather_bruck_max_bytes: usize::MAX,
+        reduce_scatter_direct_min_bytes: usize::MAX,
+    }
+}

@@ -1,0 +1,306 @@
+//! RMA window-API conformance, end-to-end on both transports: fence epochs,
+//! PSCW (including multiple origins per target and multiple targets per
+//! origin), passive-target lock/unlock mutual exclusion through the bakery
+//! lock (CXL) / lock table (TCP), local window access visibility, error
+//! states, and behaviour on split sub-communicators (world-spanning splits
+//! keep the full window API; true subsets get the documented
+//! `InvalidCommunicator` rejection).
+
+use cmpi::mpi::pod::{bytes_to_f64, f64_to_bytes};
+use cmpi::mpi::{Comm, MpiError, ReduceOp, Universe};
+
+mod common;
+use common::configs;
+
+#[test]
+fn fence_epochs_order_puts_gets_and_local_access() {
+    // Three fence-delimited epochs: everyone puts into its right neighbour,
+    // the target reads the value locally, writes a reply locally, and the
+    // origin gets it back. Every transition is fence-synchronized, so each
+    // epoch must observe all of the previous epoch's RMA.
+    for (label, config) in configs(4) {
+        Universe::run(config, move |comm: &mut Comm| {
+            let n = comm.size();
+            let me = comm.rank();
+            let right = (me + 1) % n;
+            let left = (me + n - 1) % n;
+            let win = comm.win_allocate(64)?;
+
+            // Epoch 1: put my rank stamp into my right neighbour's window.
+            comm.win_fence(win)?;
+            comm.put(win, right, 0, &[me as u8; 8])?;
+            comm.win_fence(win)?;
+
+            // Epoch 2: the put must be visible locally; reply via local write.
+            let mut got = [0u8; 8];
+            comm.win_read_local(win, 0, &mut got)?;
+            assert_eq!(got, [left as u8; 8], "{label}: put not visible at target");
+            comm.win_write_local(win, 8, &[(me * 10) as u8; 4])?;
+            comm.win_fence(win)?;
+
+            // Epoch 3: get the neighbour's locally-written reply.
+            let mut reply = [0u8; 4];
+            comm.get(win, right, 8, &mut reply)?;
+            assert_eq!(
+                reply,
+                [(right * 10) as u8; 4],
+                "{label}: local write not visible to remote get"
+            );
+            comm.win_fence(win)?;
+            comm.win_free(win)?;
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn pscw_multiple_origins_per_target() {
+    // Ranks 1..n all open access epochs to target 0, which posts one
+    // exposure epoch naming every origin; each origin puts into a disjoint
+    // slot. win_wait must not return before *all* origins completed, so the
+    // target must observe every slot filled.
+    for (label, config) in configs(4) {
+        Universe::run(config, move |comm: &mut Comm| {
+            let n = comm.size();
+            let me = comm.rank();
+            let win = comm.win_allocate(8 * n)?;
+            if me == 0 {
+                let origins: Vec<usize> = (1..n).collect();
+                comm.win_post(win, &origins)?;
+                comm.win_wait(win)?;
+                for origin in 1..n {
+                    let mut slot = [0u8; 8];
+                    comm.win_read_local(win, origin * 8, &mut slot)?;
+                    assert_eq!(
+                        slot, [origin as u8; 8],
+                        "{label}: origin {origin}'s put missing after win_wait"
+                    );
+                }
+            } else {
+                comm.win_start(win, &[0])?;
+                comm.put(win, 0, me * 8, &[me as u8; 8])?;
+                comm.win_complete(win)?;
+            }
+            comm.barrier()?;
+            comm.win_free(win)?;
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn pscw_multiple_targets_per_origin_and_repeat_epochs() {
+    // One origin (rank 0) opens a single access epoch to every other rank,
+    // and the whole pattern repeats to check the flags reset correctly
+    // between epochs.
+    for (label, config) in configs(3) {
+        Universe::run(config, move |comm: &mut Comm| {
+            let n = comm.size();
+            let me = comm.rank();
+            let win = comm.win_allocate(32)?;
+            for epoch in 0u8..3 {
+                if me == 0 {
+                    let targets: Vec<usize> = (1..n).collect();
+                    comm.win_start(win, &targets)?;
+                    for t in 1..n {
+                        comm.put(win, t, 0, &[epoch + t as u8; 4])?;
+                    }
+                    comm.win_complete(win)?;
+                } else {
+                    comm.win_post(win, &[0])?;
+                    comm.win_wait(win)?;
+                    let mut slot = [0u8; 4];
+                    comm.win_read_local(win, 0, &mut slot)?;
+                    assert_eq!(
+                        slot,
+                        [epoch + me as u8; 4],
+                        "{label}: epoch {epoch} put missing at target {me}"
+                    );
+                }
+            }
+            comm.barrier()?;
+            comm.win_free(win)?;
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn passive_target_lock_provides_mutual_exclusion() {
+    // Every rank increments a counter in rank 0's window under the exclusive
+    // lock, read-modify-write with a deliberately racy get/put pair: only
+    // mutual exclusion makes the final count equal the rank count. Repeats
+    // amplify any lost update.
+    const ROUNDS: usize = 5;
+    for (label, config) in configs(4) {
+        let results = Universe::run(config, move |comm: &mut Comm| {
+            let win = comm.win_allocate(16)?;
+            if comm.rank() == 0 {
+                comm.win_write_local(win, 0, &f64_to_bytes(&[0.0]))?;
+            }
+            comm.barrier()?;
+            for _ in 0..ROUNDS {
+                comm.win_lock(win, 0)?;
+                let mut cur = [0u8; 8];
+                comm.get(win, 0, 0, &mut cur)?;
+                let v = bytes_to_f64(&cur)[0] + 1.0;
+                comm.put(win, 0, 0, &f64_to_bytes(&[v]))?;
+                comm.win_unlock(win, 0)?;
+            }
+            comm.barrier()?;
+            let mut finl = [0u8; 8];
+            if comm.rank() == 0 {
+                comm.win_read_local(win, 0, &mut finl)?;
+            }
+            comm.win_free(win)?;
+            Ok(bytes_to_f64(&finl)[0] * (comm.rank() == 0) as u8 as f64)
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(
+            results[0].0,
+            (4 * ROUNDS) as f64,
+            "{label}: lost updates under the exclusive lock"
+        );
+    }
+}
+
+#[test]
+fn lock_and_accumulate_mix_with_fence() {
+    // Accumulate under passive-target locks between fences (the
+    // one_sided_fence_and_accumulate pattern, extended with a second slot
+    // and a max-reduction).
+    for (label, config) in configs(4) {
+        Universe::run(config, move |comm: &mut Comm| {
+            let n = comm.size();
+            let me = comm.rank();
+            let win = comm.win_allocate(64)?;
+            if me == 0 {
+                comm.win_write_local(win, 0, &f64_to_bytes(&[0.0, f64::NEG_INFINITY]))?;
+            }
+            comm.win_fence(win)?;
+            comm.win_lock(win, 0)?;
+            comm.accumulate(win, 0, 0, &[2.0], ReduceOp::Sum)?;
+            comm.accumulate(win, 0, 8, &[me as f64], ReduceOp::Max)?;
+            comm.win_unlock(win, 0)?;
+            comm.win_fence(win)?;
+            if me == 0 {
+                let mut buf = [0u8; 16];
+                comm.win_read_local(win, 0, &mut buf)?;
+                let vals = bytes_to_f64(&buf);
+                assert_eq!(vals[0], 2.0 * n as f64, "{label}: sum accumulate");
+                assert_eq!(vals[1], (n - 1) as f64, "{label}: max accumulate");
+            }
+            comm.win_free(win)?;
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn sync_state_errors_are_rejected_on_both_transports() {
+    for (label, config) in configs(2) {
+        Universe::run(config, move |comm: &mut Comm| {
+            let win = comm.win_allocate(32)?;
+            // Epoch-state machine violations.
+            assert!(matches!(
+                comm.win_complete(win),
+                Err(MpiError::InvalidSyncState(_))
+            ));
+            assert!(matches!(
+                comm.win_wait(win),
+                Err(MpiError::InvalidSyncState(_))
+            ));
+            assert!(matches!(
+                comm.win_unlock(win, 0),
+                Err(MpiError::InvalidSyncState(_))
+            ));
+            // Double lock on the same target.
+            comm.win_lock(win, 0)?;
+            assert!(matches!(
+                comm.win_lock(win, 0),
+                Err(MpiError::InvalidSyncState(_))
+            ));
+            comm.win_unlock(win, 0)?;
+            // Bounds and stale-window errors.
+            assert!(matches!(
+                comm.put(win, 0, 1 << 20, &[0u8; 8]),
+                Err(MpiError::WindowOutOfBounds { .. })
+            ));
+            assert!(matches!(
+                comm.get(99, 0, 0, &mut [0u8; 1]),
+                Err(MpiError::InvalidWindow(99))
+            ));
+            comm.barrier()?;
+            comm.win_free(win)?;
+            assert!(matches!(
+                comm.put(win, 0, 0, &[0u8; 1]),
+                Err(MpiError::InvalidWindow(_))
+            ));
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn windows_on_split_communicators() {
+    // A same-group split is still world-spanning: the full window API must
+    // work through it, with local ranks translated (the split reverses rank
+    // order via the key). A true subset communicator must reject window
+    // calls with InvalidCommunicator on both transports.
+    for (label, config) in configs(4) {
+        Universe::run(config, move |comm: &mut Comm| {
+            let me = comm.rank();
+            let n = comm.size();
+            // Reverse-order world-spanning split: local rank = n-1-me.
+            let mut rev = comm
+                .comm_split(0, (n - me) as i32)?
+                .expect("color 0 keeps everyone");
+            assert_eq!(rev.size(), n);
+            assert_eq!(rev.rank(), n - 1 - me);
+            let win = rev.win_allocate(32)?;
+            let lme = rev.rank();
+            let lright = (lme + 1) % n;
+            // Fence + put through *local* ranks of the reversed communicator.
+            rev.win_fence(win)?;
+            rev.put(win, lright, 0, &[lme as u8; 4])?;
+            rev.win_fence(win)?;
+            let mut got = [0u8; 4];
+            rev.win_read_local(win, 0, &mut got)?;
+            assert_eq!(
+                got,
+                [((lme + n - 1) % n) as u8; 4],
+                "{label}: put through reversed split landed wrong"
+            );
+            // PSCW through the split's rank space.
+            if lme == 0 {
+                rev.win_post(win, &[1])?;
+                rev.win_wait(win)?;
+                let mut slot = [0u8; 4];
+                rev.win_read_local(win, 16, &mut slot)?;
+                assert_eq!(slot, [9u8; 4], "{label}: PSCW through split");
+            } else if lme == 1 {
+                rev.win_start(win, &[0])?;
+                rev.put(win, 0, 16, &[9u8; 4])?;
+                rev.win_complete(win)?;
+            }
+            rev.barrier()?;
+            rev.win_free(win)?;
+
+            // True subsets reject the window API.
+            let mut solo = comm.comm_split(me as i32, 0)?.expect("own color");
+            assert_eq!(solo.size(), 1);
+            assert!(matches!(
+                solo.win_allocate(16),
+                Err(MpiError::InvalidCommunicator(_))
+            ));
+            comm.barrier()?;
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
