@@ -12,6 +12,7 @@ fn config_with(mode: CoherenceMode, ranks: usize) -> UniverseConfig {
     UniverseConfig {
         ranks,
         hosts: 2,
+        placement: Default::default(),
         transport: TransportConfig::CxlShm(CxlShmTransportConfig {
             coherence: mode,
             ..Default::default()

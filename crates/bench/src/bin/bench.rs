@@ -1,7 +1,11 @@
-//! The JSON perf harness: p2p latency/bandwidth, collective sweeps and the
-//! nonblocking-collective overlap kernel across both transports, written as
-//! `BENCH_collectives.json` for the perf trajectory (`BENCH_*.json` files are
-//! diffed PR-over-PR).
+//! The JSON perf harness: p2p latency/bandwidth, collective sweeps, the
+//! flat-vs-hierarchical topology sweep and the nonblocking-collective overlap
+//! kernel across both transports, written as `BENCH_collectives.json`
+//! (schema v3) for the perf trajectory (`BENCH_*.json` files are diffed
+//! PR-over-PR). The `hierarchy` section records, per (op, layout, size), the
+//! same collective with the two-level composition forced off and forced on,
+//! plus the speedup — the acceptance surface for the topology-aware
+//! collective stack.
 //!
 //! Two kinds of numbers are recorded:
 //!
@@ -22,7 +26,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cmpi_core::{Comm, ReduceOp, UniverseConfig};
+use cmpi_core::{CollTuning, Comm, HierarchyMode, HostPlacement, ReduceOp, UniverseConfig};
 use cmpi_fabric::cost::TcpNic;
 use cmpi_omb::nonblocking_allreduce_overlap;
 
@@ -54,6 +58,30 @@ struct CollRow {
     size: usize,
     time_ns: f64,
     algorithm: String,
+}
+
+/// One flat-vs-hierarchical measurement row of the topology sweep.
+struct HierRow {
+    op: &'static str,
+    transport: &'static str,
+    layout: &'static str,
+    ranks: usize,
+    hosts: usize,
+    size: usize,
+    flat_ns: f64,
+    flat_algorithm: String,
+    hier_ns: f64,
+    hier_algorithm: String,
+}
+
+impl HierRow {
+    fn speedup(&self) -> f64 {
+        if self.hier_ns > 0.0 {
+            self.flat_ns / self.hier_ns
+        } else {
+            0.0
+        }
+    }
 }
 
 fn smoke() -> bool {
@@ -227,6 +255,73 @@ fn main() {
         }
     }
 
+    // Flat vs hierarchical collectives across host layouts: same op, same
+    // payload, hierarchy forced off ("flat") vs forced on ("hier"). The
+    // two_hosts rows at 1 MiB are the acceptance surface: the hierarchical
+    // composition must beat the flat algorithm on the 2-host × 4-ranks-per-host
+    // layout.
+    let flat_tuning = CollTuning {
+        hierarchy: HierarchyMode::Off,
+        ..CollTuning::default()
+    };
+    let hier_tuning = CollTuning {
+        hierarchy: HierarchyMode::Force,
+        ..CollTuning::default()
+    };
+    // (name, ranks, hosts, placement, also-on-tcp)
+    let layouts: Vec<(&'static str, usize, usize, HostPlacement, bool)> = if smoke() {
+        vec![("two_hosts", 4, 2, HostPlacement::Blocked, false)]
+    } else {
+        vec![
+            ("two_hosts", 8, 2, HostPlacement::Blocked, true),
+            ("blocked_3x2", 6, 3, HostPlacement::Blocked, false),
+            ("round_robin", 8, 2, HostPlacement::RoundRobin, false),
+        ]
+    };
+    let hier_sizes: Vec<usize> = if smoke() {
+        vec![64 * 1024]
+    } else {
+        vec![64 * 1024, 1024 * 1024]
+    };
+    let mut hier_rows: Vec<HierRow> = Vec::new();
+    for &(layout, ranks, hosts, ref placement, on_tcp) in &layouts {
+        for (tlabel, config) in transports(ranks) {
+            if tlabel != "CXL-SHM" && !on_tcp {
+                continue;
+            }
+            let config = config.with_hosts(hosts).with_placement(placement.clone());
+            for op in ["bcast", "allreduce", "allgather"] {
+                for &size in &hier_sizes {
+                    eprintln!("hier sweep {op} {tlabel} {layout} n={ranks} {size} B ...");
+                    let (flat_ns, flat_algorithm) = collective_time(
+                        config.clone().with_coll_tuning(flat_tuning),
+                        op,
+                        size,
+                        iters,
+                    );
+                    let (hier_ns, hier_algorithm) = collective_time(
+                        config.clone().with_coll_tuning(hier_tuning),
+                        op,
+                        size,
+                        iters,
+                    );
+                    hier_rows.push(HierRow {
+                        op,
+                        transport: tlabel,
+                        layout,
+                        ranks,
+                        hosts,
+                        size,
+                        flat_ns,
+                        flat_algorithm,
+                        hier_ns,
+                        hier_algorithm,
+                    });
+                }
+            }
+        }
+    }
+
     // Nonblocking-collective overlap: progress serviced during user compute.
     let overlap_ranks: Vec<usize> = if smoke() { vec![2] } else { vec![4, 6] };
     let overlap_sizes: Vec<usize> = if smoke() {
@@ -254,16 +349,21 @@ fn main() {
         }
     }
 
-    let json = render_json(&p2p_rows, &coll_rows, &overlap_rows);
+    let json = render_json(&p2p_rows, &coll_rows, &hier_rows, &overlap_rows);
     let out = std::env::var("CMPI_BENCH_OUT").unwrap_or_else(|_| "BENCH_collectives.json".into());
     std::fs::write(&out, &json).expect("write BENCH json");
     eprintln!("wrote {out}");
     println!("{json}");
 }
 
-fn render_json(p2p: &[P2pRow], colls: &[CollRow], overlaps: &[OverlapRow]) -> String {
+fn render_json(
+    p2p: &[P2pRow],
+    colls: &[CollRow],
+    hier: &[HierRow],
+    overlaps: &[OverlapRow],
+) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v2\",\n");
+    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v3\",\n");
     s.push_str("  \"smoke\": ");
     s.push_str(if smoke() { "true" } else { "false" });
     s.push_str(",\n  \"baseline_pre_pr\": ");
@@ -308,6 +408,25 @@ fn render_json(p2p: &[P2pRow], colls: &[CollRow], overlaps: &[OverlapRow]) -> St
             r.time_ns,
             r.algorithm,
             if i + 1 < colls.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"hierarchy\": [\n");
+    for (i, r) in hier.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"op\": \"{}\", \"transport\": \"{}\", \"layout\": \"{}\", \"ranks\": {}, \"hosts\": {}, \"size_bytes\": {}, \"flat_ns\": {:.1}, \"flat_algorithm\": \"{}\", \"hier_ns\": {:.1}, \"hier_algorithm\": \"{}\", \"hier_speedup\": {:.3}}}{}",
+            r.op,
+            r.transport,
+            r.layout,
+            r.ranks,
+            r.hosts,
+            r.size,
+            r.flat_ns,
+            r.flat_algorithm,
+            r.hier_ns,
+            r.hier_algorithm,
+            r.speedup(),
+            if i + 1 < hier.len() { "," } else { "" }
         );
     }
     s.push_str("  ]\n}\n");

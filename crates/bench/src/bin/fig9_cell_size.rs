@@ -18,6 +18,7 @@ fn main() {
                 let config = UniverseConfig {
                     ranks: p,
                     hosts: 2,
+                    placement: Default::default(),
                     transport: TransportConfig::CxlShm(CxlShmTransportConfig::with_cell_size(cell)),
                     coll: Default::default(),
                     progress: Default::default(),

@@ -25,7 +25,9 @@ use cmpi_fabric::SimClock;
 use cxl_shm::ShmObject;
 
 use crate::coll::{build_barrier, CommView};
+use crate::config::CollTuning;
 use crate::spin::{PoisonFlag, SpinWait};
+use crate::topology::HostHierarchy;
 use crate::transport::Transport;
 use crate::types::Rank;
 use crate::Result;
@@ -36,20 +38,27 @@ use crate::Result;
 /// In round `k` (of `⌈log2 n⌉`), local rank `i` sends a zero-byte token to
 /// `(i + 2^k) mod n` and waits for the token from `(i - 2^k) mod n`. After the
 /// last round every rank transitively depends on every other rank's arrival,
-/// and the virtual clocks have merged accordingly through the receives.
+/// and the virtual clocks have merged accordingly through the receives. When
+/// the topology gates select the hierarchical composition the token pattern
+/// becomes per-host fan-in → leader dissemination → per-host fan-out, with
+/// the same transitive-dependency (and clock-merge) guarantee.
 ///
 /// The barrier is compiled to the same resumable schedule that backs
 /// [`crate::comm::Comm::ibarrier`] and run to completion, so the blocking and
 /// nonblocking barriers execute identical token exchanges. `seq` is the
 /// communicator's collective sequence number, salted into the token tags.
+/// Returns the label of the composition used.
 pub fn group_barrier(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
     seq: u32,
-) -> Result<()> {
-    let mut sched = build_barrier(view, seq);
-    sched.run(t, clock, &mut [], &mut [])
+) -> Result<&'static str> {
+    let mut sched = build_barrier(view, tuning, hier, seq);
+    sched.run(t, clock, &mut [], &mut [])?;
+    Ok(sched.label)
 }
 
 /// Stride of one rank's slot (sequence number + timestamp on their own cache

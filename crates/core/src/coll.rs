@@ -59,11 +59,12 @@
 
 use cmpi_fabric::SimClock;
 
-use crate::config::CollTuning;
+use crate::config::{CollTuning, HierarchyMode};
 use crate::error::MpiError;
 use crate::group::Group;
 use crate::pod::{bytes_of, bytes_of_mut, vec_from_bytes, Pod};
 use crate::progress::{fold_bytes, FoldFn, Loc, SchedOp, Schedule};
+use crate::topology::HostHierarchy;
 use crate::transport::Transport;
 use crate::types::{CtxId, Rank, ReduceOp, Reducible, Tag, COLL_TAG_BASE};
 use crate::Result;
@@ -128,6 +129,84 @@ fn prev_power_of_two(n: usize) -> usize {
 }
 
 // ----------------------------------------------------------------------
+// Hierarchical (two-level) composition
+// ----------------------------------------------------------------------
+//
+// When a communicator spans several hosts, barrier / bcast / reduce /
+// allreduce / allgather can be composed as *host-hierarchical* schedules: a
+// same-host phase (hardware-coherent, cheap), a cross-host phase among one
+// leader per host (the only traffic that pays software-coherence and
+// device-contention costs), and a same-host fan-out. Each phase's ops are
+// emitted over the corresponding sub-group view from
+// [`crate::topology::HostHierarchy`] but run under the *parent*
+// communicator's context id and collective sequence number; the step bases
+// below keep the phases' internal tags disjoint.
+
+/// Step-base of the cross-host leader phase.
+const PHASE_LEADER: usize = 0x400;
+/// Step-base of the same-host fan-out phase.
+const PHASE_FANOUT: usize = 0x800;
+/// Step-base of root hand-off hops (a non-leader root shipping its payload to
+/// or receiving the result from its host leader).
+const PHASE_ROOT_HOP: usize = 0xC00;
+
+/// Whether the hierarchical composition should be used for this call.
+/// `min_payload_bytes` is the calling operation's own cutoff (the general
+/// `hier_min_payload_bytes`, allgather's larger `hier_allgather_min_bytes`,
+/// or 0 for the payload-free barrier, which is gated on shape alone).
+/// Deterministic across ranks: every input is identical group-wide.
+pub(crate) fn hier_selected(
+    tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
+    payload_bytes: usize,
+    min_payload_bytes: usize,
+) -> bool {
+    let Some(h) = hier else { return false };
+    if h.hosts_spanned() < 2 {
+        return false;
+    }
+    match tuning.hierarchy {
+        HierarchyMode::Off => false,
+        HierarchyMode::Force => true,
+        HierarchyMode::Auto => {
+            h.hosts_spanned() >= tuning.hier_min_hosts
+                && h.min_ranks_per_host() >= tuning.hier_min_ranks_per_host
+                && payload_bytes >= min_payload_bytes
+        }
+    }
+}
+
+/// Whether the *flat* allreduce's largest exchange — the top-level
+/// recursive-halving/doubling round, which moves half (Rabenseifner) or all
+/// (doubling) of the vector — already pairs same-host ranks for **every**
+/// core rank. True for e.g. round-robin placements over a power-of-two host
+/// count, where the flat algorithm is accidentally topology-optimal and the
+/// hierarchical composition would only add cross-host traffic (the bench
+/// sweep measures flat winning ~1.4× there). `Auto` then stays flat;
+/// `Force` still composes. Deterministic group-wide: depends only on the
+/// shared group/topology.
+fn flat_allreduce_top_exchange_stays_local(hier: &HostHierarchy, n: usize) -> bool {
+    let pow2 = prev_power_of_two(n);
+    if pow2 < 2 {
+        return false;
+    }
+    let map = CoreMap {
+        newrank: 0,
+        pow2,
+        excess: n - pow2,
+    };
+    let bit = pow2 >> 1;
+    (0..pow2).all(|r| hier.slot_of(map.local(r)) == hier.slot_of(map.local(r ^ bit)))
+}
+
+/// Concurrent cross-host pair estimate of a hierarchical schedule: only the
+/// leader phase crosses hosts, one leader per host. Fed to the transports'
+/// contention models through the schedule's pairs hint.
+fn hier_pairs_hint(hier: &HostHierarchy) -> usize {
+    (hier.hosts_spanned() / 2).max(1)
+}
+
+// ----------------------------------------------------------------------
 // Schedule plan builder
 // ----------------------------------------------------------------------
 
@@ -138,21 +217,35 @@ struct Plan<'v, 'g> {
     view: &'v CommView<'g>,
     seq: u32,
     kind: i32,
+    /// Offset added to every op's step — phases of a hierarchical composite
+    /// use disjoint bases so their tags can never collide.
+    step_base: usize,
     ops: Vec<SchedOp>,
 }
 
 impl<'v, 'g> Plan<'v, 'g> {
     fn new(view: &'v CommView<'g>, seq: u32, kind: i32) -> Self {
+        Self::with_base(view, seq, kind, 0)
+    }
+
+    fn with_base(view: &'v CommView<'g>, seq: u32, kind: i32, step_base: usize) -> Self {
         Plan {
             view,
             seq,
             kind,
+            step_base,
             ops: Vec::new(),
         }
     }
 
     fn tag(&self, step: usize) -> Tag {
-        coll_tag(self.kind, step, self.seq)
+        // Phases of a composite are PHASE_LEADER apart: a phase's steps must
+        // never reach into the next phase's base.
+        debug_assert!(
+            self.step_base == 0 || step < PHASE_LEADER,
+            "phase step {step} overflows the phase stride"
+        );
+        coll_tag(self.kind, self.step_base + step, self.seq)
     }
 
     fn send(&mut self, peer_local: Rank, step: usize, loc: Loc, start: usize, end: usize) {
@@ -244,14 +337,12 @@ impl<'v, 'g> Plan<'v, 'g> {
 // Barrier
 // ----------------------------------------------------------------------
 
-/// Dissemination barrier schedule: in round `k` (of ⌈log₂ n⌉), local rank `i`
-/// sends a zero-byte token to `(i + 2ᵏ) mod n` and receives the token from
-/// `(i − 2ᵏ) mod n`. Backs [`crate::comm::Comm::ibarrier`] and the blocking
-/// sub-communicator barrier.
-pub(crate) fn build_barrier(view: &CommView<'_>, seq: u32) -> Schedule {
-    let n = view.size();
-    let me = view.rank;
-    let mut plan = Plan::new(view, seq, 0);
+/// Emit the dissemination-barrier token exchanges into `plan`: in round `k`
+/// (of ⌈log₂ n⌉), local rank `i` sends a zero-byte token to `(i + 2ᵏ) mod n`
+/// and receives the token from `(i − 2ᵏ) mod n`.
+fn push_barrier_ops(plan: &mut Plan<'_, '_>) {
+    let n = plan.view.size();
+    let me = plan.view.rank;
     let mut distance = 1usize;
     let mut round = 0usize;
     while distance < n {
@@ -262,7 +353,71 @@ pub(crate) fn build_barrier(view: &CommView<'_>, seq: u32) -> Schedule {
         distance <<= 1;
         round += 1;
     }
+}
+
+/// Compile the barrier schedule: a flat dissemination barrier, or — when the
+/// hierarchy is selected (shape gates only; barriers carry no payload) — the
+/// two-level composition: members report to their host leader, the leaders
+/// run a dissemination barrier among themselves (the only cross-host tokens),
+/// and each leader releases its host. Backs [`crate::comm::Comm::ibarrier`]
+/// and the blocking sub-communicator barrier.
+pub(crate) fn build_barrier(
+    view: &CommView<'_>,
+    tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
+    seq: u32,
+) -> Schedule {
+    if view.size() > 1 && hier_selected(tuning, hier, 0, 0) {
+        return build_barrier_hier(view, hier.expect("selected hierarchy exists"), seq);
+    }
+    let mut plan = Plan::new(view, seq, 0);
+    push_barrier_ops(&mut plan);
     plan.finish(None, Loc::Buf, (0, 0), 0, "barrier/dissemination")
+}
+
+/// Two-level barrier: linear fan-in to the host leader, leader dissemination,
+/// linear fan-out — the only cross-host tokens are the leaders'.
+fn build_barrier_hier(view: &CommView<'_>, hier: &HostHierarchy, seq: u32) -> Schedule {
+    let slot = hier.my_slot();
+    let mut ops = Vec::new();
+    // Fan-in: every member reports to its host leader.
+    {
+        let mut plan = Plan::new(view, seq, 0);
+        if hier.is_leader() {
+            for &m in &hier.members(slot)[1..] {
+                plan.recv(m, 0, Loc::Buf, 0, 0);
+            }
+        } else {
+            plan.send(hier.leader_of(slot), 0, Loc::Buf, 0, 0);
+        }
+        ops.append(&mut plan.ops);
+    }
+    // Leader dissemination: the cross-host tokens.
+    if hier.is_leader() {
+        let leaders: &Group = hier.leader_group();
+        let lview = CommView {
+            group: leaders,
+            ctx: view.ctx,
+            rank: slot,
+        };
+        let mut plan = Plan::with_base(&lview, seq, 0, PHASE_LEADER);
+        push_barrier_ops(&mut plan);
+        ops.append(&mut plan.ops);
+    }
+    // Fan-out: leaders release their hosts.
+    {
+        let mut plan = Plan::with_base(view, seq, 0, PHASE_FANOUT);
+        if hier.is_leader() {
+            for &m in &hier.members(slot)[1..] {
+                plan.send(m, 0, Loc::Buf, 0, 0);
+            }
+        } else {
+            plan.recv(hier.leader_of(slot), 0, Loc::Buf, 0, 0);
+        }
+        ops.append(&mut plan.ops);
+    }
+    Schedule::new(ops, view.ctx, None, Loc::Buf, (0, 0), 0, "barrier/hier")
+        .with_pairs_hint(hier_pairs_hint(hier))
 }
 
 // ----------------------------------------------------------------------
@@ -318,35 +473,78 @@ pub fn bcast_bytes(
     Ok(())
 }
 
-/// Compile the size-adaptive broadcast of `total` bytes from `root` into a
-/// schedule over the primary buffer: binomial tree below the
-/// scatter-allgather threshold, van de Geijn scatter + ring allgather above.
+/// The single predicate deciding binomial vs van de Geijn for `n` ranks at
+/// `total` bytes — shared by the op emission, the flat label and the
+/// composite label, so they can never disagree. Deterministic on every rank.
+fn bcast_uses_scatter_allgather(n: usize, total: usize, tuning: &CollTuning) -> bool {
+    n > 2 && total >= tuning.bcast_scatter_allgather_min_bytes
+}
+
+/// The flat broadcast algorithm label for `n` ranks at `total` bytes.
+fn bcast_flat_label(n: usize, total: usize, tuning: &CollTuning) -> &'static str {
+    if n == 1 {
+        "bcast/local"
+    } else if bcast_uses_scatter_allgather(n, total, tuning) {
+        "bcast/scatter-allgather"
+    } else {
+        "bcast/binomial"
+    }
+}
+
+/// Emit the size-adaptive broadcast ops (binomial tree below the
+/// scatter-allgather threshold, van de Geijn above) into `plan`, over the
+/// plan's view. Returns the flat algorithm label.
+fn push_bcast_ops(
+    plan: &mut Plan<'_, '_>,
+    tuning: &CollTuning,
+    root: Rank,
+    total: usize,
+) -> &'static str {
+    let n = plan.view.size();
+    if n > 1 {
+        if bcast_uses_scatter_allgather(n, total, tuning) {
+            push_bcast_scatter_allgather(plan, root, total);
+        } else {
+            push_bcast_binomial(plan, root, total);
+        }
+    }
+    bcast_flat_label(n, total, tuning)
+}
+
+/// Compile the broadcast of `total` bytes from `root` into a schedule over
+/// the primary buffer: the flat size-adaptive algorithm, or — when the
+/// hierarchy is selected — the two-level composition (root hop to its host
+/// leader, leader broadcast across hosts, per-host fan-out).
 pub(crate) fn build_bcast(
     view: &CommView<'_>,
     tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
     seq: u32,
     root: Rank,
     total: usize,
 ) -> Schedule {
     let n = view.size();
-    if n == 1 {
-        let plan = Plan::new(view, seq, 1);
-        return plan.finish(None, Loc::Buf, (0, total), 0, "bcast/local");
+    if n > 1 && hier_selected(tuning, hier, total, tuning.hier_min_payload_bytes) {
+        return build_bcast_hier(
+            view,
+            hier.expect("selected hierarchy exists"),
+            tuning,
+            seq,
+            root,
+            total,
+        );
     }
-    if n > 2 && total >= tuning.bcast_scatter_allgather_min_bytes {
-        build_bcast_scatter_allgather(view, seq, root, total)
-    } else {
-        build_bcast_binomial(view, seq, root, total)
-    }
+    let mut plan = Plan::new(view, seq, 1);
+    let label = push_bcast_ops(&mut plan, tuning, root, total);
+    plan.finish(None, Loc::Buf, (0, total), 0, label)
 }
 
 /// Binomial-tree broadcast (latency-optimal: ⌈log₂ n⌉ rounds, but every hop
 /// forwards the whole payload).
-fn build_bcast_binomial(view: &CommView<'_>, seq: u32, root: Rank, total: usize) -> Schedule {
-    let n = view.size();
-    let me = view.rank;
+fn push_bcast_binomial(plan: &mut Plan<'_, '_>, root: Rank, total: usize) {
+    let n = plan.view.size();
+    let me = plan.view.rank;
     let vrank = (me + n - root) % n;
-    let mut plan = Plan::new(view, seq, 1);
     if vrank != 0 {
         let highest = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
         let parent = (vrank - highest + root) % n;
@@ -363,7 +561,91 @@ fn build_bcast_binomial(view: &CommView<'_>, seq: u32, root: Rank, total: usize)
         plan.send(child, 0, Loc::Buf, 0, total);
         bit <<= 1;
     }
-    plan.finish(None, Loc::Buf, (0, total), 0, "bcast/binomial")
+}
+
+/// Two-level broadcast: a non-leader root first hands the payload to its host
+/// leader; the leaders then run the size-adaptive flat broadcast among
+/// themselves (the only cross-host bytes); finally every leader broadcasts to
+/// its own host. Label: `bcast/hier+<leader-phase algorithm>`.
+fn build_bcast_hier(
+    view: &CommView<'_>,
+    hier: &HostHierarchy,
+    tuning: &CollTuning,
+    seq: u32,
+    root: Rank,
+    total: usize,
+) -> Schedule {
+    let me = view.rank;
+    let root_slot = hier.slot_of(root);
+    let root_leader = hier.leader_of(root_slot);
+    let mut ops = Vec::new();
+    // Root hop: the payload reaches root's host leader.
+    if root != root_leader && (me == root || me == root_leader) {
+        let mut plan = Plan::with_base(view, seq, 1, PHASE_ROOT_HOP);
+        if me == root {
+            plan.send(root_leader, 0, Loc::Buf, 0, total);
+        } else {
+            plan.recv(root, 0, Loc::Buf, 0, total);
+        }
+        ops.append(&mut plan.ops);
+    }
+    // Leader phase, rooted at root's host slot.
+    let leaders: &Group = hier.leader_group();
+    if hier.is_leader() {
+        let lview = CommView {
+            group: leaders,
+            ctx: view.ctx,
+            rank: hier.my_slot(),
+        };
+        let mut plan = Plan::with_base(&lview, seq, 1, PHASE_LEADER);
+        push_bcast_ops(&mut plan, tuning, root_slot, total);
+        ops.append(&mut plan.ops);
+    }
+    // Fan-out within each host, rooted at the leader (local rank 0) — except
+    // on the host of a non-leader root, where *both* the root and its leader
+    // already hold the payload: there the remaining members fan out from the
+    // root with the leader excluded entirely, so the root-hop plus fan-out
+    // form an exact spanning tree with no redundant delivery.
+    let local: &Group = hier.local_group();
+    if local.size() > 1 {
+        if hier.my_slot() == root_slot && root != root_leader {
+            if me != root_leader {
+                // The leader is always local rank 0 of its host group.
+                let reduced = Group::from_world_ranks(local.world_ranks()[1..].to_vec())
+                    .expect("a non-leader root implies further members");
+                let root_pos = hier
+                    .members(root_slot)
+                    .iter()
+                    .position(|&m| m == root)
+                    .expect("root lives on its own slot")
+                    - 1;
+                let fview = CommView {
+                    group: &reduced,
+                    ctx: view.ctx,
+                    rank: hier.my_local_rank() - 1,
+                };
+                let mut plan = Plan::with_base(&fview, seq, 1, PHASE_FANOUT);
+                push_bcast_ops(&mut plan, tuning, root_pos, total);
+                ops.append(&mut plan.ops);
+            }
+        } else {
+            let fview = CommView {
+                group: local,
+                ctx: view.ctx,
+                rank: hier.my_local_rank(),
+            };
+            let mut plan = Plan::with_base(&fview, seq, 1, PHASE_FANOUT);
+            push_bcast_ops(&mut plan, tuning, 0, total);
+            ops.append(&mut plan.ops);
+        }
+    }
+    let label = if bcast_uses_scatter_allgather(leaders.size(), total, tuning) {
+        "bcast/hier+scatter-allgather"
+    } else {
+        "bcast/hier+binomial"
+    };
+    Schedule::new(ops, view.ctx, None, Loc::Buf, (0, total), 0, label)
+        .with_pairs_hint(hier_pairs_hint(hier))
 }
 
 /// Van de Geijn large-message broadcast: the payload is split into `n`
@@ -371,14 +653,9 @@ fn build_bcast_binomial(view: &CommView<'_>, seq: u32, root: Rank, total: usize)
 /// reassembled everywhere with a ring allgather. Each rank moves
 /// O(bytes · (n−1)/n) through the scatter plus the same again through the
 /// ring — roughly half the bytes-per-link of the binomial tree at large sizes.
-fn build_bcast_scatter_allgather(
-    view: &CommView<'_>,
-    seq: u32,
-    root: Rank,
-    total: usize,
-) -> Schedule {
-    let n = view.size();
-    let me = view.rank;
+fn push_bcast_scatter_allgather(plan: &mut Plan<'_, '_>, root: Rank, total: usize) {
+    let n = plan.view.size();
+    let me = plan.view.rank;
     let vrank = (me + n - root) % n;
     let base = total / n;
     let rem = total % n;
@@ -386,7 +663,6 @@ fn build_bcast_scatter_allgather(
     // extra byte. Blocks may be empty when total < n.
     let off = |i: usize| i * base + i.min(rem);
     let to_local = |v: usize| (v + root) % n;
-    let mut plan = Plan::new(view, seq, 1);
 
     // Scatter phase: recursive range halving over virtual ranks. The leader
     // of [lo, hi) (vrank == lo) holds that range's blocks and hands the upper
@@ -447,24 +723,25 @@ fn build_bcast_scatter_allgather(
             );
         }
     }
-    plan.finish(None, Loc::Buf, (0, total), 0, "bcast/scatter-allgather")
 }
 
 /// Broadcast the fixed-size buffer `buf` from `root` into every rank's `buf`
 /// (the typed, zero-copy path: the buffer's bytes travel as-is). All ranks
 /// must pass buffers of identical length. Builds the size-adaptive schedule
 /// and runs it to completion. Returns the label of the algorithm used.
+#[allow(clippy::too_many_arguments)]
 pub fn bcast_into<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
     tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
     seq: u32,
     root: Rank,
     buf: &mut [T],
 ) -> Result<&'static str> {
     view.check_root(root)?;
-    let mut sched = build_bcast(view, tuning, seq, root, std::mem::size_of_val(buf));
+    let mut sched = build_bcast(view, tuning, hier, seq, root, std::mem::size_of_val(buf));
     let mut scratch = vec![0u8; sched.scratch_len];
     sched.run(t, clock, bytes_of_mut(buf), &mut scratch)?;
     Ok(sched.label)
@@ -730,10 +1007,13 @@ pub fn allgather_bytes(
 
 /// Compile the size-adaptive allgather of `block`-byte contributions into a
 /// schedule over the `n × block` primary buffer (own block pre-placed at this
-/// rank's slot by the caller): Bruck below the threshold, ring above.
+/// rank's slot by the caller): Bruck below the threshold, ring above — or,
+/// when the hierarchy is selected, the two-level composition (local gather to
+/// the host leader, leader ring of whole-host batches, local fan-out).
 pub(crate) fn build_allgather(
     view: &CommView<'_>,
     tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
     seq: u32,
     block: usize,
 ) -> Schedule {
@@ -742,11 +1022,139 @@ pub(crate) fn build_allgather(
         let plan = Plan::new(view, seq, 4);
         return plan.finish(None, Loc::Buf, (0, block), 0, "allgather/local");
     }
+    if hier_selected(tuning, hier, n * block, tuning.hier_allgather_min_bytes) {
+        return build_allgather_hier(
+            view,
+            hier.expect("selected hierarchy exists"),
+            tuning,
+            seq,
+            block,
+        );
+    }
     if n > 2 && block <= tuning.allgather_bruck_max_bytes {
         build_allgather_bruck(view, seq, block)
     } else {
         build_allgather_ring(view, seq, block)
     }
+}
+
+/// Two-level allgather. Members ship their block to the host leader, which
+/// stages its host's blocks contiguously in scratch (`slot_off[s]` marks host
+/// `s`'s batch); the leaders then run a ring exchange of whole-host batches —
+/// uneven sizes are fine because every op carries explicit byte ranges — and
+/// scatter the batches back into the parent-rank-indexed primary buffer
+/// (correct for *any* rank→host permutation); finally each leader broadcasts
+/// the assembled buffer to its host. Only the leader ring crosses hosts, and
+/// it moves each byte across the device once per host instead of once per
+/// rank.
+fn build_allgather_hier(
+    view: &CommView<'_>,
+    hier: &HostHierarchy,
+    tuning: &CollTuning,
+    seq: u32,
+    block: usize,
+) -> Schedule {
+    let n = view.size();
+    let me = view.rank;
+    let slots = hier.hosts_spanned();
+    let my_slot = hier.my_slot();
+    let total = n * block;
+    // Host batch offsets within the scratch staging arena.
+    let mut slot_off = Vec::with_capacity(slots + 1);
+    let mut acc = 0usize;
+    for s in 0..slots {
+        slot_off.push(acc);
+        acc += hier.count(s) * block;
+    }
+    slot_off.push(acc);
+    debug_assert_eq!(acc, total);
+
+    let mut ops = Vec::new();
+    let mut scratch_len = 0usize;
+    if hier.is_leader() {
+        scratch_len = total;
+        // Local gather: every member's block lands in my host's batch.
+        let mut plan = Plan::new(view, seq, 4);
+        for (j, &m) in hier.members(my_slot).iter().enumerate() {
+            let dst = slot_off[my_slot] + j * block;
+            if m == me {
+                plan.copy(Loc::Scratch, dst, Loc::Buf, me * block, block);
+            } else {
+                plan.recv(m, 0, Loc::Scratch, dst, dst + block);
+            }
+        }
+        ops.append(&mut plan.ops);
+        // Leader ring over whole-host batches (slot 0 receives first to break
+        // the cycle, mirroring the flat ring).
+        {
+            let leaders: &Group = hier.leader_group();
+            let lview = CommView {
+                group: leaders,
+                ctx: view.ctx,
+                rank: my_slot,
+            };
+            let mut lplan = Plan::with_base(&lview, seq, 4, PHASE_LEADER);
+            let right = (my_slot + 1) % slots;
+            let left = (my_slot + slots - 1) % slots;
+            for step in 0..slots - 1 {
+                let send_origin = (my_slot + slots - step) % slots;
+                let recv_origin = (my_slot + slots - step - 1) % slots;
+                let send = (slot_off[send_origin], slot_off[send_origin + 1]);
+                let recv = (slot_off[recv_origin], slot_off[recv_origin + 1]);
+                if my_slot == 0 {
+                    lplan.recv(left, step, Loc::Scratch, recv.0, recv.1);
+                    lplan.send(right, step, Loc::Scratch, send.0, send.1);
+                } else {
+                    lplan.send(right, step, Loc::Scratch, send.0, send.1);
+                    lplan.recv(left, step, Loc::Scratch, recv.0, recv.1);
+                }
+            }
+            ops.append(&mut lplan.ops);
+        }
+        // Scatter the staged batches into the parent-rank-indexed buffer.
+        let mut unpack = Plan::with_base(view, seq, 4, PHASE_LEADER);
+        for (s, &off) in slot_off[..slots].iter().enumerate() {
+            for (j, &m) in hier.members(s).iter().enumerate() {
+                if m == me {
+                    continue; // own block never left the primary buffer
+                }
+                unpack.copy(Loc::Buf, m * block, Loc::Scratch, off + j * block, block);
+            }
+        }
+        ops.append(&mut unpack.ops);
+    } else {
+        let mut plan = Plan::new(view, seq, 4);
+        plan.send(
+            hier.leader_of(my_slot),
+            0,
+            Loc::Buf,
+            me * block,
+            (me + 1) * block,
+        );
+        ops.append(&mut plan.ops);
+    }
+    // Fan-out: leaders broadcast the assembled buffer to their hosts.
+    let local: &Group = hier.local_group();
+    if local.size() > 1 {
+        let fview = CommView {
+            group: local,
+            ctx: view.ctx,
+            rank: hier.my_local_rank(),
+        };
+        let mut plan = Plan::with_base(&fview, seq, 4, PHASE_FANOUT);
+        push_bcast_ops(&mut plan, tuning, 0, total);
+        ops.append(&mut plan.ops);
+    }
+    Schedule::new(
+        ops,
+        view.ctx,
+        None,
+        Loc::Buf,
+        (0, total),
+        scratch_len,
+        "allgather/hier+ring",
+    )
+    .with_pairs_hint(hier_pairs_hint(hier))
 }
 
 /// Ring allgather: n−1 neighbour exchanges, each of one block. Blocks travel
@@ -832,11 +1240,13 @@ fn build_allgather_bruck(view: &CommView<'_>, seq: u32, block: usize) -> Schedul
 /// `r`'s `send` on every rank. Builds the size-adaptive schedule (Bruck for
 /// small blocks, ring for large) and runs it to completion. Returns the label
 /// of the algorithm used.
+#[allow(clippy::too_many_arguments)]
 pub fn allgather_into<T: Pod>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
     tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
     seq: u32,
     send: &[T],
     recv: &mut [T],
@@ -854,7 +1264,7 @@ pub fn allgather_into<T: Pod>(
         )));
     }
     recv[me * block..(me + 1) * block].copy_from_slice(send);
-    let mut sched = build_allgather(view, tuning, seq, std::mem::size_of_val(send));
+    let mut sched = build_allgather(view, tuning, hier, seq, std::mem::size_of_val(send));
     let mut scratch = vec![0u8; sched.scratch_len];
     sched.run(t, clock, bytes_of_mut(recv), &mut scratch)?;
     Ok(sched.label)
@@ -864,56 +1274,152 @@ pub fn allgather_into<T: Pod>(
 // Reductions
 // ----------------------------------------------------------------------
 
-/// Binomial-tree reduce of typed values to `root`. Returns `Some(result)` on
-/// the root, `None` elsewhere. Every rank must pass the same number of values.
+/// Emit the binomial-tree reduce ops into `plan`: in bit order, ranks with
+/// the bit set ship their accumulated vector to the partner below and drop
+/// out; the others receive into scratch and fold. Tag step = the bit,
+/// matching the historical straight-line implementation's wire traffic.
+fn push_reduce_ops(plan: &mut Plan<'_, '_>, root: Rank, total: usize) {
+    let n = plan.view.size();
+    let me = plan.view.rank;
+    let vrank = (me + n - root) % n;
+    let mut bit = 1usize;
+    while bit < n {
+        if vrank & bit != 0 {
+            let partner = ((vrank - bit) + root) % n;
+            plan.send(partner, bit, Loc::Buf, 0, total);
+            break;
+        } else if vrank + bit < n {
+            let partner = ((vrank + bit) + root) % n;
+            plan.recv(partner, bit, Loc::Scratch, 0, total);
+            plan.fold(Loc::Buf, 0, Loc::Scratch, 0, total);
+        }
+        bit <<= 1;
+    }
+}
+
+/// Compile the rooted reduce of `count` elements of `T` into a schedule over
+/// the in-place value vector: a flat binomial tree, or — when the hierarchy
+/// is selected — the two-level composition (per-host binomial reduce to the
+/// leader, leader binomial reduce across hosts rooted at root's host, and a
+/// final hand-off to a non-leader root). The result range selects the full
+/// vector on the root and is empty elsewhere.
+pub(crate) fn build_reduce<T: Reducible>(
+    view: &CommView<'_>,
+    tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
+    seq: u32,
+    root: Rank,
+    count: usize,
+    op: ReduceOp,
+) -> Schedule {
+    let n = view.size();
+    let me = view.rank;
+    let total = count * std::mem::size_of::<T>();
+    let fold = Some((op, fold_bytes::<T> as FoldFn));
+    let result = if me == root { (0, total) } else { (0, 0) };
+    if n > 1 && hier_selected(tuning, hier, total, tuning.hier_min_payload_bytes) {
+        return build_reduce_hier(
+            view,
+            hier.expect("selected hierarchy exists"),
+            seq,
+            root,
+            total,
+            fold,
+        );
+    }
+    let mut plan = Plan::new(view, seq, 5);
+    push_reduce_ops(&mut plan, root, total);
+    plan.finish(fold, Loc::Buf, result, total, "reduce/binomial")
+}
+
+/// Two-level rooted reduce; see [`build_reduce`]. Only the leader-phase
+/// partials cross hosts.
+fn build_reduce_hier(
+    view: &CommView<'_>,
+    hier: &HostHierarchy,
+    seq: u32,
+    root: Rank,
+    total: usize,
+    fold: Option<(ReduceOp, FoldFn)>,
+) -> Schedule {
+    let me = view.rank;
+    let root_slot = hier.slot_of(root);
+    let root_leader = hier.leader_of(root_slot);
+    let mut ops = Vec::new();
+    // Per-host reduce to the leader (local rank 0).
+    let local: &Group = hier.local_group();
+    if local.size() > 1 {
+        let lview = CommView {
+            group: local,
+            ctx: view.ctx,
+            rank: hier.my_local_rank(),
+        };
+        let mut plan = Plan::new(&lview, seq, 5);
+        push_reduce_ops(&mut plan, 0, total);
+        ops.append(&mut plan.ops);
+    }
+    // Leader reduce across hosts, rooted at root's host slot.
+    if hier.is_leader() {
+        let leaders: &Group = hier.leader_group();
+        let lview = CommView {
+            group: leaders,
+            ctx: view.ctx,
+            rank: hier.my_slot(),
+        };
+        let mut plan = Plan::with_base(&lview, seq, 5, PHASE_LEADER);
+        push_reduce_ops(&mut plan, root_slot, total);
+        ops.append(&mut plan.ops);
+    }
+    // Hand the finished vector to a non-leader root.
+    if root != root_leader && (me == root || me == root_leader) {
+        let mut plan = Plan::with_base(view, seq, 5, PHASE_ROOT_HOP);
+        if me == root_leader {
+            plan.send(root, 0, Loc::Buf, 0, total);
+        } else {
+            plan.recv(root_leader, 0, Loc::Buf, 0, total);
+        }
+        ops.append(&mut plan.ops);
+    }
+    let result = if me == root { (0, total) } else { (0, 0) };
+    Schedule::new(
+        ops,
+        view.ctx,
+        fold,
+        Loc::Buf,
+        result,
+        total,
+        "reduce/hier+binomial",
+    )
+    .with_pairs_hint(hier_pairs_hint(hier))
+}
+
+/// Binomial-tree reduce of typed values to `root` (two-level across hosts
+/// when the hierarchy is selected). Returns `Some(result)` on the root and
+/// `None` elsewhere, plus the algorithm label. Every rank must pass the same
+/// number of values.
+#[allow(clippy::too_many_arguments)]
 pub fn reduce<T: Reducible>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
+    tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
     seq: u32,
     root: Rank,
     values: &[T],
     op: ReduceOp,
-) -> Result<Option<Vec<T>>> {
+) -> Result<(Option<Vec<T>>, &'static str)> {
     view.check_root(root)?;
-    let n = view.size();
-    let me = view.rank;
-    let vrank = (me + n - root) % n;
-    let mut acc = values.to_vec();
-    let mut bit = 1usize;
-    while bit < n {
-        if vrank & bit != 0 {
-            // Send our partial result to the partner below and exit.
-            let partner = ((vrank - bit) + root) % n;
-            t.send(
-                clock,
-                view.world(partner),
-                view.ctx,
-                coll_tag(5, bit, seq),
-                bytes_of(&acc),
-            )?;
-            break;
-        } else if vrank + bit < n {
-            let partner = ((vrank + bit) + root) % n;
-            let (_, payload) = t.recv_owned(
-                clock,
-                view.ctx,
-                Some(view.world(partner)),
-                Some(coll_tag(5, bit, seq)),
-            )?;
-            let other: Vec<T> = vec_from_bytes(&payload);
-            if other.len() != acc.len() {
-                return Err(MpiError::InvalidCollective(format!(
-                    "reduce length mismatch: {} vs {}",
-                    other.len(),
-                    acc.len()
-                )));
-            }
-            op.fold(&mut acc, &other);
-        }
-        bit <<= 1;
-    }
-    Ok(if me == root { Some(acc) } else { None })
+    let mut sched = build_reduce::<T>(view, tuning, hier, seq, root, values.len(), op);
+    let mut buf = bytes_of(values).to_vec();
+    let mut scratch = vec![0u8; sched.scratch_len];
+    sched.run(t, clock, &mut buf, &mut scratch)?;
+    let out = if view.rank == root {
+        Some(vec_from_bytes(sched.result_slice(&buf, &scratch)))
+    } else {
+        None
+    };
+    Ok((out, sched.label))
 }
 
 /// This rank's place in the power-of-two core left by fold elimination, plus
@@ -939,14 +1445,43 @@ impl CoreMap {
     }
 }
 
+/// The single predicate deciding recursive doubling vs Rabenseifner for `n`
+/// ranks reducing `count` elements of `total` bytes — shared by the op
+/// emission and both labels, so they can never disagree. Rabenseifner only
+/// pays off when every core rank still owns a non-trivial region after
+/// log₂(pow2) halvings.
+fn allreduce_uses_rabenseifner(n: usize, total: usize, count: usize, tuning: &CollTuning) -> bool {
+    total >= tuning.allreduce_rabenseifner_min_bytes && count >= prev_power_of_two(n)
+}
+
+/// The flat allreduce algorithm label for `n` ranks reducing `count` elements
+/// of `total` bytes — deterministic on every rank, so composite labels agree
+/// group-wide even on ranks that skip the leader phase.
+fn allreduce_flat_label(n: usize, total: usize, count: usize, tuning: &CollTuning) -> &'static str {
+    if n == 1 {
+        return "allreduce/local";
+    }
+    let large = allreduce_uses_rabenseifner(n, total, count, tuning);
+    match (large, !n.is_power_of_two()) {
+        (false, false) => "allreduce/recursive-doubling",
+        (false, true) => "allreduce/recursive-doubling+fold",
+        (true, false) => "allreduce/rabenseifner",
+        (true, true) => "allreduce/rabenseifner+fold",
+    }
+}
+
 /// Compile the size-adaptive allreduce of `count` elements of `T` into a
 /// schedule: recursive doubling below the Rabenseifner threshold,
 /// Rabenseifner (recursive-halving reduce-scatter + recursive-doubling
 /// allgather) above, with power-of-two fold elimination for non-power-of-two
-/// rank counts. The primary buffer is the in-place value vector.
+/// rank counts — or, when the hierarchy is selected, the two-level
+/// composition (per-host reduce to the leader, the same size-adaptive flat
+/// allreduce among the leaders only, per-host broadcast of the result). The
+/// primary buffer is the in-place value vector.
 pub(crate) fn build_allreduce<T: Reducible>(
     view: &CommView<'_>,
     tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
     seq: u32,
     count: usize,
     op: ReduceOp,
@@ -959,9 +1494,97 @@ pub(crate) fn build_allreduce<T: Reducible>(
         let plan = Plan::new(view, seq, 6);
         return plan.finish(fold, Loc::Buf, (0, total), 0, "allreduce/local");
     }
+    // Auto steps aside where the flat algorithm is already topology-optimal:
+    // if the placement makes the flat top-level exchange same-host on every
+    // rank (e.g. round-robin over two hosts), composing hierarchically would
+    // only add cross-host bytes.
+    let flat_already_local = tuning.hierarchy == HierarchyMode::Auto
+        && hier.is_some_and(|h| flat_allreduce_top_exchange_stays_local(h, n));
+    if hier_selected(tuning, hier, total, tuning.hier_min_payload_bytes) && !flat_already_local {
+        return build_allreduce_hier::<T>(
+            view,
+            hier.expect("selected hierarchy exists"),
+            tuning,
+            seq,
+            count,
+            op,
+        );
+    }
     let mut plan = Plan::new(view, seq, 6);
     let label = push_allreduce_ops::<T>(&mut plan, tuning, count);
     plan.finish(fold, Loc::Buf, (0, total), total, label)
+}
+
+/// Two-level allreduce; see [`build_allreduce`]. The leader phase reuses the
+/// full size-adaptive flat machinery (recursive doubling / Rabenseifner with
+/// fold elimination) over the leader group, so large leader payloads still
+/// get the bandwidth-optimal variant; only that phase crosses hosts.
+fn build_allreduce_hier<T: Reducible>(
+    view: &CommView<'_>,
+    hier: &HostHierarchy,
+    tuning: &CollTuning,
+    seq: u32,
+    count: usize,
+    op: ReduceOp,
+) -> Schedule {
+    let elem = std::mem::size_of::<T>();
+    let total = count * elem;
+    let mut ops = Vec::new();
+    // Per-host reduce to the leader.
+    let local: &Group = hier.local_group();
+    if local.size() > 1 {
+        let lview = CommView {
+            group: local,
+            ctx: view.ctx,
+            rank: hier.my_local_rank(),
+        };
+        let mut plan = Plan::new(&lview, seq, 5);
+        push_reduce_ops(&mut plan, 0, total);
+        ops.append(&mut plan.ops);
+    }
+    // Flat size-adaptive allreduce among the leaders.
+    let leaders: &Group = hier.leader_group();
+    if hier.is_leader() {
+        let lview = CommView {
+            group: leaders,
+            ctx: view.ctx,
+            rank: hier.my_slot(),
+        };
+        let mut plan = Plan::with_base(&lview, seq, 6, PHASE_LEADER);
+        push_allreduce_ops::<T>(&mut plan, tuning, count);
+        ops.append(&mut plan.ops);
+    }
+    // Per-host broadcast of the finished vector.
+    if local.size() > 1 {
+        let fview = CommView {
+            group: local,
+            ctx: view.ctx,
+            rank: hier.my_local_rank(),
+        };
+        let mut plan = Plan::with_base(&fview, seq, 6, PHASE_FANOUT);
+        push_bcast_ops(&mut plan, tuning, 0, total);
+        ops.append(&mut plan.ops);
+    }
+    let leader_n = leaders.size();
+    let label = match (
+        allreduce_uses_rabenseifner(leader_n, total, count, tuning),
+        !leader_n.is_power_of_two(),
+    ) {
+        (false, false) => "allreduce/hier+recursive-doubling",
+        (false, true) => "allreduce/hier+recursive-doubling+fold",
+        (true, false) => "allreduce/hier+rabenseifner",
+        (true, true) => "allreduce/hier+rabenseifner+fold",
+    };
+    Schedule::new(
+        ops,
+        view.ctx,
+        Some((op, fold_bytes::<T> as FoldFn)),
+        Loc::Buf,
+        (0, total),
+        total,
+        label,
+    )
+    .with_pairs_hint(hier_pairs_hint(hier))
 }
 
 /// Emit the allreduce op sequence into `plan` (shared by [`build_allreduce`]
@@ -987,7 +1610,7 @@ fn push_allreduce_ops<T: Reducible>(
     let excess = n - pow2;
     // Rabenseifner only pays off when every core rank still owns a
     // non-trivial region after log₂(pow2) halvings.
-    let large = total >= tuning.allreduce_rabenseifner_min_bytes && count >= pow2;
+    let large = allreduce_uses_rabenseifner(n, total, count, tuning);
 
     // Fold pre-phase (non-power-of-two): among the first 2·excess ranks, each
     // even rank sends its vector to the odd rank above it and drops out of
@@ -1026,12 +1649,7 @@ fn push_allreduce_ops<T: Reducible>(
         }
     }
     plan.kind = kind_before;
-    match (large, excess > 0) {
-        (false, false) => "allreduce/recursive-doubling",
-        (false, true) => "allreduce/recursive-doubling+fold",
-        (true, false) => "allreduce/rabenseifner",
-        (true, true) => "allreduce/rabenseifner+fold",
-    }
+    allreduce_flat_label(n, total, count, tuning)
 }
 
 /// Recursive-doubling allreduce over the power-of-two core: log₂(pow2)
@@ -1136,16 +1754,18 @@ fn push_rabenseifner_core(plan: &mut Plan<'_, '_>, core: CoreMap, count: usize, 
 /// size-adaptive schedule (recursive doubling / Rabenseifner, with
 /// power-of-two fold elimination for other rank counts) and runs it to
 /// completion. Returns the label of the algorithm used.
+#[allow(clippy::too_many_arguments)]
 pub fn allreduce<T: Reducible>(
     t: &mut dyn Transport,
     clock: &mut SimClock,
     view: &CommView<'_>,
     tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
     seq: u32,
     values: &mut [T],
     op: ReduceOp,
 ) -> Result<&'static str> {
-    let mut sched = build_allreduce::<T>(view, tuning, seq, values.len(), op);
+    let mut sched = build_allreduce::<T>(view, tuning, hier, seq, values.len(), op);
     let mut scratch = vec![0u8; sched.scratch_len];
     sched.run(t, clock, bytes_of_mut(values), &mut scratch)?;
     Ok(sched.label)

@@ -32,16 +32,26 @@ use cmpi_fabric::SimClock;
 
 use crate::barrier;
 use crate::coll::{self, CommView};
-use crate::config::{CollTuning, ProgressTuning};
+use crate::config::{CollTuning, HierarchyMode, ProgressTuning};
 use crate::error::MpiError;
 use crate::group::Group;
 use crate::pod::{bytes_of, Pod};
 use crate::progress::{CollState, ProgressStats};
 use crate::request::{Request, RequestState};
-use crate::topology::HostTopology;
+use crate::topology::{HostHierarchy, HostTopology};
 use crate::transport::{Transport, TransportStats, WinId};
 use crate::types::{CtxId, Rank, ReduceOp, Reducible, Status, Tag, WORLD_CTX};
 use crate::Result;
+
+/// Grouping criteria accepted by [`Comm::split_type`] (the `MPI_Comm_split_type`
+/// equivalent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitType {
+    /// One sub-communicator per host, members ordered by their rank in the
+    /// parent (the `MPI_COMM_TYPE_SHARED` idiom: every member of the result
+    /// shares a hardware-coherent cache).
+    Host,
+}
 
 /// Collective-operation counters for one communicator of one rank, surfaced in
 /// [`crate::runtime::RankReport::comm_colls`].
@@ -171,6 +181,12 @@ pub struct Comm {
     ctx: CtxId,
     /// This rank's local rank within `group`.
     rank: Rank,
+    /// Lazily derived host hierarchy (same-host group + one-leader-per-host
+    /// group) used by the topology-aware collective compositions. Derived
+    /// locally from `(group, topology)` — no communication — and therefore
+    /// never stale; communicators created by `comm_dup`/`comm_split` start
+    /// with an empty cache and re-derive against their own group.
+    hier: RefCell<Option<Rc<HostHierarchy>>>,
 }
 
 impl Comm {
@@ -201,7 +217,40 @@ impl Comm {
             group: Arc::new(Group::world(n)),
             ctx: WORLD_CTX,
             rank,
+            hier: RefCell::new(None),
         }
+    }
+
+    /// The lazily cached host hierarchy of this communicator (see the field
+    /// docs): derived on first use, shared by every collective afterwards.
+    fn hierarchy(&self) -> Rc<HostHierarchy> {
+        if let Some(h) = &*self.hier.borrow() {
+            return Rc::clone(h);
+        }
+        let derived = {
+            let core = self.core.borrow();
+            Rc::new(HostHierarchy::derive(
+                &self.group,
+                &core.topology,
+                self.rank,
+            ))
+        };
+        *self.hier.borrow_mut() = Some(Rc::clone(&derived));
+        derived
+    }
+
+    /// The hierarchy handle the collective builders consult, or `None` when
+    /// hierarchical composition is disabled outright or trivially impossible
+    /// (so `HierarchyMode::Off` never even derives the structure and today's
+    /// flat behavior is restored exactly).
+    fn hier_for_coll(&self) -> Option<Rc<HostHierarchy>> {
+        if self.group.size() < 2 {
+            return None;
+        }
+        if self.core.borrow().tuning.hierarchy == HierarchyMode::Off {
+            return None;
+        }
+        Some(self.hierarchy())
     }
 
     /// Snapshot of the per-communicator collective counters accumulated by
@@ -373,6 +422,7 @@ impl Comm {
     /// the original's — the MPI idiom for handing a library its own
     /// communicator.
     pub fn comm_dup(&mut self) -> Result<Comm> {
+        let hier = self.hier_for_coll();
         let new_ctx = {
             let core = &mut *self.core.borrow_mut();
             let view = self.view();
@@ -384,6 +434,7 @@ impl Comm {
                 &mut core.clock,
                 &view,
                 &tuning,
+                hier.as_deref(),
                 seq,
                 &mut proposal,
                 ReduceOp::Max,
@@ -399,6 +450,7 @@ impl Comm {
             group: Arc::clone(&self.group),
             ctx: new_ctx,
             rank: self.rank,
+            hier: RefCell::new(self.hier.borrow().clone()),
         })
     }
 
@@ -409,6 +461,7 @@ impl Comm {
     pub fn comm_split(&mut self, color: i32, key: i32) -> Result<Option<Comm>> {
         let n = self.group.size();
         let mut gathered = vec![0i64; 3 * n];
+        let hier = self.hier_for_coll();
         let new_ctx = {
             let core = &mut *self.core.borrow_mut();
             let view = self.view();
@@ -420,6 +473,7 @@ impl Comm {
                 &mut core.clock,
                 &view,
                 &tuning,
+                hier.as_deref(),
                 seq,
                 &mine,
                 &mut gathered,
@@ -461,7 +515,25 @@ impl Comm {
             group,
             ctx: new_ctx,
             rank: my_local,
+            hier: RefCell::new(None),
         }))
+    }
+
+    /// Split the communicator by a topology criterion (the
+    /// `MPI_Comm_split_type` equivalent). [`SplitType::Host`] yields one
+    /// sub-communicator per host whose members all share a hardware-coherent
+    /// cache, ordered by parent rank — the building block of application-level
+    /// two-level algorithms (the library's own hierarchical collectives use an
+    /// internally cached equivalent and need no extra context id). Collective
+    /// over this communicator; every member receives `Some(sub)`.
+    pub fn split_type(&mut self, split: SplitType) -> Result<Option<Comm>> {
+        match split {
+            SplitType::Host => {
+                let host = self.host() as i32;
+                let key = self.rank as i32;
+                self.comm_split(host, key)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -881,17 +953,27 @@ impl Comm {
 
     /// Barrier across all ranks of the communicator. The world communicator
     /// (and any same-group duplicate) uses the transport's sequence-number
-    /// barrier; sub-communicators run a dissemination barrier over their own
-    /// point-to-point path.
+    /// barrier — a shared flag array no message-passing scheme beats;
+    /// sub-communicators run a dissemination barrier over their own
+    /// point-to-point path, composed hierarchically (per-host fan-in, leader
+    /// dissemination, per-host fan-out) when the topology gates select it.
     pub fn barrier(&mut self) -> Result<()> {
+        let hier = self.hier_for_coll();
         let core = &mut *self.core.borrow_mut();
+        let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
         let algo = if self.group.is_world(core.transport.size()) {
             core.transport.barrier(&mut core.clock)?;
             "barrier/sequence"
         } else {
-            barrier::group_barrier(core.transport.as_mut(), &mut core.clock, &self.view(), seq)?;
-            "barrier/dissemination"
+            barrier::group_barrier(
+                core.transport.as_mut(),
+                &mut core.clock,
+                &self.view(),
+                &tuning,
+                hier.as_deref(),
+                seq,
+            )?
         };
         core.note_coll(self.ctx, self.group.size(), CollOp::Barrier, 0);
         core.note_algo(algo);
@@ -947,10 +1029,12 @@ impl Comm {
 
     /// Nonblocking barrier (`MPI_Ibarrier`): completes once every rank of the
     /// communicator has entered it. Runs the dissemination-token schedule on
-    /// every communicator (world included), so it can overlap with compute.
+    /// every communicator (world included) — hierarchical when the topology
+    /// gates select it — so it can overlap with compute.
     pub fn ibarrier(&mut self) -> Result<Request> {
-        let (_, seq) = self.coll_ticket();
-        let sched = coll::build_barrier(&self.view(), seq);
+        let hier = self.hier_for_coll();
+        let (tuning, seq) = self.coll_ticket();
+        let sched = coll::build_barrier(&self.view(), &tuning, hier.as_deref(), seq);
         Ok(self.start_coll(sched, Vec::new(), CollOp::Barrier, 0))
     }
 
@@ -961,8 +1045,9 @@ impl Comm {
     pub fn ibcast_into<T: Pod>(&mut self, root: Rank, buf: &[T]) -> Result<Request> {
         self.world_of(root)?;
         let bytes = std::mem::size_of_val(buf);
+        let hier = self.hier_for_coll();
         let (tuning, seq) = self.coll_ticket();
-        let sched = coll::build_bcast(&self.view(), &tuning, seq, root, bytes);
+        let sched = coll::build_bcast(&self.view(), &tuning, hier.as_deref(), seq, root, bytes);
         Ok(self.start_coll(sched, bytes_of(buf).to_vec(), CollOp::Bcast, bytes as u64))
     }
 
@@ -970,9 +1055,42 @@ impl Comm {
     /// request yields the element-wise reduction of all contributions.
     pub fn iallreduce<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Request> {
         let bytes = std::mem::size_of_val(values) as u64;
+        let hier = self.hier_for_coll();
         let (tuning, seq) = self.coll_ticket();
-        let sched = coll::build_allreduce::<T>(&self.view(), &tuning, seq, values.len(), op);
+        let sched = coll::build_allreduce::<T>(
+            &self.view(),
+            &tuning,
+            hier.as_deref(),
+            seq,
+            values.len(),
+            op,
+        );
         Ok(self.start_coll(sched, bytes_of(values).to_vec(), CollOp::Allreduce, bytes))
+    }
+
+    /// Nonblocking rooted reduce (`MPI_Ireduce`): on completion the root's
+    /// request yields the element-wise reduction of all contributions via
+    /// [`Request::take_values`]; non-root requests yield an empty result.
+    pub fn ireduce<T: Reducible>(
+        &mut self,
+        root: Rank,
+        values: &[T],
+        op: ReduceOp,
+    ) -> Result<Request> {
+        self.world_of(root)?;
+        let bytes = std::mem::size_of_val(values) as u64;
+        let hier = self.hier_for_coll();
+        let (tuning, seq) = self.coll_ticket();
+        let sched = coll::build_reduce::<T>(
+            &self.view(),
+            &tuning,
+            hier.as_deref(),
+            seq,
+            root,
+            values.len(),
+            op,
+        );
+        Ok(self.start_coll(sched, bytes_of(values).to_vec(), CollOp::Reduce, bytes))
     }
 
     /// Nonblocking allgather (`MPI_Iallgather`): on completion every rank's
@@ -983,8 +1101,9 @@ impl Comm {
         let block = std::mem::size_of_val(send);
         let mut buf = vec![0u8; n * block];
         buf[self.rank * block..(self.rank + 1) * block].copy_from_slice(bytes_of(send));
+        let hier = self.hier_for_coll();
         let (tuning, seq) = self.coll_ticket();
-        let sched = coll::build_allgather(&self.view(), &tuning, seq, block);
+        let sched = coll::build_allgather(&self.view(), &tuning, hier.as_deref(), seq, block);
         Ok(self.start_coll(sched, buf, CollOp::Allgather, block as u64))
     }
 
@@ -1227,6 +1346,7 @@ impl Comm {
     /// payloads, scatter + ring allgather above the configured threshold.
     pub fn bcast_into<T: Pod>(&mut self, root: Rank, buf: &mut [T]) -> Result<()> {
         let bytes = std::mem::size_of_val(buf) as u64;
+        let hier = self.hier_for_coll();
         let core = &mut *self.core.borrow_mut();
         let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
@@ -1235,6 +1355,7 @@ impl Comm {
             &mut core.clock,
             &self.view(),
             &tuning,
+            hier.as_deref(),
             seq,
             root,
             buf,
@@ -1275,6 +1396,7 @@ impl Comm {
     /// small blocks, ring for large ones.
     pub fn allgather_into<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<()> {
         let bytes = std::mem::size_of_val(send) as u64;
+        let hier = self.hier_for_coll();
         let core = &mut *self.core.borrow_mut();
         let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
@@ -1283,6 +1405,7 @@ impl Comm {
             &mut core.clock,
             &self.view(),
             &tuning,
+            hier.as_deref(),
             seq,
             send,
             recv,
@@ -1318,8 +1441,9 @@ impl Comm {
         Ok(())
     }
 
-    /// Reduce typed values to `root` (binomial tree). Returns `Some(result)`
-    /// on the root, `None` elsewhere.
+    /// Reduce typed values to `root` (binomial tree; two-level across hosts
+    /// when the topology gates select it). Returns `Some(result)` on the
+    /// root, `None` elsewhere.
     pub fn reduce<T: Reducible>(
         &mut self,
         root: Rank,
@@ -1327,19 +1451,23 @@ impl Comm {
         op: ReduceOp,
     ) -> Result<Option<Vec<T>>> {
         let bytes = std::mem::size_of_val(values) as u64;
+        let hier = self.hier_for_coll();
         let core = &mut *self.core.borrow_mut();
+        let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
-        let out = coll::reduce(
+        let (out, algo) = coll::reduce(
             core.transport.as_mut(),
             &mut core.clock,
             &self.view(),
+            &tuning,
+            hier.as_deref(),
             seq,
             root,
             values,
             op,
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Reduce, bytes);
-        core.note_algo("reduce/binomial");
+        core.note_algo(algo);
         Ok(out)
     }
 
@@ -1348,6 +1476,7 @@ impl Comm {
     /// power-of-two fold elimination for other rank counts.
     pub fn allreduce<T: Reducible>(&mut self, values: &mut [T], op: ReduceOp) -> Result<()> {
         let bytes = std::mem::size_of_val(values) as u64;
+        let hier = self.hier_for_coll();
         let core = &mut *self.core.borrow_mut();
         let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
@@ -1356,6 +1485,7 @@ impl Comm {
             &mut core.clock,
             &self.view(),
             &tuning,
+            hier.as_deref(),
             seq,
             values,
             op,

@@ -91,10 +91,27 @@ impl TcpTransportConfig {
     }
 }
 
+/// Whether the collectives may compose the two-level (per-host local phase +
+/// cross-host leader phase) hierarchical algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HierarchyMode {
+    /// Pick hierarchical vs flat per call from the topology shape and payload
+    /// gates below (the default).
+    Auto,
+    /// Never compose hierarchically — restores the flat-only behavior exactly.
+    Off,
+    /// Always compose hierarchically when the communicator spans ≥ 2 hosts
+    /// (the shape/payload gates are ignored; used by tests and the bench
+    /// sweep). Single-host communicators still run flat — there is no
+    /// hierarchy to exploit.
+    Force,
+}
+
 /// Message-size thresholds steering the size-adaptive collective algorithms
-/// (see `coll`). Defaults follow the MPICH-style switchover points, scaled to
-/// the cell geometry of the CXL transport; the bench harness sweeps across
-/// them so every branch shows up in `BENCH_collectives.json`.
+/// (see `coll`), plus the topology gates steering the hierarchical (two-level,
+/// per-host) compositions. Defaults follow the MPICH-style switchover points,
+/// scaled to the cell geometry of the CXL transport; the bench harness sweeps
+/// across them so every branch shows up in `BENCH_collectives.json`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CollTuning {
     /// Broadcast switches from the binomial tree to scatter + ring-allgather
@@ -110,6 +127,26 @@ pub struct CollTuning {
     /// recursive halving (power-of-two) / pairwise exchange (other counts) at
     /// and above this many total payload bytes.
     pub reduce_scatter_direct_min_bytes: usize,
+    /// Whether topology-aware hierarchical compositions may be selected.
+    pub hierarchy: HierarchyMode,
+    /// `Auto` only goes hierarchical when the communicator spans at least
+    /// this many hosts (< 2 never composes — there is nothing to split).
+    pub hier_min_hosts: usize,
+    /// `Auto` only goes hierarchical when every spanned host holds at least
+    /// this many of the communicator's ranks (a host with a lone rank gets no
+    /// local-phase benefit).
+    pub hier_min_ranks_per_host: usize,
+    /// `Auto` only goes hierarchical for payloads of at least this many bytes
+    /// (the local phases add hops that only pay off once the cross-host
+    /// bandwidth term dominates; barriers carry no payload and are gated on
+    /// the shape criteria alone).
+    pub hier_min_payload_bytes: usize,
+    /// Allgather's own `Auto` payload cutoff, applied to the *total* result
+    /// size (`ranks × block`). The hierarchical allgather moves every byte
+    /// through an extra local gather + full-buffer fan-out, so its crossover
+    /// sits far above the reduction collectives' — the bench sweep measures
+    /// it losing at a 512 KiB total and winning at 8 MiB.
+    pub hier_allgather_min_bytes: usize,
 }
 
 impl Default for CollTuning {
@@ -119,6 +156,11 @@ impl Default for CollTuning {
             allreduce_rabenseifner_min_bytes: 16 * 1024,
             allgather_bruck_max_bytes: 4 * 1024,
             reduce_scatter_direct_min_bytes: 16 * 1024,
+            hierarchy: HierarchyMode::Auto,
+            hier_min_hosts: 2,
+            hier_min_ranks_per_host: 2,
+            hier_min_payload_bytes: 512 * 1024,
+            hier_allgather_min_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -169,13 +211,30 @@ impl TransportConfig {
     }
 }
 
+/// How ranks are mapped onto the simulated hosts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum HostPlacement {
+    /// Balanced contiguous blocks (the usual `mpirun` placement; default).
+    #[default]
+    Blocked,
+    /// Round-robin dealing (`rank r` on host `r % hosts`) — a permuted
+    /// mapping where same-host ranks are never contiguous in rank order.
+    RoundRobin,
+    /// An explicit rank→host mapping (must be densely numbered and match the
+    /// rank count; `hosts` is ignored).
+    Explicit(Vec<usize>),
+}
+
 /// Full configuration of a universe.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UniverseConfig {
     /// Number of MPI ranks.
     pub ranks: usize,
-    /// Number of simulated hosts the ranks are spread over (block placement).
+    /// Number of simulated hosts the ranks are spread over (ignored by
+    /// [`HostPlacement::Explicit`]).
     pub hosts: usize,
+    /// How ranks map onto the hosts.
+    pub placement: HostPlacement,
     /// Transport selection.
     pub transport: TransportConfig,
     /// Collective algorithm switchover thresholds.
@@ -191,6 +250,7 @@ impl UniverseConfig {
         UniverseConfig {
             ranks,
             hosts: 2.min(ranks.max(1)),
+            placement: HostPlacement::Blocked,
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::default()),
             coll: CollTuning::default(),
             progress: ProgressTuning::default(),
@@ -202,6 +262,7 @@ impl UniverseConfig {
         UniverseConfig {
             ranks,
             hosts: 2.min(ranks.max(1)),
+            placement: HostPlacement::Blocked,
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::small()),
             coll: CollTuning::default(),
             progress: ProgressTuning::default(),
@@ -213,6 +274,7 @@ impl UniverseConfig {
         UniverseConfig {
             ranks,
             hosts: 2.min(ranks.max(1)),
+            placement: HostPlacement::Blocked,
             transport: TransportConfig::Tcp(TcpTransportConfig { nic }),
             coll: CollTuning::default(),
             progress: ProgressTuning::default(),
@@ -222,6 +284,12 @@ impl UniverseConfig {
     /// Override the number of hosts.
     pub fn with_hosts(mut self, hosts: usize) -> Self {
         self.hosts = hosts;
+        self
+    }
+
+    /// Override the rank→host placement.
+    pub fn with_placement(mut self, placement: HostPlacement) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -245,7 +313,21 @@ impl UniverseConfig {
         if let TransportConfig::CxlShm(c) = &self.transport {
             c.validate()?;
         }
-        HostTopology::blocked(self.ranks, self.hosts.max(1).min(self.ranks))
+        let hosts = self.hosts.max(1).min(self.ranks);
+        match &self.placement {
+            HostPlacement::Blocked => HostTopology::blocked(self.ranks, hosts),
+            HostPlacement::RoundRobin => HostTopology::round_robin(self.ranks, hosts),
+            HostPlacement::Explicit(mapping) => {
+                if mapping.len() != self.ranks {
+                    return Err(MpiError::InvalidConfig(format!(
+                        "explicit placement maps {} ranks, config has {}",
+                        mapping.len(),
+                        self.ranks
+                    )));
+                }
+                HostTopology::from_mapping(mapping.clone())
+            }
+        }
     }
 }
 
@@ -303,5 +385,38 @@ mod tests {
         // More hosts than ranks clamps.
         let cfg = UniverseConfig::cxl(2).with_hosts(16);
         assert_eq!(cfg.topology().unwrap().hosts(), 2);
+    }
+
+    #[test]
+    fn placement_variants() {
+        let rr = UniverseConfig::cxl(6)
+            .with_hosts(3)
+            .with_placement(HostPlacement::RoundRobin)
+            .topology()
+            .unwrap();
+        assert_eq!(rr.mapping(), &[0, 1, 2, 0, 1, 2]);
+        let explicit = UniverseConfig::cxl(4)
+            .with_placement(HostPlacement::Explicit(vec![1, 0, 1, 0]))
+            .topology()
+            .unwrap();
+        assert_eq!(explicit.hosts(), 2);
+        // Length mismatch and non-dense mappings are rejected.
+        assert!(UniverseConfig::cxl(4)
+            .with_placement(HostPlacement::Explicit(vec![0, 1]))
+            .topology()
+            .is_err());
+        assert!(UniverseConfig::cxl(2)
+            .with_placement(HostPlacement::Explicit(vec![0, 2]))
+            .topology()
+            .is_err());
+    }
+
+    #[test]
+    fn hierarchy_defaults_are_gated() {
+        let t = CollTuning::default();
+        assert_eq!(t.hierarchy, HierarchyMode::Auto);
+        assert_eq!(t.hier_min_hosts, 2);
+        assert_eq!(t.hier_min_ranks_per_host, 2);
+        assert_eq!(t.hier_min_payload_bytes, 512 * 1024);
     }
 }

@@ -117,6 +117,11 @@ impl Datatype {
         );
         match *self {
             Datatype::Contiguous { .. } => src[..self.packed_size()].to_vec(),
+            // A vector whose blocks abut (`block_len == stride`) is laid out
+            // contiguously: one memcpy instead of a per-block gather.
+            Datatype::Vector {
+                block_len, stride, ..
+            } if block_len == stride => src[..self.packed_size()].to_vec(),
             Datatype::Vector {
                 kind,
                 count,
@@ -147,6 +152,12 @@ impl Datatype {
         );
         match *self {
             Datatype::Contiguous { .. } => {
+                dst[..self.packed_size()].copy_from_slice(&packed[..self.packed_size()]);
+            }
+            // Abutting blocks scatter back as one contiguous run.
+            Datatype::Vector {
+                block_len, stride, ..
+            } if block_len == stride => {
                 dst[..self.packed_size()].copy_from_slice(&packed[..self.packed_size()]);
             }
             Datatype::Vector {
@@ -232,5 +243,114 @@ mod tests {
         assert_eq!(ElemKind::I32.size(), 4);
         assert_eq!(ElemKind::U64.size(), 8);
         assert_eq!(ElemKind::F64.size(), 8);
+    }
+
+    /// Deterministic generator for the property tests (no external crates).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+
+        fn below(&mut self, n: u64) -> usize {
+            (self.next() % n.max(1)) as usize
+        }
+    }
+
+    /// Scalar reference implementation of vector pack: walk the blocks
+    /// element by element.
+    fn pack_reference(
+        kind: ElemKind,
+        count: usize,
+        block_len: usize,
+        stride: usize,
+        src: &[u8],
+    ) -> Vec<u8> {
+        let esz = kind.size();
+        let mut out = Vec::new();
+        for b in 0..count {
+            for e in 0..block_len * esz {
+                out.push(src[b * stride * esz + e]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn vector_pack_unpack_roundtrip_matches_scalar_reference() {
+        let mut rng = Lcg(0xDA7A_7E57);
+        for kind in [ElemKind::U8, ElemKind::I32, ElemKind::U64, ElemKind::F64] {
+            for _ in 0..50 {
+                let count = rng.below(9); // includes the zero-count edge
+                let block_len = 1 + rng.below(5);
+                let stride = block_len + rng.below(7); // includes block_len == stride
+                let dt = Datatype::vector(kind, count, block_len, stride);
+                let src: Vec<u8> = (0..dt.extent().max(1) + rng.below(16))
+                    .map(|_| rng.next() as u8)
+                    .collect();
+
+                let packed = dt.pack(&src);
+                assert_eq!(packed.len(), dt.packed_size());
+                assert_eq!(
+                    packed,
+                    pack_reference(kind, count, block_len, stride, &src),
+                    "{kind:?} count={count} block={block_len} stride={stride}"
+                );
+
+                // Round trip: unpack into a scribble-filled destination must
+                // restore exactly the described positions and nothing else.
+                let mut dst: Vec<u8> = (0..src.len()).map(|_| rng.next() as u8).collect();
+                let before = dst.clone();
+                dt.unpack(&packed, &mut dst);
+                let esz = kind.size();
+                let mut described = vec![false; dst.len()];
+                for b in 0..count {
+                    for e in 0..block_len * esz {
+                        described[b * stride * esz + e] = true;
+                    }
+                }
+                for (i, &is_described) in described.iter().enumerate() {
+                    if is_described {
+                        assert_eq!(dst[i], src[i], "described byte {i} not restored");
+                    } else {
+                        assert_eq!(dst[i], before[i], "gap byte {i} clobbered");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contiguity_fast_path_equals_strided_semantics() {
+        // block_len == stride means the vector is one contiguous run: it must
+        // behave exactly like the equivalent contiguous datatype.
+        let dt = Datatype::vector(ElemKind::I32, 6, 3, 3);
+        let eq = Datatype::contiguous(ElemKind::I32, 18);
+        assert_eq!(dt.packed_size(), eq.packed_size());
+        assert_eq!(dt.extent(), eq.extent());
+        let src: Vec<u8> = (0..dt.extent() + 8).map(|i| (i * 37 % 251) as u8).collect();
+        assert_eq!(dt.pack(&src), eq.pack(&src));
+        let packed = dt.pack(&src);
+        let mut a = vec![0u8; src.len()];
+        let mut b = vec![0u8; src.len()];
+        dt.unpack(&packed, &mut a);
+        eq.unpack(&packed, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_count_vector_is_empty() {
+        let dt = Datatype::vector(ElemKind::F64, 0, 4, 9);
+        assert_eq!(dt.packed_size(), 0);
+        assert_eq!(dt.extent(), 0);
+        assert_eq!(dt.pack(&[]), Vec::<u8>::new());
+        let mut dst: [u8; 4] = [7; 4];
+        dt.unpack(&[], &mut dst);
+        assert_eq!(dst, [7; 4]); // nothing described, nothing touched
     }
 }

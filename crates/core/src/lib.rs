@@ -102,10 +102,10 @@ pub mod topology;
 pub mod transport;
 pub mod types;
 
-pub use comm::{Comm, CommCollStats};
+pub use comm::{Comm, CommCollStats, SplitType};
 pub use config::{
-    CollTuning, CxlShmTransportConfig, ProgressTuning, TcpTransportConfig, TransportConfig,
-    UniverseConfig,
+    CollTuning, CxlShmTransportConfig, HierarchyMode, HostPlacement, ProgressTuning,
+    TcpTransportConfig, TransportConfig, UniverseConfig,
 };
 pub use error::MpiError;
 pub use group::Group;
@@ -114,7 +114,7 @@ pub use progress::ProgressStats;
 pub use request::{Request, RequestState};
 pub use runtime::{RankReport, Universe};
 pub use spin::{PoisonFlag, SpinWait};
-pub use topology::HostTopology;
+pub use topology::{HostHierarchy, HostTopology};
 pub use types::{
     CtxId, Rank, ReduceOp, Reducible, Status, Tag, ANY_SOURCE, ANY_TAG, COLL_TAG_BASE, WORLD_CTX,
 };

@@ -2,8 +2,8 @@
 //!
 //! Every collective algorithm in [`crate::coll`] is expressed as a
 //! **schedule** — an ordered list of point-to-point operations
-//! ([`SchedOp::Send`] / [`SchedOp::Recv`]) and local data movements
-//! ([`SchedOp::Fold`] / [`SchedOp::Copy`]) over two byte arenas: the
+//! (`SchedOp::Send` / `SchedOp::Recv`) and local data movements
+//! (`SchedOp::Fold` / `SchedOp::Copy`) over two byte arenas: the
 //! *primary* buffer (the user's payload) and a *scratch* buffer (algorithm
 //! temporaries). Ops execute strictly in order, which preserves exactly the
 //! deadlock-safe orderings (lower rank sends first, rank 0 of a ring receives
@@ -16,7 +16,7 @@
 //!   build-schedule-then-run, so blocking and nonblocking collectives execute
 //!   byte-identical plans and cannot diverge;
 //! * **incrementally** ([`Schedule::progress`]) — each call executes ops until
-//!   one cannot complete (a [`SchedOp::Recv`] whose message has not arrived,
+//!   one cannot complete (a `SchedOp::Recv` whose message has not arrived,
 //!   probed through the transports' non-blocking `try_recv_into` path) and
 //!   then returns. This is what `Comm::test`/`Comm::wait` (and the
 //!   `*_any`/`*_all` combinators) call on a collective request, giving
@@ -167,6 +167,13 @@ pub struct Schedule {
     pub(crate) result_range: (usize, usize),
     /// Scratch bytes the schedule needs to execute.
     pub(crate) scratch_len: usize,
+    /// Estimated concurrent cross-host communication pairs while this
+    /// schedule executes, if the builder knows better than the transport's
+    /// standing hint (hierarchical composites: only one leader per host
+    /// crosses hosts). Applied to the transport around every progress call
+    /// and restored afterwards, so the contention model sees the reduced
+    /// crowd without disturbing unrelated traffic.
+    pub(crate) pairs_hint: Option<usize>,
     /// Label of the algorithm this schedule implements (surfaced in
     /// `RankReport::coll_algos`).
     pub label: &'static str,
@@ -193,8 +200,16 @@ impl Schedule {
             result_loc,
             result_range,
             scratch_len,
+            pairs_hint: None,
             label,
         }
+    }
+
+    /// Attach a concurrent cross-host pair estimate (see
+    /// [`Schedule::pairs_hint`]).
+    pub(crate) fn with_pairs_hint(mut self, pairs: usize) -> Self {
+        self.pairs_hint = Some(pairs);
+        self
     }
 
     /// Context id the schedule's traffic runs under.
@@ -230,6 +245,28 @@ impl Schedule {
     /// peers' sends moving, which makes concurrent independent schedules
     /// deadlock-free without any global op ordering across them.
     pub fn progress(
+        &mut self,
+        t: &mut dyn Transport,
+        clock: &mut SimClock,
+        buf: &mut [u8],
+        scratch: &mut [u8],
+        budget: usize,
+    ) -> Result<StepOutcome> {
+        // Schedules with a better crowd estimate than the transport's standing
+        // hint (hierarchical composites) scope it to their own execution.
+        match self.pairs_hint {
+            None => self.progress_inner(t, clock, buf, scratch, budget),
+            Some(pairs) => {
+                let saved = t.concurrency_hint();
+                t.set_concurrency_hint(pairs);
+                let out = self.progress_inner(t, clock, buf, scratch, budget);
+                t.set_concurrency_hint(saved);
+                out
+            }
+        }
+    }
+
+    fn progress_inner(
         &mut self,
         t: &mut dyn Transport,
         clock: &mut SimClock,

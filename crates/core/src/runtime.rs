@@ -147,7 +147,8 @@ impl Universe {
                             rank,
                             armed: true,
                         };
-                        let transport = CxlTransport::new(rank, ranks, arena, &cxl_config, poison)?;
+                        let transport =
+                            CxlTransport::new(rank, ranks, arena, &cxl_config, &topology, poison)?;
                         let out = Self::run_rank(
                             Box::new(transport),
                             topology,

@@ -96,6 +96,11 @@ pub struct CxlTransport {
     cost: CxlCostModel,
     contention: CxlContentionModel,
     coherence: CoherenceMode,
+    /// Host of each world rank: same-host peers share a hardware-coherent
+    /// cache, so their traffic skips the software-coherence flush/fence costs
+    /// *and* the pooled-device contention floor (it is served out of the
+    /// shared cache hierarchy, not the device DIMMs).
+    host_of: Vec<usize>,
     active_pairs: usize,
     stats: TransportStats,
     cell_payload: usize,
@@ -143,6 +148,7 @@ impl CxlTransport {
         ranks: usize,
         arena: CxlShmArena,
         config: &CxlShmTransportConfig,
+        topology: &crate::topology::HostTopology,
         poison: PoisonFlag,
     ) -> Result<Self> {
         let geometry = QueueGeometry {
@@ -190,6 +196,7 @@ impl CxlTransport {
             cost: CxlCostModel::default(),
             contention: CxlContentionModel::default(),
             coherence: config.coherence,
+            host_of: topology.mapping().to_vec(),
             active_pairs: (ranks / 2).max(1),
             stats: TransportStats::default(),
             cell_payload: config.cell_size,
@@ -214,12 +221,28 @@ impl CxlTransport {
     // Cost accounting helpers
     // ------------------------------------------------------------------
 
-    /// Charge a chunk publish. `msg_bytes` is the size of the whole message the
-    /// chunk belongs to: memory-hierarchy contention is driven by the size of
-    /// the concurrent transfers (Section 3.6), not by how the MPI library
-    /// slices them into cells, so the cap degradation is keyed on the message
-    /// while the fair-share floor applies to the bytes actually moved here.
-    fn charge_chunk_write(&self, clock: &mut SimClock, bytes: usize, msg_bytes: usize) {
+    /// Whether `peer` shares this rank's host (and therefore its
+    /// hardware-coherent cache).
+    fn same_host(&self, peer: Rank) -> bool {
+        self.host_of[peer] == self.host_of[self.rank]
+    }
+
+    /// Charge a chunk publish to `peer`. `msg_bytes` is the size of the whole
+    /// message the chunk belongs to: memory-hierarchy contention is driven by
+    /// the size of the concurrent transfers (Section 3.6), not by how the MPI
+    /// library slices them into cells, so the cap degradation is keyed on the
+    /// message while the fair-share floor applies to the bytes actually moved
+    /// here. A **same-host** peer reads the cells out of the shared
+    /// hardware-coherent cache: no flush, no fence, and no share of the
+    /// pooled-device bandwidth cap — the physical basis of the hierarchical
+    /// collectives' local phases.
+    fn charge_chunk_write(&self, clock: &mut SimClock, bytes: usize, msg_bytes: usize, peer: Rank) {
+        if self.same_host(peer) {
+            let ideal = self.cost.coherent_write(bytes, CoherenceMode::Cached)
+                + 2.0 * self.cost.nt_access();
+            clock.advance(ideal);
+            return;
+        }
         let ideal = self.cost.coherent_write(bytes, self.coherence) + 2.0 * self.cost.nt_access();
         let cap = self
             .contention
@@ -228,7 +251,14 @@ impl CxlTransport {
         clock.advance(ideal.max(floor));
     }
 
-    fn charge_chunk_read(&self, clock: &mut SimClock, bytes: usize, msg_bytes: usize) {
+    /// Charge a chunk consume from `peer`; see [`Self::charge_chunk_write`].
+    fn charge_chunk_read(&self, clock: &mut SimClock, bytes: usize, msg_bytes: usize, peer: Rank) {
+        if self.same_host(peer) {
+            let ideal =
+                self.cost.coherent_read(bytes, CoherenceMode::Cached) + 2.0 * self.cost.nt_access();
+            clock.advance(ideal);
+            return;
+        }
         let ideal = self.cost.coherent_read(bytes, self.coherence) + 2.0 * self.cost.nt_access();
         let cap = self
             .contention
@@ -345,7 +375,7 @@ impl CxlTransport {
             };
             backoff.reset();
             clock.merge(h.timestamp);
-            self.charge_chunk_read(clock, h.chunk_len as usize + CELL_HEADER_SIZE, total);
+            self.charge_chunk_read(clock, h.chunk_len as usize + CELL_HEADER_SIZE, total, h.src);
             received += h.chunk_len as usize;
             if received >= total {
                 return Ok(clock.now());
@@ -386,6 +416,7 @@ impl CxlTransport {
                 clock,
                 h.chunk_len as usize + CELL_HEADER_SIZE,
                 h.total_len as usize,
+                sender,
             );
             let a = asm.as_mut().expect("assembler present");
             a.commit_chunk(h.chunk_len as usize, clock.now());
@@ -581,7 +612,7 @@ impl Transport for CxlTransport {
             let chunk = &data[offset..chunk_end];
             // Charge the publish cost first, then stamp the cell with the time
             // at which the data is actually visible.
-            self.charge_chunk_write(clock, chunk.len() + CELL_HEADER_SIZE, total);
+            self.charge_chunk_write(clock, chunk.len() + CELL_HEADER_SIZE, total, dst);
             let header = CellHeader {
                 src: self.rank,
                 ctx,
@@ -717,7 +748,7 @@ impl Transport for CxlTransport {
             }
             // Charge the publish cost first, then stamp the cell with the
             // time at which the data is actually visible.
-            self.charge_chunk_write(clock, chunk.len() + CELL_HEADER_SIZE, total);
+            self.charge_chunk_write(clock, chunk.len() + CELL_HEADER_SIZE, total, dst);
             let header = CellHeader {
                 src: self.rank,
                 ctx,
@@ -1058,6 +1089,10 @@ impl Transport for CxlTransport {
 
     fn set_concurrency_hint(&mut self, pairs: usize) {
         self.active_pairs = pairs.max(1);
+    }
+
+    fn concurrency_hint(&self) -> usize {
+        self.active_pairs
     }
 
     fn label(&self) -> &'static str {

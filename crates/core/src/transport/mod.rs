@@ -1,5 +1,5 @@
 //! The transport abstraction: two-sided and one-sided primitives that the
-//! [`crate::runtime::Comm`] facade and the collectives are built on.
+//! [`crate::comm::Comm`] facade and the collectives are built on.
 //!
 //! Two implementations exist, mirroring the paper's comparison:
 //!
@@ -192,6 +192,13 @@ pub trait Transport: Send {
     /// Hint: how many communication pairs are concurrently active (used by the
     /// CXL contention model; ignored by transports that do not need it).
     fn set_concurrency_hint(&mut self, _pairs: usize) {}
+
+    /// The standing concurrency hint, so scoped overrides (a hierarchical
+    /// collective schedule whose leader phase crowds the device far less than
+    /// the default estimate) can save and restore it.
+    fn concurrency_hint(&self) -> usize {
+        1
+    }
 
     /// Human-readable transport label (used in benchmark output).
     fn label(&self) -> &'static str;

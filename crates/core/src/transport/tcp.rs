@@ -805,6 +805,10 @@ impl Transport for TcpTransport {
         self.fabric.set_flows_per_nic(pairs.max(1));
     }
 
+    fn concurrency_hint(&self) -> usize {
+        self.fabric.flows_per_nic()
+    }
+
     fn label(&self) -> &'static str {
         self.label
     }

@@ -276,6 +276,25 @@ impl TcpCostModel {
         self.mpi_per_msg_overhead_ns + copy + self.wire_time(bytes, share)
     }
 
+    /// One-way latency of a loopback (same-node) message: the kernel loopback
+    /// path skips the NIC entirely, so there is no packetization, no NIC
+    /// bandwidth share, and a much lighter software stack — just the
+    /// per-message overhead, two memory copies (sender staging + receiver
+    /// delivery at DRAM copy bandwidth) and the loopback latency. This is the
+    /// intra-host fast path that makes topology-aware collectives pay off on
+    /// the TCP baseline too.
+    pub fn loopback_time(&self, bytes: usize) -> SimNs {
+        let copies = 2.0 * transfer_ns(bytes, params::LOCAL_COPY_BW_GBPS);
+        params::TCP_LOOPBACK_MPI_OVERHEAD_US * 1000.0 + copies + self.loopback_latency_ns()
+    }
+
+    /// The one-way latency component of [`TcpCostModel::loopback_time`],
+    /// exposed so callers splitting a loopback send into sender occupancy and
+    /// delivery latency use the same decomposition this model defines.
+    pub fn loopback_latency_ns(&self) -> SimNs {
+        params::TCP_LOOPBACK_LATENCY_US * 1000.0
+    }
+
     /// Extra cost charged per one-sided synchronization epoch (PSCW or
     /// lock/unlock over the network).
     pub fn onesided_sync_extra(&self) -> SimNs {

@@ -189,6 +189,13 @@ pub const TCP_MPI_PER_MSG_OVERHEAD_US_MELLANOX: f64 = 37.0;
 pub const TCP_ONESIDED_SYNC_EXTRA_US_ETHERNET: f64 = 470.0;
 /// Tuned: as above for the Mellanox path.
 pub const TCP_ONESIDED_SYNC_EXTRA_US_MELLANOX: f64 = 565.0;
+/// Tuned: one-way latency of a same-node message through the kernel loopback
+/// path (no NIC involved) — the intra-host fast path an MPI-over-TCP stack
+/// sees for ranks co-located on one host.
+pub const TCP_LOOPBACK_LATENCY_US: f64 = 5.0;
+/// Tuned: per-message MPI + socket-progress overhead on the loopback path
+/// (much lighter than the NIC paths: no device doorbells or interrupts).
+pub const TCP_LOOPBACK_MPI_OVERHEAD_US: f64 = 3.0;
 
 // ---------------------------------------------------------------------------
 // Contention model (Section 3.6, 4.2: CXL bandwidth sags for large messages

@@ -183,29 +183,37 @@ impl TcpFabric {
     pub fn send(&self, src: usize, dst: usize, tag: u64, payload: Bytes, now: SimNs) -> SendTiming {
         let inner = &self.inner;
         let bytes = payload.len();
-        let share = 1.0 / inner.flows_per_nic.load(Ordering::Relaxed) as f64;
-        // Sender occupancy: MPI/socket overhead, intermediate copy,
-        // packetization and serialization at this flow's share of the NIC.
-        let occupancy = inner.model.mpi_message_time(bytes, share) - inner.model.base_latency_ns;
-        let occupancy = occupancy.max(0.0);
-        let sender_busy_until = now + occupancy;
-        // Arrival adds the one-way wire latency on top of the sender occupancy.
-        let arrival = sender_busy_until + inner.model.base_latency_ns;
-
         let src_node = inner.node_of[src];
         let dst_node = inner.node_of[dst];
-        inner.nic_counters[src_node]
-            .messages_sent
-            .fetch_add(1, Ordering::Relaxed);
-        inner.nic_counters[src_node]
-            .bytes_sent
-            .fetch_add(bytes as u64, Ordering::Relaxed);
-        inner.nic_counters[dst_node]
-            .messages_received
-            .fetch_add(1, Ordering::Relaxed);
-        inner.nic_counters[dst_node]
-            .bytes_received
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        let (sender_busy_until, arrival) = if src_node == dst_node {
+            // Same node: kernel loopback, no NIC traversal, no bandwidth
+            // share, no NIC counters. The sender is busy for the copies and
+            // stack time; delivery adds only the loopback latency.
+            let latency = inner.model.loopback_latency_ns();
+            let busy = now + (inner.model.loopback_time(bytes) - latency).max(0.0);
+            (busy, busy + latency)
+        } else {
+            let share = 1.0 / inner.flows_per_nic.load(Ordering::Relaxed) as f64;
+            // Sender occupancy: MPI/socket overhead, intermediate copy,
+            // packetization and serialization at this flow's share of the NIC.
+            let occupancy =
+                inner.model.mpi_message_time(bytes, share) - inner.model.base_latency_ns;
+            let busy = now + occupancy.max(0.0);
+            inner.nic_counters[src_node]
+                .messages_sent
+                .fetch_add(1, Ordering::Relaxed);
+            inner.nic_counters[src_node]
+                .bytes_sent
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            inner.nic_counters[dst_node]
+                .messages_received
+                .fetch_add(1, Ordering::Relaxed);
+            inner.nic_counters[dst_node]
+                .bytes_received
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            // Arrival adds the one-way wire latency on top of the occupancy.
+            (busy, busy + inner.model.base_latency_ns)
+        };
 
         let msg = NetMessage {
             src,

@@ -87,6 +87,7 @@ impl ProxyApp for CgProxy {
             compute_ns,
             messages,
             serial_latency_rounds: allreduce_rounds,
+            local_latency_rounds: 0,
             overlap: 0.0,
             repeat: iterations,
         }]

@@ -86,6 +86,7 @@ impl ProxyApp for MiniAmrProxy {
             compute_ns,
             messages,
             serial_latency_rounds: halo_rounds,
+            local_latency_rounds: 0,
             overlap: 0.0,
             repeat: self.timesteps,
         }]

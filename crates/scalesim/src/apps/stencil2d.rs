@@ -33,6 +33,11 @@ pub struct Stencil2dProxy {
     /// Fraction of each step's communication hidden behind the interior
     /// update by nonblocking halos + `iallreduce` (0 = blocking formulation).
     pub comm_overlap: f64,
+    /// Whether the per-step residual reduction uses the topology-aware
+    /// two-level composition (per-host reduce at intra-node latency, then a
+    /// leader tree across nodes) instead of the flat row+column tree whose
+    /// every round pays inter-node latency.
+    pub hierarchical_reduction: bool,
 }
 
 impl Stencil2dProxy {
@@ -43,6 +48,7 @@ impl Stencil2dProxy {
             timesteps: 1000,
             flops_per_cell: 8.0,
             comm_overlap: 0.0,
+            hierarchical_reduction: false,
         }
     }
 
@@ -53,6 +59,18 @@ impl Stencil2dProxy {
             timesteps: 10,
             flops_per_cell: 8.0,
             comm_overlap: 0.0,
+            hierarchical_reduction: false,
+        }
+    }
+
+    /// The topology-aware formulation: the residual reduction runs as the
+    /// two-level host hierarchy (matching the library's hierarchical
+    /// allreduce), so only `log2(nodes)` rounds pay inter-node latency and the
+    /// `log2(ranks_per_node)` local rounds cost intra-node latency.
+    pub fn hierarchical() -> Self {
+        Stencil2dProxy {
+            hierarchical_reduction: true,
+            ..Self::large()
         }
     }
 
@@ -87,7 +105,11 @@ impl Stencil2dProxy {
 
 impl ProxyApp for Stencil2dProxy {
     fn name(&self) -> &'static str {
-        "Stencil2D"
+        if self.hierarchical_reduction {
+            "Stencil2D-hier"
+        } else {
+            "Stencil2D"
+        }
     }
 
     fn trace(&self, nodes: usize, ranks_per_node: usize, gflops_per_rank: f64) -> Vec<Superstep> {
@@ -134,17 +156,29 @@ impl ProxyApp for Stencil2dProxy {
             }
         }
 
-        // Hierarchical residual reduction every step: an allreduce across each
-        // row communicator (log2 px rounds) followed by one down a column
-        // (log2 py rounds) — shallower than a world-wide log2(ranks) tree when
-        // the grid is rectangular, and contention-free across rows.
-        let row_rounds = (px.max(2) as f64).log2().ceil() as usize;
-        let col_rounds = (py.max(2) as f64).log2().ceil() as usize;
+        // Residual reduction every step. Flat: an allreduce across each row
+        // communicator (log2 px rounds) followed by one down a column (log2
+        // py rounds), every round at inter-node latency. Hierarchical
+        // (two-level): each node reduces locally (log2 ranks_per_node rounds
+        // at intra-node latency), only the per-node leaders exchange across
+        // the network (log2 nodes rounds) — the same restructuring the
+        // library's hierarchical allreduce performs.
+        let (serial_latency_rounds, local_latency_rounds) = if self.hierarchical_reduction {
+            let leader_rounds = (nodes.max(2) as f64).log2().ceil() as usize;
+            // Local reduce plus local broadcast of the result.
+            let local_rounds = 2 * (ranks_per_node.max(2) as f64).log2().ceil() as usize;
+            (leader_rounds, local_rounds)
+        } else {
+            let row_rounds = (px.max(2) as f64).log2().ceil() as usize;
+            let col_rounds = (py.max(2) as f64).log2().ceil() as usize;
+            (row_rounds + col_rounds, 0)
+        };
 
         vec![Superstep {
             compute_ns,
             messages,
-            serial_latency_rounds: row_rounds + col_rounds,
+            serial_latency_rounds,
+            local_latency_rounds,
             overlap: self.comm_overlap,
             repeat: self.timesteps,
         }]
@@ -252,6 +286,7 @@ mod tests {
                 bytes: 1 << 20,
             }],
             serial_latency_rounds: 0,
+            local_latency_rounds: 0,
             overlap: 1.0,
             repeat: 1,
         };
@@ -264,6 +299,36 @@ mod tests {
         let (t_blocking, c_blocking) = sim.step_time(&blocking);
         assert_eq!(t_overlap, t_blocking);
         assert_eq!(c_overlap, c_blocking);
+    }
+
+    #[test]
+    fn hierarchical_reduction_beats_flat_at_scale() {
+        // The two-level reduction trades inter-node rounds for intra-node
+        // ones; intra latency is ~an order of magnitude lower, so the
+        // hierarchical formulation must strictly reduce exposed communication
+        // wherever the flat tree is deeper than the leader tree.
+        for class in TransportClass::all() {
+            let params = NetworkParams::for_transport(class);
+            for nodes in [8usize, 16, 32] {
+                let sim = Simulator::new(params, nodes, 8);
+                let flat =
+                    sim.run(&Stencil2dProxy::large().trace(nodes, 8, params.gflops_per_rank));
+                let hier = sim.run(&Stencil2dProxy::hierarchical().trace(
+                    nodes,
+                    8,
+                    params.gflops_per_rank,
+                ));
+                assert!(
+                    hier.comm_s < flat.comm_s,
+                    "{} nodes on {}: hier {} vs flat {}",
+                    nodes,
+                    class.label(),
+                    hier.comm_s,
+                    flat.comm_s
+                );
+                assert!(hier.total_s < flat.total_s);
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct Superstep {
     /// per-block halo messages issued back-to-back): each round costs one
     /// inter-node latency on the critical path.
     pub serial_latency_rounds: usize,
+    /// Serialised *intra-node* rounds: the same-host phases of two-level
+    /// (hierarchical) collectives, each costing one intra-node latency on the
+    /// critical path instead of an inter-node one.
+    pub local_latency_rounds: usize,
     /// Fraction of the communication phase hidden behind the compute phase
     /// (`0.0` = fully serialized blocking communication, `1.0` = ideal
     /// nonblocking overlap). Models apps that post `i*` collectives /
@@ -45,6 +49,7 @@ impl Superstep {
             compute_ns,
             messages: Vec::new(),
             serial_latency_rounds: 0,
+            local_latency_rounds: 0,
             overlap: 0.0,
             repeat,
         }
@@ -124,7 +129,8 @@ impl Simulator {
                 mem_flows[sn] += 1;
             }
         }
-        let serial_ns = step.serial_latency_rounds as f64 * p.inter_latency_ns;
+        let serial_ns = step.serial_latency_rounds as f64 * p.inter_latency_ns
+            + step.local_latency_rounds as f64 * p.intra_latency_ns;
         let mut comm_ns: f64 = 0.0;
         for m in &step.messages {
             let (sn, dn) = (self.node_of(m.src), self.node_of(m.dst));
@@ -197,6 +203,7 @@ mod tests {
             compute_ns: 1e6,
             messages: vec![],
             serial_latency_rounds: 0,
+            local_latency_rounds: 0,
             overlap: 0.0,
             repeat: 10,
         };
@@ -217,6 +224,7 @@ mod tests {
                 bytes: 1 << 20,
             }],
             serial_latency_rounds: 0,
+            local_latency_rounds: 0,
             overlap: 0.0,
             repeat: 1,
         };
@@ -228,6 +236,7 @@ mod tests {
                 bytes: 1 << 20,
             }],
             serial_latency_rounds: 0,
+            local_latency_rounds: 0,
             overlap: 0.0,
             repeat: 1,
         };
@@ -247,6 +256,7 @@ mod tests {
                 bytes: 10 << 20,
             }],
             serial_latency_rounds: 0,
+            local_latency_rounds: 0,
             overlap: 0.0,
             repeat: 1,
         };
@@ -261,6 +271,7 @@ mod tests {
             compute_ns: 0.0,
             messages: many,
             serial_latency_rounds: 0,
+            local_latency_rounds: 0,
             overlap: 0.0,
             repeat: 1,
         };
@@ -279,6 +290,7 @@ mod tests {
                 bytes: 64 * 1024,
             }],
             serial_latency_rounds: 0,
+            local_latency_rounds: 0,
             overlap: 0.0,
             repeat: 100,
         };

@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let config = UniverseConfig {
             ranks: processes,
             hosts: 2,
+            placement: Default::default(),
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::with_cell_size(cell)),
             coll: Default::default(),
             progress: Default::default(),

@@ -11,12 +11,16 @@ fn main() {
     study.run_app(&CgProxy::class_d());
     study.run_app(&MiniAmrProxy::paper());
     study.run_app(&Stencil2dProxy::large());
+    study.run_app(&Stencil2dProxy::hierarchical());
     print!("{}", study.render());
     println!(
         "(CG: communication is a small share of runtime, so all transports finish close\n\
          together; miniAMR is communication-dominated, so the CXL transport's lower\n\
          latency shows up directly in total execution time; Stencil2D models the\n\
          row/column-communicator halo exchange of examples/stencil_halo_exchange.rs\n\
-         at cluster scale.)"
+         at cluster scale. Stencil2D-hier swaps the flat row+column residual\n\
+         reduction for the two-level host hierarchy the library's hierarchical\n\
+         allreduce uses: per-node reduce at intra-node latency, leaders-only\n\
+         exchange across the network.)"
     );
 }

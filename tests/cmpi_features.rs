@@ -9,6 +9,7 @@ fn cxl_config_with_cell(ranks: usize, cell: usize) -> UniverseConfig {
     UniverseConfig {
         ranks,
         hosts: 2,
+        placement: Default::default(),
         transport: TransportConfig::CxlShm(CxlShmTransportConfig {
             cell_size: cell,
             cells_per_queue: 4,

@@ -283,3 +283,305 @@ fn large_message_sweep_forces_every_branch_with_default_thresholds() {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// Topology-aware hierarchical compositions
+// ----------------------------------------------------------------------
+
+use cmpi::fabric::cost::TcpNic;
+use cmpi::mpi::HostPlacement;
+use common::{force_hier, force_hier_large};
+
+/// Every hierarchical composition, forced on n = 3, 5, 6, 7 ranks over 1, 2
+/// and 3 hosts (blocked *and* permuted round-robin placements), on both
+/// transports, cross-checked byte-for-byte against arithmetic references —
+/// i.e. exactly what the flat algorithms produce. On a single host the
+/// hierarchy degenerates and the flat labels must reappear.
+#[test]
+fn forced_hierarchy_matches_flat_reference_across_topologies() {
+    for n in [3usize, 5, 6, 7] {
+        for hosts in [1usize, 2, 3] {
+            if hosts > n {
+                continue;
+            }
+            for placement in [HostPlacement::Blocked, HostPlacement::RoundRobin] {
+                for (label, base) in [
+                    ("CXL-SHM", UniverseConfig::cxl_small(n)),
+                    ("TCP", UniverseConfig::tcp(n, TcpNic::MellanoxCx6Dx)),
+                ] {
+                    for tuning in [force_hier(), force_hier_large()] {
+                        let config = base
+                            .clone()
+                            .with_hosts(hosts)
+                            .with_placement(placement.clone())
+                            .with_coll_tuning(tuning);
+                        let hier_expected = hosts >= 2;
+                        Universe::run(config, move |comm: &mut Comm| {
+                            let me = comm.rank() as i64;
+                            let n = comm.size() as i64;
+                            let check_label = |algo: &str, op: &str| {
+                                assert_eq!(
+                                    algo.contains("hier"),
+                                    hier_expected,
+                                    "{op}: got {algo} with {hosts} hosts"
+                                );
+                            };
+
+                            // allreduce (multi-chunk on the 1 KiB CXL cells).
+                            let mut v: Vec<i64> = (0..200).map(|i| me * 1000 + i).collect();
+                            comm.allreduce(&mut v, ReduceOp::Sum)?;
+                            let rank_sum: i64 = (0..n).sum::<i64>() * 1000;
+                            for (i, x) in v.iter().enumerate() {
+                                assert_eq!(*x, rank_sum + n * i as i64, "allreduce elem {i}");
+                            }
+                            check_label(comm.last_coll_algorithm(), "allreduce");
+
+                            // bcast from every root.
+                            for root in 0..n as usize {
+                                let mut data = vec![0u8; 301];
+                                if comm.rank() == root {
+                                    for (i, b) in data.iter_mut().enumerate() {
+                                        *b = ((i * 37 + root) % 251) as u8;
+                                    }
+                                }
+                                comm.bcast_into(root, &mut data)?;
+                                for (i, b) in data.iter().enumerate() {
+                                    assert_eq!(*b, ((i * 37 + root) % 251) as u8, "root {root}");
+                                }
+                                check_label(comm.last_coll_algorithm(), "bcast");
+                            }
+
+                            // rooted reduce to every root.
+                            for root in 0..n as usize {
+                                let vals: Vec<i64> = (0..23).map(|i| me * 7 + i).collect();
+                                let out = comm.reduce(root, &vals, ReduceOp::Sum)?;
+                                if comm.rank() == root {
+                                    let expect: Vec<i64> = (0..23)
+                                        .map(|i| (0..n).map(|r| r * 7 + i).sum::<i64>())
+                                        .collect();
+                                    assert_eq!(out.unwrap(), expect, "reduce root {root}");
+                                } else {
+                                    assert!(out.is_none());
+                                }
+                                check_label(comm.last_coll_algorithm(), "reduce");
+                            }
+
+                            // allgather.
+                            let send: Vec<u32> = (0..5).map(|i| (me * 100) as u32 + i).collect();
+                            let mut recv = vec![0u32; 5 * n as usize];
+                            comm.allgather_into(&send, &mut recv)?;
+                            for r in 0..n as usize {
+                                for i in 0..5u32 {
+                                    assert_eq!(recv[r * 5 + i as usize], (r * 100) as u32 + i);
+                                }
+                            }
+                            check_label(comm.last_coll_algorithm(), "allgather");
+
+                            // barrier: the world blocking barrier keeps the
+                            // sequence fast path; ibarrier compiles the
+                            // dissemination schedule and must compose.
+                            let mut req = comm.ibarrier()?;
+                            comm.wait(&mut req)?;
+                            check_label(comm.last_coll_algorithm(), "ibarrier");
+
+                            // ireduce == reduce.
+                            let vals: Vec<i64> = (0..9).map(|i| me * 13 + i).collect();
+                            let blocking =
+                                comm.reduce(1.min(n as usize - 1), &vals, ReduceOp::Max)?;
+                            let mut req =
+                                comm.ireduce(1.min(n as usize - 1), &vals, ReduceOp::Max)?;
+                            comm.wait(&mut req)?;
+                            let nb = req.take_values::<i64>()?;
+                            match blocking {
+                                Some(b) => assert_eq!(nb, b, "ireduce"),
+                                None => assert!(nb.is_empty(), "ireduce non-root"),
+                            }
+
+                            comm.barrier()?;
+                            Ok(())
+                        })
+                        .unwrap_or_else(|e| {
+                            panic!("{label} n={n} hosts={hosts} {placement:?}: {e}")
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Hierarchical collectives on a sub-communicator spanning a strict subset of
+/// the universe's hosts: 6 ranks over 3 hosts, split into {0,1,2} (hosts 0–1)
+/// and {3,4,5} (hosts 1–2) — both halves span exactly two of the three hosts
+/// and must compose hierarchically with correct results.
+#[test]
+fn forced_hierarchy_on_subset_of_hosts_subcommunicator() {
+    for (label, base) in [
+        ("CXL-SHM", UniverseConfig::cxl_small(6)),
+        ("TCP", UniverseConfig::tcp(6, TcpNic::MellanoxCx6Dx)),
+    ] {
+        // blocked(6, 3) = [0, 0, 1, 1, 2, 2]: the halves {0,1,2} and {3,4,5}
+        // each span two hosts, sharing host 1 between them.
+        let config = base.with_hosts(3).with_coll_tuning(force_hier());
+        Universe::run(config, |comm: &mut Comm| {
+            let me = comm.rank();
+            let mut half = comm.comm_split((me / 3) as i32, me as i32)?.unwrap();
+            assert_eq!(half.size(), 3);
+            let hme = half.rank() as i64;
+
+            let mut v: Vec<i64> = (0..40).map(|i| hme * 10 + i).collect();
+            half.allreduce(&mut v, ReduceOp::Sum)?;
+            for (i, x) in v.iter().enumerate() {
+                assert_eq!(*x, 30 + 3 * i as i64, "subset allreduce elem {i}");
+            }
+            assert!(
+                half.last_coll_algorithm().contains("hier"),
+                "subset spans 2 hosts but ran {}",
+                half.last_coll_algorithm()
+            );
+
+            let mut data = vec![0u8; 97];
+            if hme == 2 {
+                data.iter_mut()
+                    .enumerate()
+                    .for_each(|(i, b)| *b = (i % 251) as u8);
+            }
+            half.bcast_into(2, &mut data)?;
+            assert!(data.iter().enumerate().all(|(i, b)| *b == (i % 251) as u8));
+            assert!(half.last_coll_algorithm().contains("hier"));
+
+            let mut all = vec![0u16; 3];
+            half.allgather_into(&[hme as u16], &mut all)?;
+            assert_eq!(all, vec![0, 1, 2]);
+
+            // The subset barrier (non-world) takes the hierarchical path too.
+            half.barrier()?;
+            assert_eq!(half.last_coll_algorithm(), "barrier/hier");
+
+            comm.barrier()?;
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+/// Auto selection: with default tuning a large (≥ hier_min_payload_bytes)
+/// collective on a multi-host layout composes hierarchically, a small one
+/// stays flat, and `HierarchyMode::Off` restores the flat algorithms at any
+/// size. Also pins the acceptance surface: `RankReport::coll_algos` shows the
+/// composite labels.
+#[test]
+fn auto_selection_gates_on_payload_and_mode() {
+    use cmpi::mpi::{CollTuning, HierarchyMode};
+    // 8 ranks × 2 hosts, full-size cells so the 768 KiB payload stays fast.
+    let run = |tuning: CollTuning| {
+        let config = UniverseConfig::cxl(8).with_coll_tuning(tuning);
+        Universe::run(config, |comm: &mut Comm| {
+            let me = comm.rank() as u64;
+            // Small: stays flat under Auto.
+            let mut small = vec![me; 64];
+            comm.allreduce(&mut small, ReduceOp::Sum)?;
+            let small_algo = comm.last_coll_algorithm();
+            // Large: 96k u64 = 768 KiB ≥ the 512 KiB default cutoff.
+            let mut large = vec![1u64; 96 * 1024];
+            comm.allreduce(&mut large, ReduceOp::Sum)?;
+            assert!(large.iter().all(|&v| v == comm.size() as u64));
+            let large_algo = comm.last_coll_algorithm();
+            let mut bc = vec![me as u8; 768 * 1024];
+            if comm.rank() == 0 {
+                bc.fill(9);
+            }
+            comm.bcast_into(0, &mut bc)?;
+            assert!(bc.iter().all(|&b| b == 9));
+            let bcast_algo = comm.last_coll_algorithm();
+            Ok((small_algo, large_algo, bcast_algo))
+        })
+        .unwrap()
+    };
+
+    let auto = run(CollTuning::default());
+    for (small, large, bcast) in auto.iter().map(|(r, _)| *r) {
+        assert_eq!(small, "allreduce/recursive-doubling");
+        assert_eq!(large, "allreduce/hier+rabenseifner");
+        // Two hosts → two leaders: the leader phase is a single binomial hop
+        // (van de Geijn needs > 2 participants to pay off).
+        assert_eq!(bcast, "bcast/hier+binomial");
+    }
+
+    let off = run(CollTuning {
+        hierarchy: HierarchyMode::Off,
+        ..CollTuning::default()
+    });
+    for (small, large, bcast) in off.iter().map(|(r, _)| *r) {
+        assert_eq!(small, "allreduce/recursive-doubling");
+        assert_eq!(large, "allreduce/rabenseifner");
+        assert_eq!(bcast, "bcast/scatter-allgather");
+    }
+
+    // The composite labels surface in RankReport::coll_algos.
+    let config = UniverseConfig::cxl(8);
+    let results = Universe::run(config, |comm: &mut Comm| {
+        let mut big = vec![1.0f64; 128 * 1024]; // 1 MiB
+        comm.allreduce(&mut big, ReduceOp::Sum)?;
+        Ok(())
+    })
+    .unwrap();
+    for (_, report) in &results {
+        assert!(
+            report
+                .coll_algos
+                .iter()
+                .any(|(l, c)| l == "allreduce/hier+rabenseifner" && *c == 1),
+            "composite label missing from {:?}",
+            report.coll_algos
+        );
+    }
+
+    // Auto is op-aware: allgather uses its own (much larger) total-size
+    // cutoff, so a 512 KiB total result — which the bench sweep measures as
+    // a hierarchical *loss* — stays flat, while an 8 MiB total composes.
+    let config = UniverseConfig::cxl(8);
+    let results = Universe::run(config, |comm: &mut Comm| {
+        let n = comm.size();
+        let send = vec![comm.rank() as u64; 8 * 1024]; // 64 KiB block → 512 KiB total
+        let mut recv = vec![0u64; n * send.len()];
+        comm.allgather_into(&send, &mut recv)?;
+        let small = comm.last_coll_algorithm();
+        let send = vec![comm.rank() as u64; 128 * 1024]; // 1 MiB block → 8 MiB total
+        let mut recv = vec![0u64; n * send.len()];
+        comm.allgather_into(&send, &mut recv)?;
+        Ok((small, comm.last_coll_algorithm()))
+    })
+    .unwrap();
+    for ((small, large), _) in &results {
+        assert_eq!(*small, "allgather/ring");
+        assert_eq!(*large, "allgather/hier+ring");
+    }
+
+    // Auto is placement-aware: round-robin over two hosts makes the flat
+    // allreduce's top-level exchange (rank ^ 4) same-host everywhere, so the
+    // flat algorithm is already topology-optimal and Auto keeps it; Force
+    // still composes.
+    use cmpi::mpi::HostPlacement as HP;
+    let rr = |mode: HierarchyMode| {
+        let config = UniverseConfig::cxl(8)
+            .with_placement(HP::RoundRobin)
+            .with_coll_tuning(CollTuning {
+                hierarchy: mode,
+                ..CollTuning::default()
+            });
+        Universe::run(config, |comm: &mut Comm| {
+            let mut big = vec![1.0f64; 128 * 1024]; // 1 MiB
+            comm.allreduce(&mut big, ReduceOp::Sum)?;
+            assert!(big.iter().all(|&v| v == comm.size() as f64));
+            Ok(comm.last_coll_algorithm())
+        })
+        .unwrap()
+    };
+    for (algo, _) in rr(HierarchyMode::Auto) {
+        assert_eq!(algo, "allreduce/rabenseifner");
+    }
+    for (algo, _) in rr(HierarchyMode::Force) {
+        assert_eq!(algo, "allreduce/hier+rabenseifner");
+    }
+}

@@ -1,37 +1,85 @@
 //! Shared scaffolding for the integration-test suites: the two-transport
 //! configuration matrix and the tuning overrides that force every collective
-//! algorithm branch.
+//! algorithm branch (flat and hierarchical).
 
 #![allow(dead_code)] // not every suite uses every helper
 
 use cmpi::fabric::cost::TcpNic;
-use cmpi::mpi::{CollTuning, UniverseConfig};
+use cmpi::mpi::{CollTuning, HierarchyMode, UniverseConfig};
+
+/// Host count of the test matrix: `CMPI_HOSTS` (the CI topology-matrix leg
+/// sets 1, 2 and 3), defaulting to the paper's two-host layout. Clamped to the
+/// rank count by the config layer.
+pub fn matrix_hosts() -> usize {
+    std::env::var("CMPI_HOSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&h| h >= 1)
+        .unwrap_or(2)
+}
 
 /// Both transports at `ranks` ranks (small CXL cells so chunking is
-/// exercised, Mellanox for the faster TCP baseline).
+/// exercised, Mellanox for the faster TCP baseline), spread over the
+/// `CMPI_HOSTS` topology-matrix host count.
 pub fn configs(ranks: usize) -> Vec<(&'static str, UniverseConfig)> {
     vec![
-        ("CXL-SHM", UniverseConfig::cxl_small(ranks)),
-        ("TCP", UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx)),
+        (
+            "CXL-SHM",
+            UniverseConfig::cxl_small(ranks).with_hosts(matrix_hosts()),
+        ),
+        (
+            "TCP",
+            UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx).with_hosts(matrix_hosts()),
+        ),
     ]
 }
 
-/// Thresholds that force the large-message algorithms at tiny sizes.
+/// Thresholds that force the large-message flat algorithms at tiny sizes
+/// (hierarchy off, so the flat branch under test is the one that runs).
 pub fn force_large() -> CollTuning {
     CollTuning {
         bcast_scatter_allgather_min_bytes: 1,
         allreduce_rabenseifner_min_bytes: 1,
         allgather_bruck_max_bytes: 0,
         reduce_scatter_direct_min_bytes: 1,
+        hierarchy: HierarchyMode::Off,
+        ..CollTuning::default()
     }
 }
 
-/// Thresholds that force the small-message algorithms at any size.
+/// Thresholds that force the small-message flat algorithms at any size
+/// (hierarchy off).
 pub fn force_small() -> CollTuning {
     CollTuning {
         bcast_scatter_allgather_min_bytes: usize::MAX,
         allreduce_rabenseifner_min_bytes: usize::MAX,
         allgather_bruck_max_bytes: usize::MAX,
         reduce_scatter_direct_min_bytes: usize::MAX,
+        hierarchy: HierarchyMode::Off,
+        ..CollTuning::default()
+    }
+}
+
+/// Force the hierarchical compositions at any size and shape (on ≥ 2 spanned
+/// hosts; single-host communicators still run flat), with default flat
+/// thresholds inside the phases.
+pub fn force_hier() -> CollTuning {
+    CollTuning {
+        hierarchy: HierarchyMode::Force,
+        ..CollTuning::default()
+    }
+}
+
+/// As [`force_hier`], but with the large-payload flat algorithms forced
+/// *inside* the hierarchical phases too (van de Geijn fan-out, Rabenseifner
+/// leader phase at tiny sizes).
+pub fn force_hier_large() -> CollTuning {
+    CollTuning {
+        bcast_scatter_allgather_min_bytes: 1,
+        allreduce_rabenseifner_min_bytes: 1,
+        allgather_bruck_max_bytes: 0,
+        reduce_scatter_direct_min_bytes: 1,
+        hierarchy: HierarchyMode::Force,
+        ..CollTuning::default()
     }
 }

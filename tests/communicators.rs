@@ -292,3 +292,42 @@ fn dup_isolation_and_per_comm_stats() {
         assert!(report.stats.collectives >= 4);
     }
 }
+
+#[test]
+fn split_type_host_yields_same_host_communicators() {
+    // split_type(Host) must partition the world exactly by host, ordered by
+    // parent rank, on blocked and permuted (round-robin) placements alike.
+    use cmpi::mpi::{HostPlacement, SplitType};
+    for placement in [HostPlacement::Blocked, HostPlacement::RoundRobin] {
+        for (label, base) in [
+            ("CXL-SHM", UniverseConfig::cxl_small(6)),
+            ("TCP", UniverseConfig::tcp(6, TcpNic::MellanoxCx6Dx)),
+        ] {
+            let config = base.with_hosts(3).with_placement(placement.clone());
+            let expected_topology = config.topology().unwrap();
+            Universe::run(config, move |comm: &mut Comm| {
+                let me = comm.rank();
+                let my_host = expected_topology.host_of(me);
+                let mut local = comm
+                    .split_type(SplitType::Host)?
+                    .expect("every rank lives on a host");
+                // Same membership as the topology's host roster, same order.
+                let expected = expected_topology.ranks_on(my_host);
+                assert_eq!(local.group().world_ranks(), &expected[..]);
+                assert_eq!(
+                    local.rank(),
+                    expected.iter().position(|&r| r == me).unwrap()
+                );
+                assert_ne!(local.context_id(), comm.context_id());
+                // The sub-communicator is fully functional: a collective on it
+                // only involves same-host peers.
+                let mut v = [me as u64];
+                local.allreduce(&mut v, ReduceOp::Sum)?;
+                assert_eq!(v[0], expected.iter().map(|&r| r as u64).sum::<u64>());
+                comm.barrier()?;
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label} {placement:?}: {e}"));
+        }
+    }
+}

@@ -11,7 +11,7 @@ use cmpi::mpi::pod::bytes_of;
 use cmpi::mpi::{Comm, MpiError, ReduceOp, Request, Universe, UniverseConfig};
 
 mod common;
-use common::{configs, force_large, force_small};
+use common::{configs, force_hier, force_hier_large, force_large, force_small};
 
 /// Deterministic split-mix style generator (no external crates).
 struct Lcg(u64);
@@ -36,13 +36,21 @@ impl Lcg {
 
 #[test]
 fn every_i_collective_matches_blocking_counterpart() {
-    // Both tuning extremes force every algorithm branch (binomial and
+    // The tuning extremes force every algorithm branch (binomial and
     // scatter-allgather bcast, Bruck and ring allgather, recursive-doubling
     // and Rabenseifner allreduce incl. the non-power-of-two fold phases,
-    // naive / recursive-halving / pairwise reduce-scatter).
+    // naive / recursive-halving / pairwise reduce-scatter), and the forced
+    // hierarchical tunings pin every i* composition against its blocking
+    // counterpart — which the adaptive suite separately pins against the
+    // flat reference.
     for n in [3usize, 5, 6, 7] {
         for (label, base) in configs(n) {
-            for tuning in [force_small(), force_large()] {
+            for tuning in [
+                force_small(),
+                force_large(),
+                force_hier(),
+                force_hier_large(),
+            ] {
                 let config = base.clone().with_coll_tuning(tuning);
                 Universe::run(config, move |comm: &mut Comm| {
                     let me = comm.rank();
@@ -227,7 +235,7 @@ fn random_interleavings_match_blocking_reference() {
     // *completion* order is derived from a rank-specific seed.
     for n in [3usize, 5, 7] {
         for (label, base) in configs(n) {
-            for tuning in [force_small(), force_large()] {
+            for tuning in [force_small(), force_large(), force_hier()] {
                 let config = base.clone().with_coll_tuning(tuning);
                 Universe::run(config, move |comm: &mut Comm| {
                     let me = comm.rank();
