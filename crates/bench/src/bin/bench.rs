@@ -1,11 +1,17 @@
 //! The JSON perf harness: p2p latency/bandwidth, collective sweeps, the
-//! flat-vs-hierarchical topology sweep and the nonblocking-collective overlap
-//! kernel across both transports, written as `BENCH_collectives.json`
-//! (schema v3) for the perf trajectory (`BENCH_*.json` files are diffed
-//! PR-over-PR). The `hierarchy` section records, per (op, layout, size), the
-//! same collective with the two-level composition forced off and forced on,
-//! plus the speedup — the acceptance surface for the topology-aware
-//! collective stack.
+//! flat-vs-hierarchical topology sweep, the nonblocking-collective overlap
+//! kernel and the **persistent/plan-cache sweep** across both transports,
+//! written as `BENCH_collectives.json` (schema v4) for the perf trajectory
+//! (`BENCH_*.json` files are diffed PR-over-PR). The `hierarchy` section
+//! records, per (op, layout, size), the same collective with the two-level
+//! composition forced off and forced on, plus the speedup — the acceptance
+//! surface for the topology-aware collective stack. The `plan_build` section
+//! is the plan-build-vs-bind microbenchmark (pure software cost of planning
+//! one collective vs re-binding a cached plan), and the `persistent` section
+//! compares repeated small-message collectives per start path: one-shot with
+//! the plan cache disabled (cold — the pre-plan-cache behavior), one-shot
+//! hitting the cache, and persistent `start`/`wait` — the acceptance surface
+//! for the per-call software-overhead reduction.
 //!
 //! Two kinds of numbers are recorded:
 //!
@@ -24,9 +30,13 @@
 //! improvement is visible in the checked-in file itself.
 
 use std::fmt::Write as _;
+use std::rc::Rc;
 use std::time::Instant;
 
-use cmpi_core::{CollTuning, Comm, HierarchyMode, HostPlacement, ReduceOp, UniverseConfig};
+use cmpi_core::coll::{build_allreduce, build_bcast, CommView};
+use cmpi_core::{
+    CollTuning, Comm, Execution, Group, HierarchyMode, HostPlacement, ReduceOp, UniverseConfig,
+};
 use cmpi_fabric::cost::TcpNic;
 use cmpi_omb::nonblocking_allreduce_overlap;
 
@@ -82,6 +92,38 @@ impl HierRow {
             0.0
         }
     }
+}
+
+/// One plan-build-vs-bind microbenchmark row (pure software, no universe).
+struct PlanBuildRow {
+    op: &'static str,
+    ranks: usize,
+    size: usize,
+    /// Wall ns to construct the plan from scratch (what every call paid
+    /// before the plan cache).
+    build_ns: f64,
+    /// Wall ns to bind the cached plan to a fresh execution (what a cache
+    /// hit or a persistent start pays instead).
+    bind_ns: f64,
+}
+
+/// One repeated-collective row of the persistent sweep: the wall-clock cost
+/// of the *start call* (plan + bind + account — the per-call software
+/// overhead, measured without completion-wait jitter) for the three start
+/// paths over the same op/size/rank shape, plus the end-to-end wall and
+/// virtual per-call times for context. The three paths execute byte-identical
+/// plans, so their simulated (virtual) cost is equal by construction — the
+/// start-call column is exactly what the plan cache and persistence remove.
+struct PersistentRow {
+    op: &'static str,
+    transport: &'static str,
+    ranks: usize,
+    size: usize,
+    virtual_ns: f64,
+    total_wall_ns: f64,
+    one_shot_cold_start_ns: f64,
+    one_shot_cached_start_ns: f64,
+    persistent_start_ns: f64,
 }
 
 fn smoke() -> bool {
@@ -195,6 +237,150 @@ fn collective_time(
     let time = results.iter().map(|(r, _)| r.0).fold(0.0f64, f64::max);
     let algo = results[0].0 .1.clone();
     (time, algo)
+}
+
+/// Pure-software microbenchmark: build a collective plan from scratch vs
+/// bind the already-built plan to a fresh execution (the cache-hit /
+/// persistent-start path). No universe, no transport — this isolates exactly
+/// the per-call overhead the plan cache removes.
+fn plan_build_rows(iters: usize) -> Vec<PlanBuildRow> {
+    let tuning = CollTuning::default();
+    let mut rows = Vec::new();
+    for ranks in [4usize, 16, 64] {
+        let group = Group::world(ranks);
+        let view = CommView {
+            group: &group,
+            ctx: 0,
+            rank: 0,
+        };
+        for size in [8usize, 1024, 65536] {
+            let elems = (size / 8).max(1);
+            for op in ["allreduce", "bcast"] {
+                eprintln!("plan build {op} n={ranks} {size} B ...");
+                let build = || match op {
+                    "allreduce" => {
+                        build_allreduce::<f64>(&view, &tuning, None, elems, ReduceOp::Sum)
+                    }
+                    "bcast" => build_bcast(&view, &tuning, None, 0, size),
+                    _ => unreachable!(),
+                };
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(build());
+                }
+                let build_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+                let plan = Rc::new(build());
+                let start = Instant::now();
+                for i in 0..iters {
+                    std::hint::black_box(Execution::new(Rc::clone(&plan), i as u32));
+                }
+                let bind_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+                rows.push(PlanBuildRow {
+                    op,
+                    ranks,
+                    size,
+                    build_ns,
+                    bind_ns,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Run `iters` repeated collectives under one start path and measure, on
+/// rank 0, the wall ns spent *inside the start call* per iteration — the
+/// nonblocking starter (`iallreduce`/`ibcast_into`) for one-shot modes, or
+/// `Comm::start` for the persistent mode. Completion (`wait`) happens outside
+/// the timed section, so multi-rank spin-wait jitter never pollutes the
+/// figure: what remains is planning + binding + accounting, exactly the
+/// software overhead the plan layer amortizes. Returns
+/// (start ns/call, total wall ns/call, virtual ns/call).
+fn repeated_collective(
+    config: UniverseConfig,
+    op: &'static str,
+    size: usize,
+    iters: usize,
+    persistent: bool,
+) -> (f64, f64, f64) {
+    let results = cmpi_core::Universe::run(config, move |comm: &mut Comm| {
+        let elems = (size / 8).max(1);
+        let values = vec![1.0f64; elems];
+        comm.barrier()?;
+        let vstart = comm.clock_ns();
+        let wstart = Instant::now();
+        let mut start_ns = 0u128;
+        if persistent {
+            let mut req = match op {
+                "allreduce" => comm.allreduce_init(&values, ReduceOp::Sum)?,
+                "bcast" => comm.bcast_init(0, &values)?,
+                _ => unreachable!(),
+            };
+            for _ in 0..iters {
+                let t = Instant::now();
+                comm.start(&mut req)?;
+                start_ns += t.elapsed().as_nanos();
+                comm.wait(&mut req)?;
+            }
+            req.release()?;
+        } else {
+            for _ in 0..iters {
+                let t = Instant::now();
+                let mut req = match op {
+                    "allreduce" => comm.iallreduce(&values, ReduceOp::Sum)?,
+                    "bcast" => comm.ibcast_into(0, &values)?,
+                    _ => unreachable!(),
+                };
+                start_ns += t.elapsed().as_nanos();
+                comm.wait(&mut req)?;
+                req.release()?;
+            }
+        }
+        let wall = wstart.elapsed().as_nanos() as f64 / iters as f64;
+        let virt = (comm.clock_ns() - vstart) / iters as f64;
+        Ok((start_ns as f64 / iters as f64, wall, virt))
+    })
+    .expect("persistent sweep universe");
+    results[0].0
+}
+
+/// The persistent sweep: repeated small/medium collectives, one row per
+/// (op, transport, size) comparing the three start paths.
+fn persistent_rows(sizes: &[usize], ranks: usize, iters: usize) -> Vec<PersistentRow> {
+    let mut rows = Vec::new();
+    for (label, config) in transports(ranks) {
+        for &size in sizes {
+            eprintln!("persistent sweep {label} {size} B ...");
+            let cold_tuning = CollTuning {
+                plan_cache_entries: 0,
+                ..CollTuning::default()
+            };
+            for op in ["allreduce", "bcast"] {
+                let (cold, _, virt) = repeated_collective(
+                    config.clone().with_coll_tuning(cold_tuning),
+                    op,
+                    size,
+                    iters,
+                    false,
+                );
+                let (cached, total_wall, _) =
+                    repeated_collective(config.clone(), op, size, iters, false);
+                let (persistent, _, _) = repeated_collective(config.clone(), op, size, iters, true);
+                rows.push(PersistentRow {
+                    op,
+                    transport: label,
+                    ranks,
+                    size,
+                    virtual_ns: virt,
+                    total_wall_ns: total_wall,
+                    one_shot_cold_start_ns: cold,
+                    one_shot_cached_start_ns: cached,
+                    persistent_start_ns: persistent,
+                });
+            }
+        }
+    }
+    rows
 }
 
 fn main() {
@@ -349,7 +535,25 @@ fn main() {
         }
     }
 
-    let json = render_json(&p2p_rows, &coll_rows, &hier_rows, &overlap_rows);
+    // Plan-build-vs-bind microbenchmark plus the repeated-collective sweep
+    // (one-shot cold / one-shot cached / persistent).
+    let build_iters = if smoke() { 200 } else { 20_000 };
+    let plan_rows = plan_build_rows(build_iters);
+    let (pers_sizes, pers_iters): (Vec<usize>, usize) = if smoke() {
+        (vec![8], 50)
+    } else {
+        (vec![8, 1024, 65536], 3000)
+    };
+    let pers_rows = persistent_rows(&pers_sizes, if smoke() { 2 } else { 4 }, pers_iters);
+
+    let json = render_json(
+        &p2p_rows,
+        &coll_rows,
+        &hier_rows,
+        &overlap_rows,
+        &plan_rows,
+        &pers_rows,
+    );
     let out = std::env::var("CMPI_BENCH_OUT").unwrap_or_else(|_| "BENCH_collectives.json".into());
     std::fs::write(&out, &json).expect("write BENCH json");
     eprintln!("wrote {out}");
@@ -361,9 +565,11 @@ fn render_json(
     colls: &[CollRow],
     hier: &[HierRow],
     overlaps: &[OverlapRow],
+    plan_builds: &[PlanBuildRow],
+    persistents: &[PersistentRow],
 ) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v3\",\n");
+    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v4\",\n");
     s.push_str("  \"smoke\": ");
     s.push_str(if smoke() { "true" } else { "false" });
     s.push_str(",\n  \"baseline_pre_pr\": ");
@@ -427,6 +633,41 @@ fn render_json(
             r.hier_algorithm,
             r.speedup(),
             if i + 1 < hier.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"plan_build\": [\n");
+    for (i, r) in plan_builds.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"op\": \"{}\", \"ranks\": {}, \"size_bytes\": {}, \"build_ns\": {:.1}, \"bind_ns\": {:.1}, \"build_over_bind\": {:.1}}}{}",
+            r.op,
+            r.ranks,
+            r.size,
+            r.build_ns,
+            r.bind_ns,
+            if r.bind_ns > 0.0 { r.build_ns / r.bind_ns } else { 0.0 },
+            if i + 1 < plan_builds.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"persistent\": [\n");
+    for (i, r) in persistents.iter().enumerate() {
+        let saved_cached = r.one_shot_cold_start_ns - r.one_shot_cached_start_ns;
+        let saved_persistent = r.one_shot_cold_start_ns - r.persistent_start_ns;
+        let _ = writeln!(
+            s,
+            "    {{\"op\": \"{}\", \"transport\": \"{}\", \"ranks\": {}, \"size_bytes\": {}, \"virtual_ns\": {:.1}, \"total_wall_ns\": {:.1}, \"one_shot_cold_start_ns\": {:.1}, \"one_shot_cached_start_ns\": {:.1}, \"persistent_start_ns\": {:.1}, \"cached_saving_ns\": {:.1}, \"persistent_saving_ns\": {:.1}}}{}",
+            r.op,
+            r.transport,
+            r.ranks,
+            r.size,
+            r.virtual_ns,
+            r.total_wall_ns,
+            r.one_shot_cold_start_ns,
+            r.one_shot_cached_start_ns,
+            r.persistent_start_ns,
+            saved_cached,
+            saved_persistent,
+            if i + 1 < persistents.len() { "," } else { "" }
         );
     }
     s.push_str("  ]\n}\n");

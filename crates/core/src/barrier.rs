@@ -43,11 +43,11 @@ use crate::Result;
 /// becomes per-host fan-in → leader dissemination → per-host fan-out, with
 /// the same transitive-dependency (and clock-merge) guarantee.
 ///
-/// The barrier is compiled to the same resumable schedule that backs
+/// The barrier is compiled to the same immutable plan that backs
 /// [`crate::comm::Comm::ibarrier`] and run to completion, so the blocking and
 /// nonblocking barriers execute identical token exchanges. `seq` is the
-/// communicator's collective sequence number, salted into the token tags.
-/// Returns the label of the composition used.
+/// communicator's collective sequence number, salted into the token tags at
+/// bind time. Returns the label of the composition used.
 pub fn group_barrier(
     t: &mut dyn Transport,
     clock: &mut SimClock,
@@ -56,9 +56,10 @@ pub fn group_barrier(
     hier: Option<&HostHierarchy>,
     seq: u32,
 ) -> Result<&'static str> {
-    let mut sched = build_barrier(view, tuning, hier, seq);
-    sched.run(t, clock, &mut [], &mut [])?;
-    Ok(sched.label)
+    let plan = std::rc::Rc::new(build_barrier(view, tuning, hier));
+    let mut exec = crate::progress::Execution::new(std::rc::Rc::clone(&plan), seq);
+    exec.run(t, clock, &mut [])?;
+    Ok(plan.label)
 }
 
 /// Stride of one rank's slot (sequence number + timestamp on their own cache

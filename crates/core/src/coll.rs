@@ -1,6 +1,6 @@
 //! Collective communication built on point-to-point (Section 3.6), over an
 //! arbitrary communicator view, with **size- and shape-adaptive algorithm
-//! selection** compiled into **resumable schedules**.
+//! selection** compiled into **immutable, cacheable plans**.
 //!
 //! The paper leaves collectives as future work but notes that, inside an MPI
 //! library, collectives are implemented on top of point-to-point algorithms
@@ -19,24 +19,29 @@
 //! | reduce-scatter | allreduce + selection | recursive halving (2ᵏ ranks) / pairwise exchange |
 //! | gather / scatter | linear | linear |
 //! | reduce | binomial tree | binomial tree |
+//! | scan / exscan | recursive doubling (Hillis–Steele) | recursive doubling |
 //!
 //! Every algorithm is expressed as a *builder* that compiles the rounds of
-//! sends, receives, folds and copies this rank must execute into a
-//! [`Schedule`] (see [`crate::progress`]). The blocking entry points build the
-//! schedule and [`Schedule::run`] it to completion; the nonblocking `i*`
-//! entry points on [`crate::comm::Comm`] hand the *same* schedule to a
-//! request that advances it incrementally through `test`/`wait` — blocking
-//! and nonblocking collectives therefore execute identical plans and cannot
-//! diverge. Schedules preserve the deadlock-safe op orderings of the original
-//! straight-line loops (lower rank sends first; rank 0 of a ring receives
-//! first).
+//! sends, receives, folds and copies this rank must execute into an immutable
+//! [`CollPlan`] (see [`crate::progress`]). Plans are **buffer-agnostic**
+//! (ops reference symbolic byte offsets into the primary/scratch arenas) and
+//! **sequence-agnostic** (ops carry tag *offsets*; the per-start collective
+//! sequence number is salted in only when the plan is bound to an
+//! [`crate::progress::Execution`]), so a plan built once can be cached in the
+//! per-communicator plan cache ([`crate::plan`]) and re-run by every later
+//! start of the same shape — the blocking entry points, the nonblocking `i*`
+//! starters and the MPI-4-style persistent `*_init` requests all execute the
+//! same plans and cannot diverge. Plans preserve the deadlock-safe op
+//! orderings of the original straight-line loops (lower rank sends first;
+//! rank 0 of a ring receives first).
 //!
 //! Concurrent collectives on one communicator are kept apart by a
-//! **collective sequence number** salted into every internal tag: ranks start
-//! collectives on a communicator in the same order (the MPI requirement), so
-//! the per-communicator counters agree and traffic of one outstanding
-//! collective can never match another's receives. Internal tags live at and
-//! above [`COLL_TAG_BASE`], a range wildcard receives never match.
+//! **collective sequence number** salted into every internal tag at bind
+//! time: ranks start collectives on a communicator in the same order (the MPI
+//! requirement), so the per-communicator counters agree and traffic of one
+//! outstanding collective can never match another's receives. Internal tags
+//! live at and above [`COLL_TAG_BASE`], a range wildcard receives never
+//! match.
 //!
 //! Non-power-of-two rank counts no longer fall off a cliff: allreduce folds
 //! the excess ranks into the largest power-of-two core (rank `2i` merges into
@@ -51,19 +56,25 @@
 //! id keeps the collective's internal tags from ever matching traffic on
 //! another communicator.
 //!
-//! The typed entry points (`bcast_into`, `gather_into`, `allgather_into`,
-//! `scatter_from`, `reduce`, `allreduce`, `reduce_scatter`) move [`Pod`]
-//! buffers through the byte transports without per-element encoding; the
-//! `*_bytes` variants carry the legacy byte-vector API (variable-length
-//! contributions) and back the deprecated `Comm` shims.
+//! The typed entry points live on [`crate::comm::Comm`] (`bcast_into`,
+//! `gather_into`, `allgather_into`, `scatter_from`, `reduce`, `allreduce`,
+//! `reduce_scatter`, `scan`, `exscan`) and move [`Pod`] buffers through the
+//! byte transports without per-element encoding, binding cached plans from
+//! this module's builders; the deprecated `*_bytes` variants here carry the
+//! legacy byte-vector API (variable-length contributions) and back the
+//! deprecated `Comm` shims. The `allreduce`/`allgather_into` free functions
+//! remain as the uncached direct path used during communicator construction
+//! (context-id agreement runs before the new communicator has a cache).
+
+use std::rc::Rc;
 
 use cmpi_fabric::SimClock;
 
 use crate::config::{CollTuning, HierarchyMode};
 use crate::error::MpiError;
 use crate::group::Group;
-use crate::pod::{bytes_of, bytes_of_mut, vec_from_bytes, Pod};
-use crate::progress::{fold_bytes, FoldFn, Loc, SchedOp, Schedule};
+use crate::pod::{bytes_of_mut, Pod};
+use crate::progress::{fold_bytes, CollPlan, Execution, FoldFn, Loc, SchedOp};
 use crate::topology::HostHierarchy;
 use crate::transport::Transport;
 use crate::types::{CtxId, Rank, ReduceOp, Reducible, Tag, COLL_TAG_BASE};
@@ -74,18 +85,36 @@ use crate::Result;
 /// wrap-around safe for any realistic depth).
 pub(crate) const COLL_SEQ_WINDOW: u32 = 2048;
 
-/// Tag of collective `kind` at algorithm step `step`, salted with the
-/// communicator's collective sequence number `seq` so that outstanding
-/// collectives on one communicator can never cross-match. Layout (within the
-/// reserved range starting at [`COLL_TAG_BASE`]): bits 19..30 carry
-/// `seq % 2048`, bits 16..18 the kind, bits 0..15 the step.
-pub(crate) fn coll_tag(kind: i32, step: usize, seq: u32) -> Tag {
+/// Stride of one sequence-number slot in the collective tag layout.
+const SEQ_TAG_STRIDE: i32 = 0x8_0000;
+
+/// The **tag offset** of collective `kind` at algorithm step `step` — the
+/// sequence-independent part of a collective tag, stored in plan ops so that
+/// a cached plan can be re-bound under any live sequence number. Layout
+/// (within the reserved range starting at [`COLL_TAG_BASE`]): bits 19..30
+/// carry `seq % 2048` (applied by [`bind_coll_tag`]), bits 15..18 the kind,
+/// bits 0..14 the step.
+pub(crate) fn coll_tag_off(kind: i32, step: usize) -> Tag {
     debug_assert!(
-        (0..8).contains(&kind),
+        (0..16).contains(&kind),
         "collective kind {kind} out of range"
     );
-    debug_assert!(step < 0x1_0000, "collective step {step} out of range");
-    COLL_TAG_BASE + ((seq % COLL_SEQ_WINDOW) as i32) * 0x8_0000 + kind * 0x1_0000 + step as i32
+    debug_assert!(step < 0x8000, "collective step {step} out of range");
+    kind * 0x8000 + step as i32
+}
+
+/// Resolve a plan op's tag offset against the live collective sequence number
+/// of one start — the bind-time half of the tag layout (see
+/// [`coll_tag_off`]).
+pub(crate) fn bind_coll_tag(tag_off: Tag, seq: u32) -> Tag {
+    COLL_TAG_BASE + ((seq % COLL_SEQ_WINDOW) as i32) * SEQ_TAG_STRIDE + tag_off
+}
+
+/// Fully resolved tag of collective `kind` at `step` under sequence number
+/// `seq` (the straight-line byte shims send with this directly; plan ops
+/// store the offset half and bind the sequence later).
+pub(crate) fn coll_tag(kind: i32, step: usize, seq: u32) -> Tag {
+    bind_coll_tag(coll_tag_off(kind, step), seq)
 }
 
 /// One communicator, seen from one rank: the rank group, the context id that
@@ -210,12 +239,12 @@ fn hier_pairs_hint(hier: &HostHierarchy) -> usize {
 // Schedule plan builder
 // ----------------------------------------------------------------------
 
-/// Accumulates the op list of one collective schedule for one rank,
-/// translating local ranks to world ranks and salting tags with the
-/// collective's kind and sequence number.
+/// Accumulates the op list of one collective plan for one rank, translating
+/// local ranks to world ranks and stamping every op with its kind × step tag
+/// *offset* (the sequence number is bound per start, not here — that is what
+/// makes the finished plan cacheable).
 struct Plan<'v, 'g> {
     view: &'v CommView<'g>,
-    seq: u32,
     kind: i32,
     /// Offset added to every op's step — phases of a hierarchical composite
     /// use disjoint bases so their tags can never collide.
@@ -224,14 +253,13 @@ struct Plan<'v, 'g> {
 }
 
 impl<'v, 'g> Plan<'v, 'g> {
-    fn new(view: &'v CommView<'g>, seq: u32, kind: i32) -> Self {
-        Self::with_base(view, seq, kind, 0)
+    fn new(view: &'v CommView<'g>, kind: i32) -> Self {
+        Self::with_base(view, kind, 0)
     }
 
-    fn with_base(view: &'v CommView<'g>, seq: u32, kind: i32, step_base: usize) -> Self {
+    fn with_base(view: &'v CommView<'g>, kind: i32, step_base: usize) -> Self {
         Plan {
             view,
-            seq,
             kind,
             step_base,
             ops: Vec::new(),
@@ -245,13 +273,13 @@ impl<'v, 'g> Plan<'v, 'g> {
             self.step_base == 0 || step < PHASE_LEADER,
             "phase step {step} overflows the phase stride"
         );
-        coll_tag(self.kind, self.step_base + step, self.seq)
+        coll_tag_off(self.kind, self.step_base + step)
     }
 
     fn send(&mut self, peer_local: Rank, step: usize, loc: Loc, start: usize, end: usize) {
         self.ops.push(SchedOp::Send {
             peer: self.view.world(peer_local),
-            tag: self.tag(step),
+            tag_off: self.tag(step),
             loc,
             start,
             end,
@@ -261,7 +289,7 @@ impl<'v, 'g> Plan<'v, 'g> {
     fn recv(&mut self, peer_local: Rank, step: usize, loc: Loc, start: usize, end: usize) {
         self.ops.push(SchedOp::Recv {
             peer: self.view.world(peer_local),
-            tag: self.tag(step),
+            tag_off: self.tag(step),
             loc,
             start,
             end,
@@ -313,20 +341,23 @@ impl<'v, 'g> Plan<'v, 'g> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         self,
         fold: Option<(ReduceOp, FoldFn)>,
         result_loc: Loc,
         result_range: (usize, usize),
+        input_range: (usize, usize),
         scratch_len: usize,
         label: &'static str,
-    ) -> Schedule {
-        Schedule::new(
+    ) -> CollPlan {
+        CollPlan::new(
             self.ops,
             self.view.ctx,
             fold,
             result_loc,
             result_range,
+            input_range,
             scratch_len,
             label,
         )
@@ -355,34 +386,33 @@ fn push_barrier_ops(plan: &mut Plan<'_, '_>) {
     }
 }
 
-/// Compile the barrier schedule: a flat dissemination barrier, or — when the
+/// Compile the barrier plan: a flat dissemination barrier, or — when the
 /// hierarchy is selected (shape gates only; barriers carry no payload) — the
 /// two-level composition: members report to their host leader, the leaders
 /// run a dissemination barrier among themselves (the only cross-host tokens),
-/// and each leader releases its host. Backs [`crate::comm::Comm::ibarrier`]
-/// and the blocking sub-communicator barrier.
-pub(crate) fn build_barrier(
+/// and each leader releases its host. Backs [`crate::comm::Comm::ibarrier`],
+/// `barrier_init` and the blocking sub-communicator barrier.
+pub fn build_barrier(
     view: &CommView<'_>,
     tuning: &CollTuning,
     hier: Option<&HostHierarchy>,
-    seq: u32,
-) -> Schedule {
+) -> CollPlan {
     if view.size() > 1 && hier_selected(tuning, hier, 0, 0) {
-        return build_barrier_hier(view, hier.expect("selected hierarchy exists"), seq);
+        return build_barrier_hier(view, hier.expect("selected hierarchy exists"));
     }
-    let mut plan = Plan::new(view, seq, 0);
+    let mut plan = Plan::new(view, 0);
     push_barrier_ops(&mut plan);
-    plan.finish(None, Loc::Buf, (0, 0), 0, "barrier/dissemination")
+    plan.finish(None, Loc::Buf, (0, 0), (0, 0), 0, "barrier/dissemination")
 }
 
 /// Two-level barrier: linear fan-in to the host leader, leader dissemination,
 /// linear fan-out — the only cross-host tokens are the leaders'.
-fn build_barrier_hier(view: &CommView<'_>, hier: &HostHierarchy, seq: u32) -> Schedule {
+fn build_barrier_hier(view: &CommView<'_>, hier: &HostHierarchy) -> CollPlan {
     let slot = hier.my_slot();
     let mut ops = Vec::new();
     // Fan-in: every member reports to its host leader.
     {
-        let mut plan = Plan::new(view, seq, 0);
+        let mut plan = Plan::new(view, 0);
         if hier.is_leader() {
             for &m in &hier.members(slot)[1..] {
                 plan.recv(m, 0, Loc::Buf, 0, 0);
@@ -400,13 +430,13 @@ fn build_barrier_hier(view: &CommView<'_>, hier: &HostHierarchy, seq: u32) -> Sc
             ctx: view.ctx,
             rank: slot,
         };
-        let mut plan = Plan::with_base(&lview, seq, 0, PHASE_LEADER);
+        let mut plan = Plan::with_base(&lview, 0, PHASE_LEADER);
         push_barrier_ops(&mut plan);
         ops.append(&mut plan.ops);
     }
     // Fan-out: leaders release their hosts.
     {
-        let mut plan = Plan::with_base(view, seq, 0, PHASE_FANOUT);
+        let mut plan = Plan::with_base(view, 0, PHASE_FANOUT);
         if hier.is_leader() {
             for &m in &hier.members(slot)[1..] {
                 plan.send(m, 0, Loc::Buf, 0, 0);
@@ -416,8 +446,17 @@ fn build_barrier_hier(view: &CommView<'_>, hier: &HostHierarchy, seq: u32) -> Sc
         }
         ops.append(&mut plan.ops);
     }
-    Schedule::new(ops, view.ctx, None, Loc::Buf, (0, 0), 0, "barrier/hier")
-        .with_pairs_hint(hier_pairs_hint(hier))
+    CollPlan::new(
+        ops,
+        view.ctx,
+        None,
+        Loc::Buf,
+        (0, 0),
+        (0, 0),
+        0,
+        "barrier/hier",
+    )
+    .with_pairs_hint(hier_pairs_hint(hier))
 }
 
 // ----------------------------------------------------------------------
@@ -427,6 +466,11 @@ fn build_barrier_hier(view: &CommView<'_>, hier: &HostHierarchy, seq: u32) -> Sc
 /// Broadcast `data` from `root` to every rank using a binomial tree.
 /// On non-root ranks the contents of `data` are replaced (and may change
 /// length — the legacy byte semantics).
+#[deprecated(
+    since = "0.2.0",
+    note = "legacy byte path kept only for the deprecated `Comm::bcast` shim; use the \
+            plan-layer `build_bcast` / `Comm::bcast_into` instead"
+)]
 pub fn bcast_bytes(
     t: &mut dyn Transport,
     clock: &mut SimClock,
@@ -511,32 +555,35 @@ fn push_bcast_ops(
     bcast_flat_label(n, total, tuning)
 }
 
-/// Compile the broadcast of `total` bytes from `root` into a schedule over
-/// the primary buffer: the flat size-adaptive algorithm, or — when the
-/// hierarchy is selected — the two-level composition (root hop to its host
-/// leader, leader broadcast across hosts, per-host fan-out).
-pub(crate) fn build_bcast(
+/// Compile the broadcast of `total` bytes from `root` into a plan over the
+/// primary buffer: the flat size-adaptive algorithm, or — when the hierarchy
+/// is selected — the two-level composition (root hop to its host leader,
+/// leader broadcast across hosts, per-host fan-out).
+pub fn build_bcast(
     view: &CommView<'_>,
     tuning: &CollTuning,
     hier: Option<&HostHierarchy>,
-    seq: u32,
     root: Rank,
     total: usize,
-) -> Schedule {
+) -> CollPlan {
     let n = view.size();
     if n > 1 && hier_selected(tuning, hier, total, tuning.hier_min_payload_bytes) {
         return build_bcast_hier(
             view,
             hier.expect("selected hierarchy exists"),
             tuning,
-            seq,
             root,
             total,
         );
     }
-    let mut plan = Plan::new(view, seq, 1);
+    let input = if view.rank == root {
+        (0, total)
+    } else {
+        (0, 0)
+    };
+    let mut plan = Plan::new(view, 1);
     let label = push_bcast_ops(&mut plan, tuning, root, total);
-    plan.finish(None, Loc::Buf, (0, total), 0, label)
+    plan.finish(None, Loc::Buf, (0, total), input, 0, label)
 }
 
 /// Binomial-tree broadcast (latency-optimal: ⌈log₂ n⌉ rounds, but every hop
@@ -571,17 +618,16 @@ fn build_bcast_hier(
     view: &CommView<'_>,
     hier: &HostHierarchy,
     tuning: &CollTuning,
-    seq: u32,
     root: Rank,
     total: usize,
-) -> Schedule {
+) -> CollPlan {
     let me = view.rank;
     let root_slot = hier.slot_of(root);
     let root_leader = hier.leader_of(root_slot);
     let mut ops = Vec::new();
     // Root hop: the payload reaches root's host leader.
     if root != root_leader && (me == root || me == root_leader) {
-        let mut plan = Plan::with_base(view, seq, 1, PHASE_ROOT_HOP);
+        let mut plan = Plan::with_base(view, 1, PHASE_ROOT_HOP);
         if me == root {
             plan.send(root_leader, 0, Loc::Buf, 0, total);
         } else {
@@ -597,7 +643,7 @@ fn build_bcast_hier(
             ctx: view.ctx,
             rank: hier.my_slot(),
         };
-        let mut plan = Plan::with_base(&lview, seq, 1, PHASE_LEADER);
+        let mut plan = Plan::with_base(&lview, 1, PHASE_LEADER);
         push_bcast_ops(&mut plan, tuning, root_slot, total);
         ops.append(&mut plan.ops);
     }
@@ -624,7 +670,7 @@ fn build_bcast_hier(
                     ctx: view.ctx,
                     rank: hier.my_local_rank() - 1,
                 };
-                let mut plan = Plan::with_base(&fview, seq, 1, PHASE_FANOUT);
+                let mut plan = Plan::with_base(&fview, 1, PHASE_FANOUT);
                 push_bcast_ops(&mut plan, tuning, root_pos, total);
                 ops.append(&mut plan.ops);
             }
@@ -634,7 +680,7 @@ fn build_bcast_hier(
                 ctx: view.ctx,
                 rank: hier.my_local_rank(),
             };
-            let mut plan = Plan::with_base(&fview, seq, 1, PHASE_FANOUT);
+            let mut plan = Plan::with_base(&fview, 1, PHASE_FANOUT);
             push_bcast_ops(&mut plan, tuning, 0, total);
             ops.append(&mut plan.ops);
         }
@@ -644,7 +690,8 @@ fn build_bcast_hier(
     } else {
         "bcast/hier+binomial"
     };
-    Schedule::new(ops, view.ctx, None, Loc::Buf, (0, total), 0, label)
+    let input = if me == root { (0, total) } else { (0, 0) };
+    CollPlan::new(ops, view.ctx, None, Loc::Buf, (0, total), input, 0, label)
         .with_pairs_hint(hier_pairs_hint(hier))
 }
 
@@ -725,28 +772,6 @@ fn push_bcast_scatter_allgather(plan: &mut Plan<'_, '_>, root: Rank, total: usiz
     }
 }
 
-/// Broadcast the fixed-size buffer `buf` from `root` into every rank's `buf`
-/// (the typed, zero-copy path: the buffer's bytes travel as-is). All ranks
-/// must pass buffers of identical length. Builds the size-adaptive schedule
-/// and runs it to completion. Returns the label of the algorithm used.
-#[allow(clippy::too_many_arguments)]
-pub fn bcast_into<T: Pod>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    tuning: &CollTuning,
-    hier: Option<&HostHierarchy>,
-    seq: u32,
-    root: Rank,
-    buf: &mut [T],
-) -> Result<&'static str> {
-    view.check_root(root)?;
-    let mut sched = build_bcast(view, tuning, hier, seq, root, std::mem::size_of_val(buf));
-    let mut scratch = vec![0u8; sched.scratch_len];
-    sched.run(t, clock, bytes_of_mut(buf), &mut scratch)?;
-    Ok(sched.label)
-}
-
 // ----------------------------------------------------------------------
 // Gather / scatter
 // ----------------------------------------------------------------------
@@ -754,6 +779,11 @@ pub fn bcast_into<T: Pod>(
 /// Gather every rank's `send` buffer at `root`. Returns `Some(vec_of_buffers)`
 /// (indexed by local rank) on the root and `None` elsewhere. Contributions may
 /// differ in length (legacy byte semantics).
+#[deprecated(
+    since = "0.2.0",
+    note = "legacy byte path kept only for the deprecated `Comm::gather` shim; use the \
+            plan-layer `build_gather` / `Comm::gather_into` instead"
+)]
 pub fn gather_bytes(
     t: &mut dyn Transport,
     clock: &mut SimClock,
@@ -794,11 +824,11 @@ pub fn gather_bytes(
 /// Compile the linear gather of equal `block`-byte contributions at `root`.
 /// On the root the primary buffer is the `n × block` receive buffer (own
 /// block pre-placed by the caller); elsewhere it is the `block`-byte send
-/// buffer and the schedule is send-only.
-pub(crate) fn build_gather(view: &CommView<'_>, seq: u32, root: Rank, block: usize) -> Schedule {
+/// buffer and the plan is send-only.
+pub fn build_gather(view: &CommView<'_>, root: Rank, block: usize) -> CollPlan {
     let n = view.size();
     let me = view.rank;
-    let mut plan = Plan::new(view, seq, 2);
+    let mut plan = Plan::new(view, 2);
     if me == root {
         // Source-specific receives straight into each member's slot:
         // per-sender FIFO keeps consecutive gathers on one communicator from
@@ -809,53 +839,28 @@ pub(crate) fn build_gather(view: &CommView<'_>, seq: u32, root: Rank, block: usi
             }
             plan.recv(r, 0, Loc::Buf, r * block, (r + 1) * block);
         }
-        plan.finish(None, Loc::Buf, (0, n * block), 0, "gather/linear")
+        plan.finish(
+            None,
+            Loc::Buf,
+            (0, n * block),
+            (me * block, (me + 1) * block),
+            0,
+            "gather/linear",
+        )
     } else {
         plan.send(root, 0, Loc::Buf, 0, block);
-        plan.finish(None, Loc::Buf, (0, 0), 0, "gather/linear")
+        plan.finish(None, Loc::Buf, (0, 0), (0, block), 0, "gather/linear")
     }
-}
-
-/// Gather equal-sized typed contributions into a flat buffer at `root`:
-/// `recv[r * send.len() .. (r + 1) * send.len()]` receives local rank `r`'s
-/// `send`. On the root `recv` must be `Some` with exactly
-/// `size × send.len()` elements; elsewhere it is ignored.
-pub fn gather_into<T: Pod>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    seq: u32,
-    root: Rank,
-    send: &[T],
-    recv: Option<&mut [T]>,
-) -> Result<()> {
-    view.check_root(root)?;
-    let n = view.size();
-    let me = view.rank;
-    let block = std::mem::size_of_val(send);
-    let mut sched = build_gather(view, seq, root, block);
-    if me != root {
-        return sched.run_send_only(t, clock, bytes_of(send));
-    }
-    let recv = recv.ok_or_else(|| {
-        MpiError::InvalidCollective("gather_into root must provide a receive buffer".into())
-    })?;
-    if recv.len() != n * send.len() {
-        return Err(MpiError::InvalidCollective(format!(
-            "gather_into receive buffer has {} elements, expected {} ({} ranks × {})",
-            recv.len(),
-            n * send.len(),
-            n,
-            send.len()
-        )));
-    }
-    recv[me * send.len()..(me + 1) * send.len()].copy_from_slice(send);
-    sched.run(t, clock, bytes_of_mut(recv), &mut [])
 }
 
 /// Scatter one buffer per rank from `root` (legacy byte semantics: buffers may
 /// differ in length). On the root, `chunks` must contain exactly one buffer
 /// per local rank; elsewhere it must be `None`. Returns this rank's buffer.
+#[deprecated(
+    since = "0.2.0",
+    note = "legacy byte path kept only for the deprecated `Comm::scatter` shim; use the \
+            plan-layer `build_scatter` / `Comm::scatter_from` instead"
+)]
 pub fn scatter_bytes(
     t: &mut dyn Transport,
     clock: &mut SimClock,
@@ -896,13 +901,13 @@ pub fn scatter_bytes(
 }
 
 /// Compile the linear scatter of `block`-byte chunks from `root`. On the root
-/// the primary buffer is the `n × block` send buffer (send-only schedule, its
+/// the primary buffer is the `n × block` send buffer (send-only plan, its
 /// own chunk is the result range); elsewhere it is the `block`-byte receive
 /// buffer.
-pub(crate) fn build_scatter(view: &CommView<'_>, seq: u32, root: Rank, block: usize) -> Schedule {
+pub fn build_scatter(view: &CommView<'_>, root: Rank, block: usize) -> CollPlan {
     let n = view.size();
     let me = view.rank;
-    let mut plan = Plan::new(view, seq, 3);
+    let mut plan = Plan::new(view, 3);
     if me == root {
         for r in 0..n {
             if r != me {
@@ -913,51 +918,13 @@ pub(crate) fn build_scatter(view: &CommView<'_>, seq: u32, root: Rank, block: us
             None,
             Loc::Buf,
             (me * block, (me + 1) * block),
+            (0, n * block),
             0,
             "scatter/linear",
         )
     } else {
         plan.recv(root, 0, Loc::Buf, 0, block);
-        plan.finish(None, Loc::Buf, (0, block), 0, "scatter/linear")
-    }
-}
-
-/// Scatter equal blocks of a flat typed buffer from `root`: local rank `r`
-/// receives `send[r * recv.len() .. (r + 1) * recv.len()]` into `recv`. On the
-/// root `send` must be `Some` with exactly `size × recv.len()` elements;
-/// elsewhere it must be `None`.
-pub fn scatter_from<T: Pod>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    seq: u32,
-    root: Rank,
-    send: Option<&[T]>,
-    recv: &mut [T],
-) -> Result<()> {
-    view.check_root(root)?;
-    let n = view.size();
-    let me = view.rank;
-    let block = std::mem::size_of_val(recv);
-    let mut sched = build_scatter(view, seq, root, block);
-    if me == root {
-        let send = send.ok_or_else(|| {
-            MpiError::InvalidCollective("scatter_from root must provide a send buffer".into())
-        })?;
-        if send.len() != n * recv.len() {
-            return Err(MpiError::InvalidCollective(format!(
-                "scatter_from send buffer has {} elements, expected {} ({} ranks × {})",
-                send.len(),
-                n * recv.len(),
-                n,
-                recv.len()
-            )));
-        }
-        sched.run_send_only(t, clock, bytes_of(send))?;
-        recv.copy_from_slice(&send[me * recv.len()..(me + 1) * recv.len()]);
-        Ok(())
-    } else {
-        sched.run(t, clock, bytes_of_mut(recv), &mut [])
+        plan.finish(None, Loc::Buf, (0, block), (0, 0), 0, "scatter/linear")
     }
 }
 
@@ -968,6 +935,11 @@ pub fn scatter_from<T: Pod>(
 /// Ring allgather with the legacy byte semantics: every rank contributes
 /// `mine` and receives every rank's contribution, returned indexed by local
 /// rank. Contributions may differ in length.
+#[deprecated(
+    since = "0.2.0",
+    note = "legacy byte path kept only for the deprecated `Comm::allgather` shim; use the \
+            plan-layer `build_allgather` / `Comm::allgather_into` instead"
+)]
 pub fn allgather_bytes(
     t: &mut dyn Transport,
     clock: &mut SimClock,
@@ -1006,35 +978,35 @@ pub fn allgather_bytes(
 }
 
 /// Compile the size-adaptive allgather of `block`-byte contributions into a
-/// schedule over the `n × block` primary buffer (own block pre-placed at this
+/// plan over the `n × block` primary buffer (own block pre-placed at this
 /// rank's slot by the caller): Bruck below the threshold, ring above — or,
 /// when the hierarchy is selected, the two-level composition (local gather to
 /// the host leader, leader ring of whole-host batches, local fan-out).
-pub(crate) fn build_allgather(
+pub fn build_allgather(
     view: &CommView<'_>,
     tuning: &CollTuning,
     hier: Option<&HostHierarchy>,
-    seq: u32,
     block: usize,
-) -> Schedule {
+) -> CollPlan {
     let n = view.size();
+    let me = view.rank;
+    let input = (me * block, (me + 1) * block);
     if n == 1 {
-        let plan = Plan::new(view, seq, 4);
-        return plan.finish(None, Loc::Buf, (0, block), 0, "allgather/local");
+        let plan = Plan::new(view, 4);
+        return plan.finish(None, Loc::Buf, (0, block), input, 0, "allgather/local");
     }
     if hier_selected(tuning, hier, n * block, tuning.hier_allgather_min_bytes) {
         return build_allgather_hier(
             view,
             hier.expect("selected hierarchy exists"),
             tuning,
-            seq,
             block,
         );
     }
     if n > 2 && block <= tuning.allgather_bruck_max_bytes {
-        build_allgather_bruck(view, seq, block)
+        build_allgather_bruck(view, block)
     } else {
-        build_allgather_ring(view, seq, block)
+        build_allgather_ring(view, block)
     }
 }
 
@@ -1051,9 +1023,8 @@ fn build_allgather_hier(
     view: &CommView<'_>,
     hier: &HostHierarchy,
     tuning: &CollTuning,
-    seq: u32,
     block: usize,
-) -> Schedule {
+) -> CollPlan {
     let n = view.size();
     let me = view.rank;
     let slots = hier.hosts_spanned();
@@ -1074,7 +1045,7 @@ fn build_allgather_hier(
     if hier.is_leader() {
         scratch_len = total;
         // Local gather: every member's block lands in my host's batch.
-        let mut plan = Plan::new(view, seq, 4);
+        let mut plan = Plan::new(view, 4);
         for (j, &m) in hier.members(my_slot).iter().enumerate() {
             let dst = slot_off[my_slot] + j * block;
             if m == me {
@@ -1093,7 +1064,7 @@ fn build_allgather_hier(
                 ctx: view.ctx,
                 rank: my_slot,
             };
-            let mut lplan = Plan::with_base(&lview, seq, 4, PHASE_LEADER);
+            let mut lplan = Plan::with_base(&lview, 4, PHASE_LEADER);
             let right = (my_slot + 1) % slots;
             let left = (my_slot + slots - 1) % slots;
             for step in 0..slots - 1 {
@@ -1112,7 +1083,7 @@ fn build_allgather_hier(
             ops.append(&mut lplan.ops);
         }
         // Scatter the staged batches into the parent-rank-indexed buffer.
-        let mut unpack = Plan::with_base(view, seq, 4, PHASE_LEADER);
+        let mut unpack = Plan::with_base(view, 4, PHASE_LEADER);
         for (s, &off) in slot_off[..slots].iter().enumerate() {
             for (j, &m) in hier.members(s).iter().enumerate() {
                 if m == me {
@@ -1123,7 +1094,7 @@ fn build_allgather_hier(
         }
         ops.append(&mut unpack.ops);
     } else {
-        let mut plan = Plan::new(view, seq, 4);
+        let mut plan = Plan::new(view, 4);
         plan.send(
             hier.leader_of(my_slot),
             0,
@@ -1141,16 +1112,17 @@ fn build_allgather_hier(
             ctx: view.ctx,
             rank: hier.my_local_rank(),
         };
-        let mut plan = Plan::with_base(&fview, seq, 4, PHASE_FANOUT);
+        let mut plan = Plan::with_base(&fview, 4, PHASE_FANOUT);
         push_bcast_ops(&mut plan, tuning, 0, total);
         ops.append(&mut plan.ops);
     }
-    Schedule::new(
+    CollPlan::new(
         ops,
         view.ctx,
         None,
         Loc::Buf,
         (0, total),
+        (me * block, (me + 1) * block),
         scratch_len,
         "allgather/hier+ring",
     )
@@ -1159,12 +1131,12 @@ fn build_allgather_hier(
 
 /// Ring allgather: n−1 neighbour exchanges, each of one block. Blocks travel
 /// directly between the primary-buffer slots with no intermediate copies.
-fn build_allgather_ring(view: &CommView<'_>, seq: u32, block: usize) -> Schedule {
+fn build_allgather_ring(view: &CommView<'_>, block: usize) -> CollPlan {
     let n = view.size();
     let me = view.rank;
     let right = (me + 1) % n;
     let left = (me + n - 1) % n;
-    let mut plan = Plan::new(view, seq, 4);
+    let mut plan = Plan::new(view, 4);
     for step in 0..n - 1 {
         let send_origin = (me + n - step) % n;
         let recv_origin = (me + n - step - 1) % n;
@@ -1180,7 +1152,14 @@ fn build_allgather_ring(view: &CommView<'_>, seq: u32, block: usize) -> Schedule
             plan.recv(left, step, Loc::Buf, recv.0, recv.1);
         }
     }
-    plan.finish(None, Loc::Buf, (0, n * block), 0, "allgather/ring")
+    plan.finish(
+        None,
+        Loc::Buf,
+        (0, n * block),
+        (me * block, (me + 1) * block),
+        0,
+        "allgather/ring",
+    )
 }
 
 /// Bruck allgather: ⌈log₂ n⌉ rounds of doubling block batches, then one local
@@ -1190,10 +1169,10 @@ fn build_allgather_ring(view: &CommView<'_>, seq: u32, block: usize) -> Schedule
 /// `me − 2ᵏ` and appends the batch received from `me + 2ᵏ`; after the last
 /// round, scratch block `j` holds rank `(me + j) mod n`'s contribution and
 /// the final copies unrotate it into the primary buffer.
-fn build_allgather_bruck(view: &CommView<'_>, seq: u32, block: usize) -> Schedule {
+fn build_allgather_bruck(view: &CommView<'_>, block: usize) -> CollPlan {
     let n = view.size();
     let me = view.rank;
-    let mut plan = Plan::new(view, seq, 4);
+    let mut plan = Plan::new(view, 4);
     // Scratch holds the rotated accumulation; seed it with this rank's block.
     plan.copy(Loc::Scratch, 0, Loc::Buf, me * block, block);
     let mut have = 1usize;
@@ -1232,7 +1211,14 @@ fn build_allgather_bruck(view: &CommView<'_>, seq: u32, block: usize) -> Schedul
         let owner = (me + j) % n;
         plan.copy(Loc::Buf, owner * block, Loc::Scratch, j * block, block);
     }
-    plan.finish(None, Loc::Buf, (0, n * block), n * block, "allgather/bruck")
+    plan.finish(
+        None,
+        Loc::Buf,
+        (0, n * block),
+        (me * block, (me + 1) * block),
+        n * block,
+        "allgather/bruck",
+    )
 }
 
 /// Allgather of equal-sized typed contributions into a flat buffer:
@@ -1264,10 +1250,15 @@ pub fn allgather_into<T: Pod>(
         )));
     }
     recv[me * block..(me + 1) * block].copy_from_slice(send);
-    let mut sched = build_allgather(view, tuning, hier, seq, std::mem::size_of_val(send));
-    let mut scratch = vec![0u8; sched.scratch_len];
-    sched.run(t, clock, bytes_of_mut(recv), &mut scratch)?;
-    Ok(sched.label)
+    let plan = Rc::new(build_allgather(
+        view,
+        tuning,
+        hier,
+        std::mem::size_of_val(send),
+    ));
+    let mut exec = Execution::new(Rc::clone(&plan), seq);
+    exec.run(t, clock, bytes_of_mut(recv))?;
+    Ok(plan.label)
 }
 
 // ----------------------------------------------------------------------
@@ -1297,21 +1288,20 @@ fn push_reduce_ops(plan: &mut Plan<'_, '_>, root: Rank, total: usize) {
     }
 }
 
-/// Compile the rooted reduce of `count` elements of `T` into a schedule over
+/// Compile the rooted reduce of `count` elements of `T` into a plan over
 /// the in-place value vector: a flat binomial tree, or — when the hierarchy
 /// is selected — the two-level composition (per-host binomial reduce to the
 /// leader, leader binomial reduce across hosts rooted at root's host, and a
 /// final hand-off to a non-leader root). The result range selects the full
 /// vector on the root and is empty elsewhere.
-pub(crate) fn build_reduce<T: Reducible>(
+pub fn build_reduce<T: Reducible>(
     view: &CommView<'_>,
     tuning: &CollTuning,
     hier: Option<&HostHierarchy>,
-    seq: u32,
     root: Rank,
     count: usize,
     op: ReduceOp,
-) -> Schedule {
+) -> CollPlan {
     let n = view.size();
     let me = view.rank;
     let total = count * std::mem::size_of::<T>();
@@ -1321,15 +1311,14 @@ pub(crate) fn build_reduce<T: Reducible>(
         return build_reduce_hier(
             view,
             hier.expect("selected hierarchy exists"),
-            seq,
             root,
             total,
             fold,
         );
     }
-    let mut plan = Plan::new(view, seq, 5);
+    let mut plan = Plan::new(view, 5);
     push_reduce_ops(&mut plan, root, total);
-    plan.finish(fold, Loc::Buf, result, total, "reduce/binomial")
+    plan.finish(fold, Loc::Buf, result, (0, total), total, "reduce/binomial")
 }
 
 /// Two-level rooted reduce; see [`build_reduce`]. Only the leader-phase
@@ -1337,11 +1326,10 @@ pub(crate) fn build_reduce<T: Reducible>(
 fn build_reduce_hier(
     view: &CommView<'_>,
     hier: &HostHierarchy,
-    seq: u32,
     root: Rank,
     total: usize,
     fold: Option<(ReduceOp, FoldFn)>,
-) -> Schedule {
+) -> CollPlan {
     let me = view.rank;
     let root_slot = hier.slot_of(root);
     let root_leader = hier.leader_of(root_slot);
@@ -1354,7 +1342,7 @@ fn build_reduce_hier(
             ctx: view.ctx,
             rank: hier.my_local_rank(),
         };
-        let mut plan = Plan::new(&lview, seq, 5);
+        let mut plan = Plan::new(&lview, 5);
         push_reduce_ops(&mut plan, 0, total);
         ops.append(&mut plan.ops);
     }
@@ -1366,13 +1354,13 @@ fn build_reduce_hier(
             ctx: view.ctx,
             rank: hier.my_slot(),
         };
-        let mut plan = Plan::with_base(&lview, seq, 5, PHASE_LEADER);
+        let mut plan = Plan::with_base(&lview, 5, PHASE_LEADER);
         push_reduce_ops(&mut plan, root_slot, total);
         ops.append(&mut plan.ops);
     }
     // Hand the finished vector to a non-leader root.
     if root != root_leader && (me == root || me == root_leader) {
-        let mut plan = Plan::with_base(view, seq, 5, PHASE_ROOT_HOP);
+        let mut plan = Plan::with_base(view, 5, PHASE_ROOT_HOP);
         if me == root_leader {
             plan.send(root, 0, Loc::Buf, 0, total);
         } else {
@@ -1381,45 +1369,17 @@ fn build_reduce_hier(
         ops.append(&mut plan.ops);
     }
     let result = if me == root { (0, total) } else { (0, 0) };
-    Schedule::new(
+    CollPlan::new(
         ops,
         view.ctx,
         fold,
         Loc::Buf,
         result,
+        (0, total),
         total,
         "reduce/hier+binomial",
     )
     .with_pairs_hint(hier_pairs_hint(hier))
-}
-
-/// Binomial-tree reduce of typed values to `root` (two-level across hosts
-/// when the hierarchy is selected). Returns `Some(result)` on the root and
-/// `None` elsewhere, plus the algorithm label. Every rank must pass the same
-/// number of values.
-#[allow(clippy::too_many_arguments)]
-pub fn reduce<T: Reducible>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    tuning: &CollTuning,
-    hier: Option<&HostHierarchy>,
-    seq: u32,
-    root: Rank,
-    values: &[T],
-    op: ReduceOp,
-) -> Result<(Option<Vec<T>>, &'static str)> {
-    view.check_root(root)?;
-    let mut sched = build_reduce::<T>(view, tuning, hier, seq, root, values.len(), op);
-    let mut buf = bytes_of(values).to_vec();
-    let mut scratch = vec![0u8; sched.scratch_len];
-    sched.run(t, clock, &mut buf, &mut scratch)?;
-    let out = if view.rank == root {
-        Some(vec_from_bytes(sched.result_slice(&buf, &scratch)))
-    } else {
-        None
-    };
-    Ok((out, sched.label))
 }
 
 /// This rank's place in the power-of-two core left by fold elimination, plus
@@ -1478,21 +1438,20 @@ fn allreduce_flat_label(n: usize, total: usize, count: usize, tuning: &CollTunin
 /// composition (per-host reduce to the leader, the same size-adaptive flat
 /// allreduce among the leaders only, per-host broadcast of the result). The
 /// primary buffer is the in-place value vector.
-pub(crate) fn build_allreduce<T: Reducible>(
+pub fn build_allreduce<T: Reducible>(
     view: &CommView<'_>,
     tuning: &CollTuning,
     hier: Option<&HostHierarchy>,
-    seq: u32,
     count: usize,
     op: ReduceOp,
-) -> Schedule {
+) -> CollPlan {
     let n = view.size();
     let elem = std::mem::size_of::<T>();
     let total = count * elem;
     let fold = Some((op, fold_bytes::<T> as FoldFn));
     if n == 1 {
-        let plan = Plan::new(view, seq, 6);
-        return plan.finish(fold, Loc::Buf, (0, total), 0, "allreduce/local");
+        let plan = Plan::new(view, 6);
+        return plan.finish(fold, Loc::Buf, (0, total), (0, total), 0, "allreduce/local");
     }
     // Auto steps aside where the flat algorithm is already topology-optimal:
     // if the placement makes the flat top-level exchange same-host on every
@@ -1505,14 +1464,13 @@ pub(crate) fn build_allreduce<T: Reducible>(
             view,
             hier.expect("selected hierarchy exists"),
             tuning,
-            seq,
             count,
             op,
         );
     }
-    let mut plan = Plan::new(view, seq, 6);
+    let mut plan = Plan::new(view, 6);
     let label = push_allreduce_ops::<T>(&mut plan, tuning, count);
-    plan.finish(fold, Loc::Buf, (0, total), total, label)
+    plan.finish(fold, Loc::Buf, (0, total), (0, total), total, label)
 }
 
 /// Two-level allreduce; see [`build_allreduce`]. The leader phase reuses the
@@ -1523,10 +1481,9 @@ fn build_allreduce_hier<T: Reducible>(
     view: &CommView<'_>,
     hier: &HostHierarchy,
     tuning: &CollTuning,
-    seq: u32,
     count: usize,
     op: ReduceOp,
-) -> Schedule {
+) -> CollPlan {
     let elem = std::mem::size_of::<T>();
     let total = count * elem;
     let mut ops = Vec::new();
@@ -1538,7 +1495,7 @@ fn build_allreduce_hier<T: Reducible>(
             ctx: view.ctx,
             rank: hier.my_local_rank(),
         };
-        let mut plan = Plan::new(&lview, seq, 5);
+        let mut plan = Plan::new(&lview, 5);
         push_reduce_ops(&mut plan, 0, total);
         ops.append(&mut plan.ops);
     }
@@ -1550,7 +1507,7 @@ fn build_allreduce_hier<T: Reducible>(
             ctx: view.ctx,
             rank: hier.my_slot(),
         };
-        let mut plan = Plan::with_base(&lview, seq, 6, PHASE_LEADER);
+        let mut plan = Plan::with_base(&lview, 6, PHASE_LEADER);
         push_allreduce_ops::<T>(&mut plan, tuning, count);
         ops.append(&mut plan.ops);
     }
@@ -1561,7 +1518,7 @@ fn build_allreduce_hier<T: Reducible>(
             ctx: view.ctx,
             rank: hier.my_local_rank(),
         };
-        let mut plan = Plan::with_base(&fview, seq, 6, PHASE_FANOUT);
+        let mut plan = Plan::with_base(&fview, 6, PHASE_FANOUT);
         push_bcast_ops(&mut plan, tuning, 0, total);
         ops.append(&mut plan.ops);
     }
@@ -1575,11 +1532,12 @@ fn build_allreduce_hier<T: Reducible>(
         (true, false) => "allreduce/hier+rabenseifner",
         (true, true) => "allreduce/hier+rabenseifner+fold",
     };
-    Schedule::new(
+    CollPlan::new(
         ops,
         view.ctx,
         Some((op, fold_bytes::<T> as FoldFn)),
         Loc::Buf,
+        (0, total),
         (0, total),
         total,
         label,
@@ -1765,10 +1723,10 @@ pub fn allreduce<T: Reducible>(
     values: &mut [T],
     op: ReduceOp,
 ) -> Result<&'static str> {
-    let mut sched = build_allreduce::<T>(view, tuning, hier, seq, values.len(), op);
-    let mut scratch = vec![0u8; sched.scratch_len];
-    sched.run(t, clock, bytes_of_mut(values), &mut scratch)?;
-    Ok(sched.label)
+    let plan = Rc::new(build_allreduce::<T>(view, tuning, hier, values.len(), op));
+    let mut exec = Execution::new(Rc::clone(&plan), seq);
+    exec.run(t, clock, bytes_of_mut(values))?;
+    Ok(plan.label)
 }
 
 /// Compile the size-adaptive reduce-scatter of `count` elements of `T`: the
@@ -1776,13 +1734,12 @@ pub fn allreduce<T: Reducible>(
 /// (power-of-two rank counts) or pairwise exchange (any rank count) above the
 /// threshold. The primary buffer is this rank's full input vector; the result
 /// range selects this rank's reduced block.
-pub(crate) fn build_reduce_scatter<T: Reducible>(
+pub fn build_reduce_scatter<T: Reducible>(
     view: &CommView<'_>,
     tuning: &CollTuning,
-    seq: u32,
     count: usize,
     op: ReduceOp,
-) -> Schedule {
+) -> CollPlan {
     let n = view.size();
     let me = view.rank;
     let elem = std::mem::size_of::<T>();
@@ -1791,22 +1748,30 @@ pub(crate) fn build_reduce_scatter<T: Reducible>(
     let block_b = block * elem;
     let fold = Some((op, fold_bytes::<T> as FoldFn));
     if n == 1 {
-        let plan = Plan::new(view, seq, 7);
-        return plan.finish(fold, Loc::Buf, (0, total), 0, "reduce-scatter/local");
+        let plan = Plan::new(view, 7);
+        return plan.finish(
+            fold,
+            Loc::Buf,
+            (0, total),
+            (0, total),
+            0,
+            "reduce-scatter/local",
+        );
     }
     if total >= tuning.reduce_scatter_direct_min_bytes && block > 0 {
         if n.is_power_of_two() {
-            return build_reduce_scatter_halving::<T>(view, seq, count, op);
+            return build_reduce_scatter_halving::<T>(view, count, op);
         }
-        return build_reduce_scatter_pairwise::<T>(view, seq, count, op);
+        return build_reduce_scatter_pairwise::<T>(view, count, op);
     }
     // Naive: the allreduce wire traffic, then select this rank's block.
-    let mut plan = Plan::new(view, seq, 7);
+    let mut plan = Plan::new(view, 7);
     push_allreduce_ops::<T>(&mut plan, tuning, count);
     plan.finish(
         fold,
         Loc::Buf,
         (me * block_b, (me + 1) * block_b),
+        (0, total),
         total,
         "reduce-scatter/naive",
     )
@@ -1818,14 +1783,13 @@ pub(crate) fn build_reduce_scatter<T: Reducible>(
 /// range).
 fn build_reduce_scatter_halving<T: Reducible>(
     view: &CommView<'_>,
-    seq: u32,
     count: usize,
     op: ReduceOp,
-) -> Schedule {
+) -> CollPlan {
     let n = view.size();
     let me = view.rank;
     let elem = std::mem::size_of::<T>();
-    let mut plan = Plan::new(view, seq, 7);
+    let mut plan = Plan::new(view, 7);
     let mut lo = 0usize;
     let mut hi = count;
     let mut bit = n >> 1;
@@ -1863,6 +1827,7 @@ fn build_reduce_scatter_halving<T: Reducible>(
         Some((op, fold_bytes::<T> as FoldFn)),
         Loc::Buf,
         (lo * elem, hi * elem),
+        (0, count * elem),
         (count / 2) * elem,
         "reduce-scatter/recursive-halving",
     )
@@ -1875,15 +1840,14 @@ fn build_reduce_scatter_halving<T: Reducible>(
 /// block at `[0, block)`, accumulator at `[block, 2·block)`.
 fn build_reduce_scatter_pairwise<T: Reducible>(
     view: &CommView<'_>,
-    seq: u32,
     count: usize,
     op: ReduceOp,
-) -> Schedule {
+) -> CollPlan {
     let n = view.size();
     let me = view.rank;
     let elem = std::mem::size_of::<T>();
     let block_b = (count / n) * elem;
-    let mut plan = Plan::new(view, seq, 7);
+    let mut plan = Plan::new(view, 7);
     plan.copy(Loc::Scratch, block_b, Loc::Buf, me * block_b, block_b);
     for s in 1..n {
         let dst = (me + s) % n;
@@ -1904,36 +1868,99 @@ fn build_reduce_scatter_pairwise<T: Reducible>(
         Some((op, fold_bytes::<T> as FoldFn)),
         Loc::Scratch,
         (block_b, 2 * block_b),
+        (0, count * elem),
         2 * block_b,
         "reduce-scatter/pairwise",
     )
 }
 
-/// Reduce-scatter of typed values: every rank receives the element-wise
-/// reduction of one equal block of the input. `values.len()` must be divisible
-/// by the rank count. Builds the size-adaptive schedule and runs it to
-/// completion. Returns this rank's block and the label of the algorithm used.
-pub fn reduce_scatter<T: Reducible>(
-    t: &mut dyn Transport,
-    clock: &mut SimClock,
-    view: &CommView<'_>,
-    tuning: &CollTuning,
-    seq: u32,
-    values: &[T],
-    op: ReduceOp,
-) -> Result<(Vec<T>, &'static str)> {
+// ----------------------------------------------------------------------
+// Scan / exscan
+// ----------------------------------------------------------------------
+
+/// Compile the inclusive prefix reduction (`MPI_Scan`) of `count` elements of
+/// `T`: Hillis–Steele recursive doubling, in place over the primary buffer.
+/// In round `k` (distance `d = 2ᵏ`) each rank ships its running partial to
+/// rank `me + d` and folds the partial arriving from `me − d` — after
+/// ⌈log₂ n⌉ rounds rank `r` holds `x₀ ⊕ … ⊕ x_r`. The communication pattern
+/// is a DAG per round (edges point upward only), so no deadlock ordering is
+/// needed. Always flat: prefix order is rank order, which a host hierarchy
+/// cannot exploit without reordering ranks.
+pub fn build_scan<T: Reducible>(view: &CommView<'_>, count: usize, op: ReduceOp) -> CollPlan {
     let n = view.size();
-    if !values.len().is_multiple_of(n) {
-        return Err(MpiError::InvalidCollective(format!(
-            "reduce_scatter input of {} elements not divisible by {} ranks",
-            values.len(),
-            n
-        )));
+    let me = view.rank;
+    let total = count * std::mem::size_of::<T>();
+    let fold = Some((op, fold_bytes::<T> as FoldFn));
+    let mut plan = Plan::new(view, 8);
+    let mut d = 1usize;
+    let mut step = 0usize;
+    while d < n {
+        // The send reads the *pre-fold* partial: ops execute strictly in
+        // order, so the send at this step completes before the fold below
+        // rewrites the buffer.
+        if me + d < n {
+            plan.send(me + d, step, Loc::Buf, 0, total);
+        }
+        if me >= d {
+            plan.recv(me - d, step, Loc::Scratch, 0, total);
+            plan.fold(Loc::Buf, 0, Loc::Scratch, 0, total);
+        }
+        d <<= 1;
+        step += 1;
     }
-    let mut sched = build_reduce_scatter::<T>(view, tuning, seq, values.len(), op);
-    let mut buf = bytes_of(values).to_vec();
-    let mut scratch = vec![0u8; sched.scratch_len];
-    sched.run(t, clock, &mut buf, &mut scratch)?;
-    let out = vec_from_bytes(sched.result_slice(&buf, &scratch));
-    Ok((out, sched.label))
+    plan.finish(
+        fold,
+        Loc::Buf,
+        (0, total),
+        (0, total),
+        total,
+        "scan/recursive-doubling",
+    )
+}
+
+/// Compile the exclusive prefix reduction (`MPI_Exscan`) of `count` elements
+/// of `T`. Same recursive-doubling rounds as [`build_scan`], but the running
+/// partial lives in scratch while the primary buffer accumulates only the
+/// *received* segments: the segments arriving across rounds are disjoint and
+/// together cover exactly `x₀ … x_{r−1}`, so the first arrival is copied and
+/// later ones folded. Rank 0 receives nothing; its buffer keeps the input
+/// (the MPI "undefined on rank 0" slot) and its result range is empty.
+pub fn build_exscan<T: Reducible>(view: &CommView<'_>, count: usize, op: ReduceOp) -> CollPlan {
+    let n = view.size();
+    let me = view.rank;
+    let total = count * std::mem::size_of::<T>();
+    let fold = Some((op, fold_bytes::<T> as FoldFn));
+    // Scratch layout: running partial at [0, total), incoming at
+    // [total, 2·total).
+    let mut plan = Plan::new(view, 9);
+    plan.copy(Loc::Scratch, 0, Loc::Buf, 0, total);
+    let mut d = 1usize;
+    let mut step = 0usize;
+    let mut first_recv = true;
+    while d < n {
+        if me + d < n {
+            plan.send(me + d, step, Loc::Scratch, 0, total);
+        }
+        if me >= d {
+            plan.recv(me - d, step, Loc::Scratch, total, 2 * total);
+            if first_recv {
+                plan.copy(Loc::Buf, 0, Loc::Scratch, total, total);
+                first_recv = false;
+            } else {
+                plan.fold(Loc::Buf, 0, Loc::Scratch, total, total);
+            }
+            plan.fold(Loc::Scratch, 0, Loc::Scratch, total, total);
+        }
+        d <<= 1;
+        step += 1;
+    }
+    let result = if me == 0 { (0, 0) } else { (0, total) };
+    plan.finish(
+        fold,
+        Loc::Buf,
+        result,
+        (0, total),
+        2 * total,
+        "exscan/recursive-doubling",
+    )
 }

@@ -30,14 +30,14 @@ use std::sync::Arc;
 
 use cmpi_fabric::SimClock;
 
-use crate::barrier;
 use crate::coll::{self, CommView};
 use crate::config::{CollTuning, HierarchyMode, ProgressTuning};
 use crate::error::MpiError;
 use crate::group::Group;
-use crate::pod::{bytes_of, Pod};
-use crate::progress::{CollState, ProgressStats};
-use crate::request::{Request, RequestState};
+use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanOp};
+use crate::pod::{bytes_of, bytes_of_mut, vec_from_bytes, Pod};
+use crate::progress::{CollPlan, CollState, Execution, ProgressStats};
+use crate::request::{PersistentMeta, Request, RequestState};
 use crate::topology::{HostHierarchy, HostTopology};
 use crate::transport::{Transport, TransportStats, WinId};
 use crate::types::{CtxId, Rank, ReduceOp, Reducible, Status, Tag, WORLD_CTX};
@@ -77,13 +77,18 @@ pub struct CommCollStats {
     pub allreduces: u64,
     /// Reduce-scatters.
     pub reduce_scatters: u64,
+    /// Inclusive prefix reductions (scans).
+    pub scans: u64,
+    /// Exclusive prefix reductions (exscans).
+    pub exscans: u64,
     /// Payload bytes this rank contributed across those collectives.
     pub payload_bytes: u64,
 }
 
-/// Which collective to account in [`CommCollStats`].
+/// Which collective to account in [`CommCollStats`] (also carried by
+/// persistent requests so every `start` is counted).
 #[derive(Debug, Clone, Copy)]
-enum CollOp {
+pub(crate) enum CollOp {
     Barrier,
     Bcast,
     Gather,
@@ -92,6 +97,8 @@ enum CollOp {
     Reduce,
     Allreduce,
     ReduceScatter,
+    Scan,
+    Exscan,
 }
 
 /// The state shared by every communicator handle of one rank: the transport
@@ -117,6 +124,11 @@ pub(crate) struct RankCore {
     coll_seq: BTreeMap<CtxId, u32>,
     /// Progress-engine counters (polls, ops serviced, overlap split).
     progress: ProgressStats,
+    /// Per-communicator collective **plan caches**, keyed by context id:
+    /// compiled plans of repeated collective shapes, so planning runs once
+    /// per (communicator, shape) instead of once per call. Each cache is
+    /// LRU-bounded by [`CollTuning::plan_cache_entries`].
+    plans: BTreeMap<CtxId, PlanCache>,
     /// Label of the algorithm chosen by the most recent collective.
     last_algo: &'static str,
     /// How often each collective algorithm was chosen by this rank.
@@ -149,6 +161,8 @@ impl RankCore {
             CollOp::Reduce => entry.reduces += 1,
             CollOp::Allreduce => entry.allreduces += 1,
             CollOp::ReduceScatter => entry.reduce_scatters += 1,
+            CollOp::Scan => entry.scans += 1,
+            CollOp::Exscan => entry.exscans += 1,
         }
     }
 
@@ -166,6 +180,18 @@ impl RankCore {
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
             .collect()
+    }
+
+    /// Aggregate plan-cache counters across every communicator of the rank.
+    pub(crate) fn plan_cache_stats_snapshot(&self) -> PlanCacheStats {
+        let mut s = PlanCacheStats::default();
+        for cache in self.plans.values() {
+            s.hits += cache.hits;
+            s.misses += cache.misses;
+            s.evictions += cache.evictions;
+            s.entries += cache.len();
+        }
+        s
     }
 }
 
@@ -209,6 +235,7 @@ impl Comm {
             coll_stats: BTreeMap::new(),
             coll_seq: BTreeMap::new(),
             progress: ProgressStats::default(),
+            plans: BTreeMap::new(),
             last_algo: "none",
             algo_counts: BTreeMap::new(),
         };
@@ -251,6 +278,43 @@ impl Comm {
             return None;
         }
         Some(self.hierarchy())
+    }
+
+    /// The cached plan for `key` on this communicator, building (and caching)
+    /// it on first use. Every collective start — blocking, nonblocking or
+    /// persistent — funnels through here, so repeated shapes skip planning
+    /// entirely; the cache is per context id and LRU-bounded by
+    /// [`CollTuning::plan_cache_entries`].
+    fn cached_plan(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce(&CollTuning, Option<&HostHierarchy>) -> CollPlan,
+    ) -> Rc<CollPlan> {
+        // Probe first: the hit path pays one cache scan and nothing else.
+        // Hierarchy derivation (two more RefCell borrows + an Rc clone) is
+        // miss-only work — the built plan bakes the hierarchy decision in.
+        {
+            let core = &mut *self.core.borrow_mut();
+            if let Some(plan) = core.plans.entry(self.ctx).or_default().lookup(&key) {
+                return plan;
+            }
+        }
+        let hier = self.hier_for_coll();
+        let core = &mut *self.core.borrow_mut();
+        let tuning = core.tuning;
+        let plan = Rc::new(build(&tuning, hier.as_deref()));
+        core.plans
+            .entry(self.ctx)
+            .or_default()
+            .insert(key, &plan, tuning.plan_cache_entries);
+        plan
+    }
+
+    /// Aggregate plan-cache counters of this rank (hits, misses, evictions,
+    /// resident plans — across all communicators sharing the rank core; also
+    /// surfaced in [`crate::runtime::RankReport::plan_cache`]).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.core.borrow().plan_cache_stats_snapshot()
     }
 
     /// Snapshot of the per-communicator collective counters accumulated by
@@ -675,6 +739,18 @@ impl Comm {
         if !done {
             return Ok((None, ops));
         }
+        if request.is_persistent() {
+            // Persistent completion keeps the execution state and buffers:
+            // the request stays restartable, and the result is read in place
+            // via `Request::read_result`.
+            let status = request
+                .coll
+                .as_ref()
+                .expect("persistent request has state")
+                .completion_status();
+            request.fulfill_in_place(status);
+            return Ok((Some(status), ops));
+        }
         let state = request.coll.take().expect("collective request has state");
         let (status, data) = state.finish();
         request.fulfill(status, data);
@@ -744,7 +820,7 @@ impl Comm {
             RequestState::SendComplete | RequestState::RecvComplete => {
                 request.status().ok_or(MpiError::StaleRequest)
             }
-            RequestState::Consumed => Err(MpiError::StaleRequest),
+            RequestState::Consumed | RequestState::Inactive => Err(MpiError::StaleRequest),
             RequestState::RecvPending => {
                 self.check_request_ctx(request)?;
                 if request.is_coll() {
@@ -813,7 +889,7 @@ impl Comm {
             RequestState::SendComplete | RequestState::RecvComplete => {
                 Ok(Some(request.status().ok_or(MpiError::StaleRequest)?))
             }
-            RequestState::Consumed => Err(MpiError::StaleRequest),
+            RequestState::Consumed | RequestState::Inactive => Err(MpiError::StaleRequest),
             RequestState::RecvPending => self.try_complete(request, false),
         }
     }
@@ -833,7 +909,9 @@ impl Comm {
             for request in requests.iter_mut() {
                 match request.state() {
                     RequestState::SendComplete | RequestState::RecvComplete => {}
-                    RequestState::Consumed => return Err(MpiError::StaleRequest),
+                    RequestState::Consumed | RequestState::Inactive => {
+                        return Err(MpiError::StaleRequest)
+                    }
                     RequestState::RecvPending => match self.try_complete(request, true)? {
                         Some(_) => progressed = true,
                         None => all_done = false,
@@ -889,7 +967,7 @@ impl Comm {
                     let status = request.status().ok_or(MpiError::StaleRequest)?;
                     return Ok(PollAny::Ready(i, status));
                 }
-                RequestState::Consumed => {}
+                RequestState::Consumed | RequestState::Inactive => {}
                 RequestState::RecvPending => {
                     any_pending = true;
                     if let Some(status) = self.try_complete(request, during_wait)? {
@@ -914,7 +992,9 @@ impl Comm {
         for request in requests.iter_mut() {
             match request.state() {
                 RequestState::SendComplete | RequestState::RecvComplete => {}
-                RequestState::Consumed => return Err(MpiError::StaleRequest),
+                RequestState::Consumed | RequestState::Inactive => {
+                    return Err(MpiError::StaleRequest)
+                }
                 RequestState::RecvPending => {
                     if self.try_complete(request, false)?.is_none() {
                         all_complete = false;
@@ -951,6 +1031,40 @@ impl Comm {
         }
     }
 
+    /// Blocking typed send: `values`' bytes travel as-is through the
+    /// zero-copy [`Pod`] view (no per-element encoding).
+    pub fn send_values<T: Pod>(&mut self, dst: Rank, tag: Tag, values: &[T]) -> Result<()> {
+        self.send(dst, tag, bytes_of(values))
+    }
+
+    /// Blocking typed receive returning an owned value vector (the typed
+    /// companion of [`Comm::recv_owned`]). `status.len` stays in bytes.
+    /// Panics if the received byte length is not a multiple of the element
+    /// size — match the sender's element type.
+    pub fn recv_values<T: Pod>(
+        &mut self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<(Status, Vec<T>)> {
+        let (status, data) = self.recv_owned(src, tag)?;
+        Ok((status, vec_from_bytes(&data)))
+    }
+
+    /// Combined typed send + receive (deadlock-safe pairwise exchange; the
+    /// typed companion of [`Comm::sendrecv`]). Panics if the received byte
+    /// length is not a multiple of the element size.
+    pub fn sendrecv_values<T: Pod>(
+        &mut self,
+        dst: Rank,
+        send_tag: Tag,
+        values: &[T],
+        src: Rank,
+        recv_tag: Tag,
+    ) -> Result<(Status, Vec<T>)> {
+        let (status, data) = self.sendrecv(dst, send_tag, bytes_of(values), src, recv_tag)?;
+        Ok((status, vec_from_bytes(&data)))
+    }
+
     /// Barrier across all ranks of the communicator. The world communicator
     /// (and any same-group duplicate) uses the transport's sequence-number
     /// barrier — a shared flag array no message-passing scheme beats;
@@ -958,23 +1072,27 @@ impl Comm {
     /// point-to-point path, composed hierarchically (per-host fan-in, leader
     /// dissemination, per-host fan-out) when the topology gates select it.
     pub fn barrier(&mut self) -> Result<()> {
-        let hier = self.hier_for_coll();
-        let core = &mut *self.core.borrow_mut();
-        let tuning = core.tuning;
-        let seq = core.next_coll_seq(self.ctx);
-        let algo = if self.group.is_world(core.transport.size()) {
+        let is_world = self.group.is_world(self.core.borrow().transport.size());
+        let algo = if is_world {
+            let core = &mut *self.core.borrow_mut();
+            // Still draws a sequence number: every collective start on a
+            // context consumes one, so the counters agree across ranks no
+            // matter which barrier implementation a communicator uses.
+            let _seq = core.next_coll_seq(self.ctx);
             core.transport.barrier(&mut core.clock)?;
             "barrier/sequence"
         } else {
-            barrier::group_barrier(
-                core.transport.as_mut(),
-                &mut core.clock,
-                &self.view(),
-                &tuning,
-                hier.as_deref(),
-                seq,
-            )?
+            let view = self.view();
+            let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier| {
+                coll::build_barrier(&view, tuning, hier)
+            });
+            let core = &mut *self.core.borrow_mut();
+            let seq = core.next_coll_seq(self.ctx);
+            let mut exec = Execution::new(Rc::clone(&plan), seq);
+            exec.run(core.transport.as_mut(), &mut core.clock, &mut [])?;
+            plan.label
         };
+        let core = &mut *self.core.borrow_mut();
         core.note_coll(self.ctx, self.group.size(), CollOp::Barrier, 0);
         core.note_algo(algo);
         Ok(())
@@ -1003,39 +1121,37 @@ impl Comm {
     // weak-progress caveat of an engine without a progress thread; see the
     // README's request-mixing rules).
 
-    /// Account and package a compiled collective schedule as a pending
-    /// request.
+    /// Account and package a cached collective plan as a pending request:
+    /// draws the next sequence number and binds the plan to a fresh
+    /// execution.
     fn start_coll(
         &mut self,
-        sched: crate::progress::Schedule,
+        plan: Rc<CollPlan>,
         buf: Vec<u8>,
         op: CollOp,
         payload_bytes: u64,
     ) -> Request {
         let core = &mut *self.core.borrow_mut();
-        core.note_coll(self.ctx, self.group.size(), op, payload_bytes);
-        core.note_algo(sched.label);
-        core.progress.colls_started += 1;
-        Request::coll_pending(self.ctx, CollState::new(sched, buf, self.rank))
-    }
-
-    /// Tuning snapshot plus the next collective sequence number for this
-    /// communicator (every collective start draws one, blocking or not).
-    fn coll_ticket(&mut self) -> (CollTuning, u32) {
-        let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
-        (core.tuning, seq)
+        core.note_coll(self.ctx, self.group.size(), op, payload_bytes);
+        core.note_algo(plan.label);
+        core.progress.colls_started += 1;
+        Request::coll_pending(
+            self.ctx,
+            CollState::new(Execution::new(plan, seq), buf, self.rank),
+        )
     }
 
     /// Nonblocking barrier (`MPI_Ibarrier`): completes once every rank of the
-    /// communicator has entered it. Runs the dissemination-token schedule on
+    /// communicator has entered it. Runs the dissemination-token plan on
     /// every communicator (world included) — hierarchical when the topology
     /// gates select it — so it can overlap with compute.
     pub fn ibarrier(&mut self) -> Result<Request> {
-        let hier = self.hier_for_coll();
-        let (tuning, seq) = self.coll_ticket();
-        let sched = coll::build_barrier(&self.view(), &tuning, hier.as_deref(), seq);
-        Ok(self.start_coll(sched, Vec::new(), CollOp::Barrier, 0))
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier| {
+            coll::build_barrier(&view, tuning, hier)
+        });
+        Ok(self.start_coll(plan, Vec::new(), CollOp::Barrier, 0))
     }
 
     /// Nonblocking broadcast (`MPI_Ibcast`): the root contributes `buf`;
@@ -1045,27 +1161,25 @@ impl Comm {
     pub fn ibcast_into<T: Pod>(&mut self, root: Rank, buf: &[T]) -> Result<Request> {
         self.world_of(root)?;
         let bytes = std::mem::size_of_val(buf);
-        let hier = self.hier_for_coll();
-        let (tuning, seq) = self.coll_ticket();
-        let sched = coll::build_bcast(&self.view(), &tuning, hier.as_deref(), seq, root, bytes);
-        Ok(self.start_coll(sched, bytes_of(buf).to_vec(), CollOp::Bcast, bytes as u64))
+        let view = self.view();
+        let plan = self.cached_plan(
+            PlanKey::rooted(PlanOp::Bcast, root, bytes),
+            |tuning, hier| coll::build_bcast(&view, tuning, hier, root, bytes),
+        );
+        Ok(self.start_coll(plan, bytes_of(buf).to_vec(), CollOp::Bcast, bytes as u64))
     }
 
     /// Nonblocking allreduce (`MPI_Iallreduce`): on completion every rank's
     /// request yields the element-wise reduction of all contributions.
     pub fn iallreduce<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Request> {
         let bytes = std::mem::size_of_val(values) as u64;
-        let hier = self.hier_for_coll();
-        let (tuning, seq) = self.coll_ticket();
-        let sched = coll::build_allreduce::<T>(
-            &self.view(),
-            &tuning,
-            hier.as_deref(),
-            seq,
-            values.len(),
-            op,
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
+            |tuning, hier| coll::build_allreduce::<T>(&view, tuning, hier, count, op),
         );
-        Ok(self.start_coll(sched, bytes_of(values).to_vec(), CollOp::Allreduce, bytes))
+        Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Allreduce, bytes))
     }
 
     /// Nonblocking rooted reduce (`MPI_Ireduce`): on completion the root's
@@ -1079,18 +1193,19 @@ impl Comm {
     ) -> Result<Request> {
         self.world_of(root)?;
         let bytes = std::mem::size_of_val(values) as u64;
-        let hier = self.hier_for_coll();
-        let (tuning, seq) = self.coll_ticket();
-        let sched = coll::build_reduce::<T>(
-            &self.view(),
-            &tuning,
-            hier.as_deref(),
-            seq,
-            root,
-            values.len(),
-            op,
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(
+                PlanOp::Reduce,
+                Some(root),
+                count,
+                std::mem::size_of::<T>(),
+                op,
+            ),
+            |tuning, hier| coll::build_reduce::<T>(&view, tuning, hier, root, count, op),
         );
-        Ok(self.start_coll(sched, bytes_of(values).to_vec(), CollOp::Reduce, bytes))
+        Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Reduce, bytes))
     }
 
     /// Nonblocking allgather (`MPI_Iallgather`): on completion every rank's
@@ -1101,10 +1216,11 @@ impl Comm {
         let block = std::mem::size_of_val(send);
         let mut buf = vec![0u8; n * block];
         buf[self.rank * block..(self.rank + 1) * block].copy_from_slice(bytes_of(send));
-        let hier = self.hier_for_coll();
-        let (tuning, seq) = self.coll_ticket();
-        let sched = coll::build_allgather(&self.view(), &tuning, hier.as_deref(), seq, block);
-        Ok(self.start_coll(sched, buf, CollOp::Allgather, block as u64))
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Allgather, block), |tuning, hier| {
+            coll::build_allgather(&view, tuning, hier, block)
+        });
+        Ok(self.start_coll(plan, buf, CollOp::Allgather, block as u64))
     }
 
     /// Nonblocking reduce-scatter (`MPI_Ireduce_scatter_block`): on completion
@@ -1120,10 +1236,20 @@ impl Comm {
             )));
         }
         let bytes = std::mem::size_of_val(values) as u64;
-        let (tuning, seq) = self.coll_ticket();
-        let sched = coll::build_reduce_scatter::<T>(&self.view(), &tuning, seq, values.len(), op);
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(
+                PlanOp::ReduceScatter,
+                None,
+                count,
+                std::mem::size_of::<T>(),
+                op,
+            ),
+            |tuning, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
+        );
         Ok(self.start_coll(
-            sched,
+            plan,
             bytes_of(values).to_vec(),
             CollOp::ReduceScatter,
             bytes,
@@ -1144,9 +1270,11 @@ impl Comm {
         } else {
             bytes_of(send).to_vec()
         };
-        let (_, seq) = self.coll_ticket();
-        let sched = coll::build_gather(&self.view(), seq, root, block);
-        Ok(self.start_coll(sched, buf, CollOp::Gather, block as u64))
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _| {
+            coll::build_gather(&view, root, block)
+        });
+        Ok(self.start_coll(plan, buf, CollOp::Gather, block as u64))
     }
 
     /// Nonblocking scatter (`MPI_Iscatter`): the root passes
@@ -1179,9 +1307,317 @@ impl Comm {
         } else {
             vec![0u8; block]
         };
-        let (_, seq) = self.coll_ticket();
-        let sched = coll::build_scatter(&self.view(), seq, root, block);
-        Ok(self.start_coll(sched, buf, CollOp::Scatter, block as u64))
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _| {
+            coll::build_scatter(&view, root, block)
+        });
+        Ok(self.start_coll(plan, buf, CollOp::Scatter, block as u64))
+    }
+
+    /// Nonblocking inclusive prefix reduction (`MPI_Iscan`): on completion
+    /// rank `r`'s request yields the element-wise reduction of ranks `0..=r`
+    /// via [`Request::take_values`].
+    pub fn iscan<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Request> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
+            |_, _| coll::build_scan::<T>(&view, count, op),
+        );
+        Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Scan, bytes))
+    }
+
+    /// Nonblocking exclusive prefix reduction (`MPI_Iexscan`): on completion
+    /// rank `r > 0`'s request yields the element-wise reduction of ranks
+    /// `0..r`; rank 0's request yields an empty result (the MPI "undefined"
+    /// slot).
+    pub fn iexscan<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Request> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
+            |_, _| coll::build_exscan::<T>(&view, count, op),
+        );
+        Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Exscan, bytes))
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent collectives (MPI-4 `*_init` operations)
+    // ------------------------------------------------------------------
+    //
+    // A `*_init` method binds the communicator's *cached* plan for the
+    // requested shape to an owned execution and returns an **inactive**
+    // persistent [`Request`]. [`Comm::start`]/[`Comm::startall`] activate it
+    // (drawing a fresh collective sequence number and rewinding the
+    // execution — no re-planning, no reallocation); the request then
+    // completes through the ordinary `wait`/`test` machinery and becomes
+    // restartable. Between starts the bound contribution is rewritten with
+    // [`Request::write_input`] and a completed result is read (without
+    // consuming the request) with [`Request::read_result`];
+    // [`Request::release`] retires the request. Init calls are collective:
+    // every rank must create the matching request, and starts must follow the
+    // usual same-order rule for collectives on one communicator.
+
+    /// Package a cached plan as an inactive persistent request.
+    fn init_coll(
+        &mut self,
+        plan: Rc<CollPlan>,
+        buf: Vec<u8>,
+        op: CollOp,
+        payload_bytes: u64,
+    ) -> Request {
+        Request::coll_persistent(
+            self.ctx,
+            CollState::new(Execution::new(plan, 0), buf, self.rank),
+            PersistentMeta { op, payload_bytes },
+        )
+    }
+
+    /// Persistent barrier (`MPI_Barrier_init`).
+    pub fn barrier_init(&mut self) -> Result<Request> {
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier| {
+            coll::build_barrier(&view, tuning, hier)
+        });
+        Ok(self.init_coll(plan, Vec::new(), CollOp::Barrier, 0))
+    }
+
+    /// Persistent broadcast (`MPI_Bcast_init`): binds `buf` as the payload
+    /// (read on the root at every start; replaced with the broadcast values
+    /// everywhere on completion, readable via [`Request::read_result`]).
+    /// All ranks must pass equal-length buffers.
+    pub fn bcast_init<T: Pod>(&mut self, root: Rank, buf: &[T]) -> Result<Request> {
+        self.world_of(root)?;
+        let bytes = std::mem::size_of_val(buf);
+        let view = self.view();
+        let plan = self.cached_plan(
+            PlanKey::rooted(PlanOp::Bcast, root, bytes),
+            |tuning, hier| coll::build_bcast(&view, tuning, hier, root, bytes),
+        );
+        Ok(self.init_coll(plan, bytes_of(buf).to_vec(), CollOp::Bcast, bytes as u64))
+    }
+
+    /// Persistent allreduce (`MPI_Allreduce_init`): binds a copy of `values`
+    /// as the contribution. Rewrite it between starts with
+    /// [`Request::write_input`]; without a rewrite, a restart reduces the
+    /// previous result again (the buffer is bound in place, as in MPI).
+    pub fn allreduce_init<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Request> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
+            |tuning, hier| coll::build_allreduce::<T>(&view, tuning, hier, count, op),
+        );
+        Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Allreduce, bytes))
+    }
+
+    /// Persistent rooted reduce (`MPI_Reduce_init`); see
+    /// [`Comm::allreduce_init`] for the rebind rules. Only the root's
+    /// completed request carries a result.
+    pub fn reduce_init<T: Reducible>(
+        &mut self,
+        root: Rank,
+        values: &[T],
+        op: ReduceOp,
+    ) -> Result<Request> {
+        self.world_of(root)?;
+        let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(
+                PlanOp::Reduce,
+                Some(root),
+                count,
+                std::mem::size_of::<T>(),
+                op,
+            ),
+            |tuning, hier| coll::build_reduce::<T>(&view, tuning, hier, root, count, op),
+        );
+        Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Reduce, bytes))
+    }
+
+    /// Persistent allgather (`MPI_Allgather_init`): binds `send` as this
+    /// rank's block of the flat `size × send.len()` result buffer.
+    pub fn allgather_init<T: Pod>(&mut self, send: &[T]) -> Result<Request> {
+        let n = self.group.size();
+        let block = std::mem::size_of_val(send);
+        let mut buf = vec![0u8; n * block];
+        buf[self.rank * block..(self.rank + 1) * block].copy_from_slice(bytes_of(send));
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Allgather, block), |tuning, hier| {
+            coll::build_allgather(&view, tuning, hier, block)
+        });
+        Ok(self.init_coll(plan, buf, CollOp::Allgather, block as u64))
+    }
+
+    /// Persistent reduce-scatter (`MPI_Reduce_scatter_block_init`);
+    /// `values.len()` must be divisible by the rank count.
+    pub fn reduce_scatter_init<T: Reducible>(
+        &mut self,
+        values: &[T],
+        op: ReduceOp,
+    ) -> Result<Request> {
+        let n = self.group.size();
+        if !values.len().is_multiple_of(n) {
+            return Err(MpiError::InvalidCollective(format!(
+                "reduce_scatter_init input of {} elements not divisible by {} ranks",
+                values.len(),
+                n
+            )));
+        }
+        let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(
+                PlanOp::ReduceScatter,
+                None,
+                count,
+                std::mem::size_of::<T>(),
+                op,
+            ),
+            |tuning, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
+        );
+        Ok(self.init_coll(
+            plan,
+            bytes_of(values).to_vec(),
+            CollOp::ReduceScatter,
+            bytes,
+        ))
+    }
+
+    /// Persistent gather (`MPI_Gather_init`): binds `send` as this rank's
+    /// contribution; the root's completed request carries the flat gathered
+    /// buffer.
+    pub fn gather_init<T: Pod>(&mut self, root: Rank, send: &[T]) -> Result<Request> {
+        self.world_of(root)?;
+        let n = self.group.size();
+        let block = std::mem::size_of_val(send);
+        let buf = if self.rank == root {
+            let mut b = vec![0u8; n * block];
+            b[root * block..(root + 1) * block].copy_from_slice(bytes_of(send));
+            b
+        } else {
+            bytes_of(send).to_vec()
+        };
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _| {
+            coll::build_gather(&view, root, block)
+        });
+        Ok(self.init_coll(plan, buf, CollOp::Gather, block as u64))
+    }
+
+    /// Persistent scatter (`MPI_Scatter_init`): the root binds `Some(send)`
+    /// with `size × block_elems` elements, everyone else `None`; each
+    /// completed request carries this rank's chunk.
+    pub fn scatter_init<T: Pod>(
+        &mut self,
+        root: Rank,
+        send: Option<&[T]>,
+        block_elems: usize,
+    ) -> Result<Request> {
+        self.world_of(root)?;
+        let n = self.group.size();
+        let block = block_elems * std::mem::size_of::<T>();
+        let buf = if self.rank == root {
+            let send = send.ok_or_else(|| {
+                MpiError::InvalidCollective("scatter_init root must provide a send buffer".into())
+            })?;
+            if send.len() != n * block_elems {
+                return Err(MpiError::InvalidCollective(format!(
+                    "scatter_init send buffer has {} elements, expected {} ({} ranks × {})",
+                    send.len(),
+                    n * block_elems,
+                    n,
+                    block_elems
+                )));
+            }
+            bytes_of(send).to_vec()
+        } else {
+            vec![0u8; block]
+        };
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _| {
+            coll::build_scatter(&view, root, block)
+        });
+        Ok(self.init_coll(plan, buf, CollOp::Scatter, block as u64))
+    }
+
+    /// Persistent inclusive prefix reduction (`MPI_Scan_init`); see
+    /// [`Comm::allreduce_init`] for the rebind rules.
+    pub fn scan_init<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Request> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
+            |_, _| coll::build_scan::<T>(&view, count, op),
+        );
+        Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Scan, bytes))
+    }
+
+    /// Persistent exclusive prefix reduction (`MPI_Exscan_init`); see
+    /// [`Comm::allreduce_init`] for the rebind rules.
+    pub fn exscan_init<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Request> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
+            |_, _| coll::build_exscan::<T>(&view, count, op),
+        );
+        Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Exscan, bytes))
+    }
+
+    /// Start (or restart) a persistent collective request (`MPI_Start`):
+    /// draws the next collective sequence number, rewinds the bound execution
+    /// and marks the request pending — no planning, no allocation. The
+    /// request must be inactive or complete; starting an in-flight request
+    /// errors. Starts count toward the same per-communicator ordering rule as
+    /// every other collective: all ranks must start their matching requests
+    /// in the same order relative to other collectives on the communicator.
+    pub fn start(&mut self, request: &mut Request) -> Result<()> {
+        self.check_request_ctx(request)?;
+        let meta = request.persistent.ok_or_else(|| {
+            MpiError::InvalidCollective(
+                "start requires a persistent collective request (*_init)".into(),
+            )
+        })?;
+        match request.state() {
+            RequestState::Inactive | RequestState::RecvComplete => {}
+            RequestState::RecvPending => {
+                return Err(MpiError::InvalidCollective(
+                    "start on a persistent request that is already in flight".into(),
+                ))
+            }
+            RequestState::SendComplete | RequestState::Consumed => {
+                return Err(MpiError::StaleRequest)
+            }
+        }
+        let algo = request
+            .coll_algorithm()
+            .expect("persistent request has a plan");
+        let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
+        core.note_coll(self.ctx, self.group.size(), meta.op, meta.payload_bytes);
+        core.note_algo(algo);
+        core.progress.colls_started += 1;
+        core.progress.persistent_starts += 1;
+        request.activate(seq);
+        Ok(())
+    }
+
+    /// Start every persistent request in the slice, in slice order
+    /// (`MPI_Startall`).
+    pub fn startall(&mut self, requests: &mut [Request]) -> Result<()> {
+        for request in requests.iter_mut() {
+            self.start(request)?;
+        }
+        Ok(())
     }
 
     /// Drive transport-level progress without completing any request: moves
@@ -1344,24 +1780,21 @@ impl Comm {
     /// Broadcast the fixed-size buffer `buf` from `root`. Every rank must pass
     /// a buffer of identical length. Size-adaptive: binomial tree for small
     /// payloads, scatter + ring allgather above the configured threshold.
+    /// Repeated shapes hit the communicator's plan cache and skip planning.
     pub fn bcast_into<T: Pod>(&mut self, root: Rank, buf: &mut [T]) -> Result<()> {
-        let bytes = std::mem::size_of_val(buf) as u64;
-        let hier = self.hier_for_coll();
+        self.world_of(root)?;
+        let bytes = std::mem::size_of_val(buf);
+        let view = self.view();
+        let plan = self.cached_plan(
+            PlanKey::rooted(PlanOp::Bcast, root, bytes),
+            |tuning, hier| coll::build_bcast(&view, tuning, hier, root, bytes),
+        );
         let core = &mut *self.core.borrow_mut();
-        let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
-        let algo = coll::bcast_into(
-            core.transport.as_mut(),
-            &mut core.clock,
-            &self.view(),
-            &tuning,
-            hier.as_deref(),
-            seq,
-            root,
-            buf,
-        )?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Bcast, bytes);
-        core.note_algo(algo);
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(buf))?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Bcast, bytes as u64);
+        core.note_algo(plan.label);
         Ok(())
     }
 
@@ -1374,20 +1807,37 @@ impl Comm {
         send: &[T],
         recv: Option<&mut [T]>,
     ) -> Result<()> {
-        let bytes = std::mem::size_of_val(send) as u64;
+        self.world_of(root)?;
+        let n = self.group.size();
+        let me = self.rank;
+        let block = std::mem::size_of_val(send);
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _| {
+            coll::build_gather(&view, root, block)
+        });
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
-        coll::gather_into(
-            core.transport.as_mut(),
-            &mut core.clock,
-            &self.view(),
-            seq,
-            root,
-            send,
-            recv,
-        )?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Gather, bytes);
-        core.note_algo("gather/linear");
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        if me == root {
+            let recv = recv.ok_or_else(|| {
+                MpiError::InvalidCollective("gather_into root must provide a receive buffer".into())
+            })?;
+            if recv.len() != n * send.len() {
+                return Err(MpiError::InvalidCollective(format!(
+                    "gather_into receive buffer has {} elements, expected {} ({} ranks × {})",
+                    recv.len(),
+                    n * send.len(),
+                    n,
+                    send.len()
+                )));
+            }
+            recv[me * send.len()..(me + 1) * send.len()].copy_from_slice(send);
+            exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))?;
+        } else {
+            exec.run_send_only(core.transport.as_mut(), &mut core.clock, bytes_of(send))?;
+        }
+        core.note_coll(self.ctx, n, CollOp::Gather, block as u64);
+        core.note_algo(plan.label);
         Ok(())
     }
 
@@ -1395,23 +1845,29 @@ impl Comm {
     /// `recv.len()` must equal `size × send.len()`. Size-adaptive: Bruck for
     /// small blocks, ring for large ones.
     pub fn allgather_into<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<()> {
-        let bytes = std::mem::size_of_val(send) as u64;
-        let hier = self.hier_for_coll();
+        let n = self.group.size();
+        let me = self.rank;
+        if recv.len() != n * send.len() {
+            return Err(MpiError::InvalidCollective(format!(
+                "allgather_into receive buffer has {} elements, expected {} ({} ranks × {})",
+                recv.len(),
+                n * send.len(),
+                n,
+                send.len()
+            )));
+        }
+        let block = std::mem::size_of_val(send);
+        recv[me * send.len()..(me + 1) * send.len()].copy_from_slice(send);
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Allgather, block), |tuning, hier| {
+            coll::build_allgather(&view, tuning, hier, block)
+        });
         let core = &mut *self.core.borrow_mut();
-        let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
-        let algo = coll::allgather_into(
-            core.transport.as_mut(),
-            &mut core.clock,
-            &self.view(),
-            &tuning,
-            hier.as_deref(),
-            seq,
-            send,
-            recv,
-        )?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Allgather, bytes);
-        core.note_algo(algo);
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))?;
+        core.note_coll(self.ctx, n, CollOp::Allgather, block as u64);
+        core.note_algo(plan.label);
         Ok(())
     }
 
@@ -1424,20 +1880,37 @@ impl Comm {
         send: Option<&[T]>,
         recv: &mut [T],
     ) -> Result<()> {
-        let bytes = std::mem::size_of_val(recv) as u64;
+        self.world_of(root)?;
+        let n = self.group.size();
+        let me = self.rank;
+        let block = std::mem::size_of_val(recv);
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _| {
+            coll::build_scatter(&view, root, block)
+        });
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
-        coll::scatter_from(
-            core.transport.as_mut(),
-            &mut core.clock,
-            &self.view(),
-            seq,
-            root,
-            send,
-            recv,
-        )?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Scatter, bytes);
-        core.note_algo("scatter/linear");
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        if me == root {
+            let send = send.ok_or_else(|| {
+                MpiError::InvalidCollective("scatter_from root must provide a send buffer".into())
+            })?;
+            if send.len() != n * recv.len() {
+                return Err(MpiError::InvalidCollective(format!(
+                    "scatter_from send buffer has {} elements, expected {} ({} ranks × {})",
+                    send.len(),
+                    n * recv.len(),
+                    n,
+                    recv.len()
+                )));
+            }
+            exec.run_send_only(core.transport.as_mut(), &mut core.clock, bytes_of(send))?;
+            recv.copy_from_slice(&send[me * recv.len()..(me + 1) * recv.len()]);
+        } else {
+            exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))?;
+        }
+        core.note_coll(self.ctx, n, CollOp::Scatter, block as u64);
+        core.note_algo(plan.label);
         Ok(())
     }
 
@@ -1450,24 +1923,32 @@ impl Comm {
         values: &[T],
         op: ReduceOp,
     ) -> Result<Option<Vec<T>>> {
+        self.world_of(root)?;
         let bytes = std::mem::size_of_val(values) as u64;
-        let hier = self.hier_for_coll();
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(
+                PlanOp::Reduce,
+                Some(root),
+                count,
+                std::mem::size_of::<T>(),
+                op,
+            ),
+            |tuning, hier| coll::build_reduce::<T>(&view, tuning, hier, root, count, op),
+        );
         let core = &mut *self.core.borrow_mut();
-        let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
-        let (out, algo) = coll::reduce(
-            core.transport.as_mut(),
-            &mut core.clock,
-            &self.view(),
-            &tuning,
-            hier.as_deref(),
-            seq,
-            root,
-            values,
-            op,
-        )?;
+        let mut buf = bytes_of(values).to_vec();
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)?;
+        let out = if self.rank == root {
+            Some(vec_from_bytes(exec.result_slice(&buf)))
+        } else {
+            None
+        };
         core.note_coll(self.ctx, self.group.size(), CollOp::Reduce, bytes);
-        core.note_algo(algo);
+        core.note_algo(plan.label);
         Ok(out)
     }
 
@@ -1476,22 +1957,22 @@ impl Comm {
     /// power-of-two fold elimination for other rank counts.
     pub fn allreduce<T: Reducible>(&mut self, values: &mut [T], op: ReduceOp) -> Result<()> {
         let bytes = std::mem::size_of_val(values) as u64;
-        let hier = self.hier_for_coll();
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
+            |tuning, hier| coll::build_allreduce::<T>(&view, tuning, hier, count, op),
+        );
         let core = &mut *self.core.borrow_mut();
-        let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
-        let algo = coll::allreduce(
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(
             core.transport.as_mut(),
             &mut core.clock,
-            &self.view(),
-            &tuning,
-            hier.as_deref(),
-            seq,
-            values,
-            op,
+            bytes_of_mut(values),
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, bytes);
-        core.note_algo(algo);
+        core.note_algo(plan.label);
         Ok(())
     }
 
@@ -1499,22 +1980,85 @@ impl Comm {
     /// naive allreduce + selection for small payloads, recursive halving /
     /// pairwise exchange above the configured threshold.
     pub fn reduce_scatter<T: Reducible>(&mut self, values: &[T], op: ReduceOp) -> Result<Vec<T>> {
+        let n = self.group.size();
+        if !values.len().is_multiple_of(n) {
+            return Err(MpiError::InvalidCollective(format!(
+                "reduce_scatter input of {} elements not divisible by {} ranks",
+                values.len(),
+                n
+            )));
+        }
         let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(
+                PlanOp::ReduceScatter,
+                None,
+                count,
+                std::mem::size_of::<T>(),
+                op,
+            ),
+            |tuning, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
+        );
         let core = &mut *self.core.borrow_mut();
-        let tuning = core.tuning;
         let seq = core.next_coll_seq(self.ctx);
-        let (out, algo) = coll::reduce_scatter(
+        let mut buf = bytes_of(values).to_vec();
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)?;
+        let out = vec_from_bytes(exec.result_slice(&buf));
+        core.note_coll(self.ctx, n, CollOp::ReduceScatter, bytes);
+        core.note_algo(plan.label);
+        Ok(out)
+    }
+
+    /// Inclusive prefix reduction (`MPI_Scan`), updated in place: rank `r`
+    /// ends up with the element-wise reduction of ranks `0..=r`
+    /// (Hillis–Steele recursive doubling over the plan layer; repeated
+    /// shapes hit the plan cache).
+    pub fn scan<T: Reducible>(&mut self, values: &mut [T], op: ReduceOp) -> Result<()> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
+            |_, _| coll::build_scan::<T>(&view, count, op),
+        );
+        let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(
             core.transport.as_mut(),
             &mut core.clock,
-            &self.view(),
-            &tuning,
-            seq,
-            values,
-            op,
+            bytes_of_mut(values),
         )?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::ReduceScatter, bytes);
-        core.note_algo(algo);
-        Ok(out)
+        core.note_coll(self.ctx, self.group.size(), CollOp::Scan, bytes);
+        core.note_algo(plan.label);
+        Ok(())
+    }
+
+    /// Exclusive prefix reduction (`MPI_Exscan`), updated in place: rank
+    /// `r > 0` ends up with the element-wise reduction of ranks `0..r`;
+    /// rank 0's buffer is left untouched (the MPI "undefined" slot).
+    pub fn exscan<T: Reducible>(&mut self, values: &mut [T], op: ReduceOp) -> Result<()> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        let view = self.view();
+        let count = values.len();
+        let plan = self.cached_plan(
+            PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
+            |_, _| coll::build_exscan::<T>(&view, count, op),
+        );
+        let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(
+            core.transport.as_mut(),
+            &mut core.clock,
+            bytes_of_mut(values),
+        )?;
+        core.note_coll(self.ctx, self.group.size(), CollOp::Exscan, bytes);
+        core.note_algo(plan.label);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1527,6 +2071,7 @@ impl Comm {
         since = "0.2.0",
         note = "use the typed `bcast_into` (fixed-size buffers) instead"
     )]
+    #[allow(deprecated)]
     pub fn bcast(&mut self, root: Rank, data: &mut Vec<u8>) -> Result<()> {
         let bytes = data.len() as u64;
         let core = &mut *self.core.borrow_mut();
@@ -1549,6 +2094,7 @@ impl Comm {
         since = "0.2.0",
         note = "use the typed, flat-buffer `gather_into` instead"
     )]
+    #[allow(deprecated)]
     pub fn gather(&mut self, root: Rank, send: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
         let bytes = send.len() as u64;
         let core = &mut *self.core.borrow_mut();
@@ -1570,6 +2116,7 @@ impl Comm {
         since = "0.2.0",
         note = "use the typed, flat-buffer `scatter_from` instead"
     )]
+    #[allow(deprecated)]
     pub fn scatter(&mut self, root: Rank, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
@@ -1596,6 +2143,7 @@ impl Comm {
         since = "0.2.0",
         note = "use the typed, flat-buffer `allgather_into` instead"
     )]
+    #[allow(deprecated)]
     pub fn allgather(&mut self, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
         let bytes = mine.len() as u64;
         let core = &mut *self.core.borrow_mut();

@@ -147,6 +147,14 @@ pub struct CollTuning {
     /// sits far above the reduction collectives' — the bench sweep measures
     /// it losing at a 512 KiB total and winning at 8 MiB.
     pub hier_allgather_min_bytes: usize,
+    /// LRU bound of each communicator's collective **plan cache**: how many
+    /// compiled plans (op × root × shape × element type × reduction) are kept
+    /// so repeated collectives of the same shape skip planning entirely —
+    /// one-shot, nonblocking and persistent starts all hit it. `0` disables
+    /// caching (every call rebuilds its plan; the bench harness uses this as
+    /// the cold baseline). Hit/miss/eviction counters are surfaced in
+    /// [`crate::runtime::RankReport::plan_cache`].
+    pub plan_cache_entries: usize,
 }
 
 impl Default for CollTuning {
@@ -161,6 +169,7 @@ impl Default for CollTuning {
             hier_min_ranks_per_host: 2,
             hier_min_payload_bytes: 512 * 1024,
             hier_allgather_min_bytes: 4 * 1024 * 1024,
+            plan_cache_entries: 64,
         }
     }
 }
@@ -418,5 +427,7 @@ mod tests {
         assert_eq!(t.hier_min_hosts, 2);
         assert_eq!(t.hier_min_ranks_per_host, 2);
         assert_eq!(t.hier_min_payload_bytes, 512 * 1024);
+        // The plan cache is on by default.
+        assert!(t.plan_cache_entries > 0);
     }
 }

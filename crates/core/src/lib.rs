@@ -64,10 +64,17 @@
 //!   wait, carrying the universe's [`spin::PoisonFlag`] so a dead rank aborts
 //!   the survivors with [`error::MpiError::PeerDead`] instead of hanging.
 //! * [`progress`] — the progress engine: every collective algorithm compiles
-//!   to a resumable [`progress::Schedule`] of sends/receives/folds; blocking
-//!   collectives run it to completion, the MPI-3-style nonblocking `i*`
-//!   collectives (`ibarrier`, `ibcast_into`, `iallreduce`, ...) advance it
-//!   incrementally from `test`/`wait` for compute/communication overlap.
+//!   to an immutable, buffer- and sequence-agnostic [`progress::CollPlan`] of
+//!   sends/receives/folds, bound per start to a lightweight
+//!   [`progress::Execution`]; blocking collectives run it to completion, the
+//!   MPI-3-style nonblocking `i*` collectives (`ibarrier`, `ibcast_into`,
+//!   `iallreduce`, ...) advance it incrementally from `test`/`wait` for
+//!   compute/communication overlap, and the MPI-4-style persistent `*_init`
+//!   requests re-run it via `start`/`startall`.
+//! * [`plan`] — the per-communicator LRU plan cache: repeated
+//!   collectives of one shape (one-shot *or* persistent) skip planning
+//!   entirely; hit/miss counters land in [`runtime::RankReport::plan_cache`]
+//!   and the bound is [`config::CollTuning::plan_cache_entries`].
 //! * [`p2p`], [`request`] — context-scoped message matching, non-blocking
 //!   requests (`wait`/`test`/`wait_all`/`wait_any`/`test_any`/`test_all`,
 //!   unifying p2p receives and nonblocking collectives) and status.
@@ -91,6 +98,7 @@ pub mod datatype;
 pub mod error;
 pub mod group;
 pub mod p2p;
+pub mod plan;
 pub mod pod;
 pub mod progress;
 pub mod queue;
@@ -109,8 +117,9 @@ pub use config::{
 };
 pub use error::MpiError;
 pub use group::Group;
+pub use plan::PlanCacheStats;
 pub use pod::Pod;
-pub use progress::ProgressStats;
+pub use progress::{CollPlan, Execution, ProgressStats};
 pub use request::{Request, RequestState};
 pub use runtime::{RankReport, Universe};
 pub use spin::{PoisonFlag, SpinWait};

@@ -1,24 +1,34 @@
-//! The progress engine: resumable collective schedules.
+//! The progress engine: immutable collective plans and resumable executions.
 //!
-//! Every collective algorithm in [`crate::coll`] is expressed as a
-//! **schedule** — an ordered list of point-to-point operations
-//! (`SchedOp::Send` / `SchedOp::Recv`) and local data movements
-//! (`SchedOp::Fold` / `SchedOp::Copy`) over two byte arenas: the
-//! *primary* buffer (the user's payload) and a *scratch* buffer (algorithm
-//! temporaries). Ops execute strictly in order, which preserves exactly the
-//! deadlock-safe orderings (lower rank sends first, rank 0 of a ring receives
-//! first) the straight-line algorithms used; op `i + 1` never starts before
-//! op `i` has completed.
+//! Every collective algorithm in [`crate::coll`] is compiled into a
+//! [`CollPlan`] — an **immutable**, buffer-agnostic, sequence-agnostic list of
+//! point-to-point operations (`SchedOp::Send` / `SchedOp::Recv`) and local
+//! data movements (`SchedOp::Fold` / `SchedOp::Copy`) over two byte arenas:
+//! the *primary* buffer (the user's payload) and a *scratch* buffer (algorithm
+//! temporaries). Ops carry **tag offsets** (kind × step within the collective
+//! tag layout), not wire tags: the per-start collective sequence number is
+//! resolved against the offset only when the plan is *bound* to an
+//! [`Execution`]. A plan is therefore a pure function of
+//! (communicator, operation, shape, tuning) and can be cached and re-run any
+//! number of times — the basis of the per-communicator plan cache
+//! ([`crate::plan`]) and the MPI-4-style persistent collectives.
 //!
-//! A schedule can be driven two ways:
+//! An [`Execution`] is the lightweight per-start state: a shared handle to the
+//! plan, the op cursor, the live sequence number and the owned scratch arena
+//! (reused across restarts of a persistent collective). Ops execute strictly
+//! in order, which preserves exactly the deadlock-safe orderings (lower rank
+//! sends first, rank 0 of a ring receives first) the straight-line algorithms
+//! used; op `i + 1` never starts before op `i` has completed.
 //!
-//! * **to completion** ([`Schedule::run`]) — the blocking collective API is
-//!   build-schedule-then-run, so blocking and nonblocking collectives execute
-//!   byte-identical plans and cannot diverge;
-//! * **incrementally** ([`Schedule::progress`]) — each call executes ops until
-//!   one cannot complete (a `SchedOp::Recv` whose message has not arrived,
-//!   probed through the transports' non-blocking `try_recv_into` path) and
-//!   then returns. This is what `Comm::test`/`Comm::wait` (and the
+//! An execution can be driven two ways:
+//!
+//! * **to completion** ([`Execution::run`]) — the blocking collective API is
+//!   bind-plan-then-run, so blocking, nonblocking and persistent collectives
+//!   execute byte-identical plans and cannot diverge;
+//! * **incrementally** ([`Execution::progress`]) — each call executes ops
+//!   until one cannot complete (a `SchedOp::Recv` whose message has not
+//!   arrived, probed through the transports' non-blocking `try_recv_into`
+//!   path) and then returns. This is what `Comm::test`/`Comm::wait` (and the
 //!   `*_any`/`*_all` combinators) call on a collective request, giving
 //!   MPI-3-style compute/communication overlap.
 //!
@@ -29,20 +39,23 @@
 //! [`Transport::try_send_progress`] path; while it waits (for ring space or
 //! a missing message) the engine drains fully-arrived traffic off the wire
 //! ([`Transport::poll_incoming`]), so peers blocked on flow control keep
-//! moving and concurrent independent schedules stay deadlock-free. One
+//! moving and concurrent independent executions stay deadlock-free. One
 //! commitment rule: once the first chunk of a multi-chunk message is in a
 //! destination ring, the op finishes the message before control returns
 //! (the SPSC rings require one whole message per sender at a time) — the
 //! same liveness class as the blocking sends the schedules replaced.
 
+use std::rc::Rc;
+
 use cmpi_fabric::SimClock;
 
+use crate::coll::bind_coll_tag;
 use crate::error::MpiError;
 use crate::transport::Transport;
 use crate::types::{CtxId, Rank, ReduceOp, Status, Tag, COLL_TAG_BASE};
 use crate::Result;
 
-/// Which arena a schedule op's byte range refers to.
+/// Which arena a plan op's byte range refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Loc {
     /// The primary buffer (the user payload).
@@ -51,16 +64,20 @@ pub enum Loc {
     Scratch,
 }
 
-/// One step of a collective schedule. Byte ranges are `[start, end)` within
-/// the arena selected by the op's [`Loc`].
-#[derive(Debug, Clone)]
+/// One step of a collective plan. Byte ranges are `[start, end)` within the
+/// arena selected by the op's [`Loc`]. `tag_off` is the kind × step tag
+/// offset; the wire tag is resolved against the execution's live sequence
+/// number at run time (see [`crate::coll::bind_coll_tag`]), which is what
+/// makes a plan reusable across starts.
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum SchedOp {
-    /// Send `loc[start..end]` to `peer` (a world rank) with `tag`.
+    /// Send `loc[start..end]` to `peer` (a world rank).
     Send {
         /// Destination world rank.
         peer: Rank,
-        /// Wire tag (already sequence-salted by the builder).
-        tag: Tag,
+        /// Tag offset within the collective layout (kind and step only; the
+        /// sequence salt is applied at bind time).
+        tag_off: Tag,
         /// Source arena.
         loc: Loc,
         /// Byte range start.
@@ -68,13 +85,13 @@ pub(crate) enum SchedOp {
         /// Byte range end.
         end: usize,
     },
-    /// Receive exactly `end - start` bytes from `peer` (world rank) with
-    /// `tag` into `loc[start..end]`.
+    /// Receive exactly `end - start` bytes from `peer` (world rank) into
+    /// `loc[start..end]`.
     Recv {
         /// Source world rank.
         peer: Rank,
-        /// Wire tag.
-        tag: Tag,
+        /// Tag offset (see `Send`).
+        tag_off: Tag,
         /// Destination arena.
         loc: Loc,
         /// Byte range start.
@@ -82,9 +99,9 @@ pub(crate) enum SchedOp {
         /// Byte range end.
         end: usize,
     },
-    /// Element-wise reduce `src` into `dst` using the schedule's fold
-    /// function. The two ranges must have equal length and, within one arena,
-    /// must be disjoint.
+    /// Element-wise reduce `src` into `dst` using the plan's fold function.
+    /// The two ranges must have equal length and, within one arena, must be
+    /// disjoint.
     Fold {
         /// Destination arena.
         dst_loc: Loc,
@@ -113,8 +130,9 @@ pub(crate) enum SchedOp {
 }
 
 /// Type-erased element-wise reduction over raw bytes (a monomorphized
-/// `fold_bytes::<T>` stored as a function pointer, so schedules stay
-/// non-generic and a collective request can live inside a plain [`crate::request::Request`]).
+/// `fold_bytes::<T>` stored as a function pointer, so plans stay
+/// non-generic and a collective request can live inside a plain
+/// [`crate::request::Request`]).
 pub type FoldFn = fn(ReduceOp, &mut [u8], &[u8]);
 
 /// Element-wise fold of `src` into `dst` interpreted as `T` values. Handles
@@ -137,26 +155,24 @@ pub fn fold_bytes<T: crate::types::Reducible>(op: ReduceOp, dst: &mut [u8], src:
     }
 }
 
-/// Outcome of one [`Schedule::progress`] call.
+/// Outcome of one [`Execution::progress`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepOutcome {
-    /// Whether the schedule has run to completion.
+    /// Whether the execution has run to completion.
     pub done: bool,
     /// Ops completed by this call.
     pub ops: usize,
 }
 
-/// A resumable collective schedule: the compiled form of one collective
-/// operation from one rank's perspective.
+/// The immutable compiled form of one collective operation from one rank's
+/// perspective: the op list plus everything needed to bind and interpret an
+/// execution over it. Buffer-agnostic (ops reference symbolic byte offsets
+/// into the primary/scratch arenas) and sequence-agnostic (ops carry tag
+/// *offsets*), so one plan serves any number of starts — cached plans back
+/// both the repeated one-shot collectives and the persistent `*_init` API.
 #[derive(Debug)]
-pub struct Schedule {
+pub struct CollPlan {
     pub(crate) ops: Vec<SchedOp>,
-    /// Next op to execute.
-    pos: usize,
-    /// Transport resume cursor of the in-flight `Send` op at `pos` (always 0
-    /// between `progress` calls: a send that has committed its first chunk is
-    /// finished within the same call to preserve ring contiguity).
-    send_cursor: usize,
     /// Context id the collective runs under.
     ctx: CtxId,
     /// Reduction applied by `Fold` ops, if any.
@@ -165,40 +181,44 @@ pub struct Schedule {
     pub(crate) result_loc: Loc,
     /// Byte range of the result within `result_loc`.
     pub(crate) result_range: (usize, usize),
-    /// Scratch bytes the schedule needs to execute.
+    /// Byte range of this rank's *contribution* within the primary buffer —
+    /// the region a persistent request re-reads at every start (and the one
+    /// [`crate::request::Request::write_input`] rewrites between starts).
+    pub(crate) input_range: (usize, usize),
+    /// Scratch bytes an execution of the plan needs.
     pub(crate) scratch_len: usize,
-    /// Estimated concurrent cross-host communication pairs while this
-    /// schedule executes, if the builder knows better than the transport's
-    /// standing hint (hierarchical composites: only one leader per host
-    /// crosses hosts). Applied to the transport around every progress call
-    /// and restored afterwards, so the contention model sees the reduced
-    /// crowd without disturbing unrelated traffic.
+    /// Estimated concurrent cross-host communication pairs while the plan
+    /// executes, if the builder knows better than the transport's standing
+    /// hint (hierarchical composites: only one leader per host crosses
+    /// hosts). Applied to the transport around every progress call and
+    /// restored afterwards, so the contention model sees the reduced crowd
+    /// without disturbing unrelated traffic.
     pub(crate) pairs_hint: Option<usize>,
-    /// Label of the algorithm this schedule implements (surfaced in
+    /// Label of the algorithm this plan implements (surfaced in
     /// `RankReport::coll_algos`).
     pub label: &'static str,
 }
 
-impl Schedule {
-    /// Build a schedule from its parts (used by the builders in
-    /// [`crate::coll`]).
+impl CollPlan {
+    /// Build a plan from its parts (used by the builders in [`crate::coll`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         ops: Vec<SchedOp>,
         ctx: CtxId,
         fold: Option<(ReduceOp, FoldFn)>,
         result_loc: Loc,
         result_range: (usize, usize),
+        input_range: (usize, usize),
         scratch_len: usize,
         label: &'static str,
     ) -> Self {
-        Schedule {
+        CollPlan {
             ops,
-            pos: 0,
-            send_cursor: 0,
             ctx,
             fold,
             result_loc,
             result_range,
+            input_range,
             scratch_len,
             pairs_hint: None,
             label,
@@ -206,35 +226,106 @@ impl Schedule {
     }
 
     /// Attach a concurrent cross-host pair estimate (see
-    /// [`Schedule::pairs_hint`]).
+    /// [`CollPlan::pairs_hint`]).
     pub(crate) fn with_pairs_hint(mut self, pairs: usize) -> Self {
         self.pairs_hint = Some(pairs);
         self
     }
 
-    /// Context id the schedule's traffic runs under.
+    /// Context id the plan's traffic runs under.
     pub fn context_id(&self) -> CtxId {
         self.ctx
     }
 
-    /// Whether every op has executed.
-    pub fn is_complete(&self) -> bool {
-        self.pos >= self.ops.len()
-    }
-
-    /// Total ops in the schedule.
+    /// Total ops in the plan.
     pub fn len(&self) -> usize {
         self.ops.len()
     }
 
-    /// Whether the schedule has no ops (single-rank collectives).
+    /// Whether the plan has no ops (single-rank collectives).
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
 
-    /// Execute ops in order until one cannot complete, the schedule finishes,
-    /// or `budget` ops have run (`budget == 0` means unlimited). Returns
-    /// whether the schedule completed and how many ops this call executed.
+    /// Scratch bytes an execution of this plan allocates.
+    pub fn scratch_len(&self) -> usize {
+        self.scratch_len
+    }
+
+    /// Byte length of this rank's result.
+    pub fn result_len(&self) -> usize {
+        self.result_range.1 - self.result_range.0
+    }
+
+    /// Byte length of this rank's contribution region in the primary buffer.
+    pub fn input_len(&self) -> usize {
+        self.input_range.1 - self.input_range.0
+    }
+}
+
+/// The lightweight per-start state of one collective: a shared handle to the
+/// immutable [`CollPlan`], the op cursor, the live sequence number (salted
+/// into every wire tag at op execution) and the owned scratch arena. Binding
+/// a cached plan to a fresh execution is what a persistent `start()` — and
+/// every cache-hit one-shot collective — does instead of re-planning.
+#[derive(Debug)]
+pub struct Execution {
+    plan: Rc<CollPlan>,
+    /// Next op to execute.
+    pos: usize,
+    /// Transport resume cursor of the in-flight `Send` op at `pos` (always 0
+    /// between `progress` calls: a send that has committed its first chunk is
+    /// finished within the same call to preserve ring contiguity).
+    send_cursor: usize,
+    /// Live collective sequence number of this start.
+    seq: u32,
+    /// Scratch arena (kept across restarts, so persistent re-starts allocate
+    /// nothing).
+    scratch: Vec<u8>,
+}
+
+impl Execution {
+    /// Bind `plan` to a fresh execution under sequence number `seq`.
+    pub fn new(plan: Rc<CollPlan>, seq: u32) -> Self {
+        let scratch = vec![0u8; plan.scratch_len];
+        Execution {
+            plan,
+            pos: 0,
+            send_cursor: 0,
+            seq,
+            scratch,
+        }
+    }
+
+    /// The plan this execution runs.
+    pub fn plan(&self) -> &CollPlan {
+        &self.plan
+    }
+
+    /// The live sequence number of this start.
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Rewind for a new start under sequence number `seq` (persistent
+    /// collectives). The scratch arena is kept; plans write scratch before
+    /// reading it, so no re-zeroing is needed.
+    pub(crate) fn restart(&mut self, seq: u32) {
+        debug_assert_eq!(self.send_cursor, 0, "restart of a mid-send execution");
+        self.pos = 0;
+        self.send_cursor = 0;
+        self.seq = seq;
+    }
+
+    /// Whether every op has executed.
+    pub fn is_complete(&self) -> bool {
+        self.pos >= self.plan.ops.len()
+    }
+
+    /// Execute ops in order until one cannot complete, the execution
+    /// finishes, or `budget` ops have run (`budget == 0` means unlimited).
+    /// Returns whether the execution completed and how many ops this call
+    /// executed.
     ///
     /// Nothing in here blocks on a peer: `Recv` ops probe via the
     /// transports' non-blocking `try_recv_into`, and `Send` ops advance via
@@ -242,24 +333,23 @@ impl Schedule {
     /// message across calls). Whenever the current op cannot complete, the
     /// engine drains fully-arrived messages off the wire
     /// ([`Transport::poll_incoming`]) and retries — freeing ring cells keeps
-    /// peers' sends moving, which makes concurrent independent schedules
+    /// peers' sends moving, which makes concurrent independent executions
     /// deadlock-free without any global op ordering across them.
     pub fn progress(
         &mut self,
         t: &mut dyn Transport,
         clock: &mut SimClock,
         buf: &mut [u8],
-        scratch: &mut [u8],
         budget: usize,
     ) -> Result<StepOutcome> {
-        // Schedules with a better crowd estimate than the transport's standing
+        // Plans with a better crowd estimate than the transport's standing
         // hint (hierarchical composites) scope it to their own execution.
-        match self.pairs_hint {
-            None => self.progress_inner(t, clock, buf, scratch, budget),
+        match self.plan.pairs_hint {
+            None => self.progress_inner(t, clock, buf, budget),
             Some(pairs) => {
                 let saved = t.concurrency_hint();
                 t.set_concurrency_hint(pairs);
-                let out = self.progress_inner(t, clock, buf, scratch, budget);
+                let out = self.progress_inner(t, clock, buf, budget);
                 t.set_concurrency_hint(saved);
                 out
             }
@@ -271,35 +361,31 @@ impl Schedule {
         t: &mut dyn Transport,
         clock: &mut SimClock,
         buf: &mut [u8],
-        scratch: &mut [u8],
         budget: usize,
     ) -> Result<StepOutcome> {
         let budget = if budget == 0 { usize::MAX } else { budget };
+        let plan = Rc::clone(&self.plan);
+        let ctx = plan.ctx;
         let mut completed = 0usize;
         while completed < budget {
-            let Some(op) = self.ops.get(self.pos) else {
+            let Some(op) = plan.ops.get(self.pos) else {
                 break;
             };
             match *op {
                 SchedOp::Send {
                     peer,
-                    tag,
+                    tag_off,
                     loc,
                     start,
                     end,
                 } => {
-                    let data: &[u8] = &arena(loc, buf, scratch)[start..end];
+                    let tag = bind_coll_tag(tag_off, self.seq);
+                    let data: &[u8] = &arena(loc, buf, &mut self.scratch)[start..end];
                     let mut backoff = crate::spin::SpinWait::new();
                     let poison = t.poison().clone();
                     loop {
-                        if t.try_send_progress(
-                            clock,
-                            peer,
-                            self.ctx,
-                            tag,
-                            data,
-                            &mut self.send_cursor,
-                        )? {
+                        if t.try_send_progress(clock, peer, ctx, tag, data, &mut self.send_cursor)?
+                        {
                             break;
                         }
                         // Destination ring full. Drain our own inbound rings
@@ -324,7 +410,7 @@ impl Schedule {
                         // peer would interleave chunks and corrupt
                         // reassembly. Spin (poison-aware, still draining)
                         // until the receiver frees cells; same liveness class
-                        // as the blocking sends these schedules replaced.
+                        // as the blocking sends these plans replaced.
                         if drained == 0 {
                             backoff.wait(&poison)?;
                         } else {
@@ -335,13 +421,14 @@ impl Schedule {
                 }
                 SchedOp::Recv {
                     peer,
-                    tag,
+                    tag_off,
                     loc,
                     start,
                     end,
                 } => {
-                    let dst = &mut arena(loc, buf, scratch)[start..end];
-                    match t.try_recv_into(clock, self.ctx, Some(peer), Some(tag), dst)? {
+                    let tag = bind_coll_tag(tag_off, self.seq);
+                    let dst = &mut arena(loc, buf, &mut self.scratch)[start..end];
+                    match t.try_recv_into(clock, ctx, Some(peer), Some(tag), dst)? {
                         Some(status) => {
                             if status.len != end - start {
                                 return Err(MpiError::InvalidCollective(format!(
@@ -372,17 +459,18 @@ impl Schedule {
                     src_start,
                     len,
                 } => {
-                    let (op_kind, f) = self.fold.ok_or_else(|| {
+                    let (op_kind, f) = plan.fold.ok_or_else(|| {
                         MpiError::InvalidCollective(
-                            "schedule contains Fold ops but no reduction".into(),
+                            "plan contains Fold ops but no reduction".into(),
                         )
                     })?;
                     if dst_loc == src_loc {
-                        let a = arena(dst_loc, buf, scratch);
+                        let a = arena(dst_loc, buf, &mut self.scratch);
                         let (d, s) = disjoint_mut(a, dst_start, src_start, len)?;
                         f(op_kind, d, s);
                     } else {
-                        let (d, s) = cross_arena(dst_loc, buf, scratch, dst_start, src_start, len);
+                        let (d, s) =
+                            cross_arena(dst_loc, buf, &mut self.scratch, dst_start, src_start, len);
                         f(op_kind, d, s);
                     }
                 }
@@ -394,10 +482,11 @@ impl Schedule {
                     len,
                 } => {
                     if dst_loc == src_loc {
-                        arena(dst_loc, buf, scratch)
+                        arena(dst_loc, buf, &mut self.scratch)
                             .copy_within(src_start..src_start + len, dst_start);
                     } else {
-                        let (d, s) = cross_arena(dst_loc, buf, scratch, dst_start, src_start, len);
+                        let (d, s) =
+                            cross_arena(dst_loc, buf, &mut self.scratch, dst_start, src_start, len);
                         d.copy_from_slice(s);
                     }
                 }
@@ -411,7 +500,7 @@ impl Schedule {
         })
     }
 
-    /// Drive the schedule to completion with tiered backoff between pending
+    /// Drive the execution to completion with tiered backoff between pending
     /// probes — the blocking execution mode backing the blocking collective
     /// API. Aborts with [`MpiError::PeerDead`] if the universe is poisoned.
     pub fn run(
@@ -419,12 +508,11 @@ impl Schedule {
         t: &mut dyn Transport,
         clock: &mut SimClock,
         buf: &mut [u8],
-        scratch: &mut [u8],
     ) -> Result<()> {
         let poison = t.poison().clone();
         let mut backoff = crate::spin::SpinWait::new();
         loop {
-            let step = self.progress(t, clock, buf, scratch, 0)?;
+            let step = self.progress(t, clock, buf, 0)?;
             if step.done {
                 return Ok(());
             }
@@ -435,7 +523,7 @@ impl Schedule {
         }
     }
 
-    /// Execute a schedule that consists solely of `Send` ops reading from the
+    /// Execute a plan that consists solely of `Send` ops reading from the
     /// primary arena, against an *immutable* buffer. Used by blocking
     /// collectives on their pure-sender roles (gather non-root, scatter root),
     /// whose user buffers are `&[T]`: the op list is identical to what the
@@ -446,18 +534,22 @@ impl Schedule {
         clock: &mut SimClock,
         buf: &[u8],
     ) -> Result<()> {
-        while let Some(op) = self.ops.get(self.pos) {
+        let plan = Rc::clone(&self.plan);
+        while let Some(op) = plan.ops.get(self.pos) {
             match *op {
                 SchedOp::Send {
                     peer,
-                    tag,
+                    tag_off,
                     loc: Loc::Buf,
                     start,
                     end,
-                } => t.send(clock, peer, self.ctx, tag, &buf[start..end])?,
+                } => {
+                    let tag = bind_coll_tag(tag_off, self.seq);
+                    t.send(clock, peer, plan.ctx, tag, &buf[start..end])?
+                }
                 ref other => {
                     return Err(MpiError::InvalidCollective(format!(
-                        "send-only schedule contains a non-send op: {other:?}"
+                        "send-only plan contains a non-send op: {other:?}"
                     )))
                 }
             }
@@ -466,12 +558,12 @@ impl Schedule {
         Ok(())
     }
 
-    /// The result bytes of a completed schedule.
-    pub(crate) fn result_slice<'a>(&self, buf: &'a [u8], scratch: &'a [u8]) -> &'a [u8] {
-        let (lo, hi) = self.result_range;
-        match self.result_loc {
+    /// The result bytes of a completed execution over `buf`.
+    pub(crate) fn result_slice<'a>(&'a self, buf: &'a [u8]) -> &'a [u8] {
+        let (lo, hi) = self.plan.result_range;
+        match self.plan.result_loc {
             Loc::Buf => &buf[lo..hi],
-            Loc::Scratch => &scratch[lo..hi],
+            Loc::Scratch => &self.scratch[lo..hi],
         }
     }
 }
@@ -527,54 +619,77 @@ fn disjoint_mut(
     }
 }
 
-/// The owned execution state of one nonblocking collective: the schedule plus
-/// the buffers it runs over. Lives inside a [`crate::request::Request`] until
-/// completion delivers the result bytes.
+/// The owned execution state of one nonblocking (or persistent) collective:
+/// the bound execution plus the primary buffer it runs over. Lives inside a
+/// [`crate::request::Request`]; a one-shot completion consumes it via
+/// [`CollState::finish`], a persistent completion keeps it for the next
+/// `start`.
 #[derive(Debug)]
 pub struct CollState {
-    /// The compiled schedule.
-    pub sched: Schedule,
+    /// The bound execution (plan handle + cursor + seq + scratch).
+    pub exec: Execution,
     /// Primary arena (owned copy of the user payload).
     pub buf: Vec<u8>,
-    /// Scratch arena.
-    pub scratch: Vec<u8>,
     /// This rank's local rank (stamped into the completion status).
     pub rank: Rank,
 }
 
 impl CollState {
-    /// Package a schedule with an owned payload; scratch is allocated from
-    /// the schedule's declared requirement.
-    pub fn new(sched: Schedule, buf: Vec<u8>, rank: Rank) -> Self {
-        let scratch = vec![0u8; sched.scratch_len];
-        CollState {
-            sched,
-            buf,
-            scratch,
-            rank,
-        }
+    /// Package a bound execution with an owned payload.
+    pub fn new(exec: Execution, buf: Vec<u8>, rank: Rank) -> Self {
+        CollState { exec, buf, rank }
     }
 
-    /// One incremental progress attempt (see [`Schedule::progress`]).
+    /// One incremental progress attempt (see [`Execution::progress`]).
     pub fn progress(
         &mut self,
         t: &mut dyn Transport,
         clock: &mut SimClock,
         budget: usize,
     ) -> Result<StepOutcome> {
-        self.sched
-            .progress(t, clock, &mut self.buf, &mut self.scratch, budget)
+        self.exec.progress(t, clock, &mut self.buf, budget)
     }
 
-    /// Extract the completion status and result bytes of a finished schedule.
+    /// Completion status of a finished execution (without consuming the
+    /// state — the persistent path, which keeps buffers for the next start).
+    pub fn completion_status(&self) -> Status {
+        debug_assert!(self.exec.is_complete());
+        Status::new(self.rank, COLL_TAG_BASE, self.exec.plan().result_len())
+    }
+
+    /// The result bytes of a finished execution (borrowed — the persistent
+    /// read path).
+    pub fn result_bytes(&self) -> &[u8] {
+        debug_assert!(self.exec.is_complete());
+        self.exec.result_slice(&self.buf)
+    }
+
+    /// Overwrite this rank's contribution region of the primary buffer (the
+    /// persistent rebind between starts). `bytes` must match the plan's
+    /// declared input length exactly.
+    pub fn write_input(&mut self, bytes: &[u8]) -> Result<()> {
+        let (lo, hi) = self.exec.plan().input_range;
+        if bytes.len() != hi - lo {
+            return Err(MpiError::InvalidCollective(format!(
+                "persistent input of {} bytes does not match the bound contribution of {}",
+                bytes.len(),
+                hi - lo
+            )));
+        }
+        self.buf[lo..hi].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Extract the completion status and result bytes of a finished one-shot
+    /// execution.
     pub fn finish(mut self) -> (Status, Vec<u8>) {
-        debug_assert!(self.sched.is_complete());
-        let (lo, hi) = self.sched.result_range;
-        let data = match self.sched.result_loc {
+        debug_assert!(self.exec.is_complete());
+        let (lo, hi) = self.exec.plan().result_range;
+        let data = match self.exec.plan().result_loc {
             // Full-buffer results hand the allocation over without a copy.
             Loc::Buf if lo == 0 && hi == self.buf.len() => std::mem::take(&mut self.buf),
             Loc::Buf => self.buf[lo..hi].to_vec(),
-            Loc::Scratch => self.scratch[lo..hi].to_vec(),
+            Loc::Scratch => self.exec.result_slice(&self.buf).to_vec(),
         };
         (Status::new(self.rank, COLL_TAG_BASE, data.len()), data)
     }
@@ -586,10 +701,13 @@ impl CollState {
 /// ran during user compute, ops serviced inside a terminal `wait` did not.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ProgressStats {
-    /// Nonblocking collectives started (`i*` calls).
+    /// Nonblocking collectives started (`i*` calls and persistent starts).
     pub colls_started: u64,
     /// Nonblocking collectives completed.
     pub colls_completed: u64,
+    /// Persistent-request starts (`start`/`startall`), a subset of
+    /// `colls_started`.
+    pub persistent_starts: u64,
     /// Progress polls from `test`/`test_any`/`test_all` (user-compute
     /// context).
     pub test_polls: u64,
@@ -633,35 +751,74 @@ mod tests {
     }
 
     #[test]
-    fn schedule_bookkeeping() {
-        let sched = Schedule::new(
+    fn plan_bookkeeping() {
+        let plan = CollPlan::new(
             Vec::new(),
             3,
             Some((ReduceOp::Sum, fold_bytes::<u64> as FoldFn)),
             Loc::Scratch,
             (8, 16),
+            (0, 4),
             16,
             "test/local",
         );
-        assert!(sched.is_complete());
-        assert!(sched.is_empty());
-        assert_eq!(sched.len(), 0);
-        assert_eq!(sched.context_id(), 3);
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.context_id(), 3);
+        assert_eq!(plan.scratch_len(), 16);
+        assert_eq!(plan.result_len(), 8);
+        assert_eq!(plan.input_len(), 4);
+        let mut exec = Execution::new(Rc::new(plan), 7);
+        assert!(exec.is_complete());
+        assert_eq!(exec.seq(), 7);
+        exec.scratch.copy_from_slice(&(0..16).collect::<Vec<u8>>());
         let buf = vec![0u8; 4];
-        let scratch: Vec<u8> = (0..16).collect();
-        assert_eq!(sched.result_slice(&buf, &scratch), &scratch[8..16]);
+        assert_eq!(exec.result_slice(&buf), &(8..16).collect::<Vec<u8>>()[..]);
+        // Restart rewinds the cursor and swaps the live sequence number.
+        exec.restart(9);
+        assert_eq!(exec.seq(), 9);
+        assert!(exec.is_complete()); // empty plan
     }
 
     #[test]
     fn coll_state_full_buffer_result_moves_allocation() {
-        let sched = Schedule::new(Vec::new(), 0, None, Loc::Buf, (0, 8), 0, "test/local");
+        let plan = CollPlan::new(
+            Vec::new(),
+            0,
+            None,
+            Loc::Buf,
+            (0, 8),
+            (0, 8),
+            0,
+            "test/local",
+        );
         let buf: Vec<u8> = (0..8).collect();
         let ptr = buf.as_ptr();
-        let state = CollState::new(sched, buf, 2);
+        let state = CollState::new(Execution::new(Rc::new(plan), 0), buf, 2);
+        assert_eq!(state.completion_status().len, 8);
+        assert_eq!(state.result_bytes(), (0..8).collect::<Vec<u8>>());
         let (status, data) = state.finish();
         assert_eq!(status.source, 2);
         assert_eq!(status.len, 8);
         assert_eq!(data.as_ptr(), ptr);
         assert_eq!(data, (0..8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn coll_state_write_input_targets_the_contribution_region() {
+        let plan = CollPlan::new(
+            Vec::new(),
+            0,
+            None,
+            Loc::Buf,
+            (0, 8),
+            (4, 8),
+            0,
+            "test/local",
+        );
+        let mut state = CollState::new(Execution::new(Rc::new(plan), 0), vec![0u8; 8], 0);
+        assert!(state.write_input(&[1, 2, 3]).is_err());
+        state.write_input(&[9, 9, 9, 9]).unwrap();
+        assert_eq!(state.buf, vec![0, 0, 0, 0, 9, 9, 9, 9]);
     }
 }

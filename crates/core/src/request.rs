@@ -11,11 +11,23 @@
 //! caller-provided buffer).
 //!
 //! **Nonblocking collectives** produce the same `Request` type: the request
-//! carries a resumable [`CollState`] (the collective's compiled schedule plus
+//! carries a resumable [`CollState`] (the collective's bound execution plus
 //! its owned buffers) that every `wait`/`test`-family call advances through
 //! the progress engine. P2p and collective requests therefore mix freely in
 //! `wait_any`/`test_all` slices; a completed collective delivers its result
 //! bytes through [`Request::take_data`] / [`Request::take_values`].
+//!
+//! **Persistent collectives** (`MPI_Bcast_init`-family, MPI-4) are requests
+//! whose `CollState` survives completion: created **inactive** by the
+//! `*_init` methods on [`crate::comm::Comm`], activated by
+//! `Comm::start`/`Comm::startall` (which re-binds the *cached* plan under a
+//! fresh collective sequence number — no re-planning), completed through the
+//! same `wait`/`test` machinery, and then **restartable**: the next `start`
+//! reuses the plan, the buffers and the scratch arena. Between starts the
+//! bound contribution is rewritten with [`Request::write_input`] and a
+//! completed result is read (without consuming the request) with
+//! [`Request::read_result`]. Lifecycle: inactive → started → complete →
+//! (start again | `release`).
 //!
 //! A request must be completed on the communicator that created it; completing
 //! it elsewhere fails with [`MpiError::InvalidCommunicator`]
@@ -34,10 +46,16 @@ pub enum RequestState {
     SendComplete,
     /// Receive posted, not yet matched.
     RecvPending,
-    /// Receive matched; payload ready to be taken.
+    /// Receive matched; payload ready to be taken. A completed *persistent*
+    /// request also sits here — restartable via `Comm::start`.
     RecvComplete,
     /// The payload has been taken; the request is spent.
     Consumed,
+    /// A persistent request that has not been started (or whose previous
+    /// completion was retired without a restart is `RecvComplete`, not this).
+    /// `wait`/`test`-family calls treat an inactive request like a consumed
+    /// one; `Comm::start` activates it.
+    Inactive,
 }
 
 /// A non-blocking operation handle.
@@ -55,11 +73,24 @@ pub struct Request {
     /// allocation-free `recv_into` path instead of allocating a fresh `Vec`.
     pub(crate) buffer: Option<Vec<u8>>,
     /// Execution state of a nonblocking collective (`i*` operations): the
-    /// resumable schedule plus its owned buffers, advanced by the progress
-    /// engine from `wait`/`test`.
+    /// bound execution plus its owned buffers, advanced by the progress
+    /// engine from `wait`/`test`. Persistent requests keep it across
+    /// completions.
     pub(crate) coll: Option<Box<CollState>>,
+    /// Start-time accounting of a persistent collective (`Some` marks the
+    /// request as persistent).
+    pub(crate) persistent: Option<PersistentMeta>,
     status: Option<Status>,
     data: Option<Vec<u8>>,
+}
+
+/// What `Comm::start` must account each time a persistent request starts.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PersistentMeta {
+    /// The collective operation (for the per-communicator counters).
+    pub op: crate::comm::CollOp,
+    /// Payload bytes this rank contributes per start.
+    pub payload_bytes: u64,
 }
 
 impl Request {
@@ -72,6 +103,7 @@ impl Request {
             tag: None,
             buffer: None,
             coll: None,
+            persistent: None,
             status: Some(status),
             data: None,
         }
@@ -87,6 +119,7 @@ impl Request {
             tag,
             buffer: None,
             coll: None,
+            persistent: None,
             status: None,
             data: None,
         }
@@ -110,6 +143,7 @@ impl Request {
             tag,
             buffer: Some(buf),
             coll: None,
+            persistent: None,
             status: None,
             data: None,
         }
@@ -126,6 +160,25 @@ impl Request {
             tag: None,
             buffer: None,
             coll: Some(Box::new(state)),
+            persistent: None,
+            status: None,
+            data: None,
+        }
+    }
+
+    /// An **inactive persistent** collective on communicator `ctx` (the
+    /// `MPI_Bcast_init`-family result): `state` holds the cached plan bound
+    /// to an idle execution plus the owned buffers; `Comm::start` activates
+    /// it, and completion leaves it restartable instead of consuming it.
+    pub(crate) fn coll_persistent(ctx: CtxId, state: CollState, meta: PersistentMeta) -> Self {
+        Request {
+            state: RequestState::Inactive,
+            ctx,
+            src: None,
+            tag: None,
+            buffer: None,
+            coll: Some(Box::new(state)),
+            persistent: Some(meta),
             status: None,
             data: None,
         }
@@ -136,10 +189,73 @@ impl Request {
         self.coll.is_some()
     }
 
+    /// Whether this is a persistent collective request (`*_init` family).
+    pub fn is_persistent(&self) -> bool {
+        self.persistent.is_some()
+    }
+
     /// Label of the collective algorithm this request executes (`None` for
-    /// p2p requests or after completion).
+    /// p2p requests or after completion; persistent requests keep it for
+    /// life).
     pub fn coll_algorithm(&self) -> Option<&'static str> {
-        self.coll.as_ref().map(|c| c.sched.label)
+        self.coll.as_ref().map(|c| c.exec.plan().label)
+    }
+
+    /// Activate (or re-activate) a persistent request under a fresh
+    /// collective sequence number (comm-internal; [`crate::comm::Comm::start`]
+    /// is the public entry).
+    pub(crate) fn activate(&mut self, seq: u32) {
+        debug_assert!(self.persistent.is_some());
+        let state = self.coll.as_mut().expect("persistent request has state");
+        state.exec.restart(seq);
+        self.state = RequestState::RecvPending;
+        self.status = None;
+    }
+
+    /// Complete a persistent collective *in place*: record the status but
+    /// keep the execution state and buffers so the request can be started
+    /// again (comm-internal).
+    pub(crate) fn fulfill_in_place(&mut self, status: Status) {
+        debug_assert_eq!(self.state, RequestState::RecvPending);
+        debug_assert!(self.persistent.is_some());
+        self.state = RequestState::RecvComplete;
+        self.status = Some(status);
+    }
+
+    /// Overwrite the bound contribution region of a persistent request's
+    /// buffer before the next `start` (the MPI idiom of rewriting the send
+    /// buffer between starts of a persistent collective). The value length
+    /// must match the bound contribution exactly. Rejected while the request
+    /// is in flight.
+    pub fn write_input<T: Pod>(&mut self, values: &[T]) -> Result<()> {
+        if self.persistent.is_none() {
+            return Err(MpiError::InvalidCollective(
+                "write_input requires a persistent collective request".into(),
+            ));
+        }
+        if self.state == RequestState::RecvPending {
+            return Err(MpiError::InvalidCollective(
+                "write_input on a started (in-flight) persistent request".into(),
+            ));
+        }
+        let state = self.coll.as_mut().ok_or(MpiError::StaleRequest)?;
+        state.write_input(crate::pod::bytes_of(values))
+    }
+
+    /// Read the result of a *completed* persistent request as `T` values
+    /// without consuming it (the request stays restartable). Panics if the
+    /// byte length is not a multiple of the element size.
+    pub fn read_result<T: Pod>(&self) -> Result<Vec<T>> {
+        if self.persistent.is_none() {
+            return Err(MpiError::InvalidCollective(
+                "read_result requires a persistent collective request".into(),
+            ));
+        }
+        if self.state != RequestState::RecvComplete {
+            return Err(MpiError::StaleRequest);
+        }
+        let state = self.coll.as_ref().ok_or(MpiError::StaleRequest)?;
+        Ok(vec_from_bytes(state.result_bytes()))
     }
 
     /// Whether this is a buffered receive (posted with a caller buffer).
@@ -196,6 +312,7 @@ impl Request {
         self.state = RequestState::Consumed;
         self.buffer = None;
         self.coll = None;
+        self.persistent = None;
         self.data = None;
     }
 
@@ -208,7 +325,17 @@ impl Request {
     }
 
     /// Take the received payload out of a completed receive request.
+    /// Persistent requests deliver results through [`Request::read_result`]
+    /// instead (their buffers must survive for the next start), so this
+    /// errors on them without consuming anything.
     pub fn take_data(&mut self) -> Result<Vec<u8>> {
+        if self.persistent.is_some() {
+            return Err(MpiError::InvalidCollective(
+                "persistent requests deliver results via read_result (take_data would \
+                 consume the restartable buffers)"
+                    .into(),
+            ));
+        }
         match self.state {
             RequestState::RecvComplete => {
                 self.state = RequestState::Consumed;
@@ -223,13 +350,18 @@ impl Request {
     /// completed *send* requests in a `wait_any` loop (they carry no payload
     /// for `take_data` to consume, and `wait_any` keeps returning a completed
     /// request until it is consumed); harmless on an already-consumed
-    /// request. Errors with [`MpiError::StaleRequest`] if the request is
-    /// still pending.
+    /// request. For persistent requests this is the retirement path
+    /// (`MPI_Request_free`): the cached plan handle, buffers and scratch are
+    /// dropped and the request cannot be started again. Errors with
+    /// [`MpiError::StaleRequest`] if the request is still pending (in
+    /// flight).
     pub fn release(&mut self) -> Result<()> {
         match self.state {
-            RequestState::SendComplete | RequestState::RecvComplete => {
+            RequestState::SendComplete | RequestState::RecvComplete | RequestState::Inactive => {
                 self.state = RequestState::Consumed;
                 self.data = None;
+                self.coll = None;
+                self.persistent = None;
                 Ok(())
             }
             RequestState::Consumed => Ok(()),

@@ -15,6 +15,7 @@ use cxl_shm::{ArenaConfig, ArenaLayout, CxlShmArena, CxlView, DaxDevice, HostCac
 use crate::comm::{Comm, CommCollStats};
 use crate::config::{ProgressTuning, TransportConfig, UniverseConfig};
 use crate::error::MpiError;
+use crate::plan::PlanCacheStats;
 use crate::progress::ProgressStats;
 use crate::spin::PoisonFlag;
 use crate::topology::HostTopology;
@@ -71,6 +72,10 @@ pub struct RankReport {
     /// and the poll/op split between `test`-family calls (progress serviced
     /// during user compute — the overlap metric) and blocking waits.
     pub progress: ProgressStats,
+    /// Collective plan-cache counters (hits, misses, evictions, resident
+    /// plans — aggregated across the rank's communicators): how often
+    /// repeated collectives skipped plan construction entirely.
+    pub plan_cache: PlanCacheStats,
 }
 
 /// The universe: builds the simulated platform and runs one closure per rank.
@@ -270,6 +275,7 @@ impl Universe {
             comm_colls: comm.coll_stats_snapshot(),
             coll_algos: comm.algo_counts_snapshot(),
             progress: comm.progress_stats(),
+            plan_cache: comm.plan_cache_stats(),
         };
         Ok((value, report))
     }

@@ -89,6 +89,7 @@ impl ProxyApp for CgProxy {
             serial_latency_rounds: allreduce_rounds,
             local_latency_rounds: 0,
             overlap: 0.0,
+            sw_overhead_ns: 0.0,
             repeat: iterations,
         }]
     }

@@ -88,6 +88,7 @@ impl ProxyApp for MiniAmrProxy {
             serial_latency_rounds: halo_rounds,
             local_latency_rounds: 0,
             overlap: 0.0,
+            sw_overhead_ns: 0.0,
             repeat: self.timesteps,
         }]
     }

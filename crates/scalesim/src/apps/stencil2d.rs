@@ -38,7 +38,20 @@ pub struct Stencil2dProxy {
     /// leader tree across nodes) instead of the flat row+column tree whose
     /// every round pays inter-node latency.
     pub hierarchical_reduction: bool,
+    /// Whether the per-step collectives are the MPI-4 persistent formulation
+    /// (`allreduce_init` once, `start` per step): the per-call planning /
+    /// request-setup software overhead drops from the one-shot cost to the
+    /// start cost.
+    pub persistent_collectives: bool,
 }
+
+/// Per-step software overhead of the one-shot residual reduction (plan lookup
+/// or build plus request setup) — the cold/cached `iallreduce` start-call
+/// costs measured by `BENCH_collectives.json`'s `persistent` sweep.
+const ONE_SHOT_COLL_SW_NS: f64 = 700.0;
+/// Per-step software overhead of a persistent `start` (rewind + seq draw;
+/// same bench sweep).
+const PERSISTENT_COLL_SW_NS: f64 = 130.0;
 
 impl Stencil2dProxy {
     /// A production-size configuration (16k × 16k cells), blocking halos.
@@ -49,6 +62,7 @@ impl Stencil2dProxy {
             flops_per_cell: 8.0,
             comm_overlap: 0.0,
             hierarchical_reduction: false,
+            persistent_collectives: false,
         }
     }
 
@@ -60,6 +74,7 @@ impl Stencil2dProxy {
             flops_per_cell: 8.0,
             comm_overlap: 0.0,
             hierarchical_reduction: false,
+            persistent_collectives: false,
         }
     }
 
@@ -85,6 +100,17 @@ impl Stencil2dProxy {
         }
     }
 
+    /// The persistent formulation (MPI-4 `allreduce_init` + `start` per
+    /// step) on top of the overlapped one: the per-step collective planning
+    /// and request-setup software overhead drops to the persistent start
+    /// cost.
+    pub fn persistent() -> Self {
+        Stencil2dProxy {
+            persistent_collectives: true,
+            ..Self::overlapped()
+        }
+    }
+
     /// Same proxy with a specific overlap fraction.
     pub fn with_overlap(mut self, overlap: f64) -> Self {
         self.comm_overlap = overlap.clamp(0.0, 1.0);
@@ -105,7 +131,9 @@ impl Stencil2dProxy {
 
 impl ProxyApp for Stencil2dProxy {
     fn name(&self) -> &'static str {
-        if self.hierarchical_reduction {
+        if self.persistent_collectives {
+            "Stencil2D-persist"
+        } else if self.hierarchical_reduction {
             "Stencil2D-hier"
         } else {
             "Stencil2D"
@@ -180,6 +208,11 @@ impl ProxyApp for Stencil2dProxy {
             serial_latency_rounds,
             local_latency_rounds,
             overlap: self.comm_overlap,
+            sw_overhead_ns: if self.persistent_collectives {
+                PERSISTENT_COLL_SW_NS
+            } else {
+                ONE_SHOT_COLL_SW_NS
+            },
             repeat: self.timesteps,
         }]
     }
@@ -288,6 +321,7 @@ mod tests {
             serial_latency_rounds: 0,
             local_latency_rounds: 0,
             overlap: 1.0,
+            sw_overhead_ns: 0.0,
             repeat: 1,
         };
         let sim = Simulator::new(NetworkParams::for_transport(TransportClass::CxlShm), 2, 8);
@@ -329,6 +363,28 @@ mod tests {
                 assert!(hier.total_s < flat.total_s);
             }
         }
+    }
+
+    #[test]
+    fn persistent_variant_trims_software_overhead() {
+        // Persistent collectives cannot beat physics — the wire time is
+        // identical — but the per-step planning/setup software overhead
+        // shrinks from the one-shot cost to the start cost, and overlap
+        // cannot hide either (it runs before anything is posted).
+        let params = NetworkParams::for_transport(TransportClass::CxlShm);
+        let sim = Simulator::new(params, 16, 8);
+        let one_shot = sim.run(&Stencil2dProxy::overlapped().trace(16, 8, params.gflops_per_rank));
+        let persistent =
+            sim.run(&Stencil2dProxy::persistent().trace(16, 8, params.gflops_per_rank));
+        assert!(persistent.comm_s < one_shot.comm_s);
+        let saved_s = one_shot.comm_s - persistent.comm_s;
+        let expect_s = (ONE_SHOT_COLL_SW_NS - PERSISTENT_COLL_SW_NS)
+            * Stencil2dProxy::overlapped().timesteps as f64
+            / 1e9;
+        assert!(
+            (saved_s - expect_s).abs() < 1e-12,
+            "{saved_s} vs {expect_s}"
+        );
     }
 
     #[test]

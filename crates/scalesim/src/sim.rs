@@ -38,6 +38,14 @@ pub struct Superstep {
     /// `isend`s before computing and complete them afterwards: the hidden
     /// portion is bounded by the compute time actually available.
     pub overlap: f64,
+    /// Per-occurrence *software* overhead on the critical path: collective
+    /// plan construction, request setup — work the calling thread performs
+    /// before anything is posted, so overlap can never hide it. Plan-cached
+    /// and persistent-collective formulations drive it toward zero (the
+    /// library's `BENCH_collectives.json` `plan_build`/`persistent` sweeps
+    /// measure ~30–700 ns per one-shot collective call vs ~60–200 ns per
+    /// persistent start).
+    pub sw_overhead_ns: f64,
     /// How many times this superstep repeats back-to-back.
     pub repeat: usize,
 }
@@ -51,6 +59,7 @@ impl Superstep {
             serial_latency_rounds: 0,
             local_latency_rounds: 0,
             overlap: 0.0,
+            sw_overhead_ns: 0.0,
             repeat,
         }
     }
@@ -151,7 +160,9 @@ impl Simulator {
         // up to `overlap · comm` hides behind compute (never more than the
         // compute that exists to hide it in).
         let hidden = (comm_ns * step.overlap.clamp(0.0, 1.0)).min(step.compute_ns);
-        let exposed = comm_ns - hidden;
+        // Software overhead (planning, request setup) runs before anything is
+        // posted: it is exposed no matter how much overlap the exchange has.
+        let exposed = comm_ns - hidden + step.sw_overhead_ns;
         (step.compute_ns + exposed, exposed)
     }
 
@@ -205,6 +216,7 @@ mod tests {
             serial_latency_rounds: 0,
             local_latency_rounds: 0,
             overlap: 0.0,
+            sw_overhead_ns: 0.0,
             repeat: 10,
         };
         let out = s.run(&[step]);
@@ -226,6 +238,7 @@ mod tests {
             serial_latency_rounds: 0,
             local_latency_rounds: 0,
             overlap: 0.0,
+            sw_overhead_ns: 0.0,
             repeat: 1,
         };
         let inter = Superstep {
@@ -238,6 +251,7 @@ mod tests {
             serial_latency_rounds: 0,
             local_latency_rounds: 0,
             overlap: 0.0,
+            sw_overhead_ns: 0.0,
             repeat: 1,
         };
         let (t_intra, _) = s.step_time(&intra);
@@ -258,6 +272,7 @@ mod tests {
             serial_latency_rounds: 0,
             local_latency_rounds: 0,
             overlap: 0.0,
+            sw_overhead_ns: 0.0,
             repeat: 1,
         };
         let many: Vec<Message> = (0..8)
@@ -273,6 +288,7 @@ mod tests {
             serial_latency_rounds: 0,
             local_latency_rounds: 0,
             overlap: 0.0,
+            sw_overhead_ns: 0.0,
             repeat: 1,
         };
         let (t_one, _) = s.step_time(&one);
@@ -292,6 +308,7 @@ mod tests {
             serial_latency_rounds: 0,
             local_latency_rounds: 0,
             overlap: 0.0,
+            sw_overhead_ns: 0.0,
             repeat: 100,
         };
         let cxl = Simulator::new(NetworkParams::for_transport(TransportClass::CxlShm), 2, 8)

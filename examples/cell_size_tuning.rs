@@ -3,13 +3,18 @@
 //! sizes, showing why cMPI raises the default 16 KB cell to 64 KB.
 //!
 //! Run with: `cargo run --release --example cell_size_tuning`
+//! (set `CMPI_RANKS` to change the process count; default 8)
 
 use cmpi::mpi::{CxlShmTransportConfig, TransportConfig, UniverseConfig};
 use cmpi::omb::two_sided_bandwidth;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let message_size = 256 * 1024; // a message large enough to need chunking
-    let processes = 8;
+    let processes = std::env::var("CMPI_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(8);
     println!(
         "Two-sided CXL-SHM bandwidth for {} KB messages, {processes} processes:\n",
         message_size / 1024

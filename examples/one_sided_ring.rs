@@ -3,11 +3,16 @@
 //! styles Section 3.4 optimises for CXL SHM.
 //!
 //! Run with: `cargo run --release --example one_sided_ring`
+//! (set `CMPI_RANKS` to change the rank count; default 6)
 
 use cmpi::mpi::{Comm, ReduceOp, Universe, UniverseConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let ranks = 6;
+    let ranks = std::env::var("CMPI_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(6);
     let results = Universe::run(UniverseConfig::cxl(ranks), |comm: &mut Comm| {
         let me = comm.rank();
         let n = comm.size();

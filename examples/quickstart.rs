@@ -1,26 +1,37 @@
 //! Quickstart: bring up a cMPI universe over (simulated) CXL memory sharing,
-//! exchange a few messages, run a collective, and read the virtual clocks.
+//! exchange a few messages, run one-shot and persistent collectives, and read
+//! the virtual clocks.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (set `CMPI_RANKS` to change the rank count; default 4)
 
 use cmpi::mpi::{Comm, ReduceOp, Universe, UniverseConfig};
 
+fn ranks_from_env(default: usize) -> usize {
+    std::env::var("CMPI_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Four MPI ranks split over two simulated hosts, communicating through
-    // the CXL SHM transport (the cMPI data path).
-    let config = UniverseConfig::cxl(4);
+    // MPI ranks split over two simulated hosts, communicating through the
+    // CXL SHM transport (the cMPI data path).
+    let config = UniverseConfig::cxl(ranks_from_env(4));
     let results = Universe::run(config, |comm: &mut Comm| {
         let me = comm.rank();
         let n = comm.size();
 
-        // Two-sided: a ring of greetings.
+        // Two-sided, typed: a ring exchange of (rank, host) pairs — Pod
+        // slices travel zero-copy, no manual byte encoding.
         let next = (me + 1) % n;
         let prev = (me + n - 1) % n;
-        let greeting = format!("hello from rank {me} on host {}", comm.host());
-        let (_, received) = comm.sendrecv(next, 0, greeting.as_bytes(), prev, 0)?;
+        let card = [me as u64, comm.host() as u64];
+        let (_, received) = comm.sendrecv_values::<u64>(next, 0, &card, prev, 0)?;
         println!(
-            "rank {me}: received '{}'",
-            String::from_utf8_lossy(&received)
+            "rank {me}: received greeting from rank {} on host {}",
+            received[0], received[1]
         );
 
         // Collective: a global sum over the cMPI point-to-point path
@@ -28,6 +39,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut value = [(me + 1) as f64];
         comm.allreduce(&mut value, ReduceOp::Sum)?;
         assert_eq!(value[0], (n * (n + 1)) as f64 / 2.0);
+
+        // Persistent collectives (MPI-4): plan once, start many times. Each
+        // `start` re-binds the cached plan under a fresh sequence number —
+        // the per-call planning work is gone from the iteration loop.
+        let mut residual = comm.allreduce_init(&[0.0f64], ReduceOp::Max)?;
+        for step in 0..3 {
+            residual.write_input(&[(me * (step + 1)) as f64])?;
+            comm.start(&mut residual)?;
+            comm.wait(&mut residual)?;
+            let r: Vec<f64> = residual.read_result()?;
+            assert_eq!(r[0], ((n - 1) * (step + 1)) as f64);
+        }
+        residual.release()?;
 
         // Sub-communicators: split into host-local groups and reduce within
         // each — every communicator gets an isolated tag space.
@@ -62,11 +86,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-rank simulated time:");
     for (clock_ns, report) in &results {
         println!(
-            "  rank {} (host {}): {:.1} us simulated, {} msgs sent",
+            "  rank {} (host {}): {:.1} us simulated, {} msgs sent, plan cache {} hits / {} misses",
             report.rank,
             report.host,
             clock_ns / 1000.0,
-            report.stats.msgs_sent
+            report.stats.msgs_sent,
+            report.plan_cache.hits,
+            report.plan_cache.misses,
         );
     }
     Ok(())

@@ -12,6 +12,7 @@ fn main() {
     study.run_app(&MiniAmrProxy::paper());
     study.run_app(&Stencil2dProxy::large());
     study.run_app(&Stencil2dProxy::hierarchical());
+    study.run_app(&Stencil2dProxy::persistent());
     print!("{}", study.render());
     println!(
         "(CG: communication is a small share of runtime, so all transports finish close\n\

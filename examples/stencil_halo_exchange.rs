@@ -13,14 +13,24 @@
 //! the factors the paper reports for small messages.
 //!
 //! Run with: `cargo run --release --example stencil_halo_exchange`
+//! (set `CMPI_RANKS` to change the rank count; the process grid adapts)
 
 use cmpi::fabric::cost::TcpNic;
 use cmpi::mpi::datatype::{Datatype, ElemKind};
 use cmpi::mpi::{pod, Comm, ReduceOp, Universe, UniverseConfig};
 
-/// Process grid: PX columns × PY rows = 8 ranks.
-const PX: usize = 4;
-const PY: usize = 2;
+/// Process grid: px columns × py rows, chosen from the rank count (the
+/// squarest factorization, wider than tall).
+fn grid(ranks: usize) -> (usize, usize) {
+    let mut py = 1;
+    for d in 1..=ranks {
+        if ranks.is_multiple_of(d) && d * d <= ranks {
+            py = d;
+        }
+    }
+    (ranks / py, py)
+}
+
 /// Local tile (interior) size per rank.
 const NX: usize = 16;
 const NY: usize = 16;
@@ -34,11 +44,15 @@ fn idx(x: usize, y: usize) -> usize {
     y * ROW + x
 }
 
-fn run(config: UniverseConfig) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+fn run(
+    config: UniverseConfig,
+    grid_x: usize,
+    grid_y: usize,
+) -> Result<(f64, f64), Box<dyn std::error::Error>> {
     let label = config.transport.label();
-    let results = Universe::run(config, |world: &mut Comm| {
+    let results = Universe::run(config, move |world: &mut Comm| {
         let me = world.rank();
-        let (px, py) = (me % PX, me / PX);
+        let (px, py) = (me % grid_x, me / grid_x);
 
         // One communicator per grid row (east/west halos) and per grid column
         // (north/south halos). Ordering by the coordinate makes the local rank
@@ -47,10 +61,10 @@ fn run(config: UniverseConfig) -> Result<(f64, f64), Box<dyn std::error::Error>>
             .comm_split(py as i32, px as i32)?
             .expect("every rank belongs to a row");
         let mut col = world
-            .comm_split((PY + px) as i32, py as i32)?
+            .comm_split((grid_y + px) as i32, py as i32)?
             .expect("every rank belongs to a column");
-        assert_eq!((row.size(), row.rank()), (PX, px));
-        assert_eq!((col.size(), col.rank()), (PY, py));
+        assert_eq!((row.size(), row.rank()), (grid_x, px));
+        assert_eq!((col.size(), col.rank()), (grid_y, py));
 
         // Local tile with a one-cell ghost ring; a hot spike starts in the
         // north-west rank.
@@ -72,7 +86,7 @@ fn run(config: UniverseConfig) -> Result<(f64, f64), Box<dyn std::error::Error>>
 
             // East/west halo exchange inside the row communicator.
             let west = (px > 0).then(|| px - 1);
-            let east = (px + 1 < PX).then(|| px + 1);
+            let east = (px + 1 < grid_x).then(|| px + 1);
             for (neighbor, send_x, ghost_x, tag) in [
                 (east, NX, NX + 1, 1), // send east boundary, fill east ghost
                 (west, 1, 0, 2),       // send west boundary, fill west ghost
@@ -87,7 +101,7 @@ fn run(config: UniverseConfig) -> Result<(f64, f64), Box<dyn std::error::Error>>
             // North/south halo exchange inside the column communicator
             // (boundary rows are contiguous: zero-copy sends).
             let north = (py > 0).then(|| py - 1);
-            let south = (py + 1 < PY).then(|| py + 1);
+            let south = (py + 1 < grid_y).then(|| py + 1);
             for (neighbor, send_y, ghost_y, tag) in [
                 (south, NY, NY + 1, 4), // send south boundary, fill south ghost
                 (north, 1, 0, 5),       // send north boundary, fill north ghost
@@ -151,14 +165,19 @@ fn run(config: UniverseConfig) -> Result<(f64, f64), Box<dyn std::error::Error>>
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ranks = std::env::var("CMPI_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(8);
+    let (gx, gy) = grid(ranks);
     println!(
-        "2-D heat diffusion on a {PX}x{PY} process grid ({NX}x{NY} cells/rank, {STEPS} steps),\n\
+        "2-D heat diffusion on a {gx}x{gy} process grid ({NX}x{NY} cells/rank, {STEPS} steps),\n\
          halos exchanged over row/column communicators:\n"
     );
-    let ranks = PX * PY;
-    let (heat_cxl, comm_cxl) = run(UniverseConfig::cxl(ranks))?;
-    let (heat_mlx, comm_mlx) = run(UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx))?;
-    let (heat_eth, comm_eth) = run(UniverseConfig::tcp(ranks, TcpNic::StandardEthernet))?;
+    let (heat_cxl, comm_cxl) = run(UniverseConfig::cxl(ranks), gx, gy)?;
+    let (heat_mlx, comm_mlx) = run(UniverseConfig::tcp(ranks, TcpNic::MellanoxCx6Dx), gx, gy)?;
+    let (heat_eth, comm_eth) = run(UniverseConfig::tcp(ranks, TcpNic::StandardEthernet), gx, gy)?;
 
     assert!((heat_cxl - heat_mlx).abs() < 1e-9);
     assert!((heat_cxl - heat_eth).abs() < 1e-9);

@@ -585,3 +585,42 @@ fn auto_selection_gates_on_payload_and_mode() {
         assert_eq!(algo, "allreduce/hier+rabenseifner");
     }
 }
+
+#[test]
+fn scan_and_exscan_match_prefix_references_on_subcommunicators() {
+    // Prefix reductions on the world communicator and on a comm_split half,
+    // with Sum and Max, against directly computed references.
+    for n in [3usize, 5, 6, 7] {
+        for (label, config) in configs(n) {
+            Universe::run(config, move |comm: &mut Comm| {
+                let me = comm.rank() as u64;
+                // Sum scan: rank r holds sum over 0..=r of (rank + 1).
+                let mut v = vec![me + 1; 9];
+                comm.scan(&mut v, ReduceOp::Sum)?;
+                let expect: u64 = (1..=me + 1).sum();
+                assert!(v.iter().all(|&x| x == expect), "scan sum");
+                assert_eq!(comm.last_coll_algorithm(), "scan/recursive-doubling");
+                // Max exscan: rank r > 0 holds max over 0..r = r - 1.
+                let mut v = vec![me; 9];
+                comm.exscan(&mut v, ReduceOp::Max)?;
+                if me > 0 {
+                    assert!(v.iter().all(|&x| x == me - 1), "exscan max");
+                } else {
+                    assert!(v.iter().all(|&x| x == 0), "rank 0 buffer untouched");
+                }
+                assert_eq!(comm.last_coll_algorithm(), "exscan/recursive-doubling");
+                // Same ops on a split half: local ranks re-anchor the prefix.
+                let color = (comm.rank() % 2) as i32;
+                if let Some(mut half) = comm.comm_split(color, comm.rank() as i32)? {
+                    let lme = half.rank() as u64;
+                    let mut v = vec![lme + 1; 4];
+                    half.scan(&mut v, ReduceOp::Sum)?;
+                    let expect: u64 = (1..=lme + 1).sum();
+                    assert!(v.iter().all(|&x| x == expect), "split scan sum");
+                }
+                Ok(())
+            })
+            .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+        }
+    }
+}
