@@ -1,17 +1,22 @@
 //! The JSON perf harness: p2p latency/bandwidth, collective sweeps, the
-//! flat-vs-hierarchical topology sweep, the nonblocking-collective overlap
-//! kernel and the **persistent/plan-cache sweep** across both transports,
-//! written as `BENCH_collectives.json` (schema v4) for the perf trajectory
-//! (`BENCH_*.json` files are diffed PR-over-PR). The `hierarchy` section
-//! records, per (op, layout, size), the same collective with the two-level
-//! composition forced off and forced on, plus the speedup — the acceptance
-//! surface for the topology-aware collective stack. The `plan_build` section
-//! is the plan-build-vs-bind microbenchmark (pure software cost of planning
-//! one collective vs re-binding a cached plan), and the `persistent` section
-//! compares repeated small-message collectives per start path: one-shot with
-//! the plan cache disabled (cold — the pre-plan-cache behavior), one-shot
-//! hitting the cache, and persistent `start`/`wait` — the acceptance surface
-//! for the per-call software-overhead reduction.
+//! flat-vs-hierarchical topology sweep, the **ring-vs-shm data-plane sweep**,
+//! the nonblocking-collective overlap kernel and the **persistent/plan-cache
+//! sweep** across both transports, written as `BENCH_collectives.json`
+//! (schema v5) for the perf trajectory (`BENCH_*.json` files are diffed
+//! PR-over-PR). The `hierarchy` section records, per (op, layout, size), the
+//! same collective with the two-level composition forced off and forced on,
+//! plus the speedup — the acceptance surface for the topology-aware
+//! collective stack. The `data_plane` section records, per (op, ranks, size),
+//! the same CXL collective on the ring path vs the shared-window single-copy
+//! data plane side by side — with the `RankReport::data_plane` counters
+//! proving which path ran — the acceptance surface for the data-plane
+//! subsystem. The `plan_build` section is the plan-build-vs-bind
+//! microbenchmark (pure software cost of planning one collective vs
+//! re-binding a cached plan), and the `persistent` section compares repeated
+//! small-message collectives per start path: one-shot with the plan cache
+//! disabled (cold — the pre-plan-cache behavior), one-shot hitting the cache,
+//! and persistent `start`/`wait` — the acceptance surface for the per-call
+//! software-overhead reduction.
 //!
 //! Two kinds of numbers are recorded:
 //!
@@ -35,7 +40,8 @@ use std::time::Instant;
 
 use cmpi_core::coll::{build_allreduce, build_bcast, CommView};
 use cmpi_core::{
-    CollTuning, Comm, Execution, Group, HierarchyMode, HostPlacement, ReduceOp, UniverseConfig,
+    CollTuning, Comm, DataPlaneMode, DataPlaneStats, Execution, Group, HierarchyMode,
+    HostPlacement, ReduceOp, TransportConfig, UniverseConfig,
 };
 use cmpi_fabric::cost::TcpNic;
 use cmpi_omb::nonblocking_allreduce_overlap;
@@ -88,6 +94,31 @@ impl HierRow {
     fn speedup(&self) -> f64 {
         if self.hier_ns > 0.0 {
             self.flat_ns / self.hier_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One ring-vs-shm row of the data-plane sweep (CXL only — TCP has no shared
+/// pool to carve a window from). The counters come from rank 0's
+/// `RankReport::data_plane` of the shm-side run and prove the single-copy
+/// path actually carried the payloads.
+struct DataPlaneRow {
+    op: &'static str,
+    ranks: usize,
+    size: usize,
+    ring_ns: f64,
+    ring_algorithm: String,
+    shm_ns: f64,
+    shm_algorithm: String,
+    shm_stats: DataPlaneStats,
+}
+
+impl DataPlaneRow {
+    fn speedup(&self) -> f64 {
+        if self.shm_ns > 0.0 {
+            self.ring_ns / self.shm_ns
         } else {
             0.0
         }
@@ -206,7 +237,7 @@ fn collective_time(
     op: &'static str,
     size: usize,
     iters: usize,
-) -> (f64, String) {
+) -> (f64, String, DataPlaneStats) {
     let results = cmpi_core::Universe::run(config, move |comm: &mut Comm| {
         let n = comm.size();
         let elems = (size / 8).max(1);
@@ -236,7 +267,57 @@ fn collective_time(
     // A collective's completion time is the slowest rank's.
     let time = results.iter().map(|(r, _)| r.0).fold(0.0f64, f64::max);
     let algo = results[0].0 .1.clone();
-    (time, algo)
+    let dp = results[0].1.data_plane;
+    (time, algo, dp)
+}
+
+/// The ring-vs-shm data-plane sweep: the same CXL collective with the data
+/// plane pinned to the ring path vs forced onto the shared window (hierarchy
+/// off on both sides so the comparison isolates the payload path). The shm
+/// side gets a pool and per-rank arena large enough that even the 1 MiB
+/// payloads fit a window slot.
+fn data_plane_rows(rank_counts: &[usize], sizes: &[usize], iters: usize) -> Vec<DataPlaneRow> {
+    let ring_tuning = CollTuning {
+        hierarchy: HierarchyMode::Off,
+        data_plane: DataPlaneMode::Ring,
+        ..CollTuning::default()
+    };
+    let shm_tuning = CollTuning {
+        hierarchy: HierarchyMode::Off,
+        data_plane: DataPlaneMode::Shm,
+        // 8 MiB per rank → 2 MiB slots: headroom for the 1 MiB payloads
+        // (allreduce needs the vector plus one reduced block per slot).
+        shm_arena_bytes: 8 * 1024 * 1024,
+        ..CollTuning::default()
+    };
+    let mut rows = Vec::new();
+    for &ranks in rank_counts {
+        let ring_config = UniverseConfig::cxl(ranks).with_coll_tuning(ring_tuning);
+        let mut shm_config = UniverseConfig::cxl(ranks).with_coll_tuning(shm_tuning);
+        if let TransportConfig::CxlShm(ref mut t) = shm_config.transport {
+            t.window_headroom = 160 * 1024 * 1024;
+        }
+        for op in ["bcast", "allreduce", "allgather"] {
+            for &size in sizes {
+                eprintln!("data plane {op} n={ranks} {size} B ...");
+                let (ring_ns, ring_algorithm, _) =
+                    collective_time(ring_config.clone(), op, size, iters);
+                let (shm_ns, shm_algorithm, shm_stats) =
+                    collective_time(shm_config.clone(), op, size, iters);
+                rows.push(DataPlaneRow {
+                    op,
+                    ranks,
+                    size,
+                    ring_ns,
+                    ring_algorithm,
+                    shm_ns,
+                    shm_algorithm,
+                    shm_stats,
+                });
+            }
+        }
+    }
+    rows
 }
 
 /// Pure-software microbenchmark: build a collective plan from scratch vs
@@ -259,9 +340,9 @@ fn plan_build_rows(iters: usize) -> Vec<PlanBuildRow> {
                 eprintln!("plan build {op} n={ranks} {size} B ...");
                 let build = || match op {
                     "allreduce" => {
-                        build_allreduce::<f64>(&view, &tuning, None, elems, ReduceOp::Sum)
+                        build_allreduce::<f64>(&view, &tuning, None, None, elems, ReduceOp::Sum)
                     }
-                    "bcast" => build_bcast(&view, &tuning, None, 0, size),
+                    "bcast" => build_bcast(&view, &tuning, None, None, 0, size),
                     _ => unreachable!(),
                 };
                 let start = Instant::now();
@@ -427,7 +508,7 @@ fn main() {
             for op in ["bcast", "allgather", "allreduce", "reduce_scatter"] {
                 for &size in &coll_sizes {
                     eprintln!("collective {op} {label} n={ranks} {size} B ...");
-                    let (time_ns, algorithm) = collective_time(config.clone(), op, size, iters);
+                    let (time_ns, algorithm, _) = collective_time(config.clone(), op, size, iters);
                     coll_rows.push(CollRow {
                         op,
                         transport: label,
@@ -446,12 +527,17 @@ fn main() {
     // two_hosts rows at 1 MiB are the acceptance surface: the hierarchical
     // composition must beat the flat algorithm on the 2-host × 4-ranks-per-host
     // layout.
+    // Both sides pin the ring data plane: this sweep isolates the flat-vs-
+    // hierarchical *composition*; the ring-vs-shm payload path has its own
+    // sweep below.
     let flat_tuning = CollTuning {
         hierarchy: HierarchyMode::Off,
+        data_plane: DataPlaneMode::Ring,
         ..CollTuning::default()
     };
     let hier_tuning = CollTuning {
         hierarchy: HierarchyMode::Force,
+        data_plane: DataPlaneMode::Ring,
         ..CollTuning::default()
     };
     // (name, ranks, hosts, placement, also-on-tcp)
@@ -479,13 +565,13 @@ fn main() {
             for op in ["bcast", "allreduce", "allgather"] {
                 for &size in &hier_sizes {
                     eprintln!("hier sweep {op} {tlabel} {layout} n={ranks} {size} B ...");
-                    let (flat_ns, flat_algorithm) = collective_time(
+                    let (flat_ns, flat_algorithm, _) = collective_time(
                         config.clone().with_coll_tuning(flat_tuning),
                         op,
                         size,
                         iters,
                     );
-                    let (hier_ns, hier_algorithm) = collective_time(
+                    let (hier_ns, hier_algorithm, _) = collective_time(
                         config.clone().with_coll_tuning(hier_tuning),
                         op,
                         size,
@@ -507,6 +593,17 @@ fn main() {
             }
         }
     }
+
+    // Ring vs shared-window data plane on CXL: same op, same payload,
+    // hierarchy off, only the payload path differs. The 1 MiB bcast and
+    // allreduce rows are the acceptance surface for the data-plane subsystem
+    // (≥2× over the ring path); the 8 B rows show the latency floor drop.
+    let (dp_ranks, dp_sizes): (Vec<usize>, Vec<usize>) = if smoke() {
+        (vec![2], vec![8, 1024])
+    } else {
+        (vec![4, 6], vec![8, 1024, 65536, 1024 * 1024])
+    };
+    let dp_rows = data_plane_rows(&dp_ranks, &dp_sizes, iters);
 
     // Nonblocking-collective overlap: progress serviced during user compute.
     let overlap_ranks: Vec<usize> = if smoke() { vec![2] } else { vec![4, 6] };
@@ -550,6 +647,7 @@ fn main() {
         &p2p_rows,
         &coll_rows,
         &hier_rows,
+        &dp_rows,
         &overlap_rows,
         &plan_rows,
         &pers_rows,
@@ -564,12 +662,13 @@ fn render_json(
     p2p: &[P2pRow],
     colls: &[CollRow],
     hier: &[HierRow],
+    data_plane: &[DataPlaneRow],
     overlaps: &[OverlapRow],
     plan_builds: &[PlanBuildRow],
     persistents: &[PersistentRow],
 ) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v4\",\n");
+    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v5\",\n");
     s.push_str("  \"smoke\": ");
     s.push_str(if smoke() { "true" } else { "false" });
     s.push_str(",\n  \"baseline_pre_pr\": ");
@@ -633,6 +732,28 @@ fn render_json(
             r.hier_algorithm,
             r.speedup(),
             if i + 1 < hier.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"data_plane\": [\n");
+    for (i, r) in data_plane.iter().enumerate() {
+        let st = &r.shm_stats;
+        let _ = writeln!(
+            s,
+            "    {{\"op\": \"{}\", \"transport\": \"CXL-SHM\", \"ranks\": {}, \"size_bytes\": {}, \"ring_ns\": {:.1}, \"ring_algorithm\": \"{}\", \"shm_ns\": {:.1}, \"shm_algorithm\": \"{}\", \"shm_speedup\": {:.3}, \"window_setups\": {}, \"shm_colls\": {}, \"ring_fallback_colls\": {}, \"shm_bytes\": {}, \"bytes_pulled\": {}}}{}",
+            r.op,
+            r.ranks,
+            r.size,
+            r.ring_ns,
+            r.ring_algorithm,
+            r.shm_ns,
+            r.shm_algorithm,
+            r.speedup(),
+            st.window_setups,
+            st.shm_colls,
+            st.ring_colls,
+            st.shm_bytes,
+            st.bytes_pulled,
+            if i + 1 < data_plane.len() { "," } else { "" }
         );
     }
     s.push_str("  ],\n  \"plan_build\": [\n");

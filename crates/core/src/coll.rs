@@ -71,12 +71,16 @@ use std::rc::Rc;
 use cmpi_fabric::SimClock;
 
 use crate::config::{CollTuning, HierarchyMode};
+use crate::dataplane::{
+    allreduce_shm_shared_bytes, build_allgather_shm, build_allreduce_shm, build_bcast_shm,
+    build_reduce_shm, dp_selected,
+};
 use crate::error::MpiError;
 use crate::group::Group;
 use crate::pod::{bytes_of_mut, Pod};
 use crate::progress::{fold_bytes, CollPlan, Execution, FoldFn, Loc, SchedOp};
 use crate::topology::HostHierarchy;
-use crate::transport::Transport;
+use crate::transport::{DpWindow, Transport};
 use crate::types::{CtxId, Rank, ReduceOp, Reducible, Tag, COLL_TAG_BASE};
 use crate::Result;
 
@@ -556,17 +560,33 @@ fn push_bcast_ops(
 }
 
 /// Compile the broadcast of `total` bytes from `root` into a plan over the
-/// primary buffer: the flat size-adaptive algorithm, or — when the hierarchy
-/// is selected — the two-level composition (root hop to its host leader,
-/// leader broadcast across hosts, per-host fan-out).
+/// primary buffer: the single-copy data plane when `dp` offers a window the
+/// payload fits (see [`crate::dataplane`]), otherwise the flat size-adaptive
+/// algorithm, or — when the hierarchy is selected — the two-level composition
+/// (root hop to its host leader, leader broadcast across hosts, per-host
+/// fan-out).
 pub fn build_bcast(
     view: &CommView<'_>,
     tuning: &CollTuning,
     hier: Option<&HostHierarchy>,
+    dp: Option<DpWindow>,
     root: Rank,
     total: usize,
 ) -> CollPlan {
     let n = view.size();
+    if n > 1
+        && dp_selected(
+            tuning,
+            hier,
+            dp,
+            total,
+            tuning.hier_min_payload_bytes,
+            total,
+        )
+        .is_some()
+    {
+        return build_bcast_shm(view, hier, root, total);
+    }
     if n > 1 && hier_selected(tuning, hier, total, tuning.hier_min_payload_bytes) {
         return build_bcast_hier(
             view,
@@ -979,13 +999,16 @@ pub fn allgather_bytes(
 
 /// Compile the size-adaptive allgather of `block`-byte contributions into a
 /// plan over the `n × block` primary buffer (own block pre-placed at this
-/// rank's slot by the caller): Bruck below the threshold, ring above — or,
-/// when the hierarchy is selected, the two-level composition (local gather to
-/// the host leader, leader ring of whole-host batches, local fan-out).
+/// rank's slot by the caller): the single-copy data plane when `dp` offers a
+/// window the block fits, otherwise Bruck below the threshold, ring above —
+/// or, when the hierarchy is selected, the two-level composition (local
+/// gather to the host leader, leader ring of whole-host batches, local
+/// fan-out).
 pub fn build_allgather(
     view: &CommView<'_>,
     tuning: &CollTuning,
     hier: Option<&HostHierarchy>,
+    dp: Option<DpWindow>,
     block: usize,
 ) -> CollPlan {
     let n = view.size();
@@ -994,6 +1017,18 @@ pub fn build_allgather(
     if n == 1 {
         let plan = Plan::new(view, 4);
         return plan.finish(None, Loc::Buf, (0, block), input, 0, "allgather/local");
+    }
+    if dp_selected(
+        tuning,
+        hier,
+        dp,
+        n * block,
+        tuning.hier_allgather_min_bytes,
+        block,
+    )
+    .is_some()
+    {
+        return build_allgather_shm(view, block);
     }
     if hier_selected(tuning, hier, n * block, tuning.hier_allgather_min_bytes) {
         return build_allgather_hier(
@@ -1254,6 +1289,7 @@ pub fn allgather_into<T: Pod>(
         view,
         tuning,
         hier,
+        None,
         std::mem::size_of_val(send),
     ));
     let mut exec = Execution::new(Rc::clone(&plan), seq);
@@ -1289,15 +1325,17 @@ fn push_reduce_ops(plan: &mut Plan<'_, '_>, root: Rank, total: usize) {
 }
 
 /// Compile the rooted reduce of `count` elements of `T` into a plan over
-/// the in-place value vector: a flat binomial tree, or — when the hierarchy
-/// is selected — the two-level composition (per-host binomial reduce to the
-/// leader, leader binomial reduce across hosts rooted at root's host, and a
-/// final hand-off to a non-leader root). The result range selects the full
-/// vector on the root and is empty elsewhere.
+/// the in-place value vector: the single-copy data plane when `dp` offers a
+/// window the vector fits, otherwise a flat binomial tree, or — when the
+/// hierarchy is selected — the two-level composition (per-host binomial
+/// reduce to the leader, leader binomial reduce across hosts rooted at
+/// root's host, and a final hand-off to a non-leader root). The result range
+/// selects the full vector on the root and is empty elsewhere.
 pub fn build_reduce<T: Reducible>(
     view: &CommView<'_>,
     tuning: &CollTuning,
     hier: Option<&HostHierarchy>,
+    dp: Option<DpWindow>,
     root: Rank,
     count: usize,
     op: ReduceOp,
@@ -1307,6 +1345,19 @@ pub fn build_reduce<T: Reducible>(
     let total = count * std::mem::size_of::<T>();
     let fold = Some((op, fold_bytes::<T> as FoldFn));
     let result = if me == root { (0, total) } else { (0, 0) };
+    if n > 1
+        && dp_selected(
+            tuning,
+            hier,
+            dp,
+            total,
+            tuning.hier_min_payload_bytes,
+            total,
+        )
+        .is_some()
+    {
+        return build_reduce_shm::<T>(view, root, count, op);
+    }
     if n > 1 && hier_selected(tuning, hier, total, tuning.hier_min_payload_bytes) {
         return build_reduce_hier(
             view,
@@ -1442,6 +1493,7 @@ pub fn build_allreduce<T: Reducible>(
     view: &CommView<'_>,
     tuning: &CollTuning,
     hier: Option<&HostHierarchy>,
+    dp: Option<DpWindow>,
     count: usize,
     op: ReduceOp,
 ) -> CollPlan {
@@ -1452,6 +1504,18 @@ pub fn build_allreduce<T: Reducible>(
     if n == 1 {
         let plan = Plan::new(view, 6);
         return plan.finish(fold, Loc::Buf, (0, total), (0, total), 0, "allreduce/local");
+    }
+    if dp_selected(
+        tuning,
+        hier,
+        dp,
+        total,
+        tuning.hier_min_payload_bytes,
+        allreduce_shm_shared_bytes(count, n, elem),
+    )
+    .is_some()
+    {
+        return build_allreduce_shm::<T>(view, count, op);
     }
     // Auto steps aside where the flat algorithm is already topology-optimal:
     // if the placement makes the flat top-level exchange same-host on every
@@ -1723,7 +1787,14 @@ pub fn allreduce<T: Reducible>(
     values: &mut [T],
     op: ReduceOp,
 ) -> Result<&'static str> {
-    let plan = Rc::new(build_allreduce::<T>(view, tuning, hier, values.len(), op));
+    let plan = Rc::new(build_allreduce::<T>(
+        view,
+        tuning,
+        hier,
+        None,
+        values.len(),
+        op,
+    ));
     let mut exec = Execution::new(Rc::clone(&plan), seq);
     exec.run(t, clock, bytes_of_mut(values))?;
     Ok(plan.label)

@@ -31,7 +31,8 @@ use std::sync::Arc;
 use cmpi_fabric::SimClock;
 
 use crate::coll::{self, CommView};
-use crate::config::{CollTuning, HierarchyMode, ProgressTuning};
+use crate::config::{CollTuning, DataPlaneMode, ProgressTuning};
+use crate::dataplane::DP_SLOTS;
 use crate::error::MpiError;
 use crate::group::Group;
 use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanOp};
@@ -39,7 +40,7 @@ use crate::pod::{bytes_of, bytes_of_mut, vec_from_bytes, Pod};
 use crate::progress::{CollPlan, CollState, Execution, ProgressStats};
 use crate::request::{PersistentMeta, Request, RequestState};
 use crate::topology::{HostHierarchy, HostTopology};
-use crate::transport::{Transport, TransportStats, WinId};
+use crate::transport::{DataPlaneStats, DpWindow, Transport, TransportStats, WinId};
 use crate::types::{CtxId, Rank, ReduceOp, Reducible, Status, Tag, WORLD_CTX};
 use crate::Result;
 
@@ -133,6 +134,11 @@ pub(crate) struct RankCore {
     last_algo: &'static str,
     /// How often each collective algorithm was chosen by this rank.
     algo_counts: BTreeMap<&'static str, u64>,
+    /// Which data-plane path (shared-window single-copy vs ring) the
+    /// data-plane-eligible collectives took, with payload bytes per path.
+    /// Merged with the transport's window counters in
+    /// [`Comm::data_plane_stats`].
+    dp_paths: DataPlaneStats,
 }
 
 impl RankCore {
@@ -170,9 +176,23 @@ impl RankCore {
         self.coll_stats.values().copied().collect()
     }
 
-    fn note_algo(&mut self, algo: &'static str) {
+    fn note_algo(&mut self, algo: &'static str, payload_bytes: u64) {
         self.last_algo = algo;
         *self.algo_counts.entry(algo).or_insert(0) += 1;
+        // Path accounting for the data-plane-eligible collective families:
+        // "<family>/shm" labels took the shared-window single-copy path,
+        // every other label of those families went through the ring
+        // transport (the universal fallback).
+        if algo.ends_with("/shm") {
+            self.dp_paths.shm_colls += 1;
+            self.dp_paths.shm_bytes += payload_bytes;
+        } else if ["bcast/", "reduce/", "allreduce/", "allgather/"]
+            .iter()
+            .any(|p| algo.starts_with(p))
+        {
+            self.dp_paths.ring_colls += 1;
+            self.dp_paths.ring_bytes += payload_bytes;
+        }
     }
 
     pub(crate) fn algo_counts_snapshot(&self) -> Vec<(String, u64)> {
@@ -191,6 +211,32 @@ impl RankCore {
             s.evictions += cache.evictions;
             s.entries += cache.len();
         }
+        s
+    }
+
+    /// Eagerly create (or open) the shared-window data plane for `ctx` over
+    /// `group` (world ranks, communicator order). Collective over the
+    /// group's members — called at communicator construction so no
+    /// collective starter ever blocks on window creation. A no-op when the
+    /// data plane is configured off, the group is trivial, or the transport
+    /// has no shared pool; pool exhaustion is graceful (the communicator
+    /// simply stays on the ring path and the failure is counted in
+    /// [`DataPlaneStats::window_failures`]).
+    fn ensure_data_plane(&mut self, ctx: CtxId, group: &[Rank]) -> Result<()> {
+        if self.tuning.data_plane == DataPlaneMode::Ring || group.len() < 2 {
+            return Ok(());
+        }
+        let arena_bytes = self.tuning.shm_arena_bytes;
+        self.transport
+            .dp_ensure(&mut self.clock, ctx, group, arena_bytes, DP_SLOTS)?;
+        Ok(())
+    }
+
+    /// Merged data-plane counters: the transport's window/op counters plus
+    /// this rank's per-path collective accounting.
+    pub(crate) fn data_plane_stats_snapshot(&self) -> DataPlaneStats {
+        let mut s = self.transport.dp_stats();
+        s.merge(&self.dp_paths);
         s
     }
 }
@@ -217,15 +263,18 @@ pub struct Comm {
 
 impl Comm {
     /// Build the world communicator for one rank (runtime-internal).
+    /// Collective: when the data plane is enabled this eagerly creates the
+    /// world communicator's shared exposure window, so every member must
+    /// construct its world communicator.
     pub(crate) fn world(
         transport: Box<dyn Transport>,
         topology: HostTopology,
         tuning: CollTuning,
         progress_cfg: ProgressTuning,
-    ) -> Self {
+    ) -> Result<Self> {
         let n = transport.size();
         let rank = transport.rank();
-        let core = RankCore {
+        let mut core = RankCore {
             transport,
             clock: SimClock::new(),
             topology,
@@ -238,14 +287,17 @@ impl Comm {
             plans: BTreeMap::new(),
             last_algo: "none",
             algo_counts: BTreeMap::new(),
+            dp_paths: DataPlaneStats::default(),
         };
-        Comm {
+        let group = Group::world(n);
+        core.ensure_data_plane(WORLD_CTX, group.world_ranks())?;
+        Ok(Comm {
             core: Rc::new(RefCell::new(core)),
-            group: Arc::new(Group::world(n)),
+            group: Arc::new(group),
             ctx: WORLD_CTX,
             rank,
             hier: RefCell::new(None),
-        }
+        })
     }
 
     /// The lazily cached host hierarchy of this communicator (see the field
@@ -267,14 +319,13 @@ impl Comm {
     }
 
     /// The hierarchy handle the collective builders consult, or `None` when
-    /// hierarchical composition is disabled outright or trivially impossible
-    /// (so `HierarchyMode::Off` never even derives the structure and today's
-    /// flat behavior is restored exactly).
+    /// trivially impossible (singleton group). `HierarchyMode::Off` is gated
+    /// inside [`coll::hier_selected`], not here: the *derived structure* is
+    /// also what the data plane's topology-aware shapes slice payloads by,
+    /// and those run under `Off` too. Derivation is pure, cached per
+    /// communicator and miss-only (plan-cache hits never reach this).
     fn hier_for_coll(&self) -> Option<Rc<HostHierarchy>> {
         if self.group.size() < 2 {
-            return None;
-        }
-        if self.core.borrow().tuning.hierarchy == HierarchyMode::Off {
             return None;
         }
         Some(self.hierarchy())
@@ -288,11 +339,15 @@ impl Comm {
     fn cached_plan(
         &self,
         key: PlanKey,
-        build: impl FnOnce(&CollTuning, Option<&HostHierarchy>) -> CollPlan,
+        build: impl FnOnce(&CollTuning, Option<&HostHierarchy>, Option<DpWindow>) -> CollPlan,
     ) -> Rc<CollPlan> {
         // Probe first: the hit path pays one cache scan and nothing else.
         // Hierarchy derivation (two more RefCell borrows + an Rc clone) is
-        // miss-only work — the built plan bakes the hierarchy decision in.
+        // miss-only work — the built plan bakes the hierarchy decision in,
+        // and likewise the data-plane decision: the window is created (or
+        // definitively absent) at communicator construction, so its
+        // availability is fixed for the communicator's lifetime and safe to
+        // bake into cached plans.
         {
             let core = &mut *self.core.borrow_mut();
             if let Some(plan) = core.plans.entry(self.ctx).or_default().lookup(&key) {
@@ -302,7 +357,12 @@ impl Comm {
         let hier = self.hier_for_coll();
         let core = &mut *self.core.borrow_mut();
         let tuning = core.tuning;
-        let plan = Rc::new(build(&tuning, hier.as_deref()));
+        let dp = if tuning.data_plane == DataPlaneMode::Ring {
+            None
+        } else {
+            core.transport.dp_window(self.ctx)
+        };
+        let plan = Rc::new(build(&tuning, hier.as_deref(), dp));
         core.plans
             .entry(self.ctx)
             .or_default()
@@ -315,6 +375,15 @@ impl Comm {
     /// surfaced in [`crate::runtime::RankReport::plan_cache`]).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.core.borrow().plan_cache_stats_snapshot()
+    }
+
+    /// Data-plane counters of this rank (across all communicators sharing
+    /// the rank core): shared-window setups and failures, single-copy
+    /// expose/pull/notify operations, and the shm-vs-ring path split of the
+    /// data-plane-eligible collectives. Also surfaced in
+    /// [`crate::runtime::RankReport::data_plane`].
+    pub fn data_plane_stats(&self) -> DataPlaneStats {
+        self.core.borrow().data_plane_stats_snapshot()
     }
 
     /// Snapshot of the per-communicator collective counters accumulated by
@@ -506,7 +575,8 @@ impl Comm {
             let agreed = proposal[0] as CtxId;
             core.next_ctx = agreed + 1;
             core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, 8);
-            core.note_algo(algo);
+            core.note_algo(algo, 8);
+            core.ensure_data_plane(agreed, self.group.world_ranks())?;
             agreed
         };
         Ok(Comm {
@@ -542,7 +612,7 @@ impl Comm {
                 &mine,
                 &mut gathered,
             )?;
-            core.note_algo(algo);
+            core.note_algo(algo, 24);
             // Agree on a context id unused by every member (max of proposals);
             // all colors of this split share it — their groups are disjoint,
             // so their (source, destination) pairs already are.
@@ -574,6 +644,14 @@ impl Comm {
         let my_local = group
             .local_rank_of(self.world_rank())
             .expect("split member contains itself");
+        // Eagerly provision the new sub-communicator's shared window.
+        // Collective over the color's members only; distinct colors sharing
+        // the context id get distinct windows because the window objects are
+        // named after (ctx, leader world rank). Ranks that opted out
+        // (negative color) already returned above and are not waited on.
+        self.core
+            .borrow_mut()
+            .ensure_data_plane(new_ctx, group.world_ranks())?;
         Ok(Some(Comm {
             core: Rc::clone(&self.core),
             group,
@@ -1083,7 +1161,7 @@ impl Comm {
             "barrier/sequence"
         } else {
             let view = self.view();
-            let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier| {
+            let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier, _| {
                 coll::build_barrier(&view, tuning, hier)
             });
             let core = &mut *self.core.borrow_mut();
@@ -1094,7 +1172,7 @@ impl Comm {
         };
         let core = &mut *self.core.borrow_mut();
         core.note_coll(self.ctx, self.group.size(), CollOp::Barrier, 0);
-        core.note_algo(algo);
+        core.note_algo(algo, 0);
         Ok(())
     }
 
@@ -1134,7 +1212,7 @@ impl Comm {
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         core.note_coll(self.ctx, self.group.size(), op, payload_bytes);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, payload_bytes);
         core.progress.colls_started += 1;
         Request::coll_pending(
             self.ctx,
@@ -1148,7 +1226,7 @@ impl Comm {
     /// gates select it — so it can overlap with compute.
     pub fn ibarrier(&mut self) -> Result<Request> {
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier| {
+        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier, _| {
             coll::build_barrier(&view, tuning, hier)
         });
         Ok(self.start_coll(plan, Vec::new(), CollOp::Barrier, 0))
@@ -1164,7 +1242,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(
             PlanKey::rooted(PlanOp::Bcast, root, bytes),
-            |tuning, hier| coll::build_bcast(&view, tuning, hier, root, bytes),
+            |tuning, hier, dp| coll::build_bcast(&view, tuning, hier, dp, root, bytes),
         );
         Ok(self.start_coll(plan, bytes_of(buf).to_vec(), CollOp::Bcast, bytes as u64))
     }
@@ -1177,7 +1255,7 @@ impl Comm {
         let count = values.len();
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
-            |tuning, hier| coll::build_allreduce::<T>(&view, tuning, hier, count, op),
+            |tuning, hier, dp| coll::build_allreduce::<T>(&view, tuning, hier, dp, count, op),
         );
         Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Allreduce, bytes))
     }
@@ -1203,7 +1281,7 @@ impl Comm {
                 std::mem::size_of::<T>(),
                 op,
             ),
-            |tuning, hier| coll::build_reduce::<T>(&view, tuning, hier, root, count, op),
+            |tuning, hier, dp| coll::build_reduce::<T>(&view, tuning, hier, dp, root, count, op),
         );
         Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Reduce, bytes))
     }
@@ -1217,9 +1295,10 @@ impl Comm {
         let mut buf = vec![0u8; n * block];
         buf[self.rank * block..(self.rank + 1) * block].copy_from_slice(bytes_of(send));
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Allgather, block), |tuning, hier| {
-            coll::build_allgather(&view, tuning, hier, block)
-        });
+        let plan = self.cached_plan(
+            PlanKey::shaped(PlanOp::Allgather, block),
+            |tuning, hier, dp| coll::build_allgather(&view, tuning, hier, dp, block),
+        );
         Ok(self.start_coll(plan, buf, CollOp::Allgather, block as u64))
     }
 
@@ -1246,7 +1325,7 @@ impl Comm {
                 std::mem::size_of::<T>(),
                 op,
             ),
-            |tuning, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
+            |tuning, _, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
         );
         Ok(self.start_coll(
             plan,
@@ -1271,7 +1350,7 @@ impl Comm {
             bytes_of(send).to_vec()
         };
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _| {
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _, _| {
             coll::build_gather(&view, root, block)
         });
         Ok(self.start_coll(plan, buf, CollOp::Gather, block as u64))
@@ -1308,7 +1387,7 @@ impl Comm {
             vec![0u8; block]
         };
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _| {
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _, _| {
             coll::build_scatter(&view, root, block)
         });
         Ok(self.start_coll(plan, buf, CollOp::Scatter, block as u64))
@@ -1323,7 +1402,7 @@ impl Comm {
         let count = values.len();
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
-            |_, _| coll::build_scan::<T>(&view, count, op),
+            |_, _, _| coll::build_scan::<T>(&view, count, op),
         );
         Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Scan, bytes))
     }
@@ -1338,7 +1417,7 @@ impl Comm {
         let count = values.len();
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
-            |_, _| coll::build_exscan::<T>(&view, count, op),
+            |_, _, _| coll::build_exscan::<T>(&view, count, op),
         );
         Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Exscan, bytes))
     }
@@ -1378,7 +1457,7 @@ impl Comm {
     /// Persistent barrier (`MPI_Barrier_init`).
     pub fn barrier_init(&mut self) -> Result<Request> {
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier| {
+        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier, _| {
             coll::build_barrier(&view, tuning, hier)
         });
         Ok(self.init_coll(plan, Vec::new(), CollOp::Barrier, 0))
@@ -1394,7 +1473,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(
             PlanKey::rooted(PlanOp::Bcast, root, bytes),
-            |tuning, hier| coll::build_bcast(&view, tuning, hier, root, bytes),
+            |tuning, hier, dp| coll::build_bcast(&view, tuning, hier, dp, root, bytes),
         );
         Ok(self.init_coll(plan, bytes_of(buf).to_vec(), CollOp::Bcast, bytes as u64))
     }
@@ -1409,7 +1488,7 @@ impl Comm {
         let count = values.len();
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
-            |tuning, hier| coll::build_allreduce::<T>(&view, tuning, hier, count, op),
+            |tuning, hier, dp| coll::build_allreduce::<T>(&view, tuning, hier, dp, count, op),
         );
         Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Allreduce, bytes))
     }
@@ -1435,7 +1514,7 @@ impl Comm {
                 std::mem::size_of::<T>(),
                 op,
             ),
-            |tuning, hier| coll::build_reduce::<T>(&view, tuning, hier, root, count, op),
+            |tuning, hier, dp| coll::build_reduce::<T>(&view, tuning, hier, dp, root, count, op),
         );
         Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Reduce, bytes))
     }
@@ -1448,9 +1527,10 @@ impl Comm {
         let mut buf = vec![0u8; n * block];
         buf[self.rank * block..(self.rank + 1) * block].copy_from_slice(bytes_of(send));
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Allgather, block), |tuning, hier| {
-            coll::build_allgather(&view, tuning, hier, block)
-        });
+        let plan = self.cached_plan(
+            PlanKey::shaped(PlanOp::Allgather, block),
+            |tuning, hier, dp| coll::build_allgather(&view, tuning, hier, dp, block),
+        );
         Ok(self.init_coll(plan, buf, CollOp::Allgather, block as u64))
     }
 
@@ -1480,7 +1560,7 @@ impl Comm {
                 std::mem::size_of::<T>(),
                 op,
             ),
-            |tuning, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
+            |tuning, _, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
         );
         Ok(self.init_coll(
             plan,
@@ -1505,7 +1585,7 @@ impl Comm {
             bytes_of(send).to_vec()
         };
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _| {
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _, _| {
             coll::build_gather(&view, root, block)
         });
         Ok(self.init_coll(plan, buf, CollOp::Gather, block as u64))
@@ -1541,7 +1621,7 @@ impl Comm {
             vec![0u8; block]
         };
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _| {
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _, _| {
             coll::build_scatter(&view, root, block)
         });
         Ok(self.init_coll(plan, buf, CollOp::Scatter, block as u64))
@@ -1555,7 +1635,7 @@ impl Comm {
         let count = values.len();
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
-            |_, _| coll::build_scan::<T>(&view, count, op),
+            |_, _, _| coll::build_scan::<T>(&view, count, op),
         );
         Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Scan, bytes))
     }
@@ -1568,7 +1648,7 @@ impl Comm {
         let count = values.len();
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
-            |_, _| coll::build_exscan::<T>(&view, count, op),
+            |_, _, _| coll::build_exscan::<T>(&view, count, op),
         );
         Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Exscan, bytes))
     }
@@ -1604,7 +1684,7 @@ impl Comm {
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         core.note_coll(self.ctx, self.group.size(), meta.op, meta.payload_bytes);
-        core.note_algo(algo);
+        core.note_algo(algo, meta.payload_bytes);
         core.progress.colls_started += 1;
         core.progress.persistent_starts += 1;
         request.activate(seq);
@@ -1787,14 +1867,14 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(
             PlanKey::rooted(PlanOp::Bcast, root, bytes),
-            |tuning, hier| coll::build_bcast(&view, tuning, hier, root, bytes),
+            |tuning, hier, dp| coll::build_bcast(&view, tuning, hier, dp, root, bytes),
         );
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut exec = Execution::new(Rc::clone(&plan), seq);
         exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(buf))?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Bcast, bytes as u64);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, bytes as u64);
         Ok(())
     }
 
@@ -1812,7 +1892,7 @@ impl Comm {
         let me = self.rank;
         let block = std::mem::size_of_val(send);
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _| {
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _, _| {
             coll::build_gather(&view, root, block)
         });
         let core = &mut *self.core.borrow_mut();
@@ -1837,7 +1917,7 @@ impl Comm {
             exec.run_send_only(core.transport.as_mut(), &mut core.clock, bytes_of(send))?;
         }
         core.note_coll(self.ctx, n, CollOp::Gather, block as u64);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, block as u64);
         Ok(())
     }
 
@@ -1859,15 +1939,16 @@ impl Comm {
         let block = std::mem::size_of_val(send);
         recv[me * send.len()..(me + 1) * send.len()].copy_from_slice(send);
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::shaped(PlanOp::Allgather, block), |tuning, hier| {
-            coll::build_allgather(&view, tuning, hier, block)
-        });
+        let plan = self.cached_plan(
+            PlanKey::shaped(PlanOp::Allgather, block),
+            |tuning, hier, dp| coll::build_allgather(&view, tuning, hier, dp, block),
+        );
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut exec = Execution::new(Rc::clone(&plan), seq);
         exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))?;
         core.note_coll(self.ctx, n, CollOp::Allgather, block as u64);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, block as u64);
         Ok(())
     }
 
@@ -1885,7 +1966,7 @@ impl Comm {
         let me = self.rank;
         let block = std::mem::size_of_val(recv);
         let view = self.view();
-        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _| {
+        let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _, _| {
             coll::build_scatter(&view, root, block)
         });
         let core = &mut *self.core.borrow_mut();
@@ -1910,7 +1991,7 @@ impl Comm {
             exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))?;
         }
         core.note_coll(self.ctx, n, CollOp::Scatter, block as u64);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, block as u64);
         Ok(())
     }
 
@@ -1935,7 +2016,7 @@ impl Comm {
                 std::mem::size_of::<T>(),
                 op,
             ),
-            |tuning, hier| coll::build_reduce::<T>(&view, tuning, hier, root, count, op),
+            |tuning, hier, dp| coll::build_reduce::<T>(&view, tuning, hier, dp, root, count, op),
         );
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
@@ -1948,7 +2029,7 @@ impl Comm {
             None
         };
         core.note_coll(self.ctx, self.group.size(), CollOp::Reduce, bytes);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, bytes);
         Ok(out)
     }
 
@@ -1961,7 +2042,7 @@ impl Comm {
         let count = values.len();
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
-            |tuning, hier| coll::build_allreduce::<T>(&view, tuning, hier, count, op),
+            |tuning, hier, dp| coll::build_allreduce::<T>(&view, tuning, hier, dp, count, op),
         );
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
@@ -1972,7 +2053,7 @@ impl Comm {
             bytes_of_mut(values),
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, bytes);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, bytes);
         Ok(())
     }
 
@@ -1999,7 +2080,7 @@ impl Comm {
                 std::mem::size_of::<T>(),
                 op,
             ),
-            |tuning, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
+            |tuning, _, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
         );
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
@@ -2008,7 +2089,7 @@ impl Comm {
         exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)?;
         let out = vec_from_bytes(exec.result_slice(&buf));
         core.note_coll(self.ctx, n, CollOp::ReduceScatter, bytes);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, bytes);
         Ok(out)
     }
 
@@ -2022,7 +2103,7 @@ impl Comm {
         let count = values.len();
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
-            |_, _| coll::build_scan::<T>(&view, count, op),
+            |_, _, _| coll::build_scan::<T>(&view, count, op),
         );
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
@@ -2033,7 +2114,7 @@ impl Comm {
             bytes_of_mut(values),
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Scan, bytes);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, bytes);
         Ok(())
     }
 
@@ -2046,7 +2127,7 @@ impl Comm {
         let count = values.len();
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
-            |_, _| coll::build_exscan::<T>(&view, count, op),
+            |_, _, _| coll::build_exscan::<T>(&view, count, op),
         );
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
@@ -2057,7 +2138,7 @@ impl Comm {
             bytes_of_mut(values),
         )?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Exscan, bytes);
-        core.note_algo(plan.label);
+        core.note_algo(plan.label, bytes);
         Ok(())
     }
 

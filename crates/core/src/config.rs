@@ -107,6 +107,25 @@ pub enum HierarchyMode {
     Force,
 }
 
+/// Whether the collectives may run over the shared-window single-copy data
+/// plane (a per-communicator exposure arena in the CXL pool; see `dataplane`)
+/// instead of the per-pair SPSC ring queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataPlaneMode {
+    /// Use the shared window whenever the transport provides one, the payload
+    /// fits a window slot, and the hierarchy gates did not already pick a
+    /// two-level composition (the default).
+    Auto,
+    /// Never use the shared window — every collective runs the ring path (the
+    /// only path available on TCP).
+    Ring,
+    /// Use the shared window whenever it exists and the payload fits,
+    /// overriding the hierarchy gates (the flat single-copy schedule replaces
+    /// the two-level composition). Payloads that do not fit a slot — and
+    /// communicators whose window creation failed — still fall back to ring.
+    Shm,
+}
+
 /// Message-size thresholds steering the size-adaptive collective algorithms
 /// (see `coll`), plus the topology gates steering the hierarchical (two-level,
 /// per-host) compositions. Defaults follow the MPICH-style switchover points,
@@ -155,6 +174,16 @@ pub struct CollTuning {
     /// the cold baseline). Hit/miss/eviction counters are surfaced in
     /// [`crate::runtime::RankReport::plan_cache`].
     pub plan_cache_entries: usize,
+    /// Whether bcast / reduce / allreduce / allgather may run over the
+    /// shared-window single-copy data plane instead of the ring queues.
+    pub data_plane: DataPlaneMode,
+    /// Bytes of CXL pool memory each rank exposes in its communicator's
+    /// shared window (split into [`crate::dataplane::DP_SLOTS`] slots so
+    /// consecutive collectives pipeline without waiting on slot reuse). A
+    /// payload that does not fit one slot falls back to the ring path, and a
+    /// pool too small to hold the whole window (every rank's share) fails
+    /// window creation gracefully — the communicator then runs ring-only.
+    pub shm_arena_bytes: usize,
 }
 
 impl Default for CollTuning {
@@ -170,6 +199,8 @@ impl Default for CollTuning {
             hier_min_payload_bytes: 512 * 1024,
             hier_allgather_min_bytes: 4 * 1024 * 1024,
             plan_cache_entries: 64,
+            data_plane: DataPlaneMode::Auto,
+            shm_arena_bytes: 2 * 1024 * 1024,
         }
     }
 }
@@ -429,5 +460,17 @@ mod tests {
         assert_eq!(t.hier_min_payload_bytes, 512 * 1024);
         // The plan cache is on by default.
         assert!(t.plan_cache_entries > 0);
+    }
+
+    #[test]
+    fn data_plane_defaults() {
+        let t = CollTuning::default();
+        assert_eq!(t.data_plane, DataPlaneMode::Auto);
+        // Large enough for useful payloads, and deliberately larger than the
+        // `cxl_small` window headroom so the small test config exercises the
+        // graceful creation-failure → ring fallback path by default.
+        assert_eq!(t.shm_arena_bytes, 2 * 1024 * 1024);
+        let small = CxlShmTransportConfig::small();
+        assert!(t.shm_arena_bytes > small.window_headroom);
     }
 }

@@ -1,0 +1,560 @@
+//! The shared-window single-copy collective data plane.
+//!
+//! Every collective in [`crate::coll`] can move its payload two ways:
+//!
+//! * the **ring path** — point-to-point `Send`/`Recv` ops through the
+//!   per-pair SPSC queues: two copies per hop (writer → ring cell → reader)
+//!   plus a header per chunk and the per-message MPI software overhead;
+//! * the **data plane** built here — on a CXL transport, readers pull
+//!   payloads straight out of a writer's *exposed* buffer in a
+//!   per-communicator shared window (one coherent copy, OpenSHMEM
+//!   notified-put style), and completion is a flag cell, not a message.
+//!
+//! The window is a single arena object per communicator, created eagerly at
+//! communicator construction (creation is blocking and collective, which a
+//! nonblocking starter must never be) and carved into per-rank exposure
+//! slots by [`cxl_shm::SlotLayout`]. Consecutive collectives rotate through
+//! [`DP_SLOTS`] slots per rank (slot = sequence number mod slots), so a
+//! collective can start exposing while the acknowledgements of an earlier
+//! one are still in flight; a slot is only reused once every reader of its
+//! previous occupant has acked.
+//!
+//! Plans built here use the data-plane op kinds of [`crate::progress`]
+//! (`ExposeRead`, `PullCopy`, `FoldInPlace`, `NotifyWait`) and flow through
+//! the same CollPlan/PlanCache/persistent machinery as ring plans — window
+//! setup is amortized across every start on the communicator, and blocking,
+//! nonblocking and persistent starts execute byte-identical schedules.
+//!
+//! Selection is per plan-cache key, via `dp_selected`:
+//!
+//! * [`DataPlaneMode::Ring`] never uses the window (and is the only choice
+//!   on transports without one, e.g. TCP);
+//! * [`DataPlaneMode::Shm`] uses it whenever the payload fits a slot, even
+//!   where the hierarchical composition would otherwise engage;
+//! * [`DataPlaneMode::Auto`] uses it when the payload fits *and* the
+//!   hierarchical ring composition does not select itself — the hierarchy's
+//!   per-host phases are exactly the traffic the shared window replaces, so
+//!   when the hierarchy wins (many hosts, cross-host bytes dominate) the
+//!   ring composite keeps the job.
+//!
+//! Payloads that do not fit a slot — and communicators whose window failed
+//! to allocate ([`crate::config::CollTuning::shm_arena_bytes`] exceeding the
+//! pool) — fall back to the ring path, never to an error.
+
+use crate::coll::{hier_selected, CommView};
+use crate::config::{CollTuning, DataPlaneMode};
+use crate::progress::{fold_bytes, CollPlan, FoldFn, Loc, SchedOp};
+use crate::topology::HostHierarchy;
+use crate::transport::DpWindow;
+use crate::types::{Rank, ReduceOp, Reducible};
+
+/// Exposure slots per rank in every data-plane window: how many consecutive
+/// collectives on one communicator can overlap their expose/ack lifecycles
+/// before a new expose must wait for the oldest slot to retire (the analog of
+/// the ring path's sequence-number tag window, at much smaller depth).
+pub const DP_SLOTS: usize = 4;
+
+/// Decide whether a collective of this shape runs on the data plane.
+/// `payload_bytes`/`min_payload_bytes` are the same inputs the hierarchical
+/// gate uses; `shared_bytes` is the per-rank slot footprint the collective
+/// needs (its fit check). Deterministic group-wide: every input is identical
+/// on every member, so ranks can never disagree about the path.
+pub(crate) fn dp_selected(
+    tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
+    dp: Option<DpWindow>,
+    payload_bytes: usize,
+    min_payload_bytes: usize,
+    shared_bytes: usize,
+) -> Option<DpWindow> {
+    let w = dp?;
+    if shared_bytes > w.slot_bytes {
+        // Oversize payload: ring fallback, mid-sweep or otherwise.
+        return None;
+    }
+    match tuning.data_plane {
+        DataPlaneMode::Ring => None,
+        DataPlaneMode::Shm => Some(w),
+        DataPlaneMode::Auto => {
+            if hier_selected(tuning, hier, payload_bytes, min_payload_bytes) {
+                None
+            } else {
+                Some(w)
+            }
+        }
+    }
+}
+
+/// Payload size from which `build_bcast_shm` switches to the host-sliced
+/// scatter shape on multi-host communicators. Below it the pull is
+/// latency-bound and the extra re-exposure round only adds flag traffic;
+/// above it the cross-host pulls are bandwidth-floor-bound and slicing the
+/// exposure across each host's members divides the floored bytes per reader.
+pub const DP_BCAST_SCATTER_MIN_BYTES: usize = 64 * 1024;
+
+/// Single-copy broadcast. The root exposes the whole payload once; how the
+/// readers drain it depends on shape:
+///
+/// * **Direct** (small payloads, or single-host groups): every other rank
+///   pulls the full payload straight into its own buffer (acking with the
+///   pull — its only read), and the root waits for the acks. One coherent
+///   publish serves all `n − 1` readers; the binomial tree's full-payload
+///   store-and-forward hops disappear entirely.
+/// * **Host-sliced scatter** (payloads ≥ [`DP_BCAST_SCATTER_MIN_BYTES`] on a
+///   group spanning ≥ 2 hosts, when the topology structure is available):
+///   the root's host-mates still pull the full payload — that read is served
+///   by the shared hardware-coherent cache. Each *remote* host's members pull
+///   disjoint contiguous slices of the root's one exposure concurrently —
+///   the payload crosses the pooled device once per remote host, not once
+///   per remote reader — then re-expose their slice and complete the
+///   broadcast intra-host with cache-served pulls of their host-mates'
+///   slices.
+///
+/// Slot footprint: `total` bytes either way (a re-exposed slice lives at its
+/// payload offset within the member's own region).
+pub(crate) fn build_bcast_shm(
+    view: &CommView<'_>,
+    hier: Option<&HostHierarchy>,
+    root: Rank,
+    total: usize,
+) -> CollPlan {
+    let me = view.rank;
+    let n = view.size();
+    let mut ops = Vec::new();
+    let scatter = hier.filter(|h| h.hosts_spanned() >= 2 && total >= DP_BCAST_SCATTER_MIN_BYTES);
+    if me == root {
+        ops.push(SchedOp::ExposeRead {
+            phase: 0,
+            region_off: 0,
+            loc: Loc::Buf,
+            start: 0,
+            end: total,
+        });
+        let readers: Vec<Rank> = (0..n).filter(|&r| r != root).collect();
+        for (i, &r) in readers.iter().enumerate() {
+            ops.push(SchedOp::NotifyWait {
+                reader_idx: r,
+                last: i + 1 == readers.len(),
+            });
+        }
+    } else if let Some(h) = scatter {
+        let my_slot = (0..h.hosts_spanned())
+            .find(|&s| h.members(s).contains(&me))
+            .expect("every member has a host slot");
+        let cohort = h.members(my_slot);
+        if cohort.contains(&root) {
+            // The root's host-mates read the exposure out of the shared
+            // cache: slicing would only trade cache reads for flag traffic.
+            ops.push(SchedOp::PullCopy {
+                writer_idx: root,
+                phase: 0,
+                ack: true,
+                src_off: 0,
+                len: total,
+                dst_loc: Loc::Buf,
+                dst_start: 0,
+            });
+        } else {
+            // Remote host: pull my slice of the root's exposure, re-expose
+            // it (at its payload offset in my own region), then fill in the
+            // rest from my host-mates' re-exposures.
+            let k = cohort.len();
+            let j = cohort.iter().position(|&r| r == me).expect("me in cohort");
+            let slice = |i: usize| (block_off(i, total, k, 1), block_off(i + 1, total, k, 1));
+            let (my_off, my_end) = slice(j);
+            ops.push(SchedOp::PullCopy {
+                writer_idx: root,
+                phase: 0,
+                ack: true,
+                src_off: my_off,
+                len: my_end - my_off,
+                dst_loc: Loc::Buf,
+                dst_start: my_off,
+            });
+            if k > 1 {
+                ops.push(SchedOp::ExposeRead {
+                    phase: 0,
+                    region_off: my_off,
+                    loc: Loc::Buf,
+                    start: my_off,
+                    end: my_end,
+                });
+                for (i, &peer) in cohort.iter().enumerate() {
+                    if peer == me {
+                        continue;
+                    }
+                    let (off, end) = slice(i);
+                    ops.push(SchedOp::PullCopy {
+                        writer_idx: peer,
+                        phase: 0,
+                        ack: true,
+                        src_off: off,
+                        len: end - off,
+                        dst_loc: Loc::Buf,
+                        dst_start: off,
+                    });
+                }
+                let peers: Vec<Rank> = cohort.iter().copied().filter(|&r| r != me).collect();
+                for (i, &peer) in peers.iter().enumerate() {
+                    ops.push(SchedOp::NotifyWait {
+                        reader_idx: peer,
+                        last: i + 1 == peers.len(),
+                    });
+                }
+            }
+        }
+    } else {
+        ops.push(SchedOp::PullCopy {
+            writer_idx: root,
+            phase: 0,
+            ack: true,
+            src_off: 0,
+            len: total,
+            dst_loc: Loc::Buf,
+            dst_start: 0,
+        });
+    }
+    let input = if me == root { (0, total) } else { (0, 0) };
+    CollPlan::new(
+        ops,
+        view.ctx,
+        None,
+        Loc::Buf,
+        (0, total),
+        input,
+        0,
+        "bcast/shm",
+    )
+}
+
+/// Single-copy rooted reduce: every non-root exposes its full vector; the
+/// root pulls each one through a scratch staging block and folds it into its
+/// own buffer (acking each — one read per contributor), and each non-root
+/// waits for the root's ack. The root moves each vector across the fabric
+/// exactly once, with no intermediate partial-sum hops.
+///
+/// Slot footprint: `total` bytes (`count × sizeof(T)`).
+pub(crate) fn build_reduce_shm<T: Reducible>(
+    view: &CommView<'_>,
+    root: Rank,
+    count: usize,
+    op: ReduceOp,
+) -> CollPlan {
+    let me = view.rank;
+    let n = view.size();
+    let total = count * std::mem::size_of::<T>();
+    let fold = Some((op, fold_bytes::<T> as FoldFn));
+    let mut ops = Vec::new();
+    let mut scratch_len = 0usize;
+    if me == root {
+        scratch_len = total;
+        for r in 0..n {
+            if r == root {
+                continue;
+            }
+            ops.push(SchedOp::FoldInPlace {
+                writer_idx: r,
+                phase: 0,
+                ack: true,
+                src_off: 0,
+                len: total,
+                dst_loc: Loc::Buf,
+                dst_start: 0,
+                stage_off: 0,
+            });
+        }
+    } else {
+        ops.push(SchedOp::ExposeRead {
+            phase: 0,
+            region_off: 0,
+            loc: Loc::Buf,
+            start: 0,
+            end: total,
+        });
+        ops.push(SchedOp::NotifyWait {
+            reader_idx: root,
+            last: true,
+        });
+    }
+    let result = if me == root { (0, total) } else { (0, 0) };
+    CollPlan::new(
+        ops,
+        view.ctx,
+        fold,
+        Loc::Buf,
+        result,
+        (0, total),
+        scratch_len,
+        "reduce/shm",
+    )
+}
+
+/// Byte offset of rank `i`'s block in an `n`-way split of `count` elements of
+/// `elem` bytes (first `count % n` blocks get one extra element — the same
+/// uneven split the van de Geijn broadcast uses).
+fn block_off(i: usize, count: usize, n: usize, elem: usize) -> usize {
+    let base = count / n;
+    let rem = count % n;
+    (i * base + i.min(rem)) * elem
+}
+
+/// Single-copy allreduce, reduce-scatter + allgather over the shared window:
+///
+/// 1. every rank exposes its full input vector `A` at slot offset 0
+///    (phase 0);
+/// 2. every rank pulls *its own block* of each peer's `A` and folds it in
+///    place — after this, rank `i` holds the fully reduced block `i`;
+/// 3. every rank exposes its reduced block `B` at slot offset `total`
+///    (phase 1 — `A` and `B` are disjoint slot regions, so no
+///    write-after-read hazard with stragglers still reading `A`);
+/// 4. every rank pulls each peer's `B` into the right place (acking — the
+///    last read), then waits for all acks of its own slot.
+///
+/// Each rank's vector crosses the fabric once in phase 2 (sliced across
+/// readers) and each reduced block once per reader in phase 4 — the
+/// Rabenseifner traffic pattern, minus all intermediate copies, headers and
+/// per-message overhead.
+///
+/// Slot footprint: `total + max_block` bytes.
+pub(crate) fn build_allreduce_shm<T: Reducible>(
+    view: &CommView<'_>,
+    count: usize,
+    op: ReduceOp,
+) -> CollPlan {
+    let me = view.rank;
+    let n = view.size();
+    let elem = std::mem::size_of::<T>();
+    let total = count * elem;
+    let fold = Some((op, fold_bytes::<T> as FoldFn));
+    let my_off = block_off(me, count, n, elem);
+    let my_len = block_off(me + 1, count, n, elem) - my_off;
+    let mut ops = Vec::new();
+    ops.push(SchedOp::ExposeRead {
+        phase: 0,
+        region_off: 0,
+        loc: Loc::Buf,
+        start: 0,
+        end: total,
+    });
+    for r in 0..n {
+        if r == me {
+            continue;
+        }
+        ops.push(SchedOp::FoldInPlace {
+            writer_idx: r,
+            phase: 0,
+            ack: false,
+            src_off: my_off,
+            len: my_len,
+            dst_loc: Loc::Buf,
+            dst_start: my_off,
+            stage_off: 0,
+        });
+    }
+    ops.push(SchedOp::ExposeRead {
+        phase: 1,
+        region_off: total,
+        loc: Loc::Buf,
+        start: my_off,
+        end: my_off + my_len,
+    });
+    for r in 0..n {
+        if r == me {
+            continue;
+        }
+        let r_off = block_off(r, count, n, elem);
+        let r_len = block_off(r + 1, count, n, elem) - r_off;
+        ops.push(SchedOp::PullCopy {
+            writer_idx: r,
+            phase: 1,
+            ack: true,
+            src_off: total,
+            len: r_len,
+            dst_loc: Loc::Buf,
+            dst_start: r_off,
+        });
+    }
+    let readers: Vec<Rank> = (0..n).filter(|&r| r != me).collect();
+    for (i, &r) in readers.iter().enumerate() {
+        ops.push(SchedOp::NotifyWait {
+            reader_idx: r,
+            last: i + 1 == readers.len(),
+        });
+    }
+    CollPlan::new(
+        ops,
+        view.ctx,
+        fold,
+        Loc::Buf,
+        (0, total),
+        (0, total),
+        my_len,
+        "allreduce/shm",
+    )
+}
+
+/// Slot footprint of [`build_allreduce_shm`] for a fit check: the full input
+/// vector plus the largest reduced block.
+pub(crate) fn allreduce_shm_shared_bytes(count: usize, n: usize, elem: usize) -> usize {
+    let max_block = block_off(1, count, n, elem);
+    count * elem + max_block
+}
+
+/// Single-copy allgather: every rank exposes its own block, pulls each
+/// peer's block directly into the right slice of its destination buffer
+/// (acking with the pull), and waits for the acks of its own slot. Every
+/// block crosses the fabric once per reader with no forwarding hops —
+/// the ring's `n − 1` store-and-forward rounds collapse into one round of
+/// concurrent pulls.
+///
+/// Slot footprint: `block` bytes.
+pub(crate) fn build_allgather_shm(view: &CommView<'_>, block: usize) -> CollPlan {
+    let me = view.rank;
+    let n = view.size();
+    let mut ops = Vec::new();
+    ops.push(SchedOp::ExposeRead {
+        phase: 0,
+        region_off: 0,
+        loc: Loc::Buf,
+        start: me * block,
+        end: (me + 1) * block,
+    });
+    for r in 0..n {
+        if r == me {
+            continue;
+        }
+        ops.push(SchedOp::PullCopy {
+            writer_idx: r,
+            phase: 0,
+            ack: true,
+            src_off: 0,
+            len: block,
+            dst_loc: Loc::Buf,
+            dst_start: r * block,
+        });
+    }
+    let readers: Vec<Rank> = (0..n).filter(|&r| r != me).collect();
+    for (i, &r) in readers.iter().enumerate() {
+        ops.push(SchedOp::NotifyWait {
+            reader_idx: r,
+            last: i + 1 == readers.len(),
+        });
+    }
+    CollPlan::new(
+        ops,
+        view.ctx,
+        None,
+        Loc::Buf,
+        (0, n * block),
+        (me * block, (me + 1) * block),
+        0,
+        "allgather/shm",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::Group;
+
+    fn view_of(group: &Group, rank: Rank) -> CommView<'_> {
+        CommView {
+            group,
+            ctx: 0,
+            rank,
+        }
+    }
+
+    #[test]
+    fn dp_selection_gates() {
+        let w = Some(DpWindow {
+            slot_bytes: 1024,
+            slots: DP_SLOTS,
+        });
+        let mut t = CollTuning::default();
+        // No window → never.
+        assert!(dp_selected(&t, None, None, 64, 0, 64).is_none());
+        // Auto, fits, no hierarchy → selected.
+        assert!(dp_selected(&t, None, w, 64, 0, 64).is_some());
+        // Oversize slot footprint → ring fallback.
+        assert!(dp_selected(&t, None, w, 4096, 0, 4096).is_none());
+        // Forced ring → never, even when it fits.
+        t.data_plane = DataPlaneMode::Ring;
+        assert!(dp_selected(&t, None, w, 64, 0, 64).is_none());
+        t.data_plane = DataPlaneMode::Shm;
+        assert!(dp_selected(&t, None, w, 64, 0, 64).is_some());
+    }
+
+    #[test]
+    fn bcast_plan_shape() {
+        let group = Group::from_world_ranks(vec![0, 1, 2, 3]).unwrap();
+        let root_plan = build_bcast_shm(&view_of(&group, 1), None, 1, 256);
+        // Root: one expose + three notify-waits.
+        assert_eq!(root_plan.len(), 4);
+        assert_eq!(root_plan.label, "bcast/shm");
+        assert_eq!(root_plan.input_len(), 256);
+        let leaf_plan = build_bcast_shm(&view_of(&group, 3), None, 1, 256);
+        // Non-root: a single acking pull.
+        assert_eq!(leaf_plan.len(), 1);
+        assert_eq!(leaf_plan.input_len(), 0);
+        assert_eq!(leaf_plan.result_len(), 256);
+    }
+
+    #[test]
+    fn bcast_scatter_shape_slices_remote_hosts_only() {
+        use crate::topology::{HostHierarchy, HostTopology};
+        // 6 ranks blocked over 2 hosts: {0,1,2} and {3,4,5}, root 0.
+        let group = Group::world(6);
+        let topo = HostTopology::blocked(6, 2).unwrap();
+        let total = 2 * DP_BCAST_SCATTER_MIN_BYTES;
+        let plan_of = |rank: Rank| {
+            let h = HostHierarchy::derive(&group, &topo, rank);
+            build_bcast_shm(&view_of(&group, rank), Some(&h), 0, total)
+        };
+        // Root: one expose + five notify-waits (every reader acks its pull
+        // of the root's exposure exactly once, sliced or not).
+        assert_eq!(plan_of(0).len(), 6);
+        // Root's host-mate: one full-payload cache-served pull, no slicing.
+        assert_eq!(plan_of(1).len(), 1);
+        // Remote-host member: pull own slice + re-expose + pull 2 peer
+        // slices + 2 notify-waits.
+        let remote = plan_of(4);
+        assert_eq!(remote.len(), 6);
+        assert_eq!(remote.label, "bcast/shm");
+        assert_eq!(remote.result_len(), total);
+        // Below the cutoff (or on one host) the direct shape is kept.
+        let h = HostHierarchy::derive(&group, &topo, 4);
+        let small = build_bcast_shm(&view_of(&group, 4), Some(&h), 0, 256);
+        assert_eq!(small.len(), 1);
+        let one_host = HostTopology::blocked(6, 1).unwrap();
+        let h1 = HostHierarchy::derive(&group, &one_host, 4);
+        let flat = build_bcast_shm(&view_of(&group, 4), Some(&h1), 0, total);
+        assert_eq!(flat.len(), 1);
+    }
+
+    #[test]
+    fn allreduce_blocks_cover_the_vector_unevenly() {
+        // 10 elements over 4 ranks: blocks of 3, 3, 2, 2.
+        let elem = 8;
+        let offs: Vec<usize> = (0..=4).map(|i| block_off(i, 10, 4, elem)).collect();
+        assert_eq!(offs, vec![0, 24, 48, 64, 80]);
+        assert_eq!(allreduce_shm_shared_bytes(10, 4, elem), 80 + 24);
+        let group = Group::from_world_ranks(vec![0, 1, 2, 3]).unwrap();
+        let plan = build_allreduce_shm::<u64>(&view_of(&group, 2), 10, ReduceOp::Sum);
+        // 2 exposes + 3 folds + 3 pulls + 3 notify-waits.
+        assert_eq!(plan.len(), 11);
+        assert_eq!(plan.label, "allreduce/shm");
+        // Scratch stages one own-block fold at a time.
+        assert_eq!(plan.scratch_len(), 16);
+    }
+
+    #[test]
+    fn allgather_plan_shape() {
+        let group = Group::from_world_ranks(vec![4, 5, 6]).unwrap();
+        let plan = build_allgather_shm(&view_of(&group, 0), 128);
+        // 1 expose + 2 pulls + 2 notify-waits.
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.result_len(), 3 * 128);
+        assert_eq!(plan.input_len(), 128);
+    }
+}

@@ -60,6 +60,12 @@
 //!   extension. Algorithms switch MPICH-style on payload size (thresholds in
 //!   [`config::CollTuning`]) and the chosen algorithm is surfaced in
 //!   [`runtime::RankReport::coll_algos`].
+//! * [`dataplane`] — the shared-window single-copy collective data plane:
+//!   per-communicator exposure windows in the CXL pool, notified-RMA-style
+//!   flag completion, and the plan builders that let bcast / reduce /
+//!   allreduce / allgather move payloads with one coherent copy instead of
+//!   two ring copies (selected by [`config::CollTuning::data_plane`], with
+//!   the ring path as the universal fallback).
 //! * [`spin`] — the tiered [`spin::SpinWait`] backoff used by every blocking
 //!   wait, carrying the universe's [`spin::PoisonFlag`] so a dead rank aborts
 //!   the survivors with [`error::MpiError::PeerDead`] instead of hanging.
@@ -94,6 +100,7 @@ pub mod barrier;
 pub mod coll;
 pub mod comm;
 pub mod config;
+pub mod dataplane;
 pub mod datatype;
 pub mod error;
 pub mod group;
@@ -112,7 +119,7 @@ pub mod types;
 
 pub use comm::{Comm, CommCollStats, SplitType};
 pub use config::{
-    CollTuning, CxlShmTransportConfig, HierarchyMode, HostPlacement, ProgressTuning,
+    CollTuning, CxlShmTransportConfig, DataPlaneMode, HierarchyMode, HostPlacement, ProgressTuning,
     TcpTransportConfig, TransportConfig, UniverseConfig,
 };
 pub use error::MpiError;
@@ -124,6 +131,7 @@ pub use request::{Request, RequestState};
 pub use runtime::{RankReport, Universe};
 pub use spin::{PoisonFlag, SpinWait};
 pub use topology::{HostHierarchy, HostTopology};
+pub use transport::{DataPlaneStats, DpWindow};
 pub use types::{
     CtxId, Rank, ReduceOp, Reducible, Status, Tag, ANY_SOURCE, ANY_TAG, COLL_TAG_BASE, WORLD_CTX,
 };

@@ -19,8 +19,10 @@
 //! everything a builder consults besides the communicator itself: the
 //! operation, the root, the payload shape (byte count + element count), the
 //! element type and the reduction operator. The remaining inputs —
-//! group, topology-derived hierarchy and tuning — are fixed per communicator
-//! for the lifetime of the universe, so they need no key component.
+//! group, topology-derived hierarchy, tuning and the availability of the
+//! communicator's shared data-plane window (created eagerly at communicator
+//! construction, or never) — are fixed per communicator for the lifetime of
+//! the universe, so they need no key component.
 //! Hit/miss/eviction counters are surfaced in
 //! [`crate::runtime::RankReport::plan_cache`].
 

@@ -2,8 +2,10 @@
 //!
 //! Every collective algorithm in [`crate::coll`] is compiled into a
 //! [`CollPlan`] — an **immutable**, buffer-agnostic, sequence-agnostic list of
-//! point-to-point operations (`SchedOp::Send` / `SchedOp::Recv`) and local
-//! data movements (`SchedOp::Fold` / `SchedOp::Copy`) over two byte arenas:
+//! point-to-point operations (`SchedOp::Send` / `SchedOp::Recv`), local
+//! data movements (`SchedOp::Fold` / `SchedOp::Copy`) and shared-window
+//! data-plane operations (`SchedOp::ExposeRead` / `SchedOp::PullCopy` /
+//! `SchedOp::FoldInPlace` / `SchedOp::NotifyWait`) over two byte arenas:
 //! the *primary* buffer (the user's payload) and a *scratch* buffer (algorithm
 //! temporaries). Ops carry **tag offsets** (kind × step within the collective
 //! tag layout), not wire tags: the per-start collective sequence number is
@@ -126,6 +128,72 @@ pub(crate) enum SchedOp {
         src_start: usize,
         /// Byte length of both ranges.
         len: usize,
+    },
+    /// Data plane: publish `loc[start..end]` at `region_off` within this
+    /// rank's exposure slot for the execution's live sequence number, then
+    /// raise the slot's `phase` flag. Pending (does not advance) while the
+    /// slot is still held by an unretired earlier collective.
+    ExposeRead {
+        /// Publish phase within the collective (flag cell selector).
+        phase: u8,
+        /// Byte offset of the published region within the slot.
+        region_off: usize,
+        /// Source arena.
+        loc: Loc,
+        /// Byte range start.
+        start: usize,
+        /// Byte range end.
+        end: usize,
+    },
+    /// Data plane: copy `len` bytes from `src_off` within group-member
+    /// `writer_idx`'s exposed slot into `dst_loc[dst_start..]` once that
+    /// slot's `phase` flag is up (pending until then). With `ack`, also
+    /// acknowledge the writer — this was the reader's last read of the slot.
+    PullCopy {
+        /// Writer's index within the communicator group.
+        writer_idx: usize,
+        /// Publish phase whose flag gates the read.
+        phase: u8,
+        /// Whether to store the reader's ack after the copy.
+        ack: bool,
+        /// Byte offset of the source region within the writer's slot.
+        src_off: usize,
+        /// Byte length to pull.
+        len: usize,
+        /// Destination arena.
+        dst_loc: Loc,
+        /// Destination range start.
+        dst_start: usize,
+    },
+    /// Data plane: like `PullCopy`, but element-wise folds the pulled bytes
+    /// into the destination using the plan's reduction, staging them through
+    /// `scratch[stage_off..stage_off + len]`.
+    FoldInPlace {
+        /// Writer's index within the communicator group.
+        writer_idx: usize,
+        /// Publish phase whose flag gates the read.
+        phase: u8,
+        /// Whether to store the reader's ack after the read.
+        ack: bool,
+        /// Byte offset of the source region within the writer's slot.
+        src_off: usize,
+        /// Byte length to pull and fold.
+        len: usize,
+        /// Destination arena.
+        dst_loc: Loc,
+        /// Destination range start.
+        dst_start: usize,
+        /// Staging offset in scratch for the pulled bytes.
+        stage_off: usize,
+    },
+    /// Data plane: wait (pending until observed) for group-member
+    /// `reader_idx`'s ack of this rank's exposed slot; with `last`, the ack
+    /// retires the slot for reuse by a later collective.
+    NotifyWait {
+        /// Reader's index within the communicator group.
+        reader_idx: usize,
+        /// Whether this is the final ack the writer waits for.
+        last: bool,
     },
 }
 
@@ -488,6 +556,88 @@ impl Execution {
                         let (d, s) =
                             cross_arena(dst_loc, buf, &mut self.scratch, dst_start, src_start, len);
                         d.copy_from_slice(s);
+                    }
+                }
+                SchedOp::ExposeRead {
+                    phase,
+                    region_off,
+                    loc,
+                    start,
+                    end,
+                } => {
+                    let data: &[u8] = &arena(loc, buf, &mut self.scratch)[start..end];
+                    if !t.dp_expose(clock, ctx, self.seq, phase, region_off, data)? {
+                        // Slot still held by an earlier collective: pending.
+                        return Ok(StepOutcome {
+                            done: false,
+                            ops: completed,
+                        });
+                    }
+                }
+                SchedOp::PullCopy {
+                    writer_idx,
+                    phase,
+                    ack,
+                    src_off,
+                    len,
+                    dst_loc,
+                    dst_start,
+                } => {
+                    let dst =
+                        &mut arena(dst_loc, buf, &mut self.scratch)[dst_start..dst_start + len];
+                    if !t.dp_pull(clock, ctx, self.seq, writer_idx, phase, src_off, dst, ack)? {
+                        // Writer's flag not up yet: pending.
+                        return Ok(StepOutcome {
+                            done: false,
+                            ops: completed,
+                        });
+                    }
+                }
+                SchedOp::FoldInPlace {
+                    writer_idx,
+                    phase,
+                    ack,
+                    src_off,
+                    len,
+                    dst_loc,
+                    dst_start,
+                    stage_off,
+                } => {
+                    let (op_kind, f) = plan.fold.ok_or_else(|| {
+                        MpiError::InvalidCollective(
+                            "plan contains FoldInPlace ops but no reduction".into(),
+                        )
+                    })?;
+                    {
+                        let stage = &mut self.scratch[stage_off..stage_off + len];
+                        if !t
+                            .dp_pull(clock, ctx, self.seq, writer_idx, phase, src_off, stage, ack)?
+                        {
+                            return Ok(StepOutcome {
+                                done: false,
+                                ops: completed,
+                            });
+                        }
+                    }
+                    match dst_loc {
+                        Loc::Scratch => {
+                            let (d, s) =
+                                disjoint_mut(&mut self.scratch, dst_start, stage_off, len)?;
+                            f(op_kind, d, s);
+                        }
+                        Loc::Buf => {
+                            let d = &mut buf[dst_start..dst_start + len];
+                            f(op_kind, d, &self.scratch[stage_off..stage_off + len]);
+                        }
+                    }
+                }
+                SchedOp::NotifyWait { reader_idx, last } => {
+                    if !t.dp_wait_ack(clock, ctx, self.seq, reader_idx, last)? {
+                        // Reader has not acked yet: pending.
+                        return Ok(StepOutcome {
+                            done: false,
+                            ops: completed,
+                        });
                     }
                 }
             }

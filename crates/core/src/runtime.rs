@@ -21,7 +21,7 @@ use crate::spin::PoisonFlag;
 use crate::topology::HostTopology;
 use crate::transport::cxl::CxlTransport;
 use crate::transport::tcp::{TcpSharedState, TcpTransport};
-use crate::transport::{Transport, TransportStats};
+use crate::transport::{DataPlaneStats, Transport, TransportStats};
 use crate::types::Rank;
 use crate::Result;
 
@@ -76,6 +76,11 @@ pub struct RankReport {
     /// plans — aggregated across the rank's communicators): how often
     /// repeated collectives skipped plan construction entirely.
     pub plan_cache: PlanCacheStats,
+    /// Shared-window data-plane counters: window setups/failures, single-copy
+    /// expose/pull/notify operations and bytes, plus the shm-vs-ring path
+    /// split of the data-plane-eligible collectives (bcast, reduce,
+    /// allreduce, allgather).
+    pub data_plane: DataPlaneStats,
 }
 
 /// The universe: builds the simulated platform and runs one closure per rank.
@@ -126,7 +131,10 @@ impl Universe {
         match &self.config.transport {
             TransportConfig::CxlShm(cxl_config) => {
                 let device = Self::build_device(ranks, cxl_config, &topology)?;
-                let arena_config = ArenaConfig::for_objects(64 + ranks * 4);
+                // Sized for the transport's queue/window/barrier objects plus
+                // the per-communicator data-plane window pairs (status + data
+                // object each); must match `build_device`.
+                let arena_config = ArenaConfig::for_objects(256 + ranks * 8);
                 // One cache (and arena handle) per host; rank 0's host
                 // initialises the arena, the others attach.
                 let mut arenas: Vec<CxlShmArena> = Vec::with_capacity(topology.hosts());
@@ -239,7 +247,7 @@ impl Universe {
         use std::sync::atomic::{AtomicU64, Ordering};
         static DEVICE_COUNTER: AtomicU64 = AtomicU64::new(0);
         let shared_bytes = CxlTransport::required_shared_bytes(ranks, cxl_config);
-        let arena_config = ArenaConfig::for_objects(64 + ranks * 4);
+        let arena_config = ArenaConfig::for_objects(256 + ranks * 8);
         let min = ArenaLayout::min_device_size(
             arena_config.hash,
             arena_config.max_free_extents,
@@ -262,7 +270,7 @@ impl Universe {
         rank: Rank,
         body: RankBody<T>,
     ) -> Result<(T, RankReport)> {
-        let mut comm = Comm::world(transport, topology, tuning, progress_cfg);
+        let mut comm = Comm::world(transport, topology, tuning, progress_cfg)?;
         // Every rank enters an initialization barrier before user code runs,
         // mirroring the end of MPI_Init.
         comm.barrier()?;
@@ -276,6 +284,7 @@ impl Universe {
             coll_algos: comm.algo_counts_snapshot(),
             progress: comm.progress_stats(),
             plan_cache: comm.plan_cache_stats(),
+            data_plane: comm.data_plane_stats(),
         };
         Ok((value, report))
     }

@@ -14,9 +14,12 @@
 //! the [`CxlCostModel`], with the [`CxlContentionModel`] throttling concurrent
 //! large transfers the way the paper's memory-hierarchy contention does.
 
+use std::collections::BTreeMap;
+
 use cmpi_fabric::cost::CoherenceMode;
 use cmpi_fabric::{CxlContentionModel, CxlCostModel, SimClock};
-use cxl_shm::{CxlShmArena, ShmObject};
+use cxl_shm::slots::SLOT_CELL_TS_OFF;
+use cxl_shm::{CxlShmArena, ShmObject, SlotLayout};
 
 use crate::barrier::SeqBarrier;
 use crate::config::CxlShmTransportConfig;
@@ -26,12 +29,20 @@ use crate::queue::{CellHeader, QueueGeometry, QueueMatrix, SpscQueue, CELL_HEADE
 use crate::rma::layout::WINDOW_READY_MAGIC;
 use crate::rma::{BakeryLock, WindowLayout};
 use crate::spin::{PoisonFlag, SpinWait};
-use crate::transport::{Transport, TransportStats, WinId};
+use crate::transport::{no_data_plane, DataPlaneStats, DpWindow, Transport, TransportStats, WinId};
 use crate::types::{source_matches, tag_matches, CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
 
 /// Name of the SHM object holding the global barrier array.
 const BARRIER_OBJECT: &str = "cmpi/init_barrier";
+
+/// Value the data-plane window leader publishes in the status object once the
+/// window object exists and its control region is zeroed.
+const DP_WINDOW_OK: u64 = 0x6450_4c4e_5f4f_4b21;
+
+/// Value published instead when window creation failed (pool exhausted): the
+/// communicator runs ring-only on every member.
+const DP_WINDOW_FAIL: u64 = 0x6450_4c4e_5f42_5553;
 
 /// Open a shared object that another rank is about to create, with tiered
 /// backoff and the poison check — so a creator that dies before (or while)
@@ -67,6 +78,23 @@ fn spin_flag(
     }
 }
 
+/// One communicator's shared exposure window for the single-copy collective
+/// data plane (see [`SlotLayout`] for the on-device grid).
+struct DpState {
+    obj: ShmObject,
+    layout: SlotLayout,
+    /// World ranks of the group, in group order (index = group rank).
+    group: Vec<Rank>,
+    /// This rank's index within `group`.
+    my_idx: usize,
+    /// Which collective sequence number currently owns each of this rank's
+    /// slots. A slot is claimed by the first expose of a collective and
+    /// retired by the last ack wait; an expose that maps to a slot still
+    /// owned by an *earlier* collective reports "busy" (pending) instead of
+    /// overwriting data a slow reader may not have pulled yet.
+    in_use: Vec<Option<u32>>,
+}
+
 struct WindowState {
     obj: ShmObject,
     layout: WindowLayout,
@@ -93,6 +121,10 @@ pub struct CxlTransport {
     /// other can both keep pumping (a blocking drain here deadlocked them).
     partial_rx: Vec<Option<ChunkAssembler>>,
     windows: Vec<Option<WindowState>>,
+    /// Per-communicator data-plane windows. `Some(None)` memoizes a failed
+    /// creation so the communicator never retries (ring-only forever).
+    dp: BTreeMap<CtxId, Option<DpState>>,
+    dp_stats: DataPlaneStats,
     cost: CxlCostModel,
     contention: CxlContentionModel,
     coherence: CoherenceMode,
@@ -193,6 +225,8 @@ impl CxlTransport {
             unexpected: UnexpectedQueue::new(),
             partial_rx: (0..ranks).map(|_| None).collect(),
             windows: Vec::new(),
+            dp: BTreeMap::new(),
+            dp_stats: DataPlaneStats::default(),
             cost: CxlCostModel::default(),
             contention: CxlContentionModel::default(),
             coherence: config.coherence,
@@ -1076,6 +1110,254 @@ impl Transport for CxlTransport {
         let state = self.window_mut(win)?;
         clock.advance((2 + ranks.saturating_sub(1)) as f64 * nt);
         state.fence_barrier.enter(clock)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-window single-copy data plane
+    // ------------------------------------------------------------------
+
+    fn dp_ensure(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        group: &[Rank],
+        arena_bytes: usize,
+        slots: usize,
+    ) -> Result<Option<DpWindow>> {
+        if let Some(entry) = self.dp.get(&ctx) {
+            return Ok(entry.as_ref().map(|s| DpWindow {
+                slot_bytes: s.layout.slot_bytes(),
+                slots: s.layout.slots(),
+            }));
+        }
+        let Some(my_idx) = group.iter().position(|&r| r == self.rank) else {
+            return Ok(None);
+        };
+        let layout = SlotLayout::new(group.len(), slots, arena_bytes / slots.max(1));
+        if group.len() < 2 || layout.slot_bytes() == 0 {
+            self.dp.insert(ctx, None);
+            return Ok(None);
+        }
+        let nt = self.cost.nt_access();
+        let lead = group[0];
+        // The lead's *world* rank is in the object names because the disjoint
+        // groups of one comm_split share a context id — each color gets its
+        // own window, keyed by its own leader.
+        let status_name = format!("cmpi/dps_{ctx}_{lead}");
+        let data_name = format!("cmpi/dp_{ctx}_{lead}");
+        let state = if self.rank == lead {
+            // The tiny status object is created *first* and unconditionally,
+            // so non-leads always have something to open: a data-window
+            // failure is announced through it rather than by absence.
+            let status = self.arena.create(&status_name, 64)?;
+            match self.arena.create(&data_name, layout.total_len()) {
+                Ok(obj) => {
+                    let zeros = vec![0u8; layout.control_len()];
+                    obj.write_flush_at(0, &zeros)?;
+                    clock.advance(
+                        self.cost
+                            .coherent_write(layout.control_len(), self.coherence)
+                            + 2.0 * nt,
+                    );
+                    status.nt_store_u64_at(SLOT_CELL_TS_OFF as u64, clock.now().to_bits())?;
+                    status.nt_store_u64_at(0, DP_WINDOW_OK)?;
+                    Some(obj)
+                }
+                Err(_) => {
+                    // Pool exhausted: announce the failure and run ring-only.
+                    clock.advance(2.0 * nt);
+                    status.nt_store_u64_at(SLOT_CELL_TS_OFF as u64, clock.now().to_bits())?;
+                    status.nt_store_u64_at(0, DP_WINDOW_FAIL)?;
+                    None
+                }
+            }
+        } else {
+            let status = open_poisoned(&self.arena, &status_name, &self.poison)?;
+            let verdict = spin_flag(&status, 0, &self.poison, |v| {
+                v == DP_WINDOW_OK || v == DP_WINDOW_FAIL
+            })?;
+            let ts = f64::from_bits(status.nt_load_u64_at(SLOT_CELL_TS_OFF as u64)?);
+            clock.merge(ts);
+            clock.advance(2.0 * nt);
+            if verdict == DP_WINDOW_OK {
+                Some(open_poisoned(&self.arena, &data_name, &self.poison)?)
+            } else {
+                None
+            }
+        };
+        match state {
+            Some(obj) => {
+                self.dp_stats.window_setups += 1;
+                self.dp.insert(
+                    ctx,
+                    Some(DpState {
+                        obj,
+                        layout,
+                        group: group.to_vec(),
+                        my_idx,
+                        in_use: vec![None; layout.slots()],
+                    }),
+                );
+                Ok(Some(DpWindow {
+                    slot_bytes: layout.slot_bytes(),
+                    slots: layout.slots(),
+                }))
+            }
+            None => {
+                self.dp_stats.window_failures += 1;
+                self.dp.insert(ctx, None);
+                Ok(None)
+            }
+        }
+    }
+
+    fn dp_window(&self, ctx: CtxId) -> Option<DpWindow> {
+        self.dp.get(&ctx).and_then(|entry| {
+            entry.as_ref().map(|s| DpWindow {
+                slot_bytes: s.layout.slot_bytes(),
+                slots: s.layout.slots(),
+            })
+        })
+    }
+
+    fn dp_expose(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        seq: u32,
+        phase: u8,
+        region_off: usize,
+        data: &[u8],
+    ) -> Result<bool> {
+        let nt = self.cost.nt_access();
+        let publish = self.cost.streamed_publish(data.len(), self.coherence);
+        let Some(Some(state)) = self.dp.get_mut(&ctx) else {
+            return no_data_plane();
+        };
+        let slot = seq as usize % state.layout.slots();
+        if matches!(state.in_use[slot], Some(owner) if owner != seq) {
+            // The slot still belongs to an unretired earlier collective whose
+            // readers may not have pulled yet: report busy, the progress
+            // engine retries after pumping acks.
+            return Ok(false);
+        }
+        state.in_use[slot] = Some(seq);
+        debug_assert!(region_off + data.len() <= state.layout.slot_bytes());
+        let off = state.layout.data_off(state.my_idx, slot) + region_off;
+        state.obj.write_flush_at(off as u64, data)?;
+        // One streamed publish (NT store stream + fence, no per-line flush)
+        // for *all* readers, then the flag cell — whose value and timestamp
+        // words share a cache line and go out as a single 16-byte NT store:
+        // this is the whole point of the single-copy path — no per-chunk
+        // headers, no per-message software overhead.
+        clock.advance(publish + nt);
+        let f = state.layout.flag_off(state.my_idx, slot, phase as usize);
+        state
+            .obj
+            .nt_store_u64_at((f + SLOT_CELL_TS_OFF) as u64, clock.now().to_bits())?;
+        state.obj.nt_store_u64_at(f as u64, u64::from(seq) + 1)?;
+        self.dp_stats.expose_ops += 1;
+        self.dp_stats.bytes_exposed += data.len() as u64;
+        Ok(true)
+    }
+
+    fn dp_pull(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        seq: u32,
+        writer_idx: usize,
+        phase: u8,
+        src_off: usize,
+        buf: &mut [u8],
+        ack: bool,
+    ) -> Result<bool> {
+        let (obj, layout, writer, my_idx) = {
+            let Some(Some(state)) = self.dp.get(&ctx) else {
+                return no_data_plane();
+            };
+            (
+                state.obj.clone(),
+                state.layout,
+                state.group[writer_idx],
+                state.my_idx,
+            )
+        };
+        let slot = seq as usize % layout.slots();
+        let f = layout.flag_off(writer_idx, slot, phase as usize);
+        if obj.nt_load_u64_at(f as u64)? < u64::from(seq) + 1 {
+            // Flag not up yet: a failed poll costs nothing (same as the PSCW
+            // spin idiom — the flag line lives in this rank's cache).
+            return Ok(false);
+        }
+        clock.merge(f64::from_bits(
+            obj.nt_load_u64_at((f + SLOT_CELL_TS_OFF) as u64)?,
+        ));
+        let src = layout.data_off(writer_idx, slot) + src_off;
+        debug_assert!(src_off + buf.len() <= layout.slot_bytes());
+        obj.read_coherent_at(src as u64, buf)?;
+        // Flag value + timestamp live in one cache line: one NT load. The
+        // payload fetch itself is a streamed read — the slot rotation means
+        // this rank's write-allocate copies of these lines were evicted
+        // `slots` collectives ago, so no per-line invalidation applies.
+        let nt = self.cost.nt_access();
+        if self.same_host(writer) {
+            clock.advance(self.cost.coherent_read(buf.len(), CoherenceMode::Cached) + nt);
+        } else {
+            // One-sided cap: a pull is a single device transaction per byte
+            // (the ring's two-copies-per-hop load factor does not apply).
+            let ideal = self.cost.streamed_read(buf.len(), self.coherence) + nt;
+            let cap = self
+                .contention
+                .aggregate_cap_gbps(self.active_pairs, buf.len(), false);
+            let floor =
+                cmpi_fabric::clock::transfer_ns(buf.len(), cap / self.active_pairs.max(1) as f64);
+            clock.advance(ideal.max(floor));
+        }
+        if ack {
+            let a = layout.ack_off(writer_idx, my_idx, slot);
+            obj.nt_store_u64_at((a + SLOT_CELL_TS_OFF) as u64, clock.now().to_bits())?;
+            obj.nt_store_u64_at(a as u64, u64::from(seq) + 1)?;
+            clock.advance(nt);
+        }
+        self.dp_stats.pull_ops += 1;
+        self.dp_stats.bytes_pulled += buf.len() as u64;
+        Ok(true)
+    }
+
+    fn dp_wait_ack(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        seq: u32,
+        reader_idx: usize,
+        last: bool,
+    ) -> Result<bool> {
+        let nt = self.cost.nt_access();
+        let Some(Some(state)) = self.dp.get_mut(&ctx) else {
+            return no_data_plane();
+        };
+        let slot = seq as usize % state.layout.slots();
+        let a = state.layout.ack_off(state.my_idx, reader_idx, slot);
+        if state.obj.nt_load_u64_at(a as u64)? < u64::from(seq) + 1 {
+            return Ok(false);
+        }
+        clock.merge(f64::from_bits(
+            state.obj.nt_load_u64_at((a + SLOT_CELL_TS_OFF) as u64)?,
+        ));
+        // Ack value + timestamp share a line: a single NT load.
+        clock.advance(nt);
+        if last {
+            // Every reader has promised it is done with this slot's data:
+            // retire it so a later collective can claim it.
+            state.in_use[slot] = None;
+        }
+        self.dp_stats.notify_waits += 1;
+        Ok(true)
+    }
+
+    fn dp_stats(&self) -> DataPlaneStats {
+        self.dp_stats
     }
 
     fn stats(&self) -> TransportStats {

@@ -48,6 +48,74 @@ pub struct TransportStats {
     pub collective_bytes: u64,
 }
 
+/// Geometry of a communicator's shared exposure window, as reported by
+/// [`Transport::dp_window`]: what the collective builders need to decide
+/// whether a payload fits the single-copy data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpWindow {
+    /// Usable bytes in one exposure slot (a collective whose shared footprint
+    /// exceeds this falls back to the ring path).
+    pub slot_bytes: usize,
+    /// Exposure slots per rank (consecutive collectives rotate through them).
+    pub slots: usize,
+}
+
+/// Counters for the shared-window single-copy data plane, surfaced in
+/// [`crate::runtime::RankReport::data_plane`]. The transport maintains the
+/// window and per-op counters; the communicator layer adds the per-path
+/// collective split (how many collectives ran single-copy vs ring).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataPlaneStats {
+    /// Exposure windows created (once per communicator, amortized over every
+    /// collective start on it).
+    pub window_setups: u64,
+    /// Window creations that failed gracefully (pool exhausted); the
+    /// communicator runs ring-only.
+    pub window_failures: u64,
+    /// Collectives that ran on the single-copy shared-window path.
+    pub shm_colls: u64,
+    /// Collectives of the data-plane-eligible kinds (bcast, reduce,
+    /// allreduce, allgather) that ran on the ring path instead.
+    pub ring_colls: u64,
+    /// Payload bytes this rank contributed to single-copy collectives.
+    pub shm_bytes: u64,
+    /// Payload bytes this rank contributed to ring-path eligible collectives.
+    pub ring_bytes: u64,
+    /// Expose operations (buffer published into a window slot).
+    pub expose_ops: u64,
+    /// Pull operations (reader copied from a peer's exposed slot).
+    pub pull_ops: u64,
+    /// Notify waits completed (writer observed a reader's ack).
+    pub notify_waits: u64,
+    /// Bytes published into window slots.
+    pub bytes_exposed: u64,
+    /// Bytes pulled out of peers' window slots.
+    pub bytes_pulled: u64,
+}
+
+impl DataPlaneStats {
+    /// Fold another snapshot's counters into this one.
+    pub fn merge(&mut self, other: &DataPlaneStats) {
+        self.window_setups += other.window_setups;
+        self.window_failures += other.window_failures;
+        self.shm_colls += other.shm_colls;
+        self.ring_colls += other.ring_colls;
+        self.shm_bytes += other.shm_bytes;
+        self.ring_bytes += other.ring_bytes;
+        self.expose_ops += other.expose_ops;
+        self.pull_ops += other.pull_ops;
+        self.notify_waits += other.notify_waits;
+        self.bytes_exposed += other.bytes_exposed;
+        self.bytes_pulled += other.bytes_pulled;
+    }
+}
+
+fn no_data_plane<T>() -> Result<T> {
+    Err(crate::error::MpiError::Transport(
+        "data-plane operation on a transport without a shared window".into(),
+    ))
+}
+
 /// A point-to-point + RMA transport bound to one rank.
 ///
 /// Every operation takes the rank's virtual clock and advances it by the
@@ -270,6 +338,96 @@ pub trait Transport: Send {
     /// control.
     fn poll_incoming(&mut self, _clock: &mut SimClock) -> Result<usize> {
         Ok(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-window single-copy data plane
+    // ------------------------------------------------------------------
+    //
+    // The CXL transport exposes a per-communicator slotted window in the
+    // shared pool (see `cxl-shm`'s `slots` module) so collectives can move
+    // payloads with one coherent copy and flag-based completion instead of
+    // two ring copies plus per-chunk headers. Transports without shared
+    // memory keep the defaults: no window is ever offered, so plans never
+    // contain data-plane ops and the erroring op defaults are unreachable.
+
+    /// Collectively establish the exposure window for communicator `ctx`
+    /// over `group` (world ranks, group order), with `arena_bytes` of data
+    /// capacity per rank split into `slots` slots. Blocking and collective:
+    /// every member must call it at the same point (communicator creation).
+    /// Returns the window geometry, or `None` — permanently, memoized — when
+    /// the transport has no shared pool or creation failed gracefully.
+    fn dp_ensure(
+        &mut self,
+        _clock: &mut SimClock,
+        _ctx: CtxId,
+        _group: &[Rank],
+        _arena_bytes: usize,
+        _slots: usize,
+    ) -> Result<Option<DpWindow>> {
+        Ok(None)
+    }
+
+    /// Geometry of the established window for `ctx`, if any (cheap lookup;
+    /// consulted by the collective builders on every plan-cache miss).
+    fn dp_window(&self, _ctx: CtxId) -> Option<DpWindow> {
+        None
+    }
+
+    /// Publish `data` at `region_off` within this rank's slot for collective
+    /// `seq`, then raise the slot's `phase` flag. Returns `false` — without
+    /// blocking — while the slot is still held by an unretired earlier
+    /// collective.
+    fn dp_expose(
+        &mut self,
+        _clock: &mut SimClock,
+        _ctx: CtxId,
+        _seq: u32,
+        _phase: u8,
+        _region_off: usize,
+        _data: &[u8],
+    ) -> Result<bool> {
+        no_data_plane()
+    }
+
+    /// Copy `buf.len()` bytes from `src_off` within group-member
+    /// `writer_idx`'s slot for collective `seq`, once that slot's `phase`
+    /// flag is up (returns `false` without blocking until then). With `ack`,
+    /// also stores this rank's ack for the writer — the reader's promise
+    /// that this was its last read from that slot.
+    #[allow(clippy::too_many_arguments)]
+    fn dp_pull(
+        &mut self,
+        _clock: &mut SimClock,
+        _ctx: CtxId,
+        _seq: u32,
+        _writer_idx: usize,
+        _phase: u8,
+        _src_off: usize,
+        _buf: &mut [u8],
+        _ack: bool,
+    ) -> Result<bool> {
+        no_data_plane()
+    }
+
+    /// Wait (non-blockingly: `false` = not yet) for group-member
+    /// `reader_idx`'s ack of this rank's slot for collective `seq`. With
+    /// `last`, the ack retires the slot for reuse by a later collective.
+    fn dp_wait_ack(
+        &mut self,
+        _clock: &mut SimClock,
+        _ctx: CtxId,
+        _seq: u32,
+        _reader_idx: usize,
+        _last: bool,
+    ) -> Result<bool> {
+        no_data_plane()
+    }
+
+    /// Data-plane counters (window setups/failures and per-op traffic; the
+    /// communicator layer adds the per-path collective split on top).
+    fn dp_stats(&self) -> DataPlaneStats {
+        DataPlaneStats::default()
     }
 
     /// Non-blocking variant of [`Transport::recv_into`]: `Ok(None)` when no

@@ -439,6 +439,54 @@ mod tests {
     }
 
     #[test]
+    fn notified_publish_orders_payload_before_flag() {
+        // The data plane's expose/notify protocol: the writer publishes the
+        // payload with `write_flush` (flush + sfence) *before* nt-storing the
+        // notify flag, so a reader that spins on the flag and then issues a
+        // coherent read can never observe pre-publish bytes. The property is
+        // checked over randomized offsets and lengths, and paired with its
+        // converse — skipping the payload flush observably leaks stale
+        // data — so the ordering requirement is real, not a tautology of the
+        // simulation being too forgiving.
+        const FLAG: usize = 32768;
+        let mut lcg = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg
+        };
+        for round in 0..64u64 {
+            let (a, b) = two_hosts();
+            let len = 1 + (next() % 300) as usize;
+            let off = (64 + (next() % 1000) as usize) & !7;
+            let payload: Vec<u8> = (0..len)
+                .map(|i| (round as u8).wrapping_mul(31).wrapping_add(i as u8) | 1)
+                .collect();
+            // Prime the reader's cache with the pre-publish (zero) view.
+            let mut before = vec![0u8; len];
+            b.read(off, &mut before).unwrap();
+            // Broken protocol: cached write, then the flag with no flush in
+            // between. The flag arrives (nt stores bypass the cache) but the
+            // payload is still dirty in the writer's cache — the reader's
+            // coherent read must still see the old bytes.
+            a.write(off, &payload).unwrap();
+            a.nt_store_u64(FLAG, round + 1).unwrap();
+            b.nt_spin_until(FLAG, |v| v == round + 1).unwrap();
+            let mut got = vec![0u8; len];
+            b.read_coherent(off, &mut got).unwrap();
+            assert_eq!(got, before, "round {round}: un-flushed publish leaked");
+            // Correct protocol: flush + fence, *then* the flag. Once the
+            // reader observes the flag, the coherent read is fresh.
+            a.write_flush(off, &payload).unwrap();
+            a.nt_store_u64(FLAG, round + 100).unwrap();
+            b.nt_spin_until(FLAG, |v| v == round + 100).unwrap();
+            b.read_coherent(off, &mut got).unwrap();
+            assert_eq!(got, payload, "round {round}: post-notify read stale");
+        }
+    }
+
+    #[test]
     fn counters_accumulate() {
         let (a, _b) = two_hosts();
         a.write_flush(0, &[1u8; 130]).unwrap();

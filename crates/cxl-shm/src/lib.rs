@@ -20,6 +20,8 @@
 //!   coalescing, cacheline-aligned allocations).
 //! * [`arena`] — the CXL SHM Arena itself, exposing the POSIX-SHM-like API of
 //!   Table 2 (`init`, `finalize`, `create`, `open`, `destroy`, `close`).
+//! * [`slots`] — offset arithmetic for the slotted per-communicator exposure
+//!   windows the single-copy collective data plane allocates from the arena.
 //!
 //! The simulation is functional, not just a performance model: if a caller
 //! forgets a flush after a write, or an invalidate before a read, a peer host
@@ -37,6 +39,7 @@ pub mod dax;
 pub mod error;
 pub mod layout;
 pub mod multilevel_hash;
+pub mod slots;
 
 pub use arena::{ArenaConfig, CxlShmArena, ShmObject};
 pub use cache::{CacheStats, HostCache, CACHE_LINE_SIZE};
@@ -44,6 +47,7 @@ pub use coherence::{CachePolicy, CxlView, FenceKind, FlushKind};
 pub use dax::{DaxDevice, DaxRegistry, SharedSegment};
 pub use error::ShmError;
 pub use layout::ArenaLayout;
+pub use slots::SlotLayout;
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, ShmError>;

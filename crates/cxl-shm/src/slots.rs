@@ -1,0 +1,158 @@
+//! Offset arithmetic for a slotted exposure window shared by a rank group.
+//!
+//! The collective data plane (`cmpi-core`'s `dataplane` module) allocates one
+//! arena object per communicator and carves it into a fixed grid:
+//!
+//! ```text
+//! ┌ control ──────────────────────────────┬ data ──────────────────────────┐
+//! │ flag cells        │ ack cells         │ writer 0 slots │ writer 1 … │ … │
+//! │ (writer,slot,cell)│ (writer,reader,   │ slot 0 │ slot 1 │ …              │
+//! │                   │  slot)            │                                  │
+//! └───────────────────┴───────────────────┴──────────────────────────────────┘
+//! ```
+//!
+//! * **Flag cells** are the notified-RMA publish flags: a writer exposes data
+//!   in its slot, then non-temporally stores the collective's sequence number
+//!   into the slot's flag cell; readers spin on the flag with non-temporal
+//!   loads. Two cells per slot cover two publish phases within one collective
+//!   (allreduce exposes the full input vector first and the reduced block
+//!   second).
+//! * **Ack cells** close the loop: a reader stores the sequence number into
+//!   its `(writer, reader, slot)` cell after its *last* read from that
+//!   writer, and the writer spins on them before retiring the slot.
+//!
+//! Every cell is one cache line so a non-temporal store to one flag never
+//! shares a line with another rank's cell, and each cell pairs the `u64`
+//! value with a `u64` virtual-time timestamp (the writer's clock at publish,
+//! merged by whoever observes the flag — the same idiom as the PSCW
+//! synchronization flags in `cmpi-core`).
+
+/// Bytes per synchronization cell (one cache line).
+pub const SLOT_CELL_SIZE: usize = 64;
+
+/// Byte offset of the timestamp word within a cell (the value word is at 0).
+pub const SLOT_CELL_TS_OFF: usize = 8;
+
+/// Publish phases (flag cells) available per slot.
+pub const SLOT_PHASES: usize = 2;
+
+/// The fixed grid of one communicator's exposure window: offsets of every
+/// flag cell, ack cell and data slot, derived from the group size, the slot
+/// count and the per-slot capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotLayout {
+    ranks: usize,
+    slots: usize,
+    slot_bytes: usize,
+}
+
+impl SlotLayout {
+    /// Lay out a window for `ranks` writers with `slots` slots per writer of
+    /// `slot_bytes` bytes each. `slot_bytes` is rounded down to cache-line
+    /// alignment so data slots never share a line with each other.
+    pub fn new(ranks: usize, slots: usize, slot_bytes: usize) -> Self {
+        SlotLayout {
+            ranks,
+            slots,
+            slot_bytes: slot_bytes & !(SLOT_CELL_SIZE - 1),
+        }
+    }
+
+    /// Number of writers (the communicator's group size).
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Slots per writer.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Usable bytes in one data slot.
+    pub fn slot_bytes(&self) -> usize {
+        self.slot_bytes
+    }
+
+    /// Offset of the publish-flag cell for `(writer, slot, phase)`.
+    pub fn flag_off(&self, writer: usize, slot: usize, phase: usize) -> usize {
+        debug_assert!(writer < self.ranks && slot < self.slots && phase < SLOT_PHASES);
+        ((writer * self.slots + slot) * SLOT_PHASES + phase) * SLOT_CELL_SIZE
+    }
+
+    fn acks_base(&self) -> usize {
+        self.ranks * self.slots * SLOT_PHASES * SLOT_CELL_SIZE
+    }
+
+    /// Offset of the ack cell `reader` stores into after its last read from
+    /// `writer`'s `slot`.
+    pub fn ack_off(&self, writer: usize, reader: usize, slot: usize) -> usize {
+        debug_assert!(writer < self.ranks && reader < self.ranks && slot < self.slots);
+        self.acks_base() + ((writer * self.ranks + reader) * self.slots + slot) * SLOT_CELL_SIZE
+    }
+
+    /// Length of the control region (all flag + ack cells); the writer zeroes
+    /// `0..control_len()` before publishing the window.
+    pub fn control_len(&self) -> usize {
+        self.acks_base() + self.ranks * self.ranks * self.slots * SLOT_CELL_SIZE
+    }
+
+    /// Offset of `writer`'s data `slot`.
+    pub fn data_off(&self, writer: usize, slot: usize) -> usize {
+        debug_assert!(writer < self.ranks && slot < self.slots);
+        self.control_len() + (writer * self.slots + slot) * self.slot_bytes
+    }
+
+    /// Total window size in bytes.
+    pub fn total_len(&self) -> usize {
+        self.control_len() + self.ranks * self.slots * self.slot_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_bytes_align_down_to_cache_line() {
+        let l = SlotLayout::new(3, 4, 1000);
+        assert_eq!(l.slot_bytes(), 960);
+        let l = SlotLayout::new(3, 4, 1024);
+        assert_eq!(l.slot_bytes(), 1024);
+    }
+
+    #[test]
+    fn cells_are_disjoint_and_line_aligned() {
+        let l = SlotLayout::new(3, 2, 256);
+        let mut offsets = Vec::new();
+        for w in 0..3 {
+            for s in 0..2 {
+                for p in 0..SLOT_PHASES {
+                    offsets.push(l.flag_off(w, s, p));
+                }
+                for r in 0..3 {
+                    offsets.push(l.ack_off(w, r, s));
+                }
+            }
+        }
+        for &o in &offsets {
+            assert_eq!(o % SLOT_CELL_SIZE, 0);
+            assert!(o + SLOT_CELL_SIZE <= l.control_len());
+        }
+        let unique: std::collections::BTreeSet<_> = offsets.iter().collect();
+        assert_eq!(unique.len(), offsets.len(), "cells overlap");
+    }
+
+    #[test]
+    fn data_slots_cover_the_tail_exactly() {
+        let l = SlotLayout::new(2, 4, 512);
+        assert_eq!(l.data_off(0, 0), l.control_len());
+        // Slots tile contiguously, writer-major.
+        for w in 0..2 {
+            for s in 0..4 {
+                let expect = l.control_len() + (w * 4 + s) * 512;
+                assert_eq!(l.data_off(w, s), expect);
+            }
+        }
+        assert_eq!(l.total_len(), l.control_len() + 2 * 4 * 512);
+    }
+}

@@ -66,6 +66,9 @@ pub struct CxlCostModel {
     pub uncacheable_cliff_bytes: usize,
     /// MPI software overhead per operation on the CXL path, ns.
     pub mpi_sw_overhead_ns: f64,
+    /// Non-temporal store-stream / one-sided RMA bandwidth into the pool,
+    /// GB/s (the paper's measured one-sided peak).
+    pub onesided_bw_gbps: f64,
 }
 
 impl Default for CxlCostModel {
@@ -83,6 +86,7 @@ impl Default for CxlCostModel {
             uncacheable_word_large_ns: params::UNCACHEABLE_WORD_NS_LARGE,
             uncacheable_cliff_bytes: params::UNCACHEABLE_CLIFF_BYTES,
             mpi_sw_overhead_ns: params::CXL_MPI_SW_OVERHEAD_NS,
+            onesided_bw_gbps: params::CXL_ONESIDED_PEAK_BW_MBPS / 1000.0,
         }
     }
 }
@@ -149,6 +153,38 @@ impl CxlCostModel {
         match mode {
             CoherenceMode::Uncacheable => self.uncacheable_access(bytes),
             _ => self.fence_ns + self.flush(bytes, mode) + self.cxl_copy(bytes),
+        }
+    }
+
+    /// Cost of a *streamed* publish of `bytes` into CXL memory: a
+    /// non-temporal store stream plus one store fence. NT stores bypass the
+    /// cache entirely, so under software coherence there is nothing to flush —
+    /// the stream runs at the measured one-sided RMA bandwidth instead of
+    /// paying a `clflush(opt)` per written line. This is the publish the
+    /// single-copy data plane uses (a write-once region read by other hosts);
+    /// the SPSC ring keeps the cached-write-then-flush protocol because its
+    /// cells are reread and rewritten in place. Under hardware coherence
+    /// (`Cached`) plain stores are strictly better, so delegate.
+    pub fn streamed_publish(&self, bytes: usize, mode: CoherenceMode) -> SimNs {
+        match mode {
+            CoherenceMode::Uncacheable => self.uncacheable_access(bytes),
+            CoherenceMode::Cached => self.coherent_write(bytes, mode),
+            _ => self.nt_access_ns + transfer_ns(bytes, self.onesided_bw_gbps) + self.fence_ns,
+        }
+    }
+
+    /// Cost of a streamed fetch of `bytes` from CXL memory: one load fence,
+    /// then a copy out at the measured one-sided RMA bandwidth (which already
+    /// embeds the device-side protocol cost — no per-line invalidation is
+    /// charged on top, because the data plane's slot rotation guarantees the
+    /// reader last touched these lines ≥ `slots` collectives ago and its
+    /// write-allocate copies have long been evicted). Counterpart of
+    /// [`Self::streamed_publish`] on the read side.
+    pub fn streamed_read(&self, bytes: usize, mode: CoherenceMode) -> SimNs {
+        match mode {
+            CoherenceMode::Uncacheable => self.uncacheable_access(bytes),
+            CoherenceMode::Cached => self.coherent_read(bytes, mode),
+            _ => self.fence_ns + self.cached_access_ns + transfer_ns(bytes, self.onesided_bw_gbps),
         }
     }
 
@@ -385,6 +421,30 @@ mod tests {
         // Uncacheable path routes through the TLP model.
         assert_eq!(
             m.coherent_write(4096, CoherenceMode::Uncacheable),
+            m.uncacheable_access(4096)
+        );
+    }
+
+    #[test]
+    fn streamed_access_beats_flushed_coherence_in_bulk() {
+        let m = CxlCostModel::default();
+        // At 1 MiB the flushed protocols pay ~16 Ki line flushes; the NT
+        // stream pays none and must win by a wide margin in both directions.
+        for mode in [CoherenceMode::FlushClflushopt, CoherenceMode::FlushClflush] {
+            assert!(m.streamed_publish(1 << 20, mode) * 3.0 < m.coherent_write(1 << 20, mode));
+            assert!(m.streamed_read(1 << 20, mode) * 3.0 < m.coherent_read(1 << 20, mode));
+        }
+        // Small streamed accesses still pay the CXL access latency floor.
+        assert!(m.streamed_publish(8, CoherenceMode::FlushClflushopt) > m.nt_access_ns);
+        assert!(m.streamed_read(8, CoherenceMode::FlushClflushopt) > m.cached_access_ns);
+        // Under hardware coherence or uncacheable mappings there is no flush
+        // to skip: the streamed paths delegate to the existing models.
+        assert_eq!(
+            m.streamed_publish(4096, CoherenceMode::Cached),
+            m.coherent_write(4096, CoherenceMode::Cached)
+        );
+        assert_eq!(
+            m.streamed_read(4096, CoherenceMode::Uncacheable),
             m.uncacheable_access(4096)
         );
     }

@@ -87,6 +87,22 @@ impl NetworkParams {
             gflops_per_rank: 4.0,
         }
     }
+
+    /// The CXL parameters with the shared-window single-copy collective data
+    /// plane engaged (`CollTuning::data_plane` in the core library): readers
+    /// pull collective payloads straight out of writers' exposed window
+    /// buffers, so the per-message MPI software overhead drops out of the
+    /// latency on both sides of each hop, and the effective per-node
+    /// bandwidth rises from the two-sided ring-copy value to the one-sided
+    /// single-copy peak. No effect on the TCP transports — they have no
+    /// shared pool to carve a window from.
+    pub fn with_data_plane(mut self, class: TransportClass) -> Self {
+        if class == TransportClass::CxlShm {
+            self.inter_latency_ns -= 2.0 * params::CXL_MPI_SW_OVERHEAD_NS;
+            self.inter_bw_gbps = params::CXL_ONESIDED_PEAK_BW_MBPS / 1000.0;
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +127,21 @@ mod tests {
         assert!(cxl.inter_latency_ns < eth.inter_latency_ns);
         assert!(eth.inter_latency_ns < mlx.inter_latency_ns);
         assert!(eth.inter_bw_gbps < mlx.inter_bw_gbps / 50.0);
+    }
+
+    #[test]
+    fn data_plane_improves_cxl_only() {
+        for class in TransportClass::all() {
+            let base = NetworkParams::for_transport(class);
+            let dp = base.with_data_plane(class);
+            if class == TransportClass::CxlShm {
+                assert!(dp.inter_latency_ns < base.inter_latency_ns);
+                assert!(dp.inter_bw_gbps > base.inter_bw_gbps);
+                assert!(dp.inter_latency_ns > 0.0);
+            } else {
+                assert_eq!(dp, base);
+            }
+        }
     }
 
     #[test]

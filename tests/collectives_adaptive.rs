@@ -472,7 +472,15 @@ fn forced_hierarchy_on_subset_of_hosts_subcommunicator() {
 /// composite labels.
 #[test]
 fn auto_selection_gates_on_payload_and_mode() {
-    use cmpi::mpi::{CollTuning, HierarchyMode};
+    use cmpi::mpi::{CollTuning, DataPlaneMode, HierarchyMode};
+    // This test isolates the *hierarchy* gates, so the data plane is pinned
+    // to ring throughout — `cxl(8)`'s full-size pool would otherwise hand
+    // the small flat collectives to the shared window (covered by the
+    // data-plane suites instead).
+    let ring = || CollTuning {
+        data_plane: DataPlaneMode::Ring,
+        ..CollTuning::default()
+    };
     // 8 ranks × 2 hosts, full-size cells so the 768 KiB payload stays fast.
     let run = |tuning: CollTuning| {
         let config = UniverseConfig::cxl(8).with_coll_tuning(tuning);
@@ -499,7 +507,7 @@ fn auto_selection_gates_on_payload_and_mode() {
         .unwrap()
     };
 
-    let auto = run(CollTuning::default());
+    let auto = run(ring());
     for (small, large, bcast) in auto.iter().map(|(r, _)| *r) {
         assert_eq!(small, "allreduce/recursive-doubling");
         assert_eq!(large, "allreduce/hier+rabenseifner");
@@ -510,7 +518,7 @@ fn auto_selection_gates_on_payload_and_mode() {
 
     let off = run(CollTuning {
         hierarchy: HierarchyMode::Off,
-        ..CollTuning::default()
+        ..ring()
     });
     for (small, large, bcast) in off.iter().map(|(r, _)| *r) {
         assert_eq!(small, "allreduce/recursive-doubling");
@@ -519,7 +527,7 @@ fn auto_selection_gates_on_payload_and_mode() {
     }
 
     // The composite labels surface in RankReport::coll_algos.
-    let config = UniverseConfig::cxl(8);
+    let config = UniverseConfig::cxl(8).with_coll_tuning(ring());
     let results = Universe::run(config, |comm: &mut Comm| {
         let mut big = vec![1.0f64; 128 * 1024]; // 1 MiB
         comm.allreduce(&mut big, ReduceOp::Sum)?;
@@ -540,7 +548,7 @@ fn auto_selection_gates_on_payload_and_mode() {
     // Auto is op-aware: allgather uses its own (much larger) total-size
     // cutoff, so a 512 KiB total result — which the bench sweep measures as
     // a hierarchical *loss* — stays flat, while an 8 MiB total composes.
-    let config = UniverseConfig::cxl(8);
+    let config = UniverseConfig::cxl(8).with_coll_tuning(ring());
     let results = Universe::run(config, |comm: &mut Comm| {
         let n = comm.size();
         let send = vec![comm.rank() as u64; 8 * 1024]; // 64 KiB block → 512 KiB total
@@ -568,7 +576,7 @@ fn auto_selection_gates_on_payload_and_mode() {
             .with_placement(HP::RoundRobin)
             .with_coll_tuning(CollTuning {
                 hierarchy: mode,
-                ..CollTuning::default()
+                ..ring()
             });
         Universe::run(config, |comm: &mut Comm| {
             let mut big = vec![1.0f64; 128 * 1024]; // 1 MiB
@@ -622,5 +630,290 @@ fn scan_and_exscan_match_prefix_references_on_subcommunicators() {
             })
             .unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
         }
+    }
+}
+
+/// The shared-window data plane must be byte-equivalent to the ring path for
+/// every collective family it implements — on awkward rank counts, for
+/// blocking and nonblocking starts, with the hierarchy both off and forced.
+/// The ring legs are the references; the shm legs must also actually run on
+/// the window (data-plane labels, non-zero single-copy counters).
+#[test]
+fn data_plane_matches_ring_byte_for_byte() {
+    use cmpi::mpi::{CollTuning, DataPlaneMode, HierarchyMode};
+    use common::{force_ring, force_shm, with_window_headroom, TEST_SHM_ARENA_BYTES};
+
+    #[derive(Debug, PartialEq)]
+    struct Outcome {
+        bcast: Vec<u64>,
+        reduce: Option<Vec<i64>>,
+        allreduce: Vec<i64>,
+        allgather: Vec<u32>,
+        ibcast: Vec<u64>,
+        iallreduce: Vec<i64>,
+        iallgather: Vec<u32>,
+    }
+
+    for n in [3usize, 5, 6, 7] {
+        let run = |tuning: CollTuning, expect_shm: bool| -> Vec<Outcome> {
+            let config =
+                with_window_headroom(UniverseConfig::cxl_small(n).with_hosts(2), 64 * 1024 * 1024)
+                    .with_coll_tuning(tuning);
+            let results = Universe::run(config, move |comm: &mut Comm| {
+                let me = comm.rank();
+                let check = |comm: &Comm, family: &str| {
+                    let algo = comm.last_coll_algorithm();
+                    assert_eq!(
+                        algo.ends_with("/shm"),
+                        expect_shm,
+                        "{family}: unexpected path {algo} (expect_shm={expect_shm})"
+                    );
+                };
+                // bcast from root 1: 3000 u64 = ~23 KiB, fits a 64 KiB slot.
+                let mut bc: Vec<u64> = if me == 1 {
+                    (0..3000).map(|i| i * 7 + 13).collect()
+                } else {
+                    vec![0; 3000]
+                };
+                comm.bcast_into(1, &mut bc)?;
+                check(comm, "bcast");
+                // Rooted reduce at root 2 (33 elements exercise uneven folds).
+                let vals: Vec<i64> = (0..33).map(|i| me as i64 * 1000 + i).collect();
+                let red = comm.reduce(2, &vals, ReduceOp::Sum)?;
+                check(comm, "reduce");
+                // Allreduce, sum.
+                let mut ar = vals.clone();
+                comm.allreduce(&mut ar, ReduceOp::Sum)?;
+                check(comm, "allreduce");
+                // Allgather, 5 u32 per rank.
+                let send: Vec<u32> = (0..5).map(|i| (me * 100 + i) as u32).collect();
+                let mut ag = vec![0u32; 5 * comm.size()];
+                comm.allgather_into(&send, &mut ag)?;
+                check(comm, "allgather");
+                // Nonblocking starts execute the same cached plans.
+                let contrib = if me == 1 {
+                    bc.clone()
+                } else {
+                    vec![0u64; 3000]
+                };
+                let mut req = comm.ibcast_into(1, &contrib)?;
+                comm.wait(&mut req)?;
+                check(comm, "ibcast");
+                let ibc = req.take_values::<u64>()?;
+                let mut req = comm.iallreduce(&vals, ReduceOp::Sum)?;
+                comm.wait(&mut req)?;
+                check(comm, "iallreduce");
+                let iar = req.take_values::<i64>()?;
+                let mut req = comm.iallgather_into(&send)?;
+                comm.wait(&mut req)?;
+                check(comm, "iallgather");
+                let iag = req.take_values::<u32>()?;
+                // The per-path byte counters agree with the expected path.
+                let dp = comm.data_plane_stats();
+                if expect_shm {
+                    assert!(dp.shm_colls >= 7, "shm_colls={}", dp.shm_colls);
+                    assert!(dp.bytes_pulled > 0 && dp.expose_ops > 0, "{dp:?}");
+                } else {
+                    assert_eq!(dp.shm_colls, 0, "{dp:?}");
+                    assert!(dp.ring_colls >= 7, "ring_colls={}", dp.ring_colls);
+                }
+                Ok(Outcome {
+                    bcast: bc,
+                    reduce: red,
+                    allreduce: ar,
+                    allgather: ag,
+                    ibcast: ibc,
+                    iallreduce: iar,
+                    iallgather: iag,
+                })
+            })
+            .unwrap_or_else(|e| panic!("n={n} expect_shm={expect_shm}: {e}"));
+            results.into_iter().map(|(o, _)| o).collect()
+        };
+
+        let ring_flat = run(force_ring(), false);
+        let ring_hier = run(
+            CollTuning {
+                hierarchy: HierarchyMode::Force,
+                data_plane: DataPlaneMode::Ring,
+                ..CollTuning::default()
+            },
+            false,
+        );
+        let shm_flat = run(force_shm(), true);
+        // DataPlaneMode::Shm outranks even a forced hierarchy: the per-host
+        // phases are exactly the traffic the window replaces.
+        let shm_hier = run(
+            CollTuning {
+                hierarchy: HierarchyMode::Force,
+                data_plane: DataPlaneMode::Shm,
+                shm_arena_bytes: TEST_SHM_ARENA_BYTES,
+                ..CollTuning::default()
+            },
+            true,
+        );
+        assert_eq!(ring_flat, ring_hier, "n={n}: hier ring diverged");
+        assert_eq!(ring_flat, shm_flat, "n={n}: shm diverged from ring");
+        assert_eq!(ring_flat, shm_hier, "n={n}: shm-under-hier diverged");
+    }
+}
+
+/// Above `DP_BCAST_SCATTER_MIN_BYTES` (64 KiB) a multi-host bcast takes the
+/// host-sliced scatter shape: remote-host members pull disjoint slices of the
+/// root's exposure and re-expose them for their host-mates. The result must
+/// still be byte-identical to the ring reference — on two hosts (sliced) and
+/// on one host (degenerate direct shape) — for blocking and nonblocking
+/// starts, with restarts reusing the cached plan.
+#[test]
+fn data_plane_scatter_bcast_matches_ring_above_cutoff() {
+    use cmpi::mpi::{CollTuning, DataPlaneMode, HierarchyMode};
+    use common::{force_ring, with_window_headroom};
+
+    // 20_000 u64 = 160_000 B ≥ the 64 KiB scatter cutoff; a 2 MiB arena
+    // gives 512 KiB slots, comfortably above payload + block footprint.
+    const ELEMS: u64 = 20_000;
+    let shm = CollTuning {
+        hierarchy: HierarchyMode::Off,
+        data_plane: DataPlaneMode::Shm,
+        shm_arena_bytes: 2 * 1024 * 1024,
+        ..CollTuning::default()
+    };
+
+    for n in [4usize, 5] {
+        for hosts in [1usize, 2] {
+            let run = |tuning: CollTuning, expect_shm: bool| -> Vec<(Vec<u64>, Vec<u64>)> {
+                let config = with_window_headroom(
+                    UniverseConfig::cxl_small(n).with_hosts(hosts),
+                    64 * 1024 * 1024,
+                )
+                .with_coll_tuning(tuning);
+                let results = Universe::run(config, move |comm: &mut Comm| {
+                    let me = comm.rank();
+                    let payload =
+                        |seed: u64| -> Vec<u64> { (0..ELEMS).map(|i| i * 31 + seed).collect() };
+                    // Two rounds so the second start replays the cached plan.
+                    let mut rounds = Vec::new();
+                    for round in 0..2u64 {
+                        let mut bc = if me == 0 {
+                            payload(round * 97 + 5)
+                        } else {
+                            vec![0; ELEMS as usize]
+                        };
+                        comm.bcast_into(0, &mut bc)?;
+                        let algo = comm.last_coll_algorithm();
+                        assert_eq!(
+                            algo.ends_with("/shm"),
+                            expect_shm,
+                            "bcast round {round}: unexpected path {algo}"
+                        );
+                        let contrib = if me == 0 {
+                            payload(round * 97 + 41)
+                        } else {
+                            vec![0u64; ELEMS as usize]
+                        };
+                        let mut req = comm.ibcast_into(0, &contrib)?;
+                        comm.wait(&mut req)?;
+                        let ibc = req.take_values::<u64>()?;
+                        rounds.push((bc, ibc));
+                    }
+                    Ok(rounds)
+                })
+                .unwrap_or_else(|e| panic!("n={n} hosts={hosts} expect_shm={expect_shm}: {e}"));
+                results.into_iter().flat_map(|(o, _)| o).collect()
+            };
+
+            let ring = run(force_ring(), false);
+            let shm_out = run(shm, true);
+            assert_eq!(
+                ring, shm_out,
+                "n={n} hosts={hosts}: scatter bcast diverged from ring"
+            );
+            // Sanity on the references themselves.
+            for (bc, ibc) in &ring {
+                assert_eq!(bc.len(), ELEMS as usize);
+                assert_eq!(bc[1], 31 + bc[0]);
+                assert_eq!(ibc.len(), ELEMS as usize);
+            }
+        }
+    }
+}
+
+/// Oversize payloads must fall back to the ring path mid-sweep — never
+/// error — and both paths' work must land in the right counters.
+#[test]
+fn data_plane_oversize_payloads_fall_back_to_ring_mid_sweep() {
+    use cmpi::mpi::{CollTuning, DataPlaneMode, HierarchyMode};
+    use common::with_window_headroom;
+
+    // 4 KiB per-rank arena → 1 KiB slots: 64 u64 fit (512 B + 136 B block
+    // footprint), 512 u64 (4 KiB) do not.
+    let tuning = CollTuning {
+        hierarchy: HierarchyMode::Off,
+        data_plane: DataPlaneMode::Shm,
+        shm_arena_bytes: 4096,
+        ..CollTuning::default()
+    };
+    let config = with_window_headroom(UniverseConfig::cxl_small(4), 64 * 1024 * 1024)
+        .with_coll_tuning(tuning);
+    let results = Universe::run(config, |comm: &mut Comm| {
+        for &count in &[64usize, 512, 64, 512] {
+            let mut v = vec![1u64; count];
+            comm.allreduce(&mut v, ReduceOp::Sum)?;
+            assert!(v.iter().all(|&x| x == comm.size() as u64));
+            let algo = comm.last_coll_algorithm();
+            if count == 64 {
+                assert_eq!(algo, "allreduce/shm");
+            } else {
+                assert!(
+                    algo.starts_with("allreduce/") && !algo.ends_with("/shm"),
+                    "oversize payload should ring-fall-back, got {algo}"
+                );
+            }
+        }
+        Ok(())
+    })
+    .unwrap();
+    for (_, report) in &results {
+        let dp = &report.data_plane;
+        assert_eq!(dp.window_setups, 1, "{dp:?}");
+        assert_eq!(dp.window_failures, 0, "{dp:?}");
+        assert_eq!(dp.shm_colls, 2, "{dp:?}");
+        assert_eq!(dp.ring_colls, 2, "{dp:?}");
+        assert!(dp.shm_bytes > 0 && dp.ring_bytes > dp.shm_bytes, "{dp:?}");
+    }
+}
+
+/// When the pool cannot hold the window (stock `cxl_small` headroom is 1 MiB,
+/// the default per-rank arena is 2 MiB), creation fails gracefully: the
+/// failure is counted, every collective runs on the ring path, and nothing
+/// errors — even with the data plane forced on.
+#[test]
+fn data_plane_window_creation_failure_falls_back_to_ring() {
+    use cmpi::mpi::{CollTuning, DataPlaneMode, HierarchyMode};
+
+    let tuning = CollTuning {
+        hierarchy: HierarchyMode::Off,
+        data_plane: DataPlaneMode::Shm,
+        ..CollTuning::default()
+    };
+    let config = UniverseConfig::cxl_small(4).with_coll_tuning(tuning);
+    let results = Universe::run(config, |comm: &mut Comm| {
+        let mut v = vec![comm.rank() as u64; 32];
+        comm.allreduce(&mut v, ReduceOp::Sum)?;
+        assert!(v.iter().all(|&x| x == 6));
+        assert!(!comm.last_coll_algorithm().ends_with("/shm"));
+        let mut b = vec![if comm.rank() == 0 { 7u8 } else { 0 }; 64];
+        comm.bcast_into(0, &mut b)?;
+        assert!(b.iter().all(|&x| x == 7));
+        assert!(!comm.last_coll_algorithm().ends_with("/shm"));
+        Ok(())
+    })
+    .unwrap();
+    for (_, report) in &results {
+        let dp = &report.data_plane;
+        assert!(dp.window_failures >= 1, "{dp:?}");
+        assert_eq!(dp.window_setups, 0, "{dp:?}");
+        assert_eq!(dp.shm_colls, 0, "{dp:?}");
+        assert!(dp.ring_colls >= 2, "{dp:?}");
     }
 }

@@ -384,3 +384,68 @@ fn startall_runs_a_wave_of_persistent_collectives() {
         .unwrap_or_else(|e| panic!("{label}: {e}"));
     }
 }
+
+#[test]
+fn persistent_data_plane_matches_ring_across_restarts() {
+    // Persistent starts on the shared-window data plane: window and plan are
+    // set up once at bind time, every restart re-executes the same
+    // single-copy schedule (rotating exposure slots), and the results stay
+    // byte-identical to the flat ring path across all restarts.
+    use cmpi::mpi::CollTuning;
+    use common::{force_ring, force_shm, with_window_headroom};
+
+    for n in [3usize, 5, 6, 7] {
+        let run = |tuning: CollTuning, expect_shm: bool| -> Vec<Vec<Vec<i64>>> {
+            let config =
+                with_window_headroom(UniverseConfig::cxl_small(n).with_hosts(2), 64 * 1024 * 1024)
+                    .with_coll_tuning(tuning);
+            let results = Universe::run(config, move |comm: &mut Comm| {
+                let me = comm.rank();
+                let n = comm.size();
+                let count = 3 * n;
+                let root = 1 % n;
+                let zero = vec![0i64; count];
+                let mut p_bcast = comm.bcast_init(root, &zero)?;
+                let mut p_ar = comm.allreduce_init(&zero, ReduceOp::Sum)?;
+                let mut p_ag = comm.allgather_init(&zero[..3])?;
+                let mut out: Vec<Vec<i64>> = Vec::new();
+                // More restarts than DP_SLOTS, so slot reuse waits on acks.
+                for iter in 0..6i64 {
+                    let input = seeded(me, iter, count);
+                    if me == root {
+                        p_bcast.write_input(&input)?;
+                    }
+                    comm.start(&mut p_bcast)?;
+                    comm.wait(&mut p_bcast)?;
+                    out.push(p_bcast.read_result()?);
+                    p_ar.write_input(&input)?;
+                    comm.start(&mut p_ar)?;
+                    comm.wait(&mut p_ar)?;
+                    out.push(p_ar.read_result()?);
+                    p_ag.write_input(&input[..3])?;
+                    comm.start(&mut p_ag)?;
+                    comm.wait(&mut p_ag)?;
+                    out.push(p_ag.read_result()?);
+                }
+                p_bcast.release()?;
+                p_ar.release()?;
+                p_ag.release()?;
+                let dp = comm.data_plane_stats();
+                if expect_shm {
+                    // One window, 3 families × 6 restarts on it.
+                    assert_eq!(dp.window_setups, 1, "{dp:?}");
+                    assert!(dp.shm_colls >= 18, "{dp:?}");
+                    assert!(dp.expose_ops > 0 && dp.bytes_pulled > 0, "{dp:?}");
+                } else {
+                    assert_eq!(dp.shm_colls, 0, "{dp:?}");
+                }
+                Ok(out)
+            })
+            .unwrap_or_else(|e| panic!("n={n} expect_shm={expect_shm}: {e}"));
+            results.into_iter().map(|(o, _)| o).collect()
+        };
+        let ring = run(force_ring(), false);
+        let shm = run(force_shm(), true);
+        assert_eq!(ring, shm, "n={n}: persistent shm diverged from ring");
+    }
+}
