@@ -19,6 +19,7 @@ fn config_with(mode: CoherenceMode, ranks: usize) -> UniverseConfig {
         }),
         coll: Default::default(),
         progress: Default::default(),
+        faults: Vec::new(),
     }
 }
 

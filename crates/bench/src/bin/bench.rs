@@ -2,7 +2,7 @@
 //! flat-vs-hierarchical topology sweep, the **ring-vs-shm data-plane sweep**,
 //! the nonblocking-collective overlap kernel and the **persistent/plan-cache
 //! sweep** across both transports, written as `BENCH_collectives.json`
-//! (schema v5) for the perf trajectory (`BENCH_*.json` files are diffed
+//! (schema v6) for the perf trajectory (`BENCH_*.json` files are diffed
 //! PR-over-PR). The `hierarchy` section records, per (op, layout, size), the
 //! same collective with the two-level composition forced off and forced on,
 //! plus the speedup — the acceptance surface for the topology-aware
@@ -16,7 +16,11 @@
 //! small-message collectives per start path: one-shot with the plan cache
 //! disabled (cold — the pre-plan-cache behavior), one-shot hitting the cache,
 //! and persistent `start`/`wait` — the acceptance surface for the per-call
-//! software-overhead reduction.
+//! software-overhead reduction. The `fault_recovery` section records the
+//! virtual-time cost of the ULFM-style recovery path (post-failure agreement,
+//! `Comm::shrink`, first post-shrink allreduce vs the pre-failure one) after
+//! an injected mid-allreduce rank death — the acceptance surface for the
+//! fault-tolerance layer.
 //!
 //! Two kinds of numbers are recorded:
 //!
@@ -40,8 +44,9 @@ use std::time::Instant;
 
 use cmpi_core::coll::{build_allreduce, build_bcast, CommView};
 use cmpi_core::{
-    CollTuning, Comm, DataPlaneMode, DataPlaneStats, Execution, Group, HierarchyMode,
-    HostPlacement, ReduceOp, TransportConfig, UniverseConfig,
+    CollTuning, Comm, DataPlaneMode, DataPlaneStats, ErrHandler, Execution, FaultPlan,
+    FaultTrigger, FtOutcome, Group, HierarchyMode, HostPlacement, MpiError, ReduceOp,
+    TransportConfig, UniverseConfig,
 };
 use cmpi_fabric::cost::TcpNic;
 use cmpi_omb::nonblocking_allreduce_overlap;
@@ -155,6 +160,138 @@ struct PersistentRow {
     one_shot_cold_start_ns: f64,
     one_shot_cached_start_ns: f64,
     persistent_start_ns: f64,
+}
+
+/// One fault-recovery row: the virtual-time cost of the ULFM-style recovery
+/// path. A victim rank is killed mid-allreduce; the survivors observe the
+/// failure, agree, shrink, and run the same allreduce on the shrunk
+/// communicator. All times are rank 0's virtual clock (rank 0 never dies).
+struct FaultRecoveryRow {
+    transport: &'static str,
+    ranks: usize,
+    size: usize,
+    /// Per-call virtual time of the allreduce before the failure.
+    pre_failure_allreduce_ns: f64,
+    /// Virtual time of the post-failure agreement vote among survivors
+    /// (currently 0: the shared-control-plane rendezvous has no virtual cost
+    /// model attached — kept so attaching one shows up in the trajectory).
+    agree_ns: f64,
+    /// Virtual time of `Comm::shrink` (write-offs, new context, plan-cache
+    /// invalidation, hierarchy re-derivation, data-plane re-establishment).
+    shrink_ns: f64,
+    /// Wall-clock ns rank 0 spent in the agreement (the spin rendezvous with
+    /// the other survivors — the real detection/consensus latency).
+    wall_agree_ns: f64,
+    /// Wall-clock ns rank 0 spent in `Comm::shrink`.
+    wall_shrink_ns: f64,
+    /// Virtual time of the first allreduce on the shrunk communicator.
+    post_shrink_allreduce_ns: f64,
+}
+
+/// Run the recovery path once per (transport, ranks, size) shape: warm
+/// allreduces until the injected death interrupts one, then vote + shrink +
+/// re-run. The kill fires a few allreduces in so the pre-failure number is a
+/// steady-state average.
+fn fault_recovery_rows(rank_counts: &[usize], sizes: &[usize]) -> Vec<FaultRecoveryRow> {
+    let mut rows = Vec::new();
+    for &ranks in rank_counts {
+        for (label, config) in transports(ranks) {
+            for &size in sizes {
+                eprintln!("fault recovery {label} n={ranks} {size} B ...");
+                let victim = ranks - 1;
+                // A ring allreduce costs the victim ~2(n-1) sends; land the
+                // kill inside roughly the fourth allreduce. Pin the ring
+                // data plane so the victim's traffic is sends on both
+                // transports (on the shm data plane payloads move as window
+                // publishes and the send counter would never fire).
+                let kill_at = (3 * 2 * (ranks - 1) + 2) as u64;
+                let config = config
+                    .clone()
+                    .with_coll_tuning(CollTuning {
+                        data_plane: DataPlaneMode::Ring,
+                        ..CollTuning::default()
+                    })
+                    .with_faults(vec![FaultPlan {
+                        victim,
+                        trigger: FaultTrigger::NthSend(kill_at),
+                    }]);
+                let elems = size / 8;
+                let outcomes = cmpi_core::Universe::run_ft(config, move |comm: &mut Comm| {
+                    comm.set_errhandler(ErrHandler::ErrorsReturn);
+                    let mut pre_ns = 0.0;
+                    let mut completed = 0usize;
+                    loop {
+                        let t0 = comm.clock_ns();
+                        let mut v = vec![1u64; elems];
+                        match comm.allreduce(&mut v, ReduceOp::Sum) {
+                            Ok(()) => {
+                                pre_ns += comm.clock_ns() - t0;
+                                completed += 1;
+                                if completed > 64 {
+                                    panic!("victim never died: kill point past its send budget");
+                                }
+                            }
+                            Err(MpiError::ProcFailed { .. }) | Err(MpiError::Revoked(_)) => {
+                                // The recovery path under measurement. One
+                                // agreement per survivor, then shrink in
+                                // unison — the lockstep protocol from
+                                // tests/fault_tolerance.rs.
+                                let t = comm.clock_ns();
+                                let w = Instant::now();
+                                match comm.agree(0) {
+                                    Ok(_)
+                                    | Err(MpiError::ProcFailed { .. })
+                                    | Err(MpiError::Revoked(_)) => {}
+                                    Err(e) => return Err(e),
+                                }
+                                let wall_agree_ns = w.elapsed().as_nanos() as f64;
+                                let agree_ns = comm.clock_ns() - t;
+                                let t = comm.clock_ns();
+                                let w = Instant::now();
+                                *comm = comm.shrink()?;
+                                let wall_shrink_ns = w.elapsed().as_nanos() as f64;
+                                let shrink_ns = comm.clock_ns() - t;
+                                let t = comm.clock_ns();
+                                let mut v = vec![1u64; elems];
+                                comm.allreduce(&mut v, ReduceOp::Sum)?;
+                                let post_ns = comm.clock_ns() - t;
+                                return Ok((
+                                    pre_ns / completed.max(1) as f64,
+                                    agree_ns,
+                                    shrink_ns,
+                                    wall_agree_ns,
+                                    wall_shrink_ns,
+                                    post_ns,
+                                ));
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                })
+                .expect("fault recovery universe");
+                let (pre, agree, shrink, wall_agree, wall_shrink, post) = match &outcomes[0] {
+                    FtOutcome::Survived(v, _) => *v,
+                    FtOutcome::Killed { .. } => unreachable!("rank 0 is never the victim"),
+                };
+                assert!(
+                    outcomes[victim].is_killed(),
+                    "fault recovery {label} n={ranks}: victim survived"
+                );
+                rows.push(FaultRecoveryRow {
+                    transport: label,
+                    ranks,
+                    size,
+                    pre_failure_allreduce_ns: pre,
+                    agree_ns: agree,
+                    shrink_ns: shrink,
+                    wall_agree_ns: wall_agree,
+                    wall_shrink_ns: wall_shrink,
+                    post_shrink_allreduce_ns: post,
+                });
+            }
+        }
+    }
+    rows
 }
 
 fn smoke() -> bool {
@@ -643,6 +780,15 @@ fn main() {
     };
     let pers_rows = persistent_rows(&pers_sizes, if smoke() { 2 } else { 4 }, pers_iters);
 
+    // The fault-recovery sweep: virtual cost of agree + shrink + first
+    // post-shrink collective after an injected mid-allreduce death.
+    let (fr_ranks, fr_sizes): (Vec<usize>, Vec<usize>) = if smoke() {
+        (vec![3], vec![1024])
+    } else {
+        (vec![4, 6], vec![1024, 65536])
+    };
+    let fr_rows = fault_recovery_rows(&fr_ranks, &fr_sizes);
+
     let json = render_json(
         &p2p_rows,
         &coll_rows,
@@ -651,6 +797,7 @@ fn main() {
         &overlap_rows,
         &plan_rows,
         &pers_rows,
+        &fr_rows,
     );
     let out = std::env::var("CMPI_BENCH_OUT").unwrap_or_else(|_| "BENCH_collectives.json".into());
     std::fs::write(&out, &json).expect("write BENCH json");
@@ -658,6 +805,7 @@ fn main() {
     println!("{json}");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     p2p: &[P2pRow],
     colls: &[CollRow],
@@ -666,9 +814,10 @@ fn render_json(
     overlaps: &[OverlapRow],
     plan_builds: &[PlanBuildRow],
     persistents: &[PersistentRow],
+    fault_recovery: &[FaultRecoveryRow],
 ) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v5\",\n");
+    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v6\",\n");
     s.push_str("  \"smoke\": ");
     s.push_str(if smoke() { "true" } else { "false" });
     s.push_str(",\n  \"baseline_pre_pr\": ");
@@ -789,6 +938,24 @@ fn render_json(
             saved_cached,
             saved_persistent,
             if i + 1 < persistents.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"fault_recovery\": [\n");
+    for (i, r) in fault_recovery.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"transport\": \"{}\", \"ranks\": {}, \"size_bytes\": {}, \"pre_failure_allreduce_ns\": {:.1}, \"agree_ns\": {:.1}, \"shrink_ns\": {:.1}, \"wall_agree_ns\": {:.1}, \"wall_shrink_ns\": {:.1}, \"post_shrink_allreduce_ns\": {:.1}, \"wall_recovery_total_ns\": {:.1}}}{}",
+            r.transport,
+            r.ranks,
+            r.size,
+            r.pre_failure_allreduce_ns,
+            r.agree_ns,
+            r.shrink_ns,
+            r.wall_agree_ns,
+            r.wall_shrink_ns,
+            r.post_shrink_allreduce_ns,
+            r.wall_agree_ns + r.wall_shrink_ns,
+            if i + 1 < fault_recovery.len() { "," } else { "" }
         );
     }
     s.push_str("  ]\n}\n");

@@ -22,6 +22,7 @@ fn main() {
                     transport: TransportConfig::CxlShm(CxlShmTransportConfig::with_cell_size(cell)),
                     coll: Default::default(),
                     progress: Default::default(),
+                    faults: Vec::new(),
                 };
                 let point = two_sided_bandwidth(config, size).expect("benchmark run");
                 values.push(point.bandwidth_mbps);

@@ -153,7 +153,20 @@ impl SeqBarrier {
                     }
                     break;
                 }
-                backoff.wait(&self.poison)?;
+                if let Err(e) = backoff.wait(&self.poison) {
+                    // A recorded (survivable) death only dooms this wait if
+                    // the straggler we are spinning on is the dead rank — it
+                    // will never publish. Faults fire at transfer operations,
+                    // never inside a barrier wait, so a dead rank whose slot
+                    // already reached `self.seq` genuinely passed this
+                    // barrier and cannot block it; keep spinning for the live
+                    // stragglers so ranks that have not installed an error
+                    // handler yet (e.g. the startup barrier) don't abort a
+                    // completable barrier. Hard poison still aborts.
+                    if self.poison.is_poisoned() || self.poison.is_dead(r) {
+                        return Err(e);
+                    }
+                }
             }
         }
         clock.merge(latest);

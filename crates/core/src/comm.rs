@@ -54,6 +54,33 @@ pub enum SplitType {
     Host,
 }
 
+/// Per-communicator error-handling policy for **process failures** (the
+/// `MPI_Errhandler` idiom, reduced to the two standard handlers). Selected
+/// with [`Comm::set_errhandler`]; scoped to one context id, so a library can
+/// run fault-tolerant recovery on its own duplicated communicator while the
+/// application keeps fail-fast semantics on the world communicator.
+///
+/// The handler only governs *survivable* failures — [`MpiError::ProcFailed`]
+/// from a fault-injected death ([`crate::runtime::Universe::run_ft`]) and
+/// [`MpiError::Revoked`] from [`Comm::revoke`]. Ordinary errors (invalid
+/// arguments, truncation, ...) are always returned, and a hard-poisoned
+/// universe (a rank that panicked) always surfaces [`MpiError::PeerDead`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrHandler {
+    /// Escalate a process failure to a universe abort (the
+    /// `MPI_ERRORS_ARE_FATAL` default): the poison flag is raised and every
+    /// rank's next wait fails with [`MpiError::PeerDead`] — exactly the
+    /// pre-fault-tolerance behaviour.
+    #[default]
+    ErrorsAbort,
+    /// Return the failure to the caller (the `MPI_ERRORS_RETURN` idiom):
+    /// the operation fails with [`MpiError::ProcFailed`] naming the dead
+    /// ranks, but the universe stays up and the survivors can run the
+    /// ULFM recovery sequence — [`Comm::revoke`], [`Comm::agree`],
+    /// [`Comm::shrink`].
+    ErrorsReturn,
+}
+
 /// Collective-operation counters for one communicator of one rank, surfaced in
 /// [`crate::runtime::RankReport::comm_colls`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +166,43 @@ pub(crate) struct RankCore {
     /// Merged with the transport's window counters in
     /// [`Comm::data_plane_stats`].
     dp_paths: DataPlaneStats,
+    /// Per-communicator process-failure error handler, keyed by context id;
+    /// absent means [`ErrHandler::ErrorsAbort`] (the MPI default).
+    errhandlers: BTreeMap<CtxId, ErrHandler>,
+    /// Per-communicator recovery-operation sequence numbers: every
+    /// [`Comm::agree`]/[`Comm::shrink`] on a context draws the next number,
+    /// keying the shared agreement cells. Independent of the collective
+    /// sequence space so recovery never aliases ordinary collectives.
+    recovery_seq: BTreeMap<CtxId, u32>,
+}
+
+/// Rewrite a failure error onto communicator `ctx` and apply its error
+/// handler. A free function (not a `Comm` method) so call sites holding the
+/// `RankCore` borrow can use it without a double `RefCell` borrow.
+///
+/// [`MpiError::ProcFailed`] arrives from the failure state with a placeholder
+/// context of 0; this stamps the real context. Under
+/// [`ErrHandler::ErrorsAbort`] a survivable failure escalates to hard poison
+/// (universe abort, [`MpiError::PeerDead`]); under
+/// [`ErrHandler::ErrorsReturn`] it is returned as-is.
+/// [`MpiError::RankKilled`] — the fault injector terminating *this* rank —
+/// always passes through untouched so the runtime can record the death.
+fn apply_errhandler(core: &mut RankCore, ctx: CtxId, e: MpiError) -> MpiError {
+    let e = match e {
+        MpiError::ProcFailed { dead, detail, .. } => MpiError::ProcFailed { ctx, dead, detail },
+        other => other,
+    };
+    if !matches!(e, MpiError::ProcFailed { .. } | MpiError::Revoked(_)) {
+        return e;
+    }
+    match core.errhandlers.get(&ctx).copied().unwrap_or_default() {
+        ErrHandler::ErrorsReturn => e,
+        ErrHandler::ErrorsAbort => {
+            let reason = e.to_string();
+            core.transport.poison().poison(reason.clone());
+            MpiError::PeerDead(reason)
+        }
+    }
 }
 
 impl RankCore {
@@ -209,6 +273,7 @@ impl RankCore {
             s.hits += cache.hits;
             s.misses += cache.misses;
             s.evictions += cache.evictions;
+            s.invalidations += cache.invalidations;
             s.entries += cache.len();
         }
         s
@@ -288,6 +353,8 @@ impl Comm {
             last_algo: "none",
             algo_counts: BTreeMap::new(),
             dp_paths: DataPlaneStats::default(),
+            errhandlers: BTreeMap::new(),
+            recovery_seq: BTreeMap::new(),
         };
         let group = Group::world(n);
         core.ensure_data_plane(WORLD_CTX, group.world_ranks())?;
@@ -331,16 +398,96 @@ impl Comm {
         Some(self.hierarchy())
     }
 
+    /// Rewrite a failure error onto this communicator and apply its error
+    /// handler (see [`apply_errhandler`]). For call sites that do not already
+    /// hold the rank-core borrow.
+    fn map_ft_err(&self, e: MpiError) -> MpiError {
+        let core = &mut *self.core.borrow_mut();
+        apply_errhandler(core, self.ctx, e)
+    }
+
+    /// Attribute a completion failure to the request at `index` in a
+    /// `wait_any`/`wait_all`/`test_all` slice: names the request in the error
+    /// detail and spends the failed request (so sibling requests stay
+    /// individually completable under [`ErrHandler::ErrorsReturn`]), then
+    /// applies the communicator's error handler.
+    fn fail_request(&self, request: &mut Request, index: usize, e: MpiError) -> MpiError {
+        let e = match e {
+            MpiError::ProcFailed { ctx, dead, detail } => {
+                request.mark_failed();
+                MpiError::ProcFailed {
+                    ctx,
+                    dead,
+                    detail: format!("request #{index}: {detail}"),
+                }
+            }
+            MpiError::Revoked(ctx) => {
+                request.mark_failed();
+                MpiError::Revoked(ctx)
+            }
+            other => other,
+        };
+        self.map_ft_err(e)
+    }
+
+    /// Failure precheck run at every collective/persistent start and send:
+    /// errors (through the communicator's error handler) if this context has
+    /// been revoked or a group member is recorded dead. Free in runs that
+    /// never saw a fault-tolerance event — one atomic load.
+    fn ft_precheck(&self) -> Result<()> {
+        let core = &mut *self.core.borrow_mut();
+        let poison = core.transport.poison().clone();
+        if !poison.ft_active() {
+            return Ok(());
+        }
+        if poison.is_revoked(self.ctx) {
+            return Err(apply_errhandler(
+                core,
+                self.ctx,
+                MpiError::Revoked(self.ctx),
+            ));
+        }
+        let dead = poison.dead_ranks();
+        if !dead.is_empty() {
+            let failed: Vec<Rank> = self
+                .group
+                .world_ranks()
+                .iter()
+                .copied()
+                .filter(|r| dead.contains(r))
+                .collect();
+            if !failed.is_empty() {
+                let detail = format!(
+                    "{} of {} group members recorded dead before the operation started",
+                    failed.len(),
+                    self.group.size()
+                );
+                return Err(apply_errhandler(
+                    core,
+                    self.ctx,
+                    MpiError::ProcFailed {
+                        ctx: self.ctx,
+                        dead: failed,
+                        detail,
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The cached plan for `key` on this communicator, building (and caching)
     /// it on first use. Every collective start — blocking, nonblocking or
     /// persistent — funnels through here, so repeated shapes skip planning
-    /// entirely; the cache is per context id and LRU-bounded by
+    /// entirely (and every start inherits the [`Comm::ft_precheck`] failure
+    /// gate); the cache is per context id and LRU-bounded by
     /// [`CollTuning::plan_cache_entries`].
     fn cached_plan(
         &self,
         key: PlanKey,
         build: impl FnOnce(&CollTuning, Option<&HostHierarchy>, Option<DpWindow>) -> CollPlan,
-    ) -> Rc<CollPlan> {
+    ) -> Result<Rc<CollPlan>> {
+        self.ft_precheck()?;
         // Probe first: the hit path pays one cache scan and nothing else.
         // Hierarchy derivation (two more RefCell borrows + an Rc clone) is
         // miss-only work — the built plan bakes the hierarchy decision in,
@@ -351,7 +498,7 @@ impl Comm {
         {
             let core = &mut *self.core.borrow_mut();
             if let Some(plan) = core.plans.entry(self.ctx).or_default().lookup(&key) {
-                return plan;
+                return Ok(plan);
             }
         }
         let hier = self.hier_for_coll();
@@ -367,7 +514,7 @@ impl Comm {
             .entry(self.ctx)
             .or_default()
             .insert(key, &plan, tuning.plan_cache_entries);
-        plan
+        Ok(plan)
     }
 
     /// Aggregate plan-cache counters of this rank (hits, misses, evictions,
@@ -555,6 +702,7 @@ impl Comm {
     /// the original's — the MPI idiom for handing a library its own
     /// communicator.
     pub fn comm_dup(&mut self) -> Result<Comm> {
+        self.ft_precheck()?;
         let hier = self.hier_for_coll();
         let new_ctx = {
             let core = &mut *self.core.borrow_mut();
@@ -571,7 +719,8 @@ impl Comm {
                 seq,
                 &mut proposal,
                 ReduceOp::Max,
-            )?;
+            )
+            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
             let agreed = proposal[0] as CtxId;
             core.next_ctx = agreed + 1;
             core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, 8);
@@ -593,6 +742,7 @@ impl Comm {
     /// negative `color` (the `MPI_UNDEFINED` idiom) yields `None`. Collective
     /// over this communicator — every member must call it.
     pub fn comm_split(&mut self, color: i32, key: i32) -> Result<Option<Comm>> {
+        self.ft_precheck()?;
         let n = self.group.size();
         let mut gathered = vec![0i64; 3 * n];
         let hier = self.hier_for_coll();
@@ -611,7 +761,8 @@ impl Comm {
                 seq,
                 &mine,
                 &mut gathered,
-            )?;
+            )
+            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
             core.note_algo(algo, 24);
             // Agree on a context id unused by every member (max of proposals);
             // all colors of this split share it — their groups are disjoint,
@@ -679,6 +830,190 @@ impl Comm {
     }
 
     // ------------------------------------------------------------------
+    // Fault tolerance (ULFM-style recovery)
+    // ------------------------------------------------------------------
+    //
+    // The recovery vocabulary of ULFM (User-Level Failure Mitigation),
+    // adapted to the coherent CXL control plane: failure notification and
+    // agreement ride the shared failure state instead of message floods.
+    // The canonical survivor loop is
+    //
+    // ```text
+    // match comm.allreduce(&mut x, op) {
+    //     Ok(()) => ...,
+    //     Err(MpiError::ProcFailed { .. }) | Err(MpiError::Revoked(..)) => {
+    //         comm.revoke();            // cut off stragglers (optional)
+    //         comm = comm.shrink()?;    // ack + agree + rebuild
+    //         // re-balance work onto comm.size() survivors, retry
+    //     }
+    //     Err(e) => return Err(e),
+    // }
+    // ```
+    //
+    // requiring `comm.set_errhandler(ErrHandler::ErrorsReturn)` beforehand —
+    // under the default `ErrorsAbort`, the first failure poisons the
+    // universe exactly as before fault tolerance existed.
+
+    /// Set this communicator's process-failure error handler
+    /// (`MPI_Comm_set_errhandler`). Local and immediate. New communicators
+    /// default to [`ErrHandler::ErrorsAbort`]; [`Comm::shrink`] carries the
+    /// parent's handler onto the shrunk communicator.
+    pub fn set_errhandler(&mut self, handler: ErrHandler) {
+        self.core.borrow_mut().errhandlers.insert(self.ctx, handler);
+    }
+
+    /// This communicator's current process-failure error handler.
+    pub fn errhandler(&self) -> ErrHandler {
+        self.core
+            .borrow()
+            .errhandlers
+            .get(&self.ctx)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Acknowledge every failure this rank has observed so far
+    /// (`MPI_Comm_failure_ack`): this rank's blocking waits stop raising
+    /// [`MpiError::ProcFailed`] for the acknowledged deaths, so recovery code
+    /// can keep communicating among survivors. Returns the acknowledged dead
+    /// members of **this communicator**, as local ranks. The acknowledgement
+    /// watermark is per rank (all communicator handles of the rank share it),
+    /// matching ULFM.
+    pub fn failure_ack(&mut self) -> Vec<Rank> {
+        let core = self.core.borrow();
+        let dead = core.transport.poison().ack_failures();
+        dead.iter()
+            .filter_map(|w| self.group.local_rank_of(*w))
+            .collect()
+    }
+
+    /// Mark this communicator revoked (`MPI_Comm_revoke`): every member's
+    /// subsequent operation on this context fails with [`MpiError::Revoked`]
+    /// (mapped through the error handler), cutting off ranks that have not
+    /// yet noticed a failure so the group converges on recovery. Revocation
+    /// is immediate and universe-visible through the shared control plane —
+    /// the coherent-memory stand-in for ULFM's revocation flood — and is
+    /// permanent for the context. Also drops this communicator's cached
+    /// plans (counted in [`PlanCacheStats::invalidations`]).
+    pub fn revoke(&mut self) {
+        {
+            let core = self.core.borrow();
+            core.transport.poison().revoke(self.ctx);
+        }
+        self.invalidate_plans();
+    }
+
+    /// Whether this communicator's context has been revoked by any member.
+    pub fn is_revoked(&self) -> bool {
+        self.core.borrow().transport.poison().is_revoked(self.ctx)
+    }
+
+    /// Drop every cached collective plan of this communicator, returning how
+    /// many plans were dropped (also counted in
+    /// [`PlanCacheStats::invalidations`]). Called by [`Comm::revoke`] and
+    /// [`Comm::shrink`]; public so applications embedding their own recovery
+    /// can force re-planning after membership or topology changes.
+    pub fn invalidate_plans(&mut self) -> usize {
+        let core = &mut *self.core.borrow_mut();
+        core.plans.get_mut(&self.ctx).map_or(0, |c| c.invalidate())
+    }
+
+    /// Fault-tolerant agreement (`MPI_Comm_agree`): returns the bitwise AND
+    /// of every live member's `flag` once all survivors have contributed.
+    /// Deaths *during* the agreement are tolerated — the rendezvous restarts
+    /// among the remaining survivors (see [`crate::spin::PoisonFlag::agree`]) —
+    /// and the call works on a revoked communicator (ULFM requires both: this
+    /// is the primitive recovery is built from). Collective over the live
+    /// members; dead members are not waited on.
+    pub fn agree(&mut self, flag: u64) -> Result<u64> {
+        self.agree_inner(flag, 0).map(|(and, _, _)| and)
+    }
+
+    /// Shared agreement core for [`Comm::agree`] and [`Comm::shrink`]: folds
+    /// AND over `flag` and MAX over `proposal`, returning both folds plus the
+    /// dead-member snapshot of the epoch the agreement completed in (identical
+    /// on every participant). Draws the per-context recovery sequence number
+    /// that keys the shared rendezvous cell — disjoint-membership
+    /// communicators sharing one context id (possible after `comm_split`)
+    /// must not run recovery concurrently, as their cells would alias.
+    fn agree_inner(&mut self, flag: u64, proposal: u64) -> Result<(u64, u64, Vec<Rank>)> {
+        let (poison, seq) = {
+            let core = &mut *self.core.borrow_mut();
+            let slot = core.recovery_seq.entry(self.ctx).or_insert(0);
+            let seq = *slot;
+            *slot = slot.wrapping_add(1);
+            (core.transport.poison().clone(), seq)
+        };
+        poison
+            .agree(self.ctx, seq, self.group.world_ranks(), flag, proposal)
+            .map_err(|e| self.map_ft_err(e))
+    }
+
+    /// Build a working communicator from the survivors (`MPI_Comm_shrink`).
+    /// Collective over the live members; every survivor must call it (dead
+    /// members are, by definition, excused). The sequence is:
+    ///
+    /// 1. acknowledge observed failures (so recovery waits don't re-raise
+    ///    the failure being recovered from),
+    /// 2. revoke the old context (stragglers cannot start new operations on
+    ///    it mid-recovery) and drop its cached plans,
+    /// 3. run a fault-tolerant agreement folding MAX over each survivor's
+    ///    next-context-id proposal — the agreement's epoch snapshot also
+    ///    fixes the dead set, so every survivor derives the *same* shrunk
+    ///    group without a second round,
+    /// 4. write off the dead members' pending data-plane acknowledgements on
+    ///    the old context (a dead reader must never wedge slot rotation),
+    /// 5. provision the survivor communicator: parent-relative rank order,
+    ///    fresh context id, eagerly created shared window, freshly derived
+    ///    host hierarchy (leaders whose host lost its leader are re-elected
+    ///    on first collective), inheriting the parent's error handler.
+    ///
+    /// Deaths during the shrink are tolerated by the agreement; deaths after
+    /// its epoch snapshot surface as [`MpiError::ProcFailed`] on the *new*
+    /// communicator, which can be shrunk again.
+    pub fn shrink(&mut self) -> Result<Comm> {
+        let poison = self.core.borrow().transport.poison().clone();
+        poison.ack_failures();
+        poison.revoke(self.ctx);
+        self.invalidate_plans();
+        let proposal = self.core.borrow().next_ctx as u64;
+        let (_, agreed, dead) = self.agree_inner(u64::MAX, proposal)?;
+        let new_ctx = agreed as CtxId;
+        let survivors: Vec<Rank> = self
+            .group
+            .world_ranks()
+            .iter()
+            .copied()
+            .filter(|r| !dead.contains(r))
+            .collect();
+        let group = Arc::new(Group::from_world_ranks(survivors)?);
+        let my_local = group.local_rank_of(self.world_rank()).ok_or_else(|| {
+            MpiError::InvalidCommunicator("shrink called by a rank recorded dead".into())
+        })?;
+        {
+            let core = &mut *self.core.borrow_mut();
+            core.next_ctx = new_ctx + 1;
+            for w in &dead {
+                if let Some(idx) = self.group.local_rank_of(*w) {
+                    core.transport
+                        .dp_write_off(&mut core.clock, self.ctx, idx)?;
+                }
+            }
+            let handler = core.errhandlers.get(&self.ctx).copied().unwrap_or_default();
+            core.errhandlers.insert(new_ctx, handler);
+            core.ensure_data_plane(new_ctx, group.world_ranks())
+                .map_err(|e| apply_errhandler(core, new_ctx, e))?;
+        }
+        Ok(Comm {
+            core: Rc::clone(&self.core),
+            group,
+            ctx: new_ctx,
+            rank: my_local,
+            hier: RefCell::new(None),
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Two-sided
     // ------------------------------------------------------------------
 
@@ -688,8 +1023,27 @@ impl Comm {
         Self::check_user_tag(tag)?;
         let dst = self.world_of(dst)?;
         let core = &mut *self.core.borrow_mut();
+        // A send to a recorded-dead rank fails immediately (ULFM
+        // `MPI_ERR_PROC_FAILED` on point-to-point) instead of filling a ring
+        // nobody will ever drain.
+        let dead_target = {
+            let poison = core.transport.poison();
+            poison.ft_active() && poison.is_dead(dst)
+        };
+        if dead_target {
+            return Err(apply_errhandler(
+                core,
+                self.ctx,
+                MpiError::ProcFailed {
+                    ctx: self.ctx,
+                    dead: vec![dst],
+                    detail: format!("send targets world rank {dst}, which is recorded dead"),
+                },
+            ));
+        }
         core.transport
             .send(&mut core.clock, dst, self.ctx, tag, data)
+            .map_err(|e| apply_errhandler(core, self.ctx, e))
     }
 
     /// Blocking receive into `buf`; returns the completion status.
@@ -699,7 +1053,8 @@ impl Comm {
         let status = {
             let core = &mut *self.core.borrow_mut();
             core.transport
-                .recv_into(&mut core.clock, self.ctx, src, tag, buf)?
+                .recv_into(&mut core.clock, self.ctx, src, tag, buf)
+                .map_err(|e| apply_errhandler(core, self.ctx, e))?
         };
         self.localize(status)
     }
@@ -711,7 +1066,8 @@ impl Comm {
         let (status, data) = {
             let core = &mut *self.core.borrow_mut();
             core.transport
-                .recv_owned(&mut core.clock, self.ctx, src, tag)?
+                .recv_owned(&mut core.clock, self.ctx, src, tag)
+                .map_err(|e| apply_errhandler(core, self.ctx, e))?
         };
         Ok((self.localize(status)?, data))
     }
@@ -801,7 +1157,9 @@ impl Comm {
                 core.progress_cfg.max_ops_per_poll
             };
             let state = request.coll.as_mut().expect("collective request has state");
-            let step = state.progress(core.transport.as_mut(), &mut core.clock, budget)?;
+            let step = state
+                .progress(core.transport.as_mut(), &mut core.clock, budget)
+                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
             if during_wait {
                 core.progress.wait_polls += 1;
                 core.progress.ops_in_wait += step.ops as u64;
@@ -838,6 +1196,30 @@ impl Comm {
     /// One non-blocking completion attempt for a pending request (receive or
     /// collective). `during_wait` only affects how collective progress is
     /// accounted.
+    /// A pending receive posted from a specific source that is recorded dead
+    /// — and has no matching message left to drain — can never complete:
+    /// surface `ProcFailed` naming the source instead of spinning until the
+    /// slice-level backoff notices the failure epoch. Called only after a
+    /// failed match attempt so messages the peer sent *before* dying are
+    /// still delivered first (ULFM: failure does not discard delivered data).
+    fn dead_source_err(&self, src: Option<Rank>) -> Option<MpiError> {
+        let src = src?;
+        let core = self.core.borrow();
+        let poison = core.transport.poison();
+        if poison.ft_active() && poison.is_dead(src) {
+            Some(MpiError::ProcFailed {
+                ctx: self.ctx,
+                dead: vec![src],
+                detail: format!(
+                    "receive posted from world rank {src}, which is recorded dead with no \
+                     matching message pending"
+                ),
+            })
+        } else {
+            None
+        }
+    }
+
     fn try_complete(&mut self, request: &mut Request, during_wait: bool) -> Result<Option<Status>> {
         if request.is_coll() {
             return self.progress_coll(request, during_wait).map(|(s, _)| s);
@@ -862,6 +1244,10 @@ impl Comm {
                     Ok(Some(status))
                 }
                 Ok(None) => {
+                    if let Some(e) = self.dead_source_err(request.src) {
+                        request.mark_failed();
+                        return Err(e);
+                    }
                     // Not matched yet: re-arm the request with its buffer.
                     *request = Request::recv_pending_into(self.ctx, request.src, request.tag, buf);
                     Ok(None)
@@ -887,7 +1273,13 @@ impl Comm {
                 request.fulfill(status, data);
                 Ok(Some(status))
             }
-            None => Ok(None),
+            None => {
+                if let Some(e) = self.dead_source_err(request.src) {
+                    request.mark_failed();
+                    return Err(e);
+                }
+                Ok(None)
+            }
         }
     }
 
@@ -917,7 +1309,7 @@ impl Comm {
                         if ops > 0 {
                             backoff.reset();
                         }
-                        backoff.wait(&poison)?;
+                        backoff.wait(&poison).map_err(|e| self.map_ft_err(e))?;
                     }
                 }
                 if request.is_buffered() {
@@ -939,7 +1331,7 @@ impl Comm {
                         Ok(s) => s,
                         Err(e) => {
                             request.mark_failed();
-                            return Err(e);
+                            return Err(self.map_ft_err(e));
                         }
                     };
                     request.fulfill_buffered(status, buf);
@@ -947,12 +1339,9 @@ impl Comm {
                 }
                 let (status, data) = {
                     let core = &mut *self.core.borrow_mut();
-                    core.transport.recv_owned(
-                        &mut core.clock,
-                        self.ctx,
-                        request.src,
-                        request.tag,
-                    )?
+                    core.transport
+                        .recv_owned(&mut core.clock, self.ctx, request.src, request.tag)
+                        .map_err(|e| apply_errhandler(core, self.ctx, e))?
                 };
                 let status = self.localize(status)?;
                 request.fulfill(status, data);
@@ -984,15 +1373,16 @@ impl Comm {
         loop {
             let mut all_done = true;
             let mut progressed = false;
-            for request in requests.iter_mut() {
+            for (i, request) in requests.iter_mut().enumerate() {
                 match request.state() {
                     RequestState::SendComplete | RequestState::RecvComplete => {}
                     RequestState::Consumed | RequestState::Inactive => {
                         return Err(MpiError::StaleRequest)
                     }
-                    RequestState::RecvPending => match self.try_complete(request, true)? {
-                        Some(_) => progressed = true,
-                        None => all_done = false,
+                    RequestState::RecvPending => match self.try_complete(request, true) {
+                        Ok(Some(_)) => progressed = true,
+                        Ok(None) => all_done = false,
+                        Err(e) => return Err(self.fail_request(request, i, e)),
                     },
                 }
             }
@@ -1002,12 +1392,36 @@ impl Comm {
             if progressed {
                 backoff.reset();
             }
-            backoff.wait(&poison)?;
+            if let Err(e) = backoff.wait(&poison) {
+                // The universe failure state fired mid-wait. Sweep once more
+                // so a request that can now be pinned on a specific dead
+                // source is reported with its index (and its siblings stay
+                // completable), falling back to the epoch-level error only
+                // when no single request is attributable.
+                self.attribute_failure(requests)?;
+                return Err(self.map_ft_err(e));
+            }
         }
         requests
             .iter()
             .map(|r| r.status().ok_or(MpiError::StaleRequest))
             .collect()
+    }
+
+    /// Post-failure attribution sweep shared by [`Comm::wait_all`] and
+    /// [`Comm::wait_any`]: re-polls every still-pending request once so the
+    /// failure is reported against the specific request that can never
+    /// complete (via [`Comm::fail_request`], which also spends just that
+    /// request). Requests that completed in the meantime are left complete.
+    fn attribute_failure(&mut self, requests: &mut [Request]) -> Result<()> {
+        for (i, request) in requests.iter_mut().enumerate() {
+            if matches!(request.state(), RequestState::RecvPending) {
+                if let Err(e) = self.try_complete(request, true) {
+                    return Err(self.fail_request(request, i, e));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Block until *some* request completes; returns its index and status.
@@ -1020,7 +1434,12 @@ impl Comm {
         loop {
             match self.poll_any(requests, true)? {
                 PollAny::Ready(i, status) => return Ok((i, status)),
-                PollAny::Pending => backoff.wait(&poison)?,
+                PollAny::Pending => {
+                    if let Err(e) = backoff.wait(&poison) {
+                        self.attribute_failure(requests)?;
+                        return Err(self.map_ft_err(e));
+                    }
+                }
                 PollAny::NoneActive => return Err(MpiError::StaleRequest),
             }
         }
@@ -1048,8 +1467,10 @@ impl Comm {
                 RequestState::Consumed | RequestState::Inactive => {}
                 RequestState::RecvPending => {
                     any_pending = true;
-                    if let Some(status) = self.try_complete(request, during_wait)? {
-                        return Ok(PollAny::Ready(i, status));
+                    match self.try_complete(request, during_wait) {
+                        Ok(Some(status)) => return Ok(PollAny::Ready(i, status)),
+                        Ok(None) => {}
+                        Err(e) => return Err(self.fail_request(request, i, e)),
                     }
                 }
             }
@@ -1067,17 +1488,17 @@ impl Comm {
     /// [`MpiError::StaleRequest`] if any request was already consumed.
     pub fn test_all(&mut self, requests: &mut [Request]) -> Result<Option<Vec<Status>>> {
         let mut all_complete = true;
-        for request in requests.iter_mut() {
+        for (i, request) in requests.iter_mut().enumerate() {
             match request.state() {
                 RequestState::SendComplete | RequestState::RecvComplete => {}
                 RequestState::Consumed | RequestState::Inactive => {
                     return Err(MpiError::StaleRequest)
                 }
-                RequestState::RecvPending => {
-                    if self.try_complete(request, false)?.is_none() {
-                        all_complete = false;
-                    }
-                }
+                RequestState::RecvPending => match self.try_complete(request, false) {
+                    Ok(Some(_)) => {}
+                    Ok(None) => all_complete = false,
+                    Err(e) => return Err(self.fail_request(request, i, e)),
+                },
             }
         }
         if !all_complete {
@@ -1150,6 +1571,7 @@ impl Comm {
     /// point-to-point path, composed hierarchically (per-host fan-in, leader
     /// dissemination, per-host fan-out) when the topology gates select it.
     pub fn barrier(&mut self) -> Result<()> {
+        self.ft_precheck()?;
         let is_world = self.group.is_world(self.core.borrow().transport.size());
         let algo = if is_world {
             let core = &mut *self.core.borrow_mut();
@@ -1157,17 +1579,21 @@ impl Comm {
             // context consumes one, so the counters agree across ranks no
             // matter which barrier implementation a communicator uses.
             let _seq = core.next_coll_seq(self.ctx);
-            core.transport.barrier(&mut core.clock)?;
+            core.transport
+                .barrier(&mut core.clock)
+                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
             "barrier/sequence"
         } else {
             let view = self.view();
-            let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier, _| {
-                coll::build_barrier(&view, tuning, hier)
-            });
+            let plan = self
+                .cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier, _| {
+                    coll::build_barrier(&view, tuning, hier)
+                })?;
             let core = &mut *self.core.borrow_mut();
             let seq = core.next_coll_seq(self.ctx);
             let mut exec = Execution::new(Rc::clone(&plan), seq);
-            exec.run(core.transport.as_mut(), &mut core.clock, &mut [])?;
+            exec.run(core.transport.as_mut(), &mut core.clock, &mut [])
+                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
             plan.label
         };
         let core = &mut *self.core.borrow_mut();
@@ -1228,7 +1654,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier, _| {
             coll::build_barrier(&view, tuning, hier)
-        });
+        })?;
         Ok(self.start_coll(plan, Vec::new(), CollOp::Barrier, 0))
     }
 
@@ -1243,7 +1669,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::rooted(PlanOp::Bcast, root, bytes),
             |tuning, hier, dp| coll::build_bcast(&view, tuning, hier, dp, root, bytes),
-        );
+        )?;
         Ok(self.start_coll(plan, bytes_of(buf).to_vec(), CollOp::Bcast, bytes as u64))
     }
 
@@ -1256,7 +1682,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
             |tuning, hier, dp| coll::build_allreduce::<T>(&view, tuning, hier, dp, count, op),
-        );
+        )?;
         Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Allreduce, bytes))
     }
 
@@ -1282,7 +1708,7 @@ impl Comm {
                 op,
             ),
             |tuning, hier, dp| coll::build_reduce::<T>(&view, tuning, hier, dp, root, count, op),
-        );
+        )?;
         Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Reduce, bytes))
     }
 
@@ -1298,7 +1724,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::shaped(PlanOp::Allgather, block),
             |tuning, hier, dp| coll::build_allgather(&view, tuning, hier, dp, block),
-        );
+        )?;
         Ok(self.start_coll(plan, buf, CollOp::Allgather, block as u64))
     }
 
@@ -1326,7 +1752,7 @@ impl Comm {
                 op,
             ),
             |tuning, _, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
-        );
+        )?;
         Ok(self.start_coll(
             plan,
             bytes_of(values).to_vec(),
@@ -1352,7 +1778,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _, _| {
             coll::build_gather(&view, root, block)
-        });
+        })?;
         Ok(self.start_coll(plan, buf, CollOp::Gather, block as u64))
     }
 
@@ -1389,7 +1815,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _, _| {
             coll::build_scatter(&view, root, block)
-        });
+        })?;
         Ok(self.start_coll(plan, buf, CollOp::Scatter, block as u64))
     }
 
@@ -1403,7 +1829,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
             |_, _, _| coll::build_scan::<T>(&view, count, op),
-        );
+        )?;
         Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Scan, bytes))
     }
 
@@ -1418,7 +1844,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
             |_, _, _| coll::build_exscan::<T>(&view, count, op),
-        );
+        )?;
         Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Exscan, bytes))
     }
 
@@ -1459,7 +1885,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier, _| {
             coll::build_barrier(&view, tuning, hier)
-        });
+        })?;
         Ok(self.init_coll(plan, Vec::new(), CollOp::Barrier, 0))
     }
 
@@ -1474,7 +1900,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::rooted(PlanOp::Bcast, root, bytes),
             |tuning, hier, dp| coll::build_bcast(&view, tuning, hier, dp, root, bytes),
-        );
+        )?;
         Ok(self.init_coll(plan, bytes_of(buf).to_vec(), CollOp::Bcast, bytes as u64))
     }
 
@@ -1489,7 +1915,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
             |tuning, hier, dp| coll::build_allreduce::<T>(&view, tuning, hier, dp, count, op),
-        );
+        )?;
         Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Allreduce, bytes))
     }
 
@@ -1515,7 +1941,7 @@ impl Comm {
                 op,
             ),
             |tuning, hier, dp| coll::build_reduce::<T>(&view, tuning, hier, dp, root, count, op),
-        );
+        )?;
         Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Reduce, bytes))
     }
 
@@ -1530,7 +1956,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::shaped(PlanOp::Allgather, block),
             |tuning, hier, dp| coll::build_allgather(&view, tuning, hier, dp, block),
-        );
+        )?;
         Ok(self.init_coll(plan, buf, CollOp::Allgather, block as u64))
     }
 
@@ -1561,7 +1987,7 @@ impl Comm {
                 op,
             ),
             |tuning, _, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
-        );
+        )?;
         Ok(self.init_coll(
             plan,
             bytes_of(values).to_vec(),
@@ -1587,7 +2013,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _, _| {
             coll::build_gather(&view, root, block)
-        });
+        })?;
         Ok(self.init_coll(plan, buf, CollOp::Gather, block as u64))
     }
 
@@ -1623,7 +2049,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _, _| {
             coll::build_scatter(&view, root, block)
-        });
+        })?;
         Ok(self.init_coll(plan, buf, CollOp::Scatter, block as u64))
     }
 
@@ -1636,7 +2062,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
             |_, _, _| coll::build_scan::<T>(&view, count, op),
-        );
+        )?;
         Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Scan, bytes))
     }
 
@@ -1649,7 +2075,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
             |_, _, _| coll::build_exscan::<T>(&view, count, op),
-        );
+        )?;
         Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Exscan, bytes))
     }
 
@@ -1661,6 +2087,7 @@ impl Comm {
     /// every other collective: all ranks must start their matching requests
     /// in the same order relative to other collectives on the communicator.
     pub fn start(&mut self, request: &mut Request) -> Result<()> {
+        self.ft_precheck()?;
         self.check_request_ctx(request)?;
         let meta = request.persistent.ok_or_else(|| {
             MpiError::InvalidCollective(
@@ -1868,11 +2295,12 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::rooted(PlanOp::Bcast, root, bytes),
             |tuning, hier, dp| coll::build_bcast(&view, tuning, hier, dp, root, bytes),
-        );
+        )?;
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(buf))?;
+        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(buf))
+            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Bcast, bytes as u64);
         core.note_algo(plan.label, bytes as u64);
         Ok(())
@@ -1894,7 +2322,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _, _| {
             coll::build_gather(&view, root, block)
-        });
+        })?;
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut exec = Execution::new(Rc::clone(&plan), seq);
@@ -1912,9 +2340,11 @@ impl Comm {
                 )));
             }
             recv[me * send.len()..(me + 1) * send.len()].copy_from_slice(send);
-            exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))?;
+            exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))
+                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         } else {
-            exec.run_send_only(core.transport.as_mut(), &mut core.clock, bytes_of(send))?;
+            exec.run_send_only(core.transport.as_mut(), &mut core.clock, bytes_of(send))
+                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         }
         core.note_coll(self.ctx, n, CollOp::Gather, block as u64);
         core.note_algo(plan.label, block as u64);
@@ -1942,11 +2372,12 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::shaped(PlanOp::Allgather, block),
             |tuning, hier, dp| coll::build_allgather(&view, tuning, hier, dp, block),
-        );
+        )?;
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))?;
+        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))
+            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         core.note_coll(self.ctx, n, CollOp::Allgather, block as u64);
         core.note_algo(plan.label, block as u64);
         Ok(())
@@ -1968,7 +2399,7 @@ impl Comm {
         let view = self.view();
         let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _, _| {
             coll::build_scatter(&view, root, block)
-        });
+        })?;
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut exec = Execution::new(Rc::clone(&plan), seq);
@@ -1985,10 +2416,12 @@ impl Comm {
                     recv.len()
                 )));
             }
-            exec.run_send_only(core.transport.as_mut(), &mut core.clock, bytes_of(send))?;
+            exec.run_send_only(core.transport.as_mut(), &mut core.clock, bytes_of(send))
+                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
             recv.copy_from_slice(&send[me * recv.len()..(me + 1) * recv.len()]);
         } else {
-            exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))?;
+            exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))
+                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         }
         core.note_coll(self.ctx, n, CollOp::Scatter, block as u64);
         core.note_algo(plan.label, block as u64);
@@ -2017,12 +2450,13 @@ impl Comm {
                 op,
             ),
             |tuning, hier, dp| coll::build_reduce::<T>(&view, tuning, hier, dp, root, count, op),
-        );
+        )?;
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut buf = bytes_of(values).to_vec();
         let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)?;
+        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)
+            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         let out = if self.rank == root {
             Some(vec_from_bytes(exec.result_slice(&buf)))
         } else {
@@ -2043,7 +2477,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
             |tuning, hier, dp| coll::build_allreduce::<T>(&view, tuning, hier, dp, count, op),
-        );
+        )?;
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut exec = Execution::new(Rc::clone(&plan), seq);
@@ -2051,7 +2485,8 @@ impl Comm {
             core.transport.as_mut(),
             &mut core.clock,
             bytes_of_mut(values),
-        )?;
+        )
+        .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, bytes);
         core.note_algo(plan.label, bytes);
         Ok(())
@@ -2081,12 +2516,13 @@ impl Comm {
                 op,
             ),
             |tuning, _, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
-        );
+        )?;
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut buf = bytes_of(values).to_vec();
         let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)?;
+        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)
+            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         let out = vec_from_bytes(exec.result_slice(&buf));
         core.note_coll(self.ctx, n, CollOp::ReduceScatter, bytes);
         core.note_algo(plan.label, bytes);
@@ -2104,7 +2540,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
             |_, _, _| coll::build_scan::<T>(&view, count, op),
-        );
+        )?;
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut exec = Execution::new(Rc::clone(&plan), seq);
@@ -2112,7 +2548,8 @@ impl Comm {
             core.transport.as_mut(),
             &mut core.clock,
             bytes_of_mut(values),
-        )?;
+        )
+        .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Scan, bytes);
         core.note_algo(plan.label, bytes);
         Ok(())
@@ -2128,7 +2565,7 @@ impl Comm {
         let plan = self.cached_plan(
             PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
             |_, _, _| coll::build_exscan::<T>(&view, count, op),
-        );
+        )?;
         let core = &mut *self.core.borrow_mut();
         let seq = core.next_coll_seq(self.ctx);
         let mut exec = Execution::new(Rc::clone(&plan), seq);
@@ -2136,7 +2573,8 @@ impl Comm {
             core.transport.as_mut(),
             &mut core.clock,
             bytes_of_mut(values),
-        )?;
+        )
+        .map_err(|e| apply_errhandler(core, self.ctx, e))?;
         core.note_coll(self.ctx, self.group.size(), CollOp::Exscan, bytes);
         core.note_algo(plan.label, bytes);
         Ok(())

@@ -229,6 +229,47 @@ impl Default for ProgressTuning {
     }
 }
 
+/// When an injected fault fires (see [`FaultPlan`]). Operation counts are
+/// 1-indexed and per victim rank, over the instrumented transport operations:
+/// point-to-point sends (blocking or progress-driven), data-plane slot
+/// publishes (`dp_expose`), and data-plane acknowledgements (the ack half of
+/// `dp_pull`). The fault fires at *operation entry*, before any bytes are
+/// written, so peers never observe a half-published message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTrigger {
+    /// Kill the victim as it enters its n-th send (1-indexed).
+    NthSend(u64),
+    /// Kill the victim as it enters its n-th data-plane slot publish.
+    NthPublish(u64),
+    /// Kill the victim as it enters its n-th data-plane acknowledgement.
+    NthAck(u64),
+    /// Kill the victim at a pseudo-random operation: the k-th instrumented
+    /// operation of any kind, with `k = 1 + lcg(seed) % max_ops`. Sweeping
+    /// `seed` (e.g. from `CMPI_FAULT_SEED`) moves the kill point across the
+    /// victim's whole communication schedule.
+    SeededOp {
+        /// Seed of the kill-point LCG.
+        seed: u64,
+        /// Upper bound on the kill operation index (the modulus).
+        max_ops: u64,
+    },
+}
+
+/// A planned rank death for fault-tolerance testing: kill `victim` when its
+/// transport activity matches `trigger`. Only honoured under
+/// [`crate::runtime::Universe::run_ft`]; the plain `run` ignores fault plans
+/// (it has no way to report a survivable death). The kill surfaces on the
+/// victim thread as [`crate::error::MpiError::RankKilled`], is recorded in the
+/// universe failure state, and survivors observe it as
+/// [`crate::error::MpiError::ProcFailed`] per their error handlers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// World rank to kill.
+    pub victim: usize,
+    /// When to kill it.
+    pub trigger: FaultTrigger,
+}
+
 /// Which transport a universe uses for inter-node communication.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TransportConfig {
@@ -281,6 +322,9 @@ pub struct UniverseConfig {
     pub coll: CollTuning,
     /// Progress-engine tuning for nonblocking collectives.
     pub progress: ProgressTuning,
+    /// Planned rank deaths for fault-tolerance testing (empty by default;
+    /// only honoured under [`crate::runtime::Universe::run_ft`]).
+    pub faults: Vec<FaultPlan>,
 }
 
 impl UniverseConfig {
@@ -294,6 +338,7 @@ impl UniverseConfig {
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::default()),
             coll: CollTuning::default(),
             progress: ProgressTuning::default(),
+            faults: Vec::new(),
         }
     }
 
@@ -306,6 +351,7 @@ impl UniverseConfig {
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::small()),
             coll: CollTuning::default(),
             progress: ProgressTuning::default(),
+            faults: Vec::new(),
         }
     }
 
@@ -318,6 +364,7 @@ impl UniverseConfig {
             transport: TransportConfig::Tcp(TcpTransportConfig { nic }),
             coll: CollTuning::default(),
             progress: ProgressTuning::default(),
+            faults: Vec::new(),
         }
     }
 
@@ -342,6 +389,12 @@ impl UniverseConfig {
     /// Override the progress-engine tuning.
     pub fn with_progress_tuning(mut self, progress: ProgressTuning) -> Self {
         self.progress = progress;
+        self
+    }
+
+    /// Plan rank deaths for fault-tolerance testing (see [`FaultPlan`]).
+    pub fn with_faults(mut self, faults: Vec<FaultPlan>) -> Self {
+        self.faults = faults;
         self
     }
 

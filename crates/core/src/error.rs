@@ -52,6 +52,32 @@ pub enum MpiError {
     /// waiting on it; the universe's poison flag aborted the wait so the
     /// survivors fail fast instead of spinning forever.
     PeerDead(String),
+    /// One or more ranks of the communicator are known to have failed
+    /// (ULFM `MPI_ERR_PROC_FAILED`). Raised on communicators whose error
+    /// handler is [`crate::comm::ErrHandler::ErrorsReturn`]; the operation did
+    /// not complete, but the communicator (and the universe) remain usable —
+    /// acknowledge the failures and either continue on the subset that can
+    /// still communicate or rebuild via [`crate::comm::Comm::shrink`].
+    ProcFailed {
+        /// Context id of the communicator the failing operation ran on
+        /// (0 when the failure was detected below the communicator layer).
+        ctx: crate::types::CtxId,
+        /// World ranks known dead at the time the error was raised.
+        dead: Vec<usize>,
+        /// Human-readable cause of the first observed failure.
+        detail: String,
+    },
+    /// The communicator was revoked (ULFM `MPI_ERR_REVOKED`): a member called
+    /// [`crate::comm::Comm::revoke`] — typically after observing a process
+    /// failure — and no further communication may happen on it. Rebuild with
+    /// [`crate::comm::Comm::shrink`].
+    Revoked(crate::types::CtxId),
+    /// This rank was killed by an injected fault
+    /// ([`crate::config::FaultPlan`]). Never observed by application code on a
+    /// surviving rank: the runtime's fault-tolerant launcher intercepts it on
+    /// the victim thread, records the death in the failure state, and reports
+    /// the rank as [`crate::runtime::FtOutcome::Killed`].
+    RankKilled(String),
     /// A user point-to-point operation used a tag in the range reserved for
     /// collective-internal traffic (at and above
     /// [`crate::types::COLL_TAG_BASE`]). Reserved tags are excluded from
@@ -90,6 +116,12 @@ impl fmt::Display for MpiError {
             MpiError::StaleRequest => write!(f, "request already completed or consumed"),
             MpiError::InvalidCommunicator(msg) => write!(f, "invalid communicator: {msg}"),
             MpiError::PeerDead(msg) => write!(f, "peer rank died: {msg}"),
+            MpiError::ProcFailed { ctx, dead, detail } => write!(
+                f,
+                "process failure on communicator ctx {ctx}: dead ranks {dead:?} ({detail})"
+            ),
+            MpiError::Revoked(ctx) => write!(f, "communicator ctx {ctx} has been revoked"),
+            MpiError::RankKilled(msg) => write!(f, "rank killed by fault injection: {msg}"),
             MpiError::ReservedTag(tag) => write!(
                 f,
                 "tag {tag:#x} is in the range reserved for collective-internal traffic"

@@ -117,10 +117,10 @@ pub mod topology;
 pub mod transport;
 pub mod types;
 
-pub use comm::{Comm, CommCollStats, SplitType};
+pub use comm::{Comm, CommCollStats, ErrHandler, SplitType};
 pub use config::{
-    CollTuning, CxlShmTransportConfig, DataPlaneMode, HierarchyMode, HostPlacement, ProgressTuning,
-    TcpTransportConfig, TransportConfig, UniverseConfig,
+    CollTuning, CxlShmTransportConfig, DataPlaneMode, FaultPlan, FaultTrigger, HierarchyMode,
+    HostPlacement, ProgressTuning, TcpTransportConfig, TransportConfig, UniverseConfig,
 };
 pub use error::MpiError;
 pub use group::Group;
@@ -128,10 +128,10 @@ pub use plan::PlanCacheStats;
 pub use pod::Pod;
 pub use progress::{CollPlan, Execution, ProgressStats};
 pub use request::{Request, RequestState};
-pub use runtime::{RankReport, Universe};
+pub use runtime::{FtOutcome, RankReport, Universe};
 pub use spin::{PoisonFlag, SpinWait};
 pub use topology::{HostHierarchy, HostTopology};
-pub use transport::{DataPlaneStats, DpWindow};
+pub use transport::{DataPlaneStats, DpWindow, FaultInjector};
 pub use types::{
     CtxId, Rank, ReduceOp, Reducible, Status, Tag, ANY_SOURCE, ANY_TAG, COLL_TAG_BASE, WORLD_CTX,
 };

@@ -133,6 +133,9 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Plans evicted by the LRU bound.
     pub evictions: u64,
+    /// Plans dropped by explicit invalidation (`Comm::invalidate_plans`, e.g.
+    /// after a revoke/shrink made the cached schedules unusable).
+    pub invalidations: u64,
     /// Plans currently resident.
     pub entries: usize,
 }
@@ -153,6 +156,8 @@ pub(crate) struct PlanCache {
     pub misses: u64,
     /// LRU evictions performed.
     pub evictions: u64,
+    /// Plans dropped by explicit invalidation.
+    pub invalidations: u64,
 }
 
 impl PlanCache {
@@ -196,6 +201,18 @@ impl PlanCache {
     /// Plans currently resident.
     pub fn len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Drop every resident plan (a revoke or shrink made the cached schedules
+    /// unusable: they bake in group membership and leader election). Counts
+    /// the dropped plans as invalidations — distinct from LRU evictions — and
+    /// returns how many were dropped. The hit/miss history survives, so
+    /// [`PlanCacheStats`] still reflects the communicator's whole lifetime.
+    pub fn invalidate(&mut self) -> usize {
+        let dropped = self.slots.len();
+        self.slots.clear();
+        self.invalidations += dropped as u64;
+        dropped
     }
 }
 

@@ -21,7 +21,7 @@ use crate::spin::PoisonFlag;
 use crate::topology::HostTopology;
 use crate::transport::cxl::CxlTransport;
 use crate::transport::tcp::{TcpSharedState, TcpTransport};
-use crate::transport::{DataPlaneStats, Transport, TransportStats};
+use crate::transport::{DataPlaneStats, FaultInjector, Transport, TransportStats};
 use crate::types::Rank;
 use crate::Result;
 
@@ -83,6 +83,44 @@ pub struct RankReport {
     pub data_plane: DataPlaneStats,
 }
 
+/// Per-rank outcome of a fault-tolerant run ([`Universe::run_ft`]): either the
+/// rank survived to the end of its body, or it was terminated by the fault
+/// injector ([`crate::config::FaultPlan`]).
+// The inline `RankReport` dwarfs the `Killed` variant, but one value exists
+// per rank, once, at teardown — boxing would only complicate the API.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum FtOutcome<T> {
+    /// The rank completed its body; the value and report are what
+    /// [`Universe::run`] would have returned for it.
+    Survived(T, RankReport),
+    /// The rank was killed by fault injection. Its death was recorded in the
+    /// universe failure state (bumping the failure epoch) before the thread
+    /// exited, so survivors observe [`MpiError::ProcFailed`] — no report is
+    /// produced (the rank never finished).
+    Killed {
+        /// World rank that was killed.
+        rank: Rank,
+        /// The injector's description of the kill point.
+        reason: String,
+    },
+}
+
+impl<T> FtOutcome<T> {
+    /// Whether this rank was killed by fault injection.
+    pub fn is_killed(&self) -> bool {
+        matches!(self, FtOutcome::Killed { .. })
+    }
+
+    /// The survivor's value and report, if the rank survived.
+    pub fn into_survived(self) -> Option<(T, RankReport)> {
+        match self {
+            FtOutcome::Survived(value, report) => Some((value, report)),
+            FtOutcome::Killed { .. } => None,
+        }
+    }
+}
+
 /// The universe: builds the simulated platform and runs one closure per rank.
 pub struct Universe {
     config: UniverseConfig,
@@ -116,6 +154,52 @@ impl Universe {
         T: Send + 'static,
         F: Fn(&mut Comm) -> Result<T> + Send + Sync + 'static,
     {
+        Ok(self
+            .launch_inner(body, false)?
+            .into_iter()
+            .map(|o| {
+                o.into_survived()
+                    .expect("non-FT launches never produce Killed outcomes")
+            })
+            .collect())
+    }
+
+    /// Run `body` on every rank under **fault tolerance**: a rank terminated
+    /// by the configured fault injection
+    /// ([`crate::config::UniverseConfig::with_faults`]) records its death in
+    /// the shared failure state (instead of poisoning the universe) and is
+    /// reported as [`FtOutcome::Killed`]; the other ranks keep running and can
+    /// recover with [`Comm::shrink`] after observing
+    /// [`MpiError::ProcFailed`] on a communicator whose error handler is
+    /// [`crate::comm::ErrHandler::ErrorsReturn`]. Outcomes are ordered by
+    /// rank. Any error other than an injected kill still fails the whole run,
+    /// exactly as in [`Universe::run`].
+    pub fn run_ft<T, F>(config: UniverseConfig, body: F) -> Result<Vec<FtOutcome<T>>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync + 'static,
+    {
+        Universe::new(config).launch_ft(body)
+    }
+
+    /// Instance form of [`Universe::run_ft`].
+    pub fn launch_ft<T, F>(&self, body: F) -> Result<Vec<FtOutcome<T>>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync + 'static,
+    {
+        self.launch_inner(body, true)
+    }
+
+    /// Shared launch path. `ft` selects how an injected kill
+    /// ([`MpiError::RankKilled`]) surfacing from a rank body is handled:
+    /// recorded as a survivable death (`true`) or propagated as a fatal error
+    /// through the abnormal-exit guard (`false`).
+    fn launch_inner<T, F>(&self, body: F, ft: bool) -> Result<Vec<FtOutcome<T>>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync + 'static,
+    {
         let topology = self.config.topology()?;
         let ranks = topology.ranks();
         let tuning = self.config.coll;
@@ -127,6 +211,7 @@ impl Universe {
 
         // Build the per-rank transport constructors up front (everything that
         // must be shared between ranks), then spawn the rank threads.
+        let faults = self.config.faults.clone();
         let mut handles = Vec::with_capacity(ranks);
         match &self.config.transport {
             TransportConfig::CxlShm(cxl_config) => {
@@ -154,24 +239,38 @@ impl Universe {
                     let topology = topology.clone();
                     let body = Arc::clone(&body);
                     let poison = poison.clone();
-                    handles.push(std::thread::spawn(move || -> Result<(T, RankReport)> {
+                    let fault_trigger = faults.iter().find(|p| p.victim == rank).map(|p| p.trigger);
+                    handles.push(std::thread::spawn(move || -> Result<FtOutcome<T>> {
                         let guard = PoisonOnAbnormalExit {
                             poison: poison.clone(),
                             rank,
                             armed: true,
                         };
-                        let transport =
-                            CxlTransport::new(rank, ranks, arena, &cxl_config, &topology, poison)?;
-                        let out = Self::run_rank(
-                            Box::new(transport),
-                            topology,
-                            tuning,
-                            progress_cfg,
+                        let mut transport = CxlTransport::new(
                             rank,
-                            body,
+                            ranks,
+                            arena,
+                            &cxl_config,
+                            &topology,
+                            poison.for_rank(),
                         )?;
-                        guard.disarm();
-                        Ok(out)
+                        if let Some(trigger) = fault_trigger {
+                            transport.set_fault_injector(FaultInjector::new(trigger));
+                        }
+                        Self::finish_rank(
+                            Self::run_rank(
+                                Box::new(transport),
+                                topology,
+                                tuning,
+                                progress_cfg,
+                                rank,
+                                body,
+                            ),
+                            guard,
+                            poison,
+                            rank,
+                            ft,
+                        )
                     }));
                 }
             }
@@ -185,35 +284,49 @@ impl Universe {
                     let topology = topology.clone();
                     let body = Arc::clone(&body);
                     let poison = poison.clone();
-                    handles.push(std::thread::spawn(move || -> Result<(T, RankReport)> {
+                    let fault_trigger = faults.iter().find(|p| p.victim == rank).map(|p| p.trigger);
+                    handles.push(std::thread::spawn(move || -> Result<FtOutcome<T>> {
                         let guard = PoisonOnAbnormalExit {
                             poison: poison.clone(),
                             rank,
                             armed: true,
                         };
-                        let transport =
-                            TcpTransport::new(rank, ranks, fabric, shared, &tcp_config, poison)?;
-                        let out = Self::run_rank(
-                            Box::new(transport),
-                            topology,
-                            tuning,
-                            progress_cfg,
+                        let mut transport = TcpTransport::new(
                             rank,
-                            body,
+                            ranks,
+                            fabric,
+                            shared,
+                            &tcp_config,
+                            poison.for_rank(),
                         )?;
-                        guard.disarm();
-                        Ok(out)
+                        if let Some(trigger) = fault_trigger {
+                            transport.set_fault_injector(FaultInjector::new(trigger));
+                        }
+                        Self::finish_rank(
+                            Self::run_rank(
+                                Box::new(transport),
+                                topology,
+                                tuning,
+                                progress_cfg,
+                                rank,
+                                body,
+                            ),
+                            guard,
+                            poison,
+                            rank,
+                            ft,
+                        )
                     }));
                 }
             }
         }
 
-        let mut results: Vec<Option<(T, RankReport)>> = (0..ranks).map(|_| None).collect();
+        let mut results: Vec<Option<FtOutcome<T>>> = (0..ranks).map(|_| None).collect();
         let mut first_error: Option<MpiError> = None;
         for (rank, handle) in handles.into_iter().enumerate() {
             let outcome = match handle.join() {
-                Ok(Ok(pair)) => {
-                    results[rank] = Some(pair);
+                Ok(Ok(outcome)) => {
+                    results[rank] = Some(outcome);
                     continue;
                 }
                 Ok(Err(e)) => e,
@@ -237,6 +350,32 @@ impl Universe {
             .into_iter()
             .map(|r| r.expect("all ranks reported"))
             .collect())
+    }
+
+    /// Map a rank body's result to its [`FtOutcome`], disarming the
+    /// abnormal-exit guard when the outcome is survivable. Under `ft`, an
+    /// injected kill ([`MpiError::RankKilled`]) is recorded in the shared
+    /// failure state — waking the victim's peers with a failure-epoch bump
+    /// rather than universe poison — and reported as [`FtOutcome::Killed`].
+    fn finish_rank<T>(
+        result: Result<(T, RankReport)>,
+        guard: PoisonOnAbnormalExit,
+        poison: PoisonFlag,
+        rank: Rank,
+        ft: bool,
+    ) -> Result<FtOutcome<T>> {
+        match result {
+            Ok((value, report)) => {
+                guard.disarm();
+                Ok(FtOutcome::Survived(value, report))
+            }
+            Err(MpiError::RankKilled(reason)) if ft => {
+                poison.mark_dead(rank, reason.clone());
+                guard.disarm();
+                Ok(FtOutcome::Killed { rank, reason })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn build_device(

@@ -29,7 +29,9 @@ use crate::queue::{CellHeader, QueueGeometry, QueueMatrix, SpscQueue, CELL_HEADE
 use crate::rma::layout::WINDOW_READY_MAGIC;
 use crate::rma::{BakeryLock, WindowLayout};
 use crate::spin::{PoisonFlag, SpinWait};
-use crate::transport::{no_data_plane, DataPlaneStats, DpWindow, Transport, TransportStats, WinId};
+use crate::transport::{
+    no_data_plane, DataPlaneStats, DpWindow, FaultInjector, Transport, TransportStats, WinId,
+};
 use crate::types::{source_matches, tag_matches, CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
 
@@ -44,18 +46,33 @@ const DP_WINDOW_OK: u64 = 0x6450_4c4e_5f4f_4b21;
 /// communicator runs ring-only on every member.
 const DP_WINDOW_FAIL: u64 = 0x6450_4c4e_5f42_5553;
 
-/// Open a shared object that another rank is about to create, with tiered
-/// backoff and the poison check — so a creator that dies before (or while)
-/// creating the object aborts the waiters with `PeerDead` instead of leaving
-/// them in an unbounded `open_wait` spin.
+/// Bound on the attempts [`open_poisoned`] makes before deciding the creator
+/// is never going to produce the object. Attempts are separated by scheduler
+/// yields (see `CxlShmArena::open_when`), so this is seconds of real time —
+/// far beyond any legitimate format/create latency, tight enough that a
+/// creator that died *between* raising no flag and tripping no poison (e.g. a
+/// fault-injected kill mid-initialization) fails the waiters instead of
+/// hanging them.
+const OPEN_MAX_SPINS: usize = 2_000_000;
+
+/// Open a shared object that another rank is about to create, with a bounded,
+/// poison-aware retry — so a creator that dies before (or while) creating the
+/// object aborts the waiters with `PeerDead`/`ProcFailed` (or, past the
+/// bound, a transport error) instead of leaving them in an unbounded
+/// `open_wait` spin.
 fn open_poisoned(arena: &CxlShmArena, name: &str, poison: &PoisonFlag) -> Result<ShmObject> {
-    let mut backoff = SpinWait::new();
-    loop {
-        match arena.open(name) {
-            Ok(obj) => return Ok(obj),
-            Err(cxl_shm::ShmError::ObjectNotFound(_)) => backoff.wait(poison)?,
-            Err(e) => return Err(e.into()),
+    match arena.open_when(name, OPEN_MAX_SPINS, || poison.check().is_err()) {
+        Ok(obj) => Ok(obj),
+        Err(cxl_shm::ShmError::ObjectNotFound(_)) => {
+            // Surface the real cause when a recorded death aborted the wait;
+            // otherwise the bound itself expired.
+            poison.check()?;
+            Err(MpiError::Transport(format!(
+                "shared object {name} was never created \
+                 (creator died during initialization?)"
+            )))
         }
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -139,6 +156,8 @@ pub struct CxlTransport {
     poll_cursor: usize,
     /// Universe peer-death flag: every blocking wait checks it.
     poison: PoisonFlag,
+    /// Fault injection armed on this rank (fault-tolerance testing only).
+    fault: Option<FaultInjector>,
     /// Reusable header+payload staging for `try_enqueue_with_scratch`.
     tx_scratch: Vec<u8>,
     /// Staging arena recycling the buffers of unexpected messages.
@@ -236,6 +255,7 @@ impl CxlTransport {
             cell_payload: config.cell_size,
             poll_cursor: 0,
             poison,
+            fault: None,
             tx_scratch: Vec::new(),
             pool: BufferPool::new(),
         })
@@ -636,6 +656,11 @@ impl Transport for CxlTransport {
         data: &[u8],
     ) -> Result<()> {
         self.check_rank(dst)?;
+        // Fault injection fires at message entry, before any chunk is
+        // published: peers never observe a half-written message.
+        if let Some(f) = self.fault.as_mut() {
+            f.on_send()?;
+        }
         clock.advance(self.cost.mpi_overhead());
         let queue = self.matrix.queue(dst, self.rank);
         let total = data.len();
@@ -778,6 +803,16 @@ impl Transport for CxlTransport {
                 return Ok(false);
             }
             if *cursor == 0 {
+                // Message entry (first chunk about to be published): the
+                // fault-injection point. Firing here — after the flow-control
+                // check, before any bytes — keeps the count one-per-message
+                // and guarantees no partial message is ever visible.
+                if let Some(f) = self.fault.as_mut() {
+                    if let Err(e) = f.on_send() {
+                        self.tx_scratch = scratch;
+                        return Err(e);
+                    }
+                }
                 clock.advance(self.cost.mpi_overhead());
             }
             // Charge the publish cost first, then stamp the cell with the
@@ -1241,6 +1276,11 @@ impl Transport for CxlTransport {
             // engine retries after pumping acks.
             return Ok(false);
         }
+        // Publish entry (slot claimable, nothing written yet): the
+        // fault-injection point for data-plane publishes.
+        if let Some(f) = self.fault.as_mut() {
+            f.on_publish()?;
+        }
         state.in_use[slot] = Some(seq);
         debug_assert!(region_off + data.len() <= state.layout.slot_bytes());
         let off = state.layout.data_off(state.my_idx, slot) + region_off;
@@ -1315,6 +1355,12 @@ impl Transport for CxlTransport {
             clock.advance(ideal.max(floor));
         }
         if ack {
+            // Ack entry: killing here is the classic reader-death wedge — the
+            // writer's slot would wait on this ack forever if shrink's
+            // `dp_write_off` did not retire it.
+            if let Some(f) = self.fault.as_mut() {
+                f.on_ack()?;
+            }
             let a = layout.ack_off(writer_idx, my_idx, slot);
             obj.nt_store_u64_at((a + SLOT_CELL_TS_OFF) as u64, clock.now().to_bits())?;
             obj.nt_store_u64_at(a as u64, u64::from(seq) + 1)?;
@@ -1354,6 +1400,40 @@ impl Transport for CxlTransport {
         }
         self.dp_stats.notify_waits += 1;
         Ok(true)
+    }
+
+    fn dp_write_off(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        dead_reader_idx: usize,
+    ) -> Result<()> {
+        let nt = self.cost.nt_access();
+        let Some(Some(state)) = self.dp.get_mut(&ctx) else {
+            return Ok(());
+        };
+        if dead_reader_idx >= state.group.len() || dead_reader_idx == state.my_idx {
+            return Ok(());
+        }
+        for (slot, owner) in state.in_use.iter().enumerate() {
+            let Some(seq) = owner else { continue };
+            // Store the exact ack value the dead reader would have written
+            // (`seq + 1`, not a sentinel — a larger value would falsely
+            // satisfy a future owner of the slot after sequence wraparound),
+            // so the writer's pending `dp_wait_ack` completes and the slot
+            // rotation unwedges.
+            let a = state.layout.ack_off(state.my_idx, dead_reader_idx, slot);
+            state
+                .obj
+                .nt_store_u64_at((a + SLOT_CELL_TS_OFF) as u64, clock.now().to_bits())?;
+            state.obj.nt_store_u64_at(a as u64, u64::from(*seq) + 1)?;
+            clock.advance(nt);
+        }
+        Ok(())
+    }
+
+    fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
     }
 
     fn dp_stats(&self) -> DataPlaneStats {

@@ -16,12 +16,106 @@ pub mod tcp;
 use cmpi_fabric::SimClock;
 use serde::{Deserialize, Serialize};
 
+use crate::config::FaultTrigger;
+use crate::error::MpiError;
 use crate::spin::PoisonFlag;
 use crate::types::{CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
 
 /// Identifier of an allocated RMA window.
 pub type WinId = usize;
+
+/// Per-rank fault-injection state armed by the fault-tolerant launcher (see
+/// [`crate::config::FaultPlan`]). Transports that support injection call the
+/// `on_*` hooks at *operation entry* — before any bytes hit the wire or the
+/// shared window — and propagate the resulting
+/// [`MpiError::RankKilled`] up their call stack, so a kill
+/// never leaves a half-published message for peers to trip over.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    trigger: FaultTrigger,
+    sends: u64,
+    publishes: u64,
+    acks: u64,
+    ops: u64,
+    /// Precomputed kill index for [`FaultTrigger::SeededOp`] (over `ops`).
+    seeded_kill_at: u64,
+}
+
+impl FaultInjector {
+    /// Arm an injector for one victim rank.
+    pub fn new(trigger: FaultTrigger) -> Self {
+        let seeded_kill_at = match trigger {
+            FaultTrigger::SeededOp { seed, max_ops } => {
+                // One LCG step (Knuth's MMIX constants); the high bits are the
+                // well-mixed ones.
+                let x = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                1 + (x >> 33) % max_ops.max(1)
+            }
+            _ => 0,
+        };
+        FaultInjector {
+            trigger,
+            sends: 0,
+            publishes: 0,
+            acks: 0,
+            ops: 0,
+            seeded_kill_at,
+        }
+    }
+
+    fn fire(&self, kind: &str, n: u64) -> Result<()> {
+        Err(MpiError::RankKilled(format!(
+            "injected fault at {kind} #{n} (op #{})",
+            self.ops
+        )))
+    }
+
+    fn check(&mut self, kind: &str, n: u64, wanted: Option<u64>) -> Result<()> {
+        self.ops += 1;
+        if wanted == Some(n) {
+            return self.fire(kind, n);
+        }
+        if let FaultTrigger::SeededOp { .. } = self.trigger {
+            if self.ops == self.seeded_kill_at {
+                return self.fire(kind, n);
+            }
+        }
+        Ok(())
+    }
+
+    /// Entry hook of a point-to-point send (blocking or progress-driven).
+    pub fn on_send(&mut self) -> Result<()> {
+        self.sends += 1;
+        let wanted = match self.trigger {
+            FaultTrigger::NthSend(n) => Some(n),
+            _ => None,
+        };
+        self.check("send", self.sends, wanted)
+    }
+
+    /// Entry hook of a data-plane slot publish (`dp_expose`).
+    pub fn on_publish(&mut self) -> Result<()> {
+        self.publishes += 1;
+        let wanted = match self.trigger {
+            FaultTrigger::NthPublish(n) => Some(n),
+            _ => None,
+        };
+        self.check("publish", self.publishes, wanted)
+    }
+
+    /// Entry hook of a data-plane acknowledgement (the ack half of `dp_pull`).
+    pub fn on_ack(&mut self) -> Result<()> {
+        self.acks += 1;
+        let wanted = match self.trigger {
+            FaultTrigger::NthAck(n) => Some(n),
+            _ => None,
+        };
+        self.check("ack", self.acks, wanted)
+    }
+}
 
 /// Operation counters maintained by every transport.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -423,6 +517,27 @@ pub trait Transport: Send {
     ) -> Result<bool> {
         no_data_plane()
     }
+
+    /// Write off a dead group member's pending data-plane acknowledgements on
+    /// `ctx`: for every slot this rank still holds exposed, store the ack the
+    /// dead reader (`dead_reader_idx`, group index) will never send, so slot
+    /// rotation can never wedge behind a corpse. Called by `Comm::shrink` on
+    /// the revoked communicator. The default is a no-op for transports without
+    /// a data plane.
+    fn dp_write_off(
+        &mut self,
+        _clock: &mut SimClock,
+        _ctx: CtxId,
+        _dead_reader_idx: usize,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    /// Arm fault injection on this rank's transport (see [`FaultInjector`]).
+    /// The default ignores the injector: such a transport never kills, which
+    /// is safe — the fault-tolerance tests only assert on transports that
+    /// support injection (both bundled transports do).
+    fn set_fault_injector(&mut self, _injector: FaultInjector) {}
 
     /// Data-plane counters (window setups/failures and per-op traffic; the
     /// communicator layer adds the per-path collective split on top).

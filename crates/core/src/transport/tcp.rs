@@ -30,7 +30,7 @@ use crate::config::TcpTransportConfig;
 use crate::error::MpiError;
 use crate::spin::{PoisonFlag, SpinWait};
 use crate::topology::HostTopology;
-use crate::transport::{Transport, TransportStats, WinId};
+use crate::transport::{FaultInjector, Transport, TransportStats, WinId};
 use crate::types::{source_matches, tag_matches, CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
 
@@ -138,6 +138,8 @@ pub struct TcpTransport {
     label: &'static str,
     /// Universe peer-death flag: every blocking wait checks it.
     poison: PoisonFlag,
+    /// Fault injection armed on this rank (fault-tolerance testing only).
+    fault: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -196,6 +198,7 @@ impl TcpTransport {
             barrier_seq: 0,
             label,
             poison,
+            fault: None,
         })
     }
 
@@ -295,6 +298,11 @@ impl Transport for TcpTransport {
         data: &[u8],
     ) -> Result<()> {
         self.check_rank(dst)?;
+        // Fault injection fires at message entry, before anything is handed
+        // to the fabric: peers never observe a half-sent message.
+        if let Some(f) = self.fault.as_mut() {
+            f.on_send()?;
+        }
         let timing = self.endpoint.send(
             dst,
             wire_tag(ctx, tag),
@@ -440,7 +448,21 @@ impl Transport for TcpTransport {
                     break;
                 }
                 self.shared.barrier_cond.wait_for(&mut seqs, COND_WAIT);
-                self.poison.check()?;
+                if let Err(e) = self.poison.check() {
+                    // A recorded death only dooms the barrier if the dead rank
+                    // has not arrived yet (it never will). If every straggler
+                    // is alive — the victim passed this barrier before dying —
+                    // the barrier still completes; keep waiting so ranks that
+                    // have not installed an error handler yet (e.g. the
+                    // startup barrier) don't abort a completable barrier.
+                    let doomed = seqs
+                        .iter()
+                        .enumerate()
+                        .any(|(r, &(s, _))| s < my_seq && self.poison.is_dead(r));
+                    if doomed || self.poison.is_poisoned() {
+                        return Err(e);
+                    }
+                }
             }
         }
         Ok(())
@@ -815,5 +837,9 @@ impl Transport for TcpTransport {
 
     fn poison(&self) -> &PoisonFlag {
         &self.poison
+    }
+
+    fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = Some(injector);
     }
 }

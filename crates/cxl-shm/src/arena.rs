@@ -375,11 +375,27 @@ impl CxlShmArena {
     /// Open an existing object, spinning until some other host creates it.
     /// This is how non-root ranks pick up objects whose names were broadcast.
     pub fn open_wait(&self, name: &str, max_spins: u64) -> Result<ShmObject> {
-        let mut spins = 0u64;
+        self.open_when(name, max_spins as usize, || false)
+    }
+
+    /// [`CxlShmArena::open_wait`] with an abort predicate: gives up early —
+    /// with `ObjectNotFound`, same as the spin bound expiring — as soon as
+    /// `should_abort` returns `true`. This is the hardened open used when the
+    /// creator might die *mid-initialization*: a runtime that tracks rank
+    /// deaths passes a liveness predicate, so waiters stop as soon as the
+    /// death is recorded instead of burning the whole bound (and the bound
+    /// still catches deaths the runtime never records).
+    pub fn open_when(
+        &self,
+        name: &str,
+        max_spins: usize,
+        mut should_abort: impl FnMut() -> bool,
+    ) -> Result<ShmObject> {
+        let mut spins = 0usize;
         loop {
             match self.open(name) {
                 Ok(obj) => return Ok(obj),
-                Err(ShmError::ObjectNotFound(_)) if spins < max_spins => {
+                Err(ShmError::ObjectNotFound(_)) if spins < max_spins && !should_abort() => {
                     spins += 1;
                     std::thread::yield_now();
                 }
@@ -576,6 +592,26 @@ mod tests {
             arena.open_wait("never", 100),
             Err(ShmError::ObjectNotFound(_))
         ));
+    }
+
+    #[test]
+    fn open_when_aborts_on_predicate() {
+        let dev = test_device("arena-abort", 4);
+        let arena = CxlShmArena::init(host_view(&dev, "hostA"), ArenaConfig::small()).unwrap();
+        // The predicate trips after a couple of probes — long before the spin
+        // bound — modelling a creator whose death is recorded mid-wait.
+        let mut probes = 0u32;
+        let result = arena.open_when("never", u32::MAX as usize, || {
+            probes += 1;
+            probes >= 3
+        });
+        assert!(matches!(result, Err(ShmError::ObjectNotFound(_))));
+        assert_eq!(probes, 3, "stopped as soon as the predicate tripped");
+        // A created object still opens instantly, predicate untouched.
+        arena.create("exists", 64).unwrap();
+        assert!(arena
+            .open_when("exists", 0, || panic!("predicate must not be consulted"))
+            .is_ok());
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::with_cell_size(cell)),
             coll: Default::default(),
             progress: Default::default(),
+            faults: Vec::new(),
         };
         let point = two_sided_bandwidth(config, message_size)?;
         println!("{:>10}KB {:>20.0}", cell / 1024, point.bandwidth_mbps);

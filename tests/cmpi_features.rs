@@ -17,6 +17,7 @@ fn cxl_config_with_cell(ranks: usize, cell: usize) -> UniverseConfig {
         }),
         coll: CollTuning::default(),
         progress: Default::default(),
+        faults: Vec::new(),
     }
 }
 
