@@ -2,7 +2,7 @@
 //! flat-vs-hierarchical topology sweep, the **ring-vs-shm data-plane sweep**,
 //! the nonblocking-collective overlap kernel and the **persistent/plan-cache
 //! sweep** across both transports, written as `BENCH_collectives.json`
-//! (schema v6) for the perf trajectory (`BENCH_*.json` files are diffed
+//! (schema v7) for the perf trajectory (`BENCH_*.json` files are diffed
 //! PR-over-PR). The `hierarchy` section records, per (op, layout, size), the
 //! same collective with the two-level composition forced off and forced on,
 //! plus the speedup — the acceptance surface for the topology-aware
@@ -20,7 +20,13 @@
 //! virtual-time cost of the ULFM-style recovery path (post-failure agreement,
 //! `Comm::shrink`, first post-shrink allreduce vs the pre-failure one) after
 //! an injected mid-allreduce rank death — the acceptance surface for the
-//! fault-tolerance layer.
+//! fault-tolerance layer. The `scaling` section records, per world size
+//! (n=8 → 1024 across 2–64 hosts), the flat (eager matrix) vs sparse (lazy
+//! connection table) pool reservation — including the n=1024 eager refusal —
+//! cross-checked against the `cmpi-scalesim` analytic model, plus measured
+//! collective times and the sparse-connection counters (queue pairs
+//! established vs the n² matrix, SRQ traffic, doorbell-gated ring probes) —
+//! the acceptance surface for the lazy connection subsystem.
 //!
 //! Two kinds of numbers are recorded:
 //!
@@ -43,6 +49,8 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use cmpi_core::coll::{build_allreduce, build_bcast, CommView};
+use cmpi_core::queue::{QueueGeometry, QueueMatrix};
+use cmpi_core::transport::conn::{srq_required_bytes, ConnTable, Doorbell, OBJ_SLACK};
 use cmpi_core::{
     CollTuning, Comm, DataPlaneMode, DataPlaneStats, ErrHandler, Execution, FaultPlan,
     FaultTrigger, FtOutcome, Group, HierarchyMode, HostPlacement, MpiError, ReduceOp,
@@ -50,6 +58,7 @@ use cmpi_core::{
 };
 use cmpi_fabric::cost::TcpNic;
 use cmpi_omb::nonblocking_allreduce_overlap;
+use cmpi_scalesim::{ConnCosts, ConnScalingPoint};
 
 /// One p2p measurement row.
 struct P2pRow {
@@ -290,6 +299,135 @@ fn fault_recovery_rows(rank_counts: &[usize], sizes: &[usize]) -> Vec<FaultRecov
                 });
             }
         }
+    }
+    rows
+}
+
+/// One flat-vs-sparse connection-state row of the scaling sweep. The sizing
+/// half uses the paper-default geometry (64 KiB cells — what a real deployment
+/// formats) and is cross-checked against the `cmpi-scalesim` analytic model;
+/// the measured half runs a real lazy universe with the small-cell scale
+/// config (`UniverseConfig::cxl_scale`) so n=1024 stays wall-clock feasible,
+/// and records the sparse-connection counters that prove per-rank state is
+/// O(active peers).
+struct ScalingRow {
+    ranks: usize,
+    hosts: usize,
+    /// Pool bytes the eager `n × n` matrix demands at default geometry, or
+    /// `None` when the matrix is refused (over `MAX_MATRIX_BYTES`) — the
+    /// n=1024 refusal is itself a data point.
+    eager_bytes: Option<u128>,
+    /// Pool bytes the lazy connection state reserves at default geometry.
+    lazy_bytes: u128,
+    /// Analytic eager bytes (computable even past the refusal point).
+    analytic_eager_bytes: u128,
+    /// Worst-case queue-pairs the lazy mode can promote (`n · budget`).
+    qp_capacity: u128,
+    bcast_ns: f64,
+    allreduce_ns: f64,
+    /// Σ over ranks of dedicated queue pairs established (sender side).
+    qps_established: u64,
+    /// Σ over ranks of peer queue pairs opened (receiver side).
+    qps_opened: u64,
+    /// Σ over ranks of messages that flowed through shared receive queues.
+    srq_msgs: u64,
+    /// Σ over ranks of doorbell rings (sender-side notifications).
+    doorbell_rings: u64,
+    /// Σ over ranks of dedicated rings actually probed by polls — stays
+    /// proportional to active senders, not world size.
+    ring_probes: u64,
+}
+
+impl ScalingRow {
+    /// Fraction of the eager matrix the universe actually established:
+    /// `Σ queue-pairs / n²`. The acceptance criterion is that this stays ≪ 1
+    /// at scale.
+    fn qp_fill(&self) -> f64 {
+        self.qps_established as f64 / (self.ranks * self.ranks) as f64
+    }
+}
+
+/// Run the flat-vs-sparse scaling sweep at each `(ranks, hosts)` point: size
+/// both disciplines at the paper-default geometry (asserting agreement with
+/// the scalesim analytic model), then run one bcast + one allreduce on a real
+/// lazy universe and harvest the sparse-connection counters.
+fn scaling_rows(points: &[(usize, usize)], size: usize) -> Vec<ScalingRow> {
+    let default_config = match UniverseConfig::cxl(2).transport {
+        TransportConfig::CxlShm(t) => t,
+        _ => unreachable!(),
+    };
+    let default_geometry = QueueGeometry {
+        cell_payload: default_config.cell_size,
+        cells: default_config.cells_per_queue,
+    };
+    let mut rows = Vec::new();
+    for &(ranks, hosts) in points {
+        eprintln!("scaling sweep n={ranks} hosts={hosts} ...");
+        // Sizing at default geometry, cross-checked against the analytic model.
+        let costs = ConnCosts {
+            queue_bytes: default_geometry.queue_bytes() as u128,
+            obj_slack: OBJ_SLACK as u128,
+            doorbell_bytes: (Doorbell::required_bytes(ranks, default_config.doorbell_stride)
+                .expect("doorbell sizing")
+                + OBJ_SLACK) as u128,
+            srq_bytes: (srq_required_bytes(default_geometry, default_config.srq_cells)
+                .expect("srq sizing")
+                + OBJ_SLACK) as u128,
+        };
+        let analytic = ConnScalingPoint::evaluate(ranks, default_config.qp_budget, costs);
+        let lazy_bytes = ConnTable::required_device_bytes(ranks, default_geometry, &default_config)
+            .expect("lazy sizing") as u128;
+        assert_eq!(
+            analytic.lazy_bytes, lazy_bytes,
+            "scalesim cross-check: lazy sizing diverges at n={ranks}"
+        );
+        let eager_bytes = match QueueMatrix::required_bytes(ranks, default_geometry) {
+            Ok(b) => {
+                assert_eq!(
+                    analytic.eager_bytes, b as u128,
+                    "scalesim cross-check: eager sizing diverges at n={ranks}"
+                );
+                Some(b as u128)
+            }
+            // Over MAX_MATRIX_BYTES: the flat discipline refuses this world.
+            Err(_) => None,
+        };
+        // Measured lazy run (small cells so n=1024 is wall-clock feasible).
+        let elems = (size / 8).max(1);
+        let reports = cmpi_core::Universe::run(
+            UniverseConfig::cxl_scale(ranks, hosts),
+            move |comm: &mut Comm| {
+                let mut v = vec![1.0f64; elems];
+                comm.barrier()?;
+                let t0 = comm.clock_ns();
+                comm.bcast_into(0, &mut v)?;
+                let bcast_ns = comm.clock_ns() - t0;
+                let t0 = comm.clock_ns();
+                comm.allreduce(&mut v, ReduceOp::Sum)?;
+                Ok((bcast_ns, comm.clock_ns() - t0))
+            },
+        )
+        .expect("scaling universe");
+        let bcast_ns = reports.iter().map(|(r, _)| r.0).fold(0.0f64, f64::max);
+        let allreduce_ns = reports.iter().map(|(r, _)| r.1).fold(0.0f64, f64::max);
+        let sum = |f: fn(&cmpi_core::transport::TransportStats) -> u64| {
+            reports.iter().map(|(_, rep)| f(&rep.stats)).sum::<u64>()
+        };
+        rows.push(ScalingRow {
+            ranks,
+            hosts,
+            eager_bytes,
+            lazy_bytes,
+            analytic_eager_bytes: analytic.eager_bytes,
+            qp_capacity: analytic.lazy_qp_capacity,
+            bcast_ns,
+            allreduce_ns,
+            qps_established: sum(|s| s.qps_established),
+            qps_opened: sum(|s| s.qps_opened),
+            srq_msgs: sum(|s| s.srq_msgs),
+            doorbell_rings: sum(|s| s.doorbell_rings),
+            ring_probes: sum(|s| s.ring_probes),
+        });
     }
     rows
 }
@@ -789,6 +927,16 @@ fn main() {
     };
     let fr_rows = fault_recovery_rows(&fr_ranks, &fr_sizes);
 
+    // The flat-vs-sparse connection-state scaling sweep: n=8 through n=1024
+    // across 2–64 hosts, sized at the paper geometry and measured on real
+    // lazy universes.
+    let scale_points: Vec<(usize, usize)> = if smoke() {
+        vec![(4, 2)]
+    } else {
+        vec![(8, 2), (64, 8), (256, 32), (1024, 64)]
+    };
+    let scale_rows = scaling_rows(&scale_points, 1024);
+
     let json = render_json(
         &p2p_rows,
         &coll_rows,
@@ -798,6 +946,7 @@ fn main() {
         &plan_rows,
         &pers_rows,
         &fr_rows,
+        &scale_rows,
     );
     let out = std::env::var("CMPI_BENCH_OUT").unwrap_or_else(|_| "BENCH_collectives.json".into());
     std::fs::write(&out, &json).expect("write BENCH json");
@@ -815,9 +964,10 @@ fn render_json(
     plan_builds: &[PlanBuildRow],
     persistents: &[PersistentRow],
     fault_recovery: &[FaultRecoveryRow],
+    scaling: &[ScalingRow],
 ) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v6\",\n");
+    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v7\",\n");
     s.push_str("  \"smoke\": ");
     s.push_str(if smoke() { "true" } else { "false" });
     s.push_str(",\n  \"baseline_pre_pr\": ");
@@ -956,6 +1106,34 @@ fn render_json(
             r.post_shrink_allreduce_ns,
             r.wall_agree_ns + r.wall_shrink_ns,
             if i + 1 < fault_recovery.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"scaling\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        let eager = match r.eager_bytes {
+            Some(b) => b.to_string(),
+            None => "null".into(),
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"ranks\": {}, \"hosts\": {}, \"eager_bytes\": {}, \"eager_refused\": {}, \"lazy_bytes\": {}, \"analytic_eager_bytes\": {}, \"eager_over_lazy\": {:.1}, \"qp_capacity\": {}, \"bcast_ns\": {:.1}, \"allreduce_ns\": {:.1}, \"qps_established\": {}, \"qps_opened\": {}, \"srq_msgs\": {}, \"doorbell_rings\": {}, \"ring_probes\": {}, \"qp_fill\": {:.6}}}{}",
+            r.ranks,
+            r.hosts,
+            eager,
+            r.eager_bytes.is_none(),
+            r.lazy_bytes,
+            r.analytic_eager_bytes,
+            r.analytic_eager_bytes as f64 / r.lazy_bytes as f64,
+            r.qp_capacity,
+            r.bcast_ns,
+            r.allreduce_ns,
+            r.qps_established,
+            r.qps_opened,
+            r.srq_msgs,
+            r.doorbell_rings,
+            r.ring_probes,
+            r.qp_fill(),
+            if i + 1 < scaling.len() { "," } else { "" }
         );
     }
     s.push_str("  ]\n}\n");

@@ -9,6 +9,24 @@ use crate::error::MpiError;
 use crate::topology::HostTopology;
 use crate::Result;
 
+/// How the CXL transport provisions its per-pair connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ConnMode {
+    /// Lazy sparse connections (the default): each rank owns a doorbell and a
+    /// shared receive queue; dedicated SPSC queue pairs are carved out of the
+    /// pool on first use and only for pairs that actually talk, so per-rank
+    /// transport memory is O(active peers) and the universe scales to
+    /// thousands of ranks.
+    #[default]
+    Lazy,
+    /// Eagerly format the full `ranks × ranks` [`crate::queue::QueueMatrix`]
+    /// at universe construction — the original (pre-scaling) behavior, kept as
+    /// the flat baseline for equivalence testing and small worlds. Refuses
+    /// worlds whose matrix would exceed
+    /// [`crate::queue::QueueMatrix::MAX_MATRIX_BYTES`].
+    Eager,
+}
+
 /// Configuration of the CXL SHM transport (cMPI proper).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CxlShmTransportConfig {
@@ -24,6 +42,24 @@ pub struct CxlShmTransportConfig {
     pub coherence: CoherenceMode,
     /// Extra device headroom reserved for RMA windows and user objects, bytes.
     pub window_headroom: usize,
+    /// Eager queue matrix vs lazy sparse connection table (see [`ConnMode`]).
+    pub conn_mode: ConnMode,
+    /// Lazy mode: maximum dedicated send-side queue pairs one rank may
+    /// establish. Pairs past the budget keep flowing through the receiver's
+    /// shared receive queue forever, so per-rank pool demand stays hard-capped
+    /// at O(`qp_budget`) regardless of world size.
+    pub qp_budget: usize,
+    /// Lazy mode: messages a sender funnels through a peer's shared receive
+    /// queue before promoting the pair to a dedicated queue pair. `0` promotes
+    /// on the very first send.
+    pub promotion_threshold: u64,
+    /// Lazy mode: cells in each rank's shared receive queue ring (the
+    /// multi-producer cold path; same cell payload as the queue pairs).
+    pub srq_cells: usize,
+    /// Lazy mode: byte stride between doorbell bitmap words. `8` packs the
+    /// words densely; the default `64` gives each 64-sender group word its own
+    /// cache line so senders in different groups never contend on a line.
+    pub doorbell_stride: usize,
 }
 
 impl Default for CxlShmTransportConfig {
@@ -34,6 +70,11 @@ impl Default for CxlShmTransportConfig {
             device_size: None,
             coherence: CoherenceMode::FlushClflushopt,
             window_headroom: 32 * 1024 * 1024,
+            conn_mode: ConnMode::default(),
+            qp_budget: 64,
+            promotion_threshold: 4,
+            srq_cells: 32,
+            doorbell_stride: 64,
         }
     }
 }
@@ -52,10 +93,15 @@ impl CxlShmTransportConfig {
         CxlShmTransportConfig {
             cell_size: 1024,
             cells_per_queue: 4,
-            device_size: None,
-            coherence: CoherenceMode::FlushClflushopt,
             window_headroom: 1024 * 1024,
+            ..Default::default()
         }
+    }
+
+    /// Select eager vs lazy connection establishment.
+    pub fn with_conn_mode(mut self, mode: ConnMode) -> Self {
+        self.conn_mode = mode;
+        self
     }
 
     fn validate(&self) -> Result<()> {
@@ -63,6 +109,18 @@ impl CxlShmTransportConfig {
             return Err(MpiError::InvalidConfig(
                 "cell_size and cells_per_queue must be non-zero".into(),
             ));
+        }
+        if self.conn_mode == ConnMode::Lazy {
+            if self.srq_cells == 0 {
+                return Err(MpiError::InvalidConfig(
+                    "srq_cells must be non-zero in lazy connection mode".into(),
+                ));
+            }
+            if self.doorbell_stride < 8 || !self.doorbell_stride.is_multiple_of(8) {
+                return Err(MpiError::InvalidConfig(
+                    "doorbell_stride must be a multiple of 8 (≥ 8)".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -126,6 +184,11 @@ pub enum DataPlaneMode {
     Shm,
 }
 
+/// Default [`CollTuning::dp_max_group`]: communicators above this size skip
+/// shared-window creation (the window is O(group) per rank and every reader
+/// scans every writer's slots, which stops paying off well before 1024 ranks).
+pub const DP_MAX_GROUP_DEFAULT: usize = 64;
+
 /// Message-size thresholds steering the size-adaptive collective algorithms
 /// (see `coll`), plus the topology gates steering the hierarchical (two-level,
 /// per-host) compositions. Defaults follow the MPICH-style switchover points,
@@ -184,6 +247,11 @@ pub struct CollTuning {
     /// pool too small to hold the whole window (every rank's share) fails
     /// window creation gracefully — the communicator then runs ring-only.
     pub shm_arena_bytes: usize,
+    /// Largest communicator (in ranks) for which a shared-window data plane
+    /// is created at all. Bigger groups memoize "no window" and run ring-only,
+    /// keeping per-rank data-plane state off the O(n) growth path at scale.
+    /// `0` disables the gate (any size may try to create a window).
+    pub dp_max_group: usize,
 }
 
 impl Default for CollTuning {
@@ -201,6 +269,7 @@ impl Default for CollTuning {
             plan_cache_entries: 64,
             data_plane: DataPlaneMode::Auto,
             shm_arena_bytes: 2 * 1024 * 1024,
+            dp_max_group: DP_MAX_GROUP_DEFAULT,
         }
     }
 }
@@ -355,6 +424,17 @@ impl UniverseConfig {
         }
     }
 
+    /// Large-world cMPI configuration: lazy sparse connections with small
+    /// cells, spread over `hosts` hosts — the shape used by the n=64/256/1024
+    /// scaling runs, where an eager matrix would be refused or would commit
+    /// gigabytes of simulated device RAM.
+    pub fn cxl_scale(ranks: usize, hosts: usize) -> Self {
+        UniverseConfig {
+            hosts: hosts.clamp(1, ranks.max(1)),
+            ..Self::cxl_small(ranks)
+        }
+    }
+
     /// Baseline over TCP with the given NIC.
     pub fn tcp(ranks: usize, nic: TcpNic) -> Self {
         UniverseConfig {
@@ -383,6 +463,15 @@ impl UniverseConfig {
     /// Override the collective algorithm thresholds.
     pub fn with_coll_tuning(mut self, coll: CollTuning) -> Self {
         self.coll = coll;
+        self
+    }
+
+    /// Override the connection mode of a CXL SHM transport (no-op on TCP,
+    /// whose endpoints are inherently lazy).
+    pub fn with_conn_mode(mut self, mode: ConnMode) -> Self {
+        if let TransportConfig::CxlShm(ref mut c) = self.transport {
+            c.conn_mode = mode;
+        }
         self
     }
 
@@ -513,6 +602,49 @@ mod tests {
         assert_eq!(t.hier_min_payload_bytes, 512 * 1024);
         // The plan cache is on by default.
         assert!(t.plan_cache_entries > 0);
+    }
+
+    #[test]
+    fn conn_mode_defaults_and_overrides() {
+        let c = CxlShmTransportConfig::default();
+        assert_eq!(c.conn_mode, ConnMode::Lazy);
+        assert!(c.qp_budget > 0);
+        assert!(c.srq_cells > 0);
+        assert_eq!(c.doorbell_stride, 64);
+        let cfg = UniverseConfig::cxl_small(4).with_conn_mode(ConnMode::Eager);
+        match cfg.transport {
+            TransportConfig::CxlShm(ref c) => assert_eq!(c.conn_mode, ConnMode::Eager),
+            _ => unreachable!(),
+        }
+        // Invalid lazy knobs are rejected at topology validation.
+        let mut cfg = UniverseConfig::cxl_small(4);
+        if let TransportConfig::CxlShm(ref mut c) = cfg.transport {
+            c.srq_cells = 0;
+        }
+        assert!(cfg.topology().is_err());
+        let mut cfg = UniverseConfig::cxl_small(4);
+        if let TransportConfig::CxlShm(ref mut c) = cfg.transport {
+            c.doorbell_stride = 12;
+        }
+        assert!(cfg.topology().is_err());
+    }
+
+    #[test]
+    fn cxl_scale_shape() {
+        let cfg = UniverseConfig::cxl_scale(256, 16);
+        assert_eq!(cfg.topology().unwrap().hosts(), 16);
+        match cfg.transport {
+            TransportConfig::CxlShm(ref c) => {
+                assert_eq!(c.conn_mode, ConnMode::Lazy);
+                assert_eq!(c.cell_size, 1024);
+            }
+            _ => unreachable!(),
+        }
+        // Hosts clamp to the rank count.
+        assert_eq!(
+            UniverseConfig::cxl_scale(4, 64).topology().unwrap().hosts(),
+            4
+        );
     }
 
     #[test]

@@ -119,8 +119,9 @@ pub mod types;
 
 pub use comm::{Comm, CommCollStats, ErrHandler, SplitType};
 pub use config::{
-    CollTuning, CxlShmTransportConfig, DataPlaneMode, FaultPlan, FaultTrigger, HierarchyMode,
-    HostPlacement, ProgressTuning, TcpTransportConfig, TransportConfig, UniverseConfig,
+    CollTuning, ConnMode, CxlShmTransportConfig, DataPlaneMode, FaultPlan, FaultTrigger,
+    HierarchyMode, HostPlacement, ProgressTuning, TcpTransportConfig, TransportConfig,
+    UniverseConfig,
 };
 pub use error::MpiError;
 pub use group::Group;

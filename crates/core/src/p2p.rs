@@ -71,6 +71,11 @@ impl UnexpectedQueue {
         self.messages.is_empty()
     }
 
+    /// Iterate the stashed messages (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &PendingMessage> {
+        self.messages.iter()
+    }
+
     /// Stash a message that no receive has matched yet.
     pub fn push(&mut self, msg: PendingMessage) {
         self.messages.push(msg);

@@ -119,6 +119,23 @@ impl QueueGeometry {
     pub fn queue_bytes(&self) -> usize {
         QUEUE_CONTROL_SIZE + self.cells * self.cell_bytes()
     }
+
+    /// [`QueueGeometry::queue_bytes`] with overflow-checked arithmetic, for
+    /// sizing paths fed by untrusted configuration.
+    pub fn checked_queue_bytes(&self) -> Result<usize> {
+        CELL_HEADER_SIZE
+            .checked_add(self.cell_payload)
+            .map(|raw| raw.div_ceil(64) * 64)
+            .and_then(|cell| cell.checked_mul(self.cells))
+            .and_then(|cells| cells.checked_add(QUEUE_CONTROL_SIZE))
+            .ok_or_else(|| {
+                MpiError::Transport(format!(
+                    "queue geometry overflows: cell_payload {} × {} cells exceeds \
+                     the addressable object size — shrink cell_size or cells_per_queue",
+                    self.cell_payload, self.cells
+                ))
+            })
+    }
 }
 
 /// One single-producer single-consumer ring queue living inside a CXL SHM
@@ -343,14 +360,36 @@ impl QueueMatrix {
     /// Name of the SHM object holding the matrix.
     pub const OBJECT_NAME: &'static str = "cmpi/msgq_matrix";
 
-    /// Total bytes needed for a matrix of `ranks × ranks` queues.
-    pub fn required_bytes(ranks: usize, geometry: QueueGeometry) -> usize {
-        ranks * ranks * geometry.queue_bytes()
+    /// Hard cap on the bytes an eager queue matrix may demand from the pool.
+    /// In simulation the device is physically committed host RAM, so an
+    /// unchecked `ranks² × queue_bytes` product at large n would silently try
+    /// to commit hundreds of GiB; past this cap the eager mode refuses with an
+    /// actionable error instead (lazy mode has no matrix and no such cap).
+    pub const MAX_MATRIX_BYTES: usize = 8 << 30;
+
+    /// Total bytes needed for a matrix of `ranks × ranks` queues, with
+    /// overflow-checked arithmetic and the [`QueueMatrix::MAX_MATRIX_BYTES`]
+    /// cap enforced.
+    pub fn required_bytes(ranks: usize, geometry: QueueGeometry) -> Result<usize> {
+        let queue = geometry.checked_queue_bytes()?;
+        let total = ranks
+            .checked_mul(ranks)
+            .and_then(|pairs| pairs.checked_mul(queue));
+        match total {
+            Some(total) if total <= Self::MAX_MATRIX_BYTES => Ok(total),
+            _ => Err(MpiError::Transport(format!(
+                "eager queue matrix for {ranks} ranks needs {} × {queue} bytes, \
+                 over the {} byte cap (QueueMatrix::MAX_MATRIX_BYTES) — use lazy \
+                 connection mode (ConnMode::Lazy) or shrink cell_size/cells_per_queue",
+                ranks.saturating_mul(ranks),
+                Self::MAX_MATRIX_BYTES
+            ))),
+        }
     }
 
     /// Attach to a matrix stored in `obj`.
     pub fn new(obj: ShmObject, ranks: usize, geometry: QueueGeometry) -> Result<Self> {
-        let required = Self::required_bytes(ranks, geometry) as u64;
+        let required = Self::required_bytes(ranks, geometry)? as u64;
         if obj.len() < required {
             return Err(MpiError::Transport(format!(
                 "queue matrix object too small: {} < {}",
@@ -641,7 +680,7 @@ mod tests {
     fn matrix_queues_are_disjoint() {
         let g = geom(128, 2);
         let ranks = 3;
-        let bytes = QueueMatrix::required_bytes(ranks, g);
+        let bytes = QueueMatrix::required_bytes(ranks, g).unwrap();
         let (obj_a, obj_b) = make_object(bytes);
         let matrix_a = QueueMatrix::new(obj_a, ranks, g).unwrap();
         let matrix_b = QueueMatrix::new(obj_b, ranks, g).unwrap();
@@ -671,7 +710,29 @@ mod tests {
     #[test]
     fn matrix_rejects_undersized_object() {
         let g = geom(128, 2);
-        let (obj, _) = make_object(QueueMatrix::required_bytes(2, g));
+        let (obj, _) = make_object(QueueMatrix::required_bytes(2, g).unwrap());
         assert!(QueueMatrix::new(obj, 8, g).is_err());
+    }
+
+    #[test]
+    fn required_bytes_overflow_and_cap_are_actionable() {
+        // Arithmetic overflow of the ranks² × queue product.
+        let g = geom(usize::MAX / 2, 2);
+        let err = QueueMatrix::required_bytes(4, g).unwrap_err();
+        assert!(matches!(err, MpiError::Transport(_)));
+        assert!(err.to_string().contains("cell_size"), "{err}");
+        // No overflow, but a demand past the matrix cap (64 KiB cells at
+        // n=1024 would commit ~550 GiB of simulated device RAM).
+        let g = geom(64 * 1024, 8);
+        let err = QueueMatrix::required_bytes(1024, g).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("MAX_MATRIX_BYTES"), "{msg}");
+        assert!(msg.contains("lazy"), "{msg}");
+        // Sane geometries still size exactly.
+        let g = geom(1024, 4);
+        assert_eq!(
+            QueueMatrix::required_bytes(3, g).unwrap(),
+            9 * g.queue_bytes()
+        );
     }
 }

@@ -218,8 +218,10 @@ impl Universe {
                 let device = Self::build_device(ranks, cxl_config, &topology)?;
                 // Sized for the transport's queue/window/barrier objects plus
                 // the per-communicator data-plane window pairs (status + data
-                // object each); must match `build_device`.
-                let arena_config = ArenaConfig::for_objects(256 + ranks * 8);
+                // object each) and, in lazy mode, the doorbell/SRQ/queue-pair
+                // objects; must match `build_device`.
+                let arena_config =
+                    ArenaConfig::for_objects(CxlTransport::arena_object_hint(ranks, cxl_config));
                 // One cache (and arena handle) per host; rank 0's host
                 // initialises the arena, the others attach.
                 let mut arenas: Vec<CxlShmArena> = Vec::with_capacity(topology.hosts());
@@ -385,8 +387,9 @@ impl Universe {
     ) -> Result<DaxDevice> {
         use std::sync::atomic::{AtomicU64, Ordering};
         static DEVICE_COUNTER: AtomicU64 = AtomicU64::new(0);
-        let shared_bytes = CxlTransport::required_shared_bytes(ranks, cxl_config);
-        let arena_config = ArenaConfig::for_objects(256 + ranks * 8);
+        let shared_bytes = CxlTransport::required_shared_bytes(ranks, cxl_config)?;
+        let arena_config =
+            ArenaConfig::for_objects(CxlTransport::arena_object_hint(ranks, cxl_config));
         let min = ArenaLayout::min_device_size(
             arena_config.hash,
             arena_config.max_free_extents,

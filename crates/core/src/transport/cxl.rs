@@ -2,8 +2,12 @@
 //!
 //! Everything that crosses ranks lives in CXL shared memory:
 //!
-//! * two-sided messages travel through the SPSC message-cell queue matrix
-//!   ([`crate::queue`]), one queue per (receiver, sender) pair;
+//! * two-sided messages travel through SPSC message-cell rings
+//!   ([`crate::queue`]): in **eager** mode the full ranks×ranks
+//!   [`QueueMatrix`] is formatted up front, in **lazy** mode (the default)
+//!   per-pair rings are established on first use behind the doorbell/SRQ
+//!   connection table of [`super::conn`], so per-rank state is O(active
+//!   peers) and an idle poll costs O(1) instead of a ranks-wide sweep;
 //! * RMA windows, their PSCW flags, bakery locks and fence barrier live in a
 //!   per-window SHM object ([`crate::rma`]);
 //! * the global barrier is the sequence-number barrier of [`crate::barrier`].
@@ -14,7 +18,7 @@
 //! the [`CxlCostModel`], with the [`CxlContentionModel`] throttling concurrent
 //! large transfers the way the paper's memory-hierarchy contention does.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cmpi_fabric::cost::CoherenceMode;
 use cmpi_fabric::{CxlContentionModel, CxlCostModel, SimClock};
@@ -22,13 +26,14 @@ use cxl_shm::slots::SLOT_CELL_TS_OFF;
 use cxl_shm::{CxlShmArena, ShmObject, SlotLayout};
 
 use crate::barrier::SeqBarrier;
-use crate::config::CxlShmTransportConfig;
+use crate::config::{ConnMode, CxlShmTransportConfig};
 use crate::error::MpiError;
 use crate::p2p::{BufferPool, ChunkAssembler, PendingMessage, UnexpectedQueue};
 use crate::queue::{CellHeader, QueueGeometry, QueueMatrix, SpscQueue, CELL_HEADER_SIZE};
 use crate::rma::layout::WINDOW_READY_MAGIC;
 use crate::rma::{BakeryLock, WindowLayout};
 use crate::spin::{PoisonFlag, SpinWait};
+use crate::transport::conn::ConnTable;
 use crate::transport::{
     no_data_plane, DataPlaneStats, DpWindow, FaultInjector, Transport, TransportStats, WinId,
 };
@@ -60,7 +65,11 @@ const OPEN_MAX_SPINS: usize = 2_000_000;
 /// object aborts the waiters with `PeerDead`/`ProcFailed` (or, past the
 /// bound, a transport error) instead of leaving them in an unbounded
 /// `open_wait` spin.
-fn open_poisoned(arena: &CxlShmArena, name: &str, poison: &PoisonFlag) -> Result<ShmObject> {
+pub(crate) fn open_poisoned(
+    arena: &CxlShmArena,
+    name: &str,
+    poison: &PoisonFlag,
+) -> Result<ShmObject> {
     match arena.open_when(name, OPEN_MAX_SPINS, || poison.check().is_err()) {
         Ok(obj) => Ok(obj),
         Err(cxl_shm::ShmError::ObjectNotFound(_)) => {
@@ -79,7 +88,7 @@ fn open_poisoned(arena: &CxlShmArena, name: &str, poison: &PoisonFlag) -> Result
 /// Poll a non-temporal `u64` flag with tiered backoff until `pred` holds,
 /// aborting with `PeerDead` if the universe is poisoned. Replaces the
 /// unbounded `nt_spin_until_at` on every flag the transport waits on.
-fn spin_flag(
+pub(crate) fn spin_flag(
     obj: &ShmObject,
     off: u64,
     poison: &PoisonFlag,
@@ -124,12 +133,24 @@ struct WindowState {
     held_locks: Vec<Rank>,
 }
 
+/// How per-pair connection state is materialized (the tentpole knob of the
+/// scaling work — see [`ConnMode`]).
+enum ConnState {
+    /// The seed design: the full ranks×ranks queue matrix, formatted at
+    /// universe construction. Kept verbatim as the flat baseline the scaling
+    /// sweeps compare against.
+    Eager(QueueMatrix),
+    /// Sparse mode: per-rank doorbell + shared receive queue, with dedicated
+    /// queue pairs established on first use ([`super::conn`]).
+    Lazy(Box<ConnTable>),
+}
+
 /// The CXL SHM transport (cMPI proper).
 pub struct CxlTransport {
     rank: Rank,
     ranks: usize,
     arena: CxlShmArena,
-    matrix: QueueMatrix,
+    conn: ConnState,
     barrier: SeqBarrier,
     unexpected: UnexpectedQueue,
     /// One in-flight reassembly per sender ring: the progress engine's drain
@@ -158,6 +179,17 @@ pub struct CxlTransport {
     poison: PoisonFlag,
     /// Fault injection armed on this rank (fault-tolerance testing only).
     fault: Option<FaultInjector>,
+    /// Progress-engine messages whose fault-injection hook already fired
+    /// (lazy mode): the SRQ's multi-producer ticket claim can lose the last
+    /// slot to a racing producer *after* the flow-control check, sending the
+    /// engine back to chunk 0 — this set keeps `on_send` one-per-message
+    /// across such re-entries. Keyed by `(dst, ctx, tag)`; concurrent
+    /// in-flight messages with an identical triple share one arming, an
+    /// accepted imprecision on an already-rare race.
+    fault_armed: BTreeSet<(Rank, CtxId, Tag)>,
+    /// Scratch for snapshots of the pending-sender set (keeps the lazy poll
+    /// path allocation-free in steady state).
+    pending_scan: Vec<Rank>,
     /// Reusable header+payload staging for `try_enqueue_with_scratch`.
     tx_scratch: Vec<u8>,
     /// Staging arena recycling the buffers of unexpected messages.
@@ -175,17 +207,38 @@ impl std::fmt::Debug for CxlTransport {
 }
 
 impl CxlTransport {
-    /// Bytes of CXL device memory the queue matrix and barrier need for a
-    /// universe of `ranks` ranks with the given configuration.
-    pub fn required_shared_bytes(ranks: usize, config: &CxlShmTransportConfig) -> usize {
+    /// Bytes of CXL device memory the connection state and barrier need for a
+    /// universe of `ranks` ranks with the given configuration. Eager mode
+    /// demands the quadratic queue matrix (and refuses outright past its
+    /// cap); lazy mode is linear in `ranks`.
+    pub fn required_shared_bytes(ranks: usize, config: &CxlShmTransportConfig) -> Result<usize> {
         let geometry = QueueGeometry {
             cell_payload: config.cell_size,
             cells: config.cells_per_queue,
         };
-        QueueMatrix::required_bytes(ranks, geometry)
-            + SeqBarrier::required_bytes(ranks)
-            + 2 * 64
-            + config.window_headroom
+        let conn = match config.conn_mode {
+            ConnMode::Eager => QueueMatrix::required_bytes(ranks, geometry)?,
+            ConnMode::Lazy => ConnTable::required_device_bytes(ranks, geometry, config)?,
+        };
+        conn.checked_add(SeqBarrier::required_bytes(ranks))
+            .and_then(|b| b.checked_add(2 * 64))
+            .and_then(|b| b.checked_add(config.window_headroom))
+            .ok_or_else(|| {
+                MpiError::Transport(format!(
+                    "shared-pool sizing for {ranks} ranks overflows usize"
+                ))
+            })
+    }
+
+    /// How many named SHM objects the runtime should size the arena directory
+    /// for: its own bookkeeping plus, in lazy mode, every doorbell, SRQ and
+    /// budgeted queue pair the connection tables may create.
+    pub fn arena_object_hint(ranks: usize, config: &CxlShmTransportConfig) -> usize {
+        let base = 256 + ranks * 8;
+        match config.conn_mode {
+            ConnMode::Eager => base,
+            ConnMode::Lazy => base + ConnTable::object_count_hint(ranks, config),
+        }
     }
 
     /// Build the transport for one rank. Rank 0 creates and formats the shared
@@ -206,40 +259,60 @@ impl CxlTransport {
             cell_payload: config.cell_size,
             cells: config.cells_per_queue,
         };
-        let matrix_bytes = QueueMatrix::required_bytes(ranks, geometry);
         let barrier_bytes = SeqBarrier::required_bytes(ranks);
 
-        let (matrix_obj, barrier_obj) = if rank == 0 {
-            let matrix_obj = arena.create(QueueMatrix::OBJECT_NAME, matrix_bytes + 64)?;
+        let barrier_obj = if rank == 0 {
             let barrier_obj = arena.create(BARRIER_OBJECT, barrier_bytes + 64)?;
-            let matrix = QueueMatrix::new(matrix_obj.clone(), ranks, geometry)?;
-            matrix.format_all()?;
             let barrier = SeqBarrier::new(barrier_obj.clone(), 0, 0, ranks);
             barrier.format()?;
-            // Raise the ready flags only after formatting is complete.
-            matrix_obj.nt_store_u64_at(matrix_bytes as u64, WINDOW_READY_MAGIC)?;
+            // Raise the ready flag only after formatting is complete.
             barrier_obj.nt_store_u64_at(barrier_bytes as u64, WINDOW_READY_MAGIC)?;
-            (matrix_obj, barrier_obj)
+            barrier_obj
         } else {
-            let matrix_obj = open_poisoned(&arena, QueueMatrix::OBJECT_NAME, &poison)?;
             let barrier_obj = open_poisoned(&arena, BARRIER_OBJECT, &poison)?;
-            spin_flag(&matrix_obj, matrix_bytes as u64, &poison, |v| {
-                v == WINDOW_READY_MAGIC
-            })?;
             spin_flag(&barrier_obj, barrier_bytes as u64, &poison, |v| {
                 v == WINDOW_READY_MAGIC
             })?;
-            (matrix_obj, barrier_obj)
+            barrier_obj
         };
 
-        let matrix = QueueMatrix::new(matrix_obj, ranks, geometry)?;
+        let conn = match config.conn_mode {
+            ConnMode::Eager => {
+                // The seed flow: rank 0 formats the whole matrix, everyone
+                // else waits on its ready flag.
+                let matrix_bytes = QueueMatrix::required_bytes(ranks, geometry)?;
+                let matrix_obj = if rank == 0 {
+                    let obj = arena.create(QueueMatrix::OBJECT_NAME, matrix_bytes + 64)?;
+                    let matrix = QueueMatrix::new(obj.clone(), ranks, geometry)?;
+                    matrix.format_all()?;
+                    obj.nt_store_u64_at(matrix_bytes as u64, WINDOW_READY_MAGIC)?;
+                    obj
+                } else {
+                    let obj = open_poisoned(&arena, QueueMatrix::OBJECT_NAME, &poison)?;
+                    spin_flag(&obj, matrix_bytes as u64, &poison, |v| {
+                        v == WINDOW_READY_MAGIC
+                    })?;
+                    obj
+                };
+                ConnState::Eager(QueueMatrix::new(matrix_obj, ranks, geometry)?)
+            }
+            ConnMode::Lazy => {
+                // Every rank creates only its own doorbell + SRQ; peer state
+                // is opened on first use. No cross-rank wait here beyond the
+                // barrier above.
+                let table =
+                    ConnTable::new(rank, ranks, arena.clone(), geometry, config, poison.clone())?;
+                ConnState::Lazy(Box::new(table))
+            }
+        };
+
         let barrier = SeqBarrier::new(barrier_obj, 0, rank, ranks).with_poison(poison.clone());
 
         Ok(CxlTransport {
             rank,
             ranks,
             arena,
-            matrix,
+            conn,
             barrier,
             unexpected: UnexpectedQueue::new(),
             partial_rx: (0..ranks).map(|_| None).collect(),
@@ -256,9 +329,22 @@ impl CxlTransport {
             poll_cursor: 0,
             poison,
             fault: None,
+            fault_armed: BTreeSet::new(),
+            pending_scan: Vec::new(),
             tx_scratch: Vec::new(),
             pool: BufferPool::new(),
         })
+    }
+
+    /// Established connection endpoints on this rank in lazy mode (send-side
+    /// queue pairs plus opened receive rings), `None` in eager mode where the
+    /// matrix always holds `ranks²` queues. The scaling tests assert this
+    /// stays far below `ranks²`.
+    pub fn queue_pair_endpoints(&self) -> Option<usize> {
+        match &self.conn {
+            ConnState::Lazy(t) => Some(t.qp_count()),
+            ConnState::Eager(_) => None,
+        }
     }
 
     /// Change the coherence mode on the data path (used by ablation benches).
@@ -437,6 +523,41 @@ impl CxlTransport {
         }
     }
 
+    /// The receive ring from `sender` in eager mode (panics in lazy mode —
+    /// lazy paths fetch rings through the connection table).
+    fn eager_rx_queue(&self, sender: Rank) -> SpscQueue {
+        match &self.conn {
+            ConnState::Eager(m) => m.queue(self.rank, sender),
+            ConnState::Lazy(_) => unreachable!("eager ring requested on lazy transport"),
+        }
+    }
+
+    /// The send ring toward `dst` in eager mode.
+    fn eager_tx_queue(&self, dst: Rank) -> SpscQueue {
+        match &self.conn {
+            ConnState::Eager(m) => m.queue(dst, self.rank),
+            ConnState::Lazy(_) => unreachable!("eager ring requested on lazy transport"),
+        }
+    }
+
+    fn is_lazy(&self) -> bool {
+        matches!(self.conn, ConnState::Lazy(_))
+    }
+
+    /// The lazy connection table (panics in eager mode).
+    fn lazy(&mut self) -> &mut ConnTable {
+        match &mut self.conn {
+            ConnState::Lazy(t) => t,
+            ConnState::Eager(_) => unreachable!("lazy helper called on eager transport"),
+        }
+    }
+
+    /// Eager-mode wrapper: pump the matrix ring from `sender`.
+    fn pump_ring(&mut self, clock: &mut SimClock, sender: Rank) -> Result<Option<PendingMessage>> {
+        let queue = self.eager_rx_queue(sender);
+        self.pump_queue(clock, sender, &queue)
+    }
+
     /// Pull every chunk currently available in the ring from `sender` into
     /// that ring's persistent assembler **without blocking**: chunks of a
     /// message mid-publication are accepted incrementally (freeing ring
@@ -445,8 +566,13 @@ impl CxlTransport {
     /// message once its last chunk arrives, `None` when the ring holds
     /// nothing further (empty, or a partial message whose sender has not
     /// published more yet).
-    fn pump_ring(&mut self, clock: &mut SimClock, sender: Rank) -> Result<Option<PendingMessage>> {
-        let queue = self.matrix.queue(self.rank, sender);
+    fn pump_queue(
+        &mut self,
+        clock: &mut SimClock,
+        sender: Rank,
+        queue: &SpscQueue,
+    ) -> Result<Option<PendingMessage>> {
+        self.stats.ring_probes += 1;
         let mut asm = self.partial_rx[sender].take();
         loop {
             let Some(h) = queue.peek_header()? else {
@@ -501,6 +627,9 @@ impl CxlTransport {
             clock.advance(self.cost.mpi_overhead());
             return Ok(Some((m.status, m.data)));
         }
+        if self.is_lazy() {
+            return self.lazy_match_once(clock, ctx, src, tag);
+        }
         let (start, count) = self.poll_plan(src);
         for i in 0..count {
             let sender = (start + i) % self.ranks;
@@ -511,6 +640,141 @@ impl CxlTransport {
                 }
                 self.unexpected.push(msg);
             }
+        }
+        Ok(None)
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy-mode receive internals (doorbell + SRQ + sparse rings)
+    // ------------------------------------------------------------------
+    //
+    // The lazy receive side never sweeps `0..ranks`. It
+    //
+    // 1. drains the doorbell summary into the pending-sender set (one
+    //    non-temporal load when idle, regardless of world size),
+    // 2. pumps the shared receive queue, where not-yet-promoted senders
+    //    publish whole messages (two non-temporal loads when idle),
+    // 3. pumps only the pending senders' dedicated rings, retiring a sender
+    //    from the set once its ring is drained (senders re-ring the doorbell
+    //    for every chunk, so retirement never loses a wakeup).
+
+    /// Drain this rank's doorbell into the connection table's pending set.
+    fn lazy_collect(&mut self) -> Result<()> {
+        self.lazy().collect()?;
+        Ok(())
+    }
+
+    /// Pump the shared receive queue: consume every published slot in ticket
+    /// order, assembling chunks per sender. Returns a message as soon as one
+    /// completes; never blocks.
+    fn pump_srq(&mut self, clock: &mut SimClock) -> Result<Option<PendingMessage>> {
+        let srq = match &self.conn {
+            ConnState::Lazy(t) => t.my_srq.clone(),
+            ConnState::Eager(_) => unreachable!("SRQ pump on eager transport"),
+        };
+        loop {
+            let Some(h) = srq.peek_header()? else {
+                return Ok(None);
+            };
+            let sender = h.src;
+            let mut asm = self.partial_rx[sender].take();
+            if asm.is_none() {
+                let total = h.total_len as usize;
+                let buf = self.pool.take(total);
+                asm = Some(ChunkAssembler::with_buffer(h.src, h.ctx, h.tag, total, buf));
+            }
+            let a = asm.as_mut().expect("assembler just ensured");
+            let dst = a.chunk_target(h.chunk_offset as usize, h.chunk_len as usize);
+            let h = srq
+                .try_dequeue_into(clock.now(), dst)?
+                .expect("peeked SRQ slot vanished");
+            clock.merge(h.timestamp);
+            self.charge_chunk_read(
+                clock,
+                h.chunk_len as usize + CELL_HEADER_SIZE,
+                h.total_len as usize,
+                sender,
+            );
+            let a = asm.as_mut().expect("assembler present");
+            a.commit_chunk(h.chunk_len as usize, clock.now());
+            if a.is_complete() {
+                let mut msg = asm.take().expect("assembler present").finish();
+                msg.arrival = clock.now();
+                self.stats.msgs_received += 1;
+                self.stats.bytes_received += msg.data.len() as u64;
+                return Ok(Some(msg));
+            }
+            self.partial_rx[sender] = asm;
+        }
+    }
+
+    /// The senders a lazy receive should probe: the single requested source
+    /// when its ring is known or flagged, otherwise the whole pending set.
+    fn lazy_candidates(&self, src: Option<Rank>, out: &mut Vec<Rank>) {
+        out.clear();
+        let ConnState::Lazy(t) = &self.conn else {
+            return;
+        };
+        match src {
+            Some(s) => {
+                if t.pending.contains(&s) || t.rx_contains(s) {
+                    out.push(s);
+                }
+            }
+            None => out.extend(t.pending.iter().copied()),
+        }
+    }
+
+    /// Drop `sender` from the pending set once its ring holds nothing and no
+    /// reassembly is in flight. Safe because senders ring the doorbell after
+    /// every chunk: new data always re-flags them.
+    fn lazy_retire(&mut self, sender: Rank, queue: &SpscQueue) -> Result<()> {
+        if self.partial_rx[sender].is_none() && !queue.has_message()? {
+            self.lazy().pending.remove(&sender);
+        }
+        Ok(())
+    }
+
+    fn lazy_match_once(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Option<(Status, Vec<u8>)>> {
+        self.lazy_collect()?;
+        while let Some(msg) = self.pump_srq(clock)? {
+            if msg.matches(ctx, src, tag) {
+                clock.advance(self.cost.mpi_overhead());
+                return Ok(Some((msg.status, msg.data)));
+            }
+            self.unexpected.push(msg);
+        }
+        let mut scan = std::mem::take(&mut self.pending_scan);
+        self.lazy_candidates(src, &mut scan);
+        let res = self.match_rings_owned(clock, &scan, ctx, src, tag);
+        self.pending_scan = scan;
+        res
+    }
+
+    fn match_rings_owned(
+        &mut self,
+        clock: &mut SimClock,
+        senders: &[Rank],
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Option<(Status, Vec<u8>)>> {
+        for &sender in senders {
+            let queue = self.lazy().rx_queue(sender)?;
+            while let Some(msg) = self.pump_queue(clock, sender, &queue)? {
+                if msg.matches(ctx, src, tag) {
+                    clock.advance(self.cost.mpi_overhead());
+                    return Ok(Some((msg.status, msg.data)));
+                }
+                self.unexpected.push(msg);
+            }
+            self.lazy_retire(sender, &queue)?;
         }
         Ok(None)
     }
@@ -547,73 +811,137 @@ impl CxlTransport {
         if let Some(m) = self.unexpected.take_match(ctx, src, tag) {
             return self.deliver_staged(clock, m, buf).map(Some);
         }
+        if self.is_lazy() {
+            return self.lazy_match_once_into(clock, ctx, src, tag, buf);
+        }
         let (start, count) = self.poll_plan(src);
         for i in 0..count {
             let sender = (start + i) % self.ranks;
-            loop {
-                // Finish any in-flight partial reassembly first: its chunks
-                // own the ring head, so nothing newer from this sender can
-                // be examined until it completes.
-                if self.partial_rx[sender].is_some() {
-                    match self.pump_ring(clock, sender)? {
-                        Some(msg) => {
-                            if msg.matches(ctx, src, tag) {
-                                return self.deliver_staged(clock, msg, buf).map(Some);
-                            }
-                            self.unexpected.push(msg);
-                            continue;
-                        }
-                        // Still partial: nothing deliverable from this ring.
-                        None => break,
-                    }
-                }
-                let queue = self.matrix.queue(self.rank, sender);
-                let Some(first) = queue.peek_header()? else {
-                    break;
-                };
-                if !Self::header_matches(&first, ctx, src, tag) {
-                    // Not ours: pump it toward the unexpected queue without
-                    // blocking if it is still being published.
-                    match self.pump_ring(clock, sender)? {
-                        Some(msg) => {
-                            self.unexpected.push(msg);
-                            continue;
-                        }
-                        None => break,
-                    }
-                }
-                let total = first.total_len as usize;
-                if total > buf.len() {
-                    // MPI truncation: the message is consumed (into staging,
-                    // recycled immediately) and the receive errors. Blocking
-                    // for the remainder is fine — the sender of a matching
-                    // partial message is committed and actively publishing.
-                    let poison = self.poison.clone();
-                    let mut backoff = SpinWait::new();
-                    let msg = loop {
-                        match self.pump_ring(clock, sender)? {
-                            Some(msg) => break msg,
-                            None => backoff.wait(&poison)?,
-                        }
-                    };
-                    self.pool.put(msg.data);
-                    clock.advance(self.cost.mpi_overhead());
-                    return Err(MpiError::Truncation {
-                        message_len: total,
-                        buffer_len: buf.len(),
-                    });
-                }
-                // Direct path: chunks land in the caller's buffer, with no
-                // staging copy. Waits for the remainder of a matching
-                // message mid-publication — safe for the same reason.
-                self.drain_chunks_into(clock, &queue, &first, buf)?;
-                self.stats.msgs_received += 1;
-                self.stats.bytes_received += total as u64;
-                clock.advance(self.cost.mpi_overhead());
-                return Ok(Some(Status::new(first.src, first.tag, total)));
+            let queue = self.eager_rx_queue(sender);
+            if let Some(status) = self.match_ring_into(clock, sender, &queue, ctx, src, tag, buf)? {
+                return Ok(Some(status));
             }
         }
         Ok(None)
+    }
+
+    fn lazy_match_once_into(
+        &mut self,
+        clock: &mut SimClock,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Option<Status>> {
+        self.lazy_collect()?;
+        while let Some(msg) = self.pump_srq(clock)? {
+            if msg.matches(ctx, src, tag) {
+                return self.deliver_staged(clock, msg, buf).map(Some);
+            }
+            self.unexpected.push(msg);
+        }
+        let mut scan = std::mem::take(&mut self.pending_scan);
+        self.lazy_candidates(src, &mut scan);
+        let res = self.match_rings_into(clock, &scan, ctx, src, tag, buf);
+        self.pending_scan = scan;
+        res
+    }
+
+    fn match_rings_into(
+        &mut self,
+        clock: &mut SimClock,
+        senders: &[Rank],
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Option<Status>> {
+        for &sender in senders {
+            let queue = self.lazy().rx_queue(sender)?;
+            if let Some(status) = self.match_ring_into(clock, sender, &queue, ctx, src, tag, buf)? {
+                return Ok(Some(status));
+            }
+            self.lazy_retire(sender, &queue)?;
+        }
+        Ok(None)
+    }
+
+    /// Probe one sender ring for a receive into a caller buffer: a matching
+    /// message at the ring head streams straight into `buf` with no staging
+    /// copy; anything else is pumped toward the unexpected queue. Returns
+    /// `None` when the ring has nothing further for this receive.
+    #[allow(clippy::too_many_arguments)]
+    fn match_ring_into(
+        &mut self,
+        clock: &mut SimClock,
+        sender: Rank,
+        queue: &SpscQueue,
+        ctx: CtxId,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+        buf: &mut [u8],
+    ) -> Result<Option<Status>> {
+        loop {
+            // Finish any in-flight partial reassembly first: its chunks own
+            // the ring head, so nothing newer from this sender can be
+            // examined until it completes.
+            if self.partial_rx[sender].is_some() {
+                match self.pump_queue(clock, sender, queue)? {
+                    Some(msg) => {
+                        if msg.matches(ctx, src, tag) {
+                            return self.deliver_staged(clock, msg, buf).map(Some);
+                        }
+                        self.unexpected.push(msg);
+                        continue;
+                    }
+                    // Still partial: nothing deliverable from this ring.
+                    None => return Ok(None),
+                }
+            }
+            let Some(first) = queue.peek_header()? else {
+                return Ok(None);
+            };
+            if !Self::header_matches(&first, ctx, src, tag) {
+                // Not ours: pump it toward the unexpected queue without
+                // blocking if it is still being published.
+                match self.pump_queue(clock, sender, queue)? {
+                    Some(msg) => {
+                        self.unexpected.push(msg);
+                        continue;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let total = first.total_len as usize;
+            if total > buf.len() {
+                // MPI truncation: the message is consumed (into staging,
+                // recycled immediately) and the receive errors. Blocking
+                // for the remainder is fine — the sender of a matching
+                // partial message is committed and actively publishing.
+                let poison = self.poison.clone();
+                let mut backoff = SpinWait::new();
+                let msg = loop {
+                    match self.pump_queue(clock, sender, queue)? {
+                        Some(msg) => break msg,
+                        None => backoff.wait(&poison)?,
+                    }
+                };
+                self.pool.put(msg.data);
+                clock.advance(self.cost.mpi_overhead());
+                return Err(MpiError::Truncation {
+                    message_len: total,
+                    buffer_len: buf.len(),
+                });
+            }
+            // Direct path: chunks land in the caller's buffer, with no
+            // staging copy. Waits for the remainder of a matching message
+            // mid-publication — safe for the same reason.
+            self.drain_chunks_into(clock, queue, &first, buf)?;
+            self.stats.msgs_received += 1;
+            self.stats.bytes_received += total as u64;
+            clock.advance(self.cost.mpi_overhead());
+            return Ok(Some(Status::new(first.src, first.tag, total)));
+        }
     }
 
     /// Deliver a staged (unexpected or freshly pumped) message into the
@@ -636,6 +964,272 @@ impl CxlTransport {
         self.pool.put(m.data);
         Ok(m.status)
     }
+
+    // ------------------------------------------------------------------
+    // Lazy-mode send internals
+    // ------------------------------------------------------------------
+
+    /// Blocking send over the lazy connection state. Promoted pairs use
+    /// their dedicated ring and ring the receiver's doorbell after every
+    /// chunk (the receiver's drain depends on seeing the bit); cold pairs
+    /// publish through the receiver's shared receive queue, which the
+    /// receiver probes unconditionally — no doorbell.
+    fn send_lazy(
+        &mut self,
+        clock: &mut SimClock,
+        dst: Rank,
+        ctx: CtxId,
+        tag: Tag,
+        data: &[u8],
+    ) -> Result<()> {
+        // Fault injection fires at message entry, before any chunk is
+        // published: peers never observe a half-written message.
+        if let Some(f) = self.fault.as_mut() {
+            f.on_send()?;
+        }
+        clock.advance(self.cost.mpi_overhead());
+        let nt = self.cost.nt_access();
+        let (db, srq, qp) = {
+            let t = self.lazy();
+            t.prepare_send(dst, clock, nt)?;
+            let peer = t.peer(dst).expect("peer just prepared");
+            (peer.db.clone(), peer.srq.clone(), peer.qp.clone())
+        };
+        let total = data.len();
+        let mut offset = 0usize;
+        let mut scratch = std::mem::take(&mut self.tx_scratch);
+        let mut last_ticket = None;
+        loop {
+            let chunk_end = (offset + self.cell_payload).min(total);
+            let chunk = &data[offset..chunk_end];
+            // Charge the publish cost first, then stamp the cell with the
+            // time at which the data is actually visible.
+            self.charge_chunk_write(clock, chunk.len() + CELL_HEADER_SIZE, total, dst);
+            let header = CellHeader {
+                src: self.rank,
+                ctx,
+                tag,
+                total_len: total as u64,
+                chunk_offset: offset as u64,
+                chunk_len: chunk.len() as u32,
+                timestamp: clock.now(),
+            };
+            let mut backoff = SpinWait::new();
+            match &qp {
+                Some(queue) => loop {
+                    if queue.try_enqueue_with_scratch(&header, chunk, &mut scratch)? {
+                        db.ring(self.rank)?;
+                        self.stats.doorbell_rings += 1;
+                        clock.advance(2.0 * nt);
+                        break;
+                    }
+                    // Ring full: the receiver is behind. Merge its published
+                    // timestamp so our clock reflects the wait, then retry.
+                    clock.merge(queue.head_timestamp()?);
+                    clock.advance(nt);
+                    if let Err(e) = backoff.wait(&self.poison) {
+                        self.tx_scratch = scratch;
+                        return Err(e);
+                    }
+                },
+                None => loop {
+                    match srq.try_enqueue_with_scratch(&header, chunk, &mut scratch)? {
+                        Some(ticket) => {
+                            last_ticket = Some(ticket);
+                            // The ticket claim is one RMW round-trip.
+                            clock.advance(nt);
+                            break;
+                        }
+                        None => {
+                            clock.merge(srq.head_timestamp()?);
+                            clock.advance(nt);
+                            if let Err(e) = backoff.wait(&self.poison) {
+                                self.tx_scratch = scratch;
+                                return Err(e);
+                            }
+                        }
+                    }
+                },
+            }
+            offset = chunk_end;
+            if offset >= total {
+                break;
+            }
+        }
+        self.tx_scratch = scratch;
+        self.lazy().note_sent(dst, last_ticket);
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += total as u64;
+        Ok(())
+    }
+
+    /// Exactly-once fault injection for the lazy progress path: arm a key on
+    /// the first attempt that passed flow control, keep it armed across the
+    /// SRQ's rare claim-race retreats, clear it at message completion.
+    fn fire_send_fault_once(&mut self, dst: Rank, ctx: CtxId, tag: Tag) -> Result<()> {
+        let key = (dst, ctx, tag);
+        if let Some(fault) = self.fault.as_mut() {
+            if !self.fault_armed.contains(&key) {
+                fault.on_send()?;
+                self.fault_armed.insert(key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Nonblocking incremental send over the lazy connection state. Mirrors
+    /// the eager progress contract: enqueue whatever fits, hand control back
+    /// on flow control so the caller can drain its own inbound side.
+    fn try_send_progress_lazy(
+        &mut self,
+        clock: &mut SimClock,
+        dst: Rank,
+        ctx: CtxId,
+        tag: Tag,
+        data: &[u8],
+        cursor: &mut usize,
+    ) -> Result<bool> {
+        let nt = self.cost.nt_access();
+        let total = data.len();
+        let total_chunks = total.div_ceil(self.cell_payload).max(1);
+        if *cursor == 0 {
+            // Message entry: route decision (idempotent across re-entries —
+            // nothing has been enqueued yet, so switching to a freshly
+            // promoted queue pair between attempts is safe).
+            self.lazy().prepare_send(dst, clock, nt)?;
+        }
+        let (db, srq, qp) = {
+            let peer = self
+                .lazy()
+                .peer(dst)
+                .expect("peer prepared at message entry");
+            (peer.db.clone(), peer.srq.clone(), peer.qp.clone())
+        };
+        let mut scratch = std::mem::take(&mut self.tx_scratch);
+        let mut last_ticket = None;
+        while *cursor < total_chunks {
+            let offset = *cursor * self.cell_payload;
+            let chunk_end = (offset + self.cell_payload).min(total);
+            let chunk = &data[offset..chunk_end];
+            match &qp {
+                Some(queue) => {
+                    if !queue.has_space()? {
+                        clock.merge(queue.head_timestamp()?);
+                        clock.advance(nt);
+                        self.tx_scratch = scratch;
+                        return Ok(false);
+                    }
+                    if *cursor == 0 {
+                        if let Err(e) = self.fire_send_fault_once(dst, ctx, tag) {
+                            self.tx_scratch = scratch;
+                            return Err(e);
+                        }
+                        clock.advance(self.cost.mpi_overhead());
+                    }
+                    self.charge_chunk_write(clock, chunk.len() + CELL_HEADER_SIZE, total, dst);
+                    let header = CellHeader {
+                        src: self.rank,
+                        ctx,
+                        tag,
+                        total_len: total as u64,
+                        chunk_offset: offset as u64,
+                        chunk_len: chunk.len() as u32,
+                        timestamp: clock.now(),
+                    };
+                    // Single producer per queue pair: `has_space` cannot be
+                    // invalidated between the check and this enqueue.
+                    let enqueued = queue.try_enqueue_with_scratch(&header, chunk, &mut scratch)?;
+                    debug_assert!(enqueued, "ring filled despite has_space");
+                    db.ring(self.rank)?;
+                    self.stats.doorbell_rings += 1;
+                    clock.advance(2.0 * nt);
+                }
+                None => {
+                    if !srq.has_space()? {
+                        clock.merge(srq.head_timestamp()?);
+                        clock.advance(nt);
+                        self.tx_scratch = scratch;
+                        return Ok(false);
+                    }
+                    if *cursor == 0 {
+                        if let Err(e) = self.fire_send_fault_once(dst, ctx, tag) {
+                            self.tx_scratch = scratch;
+                            return Err(e);
+                        }
+                        clock.advance(self.cost.mpi_overhead());
+                    }
+                    self.charge_chunk_write(clock, chunk.len() + CELL_HEADER_SIZE, total, dst);
+                    let header = CellHeader {
+                        src: self.rank,
+                        ctx,
+                        tag,
+                        total_len: total as u64,
+                        chunk_offset: offset as u64,
+                        chunk_len: chunk.len() as u32,
+                        timestamp: clock.now(),
+                    };
+                    match srq.try_enqueue_with_scratch(&header, chunk, &mut scratch)? {
+                        Some(ticket) => {
+                            last_ticket = Some(ticket);
+                            clock.advance(nt);
+                        }
+                        None => {
+                            // A racing producer took the last slot after the
+                            // flow-control check: retreat as a plain "full".
+                            // The re-entry re-charges a little virtual time —
+                            // accepted noise on a rare race.
+                            clock.merge(srq.head_timestamp()?);
+                            clock.advance(nt);
+                            self.tx_scratch = scratch;
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+            *cursor += 1;
+        }
+        self.tx_scratch = scratch;
+        if self.fault.is_some() {
+            self.fault_armed.remove(&(dst, ctx, tag));
+        }
+        self.lazy().note_sent(dst, last_ticket);
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += total as u64;
+        Ok(true)
+    }
+
+    /// Lazy drain: doorbell collect, SRQ pump, then only the flagged rings.
+    fn lazy_poll_incoming(&mut self, clock: &mut SimClock) -> Result<usize> {
+        let mut moved = 0usize;
+        self.lazy_collect()?;
+        while let Some(msg) = self.pump_srq(clock)? {
+            self.unexpected.push(msg);
+            moved += 1;
+        }
+        let mut scan = std::mem::take(&mut self.pending_scan);
+        self.lazy_candidates(None, &mut scan);
+        let res = self.drain_pending_rings(clock, &scan, &mut moved);
+        self.pending_scan = scan;
+        res?;
+        Ok(moved)
+    }
+
+    fn drain_pending_rings(
+        &mut self,
+        clock: &mut SimClock,
+        senders: &[Rank],
+        moved: &mut usize,
+    ) -> Result<()> {
+        for &sender in senders {
+            let queue = self.lazy().rx_queue(sender)?;
+            while let Some(msg) = self.pump_queue(clock, sender, &queue)? {
+                self.unexpected.push(msg);
+                *moved += 1;
+            }
+            self.lazy_retire(sender, &queue)?;
+        }
+        Ok(())
+    }
 }
 
 impl Transport for CxlTransport {
@@ -656,13 +1250,16 @@ impl Transport for CxlTransport {
         data: &[u8],
     ) -> Result<()> {
         self.check_rank(dst)?;
+        if self.is_lazy() {
+            return self.send_lazy(clock, dst, ctx, tag, data);
+        }
         // Fault injection fires at message entry, before any chunk is
         // published: peers never observe a half-written message.
         if let Some(f) = self.fault.as_mut() {
             f.on_send()?;
         }
         clock.advance(self.cost.mpi_overhead());
-        let queue = self.matrix.queue(dst, self.rank);
+        let queue = self.eager_tx_queue(dst);
         let total = data.len();
         let mut offset = 0usize;
         let mut scratch = std::mem::take(&mut self.tx_scratch);
@@ -782,11 +1379,14 @@ impl Transport for CxlTransport {
         cursor: &mut usize,
     ) -> Result<bool> {
         self.check_rank(dst)?;
+        if self.is_lazy() {
+            return self.try_send_progress_lazy(clock, dst, ctx, tag, data, cursor);
+        }
         let total = data.len();
         // The cursor counts chunks already enqueued (a zero-length message is
         // one header-only chunk).
         let total_chunks = total.div_ceil(self.cell_payload).max(1);
-        let queue = self.matrix.queue(dst, self.rank);
+        let queue = self.eager_tx_queue(dst);
         let mut scratch = std::mem::take(&mut self.tx_scratch);
         while *cursor < total_chunks {
             let offset = *cursor * self.cell_payload;
@@ -839,6 +1439,28 @@ impl Transport for CxlTransport {
         Ok(true)
     }
 
+    fn debug_state(&self) -> String {
+        let partials: Vec<usize> = self
+            .partial_rx
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|_| i))
+            .collect();
+        let unexpected: Vec<(Rank, CtxId, Tag, usize)> = self
+            .unexpected
+            .iter()
+            .map(|m| (m.status.source, m.ctx, m.status.tag, m.data.len()))
+            .collect();
+        let conn = match &self.conn {
+            ConnState::Eager(_) => "eager".to_string(),
+            ConnState::Lazy(t) => t.debug_state(),
+        };
+        format!(
+            "rank={} partials={partials:?} unexpected={unexpected:?} conn={conn}",
+            self.rank
+        )
+    }
+
     fn poll_incoming(&mut self, clock: &mut SimClock) -> Result<usize> {
         // Drain every incoming ring into the pool-backed unexpected queue:
         // each cell freed returns ring space to the sender, so a peer
@@ -847,6 +1469,9 @@ impl Transport for CxlTransport {
         // incrementally and never blocks — essential, because the sender of
         // a half-published message may itself be spinning in its own
         // send-commit loop waiting for the cells this drain frees.
+        if self.is_lazy() {
+            return self.lazy_poll_incoming(clock);
+        }
         let mut moved = 0usize;
         for sender in 0..self.ranks {
             if sender == self.rank {
@@ -1441,7 +2066,13 @@ impl Transport for CxlTransport {
     }
 
     fn stats(&self) -> TransportStats {
-        self.stats
+        let mut s = self.stats;
+        if let ConnState::Lazy(t) = &self.conn {
+            s.qps_established = t.counters.qps_established;
+            s.qps_opened = t.counters.qps_opened;
+            s.srq_msgs = t.counters.srq_msgs;
+        }
+        s
     }
 
     fn record_collective(&mut self, payload_bytes: u64) {

@@ -10,6 +10,7 @@
 //!   (standard Ethernet or SmartNIC), with per-message software-stack costs and
 //!   NIC bandwidth sharing.
 
+pub mod conn;
 pub mod cxl;
 pub mod tcp;
 
@@ -140,6 +141,22 @@ pub struct TransportStats {
     pub collectives: u64,
     /// Payload bytes contributed to collectives by this rank.
     pub collective_bytes: u64,
+    /// Lazy connections: dedicated queue pairs this rank established as a
+    /// sender (eager mode reports 0 — the matrix is not established, it just
+    /// exists).
+    pub qps_established: u64,
+    /// Lazy connections: queue pairs this rank opened as a receiver after
+    /// doorbell discovery of a new sender.
+    pub qps_opened: u64,
+    /// Lazy connections: messages funnelled through a shared receive queue
+    /// (the cold path before promotion / past the QP budget).
+    pub srq_msgs: u64,
+    /// Receive-side per-sender ring probes. An idle rank must keep this flat
+    /// regardless of world size — the doorbell regression tests assert on it.
+    pub ring_probes: u64,
+    /// Doorbell rings performed on the send side (one per chunk enqueued into
+    /// a dedicated queue pair).
+    pub doorbell_rings: u64,
 }
 
 /// Geometry of a communicator's shared exposure window, as reported by
@@ -364,6 +381,12 @@ pub trait Transport: Send {
 
     /// Human-readable transport label (used in benchmark output).
     fn label(&self) -> &'static str;
+
+    /// One-line snapshot of internal progress state, embedded in stall panics
+    /// so a wedged universe reports *what* each side was waiting on.
+    fn debug_state(&self) -> String {
+        String::new()
+    }
 
     /// The universe's peer-death flag; spin loops above the transport (e.g.
     /// request combinators) thread it through their waits so they abort when

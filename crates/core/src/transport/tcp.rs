@@ -17,6 +17,7 @@
 //!   the baseline's one-sided latency so much worse than its two-sided latency
 //!   (630 µs vs 160 µs on Ethernet in the paper).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -61,10 +62,12 @@ struct SharedWindow {
     size_per_rank: usize,
     ranks: usize,
     data: Mutex<Vec<u8>>,
-    /// PSCW post flags: `(flag, timestamp)` indexed by `origin * ranks + target`.
-    post_flags: Mutex<Vec<(u64, f64)>>,
-    /// PSCW complete flags indexed by `target * ranks + origin`.
-    complete_flags: Mutex<Vec<(u64, f64)>>,
+    /// PSCW post flags: arrival timestamp keyed by `(origin, target)`, present
+    /// only while a post is outstanding. Sparse so a window on a large universe
+    /// costs memory proportional to the open epoch pairs, not `ranks²`.
+    post_flags: Mutex<BTreeMap<(Rank, Rank), f64>>,
+    /// PSCW complete flags keyed by `(target, origin)`; same sparsity argument.
+    complete_flags: Mutex<BTreeMap<(Rank, Rank), f64>>,
     /// Passive-target lock owner per target rank.
     lock_owner: Mutex<Vec<Option<Rank>>>,
     /// Fence barrier sequence numbers and timestamps per rank.
@@ -81,8 +84,8 @@ impl SharedWindow {
             size_per_rank,
             ranks,
             data: Mutex::new(vec![0u8; ranks * size_per_rank]),
-            post_flags: Mutex::new(vec![(0, 0.0); ranks * ranks]),
-            complete_flags: Mutex::new(vec![(0, 0.0); ranks * ranks]),
+            post_flags: Mutex::new(BTreeMap::new()),
+            complete_flags: Mutex::new(BTreeMap::new()),
             lock_owner: Mutex::new(vec![None; ranks]),
             fence_seq: Mutex::new(vec![(0, 0.0); ranks]),
             post_cond: Condvar::new(),
@@ -623,7 +626,6 @@ impl Transport for TcpTransport {
             self.check_rank(o)?;
         }
         let rank = self.rank;
-        let ranks = self.ranks;
         // The post notification is a small message to each origin.
         let notify = self.model.mpi_message_time(8, self.share());
         let base_latency = self.model.base_latency_ns;
@@ -637,7 +639,7 @@ impl Transport for TcpTransport {
             let mut flags = state.shared.post_flags.lock();
             for &origin in origins {
                 clock.advance(notify - base_latency);
-                flags[origin * ranks + rank] = (1, clock.now() + base_latency);
+                flags.insert((origin, rank), clock.now() + base_latency);
             }
             state.shared.post_cond.notify_all();
         }
@@ -650,7 +652,6 @@ impl Transport for TcpTransport {
             self.check_rank(t)?;
         }
         let rank = self.rank;
-        let ranks = self.ranks;
         let poison = self.poison.clone();
         let state = self.window_mut(win)?;
         if !state.access_group.is_empty() {
@@ -662,10 +663,8 @@ impl Transport for TcpTransport {
             let mut flags = state.shared.post_flags.lock();
             for &target in targets {
                 loop {
-                    let (flag, ts) = flags[rank * ranks + target];
-                    if flag == 1 {
+                    if let Some(ts) = flags.remove(&(rank, target)) {
                         clock.merge(ts);
-                        flags[rank * ranks + target] = (0, 0.0);
                         break;
                     }
                     state.shared.post_cond.wait_for(&mut flags, COND_WAIT);
@@ -679,7 +678,6 @@ impl Transport for TcpTransport {
 
     fn complete(&mut self, clock: &mut SimClock, win: WinId) -> Result<()> {
         let rank = self.rank;
-        let ranks = self.ranks;
         // The epoch-closing synchronization is where the baseline pays the
         // anchored extra one-sided overhead (control messages + acks).
         let sync_extra = self.model.onesided_sync_extra();
@@ -695,7 +693,7 @@ impl Transport for TcpTransport {
         {
             let mut flags = state.shared.complete_flags.lock();
             for target in targets {
-                flags[target * ranks + rank] = (1, clock.now() + base_latency);
+                flags.insert((target, rank), clock.now() + base_latency);
             }
             state.shared.complete_cond.notify_all();
         }
@@ -704,7 +702,6 @@ impl Transport for TcpTransport {
 
     fn wait(&mut self, clock: &mut SimClock, win: WinId) -> Result<()> {
         let rank = self.rank;
-        let ranks = self.ranks;
         let sync_extra = self.model.onesided_sync_extra();
         let poison = self.poison.clone();
         let state = self.window_mut(win)?;
@@ -718,10 +715,8 @@ impl Transport for TcpTransport {
             let mut flags = state.shared.complete_flags.lock();
             for origin in origins {
                 loop {
-                    let (flag, ts) = flags[rank * ranks + origin];
-                    if flag == 1 {
+                    if let Some(ts) = flags.remove(&(rank, origin)) {
                         clock.merge(ts);
-                        flags[rank * ranks + origin] = (0, 0.0);
                         break;
                     }
                     state.shared.complete_cond.wait_for(&mut flags, COND_WAIT);

@@ -11,10 +11,13 @@
 //! (Section 3.7, "we align each CXL SHM object to the cacheline size").
 //!
 //! The allocator state lives in shared CXL memory and is read/written with the
-//! software-coherence protocol, so any host can allocate or free. As in the
-//! paper, *concurrent* structural modifications from different hosts are
-//! expected to be serialized by the caller (MPI has a natural point for this:
-//! the root rank of a communicator creates objects and broadcasts their names).
+//! software-coherence protocol, so any host can allocate or free. *Concurrent*
+//! structural modifications from different hosts must be serialized: both
+//! `allocate` and `free` are read-modify-write sequences over the shared bump
+//! pointer and free list, and two unsynchronized callers can be handed the
+//! same extent. The arena serializes them under its cross-host directory lock
+//! (`create`/`destroy`); callers using the allocator directly must provide
+//! equivalent mutual exclusion.
 
 use serde::{Deserialize, Serialize};
 

@@ -16,7 +16,13 @@
 //! | `cxl_shm_close`      | [`CxlShmArena::close`]          |
 //!
 //! Any host may create objects (unlike famfs's master/client split, which the
-//! paper calls out as unsuitable for MPI).
+//! paper calls out as unsuitable for MPI). `create`/`destroy` from different
+//! hosts are serialized by a cross-host directory lock — a compare-exchange on
+//! a header word, modelling a CXL 3.0 back-invalidate atomic — because the
+//! allocator bump pointer and the hash insert probe are read-modify-write
+//! sequences that would otherwise alias two concurrently created objects onto
+//! one extent. `open`/`lookup` stay lock-free: slot bodies are published
+//! before the `used` flag is raised.
 
 use serde::{Deserialize, Serialize};
 
@@ -177,6 +183,43 @@ impl ShmObject {
         self.view.nt_load_u64((self.offset + at) as usize)
     }
 
+    /// Non-temporal atomic fetch-OR of a `u64` word at an 8-byte-aligned
+    /// object-relative offset (objects are cache-line aligned, so object
+    /// alignment carries through to the device). Returns the previous value.
+    pub fn nt_fetch_or_u64_at(&self, at: u64, bits: u64) -> Result<u64> {
+        self.check(at, 8)?;
+        self.view.nt_fetch_or_u64((self.offset + at) as usize, bits)
+    }
+
+    /// Non-temporal atomic exchange of a `u64` word at an 8-byte-aligned
+    /// object-relative offset, returning the previous value.
+    pub fn nt_swap_u64_at(&self, at: u64, value: u64) -> Result<u64> {
+        self.check(at, 8)?;
+        self.view.nt_swap_u64((self.offset + at) as usize, value)
+    }
+
+    /// Non-temporal atomic fetch-add of a `u64` word at an 8-byte-aligned
+    /// object-relative offset, returning the previous value.
+    pub fn nt_fetch_add_u64_at(&self, at: u64, delta: u64) -> Result<u64> {
+        self.check(at, 8)?;
+        self.view
+            .nt_fetch_add_u64((self.offset + at) as usize, delta)
+    }
+
+    /// Non-temporal atomic compare-exchange of a `u64` word at an
+    /// 8-byte-aligned object-relative offset: `Ok(previous)` on success,
+    /// `Err(actual)` when the word held something other than `current`.
+    pub fn nt_compare_exchange_u64_at(
+        &self,
+        at: u64,
+        current: u64,
+        new: u64,
+    ) -> Result<std::result::Result<u64, u64>> {
+        self.check(at, 8)?;
+        self.view
+            .nt_compare_exchange_u64((self.offset + at) as usize, current, new)
+    }
+
     /// Spin with non-temporal loads until the flag at `at` satisfies `pred`.
     pub fn nt_spin_until_at(&self, at: u64, pred: impl FnMut(u64) -> bool) -> Result<u64> {
         self.check(at, 8)?;
@@ -265,7 +308,7 @@ impl CxlShmArena {
     fn write_header(&self) -> Result<()> {
         use header_fields as f;
         let l = &self.layout;
-        let fields: [(usize, u64); 12] = [
+        let fields: [(usize, u64); 13] = [
             (f::VERSION, ARENA_VERSION),
             (f::DEVICE_SIZE, l.device_size as u64),
             (f::HASH_LEVELS, l.hash.levels as u64),
@@ -277,6 +320,7 @@ impl CxlShmArena {
             (f::ALLOC_STATE_SIZE, l.alloc_state_size as u64),
             (f::OBJECTS_OFFSET, l.objects_offset as u64),
             (f::OBJECTS_SIZE, l.objects_size as u64),
+            (f::DIR_LOCK, 0),
             // Magic written last: it publishes the header.
             (f::MAGIC, ARENA_MAGIC),
         ];
@@ -334,20 +378,67 @@ impl CxlShmArena {
         &self.view
     }
 
+    /// Acquire the cross-host directory lock: a device-level compare-exchange
+    /// on a header word. `create` and `destroy` both read-modify-write the
+    /// allocator state and the hash table, and with lazily established
+    /// connections *any* rank creates objects at *any* time — two unsynchronized
+    /// creators can read the same bump pointer and hand out one extent twice,
+    /// silently aliasing two objects. The bound exists so a creator that dies
+    /// while holding the lock surfaces as an error instead of a global hang.
+    fn lock_directory(&self) -> Result<()> {
+        use header_fields as f;
+        const LOCK_SPIN_BOUND: usize = 50_000_000;
+        let mut spins = 0usize;
+        loop {
+            match self.view.nt_compare_exchange_u64(f::DIR_LOCK, 0, 1)? {
+                Ok(_) => return Ok(()),
+                Err(_) if spins < LOCK_SPIN_BOUND => {
+                    spins += 1;
+                    if spins.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                Err(_) => return Err(ShmError::DirectoryLockTimeout),
+            }
+        }
+    }
+
+    fn unlock_directory(&self) {
+        // A store failure here would mean the header itself is gone, in which
+        // case every arena operation is already failing loudly.
+        let _ = self.view.nt_store_u64(header_fields::DIR_LOCK, 0);
+    }
+
+    /// Run `body` with the cross-host directory lock held.
+    fn with_directory_lock<T>(&self, body: impl FnOnce() -> Result<T>) -> Result<T> {
+        self.lock_directory()?;
+        let out = body();
+        self.unlock_directory();
+        out
+    }
+
     /// Create a new object of `size` bytes. Equivalent to `cxl_shm_create`.
+    ///
+    /// Safe to call concurrently from any host: the allocation and the
+    /// metadata insert happen under the arena's cross-host directory lock.
     pub fn create(&self, name: &str, size: usize) -> Result<ShmObject> {
         if size == 0 || size as u64 > self.layout.objects_size as u64 {
             return Err(ShmError::InvalidObjectSize(size));
         }
-        if self.hash.lookup(name)?.is_some() {
-            return Err(ShmError::ObjectExists(name.to_string()));
-        }
-        let offset = self.alloc.allocate(size)?;
-        if let Err(e) = self.hash.insert(name, offset, size as u64) {
-            // Roll the allocation back so a failed insert does not leak space.
-            let _ = self.alloc.free(offset, size);
-            return Err(e);
-        }
+        let offset = self.with_directory_lock(|| {
+            if self.hash.lookup(name)?.is_some() {
+                return Err(ShmError::ObjectExists(name.to_string()));
+            }
+            let offset = self.alloc.allocate(size)?;
+            if let Err(e) = self.hash.insert(name, offset, size as u64) {
+                // Roll the allocation back so a failed insert does not leak space.
+                let _ = self.alloc.free(offset, size);
+                return Err(e);
+            }
+            Ok(offset)
+        })?;
         Ok(ShmObject {
             name: name.to_string(),
             offset,
@@ -416,16 +507,20 @@ impl CxlShmArena {
         if !obj.open {
             return Err(ShmError::StaleHandle(obj.name.clone()));
         }
-        let meta = self.hash.remove(&obj.name)?;
-        self.alloc.free(meta.offset, meta.size as usize)?;
+        self.with_directory_lock(|| {
+            let meta = self.hash.remove(&obj.name)?;
+            self.alloc.free(meta.offset, meta.size as usize)
+        })?;
         obj.invalidate();
         Ok(())
     }
 
     /// Destroy an object by name (no handle required).
     pub fn destroy_by_name(&self, name: &str) -> Result<()> {
-        let meta = self.hash.remove(name)?;
-        self.alloc.free(meta.offset, meta.size as usize)
+        self.with_directory_lock(|| {
+            let meta = self.hash.remove(name)?;
+            self.alloc.free(meta.offset, meta.size as usize)
+        })
     }
 
     /// Look up object metadata without opening a handle.
@@ -612,6 +707,64 @@ mod tests {
         assert!(arena
             .open_when("exists", 0, || panic!("predicate must not be consulted"))
             .is_ok());
+    }
+
+    #[test]
+    fn concurrent_creators_get_disjoint_objects() {
+        // Regression test for the lazy-connection wedge: every rank creates
+        // its own doorbell/SRQ (and QPs mid-run), so `create` races with
+        // `create` from other hosts. Without the directory lock two creators
+        // could read the same bump pointer and alias their objects onto one
+        // extent, silently crossing the message queues of unrelated peers.
+        const HOSTS: usize = 8;
+        const PER_HOST: usize = 24;
+        let dev = test_device("arena-concurrent", 16);
+        let _root = CxlShmArena::init(
+            host_view(&dev, "host-init"),
+            ArenaConfig::for_objects(HOSTS * PER_HOST),
+        )
+        .unwrap();
+        let handles: Vec<_> = (0..HOSTS)
+            .map(|h| {
+                let dev = dev.clone();
+                std::thread::spawn(move || {
+                    let arena = CxlShmArena::attach(host_view(&dev, &format!("host{h}"))).unwrap();
+                    (0..PER_HOST)
+                        .map(|i| {
+                            let obj = arena
+                                .create(&format!("obj_{h}_{i}"), 64 + (h * 31 + i) * 64)
+                                .unwrap();
+                            (obj.name().to_string(), obj.offset(), obj.len())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<(String, u64, u64)> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        assert_eq!(all.len(), HOSTS * PER_HOST);
+        // Every object must be findable afterwards with the offset its creator
+        // was handed, and no two extents may overlap.
+        let check = CxlShmArena::attach(host_view(&dev, "host-check")).unwrap();
+        for (name, offset, size) in &all {
+            let meta = check.stat(name).unwrap().unwrap_or_else(|| {
+                panic!("object {name} lost: a racing insert overwrote its slot")
+            });
+            assert_eq!(meta.offset, *offset, "object {name} moved");
+            assert_eq!(meta.size, *size);
+        }
+        all.sort_by_key(|&(_, offset, _)| offset);
+        for pair in all.windows(2) {
+            let (ref a, a_off, a_len) = pair[0];
+            let (ref b, b_off, _) = pair[1];
+            assert!(
+                a_off + a_len <= b_off,
+                "objects {a} and {b} overlap: [{a_off}, {}) vs {b_off}",
+                a_off + a_len
+            );
+        }
     }
 
     #[test]

@@ -382,6 +382,18 @@ impl HostCache {
         segment.write(offset, data)
     }
 
+    /// Account a non-temporal atomic read-modify-write of the aligned word at
+    /// `offset` and, like [`HostCache::nt_store`], drop any cached copy of the
+    /// covering line so a later eviction cannot clobber the atomically updated
+    /// word. The atomic itself runs directly on the device segment; an RMW
+    /// costs one 8-byte load plus one 8-byte store of non-temporal traffic.
+    pub fn nt_rmw_prepare(&self, offset: usize) {
+        let mut inner = self.inner.lock();
+        inner.lines.remove(&Self::line_base(offset));
+        inner.stats.nt_store_bytes += 8;
+        inner.stats.nt_load_bytes += 8;
+    }
+
     /// Non-temporal load: bypass the cache and read directly from the device.
     pub fn nt_load(&self, segment: &SharedSegment, offset: usize, buf: &mut [u8]) -> Result<()> {
         if buf.is_empty() {

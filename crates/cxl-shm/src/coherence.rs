@@ -344,6 +344,51 @@ impl CxlView {
         Ok(u64::from_le_bytes(buf))
     }
 
+    fn count_nt_rmw(&self, offset: usize) {
+        self.counters
+            .nt_bytes_written
+            .fetch_add(8, Ordering::Relaxed);
+        self.counters.nt_bytes_read.fetch_add(8, Ordering::Relaxed);
+        self.cache.nt_rmw_prepare(offset);
+    }
+
+    /// Non-temporal atomic fetch-OR of a `u64` word (8-byte-aligned offset):
+    /// bypasses the cache and applies directly on the device, returning the
+    /// previous value. Models a CXL 3.0 back-invalidate atomic; see
+    /// [`crate::dax::SharedSegment::fetch_or_u64`] for the deviation note.
+    pub fn nt_fetch_or_u64(&self, offset: usize, bits: u64) -> Result<u64> {
+        self.count_nt_rmw(offset);
+        self.segment.fetch_or_u64(offset, bits)
+    }
+
+    /// Non-temporal atomic exchange of a `u64` word (8-byte-aligned offset),
+    /// returning the previous value.
+    pub fn nt_swap_u64(&self, offset: usize, value: u64) -> Result<u64> {
+        self.count_nt_rmw(offset);
+        self.segment.swap_u64(offset, value)
+    }
+
+    /// Non-temporal atomic fetch-add of a `u64` word (8-byte-aligned offset),
+    /// returning the previous value.
+    pub fn nt_fetch_add_u64(&self, offset: usize, delta: u64) -> Result<u64> {
+        self.count_nt_rmw(offset);
+        self.segment.fetch_add_u64(offset, delta)
+    }
+
+    /// Non-temporal atomic compare-exchange of a `u64` word (8-byte-aligned
+    /// offset): `Ok(previous)` when the word equalled `current` and was
+    /// replaced with `new`, `Err(actual)` otherwise. Counted as one RMW
+    /// round-trip either way.
+    pub fn nt_compare_exchange_u64(
+        &self,
+        offset: usize,
+        current: u64,
+        new: u64,
+    ) -> Result<std::result::Result<u64, u64>> {
+        self.count_nt_rmw(offset);
+        self.segment.compare_exchange_u64(offset, current, new)
+    }
+
     /// Spin until the `u64` at `offset` satisfies `pred`, using non-temporal
     /// loads. Yields the observed value. This is the building block for the
     /// flag-based synchronization in Section 3.4.
@@ -484,6 +529,25 @@ mod tests {
             b.read_coherent(off, &mut got).unwrap();
             assert_eq!(got, payload, "round {round}: post-notify read stale");
         }
+    }
+
+    #[test]
+    fn nt_atomics_visible_across_hosts_and_counted() {
+        let (a, b) = two_hosts();
+        // Host A sets doorbell bits; host B swaps them out — no lost updates
+        // even with a primed cache on either side.
+        let mut primed = [0u8; 8];
+        b.read(512, &mut primed).unwrap();
+        assert_eq!(a.nt_fetch_or_u64(512, 0b01).unwrap(), 0);
+        assert_eq!(a.nt_fetch_or_u64(512, 0b10).unwrap(), 0b01);
+        assert_eq!(b.nt_swap_u64(512, 0).unwrap(), 0b11);
+        assert_eq!(b.nt_load_u64(512).unwrap(), 0);
+        assert_eq!(a.nt_fetch_add_u64(520, 5).unwrap(), 0);
+        assert_eq!(b.nt_fetch_add_u64(520, 5).unwrap(), 5);
+        // Each RMW counts as 8 bytes of nt traffic in each direction.
+        let snap = a.counters();
+        assert_eq!(snap.nt_bytes_written, 24);
+        assert_eq!(snap.nt_bytes_read, 24);
     }
 
     #[test]

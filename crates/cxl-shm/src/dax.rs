@@ -159,6 +159,58 @@ impl SharedSegment {
         Ok(())
     }
 
+    fn check_word(&self, offset: usize) -> Result<usize> {
+        self.check_bounds(offset, 8)?;
+        if !offset.is_multiple_of(8) {
+            return Err(ShmError::Misaligned { offset });
+        }
+        Ok(offset / 8)
+    }
+
+    /// Atomically OR `bits` into the `u64` word at an 8-byte-aligned byte
+    /// offset, returning the previous value. At aligned offsets the word value
+    /// equals the little-endian `u64` seen by [`SharedSegment::read_u64`], so
+    /// the atomic ops compose with the flag loads/stores used elsewhere.
+    ///
+    /// These word RMWs model the back-invalidate atomics of CXL 3.0 devices;
+    /// the paper's platform (CXL 1.1/2.0 semantics) has no cross-host atomics,
+    /// which is why the data path never uses them — only the connection-table
+    /// doorbells and shared receive queues do, and that deviation is called
+    /// out where they are configured.
+    pub fn fetch_or_u64(&self, offset: usize, bits: u64) -> Result<u64> {
+        let idx = self.check_word(offset)?;
+        Ok(self.words[idx].fetch_or(bits, Ordering::SeqCst))
+    }
+
+    /// Atomically exchange the `u64` word at an 8-byte-aligned byte offset,
+    /// returning the previous value (see [`SharedSegment::fetch_or_u64`]).
+    pub fn swap_u64(&self, offset: usize, value: u64) -> Result<u64> {
+        let idx = self.check_word(offset)?;
+        Ok(self.words[idx].swap(value, Ordering::SeqCst))
+    }
+
+    /// Atomically add `delta` (wrapping) to the `u64` word at an 8-byte-aligned
+    /// byte offset, returning the previous value (see
+    /// [`SharedSegment::fetch_or_u64`]).
+    pub fn fetch_add_u64(&self, offset: usize, delta: u64) -> Result<u64> {
+        let idx = self.check_word(offset)?;
+        Ok(self.words[idx].fetch_add(delta, Ordering::SeqCst))
+    }
+
+    /// Atomically replace the `u64` word at an 8-byte-aligned byte offset with
+    /// `new` if it currently equals `current`. Returns `Ok(previous)` on
+    /// success and `Err(actual)` when the word held something else (see
+    /// [`SharedSegment::fetch_or_u64`] for the modelling note).
+    pub fn compare_exchange_u64(
+        &self,
+        offset: usize,
+        current: u64,
+        new: u64,
+    ) -> Result<std::result::Result<u64, u64>> {
+        let idx = self.check_word(offset)?;
+        Ok(self.words[idx].compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst))
+    }
+
     /// Read a little-endian `u64` at a byte offset (need not be aligned).
     pub fn read_u64(&self, offset: usize) -> Result<u64> {
         let mut buf = [0u8; 8];
@@ -399,6 +451,53 @@ mod tests {
         let mut out = [0u8; 8];
         seg.read(0, &mut out).unwrap();
         assert_eq!(out, [1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn atomic_word_ops_roundtrip() {
+        let seg = SharedSegment::new(64);
+        assert_eq!(seg.fetch_or_u64(8, 0b1010).unwrap(), 0);
+        assert_eq!(seg.fetch_or_u64(8, 0b0110).unwrap(), 0b1010);
+        // Word value matches the LE u64 seen by the flag loads.
+        assert_eq!(seg.read_u64(8).unwrap(), 0b1110);
+        assert_eq!(seg.swap_u64(8, 77).unwrap(), 0b1110);
+        assert_eq!(seg.fetch_add_u64(8, 3).unwrap(), 77);
+        assert_eq!(seg.read_u64(8).unwrap(), 80);
+        assert_eq!(seg.compare_exchange_u64(8, 80, 81).unwrap(), Ok(80));
+        assert_eq!(seg.compare_exchange_u64(8, 80, 99).unwrap(), Err(81));
+        assert_eq!(seg.read_u64(8).unwrap(), 81);
+    }
+
+    #[test]
+    fn atomic_word_ops_reject_misaligned_and_oob() {
+        let seg = SharedSegment::new(16);
+        assert!(matches!(
+            seg.fetch_or_u64(4, 1),
+            Err(ShmError::Misaligned { offset: 4 })
+        ));
+        assert!(matches!(
+            seg.fetch_add_u64(16, 1),
+            Err(ShmError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_fetch_add_is_atomic_across_threads() {
+        let seg = Arc::new(SharedSegment::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&seg);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.fetch_add_u64(0, 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seg.read_u64(0).unwrap(), 4000);
     }
 
     #[test]

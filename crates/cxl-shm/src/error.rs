@@ -54,8 +54,16 @@ pub enum ShmError {
         /// Largest free extent available.
         largest_free: usize,
     },
+    /// An atomic word access was not 8-byte aligned.
+    Misaligned {
+        /// Byte offset of the attempted access.
+        offset: usize,
+    },
     /// An object handle was used after `close`/`destroy`.
     StaleHandle(String),
+    /// The cross-host directory lock stayed held past the spin bound
+    /// (the holder likely died mid-`create`/`destroy`).
+    DirectoryLockTimeout,
     /// Arena configuration is invalid (zero levels, zero slots, ...).
     InvalidConfig(String),
 }
@@ -97,7 +105,14 @@ impl fmt::Display for ShmError {
                 f,
                 "object region exhausted: requested {requested} bytes, largest free extent {largest_free}"
             ),
+            ShmError::Misaligned { offset } => write!(
+                f,
+                "atomic word access at offset {offset} is not 8-byte aligned"
+            ),
             ShmError::StaleHandle(name) => write!(f, "object handle '{name}' is stale"),
+            ShmError::DirectoryLockTimeout => {
+                write!(f, "arena directory lock held past the spin bound")
+            }
             ShmError::InvalidConfig(msg) => write!(f, "invalid arena configuration: {msg}"),
         }
     }

@@ -56,6 +56,11 @@ pub mod header_fields {
     pub const OBJECTS_OFFSET: usize = 80;
     /// Size of the object region.
     pub const OBJECTS_SIZE: usize = 88;
+    /// Directory lock word: serializes `create`/`destroy` across hosts via a
+    /// device-level compare-exchange (0 = free, 1 = held). The allocator bump
+    /// pointer and the hash insert probe are both read-modify-write sequences,
+    /// so concurrent creators from different hosts need mutual exclusion.
+    pub const DIR_LOCK: usize = 96;
 }
 
 fn align_up(value: usize, align: usize) -> usize {

@@ -50,12 +50,20 @@ pub const BW_WINDOW: usize = 4;
 /// Warm-up iterations excluded from measurement.
 pub const WARMUP: usize = 3;
 
-fn pair_of(rank: Rank, n: usize) -> (bool, Rank) {
-    let half = n / 2;
-    if rank < half {
-        (true, rank + half)
+/// Pairing for the two-host pairwise kernels: the `n/2` origins each pair
+/// with the rank `n.div_ceil(2)` above them. With an odd world the middle
+/// rank sits out (`None`) — the old `rank - n/2` arithmetic aliased it onto
+/// another pair's target, leaving one rank waiting on a partner that never
+/// talks back.
+fn pair_of(rank: Rank, n: usize) -> Option<(bool, Rank)> {
+    let pairs = n / 2;
+    let split = n.div_ceil(2);
+    if rank < pairs {
+        Some((true, rank + split))
+    } else if rank >= split {
+        Some((false, rank - split))
     } else {
-        (false, rank - half)
+        None
     }
 }
 
@@ -68,33 +76,41 @@ pub fn two_sided_latency(config: UniverseConfig, size: usize) -> Result<BenchPoi
     let results = Universe::run(config, move |comm: &mut Comm| {
         let n = comm.size();
         comm.set_concurrency_hint((n / 2).max(1));
-        let (is_origin, peer) = pair_of(comm.rank(), n);
+        let role = pair_of(comm.rank(), n);
         let payload = vec![0xA5u8; size];
         let mut buf = vec![0u8; size];
         // Warm-up.
         for _ in 0..WARMUP {
-            if is_origin {
-                comm.send(peer, 1, &payload)?;
-                comm.recv(Some(peer), Some(1), &mut buf)?;
-            } else {
-                comm.recv(Some(peer), Some(1), &mut buf)?;
-                comm.send(peer, 1, &payload)?;
+            match role {
+                Some((true, peer)) => {
+                    comm.send(peer, 1, &payload)?;
+                    comm.recv(Some(peer), Some(1), &mut buf)?;
+                }
+                Some((false, peer)) => {
+                    comm.recv(Some(peer), Some(1), &mut buf)?;
+                    comm.send(peer, 1, &payload)?;
+                }
+                None => {}
             }
         }
         comm.barrier()?;
         let start = comm.clock_ns();
         for _ in 0..iters {
-            if is_origin {
-                comm.send(peer, 1, &payload)?;
-                comm.recv(Some(peer), Some(1), &mut buf)?;
-            } else {
-                comm.recv(Some(peer), Some(1), &mut buf)?;
-                comm.send(peer, 1, &payload)?;
+            match role {
+                Some((true, peer)) => {
+                    comm.send(peer, 1, &payload)?;
+                    comm.recv(Some(peer), Some(1), &mut buf)?;
+                }
+                Some((false, peer)) => {
+                    comm.recv(Some(peer), Some(1), &mut buf)?;
+                    comm.send(peer, 1, &payload)?;
+                }
+                None => {}
             }
         }
         let elapsed = comm.clock_ns() - start;
         // One-way latency: round trips / 2.
-        Ok(if is_origin {
+        Ok(if matches!(role, Some((true, _))) {
             elapsed / iters as f64 / 2.0 / 1000.0
         } else {
             f64::NAN
@@ -123,29 +139,33 @@ pub fn two_sided_bandwidth(config: UniverseConfig, size: usize) -> Result<BenchP
     let results = Universe::run(config, move |comm: &mut Comm| {
         let n = comm.size();
         comm.set_concurrency_hint((n / 2).max(1));
-        let (is_origin, peer) = pair_of(comm.rank(), n);
+        let role = pair_of(comm.rank(), n);
         let payload = vec![0x5Au8; size];
         let mut ack = [0u8; 1];
         comm.barrier()?;
         let start = comm.clock_ns();
         for _ in 0..iters {
-            if is_origin {
-                for _ in 0..BW_WINDOW {
-                    comm.send(peer, 2, &payload)?;
+            match role {
+                Some((true, peer)) => {
+                    for _ in 0..BW_WINDOW {
+                        comm.send(peer, 2, &payload)?;
+                    }
+                    comm.recv(Some(peer), Some(3), &mut ack)?;
                 }
-                comm.recv(Some(peer), Some(3), &mut ack)?;
-            } else {
-                let mut buf = vec![0u8; size];
-                for _ in 0..BW_WINDOW {
-                    comm.recv(Some(peer), Some(2), &mut buf)?;
+                Some((false, peer)) => {
+                    let mut buf = vec![0u8; size];
+                    for _ in 0..BW_WINDOW {
+                        comm.recv(Some(peer), Some(2), &mut buf)?;
+                    }
+                    comm.send(peer, 3, &[1u8])?;
                 }
-                comm.send(peer, 3, &[1u8])?;
+                None => {}
             }
         }
         let elapsed = comm.clock_ns() - start;
         let bytes = (iters * BW_WINDOW * size) as f64;
         // Per-pair bandwidth in MB/s of virtual time, measured at the origin.
-        Ok(if is_origin && elapsed > 0.0 {
+        Ok(if matches!(role, Some((true, _))) && elapsed > 0.0 {
             bytes / (elapsed * 1e-9) / 1e6
         } else {
             f64::NAN
@@ -173,25 +193,29 @@ pub fn one_sided_put_latency(mut config: UniverseConfig, size: usize) -> Result<
     let results = Universe::run(config, move |comm: &mut Comm| {
         let n = comm.size();
         comm.set_concurrency_hint((n / 2).max(1));
-        let (is_origin, peer) = pair_of(comm.rank(), n);
+        let role = pair_of(comm.rank(), n);
         let win = comm.win_allocate(size.max(8))?;
         let payload = vec![0xC3u8; size];
         comm.barrier()?;
         let start = comm.clock_ns();
         for _ in 0..iters {
-            if is_origin {
-                comm.win_start(win, &[peer])?;
-                comm.put(win, peer, 0, &payload)?;
-                comm.win_complete(win)?;
-            } else {
-                comm.win_post(win, &[peer])?;
-                comm.win_wait(win)?;
+            match role {
+                Some((true, peer)) => {
+                    comm.win_start(win, &[peer])?;
+                    comm.put(win, peer, 0, &payload)?;
+                    comm.win_complete(win)?;
+                }
+                Some((false, peer)) => {
+                    comm.win_post(win, &[peer])?;
+                    comm.win_wait(win)?;
+                }
+                None => {}
             }
         }
         let elapsed = comm.clock_ns() - start;
         comm.barrier()?;
         comm.win_free(win)?;
-        Ok(if is_origin {
+        Ok(if matches!(role, Some((true, _))) {
             elapsed / iters as f64 / 1000.0
         } else {
             f64::NAN
@@ -220,28 +244,32 @@ pub fn one_sided_put_bandwidth(mut config: UniverseConfig, size: usize) -> Resul
     let results = Universe::run(config, move |comm: &mut Comm| {
         let n = comm.size();
         comm.set_concurrency_hint((n / 2).max(1));
-        let (is_origin, peer) = pair_of(comm.rank(), n);
+        let role = pair_of(comm.rank(), n);
         let win = comm.win_allocate(size.max(8))?;
         let payload = vec![0x3Cu8; size];
         comm.barrier()?;
         let start = comm.clock_ns();
         for _ in 0..iters {
-            if is_origin {
-                comm.win_start(win, &[peer])?;
-                for _ in 0..BW_WINDOW {
-                    comm.put(win, peer, 0, &payload)?;
+            match role {
+                Some((true, peer)) => {
+                    comm.win_start(win, &[peer])?;
+                    for _ in 0..BW_WINDOW {
+                        comm.put(win, peer, 0, &payload)?;
+                    }
+                    comm.win_complete(win)?;
                 }
-                comm.win_complete(win)?;
-            } else {
-                comm.win_post(win, &[peer])?;
-                comm.win_wait(win)?;
+                Some((false, peer)) => {
+                    comm.win_post(win, &[peer])?;
+                    comm.win_wait(win)?;
+                }
+                None => {}
             }
         }
         let elapsed = comm.clock_ns() - start;
         comm.barrier()?;
         comm.win_free(win)?;
         let bytes = (iters * BW_WINDOW * size) as f64;
-        Ok(if is_origin && elapsed > 0.0 {
+        Ok(if matches!(role, Some((true, _))) && elapsed > 0.0 {
             bytes / (elapsed * 1e-9) / 1e6
         } else {
             f64::NAN
@@ -389,10 +417,45 @@ mod tests {
 
     #[test]
     fn pairing_splits_halves() {
-        assert_eq!(pair_of(0, 8), (true, 4));
-        assert_eq!(pair_of(3, 8), (true, 7));
-        assert_eq!(pair_of(4, 8), (false, 0));
-        assert_eq!(pair_of(7, 8), (false, 3));
+        assert_eq!(pair_of(0, 8), Some((true, 4)));
+        assert_eq!(pair_of(3, 8), Some((true, 7)));
+        assert_eq!(pair_of(4, 8), Some((false, 0)));
+        assert_eq!(pair_of(7, 8), Some((false, 3)));
+    }
+
+    #[test]
+    fn odd_worlds_idle_the_middle_rank() {
+        // n=5: origins 0,1 pair with 3,4; rank 2 sits out.
+        assert_eq!(pair_of(0, 5), Some((true, 3)));
+        assert_eq!(pair_of(1, 5), Some((true, 4)));
+        assert_eq!(pair_of(2, 5), None);
+        assert_eq!(pair_of(3, 5), Some((false, 0)));
+        assert_eq!(pair_of(4, 5), Some((false, 1)));
+        // n=7: rank 3 idles and the pairing stays a bijection.
+        assert_eq!(pair_of(3, 7), None);
+        for r in [0usize, 1, 2] {
+            let Some((true, peer)) = pair_of(r, 7) else {
+                panic!("rank {r} must originate");
+            };
+            assert_eq!(pair_of(peer, 7), Some((false, r)));
+        }
+    }
+
+    #[test]
+    fn odd_world_latency_and_bandwidth_complete() {
+        // The old pairing aliased the middle rank onto another pair's target
+        // at odd n, wedging every kernel; n=5 and n=7 must now finish.
+        for n in [5usize, 7] {
+            let lat = two_sided_latency(UniverseConfig::cxl(n), 64).unwrap();
+            assert!(lat.latency_us.is_finite() && lat.latency_us > 0.0);
+            assert_eq!(lat.processes, n);
+            let bw = two_sided_bandwidth(UniverseConfig::cxl(n), 4096).unwrap();
+            assert!(bw.bandwidth_mbps > 0.0);
+        }
+        // One-sided PSCW at n=5 exercises the idle rank through the
+        // collective window allocate/free path.
+        let one = one_sided_put_latency(UniverseConfig::cxl(5), 256).unwrap();
+        assert!(one.latency_us.is_finite() && one.latency_us > 0.0);
     }
 
     #[test]

@@ -18,10 +18,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod apps;
+pub mod conn;
 pub mod network;
 pub mod scaling;
 pub mod sim;
 
+pub use conn::{conn_scaling_sweep, ConnCosts, ConnScalingPoint};
 pub use network::{NetworkParams, TransportClass};
 pub use scaling::{ScalingPoint, ScalingStudy};
 pub use sim::{Message, SimOutcome, Simulator, Superstep};
