@@ -1,8 +1,9 @@
 //! The JSON perf harness: p2p latency/bandwidth, collective sweeps, the
 //! flat-vs-hierarchical topology sweep, the **ring-vs-shm data-plane sweep**,
-//! the nonblocking-collective overlap kernel and the **persistent/plan-cache
+//! the **size-adaptive alltoall sweep** and its **shuffle workloads**, the
+//! nonblocking-collective overlap kernel and the **persistent/plan-cache
 //! sweep** across both transports, written as `BENCH_collectives.json`
-//! (schema v7) for the perf trajectory (`BENCH_*.json` files are diffed
+//! (schema v8) for the perf trajectory (`BENCH_*.json` files are diffed
 //! PR-over-PR). The `hierarchy` section records, per (op, layout, size), the
 //! same collective with the two-level composition forced off and forced on,
 //! plus the speedup — the acceptance surface for the topology-aware
@@ -10,7 +11,15 @@
 //! the same CXL collective on the ring path vs the shared-window single-copy
 //! data plane side by side — with the `RankReport::data_plane` counters
 //! proving which path ran — the acceptance surface for the data-plane
-//! subsystem. The `plan_build` section is the plan-build-vs-bind
+//! subsystem. The `alltoall` section records, per (ranks, size), the same
+//! complete exchange with the algorithm pinned to Bruck, pairwise and the
+//! single-copy shm data plane plus the Auto selection — the acceptance
+//! surface for the size-adaptive alltoall family (Bruck small, pairwise
+//! large, shm over both where the exchange fits a slot, Auto tracking the
+//! measured crossovers) — and the `shuffle_workloads` section records the
+//! end-to-end scenario proxies built on it (distributed sample sort,
+//! k-means/MKKM alternating iteration) on both transports with the selected
+//! alltoall label. The `plan_build` section is the plan-build-vs-bind
 //! microbenchmark (pure software cost of planning one collective vs
 //! re-binding a cached plan), and the `persistent` section compares repeated
 //! small-message collectives per start path: one-shot with the plan cache
@@ -522,6 +531,10 @@ fn collective_time(
         // reduce_scatter's input must divide by n; round the labeled size up
         // to the nearest multiple so the recorded size_bytes stays honest.
         let rs_input: Vec<f64> = vec![1.0; elems.div_ceil(n) * n];
+        // alltoall's `size` is the whole per-rank buffer (n equal blocks),
+        // like the other per-rank payload sizes above.
+        let a2a_send: Vec<f64> = vec![comm.rank() as f64; (elems / n).max(1) * n];
+        let mut a2a_recv = vec![0.0f64; a2a_send.len()];
         comm.barrier()?;
         let start = comm.clock_ns();
         for _ in 0..iters {
@@ -532,6 +545,7 @@ fn collective_time(
                 "reduce_scatter" => {
                     comm.reduce_scatter(&rs_input, ReduceOp::Sum)?;
                 }
+                "alltoall" => comm.alltoall(&a2a_send, &mut a2a_recv)?,
                 _ => unreachable!("unknown op"),
             }
         }
@@ -590,6 +604,139 @@ fn data_plane_rows(rank_counts: &[usize], sizes: &[usize], iters: usize) -> Vec<
                     shm_stats,
                 });
             }
+        }
+    }
+    rows
+}
+
+/// One row of the size-adaptive alltoall sweep: the same complete exchange
+/// with the algorithm pinned to Bruck, pairwise, and the single-copy shm
+/// data plane, plus the Auto selection — the acceptance surface for the
+/// alltoall family (Bruck wins small, pairwise wins large, shm beats the
+/// ring-path algorithms when the exchange fits a window slot, and Auto
+/// tracks the measured crossovers).
+struct AlltoallRow {
+    ranks: usize,
+    /// Whole per-rank buffer, bytes (n equal blocks of `size / ranks`).
+    size: usize,
+    bruck_ns: f64,
+    pairwise_ns: f64,
+    shm_ns: f64,
+    shm_algorithm: String,
+    auto_ns: f64,
+    auto_algorithm: String,
+}
+
+impl AlltoallRow {
+    /// Speedup of the shm data plane over the better ring-path algorithm.
+    fn shm_speedup(&self) -> f64 {
+        if self.shm_ns > 0.0 {
+            self.bruck_ns.min(self.pairwise_ns) / self.shm_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The Bruck-vs-pairwise-vs-shm alltoall sweep on the CXL transport.
+fn alltoall_rows(rank_counts: &[usize], sizes: &[usize], iters: usize) -> Vec<AlltoallRow> {
+    let bruck_tuning = CollTuning {
+        alltoall_bruck_max_bytes: usize::MAX,
+        hierarchy: HierarchyMode::Off,
+        data_plane: DataPlaneMode::Ring,
+        ..CollTuning::default()
+    };
+    let pairwise_tuning = CollTuning {
+        alltoall_bruck_max_bytes: 0,
+        hierarchy: HierarchyMode::Off,
+        data_plane: DataPlaneMode::Ring,
+        ..CollTuning::default()
+    };
+    let shm_tuning = CollTuning {
+        hierarchy: HierarchyMode::Off,
+        data_plane: DataPlaneMode::Shm,
+        // 8 MiB per rank → 2 MiB slots: the whole 1 MiB exchange image fits.
+        shm_arena_bytes: 8 * 1024 * 1024,
+        ..CollTuning::default()
+    };
+    let mut rows = Vec::new();
+    for &ranks in rank_counts {
+        let bruck_config = UniverseConfig::cxl(ranks).with_coll_tuning(bruck_tuning);
+        let pairwise_config = UniverseConfig::cxl(ranks).with_coll_tuning(pairwise_tuning);
+        let mut shm_config = UniverseConfig::cxl(ranks).with_coll_tuning(shm_tuning);
+        if let TransportConfig::CxlShm(ref mut t) = shm_config.transport {
+            t.window_headroom = 160 * 1024 * 1024;
+        }
+        let mut auto_config = UniverseConfig::cxl(ranks);
+        auto_config.coll.shm_arena_bytes = 8 * 1024 * 1024;
+        if let TransportConfig::CxlShm(ref mut t) = auto_config.transport {
+            t.window_headroom = 160 * 1024 * 1024;
+        }
+        for &size in sizes {
+            eprintln!("alltoall sweep n={ranks} {size} B ...");
+            let (bruck_ns, _, _) = collective_time(bruck_config.clone(), "alltoall", size, iters);
+            let (pairwise_ns, _, _) =
+                collective_time(pairwise_config.clone(), "alltoall", size, iters);
+            let (shm_ns, shm_algorithm, _) =
+                collective_time(shm_config.clone(), "alltoall", size, iters);
+            let (auto_ns, auto_algorithm, _) =
+                collective_time(auto_config.clone(), "alltoall", size, iters);
+            rows.push(AlltoallRow {
+                ranks,
+                size,
+                bruck_ns,
+                pairwise_ns,
+                shm_ns,
+                shm_algorithm,
+                auto_ns,
+                auto_algorithm,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the shuffle-workload sweep: the end-to-end scenario proxies
+/// (distributed sample sort, k-means/MKKM alternating iteration) whose
+/// communication the alltoall family serves.
+struct ShuffleRow {
+    workload: &'static str,
+    transport: &'static str,
+    ranks: usize,
+    elems_per_rank: usize,
+    shuffled_bytes: u64,
+    time_us: f64,
+    alltoall_algorithm: &'static str,
+}
+
+/// The sample-sort and k-means proxy workloads over both transports.
+fn shuffle_rows(rank_counts: &[usize], elems: usize) -> Vec<ShuffleRow> {
+    let mut rows = Vec::new();
+    for &ranks in rank_counts {
+        for (label, config) in transports(ranks) {
+            eprintln!("shuffle sample_sort {label} n={ranks} {elems} keys/rank ...");
+            let p = cmpi_omb::sample_sort_proxy(config.clone(), elems).expect("sample sort");
+            rows.push(ShuffleRow {
+                workload: "sample_sort",
+                transport: label,
+                ranks,
+                elems_per_rank: p.elems_per_rank,
+                shuffled_bytes: p.shuffled_bytes,
+                time_us: p.time_us,
+                alltoall_algorithm: p.alltoall_algo,
+            });
+            let points = (elems / 8).max(16);
+            eprintln!("shuffle kmeans {label} n={ranks} {points} points/rank ...");
+            let p = cmpi_omb::kmeans_proxy(config, points, 8, 3).expect("kmeans");
+            rows.push(ShuffleRow {
+                workload: "kmeans",
+                transport: label,
+                ranks,
+                elems_per_rank: p.elems_per_rank,
+                shuffled_bytes: p.shuffled_bytes,
+                time_us: p.time_us,
+                alltoall_algorithm: p.alltoall_algo,
+            });
         }
     }
     rows
@@ -780,7 +927,13 @@ fn main() {
     let mut coll_rows: Vec<CollRow> = Vec::new();
     for &ranks in &rank_counts {
         for (label, config) in transports(ranks) {
-            for op in ["bcast", "allgather", "allreduce", "reduce_scatter"] {
+            for op in [
+                "bcast",
+                "allgather",
+                "allreduce",
+                "reduce_scatter",
+                "alltoall",
+            ] {
                 for &size in &coll_sizes {
                     eprintln!("collective {op} {label} n={ranks} {size} B ...");
                     let (time_ns, algorithm, _) = collective_time(config.clone(), op, size, iters);
@@ -880,6 +1033,24 @@ fn main() {
     };
     let dp_rows = data_plane_rows(&dp_ranks, &dp_sizes, iters);
 
+    // The size-adaptive alltoall sweep (Bruck vs pairwise vs single-copy shm
+    // vs Auto) and the end-to-end shuffle workloads built on it.
+    let (a2a_ranks, a2a_sizes): (Vec<usize>, Vec<usize>) = if smoke() {
+        (vec![2], vec![64, 4096])
+    } else {
+        (
+            vec![4, 6, 8],
+            vec![8, 256, 4096, 65536, 262_144, 1024 * 1024],
+        )
+    };
+    let a2a_rows = alltoall_rows(&a2a_ranks, &a2a_sizes, iters);
+    let (shuffle_ranks, shuffle_elems): (Vec<usize>, usize) = if smoke() {
+        (vec![2], 128)
+    } else {
+        (vec![4, 8], 4096)
+    };
+    let shf_rows = shuffle_rows(&shuffle_ranks, shuffle_elems);
+
     // Nonblocking-collective overlap: progress serviced during user compute.
     let overlap_ranks: Vec<usize> = if smoke() { vec![2] } else { vec![4, 6] };
     let overlap_sizes: Vec<usize> = if smoke() {
@@ -942,6 +1113,8 @@ fn main() {
         &coll_rows,
         &hier_rows,
         &dp_rows,
+        &a2a_rows,
+        &shf_rows,
         &overlap_rows,
         &plan_rows,
         &pers_rows,
@@ -960,6 +1133,8 @@ fn render_json(
     colls: &[CollRow],
     hier: &[HierRow],
     data_plane: &[DataPlaneRow],
+    alltoall: &[AlltoallRow],
+    shuffles: &[ShuffleRow],
     overlaps: &[OverlapRow],
     plan_builds: &[PlanBuildRow],
     persistents: &[PersistentRow],
@@ -967,7 +1142,7 @@ fn render_json(
     scaling: &[ScalingRow],
 ) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v7\",\n");
+    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v8\",\n");
     s.push_str("  \"smoke\": ");
     s.push_str(if smoke() { "true" } else { "false" });
     s.push_str(",\n  \"baseline_pre_pr\": ");
@@ -1053,6 +1228,38 @@ fn render_json(
             st.shm_bytes,
             st.bytes_pulled,
             if i + 1 < data_plane.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"alltoall\": [\n");
+    for (i, r) in alltoall.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"transport\": \"CXL-SHM\", \"ranks\": {}, \"size_bytes\": {}, \"bruck_ns\": {:.1}, \"pairwise_ns\": {:.1}, \"shm_ns\": {:.1}, \"shm_algorithm\": \"{}\", \"shm_speedup\": {:.3}, \"auto_ns\": {:.1}, \"auto_algorithm\": \"{}\"}}{}",
+            r.ranks,
+            r.size,
+            r.bruck_ns,
+            r.pairwise_ns,
+            r.shm_ns,
+            r.shm_algorithm,
+            r.shm_speedup(),
+            r.auto_ns,
+            r.auto_algorithm,
+            if i + 1 < alltoall.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"shuffle_workloads\": [\n");
+    for (i, r) in shuffles.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"workload\": \"{}\", \"transport\": \"{}\", \"ranks\": {}, \"elems_per_rank\": {}, \"shuffled_bytes\": {}, \"time_us\": {:.1}, \"alltoall_algorithm\": \"{}\"}}{}",
+            r.workload,
+            r.transport,
+            r.ranks,
+            r.elems_per_rank,
+            r.shuffled_bytes,
+            r.time_us,
+            r.alltoall_algorithm,
+            if i + 1 < shuffles.len() { "," } else { "" }
         );
     }
     s.push_str("  ],\n  \"plan_build\": [\n");

@@ -72,8 +72,8 @@ use cmpi_fabric::SimClock;
 
 use crate::config::{CollTuning, HierarchyMode};
 use crate::dataplane::{
-    allreduce_shm_shared_bytes, build_allgather_shm, build_allreduce_shm, build_bcast_shm,
-    build_reduce_shm, dp_selected,
+    allreduce_shm_shared_bytes, build_allgather_shm, build_allreduce_shm, build_alltoall_shm,
+    build_bcast_shm, build_reduce_shm, dp_selected,
 };
 use crate::error::MpiError;
 use crate::group::Group;
@@ -2034,4 +2034,444 @@ pub fn build_exscan<T: Reducible>(view: &CommView<'_>, count: usize, op: ReduceO
         2 * total,
         "exscan/recursive-doubling",
     )
+}
+
+// ----------------------------------------------------------------------
+// Alltoall family
+// ----------------------------------------------------------------------
+//
+// The complete exchange: every rank holds one block per peer and ends up
+// with one block from every peer — the communication backbone of FFT
+// transposes, distributed sort and shuffle-heavy analytics, and the densest
+// traffic pattern a transport can face (n·(n−1) distinct point-to-point
+// payloads per call). The builders below compile it size-adaptively:
+// Bruck's ⌈log₂ n⌉ packed rounds while per-message latency dominates,
+// bandwidth-optimal pairwise exchange once the wire term does, a
+// single-copy shared-window shape on the CXL data plane (each rank exposes
+// its send image once; every peer pulls its own block), and a two-level
+// host-hierarchical composition that trades three extra copies for
+// `hosts²` instead of `ranks²` cross-host messages.
+
+/// Compile the complete exchange of equal `block`-byte per-peer payloads,
+/// **in place** over the primary buffer: on entry block `i` holds the data
+/// this rank sends to local rank `i`, on completion block `i` holds the
+/// data local rank `i` sent here. Selection mirrors the other size-adaptive
+/// families and is deterministic group-wide: the data plane first (total
+/// exchange volume fits a window slot), then the host hierarchy, then Bruck
+/// below [`CollTuning::alltoall_bruck_max_bytes`] per block, pairwise
+/// exchange above.
+pub fn build_alltoall(
+    view: &CommView<'_>,
+    tuning: &CollTuning,
+    hier: Option<&HostHierarchy>,
+    dp: Option<DpWindow>,
+    block: usize,
+) -> CollPlan {
+    let n = view.size();
+    let total = n * block;
+    if n == 1 || block == 0 {
+        // Self-exchange (the block is already in place) or a zero-byte
+        // shape: no allocation, no messages.
+        let plan = Plan::new(view, 10);
+        return plan.finish(None, Loc::Buf, (0, total), (0, total), 0, "alltoall/local");
+    }
+    if dp_selected(
+        tuning,
+        hier,
+        dp,
+        total,
+        tuning.hier_alltoall_min_bytes,
+        total,
+    )
+    .is_some()
+    {
+        return build_alltoall_shm(view, block);
+    }
+    if hier_selected(tuning, hier, total, tuning.hier_alltoall_min_bytes) {
+        return build_alltoall_hier(view, hier.expect("selected hierarchy exists"), block);
+    }
+    if n > 2 && block <= tuning.alltoall_bruck_max_bytes {
+        build_alltoall_bruck(view, block)
+    } else {
+        build_alltoall_pairwise(view, block)
+    }
+}
+
+/// Pairwise-exchange alltoall (any rank count): the send image is staged to
+/// scratch once, then n−1 steps each exchange one block with a shifted
+/// partner — at step `s` this rank ships block `me + s` and receives block
+/// `me − s` straight into its final position. Every byte crosses the wire
+/// exactly once (bandwidth-optimal); the staging copy exists because the
+/// recv-first side of an exchange would otherwise overwrite a block it has
+/// yet to send.
+fn build_alltoall_pairwise(view: &CommView<'_>, block: usize) -> CollPlan {
+    let n = view.size();
+    let me = view.rank;
+    let total = n * block;
+    let mut plan = Plan::new(view, 10);
+    plan.copy(Loc::Scratch, 0, Loc::Buf, 0, total);
+    for s in 1..n {
+        let dst = (me + s) % n;
+        let src = (me + n - s) % n;
+        // Deadlock-safe ordering: the lower rank of each (sender, receiver)
+        // edge sends first; every communication cycle contains a wrap-around
+        // edge whose sender receives first, so no cyclic wait can form.
+        if me < dst {
+            plan.send(dst, s, Loc::Scratch, dst * block, (dst + 1) * block);
+            plan.recv(src, s, Loc::Buf, src * block, (src + 1) * block);
+        } else {
+            plan.recv(src, s, Loc::Buf, src * block, (src + 1) * block);
+            plan.send(dst, s, Loc::Scratch, dst * block, (dst + 1) * block);
+        }
+    }
+    plan.finish(
+        None,
+        Loc::Buf,
+        (0, total),
+        (0, total),
+        total,
+        "alltoall/pairwise",
+    )
+}
+
+/// Bruck alltoall: ⌈log₂ n⌉ rounds of packed half-buffer exchanges —
+/// latency-optimal for small blocks (each round moves ~n/2 blocks in **one**
+/// message where pairwise would send them individually), at the price of
+/// every block crossing the wire ~log₂(n)/2 times instead of once.
+///
+/// Phase 1 rotates the send image into scratch (`tmp[j]` = the block for
+/// rank `me + j`); in round `k` (a power of two) every block whose relative
+/// offset `j` has bit `k` set is packed and shipped to rank `me + k`, so
+/// after all rounds `tmp[j]` holds the block *from* rank `me − j`; phase 3
+/// unrotates into the primary buffer.
+fn build_alltoall_bruck(view: &CommView<'_>, block: usize) -> CollPlan {
+    let n = view.size();
+    let me = view.rank;
+    let total = n * block;
+    let mut plan = Plan::new(view, 10);
+    // Phase 1: tmp[j] = buf[(me + j) mod n].
+    for j in 0..n {
+        plan.copy(
+            Loc::Scratch,
+            j * block,
+            Loc::Buf,
+            ((me + j) % n) * block,
+            block,
+        );
+    }
+    // Scratch layout: rotated image at [0, total), pack area at [total,
+    // total + max_batch), unpack area after it. The pack area is reusable
+    // across rounds because a Send op completes (all bytes copied out)
+    // before the plan cursor advances; the unpack area cannot share it
+    // because the recv-first ordering branch receives *before* sending.
+    let pack_off = total;
+    let mut max_batch = 0usize;
+    let mut k = 1usize;
+    while k < n {
+        max_batch = max_batch.max((1..n).filter(|j| j & k != 0).count());
+        k <<= 1;
+    }
+    let unpack_off = pack_off + max_batch * block;
+    let mut k = 1usize;
+    let mut step = 0usize;
+    while k < n {
+        let moved: Vec<usize> = (1..n).filter(|j| j & k != 0).collect();
+        let batch = moved.len() * block;
+        let dst = (me + k) % n;
+        let src = (me + n - k) % n;
+        let tag_step = 64 + step;
+        for (i, &j) in moved.iter().enumerate() {
+            plan.copy(
+                Loc::Scratch,
+                pack_off + i * block,
+                Loc::Scratch,
+                j * block,
+                block,
+            );
+        }
+        // Deadlock-safe ordering, as in the Bruck allgather.
+        if me < dst {
+            plan.send(dst, tag_step, Loc::Scratch, pack_off, pack_off + batch);
+            plan.recv(src, tag_step, Loc::Scratch, unpack_off, unpack_off + batch);
+        } else {
+            plan.recv(src, tag_step, Loc::Scratch, unpack_off, unpack_off + batch);
+            plan.send(dst, tag_step, Loc::Scratch, pack_off, pack_off + batch);
+        }
+        for (i, &j) in moved.iter().enumerate() {
+            plan.copy(
+                Loc::Scratch,
+                j * block,
+                Loc::Scratch,
+                unpack_off + i * block,
+                block,
+            );
+        }
+        k <<= 1;
+        step += 1;
+    }
+    // Phase 3: tmp[j] arrived from rank (me − j) mod n.
+    for j in 0..n {
+        plan.copy(
+            Loc::Buf,
+            ((me + n - j) % n) * block,
+            Loc::Scratch,
+            j * block,
+            block,
+        );
+    }
+    plan.finish(
+        None,
+        Loc::Buf,
+        (0, total),
+        (0, total),
+        unpack_off + max_batch * block,
+        "alltoall/bruck",
+    )
+}
+
+/// Two-level alltoall. Members ship their whole send image to the host
+/// leader; the leaders then run a pairwise exchange of per-host-pair
+/// *batches* — the batch `mine → s` concatenates every block any of my
+/// host's members addressed to any of host `s`'s members — and finally each
+/// leader assembles and fans out every member's receive image. Cross-host
+/// message count drops from `ranks²` to `hosts²` (each batch is one
+/// message), at the price of three extra full copies, so the `Auto` gate
+/// ([`CollTuning::hier_alltoall_min_bytes`]) keeps it to the regime where
+/// per-message cost dominates.
+fn build_alltoall_hier(view: &CommView<'_>, hier: &HostHierarchy, block: usize) -> CollPlan {
+    let n = view.size();
+    let me = view.rank;
+    let total = n * block;
+    let slots = hier.hosts_spanned();
+    let mine = hier.my_slot();
+    let mut ops = Vec::new();
+    let mut scratch_len = 0usize;
+    if hier.is_leader() {
+        let members = hier.members(mine);
+        let k = members.len();
+        // Scratch layout: the member send images ("gather area", k × total),
+        // then one received-batch area per remote host, then the reusable
+        // batch pack area, then the reusable fan-out pack area. Both pack
+        // areas survive reuse across sends because a Send op completes (all
+        // bytes copied out) before the plan cursor advances.
+        let gather_off = 0usize;
+        let mut exch_off = vec![0usize; slots];
+        let mut acc = k * total;
+        let mut max_batch = 0usize;
+        for (s, off) in exch_off.iter_mut().enumerate() {
+            if s == mine {
+                continue;
+            }
+            *off = acc;
+            acc += hier.count(s) * k * block;
+            max_batch = max_batch.max(hier.count(s) * k * block);
+        }
+        let pack_off = acc;
+        let fan_off = pack_off + max_batch;
+        scratch_len = fan_off + total;
+
+        // Local gather: every member's full send image, own image copied.
+        let mut plan = Plan::new(view, 10);
+        for (j, &m) in members.iter().enumerate() {
+            let dst = gather_off + j * total;
+            if m == me {
+                plan.copy(Loc::Scratch, dst, Loc::Buf, 0, total);
+            } else {
+                plan.recv(m, 0, Loc::Scratch, dst, dst + total);
+            }
+        }
+        ops.append(&mut plan.ops);
+
+        // Leader pairwise exchange of host-pair batches. Batch layout (both
+        // directions, emitted by this same code on every leader): member
+        // index-major, destination index-minor.
+        {
+            let leaders: &Group = hier.leader_group();
+            let lview = CommView {
+                group: leaders,
+                ctx: view.ctx,
+                rank: mine,
+            };
+            let mut lplan = Plan::with_base(&lview, 10, PHASE_LEADER);
+            for step in 1..slots {
+                let dst_slot = (mine + step) % slots;
+                let src_slot = (mine + slots - step) % slots;
+                let out_batch: usize = k * hier.count(dst_slot) * block;
+                let in_batch: usize = hier.count(src_slot) * k * block;
+                for (j, _) in members.iter().enumerate() {
+                    for (i, &d) in hier.members(dst_slot).iter().enumerate() {
+                        lplan.copy(
+                            Loc::Scratch,
+                            pack_off + (j * hier.count(dst_slot) + i) * block,
+                            Loc::Scratch,
+                            gather_off + j * total + d * block,
+                            block,
+                        );
+                    }
+                }
+                // Deadlock-safe ordering over the shifted pairs, as in the
+                // pairwise reduce-scatter.
+                if mine < dst_slot {
+                    lplan.send(dst_slot, step, Loc::Scratch, pack_off, pack_off + out_batch);
+                    lplan.recv(
+                        src_slot,
+                        step,
+                        Loc::Scratch,
+                        exch_off[src_slot],
+                        exch_off[src_slot] + in_batch,
+                    );
+                } else {
+                    lplan.recv(
+                        src_slot,
+                        step,
+                        Loc::Scratch,
+                        exch_off[src_slot],
+                        exch_off[src_slot] + in_batch,
+                    );
+                    lplan.send(dst_slot, step, Loc::Scratch, pack_off, pack_off + out_batch);
+                }
+            }
+            ops.append(&mut lplan.ops);
+        }
+
+        // Assembly + fan-out: member `d` (host-local index `i`)'s receive
+        // image holds, at block `p`, the block rank `p` sent to `d` — found
+        // in the gather area when `p` is a host-mate, in `p`'s host's
+        // received batch otherwise.
+        let mut fan = Plan::with_base(view, 10, PHASE_FANOUT);
+        let src_of = |p: usize, i: usize| -> (usize, usize) {
+            let s = hier.slot_of(p);
+            let j = hier
+                .members(s)
+                .iter()
+                .position(|&m| m == p)
+                .expect("rank in its own host slot");
+            if s == mine {
+                (gather_off + j * total, j) // offset of image; block below
+            } else {
+                (exch_off[s] + (j * k + i) * block, usize::MAX)
+            }
+        };
+        for (i, &d) in members.iter().enumerate() {
+            let assemble_at = if d == me { None } else { Some(fan_off) };
+            for p in 0..n {
+                let (src, local_j) = src_of(p, i);
+                let src = if local_j != usize::MAX {
+                    src + d * block // within a host-mate's send image
+                } else {
+                    src
+                };
+                match assemble_at {
+                    None => fan.copy(Loc::Buf, p * block, Loc::Scratch, src, block),
+                    Some(off) => fan.copy(Loc::Scratch, off + p * block, Loc::Scratch, src, block),
+                }
+            }
+            if let Some(off) = assemble_at {
+                fan.send(d, i, Loc::Scratch, off, off + total);
+            }
+        }
+        ops.append(&mut fan.ops);
+    } else {
+        // Non-leader: ship the send image up, receive the result image back.
+        let leader = hier.leader_of(mine);
+        let mut plan = Plan::new(view, 10);
+        plan.send(leader, 0, Loc::Buf, 0, total);
+        ops.append(&mut plan.ops);
+        let my_idx = hier
+            .members(mine)
+            .iter()
+            .position(|&m| m == me)
+            .expect("rank in its own host slot");
+        let mut fan = Plan::with_base(view, 10, PHASE_FANOUT);
+        fan.recv(leader, my_idx, Loc::Buf, 0, total);
+        ops.append(&mut fan.ops);
+    }
+    CollPlan::new(
+        ops,
+        view.ctx,
+        None,
+        Loc::Buf,
+        (0, total),
+        (0, total),
+        scratch_len,
+        "alltoall/hier+pairwise",
+    )
+    .with_pairs_hint(hier_pairs_hint(hier))
+}
+
+/// Compile the irregular complete exchange (`alltoallv`/`alltoallw`): peer
+/// `i`'s outgoing segment spans `send_counts[i] × elem` bytes, packed
+/// contiguously in peer order, and the incoming segments pack the same way.
+/// The plan runs over one combined buffer, send image at `[0, send_total)`
+/// followed by the receive image — reading only the former and writing only
+/// the latter, so no staging copy is needed (scratch-free).
+///
+/// Irregular shapes stay on the flat pairwise schedule: per-peer sizes make
+/// Bruck's packed rounds, the shm block math and the hierarchical batches
+/// all irregular too, for no measured gain at the sizes that reach them.
+/// **Empty segments are free**: a zero-count peer pair emits no op at all
+/// (nothing is sent, nothing is received, nothing is allocated), so sparse
+/// exchanges — the common shuffle case — cost only their non-empty edges.
+pub fn build_alltoallv(
+    view: &CommView<'_>,
+    send_counts: &[usize],
+    recv_counts: &[usize],
+    elem: usize,
+    byte_variant: bool,
+) -> CollPlan {
+    let n = view.size();
+    let me = view.rank;
+    debug_assert_eq!(send_counts.len(), n);
+    debug_assert_eq!(recv_counts.len(), n);
+    let kind = if byte_variant { 12 } else { 11 };
+    let label = if byte_variant {
+        "alltoallw/pairwise"
+    } else {
+        "alltoallv/pairwise"
+    };
+    let mut soff = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    for &c in send_counts {
+        soff.push(acc);
+        acc += c * elem;
+    }
+    soff.push(acc);
+    let send_total = acc;
+    let mut roff = Vec::with_capacity(n + 1);
+    for &c in recv_counts {
+        roff.push(acc);
+        acc += c * elem;
+    }
+    roff.push(acc);
+    let mut plan = Plan::new(view, kind);
+    // Self segment: one local copy, and only if it is non-empty.
+    let self_len = send_counts[me] * elem;
+    if self_len > 0 {
+        plan.copy(Loc::Buf, roff[me], Loc::Buf, soff[me], self_len);
+    }
+    for s in 1..n {
+        let dst = (me + s) % n;
+        let src = (me + n - s) % n;
+        let send_len = send_counts[dst] * elem;
+        let recv_len = recv_counts[src] * elem;
+        // Deadlock-safe ordering as in the regular pairwise exchange; a
+        // zero-length side disappears entirely rather than sending an empty
+        // message.
+        if me < dst {
+            if send_len > 0 {
+                plan.send(dst, s, Loc::Buf, soff[dst], soff[dst] + send_len);
+            }
+            if recv_len > 0 {
+                plan.recv(src, s, Loc::Buf, roff[src], roff[src] + recv_len);
+            }
+        } else {
+            if recv_len > 0 {
+                plan.recv(src, s, Loc::Buf, roff[src], roff[src] + recv_len);
+            }
+            if send_len > 0 {
+                plan.send(dst, s, Loc::Buf, soff[dst], soff[dst] + send_len);
+            }
+        }
+    }
+    plan.finish(None, Loc::Buf, (send_total, acc), (0, send_total), 0, label)
 }

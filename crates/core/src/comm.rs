@@ -109,6 +109,8 @@ pub struct CommCollStats {
     pub scans: u64,
     /// Exclusive prefix reductions (exscans).
     pub exscans: u64,
+    /// Complete exchanges (alltoall, alltoallv, alltoallw).
+    pub alltoalls: u64,
     /// Payload bytes this rank contributed across those collectives.
     pub payload_bytes: u64,
 }
@@ -127,6 +129,7 @@ pub(crate) enum CollOp {
     ReduceScatter,
     Scan,
     Exscan,
+    Alltoall,
 }
 
 /// The state shared by every communicator handle of one rank: the transport
@@ -233,6 +236,7 @@ impl RankCore {
             CollOp::ReduceScatter => entry.reduce_scatters += 1,
             CollOp::Scan => entry.scans += 1,
             CollOp::Exscan => entry.exscans += 1,
+            CollOp::Alltoall => entry.alltoalls += 1,
         }
     }
 
@@ -250,7 +254,7 @@ impl RankCore {
         if algo.ends_with("/shm") {
             self.dp_paths.shm_colls += 1;
             self.dp_paths.shm_bytes += payload_bytes;
-        } else if ["bcast/", "reduce/", "allreduce/", "allgather/"]
+        } else if ["bcast/", "reduce/", "allreduce/", "allgather/", "alltoall/"]
             .iter()
             .any(|p| algo.starts_with(p))
         {
@@ -1848,6 +1852,66 @@ impl Comm {
         Ok(self.start_coll(plan, bytes_of(values).to_vec(), CollOp::Exscan, bytes))
     }
 
+    /// Nonblocking complete exchange (`MPI_Ialltoall`): `send` holds one
+    /// equal block per rank (`size × block_elems` elements, block `r`
+    /// addressed to local rank `r`); on completion the request yields the
+    /// same-shaped buffer with block `r` holding rank `r`'s contribution.
+    pub fn ialltoall<T: Pod>(&mut self, send: &[T]) -> Result<Request> {
+        let n = self.group.size();
+        if !send.len().is_multiple_of(n) {
+            return Err(MpiError::InvalidCollective(format!(
+                "ialltoall send buffer of {} elements not divisible by {} ranks",
+                send.len(),
+                n
+            )));
+        }
+        let block = std::mem::size_of_val(send) / n;
+        let view = self.view();
+        let plan = self.cached_plan(
+            PlanKey::shaped(PlanOp::Alltoall, block),
+            |tuning, hier, dp| coll::build_alltoall(&view, tuning, hier, dp, block),
+        )?;
+        Ok(self.start_coll(
+            plan,
+            bytes_of(send).to_vec(),
+            CollOp::Alltoall,
+            (n * block) as u64,
+        ))
+    }
+
+    /// Nonblocking irregular complete exchange (`MPI_Ialltoallv`, packed
+    /// layout — see [`Comm::alltoallv`]); on completion the request yields
+    /// the packed receive segments.
+    pub fn ialltoallv<T: Pod>(
+        &mut self,
+        send: &[T],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Result<Request> {
+        let elem = std::mem::size_of::<T>();
+        let (plan, send_total, recv_total) =
+            self.irregular_plan(send.len(), send_counts, recv_counts, elem, false)?;
+        let mut buf = vec![0u8; send_total + recv_total];
+        buf[..send_total].copy_from_slice(bytes_of(send));
+        Ok(self.start_coll(plan, buf, CollOp::Alltoall, send_total as u64))
+    }
+
+    /// Nonblocking byte-granular irregular complete exchange
+    /// (`MPI_Ialltoallw`'s role here — see [`Comm::alltoallw_bytes`]); on
+    /// completion the request yields the packed receive segments.
+    pub fn ialltoallw(
+        &mut self,
+        send: &[u8],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Result<Request> {
+        let (plan, send_total, recv_total) =
+            self.irregular_plan(send.len(), send_counts, recv_counts, 1, true)?;
+        let mut buf = vec![0u8; send_total + recv_total];
+        buf[..send_total].copy_from_slice(send);
+        Ok(self.start_coll(plan, buf, CollOp::Alltoall, send_total as u64))
+    }
+
     // ------------------------------------------------------------------
     // Persistent collectives (MPI-4 `*_init` operations)
     // ------------------------------------------------------------------
@@ -2077,6 +2141,64 @@ impl Comm {
             |_, _, _| coll::build_exscan::<T>(&view, count, op),
         )?;
         Ok(self.init_coll(plan, bytes_of(values).to_vec(), CollOp::Exscan, bytes))
+    }
+
+    /// Persistent complete exchange (`MPI_Alltoall_init`): binds `send`
+    /// (one equal block per rank) as the contribution; rewrite it between
+    /// starts with [`Request::write_input`].
+    pub fn alltoall_init<T: Pod>(&mut self, send: &[T]) -> Result<Request> {
+        let n = self.group.size();
+        if !send.len().is_multiple_of(n) {
+            return Err(MpiError::InvalidCollective(format!(
+                "alltoall_init send buffer of {} elements not divisible by {} ranks",
+                send.len(),
+                n
+            )));
+        }
+        let block = std::mem::size_of_val(send) / n;
+        let view = self.view();
+        let plan = self.cached_plan(
+            PlanKey::shaped(PlanOp::Alltoall, block),
+            |tuning, hier, dp| coll::build_alltoall(&view, tuning, hier, dp, block),
+        )?;
+        Ok(self.init_coll(
+            plan,
+            bytes_of(send).to_vec(),
+            CollOp::Alltoall,
+            (n * block) as u64,
+        ))
+    }
+
+    /// Persistent irregular complete exchange (`MPI_Alltoallv_init`, packed
+    /// layout — see [`Comm::alltoallv`]). [`Request::write_input`] rewrites
+    /// the packed send segments between starts.
+    pub fn alltoallv_init<T: Pod>(
+        &mut self,
+        send: &[T],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Result<Request> {
+        let elem = std::mem::size_of::<T>();
+        let (plan, send_total, recv_total) =
+            self.irregular_plan(send.len(), send_counts, recv_counts, elem, false)?;
+        let mut buf = vec![0u8; send_total + recv_total];
+        buf[..send_total].copy_from_slice(bytes_of(send));
+        Ok(self.init_coll(plan, buf, CollOp::Alltoall, send_total as u64))
+    }
+
+    /// Persistent byte-granular irregular complete exchange (see
+    /// [`Comm::alltoallw_bytes`]).
+    pub fn alltoallw_init(
+        &mut self,
+        send: &[u8],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Result<Request> {
+        let (plan, send_total, recv_total) =
+            self.irregular_plan(send.len(), send_counts, recv_counts, 1, true)?;
+        let mut buf = vec![0u8; send_total + recv_total];
+        buf[..send_total].copy_from_slice(send);
+        Ok(self.init_coll(plan, buf, CollOp::Alltoall, send_total as u64))
     }
 
     /// Start (or restart) a persistent collective request (`MPI_Start`):
@@ -2578,6 +2700,162 @@ impl Comm {
         core.note_coll(self.ctx, self.group.size(), CollOp::Exscan, bytes);
         core.note_algo(plan.label, bytes);
         Ok(())
+    }
+
+    /// Complete exchange (`MPI_Alltoall`) of equal per-rank blocks: `send`
+    /// holds `size × block_elems` elements with block `r` addressed to local
+    /// rank `r`; `recv` (same shape) ends up with block `r` holding rank
+    /// `r`'s contribution to this rank. Size-adaptive: the single-copy shm
+    /// data plane when the exchange fits a window slot, the host-hierarchical
+    /// composition above [`crate::config::CollTuning::hier_alltoall_min_bytes`],
+    /// Bruck for blocks up to
+    /// [`crate::config::CollTuning::alltoall_bruck_max_bytes`], pairwise
+    /// exchange for the rest.
+    pub fn alltoall<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<()> {
+        let n = self.group.size();
+        if !send.len().is_multiple_of(n) || recv.len() != send.len() {
+            return Err(MpiError::InvalidCollective(format!(
+                "alltoall buffers must both hold size × block elements ({} ranks, got send {} / recv {})",
+                n,
+                send.len(),
+                recv.len()
+            )));
+        }
+        let block = std::mem::size_of_val(send) / n;
+        // The plan runs in place: the buffer starts as the send image and
+        // finishes as the receive image.
+        recv.copy_from_slice(send);
+        let view = self.view();
+        let plan = self.cached_plan(
+            PlanKey::shaped(PlanOp::Alltoall, block),
+            |tuning, hier, dp| coll::build_alltoall(&view, tuning, hier, dp, block),
+        )?;
+        let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))
+            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+        core.note_coll(self.ctx, n, CollOp::Alltoall, (n * block) as u64);
+        core.note_algo(plan.label, (n * block) as u64);
+        Ok(())
+    }
+
+    /// Validate an irregular exchange's shape and fetch/build its cached
+    /// plan. Returns the plan and the packed send/receive image sizes in
+    /// bytes.
+    fn irregular_plan(
+        &mut self,
+        send_elems: usize,
+        send_counts: &[usize],
+        recv_counts: &[usize],
+        elem: usize,
+        byte_variant: bool,
+    ) -> Result<(Rc<CollPlan>, usize, usize)> {
+        let n = self.group.size();
+        let name = if byte_variant {
+            "alltoallw"
+        } else {
+            "alltoallv"
+        };
+        if send_counts.len() != n || recv_counts.len() != n {
+            return Err(MpiError::InvalidCollective(format!(
+                "{name} takes one send and one receive count per rank ({n} ranks, got {} / {})",
+                send_counts.len(),
+                recv_counts.len()
+            )));
+        }
+        let send_sum: usize = send_counts.iter().sum();
+        if send_elems != send_sum {
+            return Err(MpiError::InvalidCollective(format!(
+                "{name} send buffer has {send_elems} elements, counts sum to {send_sum}"
+            )));
+        }
+        if send_counts[self.rank] != recv_counts[self.rank] {
+            return Err(MpiError::InvalidCollective(format!(
+                "{name} self segment disagrees: sending {} to self, expecting {}",
+                send_counts[self.rank], recv_counts[self.rank]
+            )));
+        }
+        let op = if byte_variant {
+            PlanOp::Alltoallw
+        } else {
+            PlanOp::Alltoallv
+        };
+        let mut counts = Vec::with_capacity(2 * n);
+        counts.extend_from_slice(send_counts);
+        counts.extend_from_slice(recv_counts);
+        let view = self.view();
+        let plan = self.cached_plan(PlanKey::irregular(op, counts, elem), |_, _, _| {
+            coll::build_alltoallv(&view, send_counts, recv_counts, elem, byte_variant)
+        })?;
+        let recv_sum: usize = recv_counts.iter().sum();
+        Ok((plan, send_sum * elem, recv_sum * elem))
+    }
+
+    /// Irregular complete exchange (`MPI_Alltoallv`) in the **packed**
+    /// layout: no displacement arrays — `send` concatenates the per-peer
+    /// segments in rank order (`send_counts[r]` elements for local rank
+    /// `r`), and the returned vector concatenates the received segments the
+    /// same way (`recv_counts[r]` elements from rank `r`). Counts must agree
+    /// pairwise across ranks (`send_counts[d]` here = `recv_counts[me]`
+    /// there), as in MPI. Empty segments are free: a zero-count pair sends
+    /// no message at all. Irregular shapes always run the flat pairwise
+    /// schedule.
+    pub fn alltoallv<T: Pod>(
+        &mut self,
+        send: &[T],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Result<Vec<T>> {
+        let elem = std::mem::size_of::<T>();
+        let (plan, send_total, recv_total) =
+            self.irregular_plan(send.len(), send_counts, recv_counts, elem, false)?;
+        let mut buf = vec![0u8; send_total + recv_total];
+        buf[..send_total].copy_from_slice(bytes_of(send));
+        let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)
+            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+        let out = vec_from_bytes(exec.result_slice(&buf));
+        core.note_coll(
+            self.ctx,
+            self.group.size(),
+            CollOp::Alltoall,
+            send_total as u64,
+        );
+        core.note_algo(plan.label, send_total as u64);
+        Ok(out)
+    }
+
+    /// Byte-granular irregular complete exchange — this API's rendition of
+    /// `MPI_Alltoallw` (heterogeneous per-peer types reduce to per-peer byte
+    /// counts once buffers are packed): segment sizes are given directly in
+    /// bytes. Layout and zero-count semantics as in [`Comm::alltoallv`].
+    pub fn alltoallw_bytes(
+        &mut self,
+        send: &[u8],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) -> Result<Vec<u8>> {
+        let (plan, send_total, recv_total) =
+            self.irregular_plan(send.len(), send_counts, recv_counts, 1, true)?;
+        let mut buf = vec![0u8; send_total + recv_total];
+        buf[..send_total].copy_from_slice(send);
+        let core = &mut *self.core.borrow_mut();
+        let seq = core.next_coll_seq(self.ctx);
+        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)
+            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+        let out = exec.result_slice(&buf).to_vec();
+        core.note_coll(
+            self.ctx,
+            self.group.size(),
+            CollOp::Alltoall,
+            send_total as u64,
+        );
+        core.note_algo(plan.label, send_total as u64);
+        Ok(out)
     }
 
     // ------------------------------------------------------------------

@@ -209,6 +209,15 @@ pub struct CollTuning {
     /// recursive halving (power-of-two) / pairwise exchange (other counts) at
     /// and above this many total payload bytes.
     pub reduce_scatter_direct_min_bytes: usize,
+    /// Alltoall uses the Bruck algorithm (⌈log₂ n⌉ rounds of packed
+    /// half-buffer exchanges) for per-peer blocks up to this many bytes, the
+    /// bandwidth-optimal pairwise exchange above. The bench's `alltoall`
+    /// sweep puts the crossover between 16 KiB and 32 KiB per block at
+    /// n = 4–8 (Bruck still wins at 16 KiB blocks on every measured rank
+    /// count; pairwise wins at 32 KiB and above): Bruck's round saving wins
+    /// while per-message latency dominates, and its ~2× data-volume
+    /// inflation loses once the wire term does.
+    pub alltoall_bruck_max_bytes: usize,
     /// Whether topology-aware hierarchical compositions may be selected.
     pub hierarchy: HierarchyMode,
     /// `Auto` only goes hierarchical when the communicator spans at least
@@ -229,6 +238,12 @@ pub struct CollTuning {
     /// sits far above the reduction collectives' — the bench sweep measures
     /// it losing at a 512 KiB total and winning at 8 MiB.
     pub hier_allgather_min_bytes: usize,
+    /// Alltoall's own `Auto` payload cutoff, applied to the total per-rank
+    /// exchange volume (`ranks × block`). The hierarchical alltoall funnels
+    /// every byte through leader gather + cross-host exchange + fan-out —
+    /// three full copies — so like allgather it only pays once cross-host
+    /// message count (not bytes) is the bottleneck.
+    pub hier_alltoall_min_bytes: usize,
     /// LRU bound of each communicator's collective **plan cache**: how many
     /// compiled plans (op × root × shape × element type × reduction) are kept
     /// so repeated collectives of the same shape skip planning entirely —
@@ -261,11 +276,13 @@ impl Default for CollTuning {
             allreduce_rabenseifner_min_bytes: 16 * 1024,
             allgather_bruck_max_bytes: 4 * 1024,
             reduce_scatter_direct_min_bytes: 16 * 1024,
+            alltoall_bruck_max_bytes: 16 * 1024,
             hierarchy: HierarchyMode::Auto,
             hier_min_hosts: 2,
             hier_min_ranks_per_host: 2,
             hier_min_payload_bytes: 512 * 1024,
             hier_allgather_min_bytes: 4 * 1024 * 1024,
+            hier_alltoall_min_bytes: 4 * 1024 * 1024,
             plan_cache_entries: 64,
             data_plane: DataPlaneMode::Auto,
             shm_arena_bytes: 2 * 1024 * 1024,
@@ -602,6 +619,10 @@ mod tests {
         assert_eq!(t.hier_min_payload_bytes, 512 * 1024);
         // The plan cache is on by default.
         assert!(t.plan_cache_entries > 0);
+        // The alltoall crossovers sit where the bench sweep measured them:
+        // Bruck up to 16 KiB blocks, hierarchy only at multi-MiB volumes.
+        assert_eq!(t.alltoall_bruck_max_bytes, 16 * 1024);
+        assert_eq!(t.hier_alltoall_min_bytes, 4 * 1024 * 1024);
     }
 
     #[test]

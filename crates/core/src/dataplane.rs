@@ -452,6 +452,64 @@ pub(crate) fn build_allgather_shm(view: &CommView<'_>, block: usize) -> CollPlan
     )
 }
 
+/// Single-copy alltoall: every rank exposes its **whole send image** once
+/// (n blocks, block `i` addressed to rank `i`), then pulls block `me` out of
+/// each peer's exposure directly into that peer's slice of its own buffer
+/// (acking with the pull — its only read of that exposure). Each block
+/// crosses the fabric exactly once, one-sided, with no intermediate
+/// store-and-forward hop; the pairwise path's n−1 two-sided messages per
+/// rank collapse into one exposure plus n−1 concurrent pulls. WAR safety
+/// needs no extra guard: the exposure publishes a *copy* into the window
+/// slot, so the local buffer is free to receive pulled blocks immediately,
+/// and slot reuse across consecutive collectives is gated by the existing
+/// slot acks.
+///
+/// Slot footprint: `n × block` bytes (the full send image).
+pub(crate) fn build_alltoall_shm(view: &CommView<'_>, block: usize) -> CollPlan {
+    let me = view.rank;
+    let n = view.size();
+    let total = n * block;
+    let mut ops = Vec::new();
+    ops.push(SchedOp::ExposeRead {
+        phase: 0,
+        region_off: 0,
+        loc: Loc::Buf,
+        start: 0,
+        end: total,
+    });
+    for r in 0..n {
+        if r == me {
+            continue;
+        }
+        ops.push(SchedOp::PullCopy {
+            writer_idx: r,
+            phase: 0,
+            ack: true,
+            src_off: me * block,
+            len: block,
+            dst_loc: Loc::Buf,
+            dst_start: r * block,
+        });
+    }
+    let readers: Vec<Rank> = (0..n).filter(|&r| r != me).collect();
+    for (i, &r) in readers.iter().enumerate() {
+        ops.push(SchedOp::NotifyWait {
+            reader_idx: r,
+            last: i + 1 == readers.len(),
+        });
+    }
+    CollPlan::new(
+        ops,
+        view.ctx,
+        None,
+        Loc::Buf,
+        (0, total),
+        (0, total),
+        0,
+        "alltoall/shm",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,6 +56,12 @@ pub(crate) enum PlanOp {
     Scan,
     /// Exclusive prefix reduction.
     Exscan,
+    /// Regular complete exchange.
+    Alltoall,
+    /// Irregular complete exchange (per-peer element counts).
+    Alltoallv,
+    /// Irregular complete exchange (per-peer byte counts).
+    Alltoallw,
 }
 
 /// Cache key of one plan shape. Two calls with equal keys on one
@@ -80,6 +86,12 @@ pub(crate) struct PlanKey {
     pub elem: Option<TypeId>,
     /// Reduction operator.
     pub red: Option<ReduceOp>,
+    /// Per-peer segment shape of an irregular exchange (`alltoallv`/`w`):
+    /// the send counts followed by the receive counts, in peer order. Exact
+    /// equality — not a hash — keeps the "equal keys build byte-identical
+    /// plans" invariant collision-free for irregular shapes. Empty for every
+    /// regular operation.
+    pub counts: Vec<usize>,
 }
 
 impl PlanKey {
@@ -92,6 +104,18 @@ impl PlanKey {
             count: 0,
             elem: None,
             red: None,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Key of an irregular complete exchange: `counts` is the concatenation
+    /// of the caller's send and receive counts (elements for `alltoallv`,
+    /// bytes for `alltoallw`); `elem_bytes` separates equal-count exchanges
+    /// of differently sized element types.
+    pub fn irregular(op: PlanOp, counts: Vec<usize>, elem_bytes: usize) -> Self {
+        PlanKey {
+            counts,
+            ..Self::shaped(op, elem_bytes)
         }
     }
 
@@ -118,6 +142,7 @@ impl PlanKey {
             count,
             elem: Some(TypeId::of::<T>()),
             red: Some(red),
+            counts: Vec::new(),
         }
     }
 }
@@ -259,11 +284,14 @@ mod tests {
         let k4 = PlanKey::reduction::<u64>(PlanOp::Allreduce, None, 8, 8, ReduceOp::Sum);
         let k5 = PlanKey::reduction::<f64>(PlanOp::Allreduce, None, 8, 8, ReduceOp::Sum); // type
         let k6 = PlanKey::reduction::<u64>(PlanOp::Allreduce, None, 8, 8, ReduceOp::Max); // op
-        for k in [&k1, &k2, &k3, &k4, &k5, &k6] {
+        let k7 = PlanKey::irregular(PlanOp::Alltoallv, vec![1, 2, 0, 2, 1, 0], 8);
+        let k8 = PlanKey::irregular(PlanOp::Alltoallv, vec![1, 2, 0, 2, 0, 1], 8); // counts
+        let k9 = PlanKey::irregular(PlanOp::Alltoallv, vec![1, 2, 0, 2, 1, 0], 4); // elem size
+        for k in [&k1, &k2, &k3, &k4, &k5, &k6, &k7, &k8, &k9] {
             get_or_build(&mut cache, (*k).clone(), 16, || plan("x"));
         }
-        assert_eq!(cache.len(), 6);
-        assert_eq!(cache.misses, 6);
+        assert_eq!(cache.len(), 9);
+        assert_eq!(cache.misses, 9);
         assert_eq!(cache.hits, 0);
     }
 

@@ -1,11 +1,16 @@
-//! Communication-pattern proxies for the two applications of Figure 10.
+//! Communication-pattern proxies: the two applications of Figure 10 plus the
+//! shuffle workloads that exercise the alltoall family.
 
 pub mod cg;
+pub mod kmeans;
 pub mod miniamr;
+pub mod sample_sort;
 pub mod stencil2d;
 
 pub use cg::CgProxy;
+pub use kmeans::KmeansProxy;
 pub use miniamr::MiniAmrProxy;
+pub use sample_sort::SampleSortProxy;
 pub use stencil2d::Stencil2dProxy;
 
 use crate::sim::Superstep;

@@ -1,0 +1,147 @@
+//! Distributed sample-sort proxy: the canonical alltoall(v)-bound workload.
+//!
+//! Communication structure per sort: one small allgather of splitter
+//! candidates (latency-bound, log₂ rounds), one single-word-per-peer count
+//! exchange (the Bruck corner: ⌈log₂ n⌉ serialized rounds), and one dense
+//! personalized all-to-all of the key payload — `keys_per_rank / ranks` keys
+//! to every peer, all flows concurrent under the fluid bandwidth-sharing
+//! model. Compute is the two local sorts bracketing the shuffle. Unlike CG
+//! and the stencils, the bisection-crossing shuffle volume per rank stays
+//! constant under strong scaling, so the communication share *grows* with
+//! the rank count — the regime where the alltoall algorithm choice and the
+//! CXL pool's bandwidth dominate end-to-end time.
+
+use crate::apps::ProxyApp;
+use crate::sim::{Message, Superstep};
+
+/// Proxy for a bulk-synchronous distributed sample sort.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleSortProxy {
+    /// Keys held by each rank (constant under strong scaling: the dataset
+    /// grows with the cluster, as in sort benchmarks' weak-scaled inputs).
+    pub keys_per_rank: usize,
+    /// Bytes per key record.
+    pub key_bytes: usize,
+    /// Back-to-back sorts (epochs) per run.
+    pub epochs: usize,
+}
+
+impl SampleSortProxy {
+    /// A Gray-sort-flavoured configuration: 2²² 100-byte records per rank.
+    pub fn gray() -> Self {
+        SampleSortProxy {
+            keys_per_rank: 1 << 22,
+            key_bytes: 100,
+            epochs: 8,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> Self {
+        SampleSortProxy {
+            keys_per_rank: 1 << 12,
+            key_bytes: 8,
+            epochs: 2,
+        }
+    }
+}
+
+impl ProxyApp for SampleSortProxy {
+    fn name(&self) -> &'static str {
+        "SampleSort"
+    }
+
+    fn trace(&self, nodes: usize, ranks_per_node: usize, gflops_per_rank: f64) -> Vec<Superstep> {
+        let ranks = nodes * ranks_per_node;
+        let keys = self.keys_per_rank as f64;
+        // Comparison sort: ~k·n·log₂(n) "flops" per local sort, twice per
+        // epoch (pre-shuffle sort + post-shuffle merge), with a constant
+        // folded in for the record movement.
+        let sort_flops = 8.0 * keys * keys.log2().max(1.0);
+        let compute_ns = 2.0 * sort_flops / gflops_per_rank;
+
+        // The key shuffle: every ordered pair of distinct ranks carries one
+        // bucket of keys_per_rank / ranks records.
+        let bucket_bytes = (self.keys_per_rank / ranks.max(1)).max(1) * self.key_bytes;
+        let mut messages = Vec::with_capacity(ranks * ranks);
+        for src in 0..ranks {
+            for dst in 0..ranks {
+                if src != dst {
+                    messages.push(Message {
+                        src,
+                        dst,
+                        bytes: bucket_bytes,
+                    });
+                }
+            }
+        }
+        // Latency-bound prologue: splitter allgather (log₂ rounds) plus the
+        // one-word count exchange — Bruck's ⌈log₂ n⌉ serialized rounds, the
+        // small-message corner the size-adaptive selection optimizes.
+        let log_rounds = (ranks.max(2) as f64).log2().ceil() as usize;
+        vec![Superstep {
+            compute_ns,
+            messages,
+            serial_latency_rounds: 2 * log_rounds,
+            local_latency_rounds: 0,
+            overlap: 0.0,
+            sw_overhead_ns: 0.0,
+            repeat: self.epochs,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{NetworkParams, TransportClass};
+    use crate::sim::Simulator;
+
+    #[test]
+    fn shuffle_volume_is_all_to_all() {
+        let sort = SampleSortProxy::tiny();
+        let trace = sort.trace(2, 4, 1.0);
+        assert_eq!(trace.len(), 1);
+        // 8 ranks → 8·7 directed bucket flows.
+        assert_eq!(trace[0].messages.len(), 56);
+        let per_bucket = (sort.keys_per_rank / 8) * sort.key_bytes;
+        assert!(trace[0].messages.iter().all(|m| m.bytes == per_bucket));
+        assert_eq!(trace[0].repeat, sort.epochs);
+    }
+
+    #[test]
+    fn communication_share_grows_with_scale() {
+        // The per-rank shuffle volume is scale-invariant while compute per
+        // rank is too — but latency rounds and NIC contention grow, so the
+        // comm fraction must not shrink the way CG's does.
+        let sort = SampleSortProxy::gray();
+        let params = NetworkParams::for_transport(TransportClass::TcpEthernet);
+        let frac = |nodes: usize| {
+            Simulator::new(params, nodes, 8)
+                .run(&sort.trace(nodes, 8, params.gflops_per_rank))
+                .comm_fraction()
+        };
+        assert!(
+            frac(32) >= frac(4) * 0.9,
+            "{} at 32 nodes vs {} at 4",
+            frac(32),
+            frac(4)
+        );
+    }
+
+    #[test]
+    fn cxl_beats_tcp_on_the_shuffle() {
+        let sort = SampleSortProxy::gray();
+        for nodes in [4, 8, 16, 32] {
+            let comm = |class: TransportClass| {
+                let params = NetworkParams::for_transport(class);
+                Simulator::new(params, nodes, 8)
+                    .run(&sort.trace(nodes, 8, params.gflops_per_rank))
+                    .comm_s
+            };
+            let cxl = comm(TransportClass::CxlShm);
+            let eth = comm(TransportClass::TcpEthernet);
+            assert!(cxl < eth, "{nodes} nodes: cxl {cxl} vs eth {eth}");
+        }
+    }
+}

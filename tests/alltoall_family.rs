@@ -1,0 +1,333 @@
+//! The alltoall family, end-to-end: the size-adaptive regular exchange
+//! (Bruck / pairwise / hierarchical / shm single-copy) cross-checked against
+//! a naive isend/irecv reference on non-power-of-two rank counts and both
+//! transports, through the blocking, nonblocking and persistent paths;
+//! irregular-count (`alltoallv`/`alltoallw`) property tests; and the
+//! zero-count guarantees (empty segments are message-free).
+
+use cmpi::mpi::{Comm, Request, Universe, UniverseConfig};
+
+mod common;
+use common::{
+    configs, force_hier, force_large, force_shm, force_small, matrix_hosts, with_window_headroom,
+};
+
+/// The canonical per-element pattern of the block rank `s` sends to rank
+/// `d`: unique per (source, destination, element index).
+fn pattern(s: usize, d: usize, e: usize) -> i64 {
+    (s as i64) * 1_000_000 + (d as i64) * 1_000 + e as i64
+}
+
+/// Naive alltoall reference over point-to-point nonblocking sends/receives:
+/// each rank isends block `d` to `d` and irecvs block `s` from `s` under
+/// per-source tags, then waits for everything.
+fn naive_alltoall(comm: &mut Comm, send: &[i64], block: usize) -> cmpi::mpi::Result<Vec<i64>> {
+    let n = comm.size();
+    let me = comm.rank();
+    let mut out = vec![0i64; n * block];
+    out[me * block..(me + 1) * block].copy_from_slice(&send[me * block..(me + 1) * block]);
+    let mut reqs: Vec<Request> = Vec::new();
+    let mut recv_slots: Vec<usize> = Vec::new();
+    for s in 0..n {
+        if s == me {
+            continue;
+        }
+        reqs.push(comm.irecv_into(
+            Some(s),
+            Some(s as i32),
+            vec![0u8; block * std::mem::size_of::<i64>()],
+        )?);
+        recv_slots.push(s);
+    }
+    for d in 0..n {
+        if d == me {
+            continue;
+        }
+        let bytes: Vec<u8> = send[d * block..(d + 1) * block]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        reqs.push(comm.isend(d, me as i32, &bytes)?);
+    }
+    comm.wait_all(&mut reqs)?;
+    for (i, s) in recv_slots.into_iter().enumerate() {
+        let vals: Vec<i64> = reqs[i].take_values()?;
+        out[s * block..(s + 1) * block].copy_from_slice(&vals[..block]);
+    }
+    Ok(out)
+}
+
+/// Run the blocking, nonblocking and persistent alltoall paths over `send`
+/// and assert all three match `expect`; returns the blocking call's
+/// algorithm label.
+fn drive_all_paths(comm: &mut Comm, send: &[i64], expect: &[i64]) -> cmpi::mpi::Result<String> {
+    // Blocking.
+    let mut recv = vec![0i64; send.len()];
+    comm.alltoall(send, &mut recv)?;
+    assert_eq!(recv, expect, "blocking alltoall mismatch");
+    let label = comm.last_coll_algorithm().to_string();
+
+    // Nonblocking.
+    let mut r = comm.ialltoall(send)?;
+    comm.wait(&mut r)?;
+    let nb: Vec<i64> = r.take_values()?;
+    assert_eq!(nb, expect, "ialltoall mismatch");
+
+    // Persistent: two starts, the second after rewriting the input with a
+    // shifted pattern to prove the rebind actually takes effect.
+    let mut p = comm.alltoall_init(send)?;
+    comm.start(&mut p)?;
+    comm.wait(&mut p)?;
+    let pr: Vec<i64> = p.read_result()?;
+    assert_eq!(pr, expect, "persistent alltoall mismatch (start 1)");
+    let shifted: Vec<i64> = send.iter().map(|v| v + 7).collect();
+    p.write_input(&shifted)?;
+    comm.start(&mut p)?;
+    comm.wait(&mut p)?;
+    let pr: Vec<i64> = p.read_result()?;
+    let expect2: Vec<i64> = expect.iter().map(|v| v + 7).collect();
+    assert_eq!(pr, expect2, "persistent alltoall mismatch (start 2)");
+    p.release()?;
+    Ok(label)
+}
+
+#[test]
+fn alltoall_matches_naive_reference_across_algorithms() {
+    for n in [3usize, 5, 6, 7] {
+        for (label, config) in configs(n) {
+            for (tuning, tuning_name) in [
+                (force_small(), "bruck"),
+                (force_large(), "pairwise"),
+                (force_hier(), "hier"),
+            ] {
+                let config = config.clone().with_coll_tuning(tuning);
+                let results = Universe::run(config, move |comm: &mut Comm| {
+                    let n = comm.size();
+                    let me = comm.rank();
+                    let block = 5usize;
+                    let send: Vec<i64> = (0..n * block)
+                        .map(|i| pattern(me, i / block, i % block))
+                        .collect();
+                    let expect = naive_alltoall(comm, &send, block)?;
+                    // Cross-check the reference itself against the closed
+                    // form before trusting it.
+                    for s in 0..n {
+                        for e in 0..block {
+                            assert_eq!(expect[s * block + e], pattern(s, me, e));
+                        }
+                    }
+                    drive_all_paths(comm, &send, &expect)
+                })
+                .unwrap_or_else(|e| panic!("{label} n={n} {tuning_name}: {e}"));
+                for (algo, _) in &results {
+                    match tuning_name {
+                        "bruck" => assert_eq!(algo, "alltoall/bruck", "{label} n={n}"),
+                        "pairwise" => assert_eq!(algo, "alltoall/pairwise", "{label} n={n}"),
+                        // Force composes whenever the communicator actually
+                        // spans ≥ 2 hosts; single-host matrix legs stay flat.
+                        "hier" => {
+                            if matrix_hosts() >= 2 {
+                                assert_eq!(algo, "alltoall/hier+pairwise", "{label} n={n}");
+                            } else {
+                                assert!(algo.starts_with("alltoall/"), "{label} n={n}: {algo}");
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_shm_single_copy_matches_reference() {
+    for n in [3usize, 5, 6, 7] {
+        let config = with_window_headroom(
+            UniverseConfig::cxl_small(n).with_hosts(matrix_hosts()),
+            64 * 1024 * 1024,
+        )
+        .with_coll_tuning(force_shm());
+        let results = Universe::run(config, move |comm: &mut Comm| {
+            let n = comm.size();
+            let me = comm.rank();
+            let block = 9usize;
+            let send: Vec<i64> = (0..n * block)
+                .map(|i| pattern(me, i / block, i % block))
+                .collect();
+            let expect: Vec<i64> = (0..n * block)
+                .map(|i| pattern(i / block, me, i % block))
+                .collect();
+            drive_all_paths(comm, &send, &expect)
+        })
+        .unwrap_or_else(|e| panic!("shm n={n}: {e}"));
+        for (algo, _) in &results {
+            assert_eq!(algo, "alltoall/shm", "n={n}");
+        }
+    }
+}
+
+/// Deterministic pseudo-random per-pair segment size in 0..4 (zeros are
+/// frequent on purpose — they must be free). Symmetric by construction:
+/// both sides of a (src, dst) pair compute the same value.
+fn seg(src: usize, dst: usize, salt: usize) -> usize {
+    let x = src
+        .wrapping_mul(2654435761)
+        .wrapping_add(dst.wrapping_mul(40503))
+        .wrapping_add(salt.wrapping_mul(9176));
+    (x >> 7) % 4
+}
+
+#[test]
+fn alltoallv_irregular_counts_property() {
+    for n in [3usize, 5, 7] {
+        for (label, config) in configs(n) {
+            for salt in 0..3usize {
+                let results = Universe::run(config.clone(), move |comm: &mut Comm| {
+                    let n = comm.size();
+                    let me = comm.rank();
+                    let send_counts: Vec<usize> = (0..n).map(|d| seg(me, d, salt)).collect();
+                    let recv_counts: Vec<usize> = (0..n).map(|s| seg(s, me, salt)).collect();
+                    let mut send: Vec<i64> = Vec::new();
+                    for (d, &c) in send_counts.iter().enumerate() {
+                        send.extend((0..c).map(|e| pattern(me, d, e)));
+                    }
+                    let mut expect: Vec<i64> = Vec::new();
+                    for (s, &c) in recv_counts.iter().enumerate() {
+                        expect.extend((0..c).map(|e| pattern(s, me, e)));
+                    }
+
+                    // Blocking.
+                    let got = comm.alltoallv(&send, &send_counts, &recv_counts)?;
+                    assert_eq!(got, expect, "alltoallv mismatch");
+
+                    // Nonblocking.
+                    let mut r = comm.ialltoallv(&send, &send_counts, &recv_counts)?;
+                    comm.wait(&mut r)?;
+                    let nb: Vec<i64> = r.take_values()?;
+                    assert_eq!(nb, expect, "ialltoallv mismatch");
+
+                    // Persistent, restarted with rewritten input.
+                    let mut p = comm.alltoallv_init(&send, &send_counts, &recv_counts)?;
+                    comm.start(&mut p)?;
+                    comm.wait(&mut p)?;
+                    let pr: Vec<i64> = p.read_result()?;
+                    assert_eq!(pr, expect, "alltoallv_init mismatch (start 1)");
+                    let shifted: Vec<i64> = send.iter().map(|v| v + 3).collect();
+                    p.write_input(&shifted)?;
+                    comm.start(&mut p)?;
+                    comm.wait(&mut p)?;
+                    let pr: Vec<i64> = p.read_result()?;
+                    let expect2: Vec<i64> = expect.iter().map(|v| v + 3).collect();
+                    assert_eq!(pr, expect2, "alltoallv_init mismatch (start 2)");
+                    p.release()?;
+
+                    // Byte-granular variant over the same shape.
+                    let send_b: Vec<usize> = send_counts.iter().map(|&c| c * 8).collect();
+                    let recv_b: Vec<usize> = recv_counts.iter().map(|&c| c * 8).collect();
+                    let send_bytes: Vec<u8> = send.iter().flat_map(|v| v.to_le_bytes()).collect();
+                    let expect_bytes: Vec<u8> =
+                        expect.iter().flat_map(|v| v.to_le_bytes()).collect();
+                    let got = comm.alltoallw_bytes(&send_bytes, &send_b, &recv_b)?;
+                    assert_eq!(got, expect_bytes, "alltoallw mismatch");
+                    let mut r = comm.ialltoallw(&send_bytes, &send_b, &recv_b)?;
+                    comm.wait(&mut r)?;
+                    let nb: Vec<u8> = r.take_values()?;
+                    assert_eq!(nb, expect_bytes, "ialltoallw mismatch");
+                    let mut p = comm.alltoallw_init(&send_bytes, &send_b, &recv_b)?;
+                    comm.start(&mut p)?;
+                    comm.wait(&mut p)?;
+                    let pr: Vec<u8> = p.read_result()?;
+                    assert_eq!(pr, expect_bytes, "alltoallw_init mismatch");
+                    p.release()?;
+                    Ok(())
+                })
+                .unwrap_or_else(|e| panic!("{label} n={n} salt={salt}: {e}"));
+                assert_eq!(results.len(), n);
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_count_segments_are_message_free() {
+    for (label, config) in configs(4) {
+        Universe::run(config, |comm: &mut Comm| {
+            let n = comm.size();
+            let me = comm.rank();
+
+            // All-empty exchange: correct, empty, and not a single message.
+            let zeros = vec![0usize; n];
+            let before = comm.stats();
+            let got: Vec<i64> = comm.alltoallv(&[], &zeros, &zeros)?;
+            let after = comm.stats();
+            assert!(got.is_empty());
+            assert_eq!(
+                after.msgs_sent, before.msgs_sent,
+                "all-empty alltoallv sent a message"
+            );
+            assert_eq!(after.bytes_sent, before.bytes_sent);
+
+            // Self-only exchange: data moves, still message-free.
+            let mut counts = vec![0usize; n];
+            counts[me] = 3;
+            let send: Vec<i64> = (0..3).map(|e| pattern(me, me, e)).collect();
+            let before = comm.stats();
+            let got = comm.alltoallv(&send, &counts, &counts)?;
+            let after = comm.stats();
+            assert_eq!(got, send, "self-only alltoallv lost data");
+            assert_eq!(
+                after.msgs_sent, before.msgs_sent,
+                "self-only alltoallv sent a message"
+            );
+
+            // Single sparse edge 0 → 1: exactly one message leaves rank 0,
+            // none leaves anyone else.
+            let mut send_counts = vec![0usize; n];
+            let mut recv_counts = vec![0usize; n];
+            if me == 0 {
+                send_counts[1] = 2;
+            }
+            if me == 1 {
+                recv_counts[0] = 2;
+            }
+            let send: Vec<i64> = if me == 0 {
+                (0..2).map(|e| pattern(0, 1, e)).collect()
+            } else {
+                Vec::new()
+            };
+            let before = comm.stats();
+            let got = comm.alltoallv(&send, &send_counts, &recv_counts)?;
+            let after = comm.stats();
+            let sent = after.msgs_sent - before.msgs_sent;
+            if me == 0 {
+                assert_eq!(sent, 1, "rank 0 should send exactly one message");
+                assert!(got.is_empty());
+            } else {
+                assert_eq!(sent, 0, "rank {me} sent a message on an empty edge");
+            }
+            if me == 1 {
+                assert_eq!(got, vec![pattern(0, 1, 0), pattern(0, 1, 1)]);
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}
+
+#[test]
+fn alltoall_zero_block_is_free() {
+    for (label, config) in configs(3) {
+        Universe::run(config, |comm: &mut Comm| {
+            let before = comm.stats();
+            let send: Vec<i64> = Vec::new();
+            let mut recv: Vec<i64> = Vec::new();
+            comm.alltoall(&send, &mut recv)?;
+            let after = comm.stats();
+            assert_eq!(comm.last_coll_algorithm(), "alltoall/local");
+            assert_eq!(after.msgs_sent, before.msgs_sent);
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+}

@@ -80,6 +80,7 @@ pub fn force_large() -> CollTuning {
         allreduce_rabenseifner_min_bytes: 1,
         allgather_bruck_max_bytes: 0,
         reduce_scatter_direct_min_bytes: 1,
+        alltoall_bruck_max_bytes: 0,
         hierarchy: HierarchyMode::Off,
         data_plane: DataPlaneMode::Ring,
         ..CollTuning::default()
@@ -94,6 +95,7 @@ pub fn force_small() -> CollTuning {
         allreduce_rabenseifner_min_bytes: usize::MAX,
         allgather_bruck_max_bytes: usize::MAX,
         reduce_scatter_direct_min_bytes: usize::MAX,
+        alltoall_bruck_max_bytes: usize::MAX,
         hierarchy: HierarchyMode::Off,
         data_plane: DataPlaneMode::Ring,
         ..CollTuning::default()
@@ -121,6 +123,7 @@ pub fn force_hier_large() -> CollTuning {
         allreduce_rabenseifner_min_bytes: 1,
         allgather_bruck_max_bytes: 0,
         reduce_scatter_direct_min_bytes: 1,
+        alltoall_bruck_max_bytes: 0,
         hierarchy: HierarchyMode::Force,
         data_plane: DataPlaneMode::Ring,
         ..CollTuning::default()

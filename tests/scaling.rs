@@ -263,3 +263,62 @@ fn fault_with_never_connected_victim() {
         }
     }
 }
+
+/// Scaling-interaction satellite: alltoall is the adversarial workload for
+/// the lazy connection table — n·(n−1) distinct peer payloads per call —
+/// so a tight `qp_budget` must funnel the long tail through the shared
+/// receive queue instead of exploding the QP matrix. Byte-correctness and
+/// the Σ-queue-pair bound are both asserted.
+#[test]
+fn alltoall_n64_under_tight_qp_budget() {
+    use cmpi::mpi::TransportConfig;
+    let ranks = 64usize;
+    let budget = 8usize;
+    let mut config = UniverseConfig::cxl_scale(ranks, 8);
+    if let TransportConfig::CxlShm(ref mut c) = config.transport {
+        c.qp_budget = budget;
+    }
+    let reports = Universe::run(config, move |comm: &mut Comm| {
+        let me = comm.rank();
+        let n = comm.size();
+        let block = 4usize;
+        let send: Vec<u64> = (0..n * block)
+            .map(|i| (me * 1_000_000 + (i / block) * 1_000 + i % block) as u64)
+            .collect();
+        let mut recv = vec![0u64; n * block];
+        comm.alltoall(&send, &mut recv)?;
+        for s in 0..n {
+            for e in 0..block {
+                assert_eq!(
+                    recv[s * block + e],
+                    (s * 1_000_000 + me * 1_000 + e) as u64,
+                    "block from {s} elem {e} at rank {me}"
+                );
+            }
+        }
+        // A second call through the pairwise branch stresses the budget
+        // with large per-peer payloads too.
+        let mut recv2 = vec![0u64; n * block];
+        let tuning = comm.last_coll_algorithm().to_string();
+        assert_eq!(tuning, "alltoall/bruck", "32 B blocks should take Bruck");
+        comm.alltoall(&send, &mut recv2)?;
+        assert_eq!(recv, recv2);
+        Ok(())
+    })
+    .expect("tight-budget universe");
+    let reports: Vec<RankReport> = reports.into_iter().map(|(_, r)| r).collect();
+    // No QP explosion: the whole universe stays under budget × ranks
+    // dedicated queue pairs (the eager matrix would be ranks²).
+    let qps: u64 = reports.iter().map(|r| r.stats.qps_established).sum();
+    let bound = (budget * ranks) as u64;
+    assert!(
+        qps < bound,
+        "Σ queue pairs {qps} not below budget × ranks = {bound}"
+    );
+    // The dense traffic past the budget actually went through the SRQ.
+    let srq: u64 = reports.iter().map(|r| r.stats.srq_msgs).sum();
+    assert!(
+        srq > 0,
+        "tight-budget alltoall never funnelled through the SRQ"
+    );
+}
