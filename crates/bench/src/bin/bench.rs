@@ -1,9 +1,11 @@
 //! The JSON perf harness: p2p latency/bandwidth, collective sweeps, the
 //! flat-vs-hierarchical topology sweep, the **ring-vs-shm data-plane sweep**,
 //! the **size-adaptive alltoall sweep** and its **shuffle workloads**, the
-//! nonblocking-collective overlap kernel and the **persistent/plan-cache
+//! nonblocking-collective overlap kernel (Polling vs Thread progress side by
+//! side), the **RPC-storm serving sweep** (wall-clock submitter-scaling
+//! throughput + p50/p99/p999 tails) and the **persistent/plan-cache
 //! sweep** across both transports, written as `BENCH_collectives.json`
-//! (schema v8) for the perf trajectory (`BENCH_*.json` files are diffed
+//! (schema v9) for the perf trajectory (`BENCH_*.json` files are diffed
 //! PR-over-PR). The `hierarchy` section records, per (op, layout, size), the
 //! same collective with the two-level composition forced off and forced on,
 //! plus the speedup — the acceptance surface for the topology-aware
@@ -54,7 +56,7 @@
 //! improvement is visible in the checked-in file itself.
 
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cmpi_core::coll::{build_allreduce, build_bcast, CommView};
@@ -62,12 +64,12 @@ use cmpi_core::queue::{QueueGeometry, QueueMatrix};
 use cmpi_core::transport::conn::{srq_required_bytes, ConnTable, Doorbell, OBJ_SLACK};
 use cmpi_core::{
     CollTuning, Comm, DataPlaneMode, DataPlaneStats, ErrHandler, Execution, FaultPlan,
-    FaultTrigger, FtOutcome, Group, HierarchyMode, HostPlacement, MpiError, ReduceOp,
+    FaultTrigger, FtOutcome, Group, HierarchyMode, HostPlacement, MpiError, ProgressMode, ReduceOp,
     TransportConfig, UniverseConfig,
 };
 use cmpi_fabric::cost::TcpNic;
-use cmpi_omb::nonblocking_allreduce_overlap;
-use cmpi_scalesim::{ConnCosts, ConnScalingPoint};
+use cmpi_omb::{nonblocking_allreduce_overlap, rpc_storm};
+use cmpi_scalesim::{ConnCosts, ConnScalingPoint, RpcStormModel};
 
 /// One p2p measurement row.
 struct P2pRow {
@@ -78,15 +80,33 @@ struct P2pRow {
     wall_bandwidth_mib_s: f64,
 }
 
-/// One overlap measurement row (the `osu_iallreduce`-style kernel).
+/// One overlap measurement row (the `osu_iallreduce`-style kernel),
+/// measured under both progress modes side by side.
 struct OverlapRow {
     transport: &'static str,
+    mode: &'static str,
     ranks: usize,
     size: usize,
     compute_ns: f64,
     total_ns: f64,
     ops_during_compute: u64,
     overlap_fraction: f64,
+}
+
+/// One RPC-storm measurement row (wall-clock serving throughput + tail).
+struct RpcRow {
+    mode: &'static str,
+    ranks: usize,
+    submitters: usize,
+    inflight: usize,
+    size: usize,
+    think_us: u64,
+    ops: u64,
+    wall_ms: f64,
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
 }
 
 /// One collective measurement row.
@@ -772,10 +792,10 @@ fn plan_build_rows(iters: usize) -> Vec<PlanBuildRow> {
                     std::hint::black_box(build());
                 }
                 let build_ns = start.elapsed().as_nanos() as f64 / iters as f64;
-                let plan = Rc::new(build());
+                let plan = Arc::new(build());
                 let start = Instant::now();
                 for i in 0..iters {
-                    std::hint::black_box(Execution::new(Rc::clone(&plan), i as u32));
+                    std::hint::black_box(Execution::new(Arc::clone(&plan), i as u32));
                 }
                 let bind_ns = start.elapsed().as_nanos() as f64 / iters as f64;
                 rows.push(PlanBuildRow {
@@ -1061,18 +1081,82 @@ fn main() {
     let mut overlap_rows: Vec<OverlapRow> = Vec::new();
     for &ranks in &overlap_ranks {
         for (label, config) in transports(ranks) {
-            for &size in &overlap_sizes {
-                eprintln!("overlap iallreduce {label} n={ranks} {size} B ...");
-                let point = nonblocking_allreduce_overlap(config.clone(), size / 8, 100_000.0)
+            for mode in [ProgressMode::Polling, ProgressMode::Thread] {
+                for &size in &overlap_sizes {
+                    eprintln!(
+                        "overlap iallreduce {label}/{} n={ranks} {size} B ...",
+                        mode.label()
+                    );
+                    // Overlap is only achievable when compute covers the
+                    // collective's own latency (the OSU convention sizes
+                    // compute to the operation): scale the injected compute
+                    // with the payload, 100 us per 8 KiB. The per-row
+                    // `compute_ns` field records what each point used.
+                    let compute_ns = 100_000.0 * (size as f64 / 8192.0).max(1.0);
+                    let point = nonblocking_allreduce_overlap(
+                        config.clone().with_progress_mode(mode),
+                        size / 8,
+                        compute_ns,
+                    )
                     .expect("overlap universe");
-                overlap_rows.push(OverlapRow {
-                    transport: label,
-                    ranks,
-                    size: point.size,
-                    compute_ns: point.compute_ns,
-                    total_ns: point.total_ns,
-                    ops_during_compute: point.ops_during_compute,
-                    overlap_fraction: point.overlap_fraction,
+                    overlap_rows.push(OverlapRow {
+                        transport: label,
+                        mode: mode.label(),
+                        ranks,
+                        size: point.size,
+                        compute_ns: point.compute_ns,
+                        total_ns: point.total_ns,
+                        ops_during_compute: point.ops_during_compute,
+                        overlap_fraction: point.overlap_fraction,
+                    });
+                }
+            }
+        }
+    }
+
+    // The RPC-storm serving sweep (wall-clock): K submitter threads per rank
+    // on dup'd communicators, closed-loop with client think time (the
+    // serving model — submitter scaling shows concurrency headroom) plus a
+    // think=0 saturation pair (the ceiling of one core's schedule work).
+    let (storm_ranks, storm_quota, storm_ks, storm_thinks): (usize, usize, Vec<usize>, Vec<u64>) =
+        if smoke() {
+            (2, 32, vec![1, 2], vec![0])
+        } else {
+            (4, 256, vec![1, 2, 4, 8], vec![50, 0])
+        };
+    let mut rpc_rows: Vec<RpcRow> = Vec::new();
+    for &think_us in &storm_thinks {
+        for mode in [ProgressMode::Polling, ProgressMode::Thread] {
+            for &k in &storm_ks {
+                if think_us == 0 && !smoke() && k != 1 && k != 8 {
+                    continue; // saturation mode: endpoints only
+                }
+                eprintln!(
+                    "rpc storm {} n={storm_ranks} K={k} think={think_us}us ...",
+                    mode.label()
+                );
+                let p = rpc_storm(
+                    UniverseConfig::cxl(storm_ranks).with_progress_mode(mode),
+                    k,
+                    1,
+                    4,
+                    storm_quota,
+                    think_us,
+                )
+                .expect("rpc storm universe");
+                rpc_rows.push(RpcRow {
+                    mode: mode.label(),
+                    ranks: storm_ranks,
+                    submitters: p.submitters,
+                    inflight: p.inflight,
+                    size: p.size,
+                    think_us: p.think_us,
+                    ops: p.ops,
+                    wall_ms: p.wall_ms,
+                    ops_per_sec: p.ops_per_sec,
+                    p50_us: p.p50_us,
+                    p99_us: p.p99_us,
+                    p999_us: p.p999_us,
                 });
             }
         }
@@ -1116,6 +1200,7 @@ fn main() {
         &a2a_rows,
         &shf_rows,
         &overlap_rows,
+        &rpc_rows,
         &plan_rows,
         &pers_rows,
         &fr_rows,
@@ -1136,15 +1221,23 @@ fn render_json(
     alltoall: &[AlltoallRow],
     shuffles: &[ShuffleRow],
     overlaps: &[OverlapRow],
+    rpc: &[RpcRow],
     plan_builds: &[PlanBuildRow],
     persistents: &[PersistentRow],
     fault_recovery: &[FaultRecoveryRow],
     scaling: &[ScalingRow],
 ) -> String {
     let mut s = String::new();
-    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v8\",\n");
+    s.push_str("{\n  \"schema\": \"cmpi-bench-collectives-v9\",\n");
     s.push_str("  \"smoke\": ");
     s.push_str(if smoke() { "true" } else { "false" });
+    // RPC-storm numbers are wall-clock: record the host parallelism they
+    // were taken under (a 1-CPU host caps saturation-mode scaling at 1×).
+    let _ = write!(
+        s,
+        ",\n  \"host_logical_cpus\": {}",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
     s.push_str(",\n  \"baseline_pre_pr\": ");
     s.push_str(BASELINE_PRE_PR.trim_end());
     s.push_str(",\n  \"p2p\": [\n");
@@ -1164,8 +1257,9 @@ fn render_json(
     for (i, r) in overlaps.iter().enumerate() {
         let _ = writeln!(
             s,
-            "    {{\"op\": \"iallreduce_overlap\", \"transport\": \"{}\", \"ranks\": {}, \"size_bytes\": {}, \"compute_ns\": {:.1}, \"total_ns\": {:.1}, \"ops_during_compute\": {}, \"overlap_fraction\": {:.3}}}{}",
+            "    {{\"op\": \"iallreduce_overlap\", \"transport\": \"{}\", \"progress_mode\": \"{}\", \"ranks\": {}, \"size_bytes\": {}, \"compute_ns\": {:.1}, \"total_ns\": {:.1}, \"ops_during_compute\": {}, \"overlap_fraction\": {:.3}}}{}",
             r.transport,
+            r.mode,
             r.ranks,
             r.size,
             r.compute_ns,
@@ -1173,6 +1267,54 @@ fn render_json(
             r.ops_during_compute,
             r.overlap_fraction,
             if i + 1 < overlaps.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n  \"rpc_storm\": [\n");
+    for (i, r) in rpc.iter().enumerate() {
+        // Submitter-scaling speedup relative to the K=1 row of the same
+        // (mode, think_us) series.
+        let base = rpc
+            .iter()
+            .find(|b| b.mode == r.mode && b.think_us == r.think_us && b.submitters == 1)
+            .map_or(0.0, |b| b.ops_per_sec);
+        let speedup = if base > 0.0 {
+            r.ops_per_sec / base
+        } else {
+            0.0
+        };
+        // Analytic cross-check: the scalesim closed-loop model, calibrated
+        // from the series' own K=1 and fastest points, predicts the speedup
+        // curve shape (linear in client count until the serial progress-path
+        // ceiling, then flat).
+        let sat = rpc
+            .iter()
+            .filter(|b| b.mode == r.mode && b.think_us == r.think_us)
+            .map(|b| b.ops_per_sec)
+            .fold(0.0f64, f64::max);
+        let model_speedup = if base > 0.0 && sat > 0.0 {
+            RpcStormModel::from_calibration(r.ranks, base, sat)
+                .speedup(r.ranks, r.ranks * r.submitters)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"progress_mode\": \"{}\", \"ranks\": {}, \"submitters\": {}, \"inflight\": {}, \"size_bytes\": {}, \"think_us\": {}, \"ops\": {}, \"wall_ms\": {:.1}, \"ops_per_sec\": {:.0}, \"speedup_vs_1\": {:.2}, \"model_speedup_vs_1\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}}{}",
+            r.mode,
+            r.ranks,
+            r.submitters,
+            r.inflight,
+            r.size,
+            r.think_us,
+            r.ops,
+            r.wall_ms,
+            r.ops_per_sec,
+            speedup,
+            model_speedup,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            if i + 1 < rpc.len() { "," } else { "" }
         );
     }
     s.push_str("  ],\n  \"collectives\": [\n");

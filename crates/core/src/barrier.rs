@@ -56,8 +56,8 @@ pub fn group_barrier(
     hier: Option<&HostHierarchy>,
     seq: u32,
 ) -> Result<&'static str> {
-    let plan = std::rc::Rc::new(build_barrier(view, tuning, hier));
-    let mut exec = crate::progress::Execution::new(std::rc::Rc::clone(&plan), seq);
+    let plan = std::sync::Arc::new(build_barrier(view, tuning, hier));
+    let mut exec = crate::progress::Execution::new(std::sync::Arc::clone(&plan), seq);
     exec.run(t, clock, &mut [])?;
     Ok(plan.label)
 }

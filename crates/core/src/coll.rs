@@ -66,7 +66,7 @@
 //! remain as the uncached direct path used during communicator construction
 //! (context-id agreement runs before the new communicator has a cache).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cmpi_fabric::SimClock;
 
@@ -1285,14 +1285,14 @@ pub fn allgather_into<T: Pod>(
         )));
     }
     recv[me * block..(me + 1) * block].copy_from_slice(send);
-    let plan = Rc::new(build_allgather(
+    let plan = Arc::new(build_allgather(
         view,
         tuning,
         hier,
         None,
         std::mem::size_of_val(send),
     ));
-    let mut exec = Execution::new(Rc::clone(&plan), seq);
+    let mut exec = Execution::new(Arc::clone(&plan), seq);
     exec.run(t, clock, bytes_of_mut(recv))?;
     Ok(plan.label)
 }
@@ -1787,7 +1787,7 @@ pub fn allreduce<T: Reducible>(
     values: &mut [T],
     op: ReduceOp,
 ) -> Result<&'static str> {
-    let plan = Rc::new(build_allreduce::<T>(
+    let plan = Arc::new(build_allreduce::<T>(
         view,
         tuning,
         hier,
@@ -1795,7 +1795,7 @@ pub fn allreduce<T: Reducible>(
         values.len(),
         op,
     ));
-    let mut exec = Execution::new(Rc::clone(&plan), seq);
+    let mut exec = Execution::new(Arc::clone(&plan), seq);
     exec.run(t, clock, bytes_of_mut(values))?;
     Ok(plan.label)
 }

@@ -20,27 +20,36 @@
 //! also keys on the (world) source and destination ranks.
 //!
 //! All communicator handles of one rank share the rank's single transport
-//! endpoint and virtual clock through an `Rc<RefCell<…>>`; a `Comm` is cheap
-//! and stays on its rank thread.
+//! endpoint and virtual clock through an `Arc<RankShared>`. The transport +
+//! clock pair sits behind one short-hold mutex (the **io lock**), while the
+//! per-communicator progress state — collective sequence numbers, plan cache,
+//! collective counters, error handler — is sharded into a per-communicator
+//! `CommShard` with its own lock, so threads submitting on *different*
+//! communicators of the same rank (MPI_THREAD_MULTIPLE style) never serialize
+//! on a rank-global lock for their bookkeeping. Blocking waits take the io
+//! lock once per progress *attempt*, never across a rendezvous, so two
+//! threads blocked on different communicators cannot deadlock the rank.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use cmpi_fabric::SimClock;
 
 use crate::coll::{self, CommView};
-use crate::config::{CollTuning, DataPlaneMode, ProgressTuning};
+use crate::config::{CollTuning, DataPlaneMode, ProgressMode, ProgressTuning};
 use crate::dataplane::DP_SLOTS;
+use crate::engine::ProgressEngine;
 use crate::error::MpiError;
 use crate::group::Group;
 use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanOp};
 use crate::pod::{bytes_of, bytes_of_mut, vec_from_bytes, Pod};
-use crate::progress::{CollPlan, CollState, Execution, ProgressStats};
+use crate::progress::{CollPlan, CollState, Execution, ProgressCounters, ProgressStats};
 use crate::request::{PersistentMeta, Request, RequestState};
+use crate::spin::{PoisonFlag, SpinWait};
 use crate::topology::{HostHierarchy, HostTopology};
-use crate::transport::{DataPlaneStats, DpWindow, Transport, TransportStats, WinId};
+use crate::transport::{
+    DataPlaneStats, DpWindow, Transport, TransportCounters, TransportStats, WinId,
+};
 use crate::types::{CtxId, Rank, ReduceOp, Reducible, Status, Tag, WORLD_CTX};
 use crate::Result;
 
@@ -132,34 +141,22 @@ pub(crate) enum CollOp {
     Alltoall,
 }
 
-/// The state shared by every communicator handle of one rank: the transport
-/// endpoint, the virtual clock, and the context-id allocator.
-pub(crate) struct RankCore {
+/// The wire half of a rank: the transport endpoint and the virtual clock,
+/// behind the rank's **io lock**. Every actual transfer goes through here;
+/// holders keep the lock for one bounded progress attempt (or one eager
+/// send), never across a rendezvous with another rank's *caller*, so
+/// concurrent threads of one rank interleave at attempt granularity.
+pub(crate) struct RankIo {
     pub(crate) transport: Box<dyn Transport>,
     pub(crate) clock: SimClock,
-    pub(crate) topology: HostTopology,
-    /// Collective algorithm switchover thresholds (from the universe config).
-    pub(crate) tuning: CollTuning,
-    /// Progress-engine tuning (from the universe config).
-    pub(crate) progress_cfg: ProgressTuning,
+}
+
+/// Cold per-rank control state: the context-id allocator and the
+/// algorithm-choice telemetry. Its own small lock so collective starters
+/// touch it briefly without holding the io lock.
+struct RankCtl {
     /// Next context id this rank would propose for a new communicator.
     next_ctx: CtxId,
-    /// Per-communicator collective counters, keyed by context id.
-    coll_stats: BTreeMap<CtxId, CommCollStats>,
-    /// Per-communicator collective sequence numbers: every collective started
-    /// on a context (blocking or nonblocking) draws the next number, which is
-    /// salted into the collective's internal tags. Ranks start collectives on
-    /// a communicator in the same order (the MPI requirement), so the
-    /// counters agree across the group and concurrent collectives can never
-    /// cross-match.
-    coll_seq: BTreeMap<CtxId, u32>,
-    /// Progress-engine counters (polls, ops serviced, overlap split).
-    progress: ProgressStats,
-    /// Per-communicator collective **plan caches**, keyed by context id:
-    /// compiled plans of repeated collective shapes, so planning runs once
-    /// per (communicator, shape) instead of once per call. Each cache is
-    /// LRU-bounded by [`CollTuning::plan_cache_entries`].
-    plans: BTreeMap<CtxId, PlanCache>,
     /// Label of the algorithm chosen by the most recent collective.
     last_algo: &'static str,
     /// How often each collective algorithm was chosen by this rank.
@@ -169,102 +166,127 @@ pub(crate) struct RankCore {
     /// Merged with the transport's window counters in
     /// [`Comm::data_plane_stats`].
     dp_paths: DataPlaneStats,
-    /// Per-communicator process-failure error handler, keyed by context id;
-    /// absent means [`ErrHandler::ErrorsAbort`] (the MPI default).
-    errhandlers: BTreeMap<CtxId, ErrHandler>,
-    /// Per-communicator recovery-operation sequence numbers: every
-    /// [`Comm::agree`]/[`Comm::shrink`] on a context draws the next number,
-    /// keying the shared agreement cells. Independent of the collective
-    /// sequence space so recovery never aliases ordinary collectives.
-    recovery_seq: BTreeMap<CtxId, u32>,
 }
 
-/// Rewrite a failure error onto communicator `ctx` and apply its error
-/// handler. A free function (not a `Comm` method) so call sites holding the
-/// `RankCore` borrow can use it without a double `RefCell` borrow.
-///
-/// [`MpiError::ProcFailed`] arrives from the failure state with a placeholder
-/// context of 0; this stamps the real context. Under
-/// [`ErrHandler::ErrorsAbort`] a survivable failure escalates to hard poison
-/// (universe abort, [`MpiError::PeerDead`]); under
-/// [`ErrHandler::ErrorsReturn`] it is returned as-is.
-/// [`MpiError::RankKilled`] — the fault injector terminating *this* rank —
-/// always passes through untouched so the runtime can record the death.
-fn apply_errhandler(core: &mut RankCore, ctx: CtxId, e: MpiError) -> MpiError {
-    let e = match e {
-        MpiError::ProcFailed { dead, detail, .. } => MpiError::ProcFailed { ctx, dead, detail },
-        other => other,
-    };
-    if !matches!(e, MpiError::ProcFailed { .. } | MpiError::Revoked(_)) {
-        return e;
-    }
-    match core.errhandlers.get(&ctx).copied().unwrap_or_default() {
-        ErrHandler::ErrorsReturn => e,
-        ErrHandler::ErrorsAbort => {
-            let reason = e.to_string();
-            core.transport.poison().poison(reason.clone());
-            MpiError::PeerDead(reason)
+/// The per-communicator progress state, sharded out of the rank-global locks
+/// so threads operating on different communicators of one rank never
+/// serialize on each other's bookkeeping (the MPI_THREAD_MULTIPLE hot path).
+/// One shard per context id, shared by every handle of that communicator
+/// (`comm_dup` of the same parent yields distinct shards).
+pub(crate) struct CommShard {
+    /// Context id the shard belongs to.
+    ctx: CtxId,
+    /// Collective sequence numbers: every collective started on the context
+    /// (blocking or nonblocking) draws the next number, which is salted into
+    /// the collective's internal tags. Ranks start collectives on a
+    /// communicator in the same order (the MPI requirement), so the counters
+    /// agree across the group and concurrent collectives can never
+    /// cross-match.
+    coll_seq: u32,
+    /// Recovery-operation sequence numbers: every [`Comm::agree`] /
+    /// [`Comm::shrink`] draws the next number, keying the shared agreement
+    /// cells. Independent of the collective sequence space so recovery never
+    /// aliases ordinary collectives.
+    recovery_seq: u32,
+    /// Collective-operation counters of this communicator.
+    stats: CommCollStats,
+    /// Compiled plans of repeated collective shapes, so planning runs once
+    /// per (communicator, shape) instead of once per call. LRU-bounded by
+    /// [`CollTuning::plan_cache_entries`].
+    plans: PlanCache,
+    /// Process-failure error handler ([`ErrHandler::ErrorsAbort`] is the MPI
+    /// default).
+    errhandler: ErrHandler,
+}
+
+impl CommShard {
+    fn new(ctx: CtxId, comm_size: usize) -> Self {
+        CommShard {
+            ctx,
+            coll_seq: 0,
+            recovery_seq: 0,
+            stats: CommCollStats {
+                ctx,
+                comm_size,
+                ..CommCollStats::default()
+            },
+            plans: PlanCache::default(),
+            errhandler: ErrHandler::default(),
         }
     }
-}
 
-impl RankCore {
-    /// Draw the next collective sequence number for context `ctx`.
-    fn next_coll_seq(&mut self, ctx: CtxId) -> u32 {
-        let slot = self.coll_seq.entry(ctx).or_insert(0);
-        let seq = *slot;
-        *slot = slot.wrapping_add(1);
+    /// Draw the next collective sequence number.
+    fn next_coll_seq(&mut self) -> u32 {
+        let seq = self.coll_seq;
+        self.coll_seq = self.coll_seq.wrapping_add(1);
         seq
     }
+}
 
-    fn note_coll(&mut self, ctx: CtxId, comm_size: usize, op: CollOp, payload_bytes: u64) {
-        self.transport.record_collective(payload_bytes);
-        let entry = self.coll_stats.entry(ctx).or_insert(CommCollStats {
-            ctx,
-            comm_size,
-            ..CommCollStats::default()
-        });
-        entry.payload_bytes += payload_bytes;
-        match op {
-            CollOp::Barrier => entry.barriers += 1,
-            CollOp::Bcast => entry.bcasts += 1,
-            CollOp::Gather => entry.gathers += 1,
-            CollOp::Scatter => entry.scatters += 1,
-            CollOp::Allgather => entry.allgathers += 1,
-            CollOp::Reduce => entry.reduces += 1,
-            CollOp::Allreduce => entry.allreduces += 1,
-            CollOp::ReduceScatter => entry.reduce_scatters += 1,
-            CollOp::Scan => entry.scans += 1,
-            CollOp::Exscan => entry.exscans += 1,
-            CollOp::Alltoall => entry.alltoalls += 1,
-        }
+/// The state shared by every communicator handle of one rank. Lock order
+/// (outer to inner): request `OpCell` slot → [`CommShard`] → [`RankCtl`] →
+/// [`RankIo`]; nothing is ever acquired in the reverse direction, and the io
+/// lock is never held while taking any other.
+pub(crate) struct RankShared {
+    /// The transport + clock, i.e. the wire (the io lock).
+    io: Mutex<RankIo>,
+    /// Context-id allocator and algorithm telemetry.
+    ctl: Mutex<RankCtl>,
+    /// Registry of every live communicator shard, for rank-level reporting.
+    shards: Mutex<BTreeMap<CtxId, Arc<Mutex<CommShard>>>>,
+    /// Progress-engine counters (polls, ops serviced, overlap split) —
+    /// relaxed atomics, no lock.
+    pub(crate) counters: ProgressCounters,
+    /// The transport's live operation counters (shared atomics), so stats
+    /// reads and collective accounting skip the io lock.
+    tstats: Arc<TransportCounters>,
+    /// Universe failure state (cloned from the transport at construction).
+    pub(crate) poison: PoisonFlag,
+    pub(crate) topology: HostTopology,
+    /// Collective algorithm switchover thresholds (from the universe config).
+    pub(crate) tuning: CollTuning,
+    /// Progress-engine tuning (from the universe config).
+    pub(crate) progress_cfg: ProgressTuning,
+    /// The background progress engine (inert in [`ProgressMode::Polling`]).
+    pub(crate) engine: ProgressEngine,
+}
+
+impl RankShared {
+    /// Lock the io half, ignoring poisoning of the mutex itself (a rank
+    /// thread that panicked mid-hold has already raised the universe poison
+    /// flag, which every wait observes — the state behind the lock is a
+    /// transport whose operations are individually consistent).
+    pub(crate) fn io(&self) -> MutexGuard<'_, RankIo> {
+        self.io.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn ctl(&self) -> MutexGuard<'_, RankCtl> {
+        self.ctl.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The shard registered for `ctx` (created on demand — used by
+    /// communicator construction).
+    fn shard(&self, ctx: CtxId, comm_size: usize) -> Arc<Mutex<CommShard>> {
+        let mut shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            shards
+                .entry(ctx)
+                .or_insert_with(|| Arc::new(Mutex::new(CommShard::new(ctx, comm_size)))),
+        )
+    }
+
+    /// Per-communicator collective counters across every live shard.
     pub(crate) fn coll_stats_snapshot(&self) -> Vec<CommCollStats> {
-        self.coll_stats.values().copied().collect()
-    }
-
-    fn note_algo(&mut self, algo: &'static str, payload_bytes: u64) {
-        self.last_algo = algo;
-        *self.algo_counts.entry(algo).or_insert(0) += 1;
-        // Path accounting for the data-plane-eligible collective families:
-        // "<family>/shm" labels took the shared-window single-copy path,
-        // every other label of those families went through the ring
-        // transport (the universal fallback).
-        if algo.ends_with("/shm") {
-            self.dp_paths.shm_colls += 1;
-            self.dp_paths.shm_bytes += payload_bytes;
-        } else if ["bcast/", "reduce/", "allreduce/", "allgather/", "alltoall/"]
-            .iter()
-            .any(|p| algo.starts_with(p))
-        {
-            self.dp_paths.ring_colls += 1;
-            self.dp_paths.ring_bytes += payload_bytes;
-        }
+        let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+        shards
+            .values()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).stats)
+            .collect()
     }
 
     pub(crate) fn algo_counts_snapshot(&self) -> Vec<(String, u64)> {
-        self.algo_counts
+        self.ctl()
+            .algo_counts
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
             .collect()
@@ -273,7 +295,9 @@ impl RankCore {
     /// Aggregate plan-cache counters across every communicator of the rank.
     pub(crate) fn plan_cache_stats_snapshot(&self) -> PlanCacheStats {
         let mut s = PlanCacheStats::default();
-        for cache in self.plans.values() {
+        let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+        for shard in shards.values() {
+            let cache = &shard.lock().unwrap_or_else(|e| e.into_inner()).plans;
             s.hits += cache.hits;
             s.misses += cache.misses;
             s.evictions += cache.evictions;
@@ -291,22 +315,58 @@ impl RankCore {
     /// has no shared pool; pool exhaustion is graceful (the communicator
     /// simply stays on the ring path and the failure is counted in
     /// [`DataPlaneStats::window_failures`]).
-    fn ensure_data_plane(&mut self, ctx: CtxId, group: &[Rank]) -> Result<()> {
+    fn ensure_data_plane(&self, ctx: CtxId, group: &[Rank]) -> Result<()> {
         if self.tuning.data_plane == DataPlaneMode::Ring || group.len() < 2 {
             return Ok(());
         }
         let arena_bytes = self.tuning.shm_arena_bytes;
-        self.transport
-            .dp_ensure(&mut self.clock, ctx, group, arena_bytes, DP_SLOTS)?;
+        let io = &mut *self.io();
+        io.transport
+            .dp_ensure(&mut io.clock, ctx, group, arena_bytes, DP_SLOTS)?;
         Ok(())
     }
 
     /// Merged data-plane counters: the transport's window/op counters plus
     /// this rank's per-path collective accounting.
     pub(crate) fn data_plane_stats_snapshot(&self) -> DataPlaneStats {
-        let mut s = self.transport.dp_stats();
-        s.merge(&self.dp_paths);
+        let mut s = self.io().transport.dp_stats();
+        s.merge(&self.ctl().dp_paths);
         s
+    }
+
+    /// Transport operation counters (lock-free snapshot of the shared
+    /// atomics, merged with the transport's single-writer lazy-connection
+    /// counters which require the io lock).
+    pub(crate) fn transport_stats(&self) -> TransportStats {
+        self.io().transport.stats()
+    }
+}
+
+/// Rewrite a failure error onto communicator `ctx` and apply `errh`, the
+/// communicator's error handler.
+///
+/// [`MpiError::ProcFailed`] arrives from the failure state with a placeholder
+/// context of 0; this stamps the real context. Under
+/// [`ErrHandler::ErrorsAbort`] a survivable failure escalates to hard poison
+/// (universe abort, [`MpiError::PeerDead`]); under
+/// [`ErrHandler::ErrorsReturn`] it is returned as-is.
+/// [`MpiError::RankKilled`] — the fault injector terminating *this* rank —
+/// always passes through untouched so the runtime can record the death.
+fn apply_errhandler(poison: &PoisonFlag, errh: ErrHandler, ctx: CtxId, e: MpiError) -> MpiError {
+    let e = match e {
+        MpiError::ProcFailed { dead, detail, .. } => MpiError::ProcFailed { ctx, dead, detail },
+        other => other,
+    };
+    if !matches!(e, MpiError::ProcFailed { .. } | MpiError::Revoked(_)) {
+        return e;
+    }
+    match errh {
+        ErrHandler::ErrorsReturn => e,
+        ErrHandler::ErrorsAbort => {
+            let reason = e.to_string();
+            poison.poison(reason.clone());
+            MpiError::PeerDead(reason)
+        }
     }
 }
 
@@ -317,7 +377,10 @@ impl RankCore {
 /// All rank arguments and [`Status::source`] values are **local ranks** of
 /// this communicator's group.
 pub struct Comm {
-    core: Rc<RefCell<RankCore>>,
+    shared: Arc<RankShared>,
+    /// This communicator's progress shard (also registered in
+    /// [`RankShared::shards`]); handles of the same context share one shard.
+    shard: Arc<Mutex<CommShard>>,
     group: Arc<Group>,
     ctx: CtxId,
     /// This rank's local rank within `group`.
@@ -327,7 +390,7 @@ pub struct Comm {
     /// locally from `(group, topology)` — no communication — and therefore
     /// never stale; communicators created by `comm_dup`/`comm_split` start
     /// with an empty cache and re-derive against their own group.
-    hier: RefCell<Option<Rc<HostHierarchy>>>,
+    hier: Mutex<Option<Arc<HostHierarchy>>>,
 }
 
 impl Comm {
@@ -343,49 +406,71 @@ impl Comm {
     ) -> Result<Self> {
         let n = transport.size();
         let rank = transport.rank();
-        let mut core = RankCore {
-            transport,
-            clock: SimClock::new(),
+        let poison = transport.poison().clone();
+        let tstats = transport.stats_handle();
+        let shared = Arc::new(RankShared {
+            io: Mutex::new(RankIo {
+                transport,
+                clock: SimClock::new(),
+            }),
+            ctl: Mutex::new(RankCtl {
+                next_ctx: WORLD_CTX + 1,
+                last_algo: "none",
+                algo_counts: BTreeMap::new(),
+                dp_paths: DataPlaneStats::default(),
+            }),
+            shards: Mutex::new(BTreeMap::new()),
+            counters: ProgressCounters::default(),
+            tstats,
+            poison,
             topology,
             tuning,
             progress_cfg,
-            next_ctx: WORLD_CTX + 1,
-            coll_stats: BTreeMap::new(),
-            coll_seq: BTreeMap::new(),
-            progress: ProgressStats::default(),
-            plans: BTreeMap::new(),
-            last_algo: "none",
-            algo_counts: BTreeMap::new(),
-            dp_paths: DataPlaneStats::default(),
-            errhandlers: BTreeMap::new(),
-            recovery_seq: BTreeMap::new(),
-        };
+            engine: ProgressEngine::new(rank),
+        });
+        if shared.progress_cfg.mode == ProgressMode::Thread {
+            shared.engine.start(Arc::downgrade(&shared));
+        }
         let group = Group::world(n);
-        core.ensure_data_plane(WORLD_CTX, group.world_ranks())?;
+        shared.ensure_data_plane(WORLD_CTX, group.world_ranks())?;
+        let shard = shared.shard(WORLD_CTX, group.size());
         Ok(Comm {
-            core: Rc::new(RefCell::new(core)),
+            shared,
+            shard,
             group: Arc::new(group),
             ctx: WORLD_CTX,
             rank,
-            hier: RefCell::new(None),
+            hier: Mutex::new(None),
         })
+    }
+
+    /// Lock this communicator's progress shard.
+    fn shard(&self) -> MutexGuard<'_, CommShard> {
+        let guard = self.shard.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert_eq!(guard.ctx, self.ctx, "shard/handle context mismatch");
+        guard
+    }
+
+    /// Stop the background progress engine and join its thread (runtime
+    /// shutdown hook; no-op in [`ProgressMode::Polling`] or when already
+    /// stopped).
+    pub(crate) fn shutdown_engine(&self) {
+        self.shared.engine.shutdown();
     }
 
     /// The lazily cached host hierarchy of this communicator (see the field
     /// docs): derived on first use, shared by every collective afterwards.
-    fn hierarchy(&self) -> Rc<HostHierarchy> {
-        if let Some(h) = &*self.hier.borrow() {
-            return Rc::clone(h);
+    fn hierarchy(&self) -> Arc<HostHierarchy> {
+        let mut hier = self.hier.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = &*hier {
+            return Arc::clone(h);
         }
-        let derived = {
-            let core = self.core.borrow();
-            Rc::new(HostHierarchy::derive(
-                &self.group,
-                &core.topology,
-                self.rank,
-            ))
-        };
-        *self.hier.borrow_mut() = Some(Rc::clone(&derived));
+        let derived = Arc::new(HostHierarchy::derive(
+            &self.group,
+            &self.shared.topology,
+            self.rank,
+        ));
+        *hier = Some(Arc::clone(&derived));
         derived
     }
 
@@ -395,7 +480,7 @@ impl Comm {
     /// also what the data plane's topology-aware shapes slice payloads by,
     /// and those run under `Off` too. Derivation is pure, cached per
     /// communicator and miss-only (plan-cache hits never reach this).
-    fn hier_for_coll(&self) -> Option<Rc<HostHierarchy>> {
+    fn hier_for_coll(&self) -> Option<Arc<HostHierarchy>> {
         if self.group.size() < 2 {
             return None;
         }
@@ -403,11 +488,48 @@ impl Comm {
     }
 
     /// Rewrite a failure error onto this communicator and apply its error
-    /// handler (see [`apply_errhandler`]). For call sites that do not already
-    /// hold the rank-core borrow.
+    /// handler (see [`apply_errhandler`]). Takes the shard lock — call only
+    /// **after** dropping any io-lock guard.
     fn map_ft_err(&self, e: MpiError) -> MpiError {
-        let core = &mut *self.core.borrow_mut();
-        apply_errhandler(core, self.ctx, e)
+        apply_errhandler(&self.shared.poison, self.errhandler(), self.ctx, e)
+    }
+
+    /// Blocking send-only execution (non-root contributor of a rooted
+    /// collective). Runs under one io-lock hold: the transports drain
+    /// incoming traffic internally while flow-control spinning, so a send
+    /// cannot deadlock against this rank's own unconsumed messages.
+    fn run_send_only_exec(&self, exec: &mut Execution, payload: &[u8]) -> Result<()> {
+        let sent = {
+            let io = &mut *self.shared.io();
+            exec.run_send_only(io.transport.as_mut(), &mut io.clock, payload)
+        };
+        sent.map_err(|e| self.map_ft_err(e))
+    }
+
+    /// Drive `exec` to completion with a **lock-per-attempt** loop: each
+    /// iteration takes the rank's io lock for one bounded progress attempt and
+    /// releases it before backing off, so concurrent threads of this rank (and
+    /// the background progress engine) interleave at attempt granularity
+    /// instead of serializing behind one blocked collective.
+    fn run_exec(&self, exec: &mut Execution, buf: &mut [u8]) -> Result<()> {
+        let mut backoff = SpinWait::new();
+        loop {
+            let step = {
+                let io = &mut *self.shared.io();
+                exec.progress(io.transport.as_mut(), &mut io.clock, buf, 0)
+            };
+            let step = step.map_err(|e| self.map_ft_err(e))?;
+            if step.done {
+                return Ok(());
+            }
+            if step.ops > 0 {
+                backoff.reset();
+            } else {
+                backoff
+                    .wait(&self.shared.poison)
+                    .map_err(|e| self.map_ft_err(e))?;
+            }
+        }
     }
 
     /// Attribute a completion failure to the request at `index` in a
@@ -439,17 +561,12 @@ impl Comm {
     /// been revoked or a group member is recorded dead. Free in runs that
     /// never saw a fault-tolerance event — one atomic load.
     fn ft_precheck(&self) -> Result<()> {
-        let core = &mut *self.core.borrow_mut();
-        let poison = core.transport.poison().clone();
+        let poison = &self.shared.poison;
         if !poison.ft_active() {
             return Ok(());
         }
         if poison.is_revoked(self.ctx) {
-            return Err(apply_errhandler(
-                core,
-                self.ctx,
-                MpiError::Revoked(self.ctx),
-            ));
+            return Err(self.map_ft_err(MpiError::Revoked(self.ctx)));
         }
         let dead = poison.dead_ranks();
         if !dead.is_empty() {
@@ -466,15 +583,11 @@ impl Comm {
                     failed.len(),
                     self.group.size()
                 );
-                return Err(apply_errhandler(
-                    core,
-                    self.ctx,
-                    MpiError::ProcFailed {
-                        ctx: self.ctx,
-                        dead: failed,
-                        detail,
-                    },
-                ));
+                return Err(self.map_ft_err(MpiError::ProcFailed {
+                    ctx: self.ctx,
+                    dead: failed,
+                    detail,
+                }));
             }
         }
         Ok(())
@@ -490,70 +603,112 @@ impl Comm {
         &self,
         key: PlanKey,
         build: impl FnOnce(&CollTuning, Option<&HostHierarchy>, Option<DpWindow>) -> CollPlan,
-    ) -> Result<Rc<CollPlan>> {
+    ) -> Result<Arc<CollPlan>> {
         self.ft_precheck()?;
         // Probe first: the hit path pays one cache scan and nothing else.
-        // Hierarchy derivation (two more RefCell borrows + an Rc clone) is
-        // miss-only work — the built plan bakes the hierarchy decision in,
-        // and likewise the data-plane decision: the window is created (or
-        // definitively absent) at communicator construction, so its
-        // availability is fixed for the communicator's lifetime and safe to
-        // bake into cached plans.
-        {
-            let core = &mut *self.core.borrow_mut();
-            if let Some(plan) = core.plans.entry(self.ctx).or_default().lookup(&key) {
-                return Ok(plan);
-            }
+        // Hierarchy derivation (a lock + an Arc clone) is miss-only work —
+        // the built plan bakes the hierarchy decision in, and likewise the
+        // data-plane decision: the window is created (or definitively absent)
+        // at communicator construction, so its availability is fixed for the
+        // communicator's lifetime and safe to bake into cached plans.
+        if let Some(plan) = self.shard().plans.lookup(&key) {
+            return Ok(plan);
         }
         let hier = self.hier_for_coll();
-        let core = &mut *self.core.borrow_mut();
-        let tuning = core.tuning;
+        let tuning = self.shared.tuning;
         let dp = if tuning.data_plane == DataPlaneMode::Ring {
             None
         } else {
-            core.transport.dp_window(self.ctx)
+            self.shared.io().transport.dp_window(self.ctx)
         };
-        let plan = Rc::new(build(&tuning, hier.as_deref(), dp));
-        core.plans
-            .entry(self.ctx)
-            .or_default()
+        let plan = Arc::new(build(&tuning, hier.as_deref(), dp));
+        self.shard()
+            .plans
             .insert(key, &plan, tuning.plan_cache_entries);
         Ok(plan)
     }
 
     /// Aggregate plan-cache counters of this rank (hits, misses, evictions,
-    /// resident plans — across all communicators sharing the rank core; also
+    /// resident plans — across all communicators sharing the rank state; also
     /// surfaced in [`crate::runtime::RankReport::plan_cache`]).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.core.borrow().plan_cache_stats_snapshot()
+        self.shared.plan_cache_stats_snapshot()
     }
 
     /// Data-plane counters of this rank (across all communicators sharing
-    /// the rank core): shared-window setups and failures, single-copy
+    /// the rank state): shared-window setups and failures, single-copy
     /// expose/pull/notify operations, and the shm-vs-ring path split of the
     /// data-plane-eligible collectives. Also surfaced in
     /// [`crate::runtime::RankReport::data_plane`].
     pub fn data_plane_stats(&self) -> DataPlaneStats {
-        self.core.borrow().data_plane_stats_snapshot()
+        self.shared.data_plane_stats_snapshot()
     }
 
     /// Snapshot of the per-communicator collective counters accumulated by
-    /// this rank so far (across *all* communicators sharing the rank core).
+    /// this rank so far (across *all* communicators sharing the rank state).
     pub(crate) fn coll_stats_snapshot(&self) -> Vec<CommCollStats> {
-        self.core.borrow().coll_stats_snapshot()
+        self.shared.coll_stats_snapshot()
     }
 
     /// Label of the algorithm chosen by the most recent collective executed by
     /// this rank (any communicator), e.g. `"allreduce/rabenseifner"`. Returns
     /// `"none"` before the first collective.
     pub fn last_coll_algorithm(&self) -> &'static str {
-        self.core.borrow().last_algo
+        self.shared.ctl().last_algo
     }
 
     /// Snapshot of how often each collective algorithm was chosen by this rank
     /// (surfaced in [`crate::runtime::RankReport::coll_algos`]).
     pub(crate) fn algo_counts_snapshot(&self) -> Vec<(String, u64)> {
-        self.core.borrow().algo_counts_snapshot()
+        self.shared.algo_counts_snapshot()
+    }
+
+    /// Record a started collective: transport counters (atomics), this
+    /// communicator's op counters (shard lock). Takes no io lock.
+    fn note_coll(&self, op: CollOp, payload_bytes: u64) {
+        TransportCounters::bump(&self.shared.tstats.collectives, 1);
+        TransportCounters::bump(&self.shared.tstats.collective_bytes, payload_bytes);
+        let entry = &mut self.shard().stats;
+        entry.payload_bytes += payload_bytes;
+        match op {
+            CollOp::Barrier => entry.barriers += 1,
+            CollOp::Bcast => entry.bcasts += 1,
+            CollOp::Gather => entry.gathers += 1,
+            CollOp::Scatter => entry.scatters += 1,
+            CollOp::Allgather => entry.allgathers += 1,
+            CollOp::Reduce => entry.reduces += 1,
+            CollOp::Allreduce => entry.allreduces += 1,
+            CollOp::ReduceScatter => entry.reduce_scatters += 1,
+            CollOp::Scan => entry.scans += 1,
+            CollOp::Exscan => entry.exscans += 1,
+            CollOp::Alltoall => entry.alltoalls += 1,
+        }
+    }
+
+    /// Record the algorithm chosen for a started collective (ctl lock only).
+    fn note_algo(&self, algo: &'static str, payload_bytes: u64) {
+        let ctl = &mut *self.shared.ctl();
+        ctl.last_algo = algo;
+        *ctl.algo_counts.entry(algo).or_insert(0) += 1;
+        // Path accounting for the data-plane-eligible collective families:
+        // "<family>/shm" labels took the shared-window single-copy path,
+        // every other label of those families went through the ring
+        // transport (the universal fallback).
+        if algo.ends_with("/shm") {
+            ctl.dp_paths.shm_colls += 1;
+            ctl.dp_paths.shm_bytes += payload_bytes;
+        } else if ["bcast/", "reduce/", "allreduce/", "allgather/", "alltoall/"]
+            .iter()
+            .any(|p| algo.starts_with(p))
+        {
+            ctl.dp_paths.ring_colls += 1;
+            ctl.dp_paths.ring_bytes += payload_bytes;
+        }
+    }
+
+    /// Draw the next collective sequence number for this communicator.
+    fn next_seq(&self) -> u32 {
+        self.shard().next_coll_seq()
     }
 
     fn view(&self) -> CommView<'_> {
@@ -644,21 +799,34 @@ impl Comm {
         self.ctx
     }
 
+    /// The progress mode this rank runs under ([`ProgressMode::Thread`] means
+    /// a background engine thread drives outstanding nonblocking operations).
+    pub fn progress_mode(&self) -> ProgressMode {
+        self.shared.progress_cfg.mode
+    }
+
+    /// Whether the background progress engine thread is live for this rank
+    /// (crate-internal; the futures adapter uses it to choose between
+    /// engine-driven wakeups and self-waking polls).
+    pub(crate) fn engine_running(&self) -> bool {
+        self.shared.engine.is_running()
+    }
+
     /// Whether this communicator spans the entire universe.
     pub fn is_world(&self) -> bool {
-        let world_size = self.core.borrow().transport.size();
+        let world_size = self.shared.io().transport.size();
         self.group.is_world(world_size)
     }
 
     /// The host this rank runs on.
     pub fn host(&self) -> usize {
         let world = self.world_rank();
-        self.core.borrow().topology.host_of(world)
+        self.shared.topology.host_of(world)
     }
 
     /// The full host topology (indexed by world rank).
     pub fn topology(&self) -> HostTopology {
-        self.core.borrow().topology.clone()
+        self.shared.topology.clone()
     }
 
     /// Whether this rank is rank 0 of the communicator.
@@ -668,7 +836,7 @@ impl Comm {
 
     /// Transport label (for benchmark output).
     pub fn transport_label(&self) -> &'static str {
-        self.core.borrow().transport.label()
+        self.shared.io().transport.label()
     }
 
     // ------------------------------------------------------------------
@@ -677,24 +845,24 @@ impl Comm {
 
     /// Current virtual time of this rank, nanoseconds.
     pub fn clock_ns(&self) -> f64 {
-        self.core.borrow().clock.now()
+        self.shared.io().clock.now()
     }
 
     /// Charge `ns` nanoseconds of local computation to the virtual clock.
     pub fn advance_clock(&mut self, ns: f64) {
-        self.core.borrow_mut().clock.advance(ns);
+        self.shared.io().clock.advance(ns);
     }
 
     /// Transport operation counters (shared by every communicator of the
     /// rank).
     pub fn stats(&self) -> TransportStats {
-        self.core.borrow().transport.stats()
+        self.shared.transport_stats()
     }
 
     /// Tell the contention / NIC-sharing models how many communication pairs
     /// are concurrently active (benchmarks set this to their process count).
     pub fn set_concurrency_hint(&mut self, pairs: usize) {
-        self.core.borrow_mut().transport.set_concurrency_hint(pairs);
+        self.shared.io().transport.set_concurrency_hint(pairs);
     }
 
     // ------------------------------------------------------------------
@@ -708,15 +876,15 @@ impl Comm {
     pub fn comm_dup(&mut self) -> Result<Comm> {
         self.ft_precheck()?;
         let hier = self.hier_for_coll();
-        let new_ctx = {
-            let core = &mut *self.core.borrow_mut();
-            let view = self.view();
-            let mut proposal = [core.next_ctx as u64];
-            let tuning = core.tuning;
-            let seq = core.next_coll_seq(self.ctx);
-            let algo = coll::allreduce(
-                core.transport.as_mut(),
-                &mut core.clock,
+        let view = self.view();
+        let tuning = self.shared.tuning;
+        let seq = self.next_seq();
+        let mut proposal = [self.shared.ctl().next_ctx as u64];
+        let algo = {
+            let io = &mut *self.shared.io();
+            coll::allreduce(
+                io.transport.as_mut(),
+                &mut io.clock,
                 &view,
                 &tuning,
                 hier.as_deref(),
@@ -724,20 +892,22 @@ impl Comm {
                 &mut proposal,
                 ReduceOp::Max,
             )
-            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
-            let agreed = proposal[0] as CtxId;
-            core.next_ctx = agreed + 1;
-            core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, 8);
-            core.note_algo(algo, 8);
-            core.ensure_data_plane(agreed, self.group.world_ranks())?;
-            agreed
-        };
+        }
+        .map_err(|e| self.map_ft_err(e))?;
+        let new_ctx = proposal[0] as CtxId;
+        self.shared.ctl().next_ctx = new_ctx + 1;
+        self.note_coll(CollOp::Allreduce, 8);
+        self.note_algo(algo, 8);
+        self.shared
+            .ensure_data_plane(new_ctx, self.group.world_ranks())?;
+        let shard = self.shared.shard(new_ctx, self.group.size());
         Ok(Comm {
-            core: Rc::clone(&self.core),
+            shared: Arc::clone(&self.shared),
+            shard,
             group: Arc::clone(&self.group),
             ctx: new_ctx,
             rank: self.rank,
-            hier: RefCell::new(self.hier.borrow().clone()),
+            hier: Mutex::new(self.hier.lock().unwrap_or_else(|e| e.into_inner()).clone()),
         })
     }
 
@@ -750,15 +920,15 @@ impl Comm {
         let n = self.group.size();
         let mut gathered = vec![0i64; 3 * n];
         let hier = self.hier_for_coll();
-        let new_ctx = {
-            let core = &mut *self.core.borrow_mut();
-            let view = self.view();
-            let mine = [color as i64, key as i64, core.next_ctx as i64];
-            let tuning = core.tuning;
-            let seq = core.next_coll_seq(self.ctx);
-            let algo = coll::allgather_into(
-                core.transport.as_mut(),
-                &mut core.clock,
+        let view = self.view();
+        let tuning = self.shared.tuning;
+        let seq = self.next_seq();
+        let mine = [color as i64, key as i64, self.shared.ctl().next_ctx as i64];
+        let algo = {
+            let io = &mut *self.shared.io();
+            coll::allgather_into(
+                io.transport.as_mut(),
+                &mut io.clock,
                 &view,
                 &tuning,
                 hier.as_deref(),
@@ -766,20 +936,19 @@ impl Comm {
                 &mine,
                 &mut gathered,
             )
-            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
-            core.note_algo(algo, 24);
-            // Agree on a context id unused by every member (max of proposals);
-            // all colors of this split share it — their groups are disjoint,
-            // so their (source, destination) pairs already are.
-            let agreed = gathered
-                .chunks_exact(3)
-                .map(|c| c[2])
-                .max()
-                .expect("split gathered at least this rank") as CtxId;
-            core.next_ctx = agreed + 1;
-            core.note_coll(self.ctx, n, CollOp::Allgather, 24);
-            agreed
-        };
+        }
+        .map_err(|e| self.map_ft_err(e))?;
+        self.note_algo(algo, 24);
+        // Agree on a context id unused by every member (max of proposals);
+        // all colors of this split share it — their groups are disjoint,
+        // so their (source, destination) pairs already are.
+        let new_ctx = gathered
+            .chunks_exact(3)
+            .map(|c| c[2])
+            .max()
+            .expect("split gathered at least this rank") as CtxId;
+        self.shared.ctl().next_ctx = new_ctx + 1;
+        self.note_coll(CollOp::Allgather, 24);
         if color < 0 {
             return Ok(None);
         }
@@ -804,15 +973,16 @@ impl Comm {
         // the context id get distinct windows because the window objects are
         // named after (ctx, leader world rank). Ranks that opted out
         // (negative color) already returned above and are not waited on.
-        self.core
-            .borrow_mut()
+        self.shared
             .ensure_data_plane(new_ctx, group.world_ranks())?;
+        let shard = self.shared.shard(new_ctx, group.size());
         Ok(Some(Comm {
-            core: Rc::clone(&self.core),
+            shared: Arc::clone(&self.shared),
+            shard,
             group,
             ctx: new_ctx,
             rank: my_local,
-            hier: RefCell::new(None),
+            hier: Mutex::new(None),
         }))
     }
 
@@ -863,17 +1033,12 @@ impl Comm {
     /// default to [`ErrHandler::ErrorsAbort`]; [`Comm::shrink`] carries the
     /// parent's handler onto the shrunk communicator.
     pub fn set_errhandler(&mut self, handler: ErrHandler) {
-        self.core.borrow_mut().errhandlers.insert(self.ctx, handler);
+        self.shard().errhandler = handler;
     }
 
     /// This communicator's current process-failure error handler.
     pub fn errhandler(&self) -> ErrHandler {
-        self.core
-            .borrow()
-            .errhandlers
-            .get(&self.ctx)
-            .copied()
-            .unwrap_or_default()
+        self.shard().errhandler
     }
 
     /// Acknowledge every failure this rank has observed so far
@@ -884,8 +1049,7 @@ impl Comm {
     /// watermark is per rank (all communicator handles of the rank share it),
     /// matching ULFM.
     pub fn failure_ack(&mut self) -> Vec<Rank> {
-        let core = self.core.borrow();
-        let dead = core.transport.poison().ack_failures();
+        let dead = self.shared.poison.ack_failures();
         dead.iter()
             .filter_map(|w| self.group.local_rank_of(*w))
             .collect()
@@ -900,16 +1064,13 @@ impl Comm {
     /// permanent for the context. Also drops this communicator's cached
     /// plans (counted in [`PlanCacheStats::invalidations`]).
     pub fn revoke(&mut self) {
-        {
-            let core = self.core.borrow();
-            core.transport.poison().revoke(self.ctx);
-        }
+        self.shared.poison.revoke(self.ctx);
         self.invalidate_plans();
     }
 
     /// Whether this communicator's context has been revoked by any member.
     pub fn is_revoked(&self) -> bool {
-        self.core.borrow().transport.poison().is_revoked(self.ctx)
+        self.shared.poison.is_revoked(self.ctx)
     }
 
     /// Drop every cached collective plan of this communicator, returning how
@@ -918,8 +1079,7 @@ impl Comm {
     /// [`Comm::shrink`]; public so applications embedding their own recovery
     /// can force re-planning after membership or topology changes.
     pub fn invalidate_plans(&mut self) -> usize {
-        let core = &mut *self.core.borrow_mut();
-        core.plans.get_mut(&self.ctx).map_or(0, |c| c.invalidate())
+        self.shard().plans.invalidate()
     }
 
     /// Fault-tolerant agreement (`MPI_Comm_agree`): returns the bitwise AND
@@ -941,14 +1101,14 @@ impl Comm {
     /// communicators sharing one context id (possible after `comm_split`)
     /// must not run recovery concurrently, as their cells would alias.
     fn agree_inner(&mut self, flag: u64, proposal: u64) -> Result<(u64, u64, Vec<Rank>)> {
-        let (poison, seq) = {
-            let core = &mut *self.core.borrow_mut();
-            let slot = core.recovery_seq.entry(self.ctx).or_insert(0);
-            let seq = *slot;
-            *slot = slot.wrapping_add(1);
-            (core.transport.poison().clone(), seq)
+        let seq = {
+            let shard = &mut *self.shard();
+            let seq = shard.recovery_seq;
+            shard.recovery_seq = shard.recovery_seq.wrapping_add(1);
+            seq
         };
-        poison
+        self.shared
+            .poison
             .agree(self.ctx, seq, self.group.world_ranks(), flag, proposal)
             .map_err(|e| self.map_ft_err(e))
     }
@@ -976,11 +1136,10 @@ impl Comm {
     /// its epoch snapshot surface as [`MpiError::ProcFailed`] on the *new*
     /// communicator, which can be shrunk again.
     pub fn shrink(&mut self) -> Result<Comm> {
-        let poison = self.core.borrow().transport.poison().clone();
-        poison.ack_failures();
-        poison.revoke(self.ctx);
+        self.shared.poison.ack_failures();
+        self.shared.poison.revoke(self.ctx);
         self.invalidate_plans();
-        let proposal = self.core.borrow().next_ctx as u64;
+        let proposal = self.shared.ctl().next_ctx as u64;
         let (_, agreed, dead) = self.agree_inner(u64::MAX, proposal)?;
         let new_ctx = agreed as CtxId;
         let survivors: Vec<Rank> = self
@@ -994,26 +1153,28 @@ impl Comm {
         let my_local = group.local_rank_of(self.world_rank()).ok_or_else(|| {
             MpiError::InvalidCommunicator("shrink called by a rank recorded dead".into())
         })?;
+        self.shared.ctl().next_ctx = new_ctx + 1;
         {
-            let core = &mut *self.core.borrow_mut();
-            core.next_ctx = new_ctx + 1;
+            let io = &mut *self.shared.io();
             for w in &dead {
                 if let Some(idx) = self.group.local_rank_of(*w) {
-                    core.transport
-                        .dp_write_off(&mut core.clock, self.ctx, idx)?;
+                    io.transport.dp_write_off(&mut io.clock, self.ctx, idx)?;
                 }
             }
-            let handler = core.errhandlers.get(&self.ctx).copied().unwrap_or_default();
-            core.errhandlers.insert(new_ctx, handler);
-            core.ensure_data_plane(new_ctx, group.world_ranks())
-                .map_err(|e| apply_errhandler(core, new_ctx, e))?;
         }
+        let handler = self.errhandler();
+        let shard = self.shared.shard(new_ctx, group.size());
+        shard.lock().unwrap_or_else(|e| e.into_inner()).errhandler = handler;
+        self.shared
+            .ensure_data_plane(new_ctx, group.world_ranks())
+            .map_err(|e| apply_errhandler(&self.shared.poison, handler, new_ctx, e))?;
         Ok(Comm {
-            core: Rc::clone(&self.core),
+            shared: Arc::clone(&self.shared),
+            shard,
             group,
             ctx: new_ctx,
             rank: my_local,
-            hier: RefCell::new(None),
+            hier: Mutex::new(None),
         })
     }
 
@@ -1026,54 +1187,65 @@ impl Comm {
     pub fn send(&mut self, dst: Rank, tag: Tag, data: &[u8]) -> Result<()> {
         Self::check_user_tag(tag)?;
         let dst = self.world_of(dst)?;
-        let core = &mut *self.core.borrow_mut();
         // A send to a recorded-dead rank fails immediately (ULFM
         // `MPI_ERR_PROC_FAILED` on point-to-point) instead of filling a ring
         // nobody will ever drain.
-        let dead_target = {
-            let poison = core.transport.poison();
-            poison.ft_active() && poison.is_dead(dst)
-        };
-        if dead_target {
-            return Err(apply_errhandler(
-                core,
-                self.ctx,
-                MpiError::ProcFailed {
-                    ctx: self.ctx,
-                    dead: vec![dst],
-                    detail: format!("send targets world rank {dst}, which is recorded dead"),
-                },
-            ));
+        let poison = &self.shared.poison;
+        if poison.ft_active() && poison.is_dead(dst) {
+            return Err(self.map_ft_err(MpiError::ProcFailed {
+                ctx: self.ctx,
+                dead: vec![dst],
+                detail: format!("send targets world rank {dst}, which is recorded dead"),
+            }));
         }
-        core.transport
-            .send(&mut core.clock, dst, self.ctx, tag, data)
-            .map_err(|e| apply_errhandler(core, self.ctx, e))
+        let sent = {
+            let io = &mut *self.shared.io();
+            io.transport.send(&mut io.clock, dst, self.ctx, tag, data)
+        };
+        sent.map_err(|e| self.map_ft_err(e))
     }
 
-    /// Blocking receive into `buf`; returns the completion status.
+    /// Blocking receive into `buf`; returns the completion status. Waits with
+    /// a lock-per-attempt loop (one `try_recv_into` per io-lock hold), so
+    /// other threads of this rank keep progressing between attempts.
     pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>, buf: &mut [u8]) -> Result<Status> {
         Self::check_user_tag_sel(tag)?;
         let src = src.map(|s| self.world_of(s)).transpose()?;
-        let status = {
-            let core = &mut *self.core.borrow_mut();
-            core.transport
-                .recv_into(&mut core.clock, self.ctx, src, tag, buf)
-                .map_err(|e| apply_errhandler(core, self.ctx, e))?
-        };
-        self.localize(status)
+        let mut backoff = SpinWait::new();
+        loop {
+            let found = {
+                let io = &mut *self.shared.io();
+                io.transport
+                    .try_recv_into(&mut io.clock, self.ctx, src, tag, buf)
+            };
+            match found.map_err(|e| self.map_ft_err(e))? {
+                Some(status) => return self.localize(status),
+                None => backoff
+                    .wait(&self.shared.poison)
+                    .map_err(|e| self.map_ft_err(e))?,
+            }
+        }
     }
 
-    /// Blocking receive returning an owned payload.
+    /// Blocking receive returning an owned payload (lock-per-attempt, as
+    /// [`Comm::recv`]).
     pub fn recv_owned(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<(Status, Vec<u8>)> {
         Self::check_user_tag_sel(tag)?;
         let src = src.map(|s| self.world_of(s)).transpose()?;
-        let (status, data) = {
-            let core = &mut *self.core.borrow_mut();
-            core.transport
-                .recv_owned(&mut core.clock, self.ctx, src, tag)
-                .map_err(|e| apply_errhandler(core, self.ctx, e))?
-        };
-        Ok((self.localize(status)?, data))
+        let mut backoff = SpinWait::new();
+        loop {
+            let found = {
+                let io = &mut *self.shared.io();
+                io.transport
+                    .try_recv_owned(&mut io.clock, self.ctx, src, tag)
+            };
+            match found.map_err(|e| self.map_ft_err(e))? {
+                Some((status, data)) => return Ok((self.localize(status)?, data)),
+                None => backoff
+                    .wait(&self.shared.poison)
+                    .map_err(|e| self.map_ft_err(e))?,
+            }
+        }
     }
 
     /// Non-blocking receive attempt returning an owned payload.
@@ -1085,9 +1257,9 @@ impl Comm {
         Self::check_user_tag_sel(tag)?;
         let src = src.map(|s| self.world_of(s)).transpose()?;
         let found = {
-            let core = &mut *self.core.borrow_mut();
-            core.transport
-                .try_recv_owned(&mut core.clock, self.ctx, src, tag)?
+            let io = &mut *self.shared.io();
+            io.transport
+                .try_recv_owned(&mut io.clock, self.ctx, src, tag)?
         };
         match found {
             Some((status, data)) => Ok(Some((self.localize(status)?, data))),
@@ -1153,48 +1325,81 @@ impl Comm {
         during_wait: bool,
     ) -> Result<(Option<Status>, usize)> {
         self.check_request_ctx(request)?;
-        let (done, ops) = {
-            let core = &mut *self.core.borrow_mut();
+        let cell = Arc::clone(request.coll.as_ref().expect("collective request has cell"));
+        debug_assert_eq!(cell.ctx(), request.ctx, "cell/request context mismatch");
+        let counters = &self.shared.counters;
+        if during_wait {
+            ProgressCounters::add(&counters.wait_polls, 1);
+        } else {
+            ProgressCounters::add(&counters.test_polls, 1);
+        }
+        let mut slot = cell.lock();
+        let mut ops = 0usize;
+        if slot.outcome.is_none() {
+            if self.shared.engine.is_running() {
+                // The background engine owns progress in Thread mode: this
+                // poll merely observes (and the fast path above it, the
+                // `done` flag, is one atomic load).
+                return Ok((None, 0));
+            }
             let budget = if during_wait {
                 0
             } else {
-                core.progress_cfg.max_ops_per_poll
+                self.shared.progress_cfg.max_ops_per_poll
             };
-            let state = request.coll.as_mut().expect("collective request has state");
-            let step = state
-                .progress(core.transport.as_mut(), &mut core.clock, budget)
-                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+            let state = slot.state.as_mut().expect("pending collective has state");
+            let step = {
+                let io = &mut *self.shared.io();
+                state.progress(io.transport.as_mut(), &mut io.clock, budget)
+            };
+            let step = match step {
+                Ok(step) => step,
+                Err(e) => {
+                    drop(slot);
+                    return Err(self.map_ft_err(e));
+                }
+            };
+            ops = step.ops;
             if during_wait {
-                core.progress.wait_polls += 1;
-                core.progress.ops_in_wait += step.ops as u64;
+                ProgressCounters::add(&counters.ops_in_wait, ops as u64);
             } else {
-                core.progress.test_polls += 1;
-                core.progress.ops_in_test += step.ops as u64;
+                ProgressCounters::add(&counters.ops_in_test, ops as u64);
             }
-            if step.done {
-                core.progress.colls_completed += 1;
+            if !step.done {
+                return Ok((None, ops));
             }
-            (step.done, step.ops)
-        };
-        if !done {
-            return Ok((None, ops));
+            ProgressCounters::add(&counters.colls_completed, 1);
+            let status = state.completion_status();
+            cell.complete(&mut slot, Ok(status));
         }
-        if request.is_persistent() {
-            // Persistent completion keeps the execution state and buffers:
-            // the request stays restartable, and the result is read in place
-            // via `Request::read_result`.
-            let status = request
-                .coll
-                .as_ref()
-                .expect("persistent request has state")
-                .completion_status();
-            request.fulfill_in_place(status);
-            return Ok((Some(status), ops));
+        // Terminal: finalize into the request. Errors were published raw by
+        // whoever drove the final step; map them through this communicator's
+        // error handler here (identical observable behavior in both modes).
+        match slot.outcome.clone().expect("terminal cell has outcome") {
+            Err(e) => {
+                drop(slot);
+                Err(self.map_ft_err(e))
+            }
+            Ok(status) => {
+                if request.is_persistent() {
+                    // Persistent completion keeps the execution state and
+                    // buffers: the request stays restartable, and the result
+                    // is read in place via `Request::read_result`.
+                    drop(slot);
+                    request.fulfill_in_place(status);
+                    Ok((Some(status), ops))
+                } else {
+                    let state = slot.state.take().expect("one-shot result not yet consumed");
+                    drop(slot);
+                    let (status, data) = state.finish();
+                    request.fulfill(status, data);
+                    // Drop the cell: the request is spent (algorithm label
+                    // cleared, engine queue prunes the inactive cell).
+                    request.coll = None;
+                    Ok((Some(status), ops))
+                }
+            }
         }
-        let state = request.coll.take().expect("collective request has state");
-        let (status, data) = state.finish();
-        request.fulfill(status, data);
-        Ok((Some(status), ops))
     }
 
     /// One non-blocking completion attempt for a pending request (receive or
@@ -1208,8 +1413,7 @@ impl Comm {
     /// still delivered first (ULFM: failure does not discard delivered data).
     fn dead_source_err(&self, src: Option<Rank>) -> Option<MpiError> {
         let src = src?;
-        let core = self.core.borrow();
-        let poison = core.transport.poison();
+        let poison = &self.shared.poison;
         if poison.ft_active() && poison.is_dead(src) {
             Some(MpiError::ProcFailed {
                 ctx: self.ctx,
@@ -1232,9 +1436,9 @@ impl Comm {
         if request.is_buffered() {
             let mut buf = request.take_buffer().expect("buffered request has buffer");
             let found = {
-                let core = &mut *self.core.borrow_mut();
-                core.transport.try_recv_into(
-                    &mut core.clock,
+                let io = &mut *self.shared.io();
+                io.transport.try_recv_into(
+                    &mut io.clock,
                     self.ctx,
                     request.src,
                     request.tag,
@@ -1267,9 +1471,9 @@ impl Comm {
             };
         }
         let found = {
-            let core = &mut *self.core.borrow_mut();
-            core.transport
-                .try_recv_owned(&mut core.clock, self.ctx, request.src, request.tag)?
+            let io = &mut *self.shared.io();
+            io.transport
+                .try_recv_owned(&mut io.clock, self.ctx, request.src, request.tag)?
         };
         match found {
             Some((status, data)) => {
@@ -1298,60 +1502,190 @@ impl Comm {
             RequestState::RecvPending => {
                 self.check_request_ctx(request)?;
                 if request.is_coll() {
-                    // Drive the collective's schedule to completion with
-                    // tiered backoff; a poisoned universe aborts the wait
-                    // with `PeerDead` instead of parking forever. Partial
-                    // progress restarts the backoff escalation so a steadily
-                    // advancing schedule never degrades to parked sleeps.
-                    let poison = self.core.borrow().transport.poison().clone();
-                    let mut backoff = crate::spin::SpinWait::new();
-                    loop {
-                        let (status, ops) = self.progress_coll(request, true)?;
-                        if let Some(status) = status {
-                            return Ok(status);
-                        }
-                        if ops > 0 {
-                            backoff.reset();
-                        }
-                        backoff.wait(&poison).map_err(|e| self.map_ft_err(e))?;
+                    if self.shared.engine.is_running() {
+                        // Thread mode: the engine drives; this thread parks
+                        // on the cell's waiter registry and is unparked by a
+                        // directed token the instant the engine publishes
+                        // completion. The escalation timeout only bounds
+                        // lost-wakeup latency.
+                        self.wait_engine_managed(request)?;
+                        let (status, _) = self.progress_coll(request, true)?;
+                        return status.ok_or(MpiError::StaleRequest);
                     }
+                    return self.wait_polling(request);
                 }
                 if request.is_buffered() {
+                    // Lock-per-attempt wait on the buffered receive.
                     let mut buf = request.take_buffer().expect("buffered request has buffer");
-                    let status = {
-                        let core = &mut *self.core.borrow_mut();
-                        core.transport.recv_into(
-                            &mut core.clock,
-                            self.ctx,
-                            request.src,
-                            request.tag,
-                            &mut buf,
-                        )
-                    };
-                    // An error here consumed the message and dropped the
-                    // posted buffer: spend the request so a retry reports
-                    // StaleRequest instead of blocking in the wrong path.
-                    let status = match status.and_then(|s| self.localize(s)) {
-                        Ok(s) => s,
-                        Err(e) => {
-                            request.mark_failed();
-                            return Err(self.map_ft_err(e));
+                    let mut backoff = SpinWait::new();
+                    let status = loop {
+                        let found = {
+                            let io = &mut *self.shared.io();
+                            io.transport.try_recv_into(
+                                &mut io.clock,
+                                self.ctx,
+                                request.src,
+                                request.tag,
+                                &mut buf,
+                            )
+                        };
+                        // An error here consumed the message and dropped the
+                        // posted buffer: spend the request so a retry reports
+                        // StaleRequest instead of blocking in the wrong path.
+                        match found.and_then(|s| s.map(|s| self.localize(s)).transpose()) {
+                            Ok(Some(s)) => break s,
+                            Ok(None) => {
+                                // Stalled on the sender: opportunistically
+                                // drive outstanding collectives meanwhile.
+                                if let Some(ops) =
+                                    self.shared.engine.poll_siblings(&self.shared, None)
+                                {
+                                    if ops > 0 {
+                                        backoff.reset();
+                                    }
+                                }
+                                if let Err(e) = backoff.wait(&self.shared.poison) {
+                                    request.mark_failed();
+                                    return Err(self.map_ft_err(e));
+                                }
+                            }
+                            Err(e) => {
+                                request.mark_failed();
+                                return Err(self.map_ft_err(e));
+                            }
                         }
                     };
                     request.fulfill_buffered(status, buf);
                     return Ok(status);
                 }
-                let (status, data) = {
-                    let core = &mut *self.core.borrow_mut();
-                    core.transport
-                        .recv_owned(&mut core.clock, self.ctx, request.src, request.tag)
-                        .map_err(|e| apply_errhandler(core, self.ctx, e))?
+                let mut backoff = SpinWait::new();
+                let (status, data) = loop {
+                    let found = {
+                        let io = &mut *self.shared.io();
+                        io.transport.try_recv_owned(
+                            &mut io.clock,
+                            self.ctx,
+                            request.src,
+                            request.tag,
+                        )
+                    };
+                    match found.map_err(|e| self.map_ft_err(e))? {
+                        Some(found) => break found,
+                        None => {
+                            // Stalled on the sender: opportunistically drive
+                            // outstanding collectives meanwhile.
+                            if let Some(ops) = self.shared.engine.poll_siblings(&self.shared, None)
+                            {
+                                if ops > 0 {
+                                    backoff.reset();
+                                }
+                            }
+                            backoff
+                                .wait(&self.shared.poison)
+                                .map_err(|e| self.map_ft_err(e))?;
+                        }
+                    }
                 };
                 let status = self.localize(status)?;
                 request.fulfill(status, data);
                 Ok(status)
             }
         }
+    }
+
+    /// Polling-mode terminal wait on a collective request. Drives this
+    /// request's own schedule; whenever it stalls on remote peers, also
+    /// drives **every other outstanding operation** of the rank
+    /// (cross-communicator opportunistic progress — the `opal_progress`
+    /// idiom). At most one thread per rank sweeps at a time: the first
+    /// stalled waiter takes the poller token and batches everyone's schedule
+    /// work into its scheduling quantum, completing sibling cells and waking
+    /// their waiters by directed unpark; threads that lose the token park on
+    /// their own cell instead of contending for the io lock. A poisoned
+    /// universe aborts the wait instead of parking forever, and partial
+    /// progress restarts the backoff escalation so a steadily advancing
+    /// schedule never degrades to parked sleeps.
+    fn wait_polling(&mut self, request: &mut Request) -> Result<Status> {
+        let cell = Arc::clone(request.coll.as_ref().expect("collective request has cell"));
+        // Idempotent re-registration: covers requests started before a
+        // registry prune dropped them (e.g. after an error elsewhere).
+        self.shared.engine.enqueue(Arc::clone(&cell));
+        let mut backoff = SpinWait::new();
+        let out = loop {
+            // Fast path: completion already published — by a sibling poller,
+            // a prior test, or the p2p-wait sweep. One atomic load.
+            if cell.is_done() {
+                match self.progress_coll(request, true) {
+                    Err(e) => break Err(e),
+                    Ok((Some(status), _)) => break Ok(status),
+                    Ok((None, _)) => continue,
+                }
+            }
+            if self.shared.engine.try_poller() {
+                // This thread is the rank's poller: drive its own schedule
+                // and every sibling's, batching all outstanding work into
+                // one scheduling quantum on the io lock.
+                let own = self.progress_coll(request, true);
+                let sibling_ops = self.shared.engine.drive_siblings(&self.shared, Some(&cell));
+                self.shared.engine.release_poller();
+                match own {
+                    Err(e) => break Err(e),
+                    Ok((Some(status), _)) => break Ok(status),
+                    Ok((None, ops)) => {
+                        if ops + sibling_ops > 0 {
+                            backoff.reset();
+                        }
+                        if let Err(e) = backoff.wait(&self.shared.poison) {
+                            break Err(self.map_ft_err(e));
+                        }
+                    }
+                }
+            } else {
+                // Another thread of this rank holds the poller token: it
+                // drives this cell too and unparks us the moment completion
+                // is published. Register, re-check, park — no spinning, no
+                // io-lock contention; the park timeout is only a safety net
+                // against a poller that left without a hand-off. (Each wake
+                // drains the registration, so re-register every lap.)
+                cell.waiter().register();
+                if !cell.is_done() {
+                    if let Err(e) = SpinWait::park_registered(&self.shared.poison) {
+                        break Err(self.map_ft_err(e));
+                    }
+                }
+            }
+        };
+        cell.waiter().deregister();
+        // This waiter leaving may leave the rank with no poller: wake one
+        // still-pending sibling so it promptly takes over the token rather
+        // than sleeping out its park timeout.
+        self.shared.engine.handoff(&cell);
+        out
+    }
+
+    /// Thread-mode terminal wait on an engine-managed collective request:
+    /// register on the cell's waiter list, re-check the completion flag, and
+    /// park until the engine's directed unpark (see [`WaitCell`]). The
+    /// caller finalizes via [`Comm::progress_coll`] afterwards.
+    fn wait_engine_managed(&mut self, request: &mut Request) -> Result<()> {
+        let cell = Arc::clone(request.coll.as_ref().expect("collective request has cell"));
+        // Idempotent: `start`/`start_coll` already enqueued the cell; this
+        // covers requests created before the engine started.
+        self.shared.engine.enqueue(Arc::clone(&cell));
+        let counters = &self.shared.counters;
+        let mut backoff = SpinWait::new();
+        cell.waiter().register();
+        let waited = loop {
+            if cell.is_done() {
+                break Ok(());
+            }
+            ProgressCounters::add(&counters.wait_polls, 1);
+            if let Err(e) = backoff.wait_registered(&self.shared.poison) {
+                break Err(e);
+            }
+        };
+        cell.waiter().deregister();
+        waited.map_err(|e| self.map_ft_err(e))
     }
 
     /// Test a request for completion without blocking.
@@ -1372,8 +1706,8 @@ impl Comm {
     /// deadlocking. Errors with [`MpiError::StaleRequest`] if any request was
     /// already consumed.
     pub fn wait_all(&mut self, requests: &mut [Request]) -> Result<Vec<Status>> {
-        let poison = self.core.borrow().transport.poison().clone();
-        let mut backoff = crate::spin::SpinWait::new();
+        let poison = self.shared.poison.clone();
+        let mut backoff = SpinWait::new();
         loop {
             let mut all_done = true;
             let mut progressed = false;
@@ -1433,8 +1767,8 @@ impl Comm {
     /// Errors with [`MpiError::StaleRequest`] if the slice is empty or every
     /// request has been consumed.
     pub fn wait_any(&mut self, requests: &mut [Request]) -> Result<(usize, Status)> {
-        let poison = self.core.borrow().transport.poison().clone();
-        let mut backoff = crate::spin::SpinWait::new();
+        let poison = self.shared.poison.clone();
+        let mut backoff = SpinWait::new();
         loop {
             match self.poll_any(requests, true)? {
                 PollAny::Ready(i, status) => return Ok((i, status)),
@@ -1576,16 +1910,21 @@ impl Comm {
     /// dissemination, per-host fan-out) when the topology gates select it.
     pub fn barrier(&mut self) -> Result<()> {
         self.ft_precheck()?;
-        let is_world = self.group.is_world(self.core.borrow().transport.size());
-        let algo = if is_world {
-            let core = &mut *self.core.borrow_mut();
+        // The transport's sequence barrier is a single rank-wide rendezvous
+        // object: only the **world context** may use it. A same-group
+        // duplicate of world runs the plan-based path instead — two threads
+        // concurrently barriering on world and a world-spanning duplicate
+        // must not cross-match on one shared flag array.
+        let algo = if self.ctx == WORLD_CTX {
             // Still draws a sequence number: every collective start on a
             // context consumes one, so the counters agree across ranks no
             // matter which barrier implementation a communicator uses.
-            let _seq = core.next_coll_seq(self.ctx);
-            core.transport
-                .barrier(&mut core.clock)
-                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+            let _seq = self.next_seq();
+            let entered = {
+                let io = &mut *self.shared.io();
+                io.transport.barrier(&mut io.clock)
+            };
+            entered.map_err(|e| self.map_ft_err(e))?;
             "barrier/sequence"
         } else {
             let view = self.view();
@@ -1593,16 +1932,13 @@ impl Comm {
                 .cached_plan(PlanKey::shaped(PlanOp::Barrier, 0), |tuning, hier, _| {
                     coll::build_barrier(&view, tuning, hier)
                 })?;
-            let core = &mut *self.core.borrow_mut();
-            let seq = core.next_coll_seq(self.ctx);
-            let mut exec = Execution::new(Rc::clone(&plan), seq);
-            exec.run(core.transport.as_mut(), &mut core.clock, &mut [])
-                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+            let seq = self.next_seq();
+            let mut exec = Execution::new(Arc::clone(&plan), seq);
+            self.run_exec(&mut exec, &mut [])?;
             plan.label
         };
-        let core = &mut *self.core.borrow_mut();
-        core.note_coll(self.ctx, self.group.size(), CollOp::Barrier, 0);
-        core.note_algo(algo, 0);
+        self.note_coll(CollOp::Barrier, 0);
+        self.note_algo(algo, 0);
         Ok(())
     }
 
@@ -1634,20 +1970,27 @@ impl Comm {
     /// execution.
     fn start_coll(
         &mut self,
-        plan: Rc<CollPlan>,
+        plan: Arc<CollPlan>,
         buf: Vec<u8>,
         op: CollOp,
         payload_bytes: u64,
     ) -> Request {
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        core.note_coll(self.ctx, self.group.size(), op, payload_bytes);
-        core.note_algo(plan.label, payload_bytes);
-        core.progress.colls_started += 1;
-        Request::coll_pending(
+        let seq = self.next_seq();
+        self.note_coll(op, payload_bytes);
+        self.note_algo(plan.label, payload_bytes);
+        ProgressCounters::add(&self.shared.counters.colls_started, 1);
+        let request = Request::coll_pending(
             self.ctx,
             CollState::new(Execution::new(plan, seq), buf, self.rank),
-        )
+        );
+        // Register the fresh operation with the rank's outstanding-op
+        // registry: in Thread mode the background engine starts advancing it
+        // before the caller ever polls; in Polling mode it becomes visible
+        // to sibling waiters' cross-communicator sweeps.
+        if let Some(cell) = &request.coll {
+            self.shared.engine.enqueue(Arc::clone(cell));
+        }
+        request
     }
 
     /// Nonblocking barrier (`MPI_Ibarrier`): completes once every rank of the
@@ -1932,7 +2275,7 @@ impl Comm {
     /// Package a cached plan as an inactive persistent request.
     fn init_coll(
         &mut self,
-        plan: Rc<CollPlan>,
+        plan: Arc<CollPlan>,
         buf: Vec<u8>,
         op: CollOp,
         payload_bytes: u64,
@@ -2230,13 +2573,17 @@ impl Comm {
         let algo = request
             .coll_algorithm()
             .expect("persistent request has a plan");
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        core.note_coll(self.ctx, self.group.size(), meta.op, meta.payload_bytes);
-        core.note_algo(algo, meta.payload_bytes);
-        core.progress.colls_started += 1;
-        core.progress.persistent_starts += 1;
+        let seq = self.next_seq();
+        self.note_coll(meta.op, meta.payload_bytes);
+        self.note_algo(algo, meta.payload_bytes);
+        ProgressCounters::add(&self.shared.counters.colls_started, 1);
+        ProgressCounters::add(&self.shared.counters.persistent_starts, 1);
         request.activate(seq);
+        // Hand the re-armed cell back to the background engine (no-op in
+        // Polling mode): completed cells were pruned from its queue.
+        if let Some(cell) = &request.coll {
+            self.shared.engine.enqueue(Arc::clone(cell));
+        }
         Ok(())
     }
 
@@ -2257,13 +2604,16 @@ impl Comm {
     /// operations; `test`-family calls on the requests themselves remain the
     /// way to *complete* them.
     pub fn progress(&mut self) -> Result<usize> {
-        let core = &mut *self.core.borrow_mut();
-        core.progress.transport_drains += 1;
-        if !core.progress_cfg.drain_on_progress {
+        let counters = &self.shared.counters;
+        ProgressCounters::add(&counters.transport_drains, 1);
+        if !self.shared.progress_cfg.drain_on_progress {
             return Ok(0);
         }
-        let moved = core.transport.poll_incoming(&mut core.clock)?;
-        core.progress.drained_messages += moved as u64;
+        let moved = {
+            let io = &mut *self.shared.io();
+            io.transport.poll_incoming(&mut io.clock)?
+        };
+        ProgressCounters::add(&counters.drained_messages, moved as u64);
         Ok(moved)
     }
 
@@ -2271,7 +2621,7 @@ impl Comm {
     /// (shared across all communicators of the rank; also surfaced in
     /// [`crate::runtime::RankReport::progress`]).
     pub fn progress_stats(&self) -> ProgressStats {
-        self.core.borrow().progress
+        self.shared.counters.snapshot()
     }
 
     // ------------------------------------------------------------------
@@ -2286,34 +2636,32 @@ impl Comm {
     /// Collectively allocate an RMA window exposing `size_per_rank` bytes per
     /// rank (the `MPI_Win_allocate_shared` equivalent over CXL SHM).
     pub fn win_allocate(&mut self, size_per_rank: usize) -> Result<WinId> {
-        let core = &mut *self.core.borrow_mut();
-        self.ensure_world_group(core.transport.size())?;
-        core.transport.win_allocate(&mut core.clock, size_per_rank)
+        let io = &mut *self.shared.io();
+        self.ensure_world_group(io.transport.size())?;
+        io.transport.win_allocate(&mut io.clock, size_per_rank)
     }
 
     /// Collectively free a window.
     pub fn win_free(&mut self, win: WinId) -> Result<()> {
-        let core = &mut *self.core.borrow_mut();
-        self.ensure_world_group(core.transport.size())?;
-        core.transport.win_free(&mut core.clock, win)
+        let io = &mut *self.shared.io();
+        self.ensure_world_group(io.transport.size())?;
+        io.transport.win_free(&mut io.clock, win)
     }
 
     /// One-sided write into `target`'s window region (`MPI_Put`).
     pub fn put(&mut self, win: WinId, target: Rank, offset: usize, data: &[u8]) -> Result<()> {
         let target = self.world_of(target)?;
-        let core = &mut *self.core.borrow_mut();
-        self.ensure_world_group(core.transport.size())?;
-        core.transport
-            .put(&mut core.clock, win, target, offset, data)
+        let io = &mut *self.shared.io();
+        self.ensure_world_group(io.transport.size())?;
+        io.transport.put(&mut io.clock, win, target, offset, data)
     }
 
     /// One-sided read from `target`'s window region (`MPI_Get`).
     pub fn get(&mut self, win: WinId, target: Rank, offset: usize, buf: &mut [u8]) -> Result<()> {
         let target = self.world_of(target)?;
-        let core = &mut *self.core.borrow_mut();
-        self.ensure_world_group(core.transport.size())?;
-        core.transport
-            .get(&mut core.clock, win, target, offset, buf)
+        let io = &mut *self.shared.io();
+        self.ensure_world_group(io.transport.size())?;
+        io.transport.get(&mut io.clock, win, target, offset, buf)
     }
 
     /// One-sided accumulate into `target`'s window region (`MPI_Accumulate`).
@@ -2326,26 +2674,25 @@ impl Comm {
         op: ReduceOp,
     ) -> Result<()> {
         let target = self.world_of(target)?;
-        let core = &mut *self.core.borrow_mut();
-        self.ensure_world_group(core.transport.size())?;
-        core.transport
-            .accumulate(&mut core.clock, win, target, offset, data, op)
+        let io = &mut *self.shared.io();
+        self.ensure_world_group(io.transport.size())?;
+        io.transport
+            .accumulate(&mut io.clock, win, target, offset, data, op)
     }
 
     /// Read this rank's own window region.
     pub fn win_read_local(&mut self, win: WinId, offset: usize, buf: &mut [u8]) -> Result<()> {
-        let core = &mut *self.core.borrow_mut();
-        self.ensure_world_group(core.transport.size())?;
-        core.transport
-            .win_read_local(&mut core.clock, win, offset, buf)
+        let io = &mut *self.shared.io();
+        self.ensure_world_group(io.transport.size())?;
+        io.transport.win_read_local(&mut io.clock, win, offset, buf)
     }
 
     /// Write this rank's own window region.
     pub fn win_write_local(&mut self, win: WinId, offset: usize, data: &[u8]) -> Result<()> {
-        let core = &mut *self.core.borrow_mut();
-        self.ensure_world_group(core.transport.size())?;
-        core.transport
-            .win_write_local(&mut core.clock, win, offset, data)
+        let io = &mut *self.shared.io();
+        self.ensure_world_group(io.transport.size())?;
+        io.transport
+            .win_write_local(&mut io.clock, win, offset, data)
     }
 
     /// PSCW: expose this rank's window to `origins` (`MPI_Win_post`).
@@ -2354,9 +2701,9 @@ impl Comm {
             .iter()
             .map(|&o| self.world_of(o))
             .collect::<Result<Vec<_>>>()?;
-        let core = &mut *self.core.borrow_mut();
-        self.ensure_world_group(core.transport.size())?;
-        core.transport.post(&mut core.clock, win, &origins)
+        let io = &mut *self.shared.io();
+        self.ensure_world_group(io.transport.size())?;
+        io.transport.post(&mut io.clock, win, &origins)
     }
 
     /// PSCW: start an access epoch to `targets` (`MPI_Win_start`).
@@ -2365,41 +2712,41 @@ impl Comm {
             .iter()
             .map(|&t| self.world_of(t))
             .collect::<Result<Vec<_>>>()?;
-        let core = &mut *self.core.borrow_mut();
-        self.ensure_world_group(core.transport.size())?;
-        core.transport.start(&mut core.clock, win, &targets)
+        let io = &mut *self.shared.io();
+        self.ensure_world_group(io.transport.size())?;
+        io.transport.start(&mut io.clock, win, &targets)
     }
 
     /// PSCW: complete the access epoch (`MPI_Win_complete`).
     pub fn win_complete(&mut self, win: WinId) -> Result<()> {
-        let core = &mut *self.core.borrow_mut();
-        core.transport.complete(&mut core.clock, win)
+        let io = &mut *self.shared.io();
+        io.transport.complete(&mut io.clock, win)
     }
 
     /// PSCW: wait for the exposure epoch to finish (`MPI_Win_wait`).
     pub fn win_wait(&mut self, win: WinId) -> Result<()> {
-        let core = &mut *self.core.borrow_mut();
-        core.transport.wait(&mut core.clock, win)
+        let io = &mut *self.shared.io();
+        io.transport.wait(&mut io.clock, win)
     }
 
     /// Passive-target exclusive lock on `target`'s window (`MPI_Win_lock`).
     pub fn win_lock(&mut self, win: WinId, target: Rank) -> Result<()> {
         let target = self.world_of(target)?;
-        let core = &mut *self.core.borrow_mut();
-        core.transport.lock(&mut core.clock, win, target)
+        let io = &mut *self.shared.io();
+        io.transport.lock(&mut io.clock, win, target)
     }
 
     /// Release the passive-target lock (`MPI_Win_unlock`).
     pub fn win_unlock(&mut self, win: WinId, target: Rank) -> Result<()> {
         let target = self.world_of(target)?;
-        let core = &mut *self.core.borrow_mut();
-        core.transport.unlock(&mut core.clock, win, target)
+        let io = &mut *self.shared.io();
+        io.transport.unlock(&mut io.clock, win, target)
     }
 
     /// Fence synchronization over the window (`MPI_Win_fence`).
     pub fn win_fence(&mut self, win: WinId) -> Result<()> {
-        let core = &mut *self.core.borrow_mut();
-        core.transport.fence(&mut core.clock, win)
+        let io = &mut *self.shared.io();
+        io.transport.fence(&mut io.clock, win)
     }
 
     // ------------------------------------------------------------------
@@ -2418,13 +2765,11 @@ impl Comm {
             PlanKey::rooted(PlanOp::Bcast, root, bytes),
             |tuning, hier, dp| coll::build_bcast(&view, tuning, hier, dp, root, bytes),
         )?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(buf))
-            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Bcast, bytes as u64);
-        core.note_algo(plan.label, bytes as u64);
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, bytes_of_mut(buf))?;
+        self.note_coll(CollOp::Bcast, bytes as u64);
+        self.note_algo(plan.label, bytes as u64);
         Ok(())
     }
 
@@ -2445,9 +2790,8 @@ impl Comm {
         let plan = self.cached_plan(PlanKey::rooted(PlanOp::Gather, root, block), |_, _, _| {
             coll::build_gather(&view, root, block)
         })?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
         if me == root {
             let recv = recv.ok_or_else(|| {
                 MpiError::InvalidCollective("gather_into root must provide a receive buffer".into())
@@ -2462,14 +2806,12 @@ impl Comm {
                 )));
             }
             recv[me * send.len()..(me + 1) * send.len()].copy_from_slice(send);
-            exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))
-                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+            self.run_exec(&mut exec, bytes_of_mut(recv))?;
         } else {
-            exec.run_send_only(core.transport.as_mut(), &mut core.clock, bytes_of(send))
-                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+            self.run_send_only_exec(&mut exec, bytes_of(send))?;
         }
-        core.note_coll(self.ctx, n, CollOp::Gather, block as u64);
-        core.note_algo(plan.label, block as u64);
+        self.note_coll(CollOp::Gather, block as u64);
+        self.note_algo(plan.label, block as u64);
         Ok(())
     }
 
@@ -2495,13 +2837,11 @@ impl Comm {
             PlanKey::shaped(PlanOp::Allgather, block),
             |tuning, hier, dp| coll::build_allgather(&view, tuning, hier, dp, block),
         )?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))
-            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
-        core.note_coll(self.ctx, n, CollOp::Allgather, block as u64);
-        core.note_algo(plan.label, block as u64);
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, bytes_of_mut(recv))?;
+        self.note_coll(CollOp::Allgather, block as u64);
+        self.note_algo(plan.label, block as u64);
         Ok(())
     }
 
@@ -2522,9 +2862,8 @@ impl Comm {
         let plan = self.cached_plan(PlanKey::rooted(PlanOp::Scatter, root, block), |_, _, _| {
             coll::build_scatter(&view, root, block)
         })?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
         if me == root {
             let send = send.ok_or_else(|| {
                 MpiError::InvalidCollective("scatter_from root must provide a send buffer".into())
@@ -2538,15 +2877,13 @@ impl Comm {
                     recv.len()
                 )));
             }
-            exec.run_send_only(core.transport.as_mut(), &mut core.clock, bytes_of(send))
-                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+            self.run_send_only_exec(&mut exec, bytes_of(send))?;
             recv.copy_from_slice(&send[me * recv.len()..(me + 1) * recv.len()]);
         } else {
-            exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))
-                .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+            self.run_exec(&mut exec, bytes_of_mut(recv))?;
         }
-        core.note_coll(self.ctx, n, CollOp::Scatter, block as u64);
-        core.note_algo(plan.label, block as u64);
+        self.note_coll(CollOp::Scatter, block as u64);
+        self.note_algo(plan.label, block as u64);
         Ok(())
     }
 
@@ -2573,19 +2910,17 @@ impl Comm {
             ),
             |tuning, hier, dp| coll::build_reduce::<T>(&view, tuning, hier, dp, root, count, op),
         )?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
+        let seq = self.next_seq();
         let mut buf = bytes_of(values).to_vec();
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)
-            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, &mut buf)?;
         let out = if self.rank == root {
             Some(vec_from_bytes(exec.result_slice(&buf)))
         } else {
             None
         };
-        core.note_coll(self.ctx, self.group.size(), CollOp::Reduce, bytes);
-        core.note_algo(plan.label, bytes);
+        self.note_coll(CollOp::Reduce, bytes);
+        self.note_algo(plan.label, bytes);
         Ok(out)
     }
 
@@ -2600,17 +2935,11 @@ impl Comm {
             PlanKey::reduction::<T>(PlanOp::Allreduce, None, count, std::mem::size_of::<T>(), op),
             |tuning, hier, dp| coll::build_allreduce::<T>(&view, tuning, hier, dp, count, op),
         )?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(
-            core.transport.as_mut(),
-            &mut core.clock,
-            bytes_of_mut(values),
-        )
-        .map_err(|e| apply_errhandler(core, self.ctx, e))?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Allreduce, bytes);
-        core.note_algo(plan.label, bytes);
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, bytes_of_mut(values))?;
+        self.note_coll(CollOp::Allreduce, bytes);
+        self.note_algo(plan.label, bytes);
         Ok(())
     }
 
@@ -2639,15 +2968,13 @@ impl Comm {
             ),
             |tuning, _, _| coll::build_reduce_scatter::<T>(&view, tuning, count, op),
         )?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
+        let seq = self.next_seq();
         let mut buf = bytes_of(values).to_vec();
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)
-            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, &mut buf)?;
         let out = vec_from_bytes(exec.result_slice(&buf));
-        core.note_coll(self.ctx, n, CollOp::ReduceScatter, bytes);
-        core.note_algo(plan.label, bytes);
+        self.note_coll(CollOp::ReduceScatter, bytes);
+        self.note_algo(plan.label, bytes);
         Ok(out)
     }
 
@@ -2663,17 +2990,11 @@ impl Comm {
             PlanKey::reduction::<T>(PlanOp::Scan, None, count, std::mem::size_of::<T>(), op),
             |_, _, _| coll::build_scan::<T>(&view, count, op),
         )?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(
-            core.transport.as_mut(),
-            &mut core.clock,
-            bytes_of_mut(values),
-        )
-        .map_err(|e| apply_errhandler(core, self.ctx, e))?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Scan, bytes);
-        core.note_algo(plan.label, bytes);
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, bytes_of_mut(values))?;
+        self.note_coll(CollOp::Scan, bytes);
+        self.note_algo(plan.label, bytes);
         Ok(())
     }
 
@@ -2688,17 +3009,11 @@ impl Comm {
             PlanKey::reduction::<T>(PlanOp::Exscan, None, count, std::mem::size_of::<T>(), op),
             |_, _, _| coll::build_exscan::<T>(&view, count, op),
         )?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(
-            core.transport.as_mut(),
-            &mut core.clock,
-            bytes_of_mut(values),
-        )
-        .map_err(|e| apply_errhandler(core, self.ctx, e))?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Exscan, bytes);
-        core.note_algo(plan.label, bytes);
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, bytes_of_mut(values))?;
+        self.note_coll(CollOp::Exscan, bytes);
+        self.note_algo(plan.label, bytes);
         Ok(())
     }
 
@@ -2730,13 +3045,11 @@ impl Comm {
             PlanKey::shaped(PlanOp::Alltoall, block),
             |tuning, hier, dp| coll::build_alltoall(&view, tuning, hier, dp, block),
         )?;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, bytes_of_mut(recv))
-            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
-        core.note_coll(self.ctx, n, CollOp::Alltoall, (n * block) as u64);
-        core.note_algo(plan.label, (n * block) as u64);
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, bytes_of_mut(recv))?;
+        self.note_coll(CollOp::Alltoall, (n * block) as u64);
+        self.note_algo(plan.label, (n * block) as u64);
         Ok(())
     }
 
@@ -2750,7 +3063,7 @@ impl Comm {
         recv_counts: &[usize],
         elem: usize,
         byte_variant: bool,
-    ) -> Result<(Rc<CollPlan>, usize, usize)> {
+    ) -> Result<(Arc<CollPlan>, usize, usize)> {
         let n = self.group.size();
         let name = if byte_variant {
             "alltoallw"
@@ -2812,19 +3125,12 @@ impl Comm {
             self.irregular_plan(send.len(), send_counts, recv_counts, elem, false)?;
         let mut buf = vec![0u8; send_total + recv_total];
         buf[..send_total].copy_from_slice(bytes_of(send));
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)
-            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, &mut buf)?;
         let out = vec_from_bytes(exec.result_slice(&buf));
-        core.note_coll(
-            self.ctx,
-            self.group.size(),
-            CollOp::Alltoall,
-            send_total as u64,
-        );
-        core.note_algo(plan.label, send_total as u64);
+        self.note_coll(CollOp::Alltoall, send_total as u64);
+        self.note_algo(plan.label, send_total as u64);
         Ok(out)
     }
 
@@ -2842,19 +3148,12 @@ impl Comm {
             self.irregular_plan(send.len(), send_counts, recv_counts, 1, true)?;
         let mut buf = vec![0u8; send_total + recv_total];
         buf[..send_total].copy_from_slice(send);
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let mut exec = Execution::new(Rc::clone(&plan), seq);
-        exec.run(core.transport.as_mut(), &mut core.clock, &mut buf)
-            .map_err(|e| apply_errhandler(core, self.ctx, e))?;
+        let seq = self.next_seq();
+        let mut exec = Execution::new(Arc::clone(&plan), seq);
+        self.run_exec(&mut exec, &mut buf)?;
         let out = exec.result_slice(&buf).to_vec();
-        core.note_coll(
-            self.ctx,
-            self.group.size(),
-            CollOp::Alltoall,
-            send_total as u64,
-        );
-        core.note_algo(plan.label, send_total as u64);
+        self.note_coll(CollOp::Alltoall, send_total as u64);
+        self.note_algo(plan.label, send_total as u64);
         Ok(out)
     }
 
@@ -2871,17 +3170,19 @@ impl Comm {
     #[allow(deprecated)]
     pub fn bcast(&mut self, root: Rank, data: &mut Vec<u8>) -> Result<()> {
         let bytes = data.len() as u64;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        coll::bcast_bytes(
-            core.transport.as_mut(),
-            &mut core.clock,
-            &self.view(),
-            seq,
-            root,
-            data,
-        )?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Bcast, bytes);
+        let seq = self.next_seq();
+        {
+            let io = &mut *self.shared.io();
+            coll::bcast_bytes(
+                io.transport.as_mut(),
+                &mut io.clock,
+                &self.view(),
+                seq,
+                root,
+                data,
+            )
+        }?;
+        self.note_coll(CollOp::Bcast, bytes);
         Ok(())
     }
 
@@ -2894,17 +3195,19 @@ impl Comm {
     #[allow(deprecated)]
     pub fn gather(&mut self, root: Rank, send: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
         let bytes = send.len() as u64;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let out = coll::gather_bytes(
-            core.transport.as_mut(),
-            &mut core.clock,
-            &self.view(),
-            seq,
-            root,
-            send,
-        )?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Gather, bytes);
+        let seq = self.next_seq();
+        let out = {
+            let io = &mut *self.shared.io();
+            coll::gather_bytes(
+                io.transport.as_mut(),
+                &mut io.clock,
+                &self.view(),
+                seq,
+                root,
+                send,
+            )
+        }?;
+        self.note_coll(CollOp::Gather, bytes);
         Ok(out)
     }
 
@@ -2915,22 +3218,19 @@ impl Comm {
     )]
     #[allow(deprecated)]
     pub fn scatter(&mut self, root: Rank, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let out = coll::scatter_bytes(
-            core.transport.as_mut(),
-            &mut core.clock,
-            &self.view(),
-            seq,
-            root,
-            chunks,
-        )?;
-        core.note_coll(
-            self.ctx,
-            self.group.size(),
-            CollOp::Scatter,
-            out.len() as u64,
-        );
+        let seq = self.next_seq();
+        let out = {
+            let io = &mut *self.shared.io();
+            coll::scatter_bytes(
+                io.transport.as_mut(),
+                &mut io.clock,
+                &self.view(),
+                seq,
+                root,
+                chunks,
+            )
+        }?;
+        self.note_coll(CollOp::Scatter, out.len() as u64);
         Ok(out)
     }
 
@@ -2943,16 +3243,18 @@ impl Comm {
     #[allow(deprecated)]
     pub fn allgather(&mut self, mine: &[u8]) -> Result<Vec<Vec<u8>>> {
         let bytes = mine.len() as u64;
-        let core = &mut *self.core.borrow_mut();
-        let seq = core.next_coll_seq(self.ctx);
-        let out = coll::allgather_bytes(
-            core.transport.as_mut(),
-            &mut core.clock,
-            &self.view(),
-            seq,
-            mine,
-        )?;
-        core.note_coll(self.ctx, self.group.size(), CollOp::Allgather, bytes);
+        let seq = self.next_seq();
+        let out = {
+            let io = &mut *self.shared.io();
+            coll::allgather_bytes(
+                io.transport.as_mut(),
+                &mut io.clock,
+                &self.view(),
+                seq,
+                mine,
+            )
+        }?;
+        self.note_coll(CollOp::Allgather, bytes);
         Ok(out)
     }
 

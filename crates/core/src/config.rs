@@ -291,6 +291,44 @@ impl Default for CollTuning {
     }
 }
 
+/// Who drives outstanding nonblocking/persistent operations between the
+/// caller's own `test`/`wait` polls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ProgressMode {
+    /// Weak progress (the default): operations advance only while some caller
+    /// is inside `test`/`wait`/`progress` — the original single-threaded
+    /// behavior, zero extra threads.
+    #[default]
+    Polling,
+    /// Strong progress: each rank spawns one background progress thread
+    /// (MPICH async-progress style) that drives every outstanding Execution
+    /// and chunked send, so requests complete while the caller computes.
+    /// The thread parks on a doorbell when no operations are live and is
+    /// woken by enqueue/start.
+    Thread,
+}
+
+impl ProgressMode {
+    /// Read the mode from the `CMPI_PROGRESS` environment variable
+    /// (`polling` or `thread`, case-insensitive). Unset or unrecognized
+    /// values yield `None`.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("CMPI_PROGRESS").ok()?.to_lowercase().as_str() {
+            "polling" => Some(ProgressMode::Polling),
+            "thread" => Some(ProgressMode::Thread),
+            _ => None,
+        }
+    }
+
+    /// Short name used in benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProgressMode::Polling => "polling",
+            ProgressMode::Thread => "thread",
+        }
+    }
+}
+
 /// Tuning of the progress engine driving nonblocking collectives (see
 /// `progress`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -304,6 +342,9 @@ pub struct ProgressTuning {
     /// the transport into local staging (keeps senders from stalling on ring
     /// flow control while this rank computes).
     pub drain_on_progress: bool,
+    /// Whether a background progress thread drives outstanding operations
+    /// (see [`ProgressMode`]).
+    pub mode: ProgressMode,
 }
 
 impl Default for ProgressTuning {
@@ -311,6 +352,19 @@ impl Default for ProgressTuning {
         ProgressTuning {
             max_ops_per_poll: 0,
             drain_on_progress: true,
+            mode: ProgressMode::default(),
+        }
+    }
+}
+
+impl ProgressTuning {
+    /// Default tuning with the progress mode taken from `CMPI_PROGRESS` when
+    /// set (what the `UniverseConfig` constructors use, so a test binary can
+    /// be re-run under the thread-mode matrix without code changes).
+    pub fn env_default() -> Self {
+        ProgressTuning {
+            mode: ProgressMode::from_env().unwrap_or_default(),
+            ..Default::default()
         }
     }
 }
@@ -423,7 +477,7 @@ impl UniverseConfig {
             placement: HostPlacement::Blocked,
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::default()),
             coll: CollTuning::default(),
-            progress: ProgressTuning::default(),
+            progress: ProgressTuning::env_default(),
             faults: Vec::new(),
         }
     }
@@ -436,7 +490,7 @@ impl UniverseConfig {
             placement: HostPlacement::Blocked,
             transport: TransportConfig::CxlShm(CxlShmTransportConfig::small()),
             coll: CollTuning::default(),
-            progress: ProgressTuning::default(),
+            progress: ProgressTuning::env_default(),
             faults: Vec::new(),
         }
     }
@@ -460,7 +514,7 @@ impl UniverseConfig {
             placement: HostPlacement::Blocked,
             transport: TransportConfig::Tcp(TcpTransportConfig { nic }),
             coll: CollTuning::default(),
-            progress: ProgressTuning::default(),
+            progress: ProgressTuning::env_default(),
             faults: Vec::new(),
         }
     }
@@ -495,6 +549,13 @@ impl UniverseConfig {
     /// Override the progress-engine tuning.
     pub fn with_progress_tuning(mut self, progress: ProgressTuning) -> Self {
         self.progress = progress;
+        self
+    }
+
+    /// Select the progress mode, keeping the rest of the progress tuning
+    /// (overrides whatever `CMPI_PROGRESS` chose).
+    pub fn with_progress_mode(mut self, mode: ProgressMode) -> Self {
+        self.progress.mode = mode;
         self
     }
 

@@ -84,6 +84,18 @@
 //! * [`p2p`], [`request`] — context-scoped message matching, non-blocking
 //!   requests (`wait`/`test`/`wait_all`/`wait_any`/`test_any`/`test_all`,
 //!   unifying p2p receives and nonblocking collectives) and status.
+//! * [`engine`] — the asynchronous serving engine: when
+//!   [`config::ProgressMode::Thread`] is selected, a per-rank background
+//!   progress thread drives every outstanding nonblocking/persistent
+//!   collective so communication advances while the application computes
+//!   (MPICH async-progress style). In the default
+//!   [`config::ProgressMode::Polling`] mode progress is made from
+//!   `test`/`wait` calls, as before.
+//! * [`future`] — futures-style completion: [`Comm::poll_request`] exposes
+//!   any request as a `std::task` poll point, [`future::CompletionFuture`]
+//!   wraps request sets as a `Future`, and [`future::block_on`] /
+//!   [`future::join_all`] give a dependency-free executor for overlap-heavy
+//!   code.
 //! * [`datatype`], [`pod`] — datatype descriptions (contiguous/vector layouts
 //!   with pack/unpack) and the [`pod::Pod`] zero-copy byte views the typed
 //!   collectives are built on.
@@ -102,7 +114,9 @@ pub mod comm;
 pub mod config;
 pub mod dataplane;
 pub mod datatype;
+pub mod engine;
 pub mod error;
+pub mod future;
 pub mod group;
 pub mod p2p;
 pub mod plan;
@@ -120,17 +134,18 @@ pub mod types;
 pub use comm::{Comm, CommCollStats, ErrHandler, SplitType};
 pub use config::{
     CollTuning, ConnMode, CxlShmTransportConfig, DataPlaneMode, FaultPlan, FaultTrigger,
-    HierarchyMode, HostPlacement, ProgressTuning, TcpTransportConfig, TransportConfig,
-    UniverseConfig,
+    HierarchyMode, HostPlacement, ProgressMode, ProgressTuning, TcpTransportConfig,
+    TransportConfig, UniverseConfig,
 };
 pub use error::MpiError;
+pub use future::{block_on, join_all, CompletionFuture};
 pub use group::Group;
 pub use plan::PlanCacheStats;
 pub use pod::Pod;
 pub use progress::{CollPlan, Execution, ProgressStats};
 pub use request::{Request, RequestState};
 pub use runtime::{FtOutcome, RankReport, Universe};
-pub use spin::{PoisonFlag, SpinWait};
+pub use spin::{PoisonFlag, SpinWait, WaitCell};
 pub use topology::{HostHierarchy, HostTopology};
 pub use transport::{DataPlaneStats, DpWindow, FaultInjector};
 pub use types::{

@@ -27,7 +27,7 @@
 //! [`crate::runtime::RankReport::plan_cache`].
 
 use std::any::TypeId;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::progress::CollPlan;
 use crate::types::{Rank, ReduceOp};
@@ -172,7 +172,7 @@ pub struct PlanCacheStats {
 #[derive(Debug, Default)]
 pub(crate) struct PlanCache {
     /// `(key, plan, last-use tick)` triples.
-    slots: Vec<(PlanKey, Rc<CollPlan>, u64)>,
+    slots: Vec<(PlanKey, Arc<CollPlan>, u64)>,
     /// Monotonic use counter backing the LRU order.
     tick: u64,
     /// Hits served by this cache.
@@ -190,12 +190,12 @@ impl PlanCache {
     /// miss on `None`. Split from [`PlanCache::insert`] so callers can defer
     /// miss-only work (hierarchy derivation, plan construction) until after a
     /// failed probe — the hit path is the hot path.
-    pub fn lookup(&mut self, key: &PlanKey) -> Option<Rc<CollPlan>> {
+    pub fn lookup(&mut self, key: &PlanKey) -> Option<Arc<CollPlan>> {
         self.tick += 1;
         if let Some(slot) = self.slots.iter_mut().find(|(k, _, _)| k == key) {
             slot.2 = self.tick;
             self.hits += 1;
-            return Some(Rc::clone(&slot.1));
+            return Some(Arc::clone(&slot.1));
         }
         self.misses += 1;
         None
@@ -205,7 +205,7 @@ impl PlanCache {
     /// `capacity` bound ([`crate::config::CollTuning::plan_cache_entries`]);
     /// `0` disables caching entirely (the plan is simply not retained — the
     /// bench harness uses this as its cold baseline).
-    pub fn insert(&mut self, key: PlanKey, plan: &Rc<CollPlan>, capacity: usize) {
+    pub fn insert(&mut self, key: PlanKey, plan: &Arc<CollPlan>, capacity: usize) {
         if capacity == 0 {
             return;
         }
@@ -220,7 +220,7 @@ impl PlanCache {
             self.slots.swap_remove(oldest);
             self.evictions += 1;
         }
-        self.slots.push((key, Rc::clone(plan), self.tick));
+        self.slots.push((key, Arc::clone(plan), self.tick));
     }
 
     /// Plans currently resident.
@@ -256,11 +256,11 @@ mod tests {
         key: PlanKey,
         capacity: usize,
         build: impl FnOnce() -> CollPlan,
-    ) -> Rc<CollPlan> {
+    ) -> Arc<CollPlan> {
         if let Some(plan) = cache.lookup(&key) {
             return plan;
         }
-        let plan = Rc::new(build());
+        let plan = Arc::new(build());
         cache.insert(key, &plan, capacity);
         plan
     }
@@ -271,7 +271,7 @@ mod tests {
         let key = PlanKey::shaped(PlanOp::Bcast, 64);
         let a = get_or_build(&mut cache, key.clone(), 4, || plan("a"));
         let b = get_or_build(&mut cache, key, 4, || unreachable!("must hit"));
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!((cache.hits, cache.misses), (1, 1));
     }
 

@@ -34,10 +34,14 @@
 //!   `*_any`/`*_all` combinators) call on a collective request, giving
 //!   MPI-3-style compute/communication overlap.
 //!
-//! Who makes progress: the rank that holds the request, whenever it calls
-//! `test`/`wait`-family functions. There is no background progress thread —
-//! like MPICH's default configuration, communication advances only inside MPI
-//! calls. A `Send` op advances through the transports' nonblocking
+//! Who makes progress: in the default [`crate::config::ProgressMode::Polling`]
+//! mode, the rank that holds the request, whenever it calls `test`/`wait`-
+//! family functions — like MPICH's default configuration, communication
+//! advances only inside MPI calls. In
+//! [`crate::config::ProgressMode::Thread`] mode each rank additionally runs a
+//! background progress thread (see `crate::engine`) that drives every
+//! outstanding execution, so requests complete while the caller computes.
+//! A `Send` op advances through the transports' nonblocking
 //! [`Transport::try_send_progress`] path; while it waits (for ring space or
 //! a missing message) the engine drains fully-arrived traffic off the wire
 //! ([`Transport::poll_incoming`]), so peers blocked on flow control keep
@@ -47,7 +51,8 @@
 //! (the SPSC rings require one whole message per sender at a time) — the
 //! same liveness class as the blocking sends the schedules replaced.
 
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 use cmpi_fabric::SimClock;
 
@@ -338,7 +343,7 @@ impl CollPlan {
 /// every cache-hit one-shot collective — does instead of re-planning.
 #[derive(Debug)]
 pub struct Execution {
-    plan: Rc<CollPlan>,
+    plan: Arc<CollPlan>,
     /// Next op to execute.
     pos: usize,
     /// Transport resume cursor of the in-flight `Send` op at `pos` (always 0
@@ -354,7 +359,7 @@ pub struct Execution {
 
 impl Execution {
     /// Bind `plan` to a fresh execution under sequence number `seq`.
-    pub fn new(plan: Rc<CollPlan>, seq: u32) -> Self {
+    pub fn new(plan: Arc<CollPlan>, seq: u32) -> Self {
         let scratch = vec![0u8; plan.scratch_len];
         Execution {
             plan,
@@ -432,7 +437,7 @@ impl Execution {
         budget: usize,
     ) -> Result<StepOutcome> {
         let budget = if budget == 0 { usize::MAX } else { budget };
-        let plan = Rc::clone(&self.plan);
+        let plan = Arc::clone(&self.plan);
         let ctx = plan.ctx;
         let mut completed = 0usize;
         while completed < budget {
@@ -684,7 +689,7 @@ impl Execution {
         clock: &mut SimClock,
         buf: &[u8],
     ) -> Result<()> {
-        let plan = Rc::clone(&self.plan);
+        let plan = Arc::clone(&self.plan);
         while let Some(op) = plan.ops.get(self.pos) {
             match *op {
                 SchedOp::Send {
@@ -868,10 +873,56 @@ pub struct ProgressStats {
     pub ops_in_test: u64,
     /// Schedule ops serviced inside blocking waits.
     pub ops_in_wait: u64,
+    /// Schedule ops serviced by the background progress thread
+    /// ([`crate::config::ProgressMode::Thread`]) — like `ops_in_test`, these
+    /// ran during user compute, so they count toward the overlap figure of
+    /// merit. Always 0 in `Polling` mode.
+    pub ops_in_thread: u64,
     /// Explicit [`crate::comm::Comm::progress`] calls.
     pub transport_drains: u64,
     /// Messages moved off the wire into local staging by those calls.
     pub drained_messages: u64,
+}
+
+/// The live, shared form of [`ProgressStats`]: relaxed atomics bumped on the
+/// hot path (a counter bump is never a synchronization point — the data it
+/// describes is published by the transport locks), snapshotted into the plain
+/// struct by [`ProgressCounters::snapshot`] for reporting.
+#[derive(Debug, Default)]
+pub(crate) struct ProgressCounters {
+    pub(crate) colls_started: AtomicU64,
+    pub(crate) colls_completed: AtomicU64,
+    pub(crate) persistent_starts: AtomicU64,
+    pub(crate) test_polls: AtomicU64,
+    pub(crate) wait_polls: AtomicU64,
+    pub(crate) ops_in_test: AtomicU64,
+    pub(crate) ops_in_wait: AtomicU64,
+    pub(crate) ops_in_thread: AtomicU64,
+    pub(crate) transport_drains: AtomicU64,
+    pub(crate) drained_messages: AtomicU64,
+}
+
+impl ProgressCounters {
+    /// Relaxed increment helper: `add(&self.ops_in_test, n)`.
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, AtomicOrdering::Relaxed);
+    }
+
+    /// Snapshot the counters into the reporting struct.
+    pub(crate) fn snapshot(&self) -> ProgressStats {
+        ProgressStats {
+            colls_started: self.colls_started.load(AtomicOrdering::Relaxed),
+            colls_completed: self.colls_completed.load(AtomicOrdering::Relaxed),
+            persistent_starts: self.persistent_starts.load(AtomicOrdering::Relaxed),
+            test_polls: self.test_polls.load(AtomicOrdering::Relaxed),
+            wait_polls: self.wait_polls.load(AtomicOrdering::Relaxed),
+            ops_in_test: self.ops_in_test.load(AtomicOrdering::Relaxed),
+            ops_in_wait: self.ops_in_wait.load(AtomicOrdering::Relaxed),
+            ops_in_thread: self.ops_in_thread.load(AtomicOrdering::Relaxed),
+            transport_drains: self.transport_drains.load(AtomicOrdering::Relaxed),
+            drained_messages: self.drained_messages.load(AtomicOrdering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -918,7 +969,7 @@ mod tests {
         assert_eq!(plan.scratch_len(), 16);
         assert_eq!(plan.result_len(), 8);
         assert_eq!(plan.input_len(), 4);
-        let mut exec = Execution::new(Rc::new(plan), 7);
+        let mut exec = Execution::new(Arc::new(plan), 7);
         assert!(exec.is_complete());
         assert_eq!(exec.seq(), 7);
         exec.scratch.copy_from_slice(&(0..16).collect::<Vec<u8>>());
@@ -944,7 +995,7 @@ mod tests {
         );
         let buf: Vec<u8> = (0..8).collect();
         let ptr = buf.as_ptr();
-        let state = CollState::new(Execution::new(Rc::new(plan), 0), buf, 2);
+        let state = CollState::new(Execution::new(Arc::new(plan), 0), buf, 2);
         assert_eq!(state.completion_status().len, 8);
         assert_eq!(state.result_bytes(), (0..8).collect::<Vec<u8>>());
         let (status, data) = state.finish();
@@ -966,7 +1017,7 @@ mod tests {
             0,
             "test/local",
         );
-        let mut state = CollState::new(Execution::new(Rc::new(plan), 0), vec![0u8; 8], 0);
+        let mut state = CollState::new(Execution::new(Arc::new(plan), 0), vec![0u8; 8], 0);
         assert!(state.write_input(&[1, 2, 3]).is_err());
         state.write_input(&[9, 9, 9, 9]).unwrap();
         assert_eq!(state.buf, vec![0, 0, 0, 0, 9, 9, 9, 9]);

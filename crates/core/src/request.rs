@@ -33,6 +33,9 @@
 //! it elsewhere fails with [`MpiError::InvalidCommunicator`]
 //! (checked via the stored context id).
 
+use std::sync::Arc;
+
+use crate::engine::OpCell;
 use crate::error::MpiError;
 use crate::pod::{vec_from_bytes, Pod};
 use crate::progress::CollState;
@@ -72,11 +75,12 @@ pub struct Request {
     /// completion writes the payload here through the transports'
     /// allocation-free `recv_into` path instead of allocating a fresh `Vec`.
     pub(crate) buffer: Option<Vec<u8>>,
-    /// Execution state of a nonblocking collective (`i*` operations): the
-    /// bound execution plus its owned buffers, advanced by the progress
-    /// engine from `wait`/`test`. Persistent requests keep it across
-    /// completions.
-    pub(crate) coll: Option<Box<CollState>>,
+    /// Operation cell of a nonblocking collective (`i*` operations): the
+    /// bound execution plus its owned buffers behind the cell's slot lock,
+    /// advanced by `wait`/`test`-family calls (Polling mode) or the
+    /// background progress engine (Thread mode). Persistent requests keep it
+    /// across completions.
+    pub(crate) coll: Option<Arc<OpCell>>,
     /// Start-time accounting of a persistent collective (`Some` marks the
     /// request as persistent).
     pub(crate) persistent: Option<PersistentMeta>,
@@ -159,7 +163,7 @@ impl Request {
             src: None,
             tag: None,
             buffer: None,
-            coll: Some(Box::new(state)),
+            coll: Some(OpCell::new(ctx, state)),
             persistent: None,
             status: None,
             data: None,
@@ -177,7 +181,7 @@ impl Request {
             src: None,
             tag: None,
             buffer: None,
-            coll: Some(Box::new(state)),
+            coll: Some(OpCell::new(ctx, state)),
             persistent: Some(meta),
             status: None,
             data: None,
@@ -198,7 +202,7 @@ impl Request {
     /// p2p requests or after completion; persistent requests keep it for
     /// life).
     pub fn coll_algorithm(&self) -> Option<&'static str> {
-        self.coll.as_ref().map(|c| c.exec.plan().label)
+        self.coll.as_ref().map(|c| c.algorithm())
     }
 
     /// Activate (or re-activate) a persistent request under a fresh
@@ -206,8 +210,14 @@ impl Request {
     /// is the public entry).
     pub(crate) fn activate(&mut self, seq: u32) {
         debug_assert!(self.persistent.is_some());
-        let state = self.coll.as_mut().expect("persistent request has state");
-        state.exec.restart(seq);
+        let cell = self.coll.as_ref().expect("persistent request has state");
+        let mut slot = cell.lock();
+        slot.state
+            .as_mut()
+            .expect("persistent state survives completion")
+            .exec
+            .restart(seq);
+        cell.rearm(&mut slot);
         self.state = RequestState::RecvPending;
         self.status = None;
     }
@@ -238,8 +248,12 @@ impl Request {
                 "write_input on a started (in-flight) persistent request".into(),
             ));
         }
-        let state = self.coll.as_mut().ok_or(MpiError::StaleRequest)?;
-        state.write_input(crate::pod::bytes_of(values))
+        let cell = self.coll.as_ref().ok_or(MpiError::StaleRequest)?;
+        let mut slot = cell.lock();
+        slot.state
+            .as_mut()
+            .ok_or(MpiError::StaleRequest)?
+            .write_input(crate::pod::bytes_of(values))
     }
 
     /// Read the result of a *completed* persistent request as `T` values
@@ -254,7 +268,9 @@ impl Request {
         if self.state != RequestState::RecvComplete {
             return Err(MpiError::StaleRequest);
         }
-        let state = self.coll.as_ref().ok_or(MpiError::StaleRequest)?;
+        let cell = self.coll.as_ref().ok_or(MpiError::StaleRequest)?;
+        let slot = cell.lock();
+        let state = slot.state.as_ref().ok_or(MpiError::StaleRequest)?;
         Ok(vec_from_bytes(state.result_bytes()))
     }
 
@@ -311,7 +327,11 @@ impl Request {
     pub(crate) fn mark_failed(&mut self) {
         self.state = RequestState::Consumed;
         self.buffer = None;
-        self.coll = None;
+        if let Some(cell) = self.coll.take() {
+            // Withdraw the op from the background engine so it stops being
+            // driven (and its cell can be dropped from the queue).
+            cell.cancel();
+        }
         self.persistent = None;
         self.data = None;
     }
@@ -360,7 +380,9 @@ impl Request {
             RequestState::SendComplete | RequestState::RecvComplete | RequestState::Inactive => {
                 self.state = RequestState::Consumed;
                 self.data = None;
-                self.coll = None;
+                if let Some(cell) = self.coll.take() {
+                    cell.cancel();
+                }
                 self.persistent = None;
                 Ok(())
             }

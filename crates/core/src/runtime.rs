@@ -416,7 +416,12 @@ impl Universe {
         // Every rank enters an initialization barrier before user code runs,
         // mirroring the end of MPI_Init.
         comm.barrier()?;
-        let value = body(&mut comm)?;
+        let value = body(&mut comm);
+        // Stop and join the background progress engine (Thread mode) before
+        // the counters are read, so every in-flight completion is accounted
+        // in the report — and so the thread is gone even when `body` failed.
+        comm.shutdown_engine();
+        let value = value?;
         let report = RankReport {
             rank,
             host: comm.host(),

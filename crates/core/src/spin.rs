@@ -51,7 +51,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 use crate::error::MpiError;
@@ -387,6 +387,28 @@ const YIELD_TIERS: u32 = 1024;
 /// Park duration once fully backed off. Short enough that message latency
 /// stays bounded, long enough that a stalled universe stops burning CPU.
 const PARK_MICROS: u64 = 50;
+/// Park duration for a waiter that registered a directed-unpark token with a
+/// [`WaitCell`]: the completer (e.g. the background progress thread) unparks
+/// it the instant the result is published, so the timeout is only a safety
+/// net (poison checks, races around registration) and can be far longer than
+/// the undirected 50 µs poll — the waiter burns no CPU while the engine
+/// works.
+const PARK_TOKEN_MICROS: u64 = 2000;
+/// Yield iterations of the registered-wait escalation. Much shorter than
+/// [`YIELD_TIERS`]: a registered waiter is not on the message critical path
+/// (the progress thread is), so it should reach the cheap parked tier fast
+/// instead of competing with the engine for cycles.
+const REGISTERED_YIELD_TIERS: u32 = 32;
+
+/// Whether the host exposes a single logical CPU. On such machines the
+/// pause-hint spin tiers are pure waste: every event a wait can possibly be
+/// waiting for must be produced by *another thread that needs this same
+/// core*, so burning the quantum on `spin_loop` only delays the producer.
+/// The escalation skips straight to scheduler yields instead.
+fn single_cpu() -> bool {
+    static SINGLE: OnceLock<bool> = OnceLock::new();
+    *SINGLE.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() == 1))
+}
 
 /// Tiered backoff for one wait: spin → `spin_loop`-hint batches → `yield_now`
 /// → park-with-timeout. Create one per logical wait (or [`SpinWait::reset`]
@@ -418,21 +440,116 @@ impl SpinWait {
         Ok(())
     }
 
+    /// One backoff step for a waiter that registered itself with a
+    /// [`WaitCell`]: same poison check, but the escalation reaches the parked
+    /// tier quickly and parks *long* — the completer's directed unpark (not
+    /// the timeout) is what ends the sleep, so completion latency is the
+    /// unpark latency, not a backoff tier boundary.
+    pub fn wait_registered(&mut self, poison: &PoisonFlag) -> Result<()> {
+        poison.check()?;
+        if self.step < SPIN_TIERS {
+            if single_cpu() {
+                std::thread::yield_now();
+            } else {
+                for _ in 0..(1u32 << self.step) {
+                    std::hint::spin_loop();
+                }
+            }
+        } else if self.step < SPIN_TIERS + REGISTERED_YIELD_TIERS {
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(Duration::from_micros(PARK_TOKEN_MICROS));
+        }
+        self.step = self.step.saturating_add(1);
+        Ok(())
+    }
+
+    /// One parked step for a waiter that registered with a [`WaitCell`] and
+    /// *knows* a completer will unpark it (e.g. it lost the per-rank poller
+    /// token, so the active poller drives its operation too): poison check,
+    /// then park immediately with no spin/yield escalation — on an
+    /// oversubscribed host every yield only steals cycles from the thread
+    /// doing the work. The timeout is a lost-wakeup safety net.
+    pub fn park_registered(poison: &PoisonFlag) -> Result<()> {
+        poison.check()?;
+        std::thread::park_timeout(Duration::from_micros(PARK_TOKEN_MICROS));
+        Ok(())
+    }
+
     /// The raw escalation step, with no failure check. Used by recovery-path
     /// waits that layer their own (softer) checks on top.
     fn backoff(&mut self) {
         if self.step < SPIN_TIERS {
-            for _ in 0..(1u32 << self.step) {
-                std::hint::spin_loop();
+            if single_cpu() {
+                std::thread::yield_now();
+            } else {
+                for _ in 0..(1u32 << self.step) {
+                    std::hint::spin_loop();
+                }
             }
         } else if self.step < SPIN_TIERS + YIELD_TIERS {
             std::thread::yield_now();
         } else {
             // Nobody unparks us by token; the timeout bounds the sleep and the
-            // next poison check keeps peer-death detection prompt.
+            // next poison check keeps peer-death detection prompt. Waits that
+            // *do* hold an unpark token use [`SpinWait::wait_registered`].
             std::thread::park_timeout(Duration::from_micros(PARK_MICROS));
         }
         self.step = self.step.saturating_add(1);
+    }
+}
+
+/// A directed-unpark slot: threads about to park on a condition register
+/// their handle here first; whoever makes the condition true calls
+/// [`WaitCell::wake_all`] and every registered thread is unparked
+/// immediately instead of sleeping out its park timeout. Registration uses
+/// `std::thread::park` token semantics, so the race-free protocol is:
+/// register, re-check the condition, park; a wake that lands between the
+/// check and the park leaves the token set and the park returns at once.
+#[derive(Debug, Default)]
+pub struct WaitCell {
+    waiters: Mutex<Vec<std::thread::Thread>>,
+}
+
+impl WaitCell {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the calling thread as a waiter. Idempotent; pair with
+    /// [`WaitCell::deregister`] when the wait ends without a wake.
+    pub fn register(&self) {
+        let me = std::thread::current();
+        let mut waiters = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+        if !waiters.iter().any(|t| t.id() == me.id()) {
+            waiters.push(me);
+        }
+    }
+
+    /// Remove the calling thread from the waiter list.
+    pub fn deregister(&self) {
+        let me = std::thread::current().id();
+        self.waiters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|t| t.id() != me);
+    }
+
+    /// Unpark every registered waiter (and clear the list — waiters
+    /// re-register if they go back to sleep). Returns how many threads were
+    /// woken, so hand-off paths can stop after the first cell that actually
+    /// had a parked waiter.
+    pub fn wake_all(&self) -> usize {
+        let drained: Vec<_> = {
+            let mut waiters = self.waiters.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *waiters)
+        };
+        let woken = drained.len();
+        for t in drained {
+            t.unpark();
+        }
+        woken
     }
 }
 
@@ -449,6 +566,49 @@ mod tests {
         }
         w.reset();
         assert_eq!(w.step, 0);
+    }
+
+    #[test]
+    fn directed_unpark_beats_park_timeout() {
+        // The waiter parks for up to 500 ms per iteration; the signaler
+        // publishes after ~20 ms and wakes it by token. If the directed
+        // unpark were lost the waiter would sleep out a full 500 ms park, so
+        // the latency bound below fails; with it, wakeup is immediate.
+        use std::sync::atomic::AtomicBool;
+        let cell = Arc::new(WaitCell::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let waiter = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            c2.register();
+            while !f2.load(Ordering::Acquire) {
+                std::thread::park_timeout(Duration::from_millis(500));
+            }
+            c2.deregister();
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::Release);
+        cell.wake_all();
+        let elapsed = waiter.join().unwrap();
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "completion-to-wakeup latency too high: {elapsed:?} (directed unpark lost?)"
+        );
+    }
+
+    #[test]
+    fn registered_wait_escalation_is_poison_aware() {
+        let poison = PoisonFlag::new();
+        let mut w = SpinWait::new();
+        for _ in 0..(SPIN_TIERS + REGISTERED_YIELD_TIERS + 2) {
+            w.wait_registered(&poison).unwrap();
+        }
+        poison.poison("rank 0 panicked");
+        assert!(matches!(
+            w.wait_registered(&poison),
+            Err(MpiError::PeerDead(_))
+        ));
     }
 
     #[test]

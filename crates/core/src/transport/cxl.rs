@@ -19,6 +19,7 @@
 //! large transfers the way the paper's memory-hierarchy contention does.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use cmpi_fabric::cost::CoherenceMode;
 use cmpi_fabric::{CxlContentionModel, CxlCostModel, SimClock};
@@ -35,7 +36,8 @@ use crate::rma::{BakeryLock, WindowLayout};
 use crate::spin::{PoisonFlag, SpinWait};
 use crate::transport::conn::ConnTable;
 use crate::transport::{
-    no_data_plane, DataPlaneStats, DpWindow, FaultInjector, Transport, TransportStats, WinId,
+    no_data_plane, DataPlaneStats, DpWindow, FaultInjector, Transport, TransportCounters,
+    TransportStats, WinId,
 };
 use crate::types::{source_matches, tag_matches, CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
@@ -172,7 +174,7 @@ pub struct CxlTransport {
     /// shared cache hierarchy, not the device DIMMs).
     host_of: Vec<usize>,
     active_pairs: usize,
-    stats: TransportStats,
+    stats: Arc<TransportCounters>,
     cell_payload: usize,
     poll_cursor: usize,
     /// Universe peer-death flag: every blocking wait checks it.
@@ -324,7 +326,7 @@ impl CxlTransport {
             coherence: config.coherence,
             host_of: topology.mapping().to_vec(),
             active_pairs: (ranks / 2).max(1),
-            stats: TransportStats::default(),
+            stats: Arc::new(TransportCounters::default()),
             cell_payload: config.cell_size,
             poll_cursor: 0,
             poison,
@@ -572,7 +574,7 @@ impl CxlTransport {
         sender: Rank,
         queue: &SpscQueue,
     ) -> Result<Option<PendingMessage>> {
-        self.stats.ring_probes += 1;
+        TransportCounters::bump(&self.stats.ring_probes, 1);
         let mut asm = self.partial_rx[sender].take();
         loop {
             let Some(h) = queue.peek_header()? else {
@@ -604,8 +606,8 @@ impl CxlTransport {
                 let mut msg = asm.take().expect("assembler present").finish();
                 msg.arrival = clock.now();
                 self.partial_rx[sender] = None;
-                self.stats.msgs_received += 1;
-                self.stats.bytes_received += msg.data.len() as u64;
+                TransportCounters::bump(&self.stats.msgs_received, 1);
+                TransportCounters::bump(&self.stats.bytes_received, msg.data.len() as u64);
                 return Ok(Some(msg));
             }
         }
@@ -700,8 +702,8 @@ impl CxlTransport {
             if a.is_complete() {
                 let mut msg = asm.take().expect("assembler present").finish();
                 msg.arrival = clock.now();
-                self.stats.msgs_received += 1;
-                self.stats.bytes_received += msg.data.len() as u64;
+                TransportCounters::bump(&self.stats.msgs_received, 1);
+                TransportCounters::bump(&self.stats.bytes_received, msg.data.len() as u64);
                 return Ok(Some(msg));
             }
             self.partial_rx[sender] = asm;
@@ -937,8 +939,8 @@ impl CxlTransport {
             // staging copy. Waits for the remainder of a matching message
             // mid-publication — safe for the same reason.
             self.drain_chunks_into(clock, queue, &first, buf)?;
-            self.stats.msgs_received += 1;
-            self.stats.bytes_received += total as u64;
+            TransportCounters::bump(&self.stats.msgs_received, 1);
+            TransportCounters::bump(&self.stats.bytes_received, total as u64);
             clock.advance(self.cost.mpi_overhead());
             return Ok(Some(Status::new(first.src, first.tag, total)));
         }
@@ -1019,7 +1021,7 @@ impl CxlTransport {
                 Some(queue) => loop {
                     if queue.try_enqueue_with_scratch(&header, chunk, &mut scratch)? {
                         db.ring(self.rank)?;
-                        self.stats.doorbell_rings += 1;
+                        TransportCounters::bump(&self.stats.doorbell_rings, 1);
                         clock.advance(2.0 * nt);
                         break;
                     }
@@ -1058,8 +1060,8 @@ impl CxlTransport {
         }
         self.tx_scratch = scratch;
         self.lazy().note_sent(dst, last_ticket);
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += total as u64;
+        TransportCounters::bump(&self.stats.msgs_sent, 1);
+        TransportCounters::bump(&self.stats.bytes_sent, total as u64);
         Ok(())
     }
 
@@ -1141,7 +1143,7 @@ impl CxlTransport {
                     let enqueued = queue.try_enqueue_with_scratch(&header, chunk, &mut scratch)?;
                     debug_assert!(enqueued, "ring filled despite has_space");
                     db.ring(self.rank)?;
-                    self.stats.doorbell_rings += 1;
+                    TransportCounters::bump(&self.stats.doorbell_rings, 1);
                     clock.advance(2.0 * nt);
                 }
                 None => {
@@ -1193,8 +1195,8 @@ impl CxlTransport {
             self.fault_armed.remove(&(dst, ctx, tag));
         }
         self.lazy().note_sent(dst, last_ticket);
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += total as u64;
+        TransportCounters::bump(&self.stats.msgs_sent, 1);
+        TransportCounters::bump(&self.stats.bytes_sent, total as u64);
         Ok(true)
     }
 
@@ -1298,8 +1300,8 @@ impl Transport for CxlTransport {
             }
         }
         self.tx_scratch = scratch;
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += total as u64;
+        TransportCounters::bump(&self.stats.msgs_sent, 1);
+        TransportCounters::bump(&self.stats.bytes_sent, total as u64);
         Ok(())
     }
 
@@ -1434,8 +1436,8 @@ impl Transport for CxlTransport {
             *cursor += 1;
         }
         self.tx_scratch = scratch;
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += total as u64;
+        TransportCounters::bump(&self.stats.msgs_sent, 1);
+        TransportCounters::bump(&self.stats.bytes_sent, total as u64);
         Ok(true)
     }
 
@@ -1553,8 +1555,8 @@ impl Transport for CxlTransport {
         let addr = state.layout.data_offset(target) + offset as u64;
         state.obj.write_flush_at(addr, data)?;
         self.charge_rma(clock, data.len(), true);
-        self.stats.puts += 1;
-        self.stats.rma_bytes_written += data.len() as u64;
+        TransportCounters::bump(&self.stats.puts, 1);
+        TransportCounters::bump(&self.stats.rma_bytes_written, data.len() as u64);
         Ok(())
     }
 
@@ -1572,8 +1574,8 @@ impl Transport for CxlTransport {
         let addr = state.layout.data_offset(target) + offset as u64;
         state.obj.read_coherent_at(addr, buf)?;
         self.charge_rma(clock, buf.len(), false);
-        self.stats.gets += 1;
-        self.stats.rma_bytes_read += buf.len() as u64;
+        TransportCounters::bump(&self.stats.gets, 1);
+        TransportCounters::bump(&self.stats.rma_bytes_read, buf.len() as u64);
         Ok(())
     }
 
@@ -1600,7 +1602,7 @@ impl Transport for CxlTransport {
             .write_flush_at(addr, &crate::pod::f64_to_bytes(&values))?;
         self.charge_rma(clock, bytes, false);
         self.charge_rma(clock, bytes, true);
-        self.stats.rma_bytes_written += bytes as u64;
+        TransportCounters::bump(&self.stats.rma_bytes_written, bytes as u64);
         Ok(())
     }
 
@@ -2066,7 +2068,9 @@ impl Transport for CxlTransport {
     }
 
     fn stats(&self) -> TransportStats {
-        let mut s = self.stats;
+        // The lazy connection table keeps its own (single-writer) counters;
+        // fold them into the shared snapshot.
+        let mut s = self.stats.snapshot();
         if let ConnState::Lazy(t) = &self.conn {
             s.qps_established = t.counters.qps_established;
             s.qps_opened = t.counters.qps_opened;
@@ -2075,9 +2079,8 @@ impl Transport for CxlTransport {
         s
     }
 
-    fn record_collective(&mut self, payload_bytes: u64) {
-        self.stats.collectives += 1;
-        self.stats.collective_bytes += payload_bytes;
+    fn stats_handle(&self) -> Arc<TransportCounters> {
+        Arc::clone(&self.stats)
     }
 
     fn set_concurrency_hint(&mut self, pairs: usize) {

@@ -14,6 +14,9 @@ pub mod conn;
 pub mod cxl;
 pub mod tcp;
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use cmpi_fabric::SimClock;
 use serde::{Deserialize, Serialize};
 
@@ -157,6 +160,76 @@ pub struct TransportStats {
     /// Doorbell rings performed on the send side (one per chunk enqueued into
     /// a dedicated queue pair).
     pub doorbell_rings: u64,
+}
+
+/// The live, shared form of [`TransportStats`]: relaxed atomics bumped on the
+/// message hot path, shared (`Arc`) between the transport and the
+/// communicator layer so `Comm::stats` and the collective-accounting bumps
+/// never take the transport lock. Relaxed ordering is sufficient — counters
+/// are pure telemetry; nothing synchronizes through them (the data they
+/// describe is published by the transport's own synchronization).
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    /// Two-sided messages sent.
+    pub msgs_sent: AtomicU64,
+    /// Two-sided payload bytes sent.
+    pub bytes_sent: AtomicU64,
+    /// Two-sided messages received.
+    pub msgs_received: AtomicU64,
+    /// Two-sided payload bytes received.
+    pub bytes_received: AtomicU64,
+    /// One-sided put operations issued.
+    pub puts: AtomicU64,
+    /// One-sided get operations issued.
+    pub gets: AtomicU64,
+    /// Bytes written by put/accumulate.
+    pub rma_bytes_written: AtomicU64,
+    /// Bytes read by get.
+    pub rma_bytes_read: AtomicU64,
+    /// Collective operations executed through this rank.
+    pub collectives: AtomicU64,
+    /// Payload bytes contributed to collectives by this rank.
+    pub collective_bytes: AtomicU64,
+    /// Lazy connections: dedicated queue pairs established as a sender.
+    pub qps_established: AtomicU64,
+    /// Lazy connections: queue pairs opened as a receiver.
+    pub qps_opened: AtomicU64,
+    /// Lazy connections: messages funnelled through a shared receive queue.
+    pub srq_msgs: AtomicU64,
+    /// Receive-side per-sender ring probes.
+    pub ring_probes: AtomicU64,
+    /// Doorbell rings performed on the send side.
+    pub doorbell_rings: AtomicU64,
+}
+
+impl TransportCounters {
+    /// Relaxed increment helper: `counters.add(&counters.msgs_sent, 1)` reads
+    /// poorly — call as `TransportCounters::bump(&self.stats.msgs_sent, 1)`.
+    #[inline]
+    pub fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters into the plain reporting struct.
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            rma_bytes_written: self.rma_bytes_written.load(Ordering::Relaxed),
+            rma_bytes_read: self.rma_bytes_read.load(Ordering::Relaxed),
+            collectives: self.collectives.load(Ordering::Relaxed),
+            collective_bytes: self.collective_bytes.load(Ordering::Relaxed),
+            qps_established: self.qps_established.load(Ordering::Relaxed),
+            qps_opened: self.qps_opened.load(Ordering::Relaxed),
+            srq_msgs: self.srq_msgs.load(Ordering::Relaxed),
+            ring_probes: self.ring_probes.load(Ordering::Relaxed),
+            doorbell_rings: self.doorbell_rings.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Geometry of a communicator's shared exposure window, as reported by
@@ -360,13 +433,24 @@ pub trait Transport: Send {
     // Introspection
     // ------------------------------------------------------------------
 
-    /// Operation counters.
-    fn stats(&self) -> TransportStats;
+    /// Operation counters (a snapshot of [`Transport::stats_handle`]).
+    fn stats(&self) -> TransportStats {
+        self.stats_handle().snapshot()
+    }
+
+    /// Shared handle onto the live operation counters, so the communicator
+    /// layer can read (and bump the collective counters of) the stats without
+    /// holding the transport lock.
+    fn stats_handle(&self) -> Arc<TransportCounters>;
 
     /// Record one collective operation contributing `payload_bytes` from this
     /// rank (bumped by the communicator layer, which is where collectives are
     /// implemented).
-    fn record_collective(&mut self, payload_bytes: u64);
+    fn record_collective(&self, payload_bytes: u64) {
+        let stats = self.stats_handle();
+        TransportCounters::bump(&stats.collectives, 1);
+        TransportCounters::bump(&stats.collective_bytes, payload_bytes);
+    }
 
     /// Hint: how many communication pairs are concurrently active (used by the
     /// CXL contention model; ignored by transports that do not need it).

@@ -31,7 +31,7 @@ use crate::config::TcpTransportConfig;
 use crate::error::MpiError;
 use crate::spin::{PoisonFlag, SpinWait};
 use crate::topology::HostTopology;
-use crate::transport::{FaultInjector, Transport, TransportStats, WinId};
+use crate::transport::{FaultInjector, Transport, TransportCounters, WinId};
 use crate::types::{source_matches, tag_matches, CtxId, Rank, ReduceOp, Status, Tag};
 use crate::Result;
 
@@ -136,7 +136,7 @@ pub struct TcpTransport {
     local: CxlCostModel,
     shared: Arc<TcpSharedState>,
     windows: Vec<Option<TcpWindowState>>,
-    stats: TransportStats,
+    stats: Arc<TransportCounters>,
     barrier_seq: u64,
     label: &'static str,
     /// Universe peer-death flag: every blocking wait checks it.
@@ -197,7 +197,7 @@ impl TcpTransport {
             local: CxlCostModel::default(),
             shared,
             windows: Vec::new(),
-            stats: TransportStats::default(),
+            stats: Arc::new(TransportCounters::default()),
             barrier_seq: 0,
             label,
             poison,
@@ -313,8 +313,8 @@ impl Transport for TcpTransport {
             clock.now(),
         );
         clock.merge(timing.sender_busy_until);
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += data.len() as u64;
+        TransportCounters::bump(&self.stats.msgs_sent, 1);
+        TransportCounters::bump(&self.stats.bytes_sent, data.len() as u64);
         Ok(())
     }
 
@@ -329,8 +329,8 @@ impl Transport for TcpTransport {
         clock.merge(msg.arrival);
         // Receive-side copy out of the NIC/MPI buffers into the user buffer.
         clock.advance(self.local.local_copy(msg.len()));
-        self.stats.msgs_received += 1;
-        self.stats.bytes_received += msg.len() as u64;
+        TransportCounters::bump(&self.stats.msgs_received, 1);
+        TransportCounters::bump(&self.stats.bytes_received, msg.len() as u64);
         Ok((
             Status::new(msg.src, wire_user_tag(msg.tag), msg.len()),
             msg.payload.to_vec(),
@@ -348,8 +348,8 @@ impl Transport for TcpTransport {
         let msg = self.recv_match_blocking(ctx, src, tag)?;
         clock.merge(msg.arrival);
         clock.advance(self.local.local_copy(msg.len()));
-        self.stats.msgs_received += 1;
-        self.stats.bytes_received += msg.len() as u64;
+        TransportCounters::bump(&self.stats.msgs_received, 1);
+        TransportCounters::bump(&self.stats.bytes_received, msg.len() as u64);
         if msg.len() > buf.len() {
             return Err(MpiError::Truncation {
                 message_len: msg.len(),
@@ -381,8 +381,8 @@ impl Transport for TcpTransport {
         };
         clock.merge(msg.arrival);
         clock.advance(self.local.local_copy(msg.len()));
-        self.stats.msgs_received += 1;
-        self.stats.bytes_received += msg.len() as u64;
+        TransportCounters::bump(&self.stats.msgs_received, 1);
+        TransportCounters::bump(&self.stats.bytes_received, msg.len() as u64);
         Ok(Some((
             Status::new(msg.src, wire_user_tag(msg.tag), msg.len()),
             msg.payload.to_vec(),
@@ -409,8 +409,8 @@ impl Transport for TcpTransport {
         };
         clock.merge(msg.arrival);
         clock.advance(self.local.local_copy(msg.len()));
-        self.stats.msgs_received += 1;
-        self.stats.bytes_received += msg.len() as u64;
+        TransportCounters::bump(&self.stats.msgs_received, 1);
+        TransportCounters::bump(&self.stats.bytes_received, msg.len() as u64);
         if msg.len() > buf.len() {
             return Err(MpiError::Truncation {
                 message_len: msg.len(),
@@ -529,8 +529,8 @@ impl Transport for TcpTransport {
         // the closing synchronization observes it (complete carries it too).
         let _ = arrival;
         clock.merge(busy_until);
-        self.stats.puts += 1;
-        self.stats.rma_bytes_written += data.len() as u64;
+        TransportCounters::bump(&self.stats.puts, 1);
+        TransportCounters::bump(&self.stats.rma_bytes_written, data.len() as u64);
         Ok(())
     }
 
@@ -554,8 +554,8 @@ impl Transport for TcpTransport {
         let request = self.model.mpi_message_time(8, self.share());
         let response = self.model.mpi_message_time(buf.len(), self.share());
         clock.advance(request + response);
-        self.stats.gets += 1;
-        self.stats.rma_bytes_read += buf.len() as u64;
+        TransportCounters::bump(&self.stats.gets, 1);
+        TransportCounters::bump(&self.stats.rma_bytes_read, buf.len() as u64);
         Ok(())
     }
 
@@ -581,7 +581,7 @@ impl Transport for TcpTransport {
             buf[base..base + bytes].copy_from_slice(&crate::pod::f64_to_bytes(&current));
         }
         clock.merge(busy_until);
-        self.stats.rma_bytes_written += bytes as u64;
+        TransportCounters::bump(&self.stats.rma_bytes_written, bytes as u64);
         Ok(())
     }
 
@@ -807,13 +807,8 @@ impl Transport for TcpTransport {
         Ok(())
     }
 
-    fn stats(&self) -> TransportStats {
-        self.stats
-    }
-
-    fn record_collective(&mut self, payload_bytes: u64) {
-        self.stats.collectives += 1;
-        self.stats.collective_bytes += payload_bytes;
+    fn stats_handle(&self) -> Arc<TransportCounters> {
+        Arc::clone(&self.stats)
     }
 
     fn set_concurrency_hint(&mut self, pairs: usize) {

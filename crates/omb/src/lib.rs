@@ -16,6 +16,7 @@
 
 pub mod coherencebench;
 pub mod kernels;
+pub mod rpc;
 pub mod shuffle;
 pub mod sweep;
 
@@ -24,6 +25,7 @@ pub use kernels::{
     nonblocking_allreduce_overlap, one_sided_put_bandwidth, one_sided_put_latency,
     subgroup_allreduce_latency, two_sided_bandwidth, two_sided_latency, BenchPoint, OverlapPoint,
 };
+pub use rpc::{rpc_storm, RpcStormPoint};
 pub use shuffle::{alltoall_latency, kmeans_proxy, sample_sort_proxy, ShufflePoint};
 pub use sweep::{osu_message_sizes, process_counts, small_message_sizes};
 

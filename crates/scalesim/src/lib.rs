@@ -20,10 +20,12 @@
 pub mod apps;
 pub mod conn;
 pub mod network;
+pub mod rpc;
 pub mod scaling;
 pub mod sim;
 
 pub use conn::{conn_scaling_sweep, ConnCosts, ConnScalingPoint};
 pub use network::{NetworkParams, TransportClass};
+pub use rpc::RpcStormModel;
 pub use scaling::{ScalingPoint, ScalingStudy};
 pub use sim::{Message, SimOutcome, Simulator, Superstep};

@@ -1,0 +1,152 @@
+//! Analytic proxy for the RPC-storm serving benchmark: a closed-loop
+//! queueing model of K submitter clients per rank sharing one serial
+//! bottleneck (the progress path — io lock plus the CPU the schedule work
+//! costs), with everything else (client think time, pipelined communication
+//! latency) acting as a delay center.
+//!
+//! The model is the classic interactive-saturation shape,
+//!
+//! ```text
+//! X(N) = N / (Z + N * D)
+//! ```
+//!
+//! for `N` concurrent clients, serial demand `D` per operation and latent
+//! (parallelizable) time `Z` per operation: linear scaling `N/Z` while the
+//! bottleneck idles, saturating at `1/D` once it is busy — the two
+//! asymptotic bounds of a closed queueing network, joined smoothly. The
+//! knee sits at `N* = Z / D`.
+//!
+//! The bench harness calibrates `D` from the measured saturated throughput
+//! and `Z` from the measured single-submitter point, then cross-checks the
+//! predicted submitter-scaling curve against the measured one in
+//! `BENCH_collectives.json` (`model_speedup_vs_1` next to `speedup_vs_1`).
+
+/// Closed-loop throughput model of the RPC storm: `serial_us` of
+/// non-parallelizable service demand per operation (`D`) and `latent_us` of
+/// think + pipelined-latency time per operation (`Z`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpcStormModel {
+    /// Serial bottleneck demand per operation, microseconds (`D`).
+    pub serial_us: f64,
+    /// Latent (parallelizable) time per operation, microseconds (`Z`).
+    pub latent_us: f64,
+}
+
+impl RpcStormModel {
+    /// Calibrate from two measured points: the throughput at `base_clients`
+    /// concurrent clients (typically ranks × 1 submitter) and the saturated
+    /// throughput of the same sweep. `D = 1/X_sat`;
+    /// `Z = base_clients * (1/X_base - D)`, i.e. the latent time is whatever
+    /// the base point's per-client cycle spends not occupying the
+    /// bottleneck. Degenerate inputs (zero/negative rates, base above
+    /// saturation) clamp `Z` at zero rather than going negative.
+    pub fn from_calibration(
+        base_clients: usize,
+        base_ops_per_sec: f64,
+        saturated_ops_per_sec: f64,
+    ) -> Self {
+        let sat = saturated_ops_per_sec.max(f64::MIN_POSITIVE);
+        let base = base_ops_per_sec.max(f64::MIN_POSITIVE);
+        let serial_us = 1e6 / sat;
+        let latent_us = (base_clients.max(1) as f64 * (1e6 / base - serial_us)).max(0.0);
+        RpcStormModel {
+            serial_us,
+            latent_us,
+        }
+    }
+
+    /// Predicted aggregate throughput for `clients` concurrent clients,
+    /// operations per second.
+    pub fn throughput(&self, clients: usize) -> f64 {
+        let n = clients as f64;
+        let denom_us = self.latent_us + n * self.serial_us;
+        if denom_us <= 0.0 {
+            return 0.0;
+        }
+        n * 1e6 / denom_us
+    }
+
+    /// Predicted speedup of `clients` over `base_clients`.
+    pub fn speedup(&self, base_clients: usize, clients: usize) -> f64 {
+        let base = self.throughput(base_clients);
+        if base <= 0.0 {
+            return 0.0;
+        }
+        self.throughput(clients) / base
+    }
+
+    /// The saturation ceiling `1/D`, operations per second.
+    pub fn saturated_ops_per_sec(&self) -> f64 {
+        if self.serial_us <= 0.0 {
+            return 0.0;
+        }
+        1e6 / self.serial_us
+    }
+
+    /// The knee of the curve, `N* = Z / D`: the client count at which the
+    /// linear regime crosses the saturation ceiling.
+    pub fn knee_clients(&self) -> f64 {
+        if self.serial_us <= 0.0 {
+            return 0.0;
+        }
+        self.latent_us / self.serial_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_the_base_point() {
+        let m = RpcStormModel::from_calibration(4, 30_000.0, 80_000.0);
+        let x4 = m.throughput(4);
+        assert!(
+            (x4 - 30_000.0).abs() / 30_000.0 < 1e-9,
+            "base point not reproduced: {x4}"
+        );
+    }
+
+    #[test]
+    fn throughput_is_monotonic_and_saturates() {
+        let m = RpcStormModel {
+            serial_us: 10.0,
+            latent_us: 200.0,
+        };
+        let mut prev = 0.0;
+        for n in 1..=512 {
+            let x = m.throughput(n);
+            assert!(x > prev, "not monotonic at N={n}");
+            assert!(
+                x < m.saturated_ops_per_sec(),
+                "exceeded the serial ceiling at N={n}"
+            );
+            prev = x;
+        }
+        // Far past the knee the curve is within 5% of the ceiling.
+        assert!(m.throughput(400) > 0.95 * m.saturated_ops_per_sec());
+    }
+
+    #[test]
+    fn knee_marks_half_saturation() {
+        // At exactly N* = Z/D the smooth curve gives X = 1/(2D): the
+        // harmonic meeting point of the two asymptotes.
+        let m = RpcStormModel {
+            serial_us: 5.0,
+            latent_us: 100.0,
+        };
+        let knee = m.knee_clients();
+        assert_eq!(knee, 20.0);
+        let x = m.throughput(knee as usize);
+        assert!((x - m.saturated_ops_per_sec() / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_calibration_clamps() {
+        // Base faster than saturation (measurement noise) must not yield a
+        // negative think time.
+        let m = RpcStormModel::from_calibration(4, 100_000.0, 80_000.0);
+        assert_eq!(m.latent_us, 0.0);
+        assert!(m.throughput(8) > 0.0);
+    }
+}

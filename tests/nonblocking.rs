@@ -176,9 +176,12 @@ fn icollectives_complete_via_test_polling_with_overlap_counted() {
         for (_, report) in &results {
             assert_eq!(report.progress.colls_started, 1, "{label}");
             assert_eq!(report.progress.colls_completed, 1, "{label}");
+            // Overlap: the schedule advanced outside the terminal wait —
+            // from `test` polls in Polling mode, from the background engine
+            // in Thread mode (where `test` merely observes the done flag).
             assert!(
-                report.progress.ops_in_test > 0,
-                "{label}: no ops serviced during test polling: {:?}",
+                report.progress.ops_in_test + report.progress.ops_in_thread > 0,
+                "{label}: no ops serviced outside blocking waits: {:?}",
                 report.progress
             );
         }
